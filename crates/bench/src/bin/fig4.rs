@@ -1,0 +1,41 @@
+//! Fig. 4: elevated-road robustness — SR%k curves (share of trajectories
+//! whose elevated-corridor sub-trajectory F1 exceeds k) for all methods on
+//! Chengdu ×8.
+//!
+//! ```bash
+//! cargo run --release -p rntrajrec-bench --bin fig4
+//! ```
+
+use rntrajrec::experiments::Pipeline;
+use rntrajrec::model::MethodSpec;
+use rntrajrec_bench::{banner, dump_json, scale_from_env};
+use rntrajrec_synth::DatasetConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Fig. 4 — elevated-road recovery (SR%k)", &scale);
+    // Bias departures onto the corridor so the test split has enough hard
+    // cases (the paper selects elevated trajectories from real data).
+    let mut cfg = DatasetConfig::chengdu(8, scale.num_traj);
+    cfg.corridor_fraction = 0.5;
+    let pipeline = Pipeline::prepare(cfg, &scale);
+
+    let ks = [0.5, 0.6, 0.7, 0.8, 0.9];
+    let methods = MethodSpec::table3();
+    println!(
+        "{:<24} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "method", "SR%50", "SR%60", "SR%70", "SR%80", "SR%90"
+    );
+    let mut json = Vec::new();
+    for m in &methods {
+        let r = pipeline.train_and_eval(m, &scale);
+        let curve = pipeline.sr_curve(&r, &ks);
+        print!("{:<24}", r.label);
+        for (_, sr) in &curve {
+            print!(" {:>7.3}", sr);
+        }
+        println!();
+        json.push(serde_json::json!({ "method": r.label, "curve": curve }));
+    }
+    dump_json("fig4", &json);
+}

@@ -1,0 +1,45 @@
+//! Fig. 6: efficiency study — accuracy vs. per-trajectory inference time
+//! vs. parameter count on Chengdu ×8, including RNTrajRec with N ∈ {1,2}
+//! and RNTrajRec* (w/o GRL) with N ∈ {1,2}.
+//!
+//! ```bash
+//! cargo run --release -p rntrajrec-bench --bin fig6
+//! ```
+
+use rntrajrec::experiments::Pipeline;
+use rntrajrec::model::MethodSpec;
+use rntrajrec_bench::{banner, dump_json, scale_from_env};
+use rntrajrec_synth::DatasetConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Fig. 6 — efficiency study (accuracy / inference time / #params)", &scale);
+    let pipeline = Pipeline::prepare(DatasetConfig::chengdu(8, scale.num_traj), &scale);
+
+    let mut methods = MethodSpec::table3();
+    methods.extend([
+        MethodSpec::RnTrajRecWoGrlN(1),
+        MethodSpec::RnTrajRecWoGrlN(2),
+        MethodSpec::RnTrajRecN(1),
+    ]);
+    println!(
+        "{:<24} {:>8} {:>12} {:>12} {:>12}",
+        "method", "acc", "infer (ms)", "#params", "train (s)"
+    );
+    let mut json = Vec::new();
+    for m in &methods {
+        let r = pipeline.train_and_eval(m, &scale);
+        println!(
+            "{:<24} {:>8.4} {:>12.2} {:>12} {:>12.1}",
+            r.label, r.accuracy, r.infer_ms, r.num_params, r.train_secs
+        );
+        json.push(serde_json::json!({
+            "method": r.label,
+            "accuracy": r.accuracy,
+            "infer_ms": r.infer_ms,
+            "num_params": r.num_params,
+            "train_secs": r.train_secs,
+        }));
+    }
+    dump_json("fig6", &json);
+}

@@ -1,0 +1,76 @@
+//! Fig. 7: parameter analysis on Chengdu ×8 —
+//! (a) road-network representation backbone (GridGNN vs GCN/GIN/GAT),
+//! (b) number of GPSFormer blocks N,
+//! (c) receptive field δ,
+//! (d) influence bandwidth γ.
+//!
+//! ```bash
+//! cargo run --release -p rntrajrec-bench --bin fig7
+//! ```
+
+use rntrajrec::experiments::{sweep_extraction, sweep_n_blocks, Pipeline};
+use rntrajrec::model::MethodSpec;
+use rntrajrec_bench::{banner, dump_json, scale_from_env};
+use rntrajrec_models::GnnBackbone;
+use rntrajrec_synth::DatasetConfig;
+
+fn main() {
+    let mut scale = scale_from_env();
+    // 18 RNTrajRec trainings: halve the data budget to keep the sweep
+    // tractable (trends, not absolute numbers, are the target).
+    scale.num_traj = (scale.num_traj / 2).max(30);
+    banner("Fig. 7 — parameter analysis", &scale);
+    let config = DatasetConfig::chengdu(8, scale.num_traj);
+    let pipeline = Pipeline::prepare(config.clone(), &scale);
+    let mut json = serde_json::Map::new();
+
+    // (a) Road-network representation method.
+    println!("--- (a) road network representation ---");
+    let backbones = [
+        ("GridGNN", MethodSpec::RnTrajRec),
+        ("GAT", MethodSpec::RnTrajRecPlainGnn(GnnBackbone::Gat)),
+        ("GIN", MethodSpec::RnTrajRecPlainGnn(GnnBackbone::Gin)),
+        ("GCN", MethodSpec::RnTrajRecPlainGnn(GnnBackbone::Gcn)),
+    ];
+    let mut part = Vec::new();
+    for (name, spec) in backbones {
+        let r = pipeline.train_and_eval(&spec, &scale);
+        println!("  {:<10} acc {:.4}  F1 {:.4}", name, r.accuracy, r.f1);
+        part.push(serde_json::json!({ "backbone": name, "accuracy": r.accuracy, "f1": r.f1 }));
+    }
+    json.insert("a_backbones".into(), part.into());
+
+    // (b) Number of GPSFormer blocks.
+    println!("--- (b) number of GPSFormer blocks N ---");
+    let ns = [1usize, 2, 3];
+    let mut part = Vec::new();
+    for (n, r) in sweep_n_blocks(&pipeline, &ns, &scale) {
+        println!("  N={n}  acc {:.4}  F1 {:.4}", r.accuracy, r.f1);
+        part.push(serde_json::json!({ "n": n, "accuracy": r.accuracy, "f1": r.f1 }));
+    }
+    json.insert("b_n_blocks".into(), part.into());
+
+    // (c) Receptive field δ (features re-extracted per value).
+    println!("--- (c) receptive field delta (m) ---");
+    let deltas: Vec<(f64, f64)> =
+        [100.0, 400.0, 800.0].iter().map(|&d| (d, 30.0)).collect();
+    let mut part = Vec::new();
+    for ((d, _), r) in sweep_extraction(config.clone(), &deltas, &scale) {
+        println!("  delta={d:<5} acc {:.4}  F1 {:.4}", r.accuracy, r.f1);
+        part.push(serde_json::json!({ "delta_m": d, "accuracy": r.accuracy, "f1": r.f1 }));
+    }
+    json.insert("c_delta".into(), part.into());
+
+    // (d) Influence bandwidth γ.
+    println!("--- (d) influence bandwidth gamma (m) ---");
+    let gammas: Vec<(f64, f64)> =
+        [10.0, 30.0, 50.0].iter().map(|&g| (400.0, g)).collect();
+    let mut part = Vec::new();
+    for ((_, g), r) in sweep_extraction(config, &gammas, &scale) {
+        println!("  gamma={g:<5} acc {:.4}  F1 {:.4}", r.accuracy, r.f1);
+        part.push(serde_json::json!({ "gamma_m": g, "accuracy": r.accuracy, "f1": r.f1 }));
+    }
+    json.insert("d_gamma".into(), part.into());
+
+    dump_json("fig7", &json);
+}

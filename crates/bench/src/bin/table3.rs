@@ -1,0 +1,34 @@
+//! Table III: the main comparison — nine methods × four dataset/interval
+//! combinations (Chengdu ×8, Chengdu ×16, Porto ×8, Shanghai-L ×16).
+//!
+//! ```bash
+//! SCALE=medium cargo run --release -p rntrajrec-bench --bin table3
+//! ```
+
+use rntrajrec::experiments::run_comparison;
+use rntrajrec::model::MethodSpec;
+use rntrajrec_bench::{banner, dump_json, print_table, scale_from_env};
+use rntrajrec_synth::DatasetConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Table III — performance comparison on trajectory recovery", &scale);
+    let methods = MethodSpec::table3();
+    let configs = vec![
+        ("Chengdu (eps_tau = eps_rho * 8)", DatasetConfig::chengdu(8, scale.num_traj)),
+        ("Chengdu (eps_tau = eps_rho * 16)", DatasetConfig::chengdu(16, scale.num_traj)),
+        ("Porto (eps_tau = eps_rho * 8)", DatasetConfig::porto(8, scale.num_traj)),
+        ("Shanghai-L (eps_tau = eps_rho * 16)", DatasetConfig::shanghai_l(16, scale.num_traj)),
+    ];
+    let mut all = Vec::new();
+    for (title, config) in configs {
+        let (_pipeline, results) = run_comparison(config, &methods, &scale);
+        print_table(title, &results);
+        all.push((title.to_string(), results));
+    }
+    let json: Vec<_> = all
+        .iter()
+        .map(|(t, rs)| serde_json::json!({ "dataset": t, "rows": rs }))
+        .collect();
+    dump_json("table3", &json);
+}

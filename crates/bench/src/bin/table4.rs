@@ -1,0 +1,40 @@
+//! Table IV: additional datasets — Shanghai ×8 and Chengdu-Few ×8
+//! (data-scarcity robustness).
+//!
+//! ```bash
+//! cargo run --release -p rntrajrec-bench --bin table4
+//! ```
+
+use rntrajrec::experiments::run_comparison;
+use rntrajrec::model::MethodSpec;
+use rntrajrec_bench::{banner, dump_json, print_table, scale_from_env};
+use rntrajrec_synth::DatasetConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Table IV — additional Shanghai and Chengdu-Few datasets", &scale);
+    let methods = MethodSpec::table3();
+    // Chengdu-Few keeps the Chengdu city but ~20 % of the trajectories;
+    // run_comparison overrides num_trajectories with the scale, so divide
+    // explicitly here.
+    let mut few = DatasetConfig::chengdu_few(8, scale.num_traj * 5);
+    few.num_trajectories = (scale.num_traj / 5).max(10);
+    let mut few_scale = scale.clone();
+    few_scale.num_traj = few.num_trajectories;
+
+    let mut all = Vec::new();
+    let (_p, results) =
+        run_comparison(DatasetConfig::shanghai(8, scale.num_traj), &methods, &scale);
+    print_table("Shanghai (eps_tau = eps_rho * 8)", &results);
+    all.push(("Shanghai x8".to_string(), results));
+
+    let (_p, results) = run_comparison(few, &methods, &few_scale);
+    print_table("Chengdu-Few (eps_tau = eps_rho * 8)", &results);
+    all.push(("Chengdu-Few x8".to_string(), results));
+
+    let json: Vec<_> = all
+        .iter()
+        .map(|(t, rs)| serde_json::json!({ "dataset": t, "rows": rs }))
+        .collect();
+    dump_json("table4", &json);
+}

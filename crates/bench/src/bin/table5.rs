@@ -1,0 +1,37 @@
+//! Table V: ablation study on Chengdu ×8 and Porto ×8 — w/o GRL, w/o GF,
+//! w/o GAT, w/o GN, w/o GCL vs. the full model (plus the extra
+//! constraint-mask ablation).
+//!
+//! ```bash
+//! cargo run --release -p rntrajrec-bench --bin table5
+//! ```
+
+use rntrajrec::experiments::run_comparison;
+use rntrajrec::model::MethodSpec;
+use rntrajrec_bench::{banner, dump_json, print_table, scale_from_env};
+use rntrajrec_synth::DatasetConfig;
+
+fn main() {
+    let mut scale = scale_from_env();
+    // 7 RNTrajRec-family trainings per dataset: halve the data budget to
+    // keep the ablation sweep tractable on CPU.
+    scale.num_traj = (scale.num_traj / 2).max(30);
+    banner("Table V — ablation study", &scale);
+    let mut methods = MethodSpec::table5();
+    methods.push(MethodSpec::RnTrajRecNoMask);
+    let configs = vec![
+        ("Chengdu (eps_tau = eps_rho * 8)", DatasetConfig::chengdu(8, scale.num_traj)),
+        ("Porto (eps_tau = eps_rho * 8)", DatasetConfig::porto(8, scale.num_traj)),
+    ];
+    let mut all = Vec::new();
+    for (title, config) in configs {
+        let (_pipeline, results) = run_comparison(config, &methods, &scale);
+        print_table(title, &results);
+        all.push((title.to_string(), results));
+    }
+    let json: Vec<_> = all
+        .iter()
+        .map(|(t, rs)| serde_json::json!({ "dataset": t, "rows": rs }))
+        .collect();
+    dump_json("table5", &json);
+}

@@ -1,0 +1,374 @@
+//! The end-to-end recovery model and the method registry.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rntrajrec_geo::GridSpec;
+use rntrajrec_models::{
+    Decoder, DecoderConfig, GnnBackbone, GtsEncoder, MTrajRecEncoder, NeuTrajEncoder,
+    RnTrajRecConfig, RnTrajRecEncoder, SampleInput, T2vecEncoder, T3sEncoder, TrajEncoder,
+    TransformerBaseline,
+};
+use rntrajrec_nn::{NodeId, ParamStore, Tape};
+use rntrajrec_roadnet::RoadNetwork;
+
+/// Every method of the paper's comparison (Tables III/IV) plus the
+/// RNTrajRec ablations (Table V) and parameter variants (Fig. 6/7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MethodSpec {
+    /// Two-stage: linear interpolation + HMM (no learning).
+    LinearHmm,
+    /// Two-stage: seq2seq position regression + Kalman + HMM.
+    DhtrHmm,
+    T2vec,
+    Transformer,
+    MTrajRec,
+    T3s,
+    Gts,
+    NeuTraj,
+    RnTrajRec,
+    /// Table V ablations.
+    RnTrajRecWoGrl,
+    RnTrajRecWoGf,
+    RnTrajRecWoGat,
+    RnTrajRecWoGn,
+    RnTrajRecWoGcl,
+    /// Extra ablation: decoder constraint mask disabled.
+    RnTrajRecNoMask,
+    /// Fig. 7(a): road-network representation backbone.
+    RnTrajRecBackbone(GnnBackbone),
+    /// Fig. 7(a): plain GNN over segment-ID embeddings (no grid GRU).
+    RnTrajRecPlainGnn(GnnBackbone),
+    /// Fig. 6 / Fig. 7(b): number of GPSFormer blocks.
+    RnTrajRecN(usize),
+    /// Fig. 6: RNTrajRec* (w/o GRL) with N blocks.
+    RnTrajRecWoGrlN(usize),
+}
+
+impl MethodSpec {
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            MethodSpec::LinearHmm => "Linear + HMM".into(),
+            MethodSpec::DhtrHmm => "DHTR + HMM".into(),
+            MethodSpec::T2vec => "t2vec + Decoder".into(),
+            MethodSpec::Transformer => "Transformer + Decoder".into(),
+            MethodSpec::MTrajRec => "MTrajRec".into(),
+            MethodSpec::T3s => "T3S + Decoder".into(),
+            MethodSpec::Gts => "GTS + Decoder".into(),
+            MethodSpec::NeuTraj => "NeuTraj + Decoder".into(),
+            MethodSpec::RnTrajRec => "RNTrajRec (Ours)".into(),
+            MethodSpec::RnTrajRecWoGrl => "w/o GRL".into(),
+            MethodSpec::RnTrajRecWoGf => "w/o GF".into(),
+            MethodSpec::RnTrajRecWoGat => "w/o GAT".into(),
+            MethodSpec::RnTrajRecWoGn => "w/o GN".into(),
+            MethodSpec::RnTrajRecWoGcl => "w/o GCL".into(),
+            MethodSpec::RnTrajRecNoMask => "w/o Mask".into(),
+            MethodSpec::RnTrajRecBackbone(b) => format!("GridGNN->{b:?}"),
+            MethodSpec::RnTrajRecPlainGnn(b) => format!("{b:?} (no grid)"),
+            MethodSpec::RnTrajRecN(n) => format!("RNTrajRec (N={n})"),
+            MethodSpec::RnTrajRecWoGrlN(n) => format!("RNTrajRec* (N={n})"),
+        }
+    }
+
+    /// The nine Table III rows, in the paper's order.
+    pub fn table3() -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::LinearHmm,
+            MethodSpec::DhtrHmm,
+            MethodSpec::T2vec,
+            MethodSpec::Transformer,
+            MethodSpec::MTrajRec,
+            MethodSpec::T3s,
+            MethodSpec::Gts,
+            MethodSpec::NeuTraj,
+            MethodSpec::RnTrajRec,
+        ]
+    }
+
+    /// The Table V ablation rows.
+    pub fn table5() -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::RnTrajRecWoGrl,
+            MethodSpec::RnTrajRecWoGf,
+            MethodSpec::RnTrajRecWoGat,
+            MethodSpec::RnTrajRecWoGn,
+            MethodSpec::RnTrajRecWoGcl,
+            MethodSpec::RnTrajRec,
+        ]
+    }
+
+    /// Is this a learned, end-to-end "A + Decoder" method?
+    pub fn is_end_to_end(&self) -> bool {
+        !matches!(self, MethodSpec::LinearHmm | MethodSpec::DhtrHmm)
+    }
+}
+
+/// An encoder + the shared decoder + its parameters and loss weights.
+pub struct EndToEnd {
+    pub store: ParamStore,
+    pub encoder: Box<dyn TrajEncoder>,
+    pub decoder: Decoder,
+    /// λ₁ (rate loss weight; paper: 10).
+    pub lambda1: f32,
+    /// λ₂ (graph classification loss weight; paper: 0.1; 0 disables).
+    pub lambda2: f32,
+    pub name: String,
+}
+
+impl EndToEnd {
+    /// Build the model for an end-to-end [`MethodSpec`].
+    ///
+    /// # Panics
+    /// Panics for the two-stage specs (`LinearHmm`, `DhtrHmm`) — those are
+    /// handled by [`crate::twostage`].
+    pub fn build(
+        spec: &MethodSpec,
+        net: &RoadNetwork,
+        grid: &GridSpec,
+        dim: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(spec.is_end_to_end(), "{spec:?} is a two-stage method");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let cells = grid.num_cells();
+        let heads = if dim % 4 == 0 { 4 } else { 2 };
+        let mut lambda2 = 0.1;
+        let mut use_mask = true;
+
+        let encoder: Box<dyn TrajEncoder> = match spec {
+            MethodSpec::T2vec => {
+                lambda2 = 0.0;
+                Box::new(T2vecEncoder::new(&mut store, &mut rng, cells, dim))
+            }
+            MethodSpec::Transformer => {
+                lambda2 = 0.0;
+                Box::new(TransformerBaseline::new(&mut store, &mut rng, cells, dim, 2, heads))
+            }
+            MethodSpec::MTrajRec => {
+                lambda2 = 0.0;
+                Box::new(MTrajRecEncoder::new(&mut store, &mut rng, cells, dim))
+            }
+            MethodSpec::T3s => {
+                lambda2 = 0.0;
+                Box::new(T3sEncoder::new(&mut store, &mut rng, cells, dim, heads))
+            }
+            MethodSpec::Gts => {
+                lambda2 = 0.0;
+                Box::new(GtsEncoder::new(&mut store, &mut rng, net, dim))
+            }
+            MethodSpec::NeuTraj => {
+                lambda2 = 0.0;
+                Box::new(NeuTrajEncoder::new(
+                    &mut store,
+                    &mut rng,
+                    grid.cols as usize,
+                    grid.rows as usize,
+                    dim,
+                ))
+            }
+            MethodSpec::RnTrajRec
+            | MethodSpec::RnTrajRecWoGrl
+            | MethodSpec::RnTrajRecWoGf
+            | MethodSpec::RnTrajRecWoGat
+            | MethodSpec::RnTrajRecWoGn
+            | MethodSpec::RnTrajRecWoGcl
+            | MethodSpec::RnTrajRecNoMask
+            | MethodSpec::RnTrajRecBackbone(_)
+            | MethodSpec::RnTrajRecPlainGnn(_)
+            | MethodSpec::RnTrajRecN(_)
+            | MethodSpec::RnTrajRecWoGrlN(_) => {
+                let mut cfg = RnTrajRecConfig::small(dim);
+                match spec {
+                    MethodSpec::RnTrajRecWoGrl => cfg.use_grl = false,
+                    MethodSpec::RnTrajRecWoGf => cfg.grl.gated_fusion = false,
+                    MethodSpec::RnTrajRecWoGat => cfg.grl.gat = false,
+                    MethodSpec::RnTrajRecWoGn => cfg.grl.graph_norm = false,
+                    MethodSpec::RnTrajRecWoGcl => lambda2 = 0.0,
+                    MethodSpec::RnTrajRecNoMask => use_mask = false,
+                    MethodSpec::RnTrajRecBackbone(b) => cfg.gridgnn.backbone = *b,
+                    MethodSpec::RnTrajRecPlainGnn(b) => {
+                        cfg.gridgnn.backbone = *b;
+                        cfg.gridgnn.use_grid = false;
+                    }
+                    MethodSpec::RnTrajRecN(n) => cfg.n_blocks = *n,
+                    MethodSpec::RnTrajRecWoGrlN(n) => {
+                        cfg.n_blocks = *n;
+                        cfg.use_grl = false;
+                    }
+                    _ => {}
+                }
+                if matches!(spec, MethodSpec::RnTrajRecWoGrl | MethodSpec::RnTrajRecWoGrlN(_)) {
+                    lambda2 = 0.0; // no graph output to classify
+                }
+                Box::new(RnTrajRecEncoder::new(&mut store, &mut rng, net, grid, cfg))
+            }
+            MethodSpec::LinearHmm | MethodSpec::DhtrHmm => unreachable!(),
+        };
+        let decoder = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig { dim, num_segments: net.num_segments(), use_mask },
+        );
+        EndToEnd { store, encoder, decoder, lambda1: 10.0, lambda2, name: spec.label() }
+    }
+
+    /// Number of learnable scalars (Fig. 6's "#Para").
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Total batch loss `Σ_samples (L_id + λ₁·L_rate) + λ₂·L_enc` on the
+    /// tape (full teacher forcing).
+    pub fn batch_loss(
+        &self,
+        tape: &mut Tape,
+        batch: &[&SampleInput],
+        rng: &mut StdRng,
+    ) -> NodeId {
+        self.batch_loss_scheduled(tape, batch, 1.0, rng)
+    }
+
+    /// Batch loss with scheduled sampling: each decoder step conditions on
+    /// the ground truth with probability `tf_prob`, otherwise on the
+    /// model's own prediction (exposure-bias mitigation; observed steps
+    /// always use the truth — they are given in the input).
+    pub fn batch_loss_scheduled(
+        &self,
+        tape: &mut Tape,
+        batch: &[&SampleInput],
+        tf_prob: f32,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        use rand::Rng;
+        let enc = self.encoder.encode(tape, &self.store, batch, true, rng);
+        let mut id_terms = Vec::new();
+        let mut rate_terms = Vec::new();
+        for (out, sample) in enc.outputs.iter().zip(batch) {
+            let observed: std::collections::HashSet<usize> =
+                sample.obs_step.iter().copied().collect();
+            let run = self.decoder.run_scheduled(tape, &self.store, out, sample, |j| {
+                observed.contains(&j) || tf_prob >= 1.0 || rng.gen::<f32>() < tf_prob
+            });
+            for (j, (&lp, &rate)) in run.logps.iter().zip(&run.rates).enumerate() {
+                let picked = tape.select_cols(lp, sample.target_segs[j], 1);
+                id_terms.push(tape.scale(picked, -1.0));
+                let target = tape.leaf(rntrajrec_nn::Tensor::scalar(sample.target_rates[j]));
+                let diff = tape.sub(rate, target);
+                rate_terms.push(tape.mul(diff, diff));
+            }
+        }
+        let id_all = tape.concat_rows(&id_terms);
+        let l_id = tape.mean_all(id_all);
+        let rate_all = tape.concat_rows(&rate_terms);
+        let l_rate = tape.mean_all(rate_all);
+        let l_rate = tape.scale(l_rate, self.lambda1);
+        let mut total = tape.add(l_id, l_rate);
+        if self.lambda2 > 0.0 {
+            if let Some(aux) = enc.aux_loss {
+                let aux = tape.scale(aux, self.lambda2);
+                total = tape.add(total, aux);
+            }
+        }
+        total
+    }
+
+    /// Greedy inference: predicted `(segment, rate)` per target step.
+    pub fn predict(&self, input: &SampleInput, rng: &mut StdRng) -> Vec<(usize, f32)> {
+        let mut tape = Tape::new();
+        let enc = self.encoder.encode(&mut tape, &self.store, &[input], false, rng);
+        let run = self.decoder.run(&mut tape, &self.store, &enc.outputs[0], input, false);
+        run.preds
+            .iter()
+            .zip(&run.rates)
+            .map(|(&seg, &rate)| (seg, tape.value(rate).item()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rntrajrec_models::FeatureExtractor;
+    use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
+    use rntrajrec_synth::{SimConfig, Simulator};
+
+    fn fixture() -> (SyntheticCity, Vec<SampleInput>, GridSpec) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        let grid = city.net.grid(50.0);
+        let fx = FeatureExtractor::new(&city.net, &rtree, grid);
+        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 9, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(3);
+        let inputs = (0..3).map(|_| fx.extract(&sim.sample(&mut rng, 8))).collect();
+        (city, inputs, grid)
+    }
+
+    #[test]
+    fn every_end_to_end_method_builds_and_losses() {
+        let (city, inputs, grid) = fixture();
+        let refs: Vec<&SampleInput> = inputs.iter().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for spec in MethodSpec::table3().into_iter().filter(|s| s.is_end_to_end()) {
+            let model = EndToEnd::build(&spec, &city.net, &grid, 16, 7);
+            let mut tape = Tape::new();
+            let loss = model.batch_loss(&mut tape, &refs, &mut rng);
+            let v = tape.value(loss).item();
+            assert!(v.is_finite() && v > 0.0, "{}: loss {v}", model.name);
+        }
+    }
+
+    #[test]
+    fn ablation_variants_build() {
+        let (city, inputs, grid) = fixture();
+        let refs: Vec<&SampleInput> = inputs.iter().collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        for spec in MethodSpec::table5() {
+            let model = EndToEnd::build(&spec, &city.net, &grid, 16, 7);
+            let mut tape = Tape::new();
+            let loss = model.batch_loss(&mut tape, &refs[..1], &mut rng);
+            assert!(tape.value(loss).item().is_finite(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn predictions_have_target_length_and_valid_values() {
+        let (city, inputs, grid) = fixture();
+        let model = EndToEnd::build(&MethodSpec::MTrajRec, &city.net, &grid, 16, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let preds = model.predict(&inputs[0], &mut rng);
+        assert_eq!(preds.len(), inputs[0].target_len());
+        for &(seg, rate) in &preds {
+            assert!(seg < city.net.num_segments());
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn rntrajrec_has_more_params_than_mtrajrec() {
+        // Fig. 6: RNTrajRec is the largest model in the comparison.
+        let (city, _, grid) = fixture();
+        let rn = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
+        let mt = EndToEnd::build(&MethodSpec::MTrajRec, &city.net, &grid, 16, 7);
+        assert!(rn.num_params() > mt.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "two-stage")]
+    fn two_stage_specs_cannot_build_end_to_end() {
+        let (city, _, grid) = fixture();
+        let _ = EndToEnd::build(&MethodSpec::LinearHmm, &city.net, &grid, 16, 7);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = MethodSpec::table3().iter().map(|s| s.label()).collect();
+        labels.extend(MethodSpec::table5().iter().map(|s| s.label()));
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        // table5 contains RnTrajRec which is also in table3.
+        assert_eq!(labels.len(), n - 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Axis-aligned bounding boxes in the local planar frame.
+
+use crate::XY;
+
+/// Axis-aligned bounding box in metres (local planar frame).
+///
+/// Used by the R-tree in `rntrajrec-roadnet` and by range queries during
+/// sub-graph generation (Section IV-C: "locate the road segments within at
+/// most δ meters away from p").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// An "empty" box that unions correctly with anything.
+    pub fn empty() -> Self {
+        Self {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn from_point(p: &XY) -> Self {
+        Self { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+    }
+
+    pub fn from_points<'a, I: IntoIterator<Item = &'a XY>>(points: I) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.expand_point(p);
+        }
+        b
+    }
+
+    /// Grow in place to contain `p`.
+    pub fn expand_point(&mut self, p: &XY) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Grow in place to contain `other`.
+    pub fn expand(&mut self, other: &BBox) {
+        self.min_x = self.min_x.min(other.min_x);
+        self.min_y = self.min_y.min(other.min_y);
+        self.max_x = self.max_x.max(other.max_x);
+        self.max_y = self.max_y.max(other.max_y);
+    }
+
+    /// Box inflated by `margin` metres on every side.
+    pub fn inflated(&self, margin: f64) -> BBox {
+        BBox {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    pub fn center(&self) -> XY {
+        XY::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    pub fn contains(&self, p: &XY) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_x <= other.max_x
+            && self.max_x >= other.min_x
+            && self.min_y <= other.max_y
+            && self.max_y >= other.min_y
+    }
+
+    /// Minimum distance from `p` to this box (0 if inside).
+    pub fn dist_to_point(&self, p: &XY) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Area of the union box minus own area — the R-tree insertion heuristic.
+    pub fn enlargement(&self, other: &BBox) -> f64 {
+        let mut u = *self;
+        u.expand(other);
+        u.area() - self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BBox {
+        BBox::from_points([XY::new(0.0, 0.0), XY::new(10.0, 5.0)].iter())
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let b = sample();
+        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (0.0, 0.0, 10.0, 5.0));
+        assert!(b.contains(&XY::new(5.0, 2.5)));
+        assert!(!b.contains(&XY::new(-1.0, 2.5)));
+    }
+
+    #[test]
+    fn empty_unions_correctly() {
+        let mut e = BBox::empty();
+        e.expand(&sample());
+        assert_eq!(e, sample());
+        assert_eq!(BBox::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let b = sample();
+        let far = BBox::from_point(&XY::new(100.0, 100.0));
+        let touching = BBox::from_points([XY::new(10.0, 5.0), XY::new(20.0, 9.0)].iter());
+        assert!(!b.intersects(&far));
+        assert!(b.intersects(&touching));
+        assert!(b.intersects(&b));
+    }
+
+    #[test]
+    fn dist_to_point_inside_is_zero() {
+        let b = sample();
+        assert_eq!(b.dist_to_point(&XY::new(3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn dist_to_point_outside() {
+        let b = sample();
+        // 3 m right of the box, aligned vertically.
+        assert!((b.dist_to_point(&XY::new(13.0, 2.0)) - 3.0).abs() < 1e-12);
+        // Diagonal corner distance.
+        let d = b.dist_to_point(&XY::new(13.0, 9.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflation_grows_symmetrically() {
+        let b = sample().inflated(2.0);
+        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (-2.0, -2.0, 12.0, 7.0));
+    }
+
+    #[test]
+    fn enlargement_zero_for_contained() {
+        let b = sample();
+        let inner = BBox::from_point(&XY::new(1.0, 1.0));
+        assert_eq!(b.enlargement(&inner), 0.0);
+        assert!(inner.enlargement(&b) > 0.0);
+    }
+}

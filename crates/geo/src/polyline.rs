@@ -1,0 +1,244 @@
+//! Polylines (road-segment geometry) and point-to-segment projection.
+
+use crate::{BBox, XY};
+
+/// The result of projecting a point onto a single line segment or polyline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentProjection {
+    /// Closest point on the geometry.
+    pub point: XY,
+    /// Distance from the query point to `point`, in metres.
+    pub dist: f64,
+    /// Fraction of the *total geometry length* at which `point` lies,
+    /// in `[0, 1]`. This is exactly the paper's *moving ratio* `r_j`
+    /// (Definition 2) when the geometry is a road segment.
+    pub frac: f64,
+}
+
+/// A point expressed as a position along a polyline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointOnPolyline {
+    pub point: XY,
+    /// Metres travelled from the start of the polyline.
+    pub offset_m: f64,
+}
+
+/// Project `p` onto the segment `a -> b`.
+///
+/// Returns the closest point, its distance to `p` and the clamped parameter
+/// `t ∈ [0,1]` along the segment.
+pub fn project_on_segment(p: &XY, a: &XY, b: &XY) -> (XY, f64, f64) {
+    let ab = *b - *a;
+    let len2 = ab.x * ab.x + ab.y * ab.y;
+    let t = if len2 <= f64::EPSILON {
+        0.0
+    } else {
+        (((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / len2).clamp(0.0, 1.0)
+    };
+    let q = a.lerp(b, t);
+    (q, p.dist(&q), t)
+}
+
+/// A piecewise-linear curve in the local planar frame.
+///
+/// Road-segment geometry in `rntrajrec-roadnet` is stored as a `Polyline`.
+/// Guaranteed to contain at least two vertices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    points: Vec<XY>,
+    /// Cumulative length up to each vertex; `cum[0] == 0`,
+    /// `cum[n-1] == total length`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Build a polyline from at least two vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are supplied.
+    pub fn new(points: Vec<XY>) -> Self {
+        assert!(points.len() >= 2, "polyline needs at least two vertices");
+        let mut cum = Vec::with_capacity(points.len());
+        cum.push(0.0);
+        for w in points.windows(2) {
+            let d = w[0].dist(&w[1]);
+            cum.push(cum.last().unwrap() + d);
+        }
+        Self { points, cum }
+    }
+
+    /// Straight segment between two points.
+    pub fn segment(a: XY, b: XY) -> Self {
+        Self::new(vec![a, b])
+    }
+
+    pub fn points(&self) -> &[XY] {
+        &self.points
+    }
+
+    pub fn first(&self) -> XY {
+        self.points[0]
+    }
+
+    pub fn last(&self) -> XY {
+        *self.points.last().unwrap()
+    }
+
+    /// Total length in metres.
+    pub fn length(&self) -> f64 {
+        *self.cum.last().unwrap()
+    }
+
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.points.iter())
+    }
+
+    /// Point at `offset_m` metres from the start (clamped to the ends).
+    pub fn point_at_offset(&self, offset_m: f64) -> XY {
+        let total = self.length();
+        if total <= 0.0 {
+            return self.points[0];
+        }
+        let off = offset_m.clamp(0.0, total);
+        // Binary search for the segment containing `off`.
+        let i = match self.cum.binary_search_by(|c| c.partial_cmp(&off).unwrap()) {
+            Ok(i) => i.min(self.points.len() - 2),
+            Err(i) => i.saturating_sub(1).min(self.points.len() - 2),
+        };
+        let seg_len = self.cum[i + 1] - self.cum[i];
+        let t = if seg_len <= f64::EPSILON { 0.0 } else { (off - self.cum[i]) / seg_len };
+        self.points[i].lerp(&self.points[i + 1], t)
+    }
+
+    /// Point at fraction `frac ∈ [0,1]` of the total length — the paper's
+    /// moving-ratio-to-location mapping (`r_j = 0.5` is the midpoint).
+    pub fn point_at_fraction(&self, frac: f64) -> XY {
+        self.point_at_offset(frac.clamp(0.0, 1.0) * self.length())
+    }
+
+    /// Project `p` onto the polyline: closest point over all segments.
+    pub fn project(&self, p: &XY) -> SegmentProjection {
+        let mut best = SegmentProjection { point: self.points[0], dist: f64::INFINITY, frac: 0.0 };
+        let total = self.length().max(f64::EPSILON);
+        for i in 0..self.points.len() - 1 {
+            let (q, d, t) = project_on_segment(p, &self.points[i], &self.points[i + 1]);
+            if d < best.dist {
+                let off = self.cum[i] + t * (self.cum[i + 1] - self.cum[i]);
+                best = SegmentProjection { point: q, dist: d, frac: (off / total).clamp(0.0, 1.0) };
+            }
+        }
+        best
+    }
+
+    /// Walk the polyline emitting a point every `step_m` metres (including
+    /// both endpoints). Used by the trajectory simulator for dense sampling.
+    pub fn sample_every(&self, step_m: f64) -> Vec<PointOnPolyline> {
+        assert!(step_m > 0.0, "step must be positive");
+        let total = self.length();
+        let mut out = Vec::with_capacity((total / step_m) as usize + 2);
+        let mut off = 0.0;
+        while off < total {
+            out.push(PointOnPolyline { point: self.point_at_offset(off), offset_m: off });
+            off += step_m;
+        }
+        out.push(PointOnPolyline { point: self.last(), offset_m: total });
+        out
+    }
+
+    /// Reversed copy (for modelling two-way roads as paired directed segments).
+    pub fn reversed(&self) -> Polyline {
+        let mut pts = self.points.clone();
+        pts.reverse();
+        Polyline::new(pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polyline {
+        // 100 m east then 50 m north.
+        Polyline::new(vec![XY::new(0.0, 0.0), XY::new(100.0, 0.0), XY::new(100.0, 50.0)])
+    }
+
+    #[test]
+    fn length_is_sum_of_segments() {
+        assert_eq!(l_shape().length(), 150.0);
+        assert_eq!(Polyline::segment(XY::new(0.0, 0.0), XY::new(3.0, 4.0)).length(), 5.0);
+    }
+
+    #[test]
+    fn point_at_offset_interpolates() {
+        let l = l_shape();
+        assert_eq!(l.point_at_offset(0.0), XY::new(0.0, 0.0));
+        assert_eq!(l.point_at_offset(50.0), XY::new(50.0, 0.0));
+        assert_eq!(l.point_at_offset(125.0), XY::new(100.0, 25.0));
+        assert_eq!(l.point_at_offset(150.0), XY::new(100.0, 50.0));
+        // Clamping beyond the ends.
+        assert_eq!(l.point_at_offset(-10.0), XY::new(0.0, 0.0));
+        assert_eq!(l.point_at_offset(1e9), XY::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn fraction_and_offset_agree() {
+        let l = l_shape();
+        assert_eq!(l.point_at_fraction(0.5), l.point_at_offset(75.0));
+    }
+
+    #[test]
+    fn project_onto_interior() {
+        let l = l_shape();
+        let pr = l.project(&XY::new(30.0, 7.0));
+        assert_eq!(pr.point, XY::new(30.0, 0.0));
+        assert!((pr.dist - 7.0).abs() < 1e-12);
+        assert!((pr.frac - 30.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_clamps_to_endpoints() {
+        let l = l_shape();
+        let pr = l.project(&XY::new(-5.0, -5.0));
+        assert_eq!(pr.point, XY::new(0.0, 0.0));
+        assert_eq!(pr.frac, 0.0);
+        let pr = l.project(&XY::new(120.0, 80.0));
+        assert_eq!(pr.point, XY::new(100.0, 50.0));
+        assert_eq!(pr.frac, 1.0);
+    }
+
+    #[test]
+    fn project_picks_nearest_of_two_arms() {
+        let l = l_shape();
+        // Near the vertical arm.
+        let pr = l.project(&XY::new(96.0, 30.0));
+        assert_eq!(pr.point, XY::new(100.0, 30.0));
+    }
+
+    #[test]
+    fn sample_every_covers_ends() {
+        let l = l_shape();
+        let samples = l.sample_every(40.0);
+        assert_eq!(samples.first().unwrap().offset_m, 0.0);
+        assert_eq!(samples.last().unwrap().offset_m, 150.0);
+        assert_eq!(samples.last().unwrap().point, XY::new(100.0, 50.0));
+        // 0,40,80,120 + final -> 5 points
+        assert_eq!(samples.len(), 5);
+    }
+
+    #[test]
+    fn reversed_preserves_length() {
+        let l = l_shape();
+        let r = l.reversed();
+        assert_eq!(r.length(), l.length());
+        assert_eq!(r.first(), l.last());
+        assert_eq!(r.last(), l.first());
+    }
+
+    #[test]
+    fn degenerate_segment_projection() {
+        let (q, d, t) = project_on_segment(&XY::new(1.0, 1.0), &XY::new(0.0, 0.0), &XY::new(0.0, 0.0));
+        assert_eq!(q, XY::new(0.0, 0.0));
+        assert!((d - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Newson–Krumm HMM map matching ([14] in the paper).
+//!
+//! Candidates come from the R-tree within `candidate_radius_m` of each raw
+//! point. Emission probability is a zero-mean Gaussian of the point-to-
+//! segment distance; transition probability is exponential in the absolute
+//! difference between route distance and great-circle distance; decoding is
+//! Viterbi in log space. Follows the original paper's parameterisation
+//! (σ_z from GPS noise, β from route-circuitousness statistics).
+
+use rntrajrec_geo::XY;
+use rntrajrec_roadnet::{RTree, RadiusHit, RoadNetwork, RoadPosition, ShortestPaths};
+use rntrajrec_synth::{MatchedPoint, MatchedTrajectory, RawTrajectory};
+
+/// Parameters of the HMM matcher.
+#[derive(Debug, Clone)]
+pub struct HmmConfig {
+    /// Emission (GPS) noise standard deviation σ_z, metres.
+    pub sigma_z_m: f64,
+    /// Transition scale β, metres.
+    pub beta_m: f64,
+    /// Candidate search radius, metres.
+    pub candidate_radius_m: f64,
+    /// Max candidates per point (nearest first).
+    pub max_candidates: usize,
+    /// Route-length search cap per candidate pair, as a multiple of the
+    /// great-circle distance (plus a constant floor).
+    pub route_cap_factor: f64,
+}
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        Self {
+            sigma_z_m: 15.0,
+            beta_m: 30.0,
+            candidate_radius_m: 120.0,
+            max_candidates: 12,
+            route_cap_factor: 6.0,
+        }
+    }
+}
+
+/// HMM map matcher bound to one road network + spatial index.
+pub struct HmmMatcher<'a> {
+    net: &'a RoadNetwork,
+    rtree: &'a RTree,
+    sp: ShortestPaths,
+    pub config: HmmConfig,
+}
+
+impl<'a> HmmMatcher<'a> {
+    pub fn new(net: &'a RoadNetwork, rtree: &'a RTree, config: HmmConfig) -> Self {
+        Self { net, rtree, sp: ShortestPaths::new(net), config }
+    }
+
+    /// Viterbi-decode the most likely `(segment, ratio)` sequence for `raw`.
+    ///
+    /// Points with no candidate within the radius fall back to the globally
+    /// nearest segment. A transition with no feasible route is allowed at a
+    /// large fixed penalty (Newson–Krumm's "broken" case) so the decoder
+    /// always returns a full-length trajectory.
+    pub fn match_trajectory(&mut self, raw: &RawTrajectory) -> MatchedTrajectory {
+        assert!(!raw.is_empty(), "cannot match an empty trajectory");
+        let cands: Vec<Vec<RadiusHit>> =
+            raw.points.iter().map(|p| self.candidates(&p.xy)).collect();
+
+        const BROKEN: f64 = -1.0e4;
+        let emit = |hit: &RadiusHit| -> f64 {
+            let z = hit.projection.dist / self.config.sigma_z_m;
+            -0.5 * z * z
+        };
+
+        // Viterbi tables.
+        let mut score: Vec<Vec<f64>> = Vec::with_capacity(cands.len());
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(cands.len());
+        score.push(cands[0].iter().map(emit).collect());
+        back.push(vec![0; cands[0].len()]);
+
+        for i in 1..cands.len() {
+            let gc = raw.points[i - 1].xy.dist(&raw.points[i].xy);
+            let cap = self.config.route_cap_factor * gc + 2_000.0;
+            let prev = &cands[i - 1];
+            let cur = &cands[i];
+            let mut col = vec![f64::NEG_INFINITY; cur.len()];
+            let mut bk = vec![0usize; cur.len()];
+            // One bounded Dijkstra per previous candidate.
+            for (pi, pc) in prev.iter().enumerate() {
+                let base = score[i - 1][pi];
+                if base <= f64::NEG_INFINITY / 2.0 {
+                    continue;
+                }
+                self.sp.run(self.net, pc.seg, None, cap);
+                for (ci, cc) in cur.iter().enumerate() {
+                    let route = self.route_dist(pc, cc);
+                    let trans = match route {
+                        Some(d) => -((d - gc).abs() / self.config.beta_m),
+                        None => BROKEN,
+                    };
+                    let s = base + trans + emit(cc);
+                    if s > col[ci] {
+                        col[ci] = s;
+                        bk[ci] = pi;
+                    }
+                }
+            }
+            score.push(col);
+            back.push(bk);
+        }
+
+        // Backtrack.
+        let n = cands.len();
+        let mut idx = (0..score[n - 1].len())
+            .max_by(|&a, &b| score[n - 1][a].total_cmp(&score[n - 1][b]))
+            .unwrap_or(0);
+        let mut order = vec![0usize; n];
+        for i in (0..n).rev() {
+            order[i] = idx;
+            idx = back[i][idx];
+        }
+
+        MatchedTrajectory {
+            points: raw
+                .points
+                .iter()
+                .zip(order.iter().enumerate())
+                .map(|(p, (i, &ci))| {
+                    let hit = &cands[i][ci];
+                    MatchedPoint {
+                        pos: RoadPosition::new(hit.seg, hit.projection.frac),
+                        t: p.t,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn candidates(&self, p: &XY) -> Vec<RadiusHit> {
+        let mut hits = self.rtree.within_radius(self.net, p, self.config.candidate_radius_m);
+        hits.truncate(self.config.max_candidates);
+        if hits.is_empty() {
+            // Fallback: globally nearest segment keeps the chain alive.
+            hits.extend(self.rtree.nearest(self.net, p));
+        }
+        hits
+    }
+
+    /// Directed route distance between candidate positions using the
+    /// distances of the Dijkstra run currently loaded in `self.sp`
+    /// (source = `from.seg`).
+    fn route_dist(&self, from: &RadiusHit, to: &RadiusHit) -> Option<f64> {
+        let from_pos = RoadPosition::new(from.seg, from.projection.frac);
+        let to_pos = RoadPosition::new(to.seg, to.projection.frac);
+        if from.seg == to.seg && to_pos.frac >= from_pos.frac {
+            return Some((to_pos.frac - from_pos.frac) * self.net.segment(from.seg).length());
+        }
+        let gap = self.sp.gap_m(to.seg)?;
+        Some(from_pos.remaining_m(self.net) + gap + to_pos.offset_m(self.net))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rntrajrec_roadnet::{CityConfig, SegmentId, SyntheticCity};
+    use rntrajrec_synth::{RawPoint, SimConfig, Simulator};
+
+    fn setup() -> (SyntheticCity, RTree) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        (city, rtree)
+    }
+
+    /// Segment-level accuracy of a match against ground truth.
+    fn accuracy(got: &MatchedTrajectory, truth: &MatchedTrajectory) -> f64 {
+        let hits = got
+            .points
+            .iter()
+            .zip(&truth.points)
+            .filter(|(a, b)| a.pos.seg == b.pos.seg)
+            .count();
+        hits as f64 / truth.points.len() as f64
+    }
+
+    #[test]
+    fn noise_free_dense_trace_is_recovered_exactly() {
+        let (city, rtree) = setup();
+        let cfg = SimConfig { gps_noise_std_m: 0.0, ..SimConfig::default() };
+        let mut sim = Simulator::new(&city.net, cfg);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
+        for origin in [SegmentId(0), city.elevated[0]] {
+            let s = sim.sample_dense(&mut rng, origin);
+            let got = matcher.match_trajectory(&s.raw);
+            let acc = accuracy(&got, &s.target);
+            assert!(acc > 0.95, "noise-free accuracy {acc} from {origin}");
+        }
+    }
+
+    #[test]
+    fn noisy_dense_trace_is_mostly_recovered() {
+        let (city, rtree) = setup();
+        let cfg = SimConfig { gps_noise_std_m: 10.0, ..SimConfig::default() };
+        let mut sim = Simulator::new(&city.net, cfg);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
+        let mut total = 0.0;
+        let n = 5;
+        for i in 0..n {
+            let s = sim.sample_dense(&mut rng, SegmentId(i * 7));
+            let got = matcher.match_trajectory(&s.raw);
+            total += accuracy(&got, &s.target);
+        }
+        let mean = total / n as f64;
+        assert!(mean > 0.7, "mean noisy accuracy {mean}");
+    }
+
+    #[test]
+    fn output_preserves_timestamps_and_length() {
+        let (city, rtree) = setup();
+        let mut sim = Simulator::new(&city.net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = sim.sample_dense(&mut rng, SegmentId(3));
+        let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
+        let got = matcher.match_trajectory(&s.raw);
+        assert_eq!(got.len(), s.raw.len());
+        for (g, r) in got.points.iter().zip(&s.raw.points) {
+            assert_eq!(g.t, r.t);
+        }
+    }
+
+    #[test]
+    fn far_away_point_falls_back_to_nearest() {
+        let (city, rtree) = setup();
+        let raw = RawTrajectory {
+            points: vec![RawPoint { xy: XY::new(-5_000.0, -5_000.0), t: 0.0 }],
+        };
+        let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
+        let got = matcher.match_trajectory(&raw);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn transitions_prefer_route_consistency() {
+        // Two points along the same street must match to connected
+        // segments, not to a parallel street.
+        let (city, rtree) = setup();
+        let seg = city.net.segment(SegmentId(0));
+        let a = seg.geometry.point_at_fraction(0.3);
+        let b = seg.geometry.point_at_fraction(0.9);
+        let raw = RawTrajectory {
+            points: vec![RawPoint { xy: a, t: 0.0 }, RawPoint { xy: b, t: 12.0 }],
+        };
+        let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
+        let got = matcher.match_trajectory(&raw);
+        assert_eq!(got.points[0].pos.seg, got.points[1].pos.seg);
+    }
+
+    #[test]
+    fn linear_hmm_pipeline_runs_end_to_end() {
+        let (city, rtree) = setup();
+        let mut sim = Simulator::new(&city.net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(14);
+        let s = sim.sample(&mut rng, 8);
+        let got = crate::linear_hmm(
+            &city.net,
+            &rtree,
+            &s.raw,
+            12.0,
+            s.target.len(),
+            &HmmConfig::default(),
+        );
+        assert_eq!(got.len(), s.target.len());
+        // It should still beat random: some points correct.
+        let acc = accuracy(&got, &s.target);
+        assert!(acc > 0.05, "linear+hmm accuracy {acc}");
+    }
+}

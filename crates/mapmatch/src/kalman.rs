@@ -1,0 +1,306 @@
+//! Constant-velocity Kalman filter + RTS smoother (for the DHTR baseline).
+//!
+//! DHTR [19] refines the seq2seq-predicted dense trajectory with a Kalman
+//! filter before map matching. The paper cites Kalman (1960) without more
+//! detail, so we use the standard 2-D constant-velocity model:
+//! state `[x, y, vx, vy]`, position observations, white-noise acceleration.
+
+use rntrajrec_geo::XY;
+
+/// 4-state constant-velocity Kalman smoother over planar positions.
+#[derive(Debug, Clone)]
+pub struct KalmanSmoother {
+    /// Process noise spectral density (m²/s³); larger = trusts motion less.
+    pub process_noise: f64,
+    /// Observation noise standard deviation (m).
+    pub obs_noise_std: f64,
+}
+
+impl Default for KalmanSmoother {
+    fn default() -> Self {
+        Self { process_noise: 1.0, obs_noise_std: 15.0 }
+    }
+}
+
+type Vec4 = [f64; 4];
+type Mat4 = [[f64; 4]; 4];
+
+impl KalmanSmoother {
+    /// Forward filter + Rauch–Tung–Striebel backward smoother.
+    ///
+    /// `dt` is the (uniform) sampling interval. Returns smoothed positions;
+    /// inputs of length < 3 are returned unchanged (nothing to smooth).
+    pub fn smooth(&self, points: &[XY], dt: f64) -> Vec<XY> {
+        if points.len() < 3 {
+            return points.to_vec();
+        }
+        let n = points.len();
+        let f = transition(dt);
+        let q = process_cov(dt, self.process_noise);
+        let r = self.obs_noise_std * self.obs_noise_std;
+
+        // Forward pass, storing predicted & filtered (mean, cov).
+        let mut xs_pred: Vec<Vec4> = Vec::with_capacity(n);
+        let mut ps_pred: Vec<Mat4> = Vec::with_capacity(n);
+        let mut xs_filt: Vec<Vec4> = Vec::with_capacity(n);
+        let mut ps_filt: Vec<Mat4> = Vec::with_capacity(n);
+
+        let mut x: Vec4 = [points[0].x, points[0].y, 0.0, 0.0];
+        let mut p: Mat4 = diag([r, r, 100.0, 100.0]);
+        for (i, z) in points.iter().enumerate() {
+            let (x_pred, p_pred) = if i == 0 {
+                (x, p)
+            } else {
+                let xp = mat_vec(&f, &x);
+                let pp = mat_add(&mat_mul(&mat_mul(&f, &p), &transpose(&f)), &q);
+                (xp, pp)
+            };
+            xs_pred.push(x_pred);
+            ps_pred.push(p_pred);
+
+            // Update with position observation H = [I2 0].
+            let s = [
+                [p_pred[0][0] + r, p_pred[0][1]],
+                [p_pred[1][0], p_pred[1][1] + r],
+            ];
+            let s_inv = inv2(&s);
+            // K = P Hᵀ S⁻¹ (4×2).
+            let mut k = [[0.0; 2]; 4];
+            for a in 0..4 {
+                for b in 0..2 {
+                    k[a][b] = p_pred[a][0] * s_inv[0][b] + p_pred[a][1] * s_inv[1][b];
+                }
+            }
+            let innov = [z.x - x_pred[0], z.y - x_pred[1]];
+            for a in 0..4 {
+                x[a] = x_pred[a] + k[a][0] * innov[0] + k[a][1] * innov[1];
+            }
+            // P = (I - K H) P_pred.
+            let mut kh = [[0.0; 4]; 4];
+            for a in 0..4 {
+                kh[a][0] = k[a][0];
+                kh[a][1] = k[a][1];
+            }
+            let mut imkh = identity();
+            for a in 0..4 {
+                for b in 0..4 {
+                    imkh[a][b] -= kh[a][b];
+                }
+            }
+            p = mat_mul(&imkh, &p_pred);
+            xs_filt.push(x);
+            ps_filt.push(p);
+        }
+
+        // RTS backward pass.
+        let mut xs_smooth = xs_filt.clone();
+        let mut ps_smooth = ps_filt.clone();
+        for i in (0..n - 1).rev() {
+            // C = P_filt[i] Fᵀ P_pred[i+1]⁻¹.
+            let p_pred_inv = inv4(&ps_pred[i + 1]);
+            let c = mat_mul(&mat_mul(&ps_filt[i], &transpose(&f)), &p_pred_inv);
+            let dx: Vec4 = std::array::from_fn(|a| xs_smooth[i + 1][a] - xs_pred[i + 1][a]);
+            let corr = mat_vec(&c, &dx);
+            for a in 0..4 {
+                xs_smooth[i][a] = xs_filt[i][a] + corr[a];
+            }
+            let dp = mat_sub(&ps_smooth[i + 1], &ps_pred[i + 1]);
+            let cpct = mat_mul(&mat_mul(&c, &dp), &transpose(&c));
+            ps_smooth[i] = mat_add(&ps_filt[i], &cpct);
+        }
+        xs_smooth.iter().map(|x| XY::new(x[0], x[1])).collect()
+    }
+}
+
+fn transition(dt: f64) -> Mat4 {
+    let mut f = identity();
+    f[0][2] = dt;
+    f[1][3] = dt;
+    f
+}
+
+fn process_cov(dt: f64, q: f64) -> Mat4 {
+    // White-noise acceleration model.
+    let (dt2, dt3) = (dt * dt, dt * dt * dt);
+    let mut m = [[0.0; 4]; 4];
+    m[0][0] = q * dt3 / 3.0;
+    m[1][1] = q * dt3 / 3.0;
+    m[0][2] = q * dt2 / 2.0;
+    m[2][0] = q * dt2 / 2.0;
+    m[1][3] = q * dt2 / 2.0;
+    m[3][1] = q * dt2 / 2.0;
+    m[2][2] = q * dt;
+    m[3][3] = q * dt;
+    m
+}
+
+fn identity() -> Mat4 {
+    let mut m = [[0.0; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+fn diag(d: Vec4) -> Mat4 {
+    let mut m = [[0.0; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = d[i];
+    }
+    m
+}
+
+fn transpose(a: &Mat4) -> Mat4 {
+    let mut m = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            m[i][j] = a[j][i];
+        }
+    }
+    m
+}
+
+fn mat_mul(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut m = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for k in 0..4 {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..4 {
+                m[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    m
+}
+
+fn mat_add(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut m = *a;
+    for i in 0..4 {
+        for j in 0..4 {
+            m[i][j] += b[i][j];
+        }
+    }
+    m
+}
+
+fn mat_sub(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut m = *a;
+    for i in 0..4 {
+        for j in 0..4 {
+            m[i][j] -= b[i][j];
+        }
+    }
+    m
+}
+
+fn mat_vec(a: &Mat4, v: &Vec4) -> Vec4 {
+    std::array::from_fn(|i| (0..4).map(|j| a[i][j] * v[j]).sum())
+}
+
+fn inv2(s: &[[f64; 2]; 2]) -> [[f64; 2]; 2] {
+    let det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
+    let d = 1.0 / det;
+    [[s[1][1] * d, -s[0][1] * d], [-s[1][0] * d, s[0][0] * d]]
+}
+
+/// Gauss–Jordan inverse; covariance matrices here are well-conditioned.
+fn inv4(a: &Mat4) -> Mat4 {
+    let mut aug = [[0.0f64; 8]; 4];
+    for i in 0..4 {
+        aug[i][..4].copy_from_slice(&a[i]);
+        aug[i][4 + i] = 1.0;
+    }
+    for col in 0..4 {
+        // Partial pivot.
+        let pivot = (col..4)
+            .max_by(|&x, &y| aug[x][col].abs().total_cmp(&aug[y][col].abs()))
+            .unwrap();
+        aug.swap(col, pivot);
+        let d = aug[col][col];
+        for j in 0..8 {
+            aug[col][j] /= d;
+        }
+        for row in 0..4 {
+            if row != col {
+                let f = aug[row][col];
+                for j in 0..8 {
+                    aug[row][j] -= f * aug[col][j];
+                }
+            }
+        }
+    }
+    let mut out = [[0.0; 4]; 4];
+    for i in 0..4 {
+        out[i].copy_from_slice(&aug[i][4..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rntrajrec_synth::gauss;
+
+    #[test]
+    fn short_inputs_pass_through() {
+        let ks = KalmanSmoother::default();
+        let pts = vec![XY::new(0.0, 0.0), XY::new(1.0, 1.0)];
+        assert_eq!(ks.smooth(&pts, 1.0), pts);
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_on_straight_line() {
+        let ks = KalmanSmoother::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let dt = 10.0;
+        let speed = 12.0;
+        let truth: Vec<XY> = (0..40).map(|i| XY::new(i as f64 * speed * dt, 0.0)).collect();
+        let noisy: Vec<XY> =
+            truth.iter().map(|p| XY::new(p.x + 15.0 * gauss(&mut rng), p.y + 15.0 * gauss(&mut rng))).collect();
+        let smoothed = ks.smooth(&noisy, dt);
+        let rmse = |pts: &[XY]| {
+            (pts.iter().zip(&truth).map(|(a, b)| a.dist2(b)).sum::<f64>() / truth.len() as f64)
+                .sqrt()
+        };
+        assert!(
+            rmse(&smoothed) < 0.8 * rmse(&noisy),
+            "smoother should cut noise: {} vs {}",
+            rmse(&smoothed),
+            rmse(&noisy)
+        );
+    }
+
+    #[test]
+    fn noise_free_input_nearly_unchanged() {
+        let ks = KalmanSmoother { process_noise: 5.0, obs_noise_std: 5.0 };
+        let dt = 10.0;
+        let truth: Vec<XY> = (0..20).map(|i| XY::new(i as f64 * 100.0, 50.0)).collect();
+        let smoothed = ks.smooth(&truth, dt);
+        for (a, b) in smoothed.iter().zip(&truth) {
+            assert!(a.dist(b) < 10.0, "deviation {}", a.dist(b));
+        }
+    }
+
+    #[test]
+    fn inv4_inverts() {
+        let m: Mat4 = [
+            [4.0, 1.0, 0.0, 0.5],
+            [1.0, 3.0, 0.2, 0.0],
+            [0.0, 0.2, 2.0, 0.1],
+            [0.5, 0.0, 0.1, 1.0],
+        ];
+        let inv = inv4(&m);
+        let prod = mat_mul(&m, &inv);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i][j] - expect).abs() < 1e-9, "prod[{i}][{j}]={}", prod[i][j]);
+            }
+        }
+    }
+}

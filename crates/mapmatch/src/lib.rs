@@ -1,0 +1,43 @@
+//! Map matching and classic trajectory post-processing.
+//!
+//! Three roles in the reproduction:
+//!
+//! 1. **Ground truth**: the paper obtains training targets by running
+//!    HMM map matching ([Newson & Krumm 2009]) on dense raw traces followed
+//!    by linear interpolation. [`HmmMatcher`] implements that algorithm.
+//! 2. **Two-stage baselines**: `Linear + HMM` (Table III) interpolates the
+//!    low-sample input to the target rate and map-matches it;
+//!    `DHTR + HMM` replaces interpolation with a learned seq2seq predictor
+//!    plus a [`KalmanSmoother`] (the neural part lives in
+//!    `rntrajrec-models`).
+//! 3. **Constraint-mask support**: emission weighting `exp(-d²/β²)` shared
+//!    with the decoder's mask (Section V).
+//!
+//! [Newson & Krumm 2009]: https://doi.org/10.1145/1653771.1653818
+
+mod hmm;
+mod interp;
+mod kalman;
+
+pub use hmm::{HmmConfig, HmmMatcher};
+pub use interp::linear_interpolate;
+pub use kalman::KalmanSmoother;
+
+use rntrajrec_roadnet::{RTree, RoadNetwork};
+use rntrajrec_synth::{MatchedTrajectory, RawTrajectory};
+
+/// The `Linear + HMM` two-stage baseline (Table III, first row):
+/// linearly interpolate the low-sample raw trajectory to the ϵρ rate, then
+/// HMM-map-match the densified trace.
+pub fn linear_hmm(
+    net: &RoadNetwork,
+    rtree: &RTree,
+    raw: &RawTrajectory,
+    eps_rho_s: f64,
+    target_len: usize,
+    config: &HmmConfig,
+) -> MatchedTrajectory {
+    let dense = linear_interpolate(raw, eps_rho_s, target_len);
+    let mut matcher = HmmMatcher::new(net, rtree, config.clone());
+    matcher.match_trajectory(&dense)
+}

@@ -1,0 +1,300 @@
+//! The multi-task decoder (Section IV-G + V), proposed in MTrajRec [11] and
+//! shared by every method in the comparison ("A + Decoder", Remark 2).
+//!
+//! A GRU with additive attention over the encoder outputs (Eq. 14–15)
+//! predicts, per target timestamp, the road segment (classification with a
+//! constraint mask, Eq. 16) and the moving ratio (regression, Eq. 17).
+
+use rand::rngs::StdRng;
+
+use crate::attention::AdditiveAttention;
+use crate::encoder::EncoderOutput;
+use crate::features::SampleInput;
+
+use crate::rnn::GruCell;
+use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+
+/// Log-weight assigned to segments outside the constraint mask
+/// (`exp(-30) ≈ 1e-13`: effectively zero probability, numerically safe).
+const MASKED_OUT_LOGW: f32 = -30.0;
+
+/// Decoder configuration.
+#[derive(Debug, Clone)]
+pub struct DecoderConfig {
+    pub dim: usize,
+    pub num_segments: usize,
+    /// Apply the constraint mask of Section V (ablation toggle).
+    pub use_mask: bool,
+}
+
+/// The result of decoding one trajectory.
+pub struct DecoderRun {
+    /// Per-step log-probabilities over segments `[1, |V|]` (post-mask).
+    pub logps: Vec<NodeId>,
+    /// Per-step predicted moving ratio `[1, 1]`.
+    pub rates: Vec<NodeId>,
+    /// Per-step argmax segment prediction.
+    pub preds: Vec<usize>,
+}
+
+/// The multi-task GRU decoder.
+pub struct Decoder {
+    seg_emb: ParamId,
+    start_emb: ParamId,
+    attn: AdditiveAttention,
+    gru: GruCell,
+    w_id: ParamId,
+    b_id: ParamId,
+    w_rate: ParamId,
+    pub config: DecoderConfig,
+}
+
+impl Decoder {
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, config: DecoderConfig) -> Self {
+        let d = config.dim;
+        Self {
+            seg_emb: store.add("dec.seg_emb", config.num_segments, d, Init::Uniform(0.1), rng),
+            start_emb: store.add("dec.start", 1, d, Init::Uniform(0.1), rng),
+            attn: AdditiveAttention::new(store, rng, "dec.attn", d),
+            // Input: [x_{j-1} ∥ r_{j-1} ∥ a_j] (Eq. 15).
+            gru: GruCell::new(store, rng, "dec.gru", 2 * d + 1, d),
+            w_id: store.add("dec.w_id", d, config.num_segments, Init::Xavier, rng),
+            b_id: store.add("dec.b_id", 1, config.num_segments, Init::Zeros, rng),
+            w_rate: store.add("dec.w_rate", 2 * d, 1, Init::Xavier, rng),
+            config,
+        }
+    }
+
+    /// Decode all `l_ρ` steps. With `teacher_forcing` the ground-truth
+    /// segment/rate feed the next step (training); otherwise the model's
+    /// own predictions do (inference).
+    pub fn run(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        enc: &EncoderOutput,
+        sample: &SampleInput,
+        teacher_forcing: bool,
+    ) -> DecoderRun {
+        self.run_scheduled(tape, store, enc, sample, |_| teacher_forcing)
+    }
+
+    /// Decode with per-step scheduled sampling: `use_truth(j)` decides
+    /// whether step `j` conditions on the ground truth (true) or on the
+    /// model's own prediction (false). Decaying the teacher-forcing
+    /// probability over training mitigates exposure bias at small data
+    /// scale (DHTR [19] trains its seq2seq the same way).
+    pub fn run_scheduled(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        enc: &EncoderOutput,
+        sample: &SampleInput,
+        mut use_truth: impl FnMut(usize) -> bool,
+    ) -> DecoderRun {
+        let l_rho = sample.target_len();
+        let seg_table = tape.param(store, self.seg_emb);
+        let w_id = tape.param(store, self.w_id);
+        let b_id = tape.param(store, self.b_id);
+        let w_rate = tape.param(store, self.w_rate);
+
+        let mut h = enc.traj;
+        let mut x_prev = tape.param(store, self.start_emb);
+        let mut r_prev = tape.leaf(Tensor::scalar(0.0));
+        let mut logps = Vec::with_capacity(l_rho);
+        let mut rates = Vec::with_capacity(l_rho);
+        let mut preds = Vec::with_capacity(l_rho);
+
+        for j in 0..l_rho {
+            // Eq. (14): attention over encoder outputs.
+            let a = self.attn.forward(tape, store, h, enc.per_point);
+            // Eq. (15): GRU update.
+            let input = tape.concat_cols(&[x_prev, r_prev, a]);
+            h = self.gru.step(tape, store, input, h);
+
+            // Road-segment head with constraint mask (Eq. 16).
+            let logits = tape.matmul(h, w_id);
+            let logits = tape.add_rowvec(logits, b_id);
+            let masked = match (self.config.use_mask, &sample.masks[j]) {
+                (true, Some(entries)) => {
+                    let mut logw = vec![MASKED_OUT_LOGW; self.config.num_segments];
+                    for &(seg, w) in entries {
+                        logw[seg] = w.max(1e-6).ln();
+                    }
+                    let lw = tape.leaf(Tensor::row(logw));
+                    tape.add(logits, lw)
+                }
+                _ => logits,
+            };
+            let logp = tape.log_softmax_rows(masked);
+            let pred = tape.value(logp).argmax_row(0);
+
+            // Next-step conditioning (teacher forcing vs. own prediction).
+            let teach = use_truth(j);
+            let cond_seg = if teach { sample.target_segs[j] } else { pred };
+            let x_j = tape.gather_rows(seg_table, &[cond_seg]);
+
+            // Moving-ratio head (Eq. 17): σ([x_j ∥ h_j]·w_rate).
+            let rate_in = tape.concat_cols(&[x_j, h]);
+            let rate_lin = tape.matmul(rate_in, w_rate);
+            let rate = tape.sigmoid(rate_lin);
+
+            logps.push(logp);
+            rates.push(rate);
+            preds.push(pred);
+
+            x_prev = x_j;
+            r_prev = if teach {
+                tape.leaf(Tensor::scalar(sample.target_rates[j]))
+            } else {
+                rate
+            };
+        }
+        DecoderRun { logps, rates, preds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureExtractor;
+    use rand::SeedableRng;
+    use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
+    use rntrajrec_synth::{SimConfig, Simulator};
+
+    fn sample_input() -> (SyntheticCity, SampleInput) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        let grid = city.net.grid(50.0);
+        let fx = FeatureExtractor::new(&city.net, &rtree, grid);
+        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 9, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sim.sample(&mut rng, 8);
+        let input = fx.extract(&s);
+        (city, input)
+    }
+
+    fn fake_encoder_output(tape: &mut Tape, l: usize, d: usize) -> EncoderOutput {
+        let mut rng = StdRng::seed_from_u64(9);
+        let per_point = tape.leaf(Tensor::uniform(l, d, 0.5, &mut rng));
+        let traj = tape.leaf(Tensor::uniform(1, d, 0.5, &mut rng));
+        EncoderOutput { per_point, traj }
+    }
+
+    #[test]
+    fn decoder_step_outputs_are_consistent() {
+        let (city, input) = sample_input();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+        );
+        let mut tape = Tape::new();
+        let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
+        let run = dec.run(&mut tape, &store, &enc, &input, true);
+        assert_eq!(run.logps.len(), input.target_len());
+        assert_eq!(run.rates.len(), input.target_len());
+        assert_eq!(run.preds.len(), input.target_len());
+        for (&lp, &r) in run.logps.iter().zip(&run.rates) {
+            assert_eq!(tape.value(lp).shape(), (1, city.net.num_segments()));
+            let rate = tape.value(r).item();
+            assert!((0.0..=1.0).contains(&rate));
+            // Log-probs must be ≤ 0 and normalised.
+            let sum: f32 = tape.value(lp).data.iter().map(|x| x.exp()).sum();
+            assert!((sum - 1.0).abs() < 1e-3, "probs sum {sum}");
+        }
+    }
+
+    #[test]
+    fn constraint_mask_restricts_observed_steps() {
+        let (city, input) = sample_input();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+        );
+        let mut tape = Tape::new();
+        let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
+        let run = dec.run(&mut tape, &store, &enc, &input, true);
+        for (j, mask) in input.masks.iter().enumerate() {
+            if let Some(entries) = mask {
+                let allowed: std::collections::HashSet<usize> =
+                    entries.iter().map(|&(s, _)| s).collect();
+                assert!(
+                    allowed.contains(&run.preds[j]),
+                    "step {j}: prediction {} outside the constraint mask",
+                    run.preds[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn without_mask_probabilities_unconstrained() {
+        let (city, input) = sample_input();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: false },
+        );
+        let mut tape = Tape::new();
+        let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
+        let run = dec.run(&mut tape, &store, &enc, &input, true);
+        // At initialisation (near-uniform logits) every segment should get
+        // non-negligible probability on observed steps when unmasked.
+        let lp = tape.value(run.logps[0]);
+        let min = lp.data.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(min > MASKED_OUT_LOGW, "unmasked probs should not be pinned to -30");
+    }
+
+    #[test]
+    fn inference_mode_feeds_back_predictions() {
+        let (city, input) = sample_input();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+        );
+        let mut tape = Tape::new();
+        let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
+        let run = dec.run(&mut tape, &store, &enc, &input, false);
+        assert_eq!(run.preds.len(), input.target_len());
+        // All predictions are valid segment indices.
+        assert!(run.preds.iter().all(|&p| p < city.net.num_segments()));
+    }
+
+    #[test]
+    fn teacher_forcing_gradients_reach_embeddings() {
+        let (city, input) = sample_input();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+        );
+        let mut tape = Tape::new();
+        let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
+        let run = dec.run(&mut tape, &store, &enc, &input, true);
+        // Simple loss: sum of selected true-class negative log-probs.
+        let mut terms = Vec::new();
+        for (j, &lp) in run.logps.iter().enumerate() {
+            let picked = tape.select_cols(lp, input.target_segs[j], 1);
+            terms.push(tape.scale(picked, -1.0));
+        }
+        let all = tape.concat_rows(&terms);
+        let loss = tape.mean_all(all);
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        assert!(store.grad(dec.w_id).data.iter().any(|&g| g != 0.0));
+        assert!(store.grad(dec.seg_emb).data.iter().any(|&g| g != 0.0));
+    }
+}

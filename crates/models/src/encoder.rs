@@ -1,0 +1,47 @@
+//! The trajectory-encoder interface shared by RNTrajRec and every baseline.
+//!
+//! The paper's comparison protocol (Remark 2) is "A + Decoder": each
+//! method's *encoder* feeds the same multi-task decoder. This trait is that
+//! protocol: an encoder maps a mini-batch of [`SampleInput`]s to per-point
+//! hidden states `H_traj` `[l_τ, d]` and a trajectory-level vector
+//! `ĥ_traj` `[1, d]` (plus, for RNTrajRec, the graph-classification
+//! auxiliary loss of Eq. 18).
+
+use rand::rngs::StdRng;
+
+use crate::features::SampleInput;
+use rntrajrec_nn::{NodeId, ParamStore, Tape};
+
+/// Encoder outputs for one trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderOutput {
+    /// `[l_τ, d]` per-point hidden states (decoder attention keys).
+    pub per_point: NodeId,
+    /// `[1, d]` trajectory-level state (decoder initial hidden state).
+    pub traj: NodeId,
+}
+
+/// Encoder outputs for a mini-batch.
+pub struct BatchEncoderOutput {
+    pub outputs: Vec<EncoderOutput>,
+    /// Auxiliary encoder loss, already averaged (RNTrajRec's `L_enc`).
+    pub aux_loss: Option<NodeId>,
+}
+
+/// A trajectory encoder ("A" in the paper's "A + Decoder" convention).
+pub trait TrajEncoder {
+    fn name(&self) -> &'static str;
+
+    /// Hidden size `d` of the outputs.
+    fn dim(&self) -> usize;
+
+    /// Encode a mini-batch on the given tape.
+    fn encode(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        batch: &[&SampleInput],
+        training: bool,
+        rng: &mut StdRng,
+    ) -> BatchEncoderOutput;
+}

@@ -1,0 +1,367 @@
+//! Feature extraction: from a [`TrajSample`] to model-ready inputs.
+//!
+//! Everything non-learned is computed once here: normalised raw-point
+//! features, grid indices, the per-point weighted sub-graphs of Section
+//! IV-C, the decoder constraint masks of Section V, and the supervision
+//! targets.
+
+use std::rc::Rc;
+
+use rntrajrec_geo::{BBox, GridSpec, XY};
+use rntrajrec_nn::{GraphCsr, Tensor};
+use rntrajrec_roadnet::{RTree, RoadNetwork, SegmentId};
+use rntrajrec_synth::TrajSample;
+
+/// The weighted sub-graph `Ĝ_τ,i = (V_τ,i, E_τ,i, W_τ,i)` around one GPS
+/// point (Section IV-C).
+#[derive(Debug, Clone)]
+pub struct SubGraph {
+    /// Road-segment indices; row `r` of the sub-graph feature matrix is
+    /// segment `nodes[r]`.
+    pub nodes: Vec<usize>,
+    /// Adjacency among `nodes` (induced from the road graph, undirected
+    /// with self-loops — the GAT attention neighbourhood).
+    pub csr: Rc<GraphCsr>,
+    /// `ω(e, p) = exp(-dist²/γ²)` per node (Eq. 5).
+    pub weights: Vec<f32>,
+    /// Row of the ground-truth segment, if it is inside the sub-graph
+    /// (used by the graph classification loss, Eq. 18).
+    pub true_row: Option<usize>,
+}
+
+/// One trajectory converted to model inputs + supervision.
+#[derive(Debug, Clone)]
+pub struct SampleInput {
+    /// `[l_τ, 5]`: normalised x, y, t, grid-x, grid-y per raw point.
+    pub base_feats: Tensor,
+    /// Flat grid-cell index per raw point (for grid-embedding lookups).
+    pub grid_flat: Vec<usize>,
+    /// Nearest road segment per raw point (GTS-style POI anchor).
+    pub nearest_seg: Vec<usize>,
+    /// Per-point weighted sub-graphs.
+    pub subgraphs: Vec<SubGraph>,
+    /// Environmental context `f_e` (hour one-hot + holiday, Section IV-F).
+    pub env: [f32; 25],
+    /// Ground-truth road segment index per target step (`l_ρ`).
+    pub target_segs: Vec<usize>,
+    /// Ground-truth moving ratio per target step.
+    pub target_rates: Vec<f32>,
+    /// Constraint mask per target step (Section V): `Some` sparse
+    /// `(segment, weight)` list for observed steps, `None` (all-ones) for
+    /// missing steps.
+    pub masks: Vec<Option<Vec<(usize, f32)>>>,
+    /// Target step index of each raw input point.
+    pub obs_step: Vec<usize>,
+    /// Ground-truth segment of each raw input point (graph classification
+    /// loss supervision).
+    pub input_true_segs: Vec<usize>,
+    /// Normalised ground-truth planar coordinates per target step
+    /// `[l_ρ, 2]` (supervision for the DHTR position-regression baseline).
+    pub target_xy_norm: Tensor,
+}
+
+impl SampleInput {
+    pub fn input_len(&self) -> usize {
+        self.grid_flat.len()
+    }
+
+    pub fn target_len(&self) -> usize {
+        self.target_segs.len()
+    }
+}
+
+/// Converts [`TrajSample`]s into [`SampleInput`]s for a fixed road network.
+pub struct FeatureExtractor<'a> {
+    pub net: &'a RoadNetwork,
+    pub rtree: &'a RTree,
+    pub grid: GridSpec,
+    /// Receptive field δ of the sub-graph generation (paper: 400 m).
+    pub delta_m: f64,
+    /// Influence bandwidth γ of Eq. (5) (paper: 30 m).
+    pub gamma_m: f64,
+    /// Constraint-mask bandwidth β (paper: 15 m).
+    pub beta_m: f64,
+    /// Constraint-mask radius — "maximum error of the GPS device"
+    /// (paper: 100 m).
+    pub mask_radius_m: f64,
+    bbox: BBox,
+}
+
+impl<'a> FeatureExtractor<'a> {
+    pub fn new(net: &'a RoadNetwork, rtree: &'a RTree, grid: GridSpec) -> Self {
+        Self {
+            net,
+            rtree,
+            grid,
+            delta_m: 400.0,
+            gamma_m: 30.0,
+            beta_m: 15.0,
+            mask_radius_m: 100.0,
+            bbox: net.bbox(),
+        }
+    }
+
+    /// Study-area bounding box used for coordinate normalisation.
+    pub fn bbox(&self) -> &BBox {
+        &self.bbox
+    }
+
+    /// Invert the feature normalisation back to planar metres (used by the
+    /// DHTR position-regression baseline at inference time).
+    pub fn denormalize(&self, x_norm: f32, y_norm: f32) -> XY {
+        XY::new(
+            self.bbox.min_x + x_norm as f64 * self.bbox.width().max(1.0),
+            self.bbox.min_y + y_norm as f64 * self.bbox.height().max(1.0),
+        )
+    }
+
+    /// Build the weighted sub-graph around a planar point.
+    pub fn subgraph_at(&self, p: &XY, true_seg: Option<SegmentId>) -> SubGraph {
+        let mut hits = self.rtree.within_radius(self.net, p, self.delta_m);
+        if hits.is_empty() {
+            hits = self.rtree.k_nearest(self.net, p, 5);
+        }
+        let nodes: Vec<usize> = hits.iter().map(|h| h.seg.index()).collect();
+        let gamma2 = (self.gamma_m * self.gamma_m) as f32;
+        let weights: Vec<f32> = hits
+            .iter()
+            .map(|h| {
+                let d = h.projection.dist as f32;
+                // Floor keeps far nodes participating (and weights summable).
+                (-(d * d) / gamma2).exp().max(1e-6)
+            })
+            .collect();
+        // Induced adjacency: E_p = (V_p × V_p) ∩ E, undirected for GAT.
+        let index_of: std::collections::HashMap<usize, usize> =
+            nodes.iter().enumerate().map(|(row, &seg)| (seg, row)).collect();
+        let lists: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|&seg| {
+                self.net
+                    .neighbors_undirected(SegmentId(seg as u32))
+                    .into_iter()
+                    .filter_map(|n| index_of.get(&n.index()).copied())
+                    .collect()
+            })
+            .collect();
+        let csr = Rc::new(GraphCsr::from_neighbor_lists(&lists, true));
+        let true_row = true_seg.and_then(|s| index_of.get(&s.index()).copied());
+        SubGraph { nodes, csr, weights, true_row }
+    }
+
+    /// Full conversion of one sample.
+    pub fn extract(&self, sample: &TrajSample) -> SampleInput {
+        let l_tau = sample.raw.len();
+        let l_rho = sample.target.len();
+        let duration = sample.target.points.last().map_or(1.0, |p| p.t.max(1.0));
+        let width = self.bbox.width().max(1.0);
+        let height = self.bbox.height().max(1.0);
+
+        // Map each input point to its target step (timestamps align by
+        // construction of the down-sampling).
+        let eps = duration / (l_rho - 1).max(1) as f64;
+        let obs_step: Vec<usize> = sample
+            .raw
+            .points
+            .iter()
+            .map(|p| ((p.t / eps).round() as usize).min(l_rho - 1))
+            .collect();
+
+        let mut feats = Tensor::zeros(l_tau, 5);
+        let mut grid_flat = Vec::with_capacity(l_tau);
+        let mut nearest_seg = Vec::with_capacity(l_tau);
+        let mut subgraphs = Vec::with_capacity(l_tau);
+        let mut input_true_segs = Vec::with_capacity(l_tau);
+        for (i, p) in sample.raw.points.iter().enumerate() {
+            let cell = self.grid.cell_of(&p.xy);
+            feats.set(i, 0, ((p.xy.x - self.bbox.min_x) / width) as f32);
+            feats.set(i, 1, ((p.xy.y - self.bbox.min_y) / height) as f32);
+            feats.set(i, 2, (p.t / duration) as f32);
+            feats.set(i, 3, cell.col as f32 / self.grid.cols as f32);
+            feats.set(i, 4, cell.row as f32 / self.grid.rows as f32);
+            grid_flat.push(self.grid.flat_index(cell));
+            let nearest = self
+                .rtree
+                .nearest(self.net, &p.xy)
+                .map(|h| h.seg.index())
+                .unwrap_or(0);
+            nearest_seg.push(nearest);
+            let true_seg = sample.target.points[obs_step[i]].pos.seg;
+            input_true_segs.push(true_seg.index());
+            subgraphs.push(self.subgraph_at(&p.xy, Some(true_seg)));
+        }
+
+        // Supervision + constraint masks.
+        let beta2 = (self.beta_m * self.beta_m) as f32;
+        let mut target_segs = Vec::with_capacity(l_rho);
+        let mut target_rates = Vec::with_capacity(l_rho);
+        let mut target_xy_norm = Tensor::zeros(l_rho, 2);
+        let mut masks: Vec<Option<Vec<(usize, f32)>>> = vec![None; l_rho];
+        for (j, mp) in sample.target.points.iter().enumerate() {
+            target_segs.push(mp.pos.seg.index());
+            target_rates.push(mp.pos.frac as f32);
+            let xy = mp.pos.xy(self.net);
+            target_xy_norm.set(j, 0, ((xy.x - self.bbox.min_x) / width) as f32);
+            target_xy_norm.set(j, 1, ((xy.y - self.bbox.min_y) / height) as f32);
+        }
+        for (i, p) in sample.raw.points.iter().enumerate() {
+            let hits = self.rtree.within_radius(self.net, &p.xy, self.mask_radius_m);
+            if hits.is_empty() {
+                continue; // keep all-ones mask rather than forbidding everything
+            }
+            let entries: Vec<(usize, f32)> = hits
+                .iter()
+                .map(|h| {
+                    let d = h.projection.dist as f32;
+                    (h.seg.index(), (-(d * d) / beta2).exp().max(1e-6))
+                })
+                .collect();
+            masks[obs_step[i]] = Some(entries);
+        }
+
+        SampleInput {
+            base_feats: feats,
+            grid_flat,
+            nearest_seg,
+            subgraphs,
+            env: sample.time_context().features(),
+            target_segs,
+            target_rates,
+            masks,
+            obs_step,
+            input_true_segs,
+            target_xy_norm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rntrajrec_roadnet::{CityConfig, SyntheticCity};
+    use rntrajrec_synth::{SimConfig, Simulator};
+
+    fn setup() -> (SyntheticCity, RTree) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        (city, rtree)
+    }
+
+    fn sample(city: &SyntheticCity, seed: u64) -> TrajSample {
+        let mut sim = Simulator::new(&city.net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.sample(&mut rng, 8)
+    }
+
+    #[test]
+    fn extract_shapes_consistent() {
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let s = sample(&city, 1);
+        let input = fx.extract(&s);
+        assert_eq!(input.input_len(), s.raw.len());
+        assert_eq!(input.target_len(), s.target.len());
+        assert_eq!(input.base_feats.shape(), (s.raw.len(), 5));
+        assert_eq!(input.subgraphs.len(), s.raw.len());
+        assert_eq!(input.masks.len(), s.target.len());
+        assert_eq!(input.obs_step.len(), s.raw.len());
+    }
+
+    #[test]
+    fn features_are_normalised() {
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let input = fx.extract(&sample(&city, 2));
+        for v in &input.base_feats.data {
+            assert!((-0.5..=1.5).contains(v), "feature {v} badly scaled");
+        }
+    }
+
+    #[test]
+    fn subgraph_weights_decay_with_distance() {
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let p = city.net.segment(SegmentId(0)).geometry.point_at_fraction(0.5);
+        let sg = fx.subgraph_at(&p, Some(SegmentId(0)));
+        assert!(!sg.nodes.is_empty());
+        // Hits are distance-sorted, so weights must be non-increasing.
+        for w in sg.weights.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        // The on-segment point has weight ≈ 1 for its own segment.
+        assert!(sg.weights[0] > 0.9, "nearest weight {}", sg.weights[0]);
+        assert_eq!(sg.true_row, Some(0));
+    }
+
+    #[test]
+    fn subgraph_adjacency_is_induced() {
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let p = city.net.segment(SegmentId(5)).geometry.point_at_fraction(0.2);
+        let sg = fx.subgraph_at(&p, None);
+        for (row, &seg) in sg.nodes.iter().enumerate() {
+            let global: Vec<usize> = city
+                .net
+                .neighbors_undirected(SegmentId(seg as u32))
+                .iter()
+                .map(|s| s.index())
+                .collect();
+            for &nbr_row in sg.csr.neighbors(row) {
+                let nbr_seg = sg.nodes[nbr_row];
+                assert!(
+                    nbr_seg == seg || global.contains(&nbr_seg),
+                    "edge {seg}->{nbr_seg} not in road graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_set_only_on_observed_steps() {
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let s = sample(&city, 3);
+        let input = fx.extract(&s);
+        let observed: std::collections::HashSet<usize> = input.obs_step.iter().copied().collect();
+        for (j, m) in input.masks.iter().enumerate() {
+            if observed.contains(&j) {
+                assert!(m.is_some(), "observed step {j} missing mask");
+            } else {
+                assert!(m.is_none(), "unobserved step {j} must be unconstrained");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_weights_in_unit_interval() {
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let input = fx.extract(&sample(&city, 4));
+        for m in input.masks.iter().flatten() {
+            for &(seg, w) in m {
+                assert!(seg < city.net.num_segments());
+                assert!((0.0..=1.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn true_segment_usually_in_subgraph() {
+        // δ = 400 m with ~10 m GPS noise: the ground-truth segment should
+        // almost always be inside the receptive field.
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let mut hit = 0;
+        let mut total = 0;
+        for seed in 0..5 {
+            let input = fx.extract(&sample(&city, seed));
+            for sg in &input.subgraphs {
+                total += 1;
+                hit += sg.true_row.is_some() as usize;
+            }
+        }
+        assert!(hit as f64 / total as f64 > 0.9, "{hit}/{total}");
+    }
+}

@@ -1,0 +1,344 @@
+//! GPSFormer (Section IV-F) and the complete RNTrajRec encoder.
+//!
+//! Per mini-batch: GridGNN produces `X_road`; the Sub-Graph Generation
+//! features (precomputed in [`crate::features`]) select and weight rows of
+//! `X_road` per GPS point (Eq. 6); `N` GPSFormer blocks alternate a
+//! transformer encoder layer (temporal) with a graph refinement layer
+//! (spatial), connected by graph readout (Eq. 13). The final sub-graph
+//! features drive the graph-classification loss `L_enc` (Eq. 18).
+
+use rand::rngs::StdRng;
+
+use crate::attention::PositionalEncoding;
+use crate::encoder::{BatchEncoderOutput, EncoderOutput, TrajEncoder};
+use crate::features::SampleInput;
+use crate::gridgnn::{GridGnn, GridGnnConfig};
+use crate::grl::{GraphRefinementLayer, GrlConfig};
+use crate::layers::Linear;
+use crate::transformer::TransformerEncoderLayer;
+use rntrajrec_geo::GridSpec;
+use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_roadnet::RoadNetwork;
+
+/// Hyper-parameters of the full RNTrajRec encoder.
+#[derive(Debug, Clone)]
+pub struct RnTrajRecConfig {
+    /// Hidden size `d` (paper: 256–512; here 16–64 for CPU scale).
+    pub dim: usize,
+    /// GPSFormer blocks `N` (paper default 2).
+    pub n_blocks: usize,
+    /// Attention heads (paper: 8).
+    pub heads: usize,
+    /// Transformer FFN hidden size.
+    pub ffn_hidden: usize,
+    /// GridGNN settings (M layers, backbone).
+    pub gridgnn: GridGnnConfig,
+    /// GRL ablation switches (Table V).
+    pub grl: GrlConfig,
+    /// `false` → Table V `w/o GRL`: plain stacked transformer, graph input
+    /// ignored after pooling.
+    pub use_grl: bool,
+}
+
+impl RnTrajRecConfig {
+    pub fn small(dim: usize) -> Self {
+        let heads = if dim % 4 == 0 { 4 } else { 2 };
+        Self {
+            dim,
+            n_blocks: 2,
+            heads,
+            ffn_hidden: 2 * dim,
+            gridgnn: GridGnnConfig {
+                dim,
+                layers: 2,
+                heads,
+                backbone: crate::GnnBackbone::Gat,
+                use_grid: true,
+            },
+            grl: GrlConfig::new(dim, heads),
+            use_grl: true,
+        }
+    }
+}
+
+/// The complete RNTrajRec encoder: GridGNN + GPSFormer.
+pub struct RnTrajRecEncoder {
+    pub gridgnn: GridGnn,
+    input_proj: Linear,
+    pe: PositionalEncoding,
+    blocks: Vec<(TransformerEncoderLayer, Option<GraphRefinementLayer>)>,
+    traj_head: Linear,
+    /// Weight `w` of the graph classification loss (Eq. 18).
+    w_enc: ParamId,
+    pub config: RnTrajRecConfig,
+}
+
+impl RnTrajRecEncoder {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        net: &RoadNetwork,
+        grid: &GridSpec,
+        config: RnTrajRecConfig,
+    ) -> Self {
+        let d = config.dim;
+        let gridgnn = GridGnn::new(store, rng, net, grid, config.gridgnn.clone());
+        let input_proj = Linear::new(store, rng, "former.in", d + 3, d, true);
+        let pe = PositionalEncoding::new(d);
+        let blocks = (0..config.n_blocks)
+            .map(|l| {
+                let te = TransformerEncoderLayer::new(
+                    store,
+                    rng,
+                    &format!("former.b{l}.te"),
+                    d,
+                    config.heads,
+                    config.ffn_hidden,
+                );
+                let grl = config.use_grl.then(|| {
+                    GraphRefinementLayer::new(store, rng, &format!("former.b{l}.grl"), config.grl)
+                });
+                (te, grl)
+            })
+            .collect();
+        let traj_head = Linear::new(store, rng, "former.traj", d + 25, d, true);
+        let w_enc = store.add("former.w_enc", 1, d, Init::Xavier, rng);
+        Self { gridgnn, input_proj, pe, blocks, traj_head, w_enc, config }
+    }
+}
+
+impl TrajEncoder for RnTrajRecEncoder {
+    fn name(&self) -> &'static str {
+        "RNTrajRec"
+    }
+
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn encode(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        batch: &[&SampleInput],
+        _training: bool,
+        _rng: &mut StdRng,
+    ) -> BatchEncoderOutput {
+        let _ = self.config.dim;
+        // X_road once per batch.
+        let xroad = self.gridgnn.forward(tape, store);
+
+        // Per-sample sub-graph features Z⁽⁰⁾ and pooled inputs Ĥ⁽⁰⁾.
+        struct SampleState {
+            h: NodeId,          // [lτ, d]
+            zs: Vec<NodeId>,    // per-point [n_i, d]
+        }
+        let mut states = Vec::with_capacity(batch.len());
+        for sample in batch {
+            let l = sample.input_len();
+            let mut zs = Vec::with_capacity(l);
+            let mut pooled = Vec::with_capacity(l);
+            for sg in &sample.subgraphs {
+                let z = tape.gather_rows(xroad, &sg.nodes);
+                pooled.push(tape.weighted_mean_rows(z, &sg.weights)); // Eq. (6)
+                zs.push(z);
+            }
+            let gp = tape.concat_rows(&pooled); // [lτ, d]
+            // Concat timestamp + grid index (base_feats columns 2..5).
+            let extra = tape.leaf(select_columns(&sample.base_feats, &[2, 3, 4]));
+            let cat = tape.concat_cols(&[gp, extra]);
+            let h0 = self.input_proj.forward(tape, store, cat);
+            let h = self.pe.add_to(tape, h0); // Eq. (12)
+            states.push(SampleState { h, zs });
+        }
+
+        // N GPSFormer blocks (Eq. 13). The GRL runs over the whole batch so
+        // GraphNorm sees true mini-batch statistics.
+        for (te, grl) in &self.blocks {
+            // Temporal: transformer per trajectory.
+            let trs: Vec<NodeId> =
+                states.iter().map(|s| te.forward(tape, store, s.h)).collect();
+            match grl {
+                Some(grl) => {
+                    // Flatten (trajectory, point) pairs for the batched GRL.
+                    let mut tr_rows = Vec::new();
+                    let mut zs = Vec::new();
+                    let mut csrs = Vec::new();
+                    for (state, (&tr, sample)) in
+                        states.iter().zip(trs.iter().zip(batch.iter()))
+                    {
+                        for (i, &z) in state.zs.iter().enumerate() {
+                            tr_rows.push(tape.select_rows(tr, i, 1));
+                            zs.push(z);
+                            csrs.push(sample.subgraphs[i].csr.clone());
+                        }
+                    }
+                    let refined = grl.forward(tape, store, &tr_rows, &zs, &csrs);
+                    // Scatter back + graph readout per point.
+                    let mut k = 0;
+                    for state in states.iter_mut() {
+                        let mut rows = Vec::with_capacity(state.zs.len());
+                        for z_slot in state.zs.iter_mut() {
+                            *z_slot = refined[k];
+                            rows.push(tape.mean_rows(refined[k]));
+                            k += 1;
+                        }
+                        state.h = tape.concat_rows(&rows);
+                    }
+                }
+                None => {
+                    // w/o GRL: the transformer output feeds the next block.
+                    for (state, tr) in states.iter_mut().zip(trs) {
+                        state.h = tr;
+                    }
+                }
+            }
+        }
+
+        // Trajectory-level vector: mean pool + environmental context.
+        let mut outputs = Vec::with_capacity(batch.len());
+        for (state, sample) in states.iter().zip(batch) {
+            let mean = tape.mean_rows(state.h);
+            let env = tape.leaf(Tensor::row(sample.env.to_vec()));
+            let cat = tape.concat_cols(&[mean, env]);
+            let traj = self.traj_head.forward(tape, store, cat);
+            outputs.push(EncoderOutput { per_point: state.h, traj });
+        }
+
+        // Graph classification loss L_enc (Eq. 18) on the final Z⁽ᴺ⁾.
+        let aux_loss = if self.config.use_grl {
+            let w = tape.param(store, self.w_enc); // [1, d]
+            let mut terms = Vec::new();
+            for (state, sample) in states.iter().zip(batch) {
+                for (i, &z) in state.zs.iter().enumerate() {
+                    let sg = &sample.subgraphs[i];
+                    let Some(true_row) = sg.true_row else { continue };
+                    let scores = tape.matmul_nt(w, z); // [1, n]
+                    let log_w = tape.leaf(Tensor::row(
+                        sg.weights.iter().map(|&x| x.max(1e-6).ln()).collect(),
+                    ));
+                    let masked = tape.add(scores, log_w);
+                    let logp = tape.log_softmax_rows(masked);
+                    let picked = tape.select_cols(logp, true_row, 1);
+                    terms.push(tape.scale(picked, -1.0));
+                }
+            }
+            (!terms.is_empty()).then(|| {
+                let all = tape.concat_rows(&terms);
+                tape.mean_all(all)
+            })
+        } else {
+            None
+        };
+
+        BatchEncoderOutput { outputs, aux_loss }
+    }
+}
+
+/// Copy selected columns of a constant tensor (feature slicing outside the
+/// tape — no gradient needed).
+fn select_columns(t: &Tensor, cols: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(t.rows, cols.len());
+    for r in 0..t.rows {
+        for (i, &c) in cols.iter().enumerate() {
+            out.set(r, i, t.get(r, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureExtractor;
+    use rand::SeedableRng;
+    use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
+    use rntrajrec_synth::{SimConfig, Simulator};
+
+    fn build() -> (SyntheticCity, RTree) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        (city, rtree)
+    }
+
+    fn inputs(city: &SyntheticCity, rtree: &RTree, n: usize) -> Vec<SampleInput> {
+        let grid = city.net.grid(50.0);
+        let fx = FeatureExtractor::new(&city.net, rtree, grid);
+        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 17, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| fx.extract(&sim.sample(&mut rng, 8))).collect()
+    }
+
+    #[test]
+    fn encoder_output_shapes() {
+        let (city, rtree) = build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let grid = city.net.grid(50.0);
+        let enc = RnTrajRecEncoder::new(
+            &mut store,
+            &mut rng,
+            &city.net,
+            &grid,
+            RnTrajRecConfig::small(16),
+        );
+        let ins = inputs(&city, &rtree, 2);
+        let refs: Vec<&SampleInput> = ins.iter().collect();
+        let mut tape = Tape::new();
+        let out = enc.encode(&mut tape, &store, &refs, true, &mut rng);
+        assert_eq!(out.outputs.len(), 2);
+        for (o, s) in out.outputs.iter().zip(&ins) {
+            assert_eq!(tape.value(o.per_point).shape(), (s.input_len(), 16));
+            assert_eq!(tape.value(o.traj).shape(), (1, 16));
+            assert!(tape.value(o.per_point).all_finite());
+        }
+        let aux = out.aux_loss.expect("L_enc expected with GRL enabled");
+        assert!(tape.value(aux).item().is_finite());
+        assert!(tape.value(aux).item() >= 0.0);
+    }
+
+    #[test]
+    fn without_grl_has_no_aux_loss() {
+        let (city, rtree) = build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let grid = city.net.grid(50.0);
+        let mut cfg = RnTrajRecConfig::small(16);
+        cfg.use_grl = false;
+        let enc = RnTrajRecEncoder::new(&mut store, &mut rng, &city.net, &grid, cfg);
+        let ins = inputs(&city, &rtree, 1);
+        let refs: Vec<&SampleInput> = ins.iter().collect();
+        let mut tape = Tape::new();
+        let out = enc.encode(&mut tape, &store, &refs, true, &mut rng);
+        assert!(out.aux_loss.is_none());
+        assert_eq!(tape.value(out.outputs[0].per_point).shape(), (ins[0].input_len(), 16));
+    }
+
+    #[test]
+    fn backward_reaches_road_embeddings() {
+        let (city, rtree) = build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let grid = city.net.grid(50.0);
+        let enc = RnTrajRecEncoder::new(
+            &mut store,
+            &mut rng,
+            &city.net,
+            &grid,
+            RnTrajRecConfig::small(16),
+        );
+        let ins = inputs(&city, &rtree, 1);
+        let refs: Vec<&SampleInput> = ins.iter().collect();
+        let mut tape = Tape::new();
+        let out = enc.encode(&mut tape, &store, &refs, true, &mut rng);
+        let loss = out.aux_loss.unwrap();
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        // The aux loss must reach all the way down to GridGNN's tables.
+        let any_grid_grad = store
+            .ids()
+            .filter(|&id| store.name(id).starts_with("gridgnn"))
+            .any(|id| store.grad(id).data.iter().any(|&g| g != 0.0));
+        assert!(any_grid_grad, "no gradient reached GridGNN parameters");
+    }
+}

@@ -1,0 +1,389 @@
+//! Graph Refinement Layer (Section IV-D): gated fusion + graph forward +
+//! graph normalisation, with ablation switches for Table V.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use crate::graph_layers::GatLayer;
+use crate::layers::{FeedForward, LayerNorm, Linear};
+use rntrajrec_nn::{GraphCsr, Init, NodeId, ParamId, ParamStore, Tape};
+
+/// Gated fusion (Eq. 7): adaptively mix the transformer output `tr_i`
+/// (temporal) into every node of the point's sub-graph (spatial):
+/// `z = σ(t̂r·W_z1 + Z·W_z2 + b_z)`, `Z̃ = z ⊙ t̂r + (1-z) ⊙ Z`.
+#[derive(Debug, Clone)]
+pub struct GatedFusion {
+    wz1: ParamId,
+    wz2: ParamId,
+    bz: ParamId,
+    pub dim: usize,
+}
+
+impl GatedFusion {
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, dim: usize) -> Self {
+        Self {
+            wz1: store.add(format!("{name}.wz1"), dim, dim, Init::Xavier, rng),
+            wz2: store.add(format!("{name}.wz2"), dim, dim, Init::Xavier, rng),
+            bz: store.add(format!("{name}.bz"), 1, dim, Init::Zeros, rng),
+            dim,
+        }
+    }
+
+    /// `tr: [1,d]` (one timestamp), `z: [n,d]` (its sub-graph nodes).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, tr: NodeId, z: NodeId) -> NodeId {
+        let n = tape.value(z).rows;
+        let tr_rep = tape.repeat_rows(tr, n);
+        let wz1 = tape.param(store, self.wz1);
+        let wz2 = tape.param(store, self.wz2);
+        let bz = tape.param(store, self.bz);
+        let a = tape.matmul(tr_rep, wz1);
+        let b = tape.matmul(z, wz2);
+        let s = tape.add(a, b);
+        let s = tape.add_rowvec(s, bz);
+        let gate = tape.sigmoid(s);
+        let take_tr = tape.mul(gate, tr_rep);
+        let neg = tape.scale(gate, -1.0);
+        let inv_gate = tape.add_const(neg, 1.0);
+        let keep_z = tape.mul(inv_gate, z);
+        tape.add(take_tr, keep_z)
+    }
+}
+
+/// Graph normalisation (Eq. 8–9): batch-norm for graph features with
+/// temporal dependency. `μ_B` is the mean of the *graph-pooled* features
+/// over the mini-batch; `σ_B` is the variance of all node features around
+/// `μ_B`; every node feature is normalised and affinely transformed.
+///
+/// Statistics are differentiated exactly (they are composed from primitive
+/// autograd ops), matching the training-time behaviour of batch norm.
+#[derive(Debug, Clone)]
+pub struct GraphNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    pub dim: usize,
+    pub eps: f32,
+}
+
+impl GraphNorm {
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, dim: usize) -> Self {
+        Self {
+            gamma: store.add(format!("{name}.gamma"), 1, dim, Init::Ones, rng),
+            beta: store.add(format!("{name}.beta"), 1, dim, Init::Zeros, rng),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalise a mini-batch of sub-graph feature matrices jointly.
+    /// `zs[k]` is `[n_k, d]`; returns matrices of identical shapes.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, zs: &[NodeId]) -> Vec<NodeId> {
+        assert!(!zs.is_empty());
+        // Eq. (8): per-graph mean pooling.
+        let means: Vec<NodeId> = zs.iter().map(|&z| tape.mean_rows(z)).collect();
+        let m = tape.concat_rows(&means); // [B·lτ, d]
+        let mu = tape.mean_rows(m); // [1, d]
+        // Eq. (9): variance of all node features around μ_B.
+        let big = tape.concat_rows(zs); // [Σn_k, d]
+        let neg_mu = tape.scale(mu, -1.0);
+        let centered = tape.add_rowvec(big, neg_mu);
+        let sq = tape.mul(centered, centered);
+        let var = tape.mean_rows(sq); // [1, d]
+        let var = tape.add_const(var, self.eps);
+        let std = tape.sqrt(var);
+        let inv = tape.recip(std);
+        let norm = tape.mul_rowvec(centered, inv);
+        let gamma = tape.param(store, self.gamma);
+        let beta = tape.param(store, self.beta);
+        let scaled = tape.mul_rowvec(norm, gamma);
+        let out = tape.add_rowvec(scaled, beta);
+        // Slice back to the per-graph shapes.
+        let mut res = Vec::with_capacity(zs.len());
+        let mut off = 0;
+        for &z in zs {
+            let n = tape.value(z).rows;
+            res.push(tape.select_rows(out, off, n));
+            off += n;
+        }
+        res
+    }
+}
+
+/// Which normaliser a GRL sub-layer uses (Table V `w/o GN`).
+#[derive(Debug, Clone)]
+enum Norm {
+    Graph(GraphNorm),
+    Layer(LayerNorm),
+}
+
+impl Norm {
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, zs: &[NodeId]) -> Vec<NodeId> {
+        match self {
+            Norm::Graph(gn) => gn.forward(tape, store, zs),
+            Norm::Layer(ln) => zs.iter().map(|&z| ln.forward(tape, store, z)).collect(),
+        }
+    }
+}
+
+/// Ablation switches for the graph refinement layer (Table V).
+#[derive(Debug, Clone, Copy)]
+pub struct GrlConfig {
+    pub dim: usize,
+    /// GAT layers `P` in graph forward (paper: 1).
+    pub gat_layers: usize,
+    pub heads: usize,
+    /// `false` → `w/o GF`: concat + feed-forward instead of gated fusion.
+    pub gated_fusion: bool,
+    /// `false` → `w/o GAT`: feed-forward instead of graph attention.
+    pub gat: bool,
+    /// `false` → `w/o GN`: layer norm instead of graph norm.
+    pub graph_norm: bool,
+}
+
+impl GrlConfig {
+    pub fn new(dim: usize, heads: usize) -> Self {
+        Self { dim, gat_layers: 1, heads, gated_fusion: true, gat: true, graph_norm: true }
+    }
+}
+
+/// The graph refinement layer: the spatial half of each GPSFormer block.
+pub struct GraphRefinementLayer {
+    fusion: Option<GatedFusion>,
+    /// `w/o GF` replacement: FFN over `[tr ∥ z]`.
+    fusion_ffn: Option<Linear>,
+    gats: Vec<GatLayer>,
+    /// `w/o GAT` replacement.
+    forward_ffn: Option<FeedForward>,
+    norm1: Norm,
+    norm2: Norm,
+    pub config: GrlConfig,
+}
+
+impl GraphRefinementLayer {
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, config: GrlConfig) -> Self {
+        let d = config.dim;
+        let (fusion, fusion_ffn) = if config.gated_fusion {
+            (Some(GatedFusion::new(store, rng, &format!("{name}.gf"), d)), None)
+        } else {
+            (None, Some(Linear::new(store, rng, &format!("{name}.gf_ffn"), 2 * d, d, true)))
+        };
+        let (gats, forward_ffn) = if config.gat {
+            (
+                (0..config.gat_layers)
+                    .map(|l| GatLayer::new(store, rng, &format!("{name}.gat{l}"), d, d, config.heads))
+                    .collect(),
+                None,
+            )
+        } else {
+            (Vec::new(), Some(FeedForward::new(store, rng, &format!("{name}.fwd_ffn"), d, 2 * d)))
+        };
+        let mk_norm = |store: &mut ParamStore, rng: &mut StdRng, n: String| {
+            if config.graph_norm {
+                Norm::Graph(GraphNorm::new(store, rng, &n, d))
+            } else {
+                Norm::Layer(LayerNorm::new(store, rng, &n, d))
+            }
+        };
+        let norm1 = mk_norm(store, rng, format!("{name}.norm1"));
+        let norm2 = mk_norm(store, rng, format!("{name}.norm2"));
+        Self { fusion, fusion_ffn, gats, forward_ffn, norm1, norm2, config }
+    }
+
+    /// Refine a mini-batch of sub-graphs.
+    ///
+    /// * `tr_rows[k]`: the transformer output `[1,d]` for point `k`,
+    /// * `zs[k]`: its sub-graph features `[n_k, d]`,
+    /// * `csrs[k]`: its sub-graph adjacency.
+    ///
+    /// Returns the refined `[n_k, d]` matrices (same shapes — the module is
+    /// stackable, Section II advantage iii).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        tr_rows: &[NodeId],
+        zs: &[NodeId],
+        csrs: &[Rc<GraphCsr>],
+    ) -> Vec<NodeId> {
+        assert_eq!(tr_rows.len(), zs.len());
+        assert_eq!(zs.len(), csrs.len());
+        // Sub-layer 1: GraphNorm(x + GatedFusion(x)).
+        let fused: Vec<NodeId> = zs
+            .iter()
+            .zip(tr_rows)
+            .map(|(&z, &tr)| {
+                let f = match (&self.fusion, &self.fusion_ffn) {
+                    (Some(gf), _) => gf.forward(tape, store, tr, z),
+                    (None, Some(ffn)) => {
+                        let n = tape.value(z).rows;
+                        let tr_rep = tape.repeat_rows(tr, n);
+                        let cat = tape.concat_cols(&[tr_rep, z]);
+                        let y = ffn.forward(tape, store, cat);
+                        tape.relu(y)
+                    }
+                    _ => unreachable!(),
+                };
+                tape.add(z, f)
+            })
+            .collect();
+        let x = self.norm1.forward(tape, store, &fused);
+
+        // Sub-layer 2: GraphNorm(x + GraphForward(x)).
+        let refined: Vec<NodeId> = x
+            .iter()
+            .zip(csrs)
+            .map(|(&xi, csr)| {
+                let f = if let Some(ffn) = &self.forward_ffn {
+                    ffn.forward(tape, store, xi)
+                } else {
+                    let mut h = xi;
+                    for gat in &self.gats {
+                        h = gat.forward(tape, store, h, csr);
+                    }
+                    h
+                };
+                tape.add(xi, f)
+            })
+            .collect();
+        self.norm2.forward(tape, store, &refined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rntrajrec_nn::Tensor;
+
+    fn csr(n: usize) -> Rc<GraphCsr> {
+        // Simple path graph.
+        let lists: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect();
+        Rc::new(GraphCsr::from_neighbor_lists(&lists, true))
+    }
+
+    #[test]
+    fn gated_fusion_blends_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let gf = GatedFusion::new(&mut store, &mut rng, "gf", 4);
+        let mut tape = Tape::new();
+        let tr = tape.leaf(Tensor::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]));
+        let z = tape.leaf(Tensor::zeros(3, 4));
+        let out = gf.forward(&mut tape, &store, tr, z);
+        let v = tape.value(out);
+        assert_eq!(v.shape(), (3, 4));
+        // With zero bias the gate starts near 0.5: output strictly between
+        // the two inputs (0 and 1).
+        assert!(v.data.iter().all(|&x| x > 0.0 && x < 1.0), "{:?}", v.data);
+    }
+
+    #[test]
+    fn graph_norm_standardises_the_batch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let gn = GraphNorm::new(&mut store, &mut rng, "gn", 3);
+        let mut tape = Tape::new();
+        let z1 = tape.leaf(Tensor::from_vec(2, 3, vec![10.0, -4.0, 3.0, 14.0, -8.0, 5.0]));
+        let z2 = tape.leaf(Tensor::from_vec(3, 3, vec![6.0, 0.0, 1.0, 8.0, -2.0, 7.0, 12.0, -6.0, 3.0]));
+        let out = gn.forward(&mut tape, &store, &[z1, z2]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(tape.value(out[0]).shape(), (2, 3));
+        assert_eq!(tape.value(out[1]).shape(), (3, 3));
+        // Concatenated output: near-zero variance shift (gamma=1, beta=0 at
+        // init) — check each column has ~unit std around the pooled mean.
+        let all: Vec<f32> = tape
+            .value(out[0])
+            .data
+            .iter()
+            .chain(&tape.value(out[1]).data)
+            .copied()
+            .collect();
+        for c in 0..3 {
+            let col: Vec<f32> = all.iter().skip(c).step_by(3).copied().collect();
+            let var: f32 = col.iter().map(|x| x * x).sum::<f32>() / col.len() as f32;
+            assert!((0.3..3.0).contains(&var), "col {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn grl_preserves_shapes_all_variants() {
+        for (gf, gat, gn) in [
+            (true, true, true),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut store = ParamStore::new();
+            let cfg = GrlConfig {
+                dim: 8,
+                gat_layers: 1,
+                heads: 2,
+                gated_fusion: gf,
+                gat,
+                graph_norm: gn,
+            };
+            let grl = GraphRefinementLayer::new(&mut store, &mut rng, "grl", cfg);
+            let mut tape = Tape::new();
+            let tr1 = tape.leaf(Tensor::uniform(1, 8, 1.0, &mut rng));
+            let tr2 = tape.leaf(Tensor::uniform(1, 8, 1.0, &mut rng));
+            let z1 = tape.leaf(Tensor::uniform(4, 8, 1.0, &mut rng));
+            let z2 = tape.leaf(Tensor::uniform(2, 8, 1.0, &mut rng));
+            let out = grl.forward(
+                &mut tape,
+                &store,
+                &[tr1, tr2],
+                &[z1, z2],
+                &[csr(4), csr(2)],
+            );
+            assert_eq!(tape.value(out[0]).shape(), (4, 8), "variant {gf}/{gat}/{gn}");
+            assert_eq!(tape.value(out[1]).shape(), (2, 8));
+            assert!(tape.value(out[0]).all_finite());
+        }
+    }
+
+    #[test]
+    fn grl_is_stackable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let cfg = GrlConfig::new(8, 2);
+        let a = GraphRefinementLayer::new(&mut store, &mut rng, "a", cfg);
+        let b = GraphRefinementLayer::new(&mut store, &mut rng, "b", cfg);
+        let mut tape = Tape::new();
+        let tr = tape.leaf(Tensor::uniform(1, 8, 1.0, &mut rng));
+        let z = tape.leaf(Tensor::uniform(3, 8, 1.0, &mut rng));
+        let c = csr(3);
+        let out1 = a.forward(&mut tape, &store, &[tr], &[z], &[c.clone()]);
+        let out2 = b.forward(&mut tape, &store, &[tr], &[out1[0]], &[c]);
+        assert_eq!(tape.value(out2[0]).shape(), (3, 8));
+    }
+
+    #[test]
+    fn grl_gradients_reach_fusion_params() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let cfg = GrlConfig::new(8, 2);
+        let grl = GraphRefinementLayer::new(&mut store, &mut rng, "g", cfg);
+        let mut tape = Tape::new();
+        let tr = tape.leaf(Tensor::uniform(1, 8, 1.0, &mut rng));
+        let z = tape.leaf(Tensor::uniform(3, 8, 1.0, &mut rng));
+        let out = grl.forward(&mut tape, &store, &[tr], &[z], &[csr(3)]);
+        let loss = tape.mean_all(out[0]);
+        store.zero_grad();
+        tape.backward(loss, &mut store);
+        let gf = grl.fusion.as_ref().unwrap();
+        assert!(store.grad(gf.wz1).data.iter().any(|&g| g != 0.0));
+        assert!(store.grad(gf.wz2).data.iter().any(|&g| g != 0.0));
+    }
+}

@@ -1,0 +1,328 @@
+//! Recurrent cells: GRU (Eq. 1) and LSTM, plus sequence runners.
+
+use rand::rngs::StdRng;
+
+use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+
+/// Gated recurrent unit cell exactly as the paper's Eq. (1):
+/// `z = σ(W_z·[s,x]+b_z)`, `r = σ(W_r·[s,x]+b_r)`,
+/// `c = tanh(W_c·[r⊙s, x]+b_c)`, `s' = (1-z)⊙s + z⊙c`.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: ParamId,
+    wr: ParamId,
+    wc: ParamId,
+    bz: ParamId,
+    br: ParamId,
+    bc: ParamId,
+    pub in_dim: usize,
+    pub hidden: usize,
+}
+
+impl GruCell {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let cat = in_dim + hidden;
+        Self {
+            wz: store.add(format!("{name}.wz"), cat, hidden, Init::Xavier, rng),
+            wr: store.add(format!("{name}.wr"), cat, hidden, Init::Xavier, rng),
+            wc: store.add(format!("{name}.wc"), cat, hidden, Init::Xavier, rng),
+            bz: store.add(format!("{name}.bz"), 1, hidden, Init::Zeros, rng),
+            br: store.add(format!("{name}.br"), 1, hidden, Init::Zeros, rng),
+            bc: store.add(format!("{name}.bc"), 1, hidden, Init::Zeros, rng),
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// One step: `x [B,in]`, `s [B,hidden]` → `s' [B,hidden]`.
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: NodeId, s: NodeId) -> NodeId {
+        let cat = tape.concat_cols(&[s, x]);
+        let wz = tape.param(store, self.wz);
+        let bz = tape.param(store, self.bz);
+        let z_lin = tape.matmul(cat, wz);
+        let z_lin = tape.add_rowvec(z_lin, bz);
+        let z = tape.sigmoid(z_lin);
+
+        let wr = tape.param(store, self.wr);
+        let br = tape.param(store, self.br);
+        let r_lin = tape.matmul(cat, wr);
+        let r_lin = tape.add_rowvec(r_lin, br);
+        let r = tape.sigmoid(r_lin);
+
+        let rs = tape.mul(r, s);
+        let cat2 = tape.concat_cols(&[rs, x]);
+        let wc = tape.param(store, self.wc);
+        let bc = tape.param(store, self.bc);
+        let c_lin = tape.matmul(cat2, wc);
+        let c_lin = tape.add_rowvec(c_lin, bc);
+        let c = tape.tanh(c_lin);
+
+        let neg_z = tape.scale(z, -1.0);
+        let one_minus_z = tape.add_const(neg_z, 1.0);
+        let keep = tape.mul(one_minus_z, s);
+        let update = tape.mul(z, c);
+        tape.add(keep, update)
+    }
+
+    /// Run over a sequence `[L, in]` with zero initial state; returns the
+    /// stacked hidden states `[L, hidden]`.
+    pub fn run_sequence(&self, tape: &mut Tape, store: &ParamStore, xs: NodeId) -> NodeId {
+        let len = tape.value(xs).rows;
+        let mut s = tape.leaf(Tensor::zeros(1, self.hidden));
+        let mut outs = Vec::with_capacity(len);
+        for i in 0..len {
+            let x = tape.select_rows(xs, i, 1);
+            s = self.step(tape, store, x, s);
+            outs.push(s);
+        }
+        tape.concat_rows(&outs)
+    }
+}
+
+/// LSTM cell (used by the t2vec / T3S / NeuTraj baseline encoders).
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wi: ParamId,
+    wf: ParamId,
+    wo: ParamId,
+    wg: ParamId,
+    bi: ParamId,
+    bf: ParamId,
+    bo: ParamId,
+    bg: ParamId,
+    pub in_dim: usize,
+    pub hidden: usize,
+}
+
+impl LstmCell {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let cat = in_dim + hidden;
+        Self {
+            wi: store.add(format!("{name}.wi"), cat, hidden, Init::Xavier, rng),
+            wf: store.add(format!("{name}.wf"), cat, hidden, Init::Xavier, rng),
+            wo: store.add(format!("{name}.wo"), cat, hidden, Init::Xavier, rng),
+            wg: store.add(format!("{name}.wg"), cat, hidden, Init::Xavier, rng),
+            bi: store.add(format!("{name}.bi"), 1, hidden, Init::Zeros, rng),
+            // Forget-gate bias of 1 — standard LSTM initialisation.
+            bf: store.add(format!("{name}.bf"), 1, hidden, Init::Ones, rng),
+            bo: store.add(format!("{name}.bo"), 1, hidden, Init::Zeros, rng),
+            bg: store.add(format!("{name}.bg"), 1, hidden, Init::Zeros, rng),
+            in_dim,
+            hidden,
+        }
+    }
+
+    fn gate(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        cat: NodeId,
+        w: ParamId,
+        b: ParamId,
+    ) -> NodeId {
+        let w = tape.param(store, w);
+        let b = tape.param(store, b);
+        let lin = tape.matmul(cat, w);
+        tape.add_rowvec(lin, b)
+    }
+
+    /// One step: returns `(h', c')`.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: NodeId,
+        h: NodeId,
+        c: NodeId,
+    ) -> (NodeId, NodeId) {
+        let cat = tape.concat_cols(&[h, x]);
+        let i_lin = self.gate(tape, store, cat, self.wi, self.bi);
+        let i = tape.sigmoid(i_lin);
+        let f_lin = self.gate(tape, store, cat, self.wf, self.bf);
+        let f = tape.sigmoid(f_lin);
+        let o_lin = self.gate(tape, store, cat, self.wo, self.bo);
+        let o = tape.sigmoid(o_lin);
+        let g_lin = self.gate(tape, store, cat, self.wg, self.bg);
+        let g = tape.tanh(g_lin);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_new = tape.add(fc, ig);
+        let c_t = tape.tanh(c_new);
+        let h_new = tape.mul(o, c_t);
+        (h_new, c_new)
+    }
+
+    /// Run over `[L, in]`, zero init; returns stacked `[L, hidden]`.
+    pub fn run_sequence(&self, tape: &mut Tape, store: &ParamStore, xs: NodeId) -> NodeId {
+        let len = tape.value(xs).rows;
+        let mut h = tape.leaf(Tensor::zeros(1, self.hidden));
+        let mut c = tape.leaf(Tensor::zeros(1, self.hidden));
+        let mut outs = Vec::with_capacity(len);
+        for i in 0..len {
+            let x = tape.select_rows(xs, i, 1);
+            let (h2, c2) = self.step(tape, store, x, h, c);
+            h = h2;
+            c = c2;
+            outs.push(h);
+        }
+        tape.concat_rows(&outs)
+    }
+}
+
+/// Bidirectional LSTM: forward + backward passes concatenated and projected
+/// back to `hidden` (the t2vec encoder architecture).
+#[derive(Debug, Clone)]
+pub struct BiLstm {
+    pub fwd: LstmCell,
+    pub bwd: LstmCell,
+    pub proj: crate::layers::Linear,
+}
+
+impl BiLstm {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        Self {
+            fwd: LstmCell::new(store, rng, &format!("{name}.fwd"), in_dim, hidden),
+            bwd: LstmCell::new(store, rng, &format!("{name}.bwd"), in_dim, hidden),
+            proj: crate::layers::Linear::new(
+                store,
+                rng,
+                &format!("{name}.proj"),
+                2 * hidden,
+                hidden,
+                true,
+            ),
+        }
+    }
+
+    pub fn run_sequence(&self, tape: &mut Tape, store: &ParamStore, xs: NodeId) -> NodeId {
+        let len = tape.value(xs).rows;
+        let f = self.fwd.run_sequence(tape, store, xs);
+        // Reverse the sequence for the backward pass.
+        let rev_rows: Vec<NodeId> =
+            (0..len).rev().map(|i| tape.select_rows(xs, i, 1)).collect();
+        let xs_rev = tape.concat_rows(&rev_rows);
+        let b_rev = self.bwd.run_sequence(tape, store, xs_rev);
+        let b_rows: Vec<NodeId> =
+            (0..len).rev().map(|i| tape.select_rows(b_rev, i, 1)).collect();
+        let b = tape.concat_rows(&b_rows);
+        let cat = tape.concat_cols(&[f, b]);
+        self.proj.forward(tape, store, cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rntrajrec_nn::Adam;
+
+    #[test]
+    fn gru_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, &mut rng, "g", 3, 5);
+        let mut tape = Tape::new();
+        let xs = tape.leaf(Tensor::zeros(7, 3));
+        let hs = gru.run_sequence(&mut tape, &store, xs);
+        assert_eq!(tape.value(hs).shape(), (7, 5));
+    }
+
+    #[test]
+    fn gru_zero_input_zero_state_stays_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, &mut rng, "g", 2, 4);
+        let mut tape = Tape::new();
+        let xs = tape.leaf(Tensor::zeros(20, 2));
+        let hs = gru.run_sequence(&mut tape, &store, xs);
+        assert!(tape.value(hs).data.iter().all(|&h| h.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gru_learns_to_memorise_first_input() {
+        // Task: output at final step = first input value; requires memory.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, &mut rng, "g", 1, 8);
+        let head = crate::layers::Linear::new(&mut store, &mut rng, "h", 8, 1, true);
+        let mut opt = Adam::new(0.02);
+        let seqs: Vec<(Vec<f32>, f32)> = vec![
+            (vec![1.0, 0.0, 0.0, 0.0], 1.0),
+            (vec![-1.0, 0.0, 0.0, 0.0], -1.0),
+            (vec![0.5, 0.0, 0.0, 0.0], 0.5),
+            (vec![-0.5, 0.0, 0.0, 0.0], -0.5),
+        ];
+        let mut last_loss = f32::INFINITY;
+        for epoch in 0..150 {
+            let mut tape = Tape::new();
+            let mut losses = Vec::new();
+            for (xs, target) in &seqs {
+                let x = tape.leaf(Tensor::from_vec(4, 1, xs.clone()));
+                let hs = gru.run_sequence(&mut tape, &store, x);
+                let hl = tape.select_rows(hs, 3, 1);
+                let y = head.forward(&mut tape, &store, hl);
+                let t = tape.leaf(Tensor::scalar(*target));
+                let d = tape.sub(y, t);
+                let sq = tape.mul(d, d);
+                losses.push(sq);
+            }
+            let all = tape.concat_rows(&losses);
+            let loss = tape.mean_all(all);
+            last_loss = tape.value(loss).item();
+            store.zero_grad();
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+            if epoch == 0 {
+                assert!(last_loss > 0.05, "task should not be trivial at init");
+            }
+        }
+        assert!(last_loss < 0.02, "GRU failed to memorise: loss {last_loss}");
+    }
+
+    #[test]
+    fn lstm_shapes_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let lstm = LstmCell::new(&mut store, &mut rng, "l", 3, 6);
+        let mut tape = Tape::new();
+        let xs = tape.leaf(Tensor::uniform(10, 3, 1.0, &mut rng));
+        let hs = lstm.run_sequence(&mut tape, &store, xs);
+        assert_eq!(tape.value(hs).shape(), (10, 6));
+        assert!(tape.value(hs).data.iter().all(|&h| h.abs() <= 1.0));
+    }
+
+    #[test]
+    fn bilstm_output_depends_on_future() {
+        // The first output row of a BiLSTM must change when the *last*
+        // input changes (unidirectional RNN would not).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let bi = BiLstm::new(&mut store, &mut rng, "b", 2, 4);
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.0, 0.0, 0.9, -0.3]));
+        let b = tape.leaf(Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.0, 0.0, -0.9, 0.3]));
+        let ha = bi.run_sequence(&mut tape, &store, a);
+        let hb = bi.run_sequence(&mut tape, &store, b);
+        let first_a = tape.value(ha).row_slice(0).to_vec();
+        let first_b = tape.value(hb).row_slice(0).to_vec();
+        assert_ne!(first_a, first_b);
+    }
+}

@@ -1,0 +1,96 @@
+//! Immutable CSR adjacency shared by the fused graph-attention ops.
+
+/// Compressed sparse rows: for node `i`, its neighbour list is
+/// `targets[offsets[i]..offsets[i+1]]`. One *edge slot* `e` corresponds to
+/// the pair `(segment_of(e), targets[e])` — the fused GAT ops
+/// ([`crate::Op::EdgeScores`], [`crate::Op::SegmentedSoftmax`],
+/// [`crate::Op::NeighborSum`]) operate on `[E, 1]` edge tensors laid out in
+/// this order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphCsr {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl GraphCsr {
+    /// Build from per-node neighbour lists. With `self_loops`, node `i` is
+    /// appended to its own list if absent (standard GAT practice; keeps
+    /// isolated nodes well-defined under softmax).
+    pub fn from_neighbor_lists(lists: &[Vec<usize>], self_loops: bool) -> Self {
+        let n = lists.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for (i, list) in lists.iter().enumerate() {
+            for &j in list {
+                assert!(j < n, "neighbor {j} out of range for {n} nodes");
+                targets.push(j);
+            }
+            if self_loops && !list.contains(&i) {
+                targets.push(i);
+            }
+            offsets.push(targets.len());
+        }
+        Self { offsets, targets }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Edge-slot range of node `i`.
+    pub fn segment(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Neighbour at edge slot `e`.
+    pub fn target(&self, e: usize) -> usize {
+        self.targets[e]
+    }
+
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.targets[self.segment(i)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_self_loops() {
+        let csr = GraphCsr::from_neighbor_lists(&[vec![1], vec![0, 1], vec![]], true);
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.neighbors(0), &[1, 0]); // self appended
+        assert_eq!(csr.neighbors(1), &[0, 1]); // already present
+        assert_eq!(csr.neighbors(2), &[2]); // isolated node gets self
+        assert_eq!(csr.num_edges(), 5);
+    }
+
+    #[test]
+    fn builds_without_self_loops() {
+        let csr = GraphCsr::from_neighbor_lists(&[vec![1], vec![0]], false);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.num_edges(), 2);
+    }
+
+    #[test]
+    fn segments_partition_edges() {
+        let csr = GraphCsr::from_neighbor_lists(&[vec![1, 2], vec![2], vec![0]], true);
+        let mut covered = 0;
+        for i in 0..csr.num_nodes() {
+            covered += csr.segment(i).len();
+        }
+        assert_eq!(covered, csr.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_neighbors() {
+        let _ = GraphCsr::from_neighbor_lists(&[vec![5]], false);
+    }
+}

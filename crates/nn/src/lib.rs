@@ -1,0 +1,36 @@
+//! A from-scratch dense-f32 tensor engine with reverse-mode autograd.
+//!
+//! This crate is the substitute for PyTorch/DGL (see DESIGN.md §2): it
+//! provides exactly the operation set RNTrajRec's computation graph needs —
+//! matrix products, element-wise activations, broadcast row-vector ops,
+//! softmax / log-softmax, concatenation & slicing (multi-head attention),
+//! gather (embedding lookup), segmented graph-attention kernels (GAT over
+//! CSR adjacency), and mean/weighted-mean pooling — each with an exact,
+//! finite-difference-verified backward.
+//!
+//! Design:
+//! * [`Tensor`] — a 2-D row-major `f32` matrix. Vectors are `[1, C]` rows,
+//!   scalars `[1, 1]`. Two dimensions are all the model needs (batching is
+//!   done by looping trajectories into one tape, which also lets GraphNorm
+//!   compute true mini-batch statistics via `concat_rows`).
+//! * [`Tape`] — a dynamic computation graph ("define-by-run"): every op
+//!   pushes a node holding its value and an [`Op`] record; backward walks
+//!   the tape in reverse, accumulating gradients. No closures, no RefCell
+//!   gymnastics — ops are a plain enum, so the whole engine is easy to
+//!   audit and test.
+//! * [`ParamStore`] / [`ParamId`] — learnable parameters live outside the
+//!   tape; `Tape::param` imports them as leaves, `Tape::backward` routes
+//!   leaf gradients back into the store, and [`Adam`] / [`Sgd`] update them.
+//! * [`GraphCsr`] — shared immutable adjacency used by the fused GAT ops.
+
+mod csr;
+mod optim;
+mod param;
+mod tape;
+mod tensor;
+
+pub use csr::GraphCsr;
+pub use optim::{clip_global_norm, Adam, Sgd};
+pub use param::{Init, ParamId, ParamStore};
+pub use tape::{NodeId, Op, Tape};
+pub use tensor::Tensor;

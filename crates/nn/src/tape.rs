@@ -1,0 +1,938 @@
+//! The reverse-mode autograd tape.
+//!
+//! Every operation eagerly computes its value and records an [`Op`] node;
+//! [`Tape::backward`] walks the tape in reverse topological order (which is
+//! simply reverse insertion order) accumulating gradients, and routes leaf
+//! gradients into the [`ParamStore`].
+
+use std::rc::Rc;
+
+use crate::{GraphCsr, ParamId, ParamStore, Tensor};
+
+/// Index of a node on the tape.
+pub type NodeId = usize;
+
+/// The operation that produced a node. Parents are tape indices, which are
+/// always smaller than the node's own index (the tape is a DAG by
+/// construction).
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Input: constant or parameter (gradient routed to the store).
+    Leaf { param: Option<ParamId> },
+    /// Element-wise `a + b` (same shape).
+    Add(NodeId, NodeId),
+    /// Element-wise `a - b`.
+    Sub(NodeId, NodeId),
+    /// Element-wise (Hadamard) `a ⊙ b`.
+    Mul(NodeId, NodeId),
+    /// `a * c` for a constant scalar.
+    Scale(NodeId, f32),
+    /// `a + c` for a constant scalar.
+    AddConst(NodeId, f32),
+    /// `[R,C] + [1,C]` broadcast over rows.
+    AddRowVec(NodeId, NodeId),
+    /// `[R,C] ⊙ [1,C]` broadcast over rows.
+    MulRowVec(NodeId, NodeId),
+    /// `[R,C] + [R,1]` broadcast over columns.
+    AddColVec(NodeId, NodeId),
+    /// `[R,C] ⊙ [R,1]` broadcast over columns.
+    MulColVec(NodeId, NodeId),
+    /// `[R,K] × [K,C]`.
+    MatMul(NodeId, NodeId),
+    /// `[R,K] × [C,K]ᵀ → [R,C]` (saves materialising transposes).
+    MatMulNT(NodeId, NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Relu(NodeId),
+    LeakyRelu(NodeId, f32),
+    /// Element-wise square root (inputs must be positive).
+    Sqrt(NodeId),
+    /// Element-wise reciprocal.
+    Recip(NodeId),
+    /// Row-wise softmax.
+    SoftmaxRows(NodeId),
+    /// Row-wise log-softmax (stable).
+    LogSoftmaxRows(NodeId),
+    /// Horizontal concatenation (same row count).
+    ConcatCols(Vec<NodeId>),
+    /// Columns `[start, start+len)`.
+    SelectCols(NodeId, usize, usize),
+    /// Vertical concatenation (same column count).
+    ConcatRows(Vec<NodeId>),
+    /// Rows `[start, start+len)`.
+    SelectRows(NodeId, usize, usize),
+    /// Repeat a `[1,C]` row `n` times → `[n,C]`.
+    RepeatRows(NodeId, usize),
+    /// Column means → `[1,C]`.
+    MeanRows(NodeId),
+    /// Weighted column means with fixed (non-learned) weights, normalised
+    /// internally → `[1,C]`. This is the paper's weighted mean pooling
+    /// (Eq. 6) and graph readout (Eq. 8).
+    WeightedMeanRows(NodeId, Rc<Vec<f32>>),
+    /// Mean of all entries → `[1,1]`.
+    MeanAll(NodeId),
+    /// Sum of all entries → `[1,1]`.
+    SumAll(NodeId),
+    /// Row gather: `table[indices[i], :]` → `[n, C]` (embedding lookup).
+    GatherRows(NodeId, Rc<Vec<usize>>),
+    /// Element-wise multiply by a fixed 0/scale mask (inverted dropout).
+    Dropout(NodeId, Rc<Vec<f32>>),
+    /// GAT edge scores: `out[e] = src[i] + dst[j_e]` for each edge slot `e`
+    /// in node `i`'s segment.
+    EdgeScores(NodeId, NodeId, Rc<GraphCsr>),
+    /// Softmax within each node's edge segment (attention normalisation).
+    SegmentedSoftmax(NodeId, Rc<GraphCsr>),
+    /// `out[i] = Σ_{e ∈ seg(i)} α[e] · feats[j_e]` (attention aggregation).
+    NeighborSum(NodeId, NodeId, Rc<GraphCsr>),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    grad: Option<Vec<f32>>,
+}
+
+/// A dynamic computation graph. Create one per forward/backward pass (or
+/// [`Tape::clear`] and reuse its allocation).
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    /// Gradient of a node after [`Tape::backward`] (`None` if the node did
+    /// not influence the loss).
+    pub fn grad(&self, id: NodeId) -> Option<&[f32]> {
+        self.nodes[id].grad.as_deref()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op, grad: None });
+        self.nodes.len() - 1
+    }
+
+    fn val(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    // ----- inputs ---------------------------------------------------------
+
+    /// A constant input (no parameter gradient).
+    pub fn leaf(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Leaf { param: None })
+    }
+
+    /// Import a parameter: clones its current value; `backward` will route
+    /// the gradient back into the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Leaf { param: Some(id) })
+    }
+
+    // ----- element-wise ---------------------------------------------------
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.val(a), self.val(b));
+        assert_eq!(ta.shape(), tb.shape(), "add: shape mismatch");
+        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x + y).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.val(a), self.val(b));
+        assert_eq!(ta.shape(), tb.shape(), "sub: shape mismatch");
+        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x - y).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Sub(a, b))
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.val(a), self.val(b));
+        assert_eq!(ta.shape(), tb.shape(), "mul: shape mismatch");
+        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x * y).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Mul(a, b))
+    }
+
+    pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        let ta = self.val(a);
+        let t = Tensor::from_vec(ta.rows, ta.cols, ta.data.iter().map(|x| x * c).collect());
+        self.push(t, Op::Scale(a, c))
+    }
+
+    pub fn add_const(&mut self, a: NodeId, c: f32) -> NodeId {
+        let ta = self.val(a);
+        let t = Tensor::from_vec(ta.rows, ta.cols, ta.data.iter().map(|x| x + c).collect());
+        self.push(t, Op::AddConst(a, c))
+    }
+
+    pub fn add_rowvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
+        let (tm, tv) = (self.val(m), self.val(v));
+        assert_eq!(tv.rows, 1, "add_rowvec: v must be [1,C]");
+        assert_eq!(tm.cols, tv.cols, "add_rowvec: column mismatch");
+        let mut t = tm.clone();
+        for r in 0..t.rows {
+            for c in 0..t.cols {
+                t.data[r * t.cols + c] += tv.data[c];
+            }
+        }
+        self.push(t, Op::AddRowVec(m, v))
+    }
+
+    pub fn mul_rowvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
+        let (tm, tv) = (self.val(m), self.val(v));
+        assert_eq!(tv.rows, 1, "mul_rowvec: v must be [1,C]");
+        assert_eq!(tm.cols, tv.cols, "mul_rowvec: column mismatch");
+        let mut t = tm.clone();
+        for r in 0..t.rows {
+            for c in 0..t.cols {
+                t.data[r * t.cols + c] *= tv.data[c];
+            }
+        }
+        self.push(t, Op::MulRowVec(m, v))
+    }
+
+    pub fn add_colvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
+        let (tm, tv) = (self.val(m), self.val(v));
+        assert_eq!(tv.cols, 1, "add_colvec: v must be [R,1]");
+        assert_eq!(tm.rows, tv.rows, "add_colvec: row mismatch");
+        let mut t = tm.clone();
+        for r in 0..t.rows {
+            let add = tv.data[r];
+            for c in 0..t.cols {
+                t.data[r * t.cols + c] += add;
+            }
+        }
+        self.push(t, Op::AddColVec(m, v))
+    }
+
+    pub fn mul_colvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
+        let (tm, tv) = (self.val(m), self.val(v));
+        assert_eq!(tv.cols, 1, "mul_colvec: v must be [R,1]");
+        assert_eq!(tm.rows, tv.rows, "mul_colvec: row mismatch");
+        let mut t = tm.clone();
+        for r in 0..t.rows {
+            let f = tv.data[r];
+            for c in 0..t.cols {
+                t.data[r * t.cols + c] *= f;
+            }
+        }
+        self.push(t, Op::MulColVec(m, v))
+    }
+
+    // ----- matrix products --------------------------------------------------
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.val(a), self.val(b));
+        assert_eq!(ta.cols, tb.rows, "matmul: inner dimension mismatch");
+        let t = matmul_kernel(ta, tb);
+        self.push(t, Op::MatMul(a, b))
+    }
+
+    /// `a × bᵀ` without materialising the transpose.
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.val(a), self.val(b));
+        assert_eq!(ta.cols, tb.cols, "matmul_nt: inner dimension mismatch");
+        let t = matmul_nt_kernel(ta, tb);
+        self.push(t, Op::MatMulNT(a, b))
+    }
+
+    // ----- activations ------------------------------------------------------
+
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let data = ta.data.iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Sigmoid(a))
+    }
+
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let data = ta.data.iter().map(|&x| x.tanh()).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Tanh(a))
+    }
+
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let data = ta.data.iter().map(|&x| x.max(0.0)).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Relu(a))
+    }
+
+    pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
+        let ta = self.val(a);
+        let data = ta.data.iter().map(|&x| if x > 0.0 { x } else { slope * x }).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::LeakyRelu(a, slope))
+    }
+
+    pub fn sqrt(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let data = ta.data.iter().map(|&x| x.max(0.0).sqrt()).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Sqrt(a))
+    }
+
+    pub fn recip(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let data = ta.data.iter().map(|&x| 1.0 / x).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Recip(a))
+    }
+
+    // ----- softmax ----------------------------------------------------------
+
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let mut t = ta.clone();
+        for r in 0..t.rows {
+            softmax_in_place(&mut t.data[r * t.cols..(r + 1) * t.cols]);
+        }
+        self.push(t, Op::SoftmaxRows(a))
+    }
+
+    pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let mut t = ta.clone();
+        for r in 0..t.rows {
+            let row = &mut t.data[r * t.cols..(r + 1) * t.cols];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            row.iter_mut().for_each(|x| *x -= lse);
+        }
+        self.push(t, Op::LogSoftmaxRows(a))
+    }
+
+    // ----- shape ops ----------------------------------------------------------
+
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let rows = self.val(parts[0]).rows;
+        let total: usize = parts.iter().map(|&p| self.val(p).cols).sum();
+        let mut t = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let tp = self.val(p);
+            assert_eq!(tp.rows, rows, "concat_cols: row mismatch");
+            for r in 0..rows {
+                let dst = r * total + off;
+                t.data[dst..dst + tp.cols]
+                    .copy_from_slice(&tp.data[r * tp.cols..(r + 1) * tp.cols]);
+            }
+            off += tp.cols;
+        }
+        self.push(t, Op::ConcatCols(parts.to_vec()))
+    }
+
+    pub fn select_cols(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let ta = self.val(a);
+        assert!(start + len <= ta.cols, "select_cols out of range");
+        let mut t = Tensor::zeros(ta.rows, len);
+        for r in 0..ta.rows {
+            t.data[r * len..(r + 1) * len]
+                .copy_from_slice(&ta.data[r * ta.cols + start..r * ta.cols + start + len]);
+        }
+        self.push(t, Op::SelectCols(a, start, len))
+    }
+
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let cols = self.val(parts[0]).cols;
+        let total: usize = parts.iter().map(|&p| self.val(p).rows).sum();
+        let mut data = Vec::with_capacity(total * cols);
+        for &p in parts {
+            let tp = self.val(p);
+            assert_eq!(tp.cols, cols, "concat_rows: column mismatch");
+            data.extend_from_slice(&tp.data);
+        }
+        self.push(Tensor::from_vec(total, cols, data), Op::ConcatRows(parts.to_vec()))
+    }
+
+    pub fn select_rows(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let ta = self.val(a);
+        assert!(start + len <= ta.rows, "select_rows out of range");
+        let data = ta.data[start * ta.cols..(start + len) * ta.cols].to_vec();
+        self.push(Tensor::from_vec(len, ta.cols, data), Op::SelectRows(a, start, len))
+    }
+
+    pub fn repeat_rows(&mut self, a: NodeId, n: usize) -> NodeId {
+        let ta = self.val(a);
+        assert_eq!(ta.rows, 1, "repeat_rows expects a [1,C] row");
+        let mut data = Vec::with_capacity(n * ta.cols);
+        for _ in 0..n {
+            data.extend_from_slice(&ta.data);
+        }
+        self.push(Tensor::from_vec(n, ta.cols, data), Op::RepeatRows(a, n))
+    }
+
+    // ----- reductions --------------------------------------------------------
+
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let mut out = vec![0.0f32; ta.cols];
+        for r in 0..ta.rows {
+            for c in 0..ta.cols {
+                out[c] += ta.data[r * ta.cols + c];
+            }
+        }
+        let inv = 1.0 / ta.rows as f32;
+        out.iter_mut().for_each(|x| *x *= inv);
+        self.push(Tensor::row(out), Op::MeanRows(a))
+    }
+
+    /// Weighted mean over rows with fixed positive weights (normalised
+    /// internally).
+    pub fn weighted_mean_rows(&mut self, a: NodeId, weights: &[f32]) -> NodeId {
+        let ta = self.val(a);
+        assert_eq!(weights.len(), ta.rows, "weighted_mean_rows: weight count");
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let norm: Vec<f32> = weights.iter().map(|w| w / total).collect();
+        let mut out = vec![0.0f32; ta.cols];
+        for r in 0..ta.rows {
+            let w = norm[r];
+            for c in 0..ta.cols {
+                out[c] += w * ta.data[r * ta.cols + c];
+            }
+        }
+        self.push(Tensor::row(out), Op::WeightedMeanRows(a, Rc::new(norm)))
+    }
+
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let m = ta.data.iter().sum::<f32>() / ta.len() as f32;
+        self.push(Tensor::scalar(m), Op::MeanAll(a))
+    }
+
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let ta = self.val(a);
+        let s = ta.data.iter().sum::<f32>();
+        self.push(Tensor::scalar(s), Op::SumAll(a))
+    }
+
+    // ----- lookup / dropout ---------------------------------------------------
+
+    pub fn gather_rows(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
+        let tt = self.val(table);
+        let mut data = Vec::with_capacity(indices.len() * tt.cols);
+        for &i in indices {
+            assert!(i < tt.rows, "gather_rows: index {i} out of {} rows", tt.rows);
+            data.extend_from_slice(&tt.data[i * tt.cols..(i + 1) * tt.cols]);
+        }
+        let t = Tensor::from_vec(indices.len(), tt.cols, data);
+        self.push(t, Op::GatherRows(table, Rc::new(indices.to_vec())))
+    }
+
+    /// Inverted dropout with keep probability `1 - p`; pass `training=false`
+    /// for identity.
+    pub fn dropout(&mut self, a: NodeId, p: f32, training: bool, rng: &mut impl rand::Rng) -> NodeId {
+        if !training || p <= 0.0 {
+            return self.scale(a, 1.0);
+        }
+        let ta = self.val(a);
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> =
+            (0..ta.len()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
+        let data = ta.data.iter().zip(&mask).map(|(x, m)| x * m).collect();
+        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        self.push(t, Op::Dropout(a, Rc::new(mask)))
+    }
+
+    // ----- fused graph-attention ops -------------------------------------------
+
+    /// GAT edge scores: for each edge slot `e` of node `i` with neighbour
+    /// `j_e`, `out[e] = src[i] + dst[j_e]` (`src`/`dst` are `[n,1]`).
+    pub fn edge_scores(&mut self, src: NodeId, dst: NodeId, csr: &Rc<GraphCsr>) -> NodeId {
+        let (ts, td) = (self.val(src), self.val(dst));
+        let n = csr.num_nodes();
+        assert_eq!((ts.rows, ts.cols), (n, 1), "edge_scores: src must be [n,1]");
+        assert_eq!((td.rows, td.cols), (n, 1), "edge_scores: dst must be [n,1]");
+        let mut out = vec![0.0f32; csr.num_edges()];
+        for i in 0..n {
+            for e in csr.segment(i) {
+                out[e] = ts.data[i] + td.data[csr.target(e)];
+            }
+        }
+        let t = Tensor::from_vec(csr.num_edges(), 1, out);
+        self.push(t, Op::EdgeScores(src, dst, Rc::clone(csr)))
+    }
+
+    /// Attention normalisation: softmax within each node's edge segment.
+    pub fn segmented_softmax(&mut self, scores: NodeId, csr: &Rc<GraphCsr>) -> NodeId {
+        let ts = self.val(scores);
+        assert_eq!((ts.rows, ts.cols), (csr.num_edges(), 1), "segmented_softmax: [E,1]");
+        let mut t = ts.clone();
+        for i in 0..csr.num_nodes() {
+            let seg = csr.segment(i);
+            if !seg.is_empty() {
+                softmax_in_place(&mut t.data[seg]);
+            }
+        }
+        self.push(t, Op::SegmentedSoftmax(scores, Rc::clone(csr)))
+    }
+
+    /// Attention aggregation: `out[i] = Σ_{e ∈ seg(i)} α[e] · feats[j_e]`.
+    pub fn neighbor_sum(&mut self, alphas: NodeId, feats: NodeId, csr: &Rc<GraphCsr>) -> NodeId {
+        let (ta, tf) = (self.val(alphas), self.val(feats));
+        assert_eq!((ta.rows, ta.cols), (csr.num_edges(), 1), "neighbor_sum: alphas [E,1]");
+        assert_eq!(tf.rows, csr.num_nodes(), "neighbor_sum: feats [n,C]");
+        let cols = tf.cols;
+        let mut t = Tensor::zeros(csr.num_nodes(), cols);
+        for i in 0..csr.num_nodes() {
+            for e in csr.segment(i) {
+                let a = ta.data[e];
+                let j = csr.target(e);
+                for c in 0..cols {
+                    t.data[i * cols + c] += a * tf.data[j * cols + c];
+                }
+            }
+        }
+        self.push(t, Op::NeighborSum(alphas, feats, Rc::clone(csr)))
+    }
+
+    // ----- backward --------------------------------------------------------------
+
+    /// Reverse-mode differentiation from scalar node `loss`. Accumulates
+    /// parameter gradients into `store`; node gradients stay readable via
+    /// [`Tape::grad`] until the next forward op or `clear`.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(self.val(loss).shape(), (1, 1), "backward: loss must be scalar");
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[loss].grad = Some(vec![1.0]);
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = self.nodes[i].grad.take() else { continue };
+            // Split-borrow: the node's op/value vs. parent grads.
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf { param } => {
+                    if let Some(pid) = param {
+                        store.accumulate_grad(pid, &g);
+                    }
+                }
+                Op::Add(a, b) => {
+                    self.acc(a, &g);
+                    self.acc(b, &g);
+                }
+                Op::Sub(a, b) => {
+                    self.acc(a, &g);
+                    let neg: Vec<f32> = g.iter().map(|x| -x).collect();
+                    self.acc(b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let ga: Vec<f32> =
+                        g.iter().zip(&self.nodes[b].value.data).map(|(x, y)| x * y).collect();
+                    let gb: Vec<f32> =
+                        g.iter().zip(&self.nodes[a].value.data).map(|(x, y)| x * y).collect();
+                    self.acc(a, &ga);
+                    self.acc(b, &gb);
+                }
+                Op::Scale(a, c) => {
+                    let ga: Vec<f32> = g.iter().map(|x| x * c).collect();
+                    self.acc(a, &ga);
+                }
+                Op::AddConst(a, _) => self.acc(a, &g),
+                Op::AddRowVec(m, v) => {
+                    self.acc(m, &g);
+                    let cols = self.nodes[v].value.cols;
+                    let rows = g.len() / cols;
+                    let mut gv = vec![0.0f32; cols];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            gv[c] += g[r * cols + c];
+                        }
+                    }
+                    self.acc(v, &gv);
+                }
+                Op::MulRowVec(m, v) => {
+                    let cols = self.nodes[v].value.cols;
+                    let rows = g.len() / cols;
+                    let vm = &self.nodes[m].value;
+                    let vv = &self.nodes[v].value;
+                    let mut gm = vec![0.0f32; g.len()];
+                    let mut gv = vec![0.0f32; cols];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            gm[r * cols + c] = g[r * cols + c] * vv.data[c];
+                            gv[c] += g[r * cols + c] * vm.data[r * cols + c];
+                        }
+                    }
+                    self.acc(m, &gm);
+                    self.acc(v, &gv);
+                }
+                Op::AddColVec(m, v) => {
+                    self.acc(m, &g);
+                    let rows = self.nodes[v].value.rows;
+                    let cols = g.len() / rows;
+                    let mut gv = vec![0.0f32; rows];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            gv[r] += g[r * cols + c];
+                        }
+                    }
+                    self.acc(v, &gv);
+                }
+                Op::MulColVec(m, v) => {
+                    let rows = self.nodes[v].value.rows;
+                    let cols = g.len() / rows;
+                    let vm = &self.nodes[m].value;
+                    let vv = &self.nodes[v].value;
+                    let mut gm = vec![0.0f32; g.len()];
+                    let mut gv = vec![0.0f32; rows];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            gm[r * cols + c] = g[r * cols + c] * vv.data[r];
+                            gv[r] += g[r * cols + c] * vm.data[r * cols + c];
+                        }
+                    }
+                    self.acc(m, &gm);
+                    self.acc(v, &gv);
+                }
+                Op::MatMul(a, b) => {
+                    let (ta, tb) = (&self.nodes[a].value, &self.nodes[b].value);
+                    let gt = Tensor::from_vec(ta.rows, tb.cols, g.clone());
+                    // dA = dC · Bᵀ ; dB = Aᵀ · dC
+                    let ga = matmul_nt_kernel(&gt, tb);
+                    let gb = matmul_tn_kernel(ta, &gt);
+                    self.acc(a, &ga.data);
+                    self.acc(b, &gb.data);
+                }
+                Op::MatMulNT(a, b) => {
+                    let (ta, tb) = (&self.nodes[a].value, &self.nodes[b].value);
+                    let gt = Tensor::from_vec(ta.rows, tb.rows, g.clone());
+                    // C = A·Bᵀ: dA = dC·B ; dB = dCᵀ·A
+                    let ga = matmul_kernel(&gt, tb);
+                    let gb = matmul_tn_kernel(&gt, ta);
+                    self.acc(a, &ga.data);
+                    self.acc(b, &gb.data);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga: Vec<f32> =
+                        g.iter().zip(&y.data).map(|(gx, &yy)| gx * yy * (1.0 - yy)).collect();
+                    self.acc(a, &ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga: Vec<f32> =
+                        g.iter().zip(&y.data).map(|(gx, &yy)| gx * (1.0 - yy * yy)).collect();
+                    self.acc(a, &ga);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[a].value;
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(&x.data)
+                        .map(|(gx, &xx)| if xx > 0.0 { *gx } else { 0.0 })
+                        .collect();
+                    self.acc(a, &ga);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let x = &self.nodes[a].value;
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(&x.data)
+                        .map(|(gx, &xx)| if xx > 0.0 { *gx } else { gx * slope })
+                        .collect();
+                    self.acc(a, &ga);
+                }
+                Op::Sqrt(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(&y.data)
+                        .map(|(gx, &yy)| if yy > 0.0 { gx * 0.5 / yy } else { 0.0 })
+                        .collect();
+                    self.acc(a, &ga);
+                }
+                Op::Recip(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga: Vec<f32> =
+                        g.iter().zip(&y.data).map(|(gx, &yy)| -gx * yy * yy).collect();
+                    self.acc(a, &ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[i].value;
+                    let cols = y.cols;
+                    let mut ga = vec![0.0f32; g.len()];
+                    for r in 0..y.rows {
+                        let yr = &y.data[r * cols..(r + 1) * cols];
+                        let gr = &g[r * cols..(r + 1) * cols];
+                        let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
+                        for c in 0..cols {
+                            ga[r * cols + c] = yr[c] * (gr[c] - dot);
+                        }
+                    }
+                    self.acc(a, &ga);
+                }
+                Op::LogSoftmaxRows(a) => {
+                    let y = &self.nodes[i].value; // y = log softmax(x)
+                    let cols = y.cols;
+                    let mut ga = vec![0.0f32; g.len()];
+                    for r in 0..y.rows {
+                        let yr = &y.data[r * cols..(r + 1) * cols];
+                        let gr = &g[r * cols..(r + 1) * cols];
+                        let gsum: f32 = gr.iter().sum();
+                        for c in 0..cols {
+                            ga[r * cols + c] = gr[c] - yr[c].exp() * gsum;
+                        }
+                    }
+                    self.acc(a, &ga);
+                }
+                Op::ConcatCols(parts) => {
+                    let total = self.nodes[i].value.cols;
+                    let rows = self.nodes[i].value.rows;
+                    let mut off = 0;
+                    for &p in &parts {
+                        let pc = self.nodes[p].value.cols;
+                        let mut gp = vec![0.0f32; rows * pc];
+                        for r in 0..rows {
+                            gp[r * pc..(r + 1) * pc]
+                                .copy_from_slice(&g[r * total + off..r * total + off + pc]);
+                        }
+                        self.acc(p, &gp);
+                        off += pc;
+                    }
+                }
+                Op::SelectCols(a, start, len) => {
+                    let ta = &self.nodes[a].value;
+                    let mut ga = vec![0.0f32; ta.len()];
+                    for r in 0..ta.rows {
+                        for c in 0..len {
+                            ga[r * ta.cols + start + c] = g[r * len + c];
+                        }
+                    }
+                    self.acc(a, &ga);
+                }
+                Op::ConcatRows(parts) => {
+                    let cols = self.nodes[i].value.cols;
+                    let mut off = 0;
+                    for &p in &parts {
+                        let pr = self.nodes[p].value.rows;
+                        self.acc(p, &g[off * cols..(off + pr) * cols]);
+                        off += pr;
+                    }
+                }
+                Op::SelectRows(a, start, len) => {
+                    let ta = &self.nodes[a].value;
+                    let mut ga = vec![0.0f32; ta.len()];
+                    ga[start * ta.cols..(start + len) * ta.cols].copy_from_slice(&g);
+                    self.acc(a, &ga);
+                }
+                Op::RepeatRows(a, n) => {
+                    let cols = self.nodes[a].value.cols;
+                    let mut ga = vec![0.0f32; cols];
+                    for r in 0..n {
+                        for c in 0..cols {
+                            ga[c] += g[r * cols + c];
+                        }
+                    }
+                    self.acc(a, &ga);
+                }
+                Op::MeanRows(a) => {
+                    let ta = &self.nodes[a].value;
+                    let inv = 1.0 / ta.rows as f32;
+                    let mut ga = vec![0.0f32; ta.len()];
+                    for r in 0..ta.rows {
+                        for c in 0..ta.cols {
+                            ga[r * ta.cols + c] = g[c] * inv;
+                        }
+                    }
+                    self.acc(a, &ga);
+                }
+                Op::WeightedMeanRows(a, w) => {
+                    let ta = &self.nodes[a].value;
+                    let mut ga = vec![0.0f32; ta.len()];
+                    for r in 0..ta.rows {
+                        for c in 0..ta.cols {
+                            ga[r * ta.cols + c] = g[c] * w[r];
+                        }
+                    }
+                    self.acc(a, &ga);
+                }
+                Op::MeanAll(a) => {
+                    let ta = &self.nodes[a].value;
+                    let v = g[0] / ta.len() as f32;
+                    let ga = vec![v; ta.len()];
+                    self.acc(a, &ga);
+                }
+                Op::SumAll(a) => {
+                    let ta = &self.nodes[a].value;
+                    let ga = vec![g[0]; ta.len()];
+                    self.acc(a, &ga);
+                }
+                Op::GatherRows(table, indices) => {
+                    let tt = &self.nodes[table].value;
+                    let cols = tt.cols;
+                    let mut gt = vec![0.0f32; tt.len()];
+                    for (row, &idx) in indices.iter().enumerate() {
+                        for c in 0..cols {
+                            gt[idx * cols + c] += g[row * cols + c];
+                        }
+                    }
+                    self.acc(table, &gt);
+                }
+                Op::Dropout(a, mask) => {
+                    let ga: Vec<f32> = g.iter().zip(mask.iter()).map(|(x, m)| x * m).collect();
+                    self.acc(a, &ga);
+                }
+                Op::EdgeScores(src, dst, csr) => {
+                    let n = csr.num_nodes();
+                    let mut gs = vec![0.0f32; n];
+                    let mut gd = vec![0.0f32; n];
+                    for i2 in 0..n {
+                        for e in csr.segment(i2) {
+                            gs[i2] += g[e];
+                            gd[csr.target(e)] += g[e];
+                        }
+                    }
+                    self.acc(src, &gs);
+                    self.acc(dst, &gd);
+                }
+                Op::SegmentedSoftmax(scores, csr) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = vec![0.0f32; y.len()];
+                    for i2 in 0..csr.num_nodes() {
+                        let seg = csr.segment(i2);
+                        let dot: f32 = seg.clone().map(|e| y.data[e] * g[e]).sum();
+                        for e in seg {
+                            ga[e] = y.data[e] * (g[e] - dot);
+                        }
+                    }
+                    self.acc(scores, &ga);
+                }
+                Op::NeighborSum(alphas, feats, csr) => {
+                    let tf = &self.nodes[feats].value;
+                    let ta = &self.nodes[alphas].value;
+                    let cols = tf.cols;
+                    let mut ga = vec![0.0f32; ta.len()];
+                    let mut gf = vec![0.0f32; tf.len()];
+                    for i2 in 0..csr.num_nodes() {
+                        for e in csr.segment(i2) {
+                            let j = csr.target(e);
+                            let mut dot = 0.0;
+                            for c in 0..cols {
+                                let go = g[i2 * cols + c];
+                                dot += go * tf.data[j * cols + c];
+                                gf[j * cols + c] += ta.data[e] * go;
+                            }
+                            ga[e] = dot;
+                        }
+                    }
+                    self.acc(alphas, &ga);
+                    self.acc(feats, &gf);
+                }
+            }
+            // Keep the gradient readable for inspection/tests.
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn acc(&mut self, id: NodeId, contribution: &[f32]) {
+        let node = &mut self.nodes[id];
+        match &mut node.grad {
+            Some(g) => {
+                debug_assert_eq!(g.len(), contribution.len());
+                for (a, b) in g.iter_mut().zip(contribution) {
+                    *a += b;
+                }
+            }
+            None => node.grad = Some(contribution.to_vec()),
+        }
+    }
+}
+
+fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    row.iter_mut().for_each(|x| *x *= inv);
+}
+
+/// `A[R,K] × B[K,C]`.
+pub(crate) fn matmul_kernel(a: &Tensor, b: &Tensor) -> Tensor {
+    let (r, k, c) = (a.rows, a.cols, b.cols);
+    let mut out = Tensor::zeros(r, c);
+    for i in 0..r {
+        for kk in 0..k {
+            let av = a.data[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.data[kk * c..(kk + 1) * c];
+            let orow = &mut out.data[i * c..(i + 1) * c];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `A[R,K] × B[C,K]ᵀ → [R,C]`.
+pub(crate) fn matmul_nt_kernel(a: &Tensor, b: &Tensor) -> Tensor {
+    let (r, k, c) = (a.rows, a.cols, b.rows);
+    let mut out = Tensor::zeros(r, c);
+    for i in 0..r {
+        let arow = &a.data[i * k..(i + 1) * k];
+        for j in 0..c {
+            let brow = &b.data[j * k..(j + 1) * k];
+            let mut s = 0.0;
+            for kk in 0..k {
+                s += arow[kk] * brow[kk];
+            }
+            out.data[i * c + j] = s;
+        }
+    }
+    out
+}
+
+/// `A[K,R]ᵀ × B[K,C] → [R,C]`.
+pub(crate) fn matmul_tn_kernel(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, r, c) = (a.rows, a.cols, b.cols);
+    let mut out = Tensor::zeros(r, c);
+    for kk in 0..k {
+        for i in 0..r {
+            let av = a.data[kk * r + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.data[kk * c..(kk + 1) * c];
+            let orow = &mut out.data[i * c..(i + 1) * c];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,179 @@
+//! Dense 2-D row-major `f32` matrices.
+
+use rand::Rng;
+
+/// A dense 2-D matrix. Row-major storage: element `(r, c)` is
+/// `data[r * cols + c]`. Vectors are `[1, C]`, scalars `[1, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A `[1, C]` row vector.
+    pub fn row(data: Vec<f32>) -> Self {
+        Self { rows: 1, cols: data.len(), data }
+    }
+
+    /// A `[1, 1]` scalar.
+    pub fn scalar(v: f32) -> Self {
+        Self { rows: 1, cols: 1, data: vec![v] }
+    }
+
+    /// Uniform init in `[-a, a]`.
+    pub fn uniform(rows: usize, cols: usize, a: f32, rng: &mut impl Rng) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Xavier/Glorot uniform init: `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        Self::uniform(rows, cols, a, rng)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Scalar value of a `[1,1]` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Index of the maximum entry in row `r` (first index on ties).
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row_slice(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate().skip(1) {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True if all entries are finite (NaN guard for tests/training).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Max absolute element-wise difference (for tests).
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Tensor::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert_eq!(z.len(), 6);
+        assert!(z.data.iter().all(|&x| x == 0.0));
+        assert_eq!(Tensor::scalar(4.0).item(), 4.0);
+        assert_eq!(Tensor::row(vec![1.0, 2.0]).shape(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_checks_shape() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn get_set_row_major() {
+        let mut t = Tensor::zeros(2, 3);
+        t.set(1, 2, 7.0);
+        assert_eq!(t.get(1, 2), 7.0);
+        assert_eq!(t.data[5], 7.0);
+        assert_eq!(t.row_slice(1), &[0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn argmax_row_picks_first_max() {
+        let t = Tensor::from_vec(2, 3, vec![0.0, 5.0, 5.0, -1.0, -2.0, -3.0]);
+        assert_eq!(t.argmax_row(0), 1);
+        assert_eq!(t.argmax_row(1), 0);
+    }
+
+    #[test]
+    fn xavier_scale_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::xavier(30, 30, &mut rng);
+        let a = (6.0f32 / 60.0).sqrt();
+        assert!(t.data.iter().all(|&x| x.abs() <= a));
+        // Not all-zero.
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let t = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(t.norm(), 5.0);
+    }
+
+    #[test]
+    fn finite_guard() {
+        let mut t = Tensor::zeros(1, 2);
+        assert!(t.all_finite());
+        t.data[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

@@ -1,0 +1,61 @@
+//! Positions on the road network: `(segment, moving ratio)` pairs.
+
+use crate::{RoadNetwork, SegmentId};
+use rntrajrec_geo::XY;
+
+/// A map-matched location: road segment plus moving ratio `r ∈ [0, 1)`
+/// (Definition 2: "moving distance of `p_j` over the total length of `e_j`").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoadPosition {
+    pub seg: SegmentId,
+    pub frac: f64,
+}
+
+impl RoadPosition {
+    pub fn new(seg: SegmentId, frac: f64) -> Self {
+        Self { seg, frac: frac.clamp(0.0, 1.0) }
+    }
+
+    /// Planar coordinates of this position.
+    pub fn xy(&self, net: &RoadNetwork) -> XY {
+        net.segment(self.seg).geometry.point_at_fraction(self.frac)
+    }
+
+    /// Metres from the start of the segment.
+    pub fn offset_m(&self, net: &RoadNetwork) -> f64 {
+        self.frac * net.segment(self.seg).length()
+    }
+
+    /// Metres remaining to the end of the segment.
+    pub fn remaining_m(&self, net: &RoadNetwork) -> f64 {
+        (1.0 - self.frac) * net.segment(self.seg).length()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoadLevel, RoadNetworkBuilder};
+    use rntrajrec_geo::Polyline;
+
+    fn net() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(200.0, 0.0)), RoadLevel::Primary);
+        b.build()
+    }
+
+    #[test]
+    fn xy_at_fraction() {
+        let net = net();
+        let p = RoadPosition::new(SegmentId(0), 0.25);
+        assert_eq!(p.xy(&net), XY::new(50.0, 0.0));
+        assert_eq!(p.offset_m(&net), 50.0);
+        assert_eq!(p.remaining_m(&net), 150.0);
+    }
+
+    #[test]
+    fn frac_is_clamped() {
+        assert_eq!(RoadPosition::new(SegmentId(0), -0.5).frac, 0.0);
+        assert_eq!(RoadPosition::new(SegmentId(0), 1.5).frac, 1.0);
+    }
+}

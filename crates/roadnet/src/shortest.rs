@@ -1,0 +1,321 @@
+//! Dijkstra shortest paths over the segment graph and road-network distance.
+//!
+//! The paper's MAE/RMSE metrics use "road network distance ... between two
+//! GPS points" (Section VI-A2); the HMM map matcher needs route lengths
+//! between candidate segments; and the trajectory simulator samples
+//! shortest-path routes. All three are served here.
+//!
+//! Distances are measured along driving direction: travelling from a
+//! position `(a, r_a)` to `(b, r_b)` costs the remaining metres on `a`, plus
+//! the lengths of all intermediate segments, plus `r_b · len(b)` on `b`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{RoadNetwork, RoadPosition, SegmentId};
+
+const UNVISITED: f64 = f64::INFINITY;
+
+/// Single-source shortest-path engine with reusable scratch buffers.
+///
+/// `dist[x]` is the distance in metres from the **end of the source
+/// segment** to the **start of segment x** (so an immediate successor has
+/// distance 0). Create one per thread and reuse it: buffers are cleared
+/// lazily via a generation counter, making repeated queries allocation-free.
+pub struct ShortestPaths {
+    dist: Vec<f64>,
+    prev: Vec<Option<SegmentId>>,
+    gen: Vec<u32>,
+    cur_gen: u32,
+}
+
+impl ShortestPaths {
+    pub fn new(net: &RoadNetwork) -> Self {
+        let n = net.num_segments();
+        Self { dist: vec![UNVISITED; n], prev: vec![None; n], gen: vec![0; n], cur_gen: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.cur_gen = self.cur_gen.wrapping_add(1);
+        if self.cur_gen == 0 {
+            // Extremely rare wrap: do a full clear to stay correct.
+            self.gen.iter_mut().for_each(|g| *g = 0);
+            self.cur_gen = 1;
+        }
+    }
+
+    fn get(&self, s: SegmentId) -> f64 {
+        if self.gen[s.index()] == self.cur_gen {
+            self.dist[s.index()]
+        } else {
+            UNVISITED
+        }
+    }
+
+    fn set(&mut self, s: SegmentId, d: f64, p: Option<SegmentId>) {
+        self.gen[s.index()] = self.cur_gen;
+        self.dist[s.index()] = d;
+        self.prev[s.index()] = p;
+    }
+
+    /// Run Dijkstra from `source` with metre costs. Stops early once
+    /// `target` is settled (if given) or when distances exceed `max_m`
+    /// (if finite).
+    ///
+    /// After the call, [`ShortestPaths::gap_m`] reads distances and
+    /// [`ShortestPaths::route`] reconstructs segment paths.
+    pub fn run(&mut self, net: &RoadNetwork, source: SegmentId, target: Option<SegmentId>, max_m: f64) {
+        self.run_with(net, source, target, max_m, |s| net.segment(s).length());
+    }
+
+    /// Dijkstra with an arbitrary non-negative per-segment traversal cost
+    /// (e.g. travel time `length / freeflow_speed`, used by the trajectory
+    /// simulator to make the elevated expressway attractive on long trips).
+    pub fn run_with(
+        &mut self,
+        net: &RoadNetwork,
+        source: SegmentId,
+        target: Option<SegmentId>,
+        max_cost: f64,
+        cost: impl Fn(SegmentId) -> f64,
+    ) {
+        self.reset();
+        let mut heap: BinaryHeap<(Reverse<u64>, SegmentId)> = BinaryHeap::new();
+        for &s in net.out_edges(source) {
+            self.set(s, 0.0, Some(source));
+            heap.push((Reverse(0), s));
+        }
+        while let Some((Reverse(bits), u)) = heap.pop() {
+            let d = f64::from_bits(bits);
+            if d > self.get(u) {
+                continue; // stale entry
+            }
+            if Some(u) == target {
+                return;
+            }
+            let next = d + cost(u);
+            if next > max_cost {
+                continue;
+            }
+            for &v in net.out_edges(u) {
+                if next < self.get(v) {
+                    self.set(v, next, Some(u));
+                    heap.push((Reverse(next.to_bits()), v));
+                }
+            }
+        }
+    }
+
+    /// Metres from the end of the source segment to the start of `s`
+    /// (after [`ShortestPaths::run`]); `None` if unreachable.
+    pub fn gap_m(&self, s: SegmentId) -> Option<f64> {
+        let d = self.get(s);
+        (d < UNVISITED).then_some(d)
+    }
+
+    /// Reconstruct the segment route source→`s`, inclusive of both ends.
+    pub fn route(&self, source: SegmentId, s: SegmentId) -> Option<Vec<SegmentId>> {
+        if self.get(s) == UNVISITED {
+            return None;
+        }
+        let mut path = vec![s];
+        let mut cur = s;
+        while let Some(p) = self.prev[cur.index()] {
+            if self.gen[cur.index()] != self.cur_gen {
+                return None;
+            }
+            path.push(p);
+            if p == source {
+                path.reverse();
+                return Some(path);
+            }
+            cur = p;
+        }
+        None
+    }
+}
+
+/// Convenience wrapper computing road-network distances between positions.
+///
+/// The *metric* distance used for MAE/RMSE is the minimum of the two driving
+/// directions (the paper's metric is an undirected error measure between a
+/// predicted and a true point). Falls back to straight-line distance when
+/// the graph offers no route (possible only on degenerate networks).
+pub struct NetworkDistance<'a> {
+    net: &'a RoadNetwork,
+    sp: ShortestPaths,
+    /// Distances are capped here; beyond the cap the straight-line fallback
+    /// kicks in. Keeps metric queries fast on large networks.
+    pub max_m: f64,
+}
+
+impl<'a> NetworkDistance<'a> {
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        Self { net, sp: ShortestPaths::new(net), max_m: 20_000.0 }
+    }
+
+    /// Directed driving distance from `a` to `b`, in metres.
+    pub fn directed_m(&mut self, a: &RoadPosition, b: &RoadPosition) -> Option<f64> {
+        if a.seg == b.seg && b.frac >= a.frac {
+            return Some((b.frac - a.frac) * self.net.segment(a.seg).length());
+        }
+        self.sp.run(self.net, a.seg, Some(b.seg), self.max_m);
+        let gap = self.sp.gap_m(b.seg)?;
+        Some(a.remaining_m(self.net) + gap + b.offset_m(self.net))
+    }
+
+    /// Undirected metric distance (min of both directions, straight-line
+    /// fallback) — the `dist(p_i, p̂_i)` of the paper's MAE/RMSE.
+    pub fn metric_m(&mut self, a: &RoadPosition, b: &RoadPosition) -> f64 {
+        let ab = self.directed_m(a, b);
+        let ba = self.directed_m(b, a);
+        let network = match (ab, ba) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (None, None) => None,
+        };
+        network.unwrap_or_else(|| a.xy(self.net).dist(&b.xy(self.net)))
+    }
+
+    /// Shortest segment route from `a` to `b` (inclusive); `None` when
+    /// unreachable. Same-segment forward movement yields `[a]`… `[a]` only.
+    pub fn route(&mut self, a: SegmentId, b: SegmentId) -> Option<Vec<SegmentId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        self.sp.run(self.net, a, Some(b), self.max_m);
+        self.sp.route(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoadLevel, RoadNetworkBuilder};
+    use rntrajrec_geo::{Polyline, XY};
+
+    /// A square ring of four 100 m one-way segments 0→1→2→3→0.
+    fn ring() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let pts = [
+            XY::new(0.0, 0.0),
+            XY::new(100.0, 0.0),
+            XY::new(100.0, 100.0),
+            XY::new(0.0, 100.0),
+        ];
+        for i in 0..4 {
+            b.add_segment(Polyline::segment(pts[i], pts[(i + 1) % 4]), RoadLevel::Primary);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ring_connectivity() {
+        let net = ring();
+        for i in 0..4u32 {
+            assert_eq!(net.out_edges(SegmentId(i)), &[SegmentId((i + 1) % 4)]);
+        }
+    }
+
+    #[test]
+    fn gap_distances_around_ring() {
+        let net = ring();
+        let mut sp = ShortestPaths::new(&net);
+        sp.run(&net, SegmentId(0), None, f64::INFINITY);
+        assert_eq!(sp.gap_m(SegmentId(1)), Some(0.0));
+        assert_eq!(sp.gap_m(SegmentId(2)), Some(100.0));
+        assert_eq!(sp.gap_m(SegmentId(3)), Some(200.0));
+        // Back to the source via the cycle: 1,2,3 traversed = 300 m.
+        assert_eq!(sp.gap_m(SegmentId(0)), Some(300.0));
+    }
+
+    #[test]
+    fn route_reconstruction() {
+        let net = ring();
+        let mut sp = ShortestPaths::new(&net);
+        sp.run(&net, SegmentId(0), Some(SegmentId(2)), f64::INFINITY);
+        assert_eq!(sp.route(SegmentId(0), SegmentId(2)), Some(vec![SegmentId(0), SegmentId(1), SegmentId(2)]));
+    }
+
+    #[test]
+    fn directed_distance_same_segment() {
+        let net = ring();
+        let mut nd = NetworkDistance::new(&net);
+        let a = RoadPosition::new(SegmentId(0), 0.2);
+        let b = RoadPosition::new(SegmentId(0), 0.7);
+        assert!((nd.directed_m(&a, &b).unwrap() - 50.0).abs() < 1e-9);
+        // Backwards on a one-way ring means going all the way around:
+        // 30 m remaining + gap(0,0)=300 + 20 m offset = 350.
+        assert!((nd.directed_m(&b, &a).unwrap() - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn directed_distance_across_segments() {
+        let net = ring();
+        let mut nd = NetworkDistance::new(&net);
+        let a = RoadPosition::new(SegmentId(0), 0.5);
+        let b = RoadPosition::new(SegmentId(1), 0.5);
+        // 50 m remaining on 0, gap 0, 50 m into 1.
+        assert_eq!(nd.directed_m(&a, &b), Some(100.0));
+    }
+
+    #[test]
+    fn metric_takes_min_direction() {
+        let net = ring();
+        let mut nd = NetworkDistance::new(&net);
+        let a = RoadPosition::new(SegmentId(0), 0.2);
+        let b = RoadPosition::new(SegmentId(0), 0.7);
+        assert!((nd.metric_m(&a, &b) - 50.0).abs() < 1e-9);
+        assert!((nd.metric_m(&b, &a) - 50.0).abs() < 1e-9); // symmetric
+    }
+
+    #[test]
+    fn max_distance_cap_prunes() {
+        let net = ring();
+        let mut sp = ShortestPaths::new(&net);
+        sp.run(&net, SegmentId(0), None, 150.0);
+        assert_eq!(sp.gap_m(SegmentId(1)), Some(0.0));
+        assert_eq!(sp.gap_m(SegmentId(2)), Some(100.0));
+        // gap 200 exceeds the 150 m cap.
+        assert_eq!(sp.gap_m(SegmentId(3)), None);
+    }
+
+    #[test]
+    fn unreachable_fallback_is_straight_line() {
+        // Two disconnected parallel segments.
+        let mut b = RoadNetworkBuilder::new();
+        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)), RoadLevel::Primary);
+        b.add_segment(
+            Polyline::segment(XY::new(0.0, 50.0), XY::new(100.0, 50.0)),
+            RoadLevel::Primary,
+        );
+        let net = b.build();
+        let mut nd = NetworkDistance::new(&net);
+        let a = RoadPosition::new(SegmentId(0), 0.5);
+        let c = RoadPosition::new(SegmentId(1), 0.5);
+        assert_eq!(nd.directed_m(&a, &c), None);
+        assert_eq!(nd.metric_m(&a, &c), 50.0);
+    }
+
+    #[test]
+    fn generation_reset_keeps_queries_independent() {
+        let net = ring();
+        let mut sp = ShortestPaths::new(&net);
+        sp.run(&net, SegmentId(0), None, f64::INFINITY);
+        let first = sp.gap_m(SegmentId(2));
+        sp.run(&net, SegmentId(2), None, f64::INFINITY);
+        // From 2: successor is 3 at gap 0; segment 1 is two hops away.
+        assert_eq!(sp.gap_m(SegmentId(3)), Some(0.0));
+        assert_eq!(sp.gap_m(SegmentId(1)), Some(100.0 + 100.0));
+        // Re-run from 0 must reproduce the first answer.
+        sp.run(&net, SegmentId(0), None, f64::INFINITY);
+        assert_eq!(sp.gap_m(SegmentId(2)), first);
+    }
+
+    #[test]
+    fn route_same_segment() {
+        let net = ring();
+        let mut nd = NetworkDistance::new(&net);
+        assert_eq!(nd.route(SegmentId(1), SegmentId(1)), Some(vec![SegmentId(1)]));
+    }
+}

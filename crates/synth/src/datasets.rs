@@ -1,0 +1,293 @@
+//! Named dataset configurations mirroring Table II, and the split builder.
+//!
+//! Absolute sizes are laptop-scale (the paper used 150 k trajectories per
+//! city on a 24 GB GPU); *relative* scales follow Table II:
+//!
+//! | config       | paper area (km²) | paper #segs | ϵρ (s) | here            |
+//! |--------------|------------------|-------------|--------|-----------------|
+//! | `chengdu`    | 8.3 × 8.3        | 8 781       | 12     | 8×8 blocks      |
+//! | `porto`      | 6.8 × 7.2        | 12 613      | 15     | 7×7 dense blocks|
+//! | `shanghai_l` | 23.0 × 30.8      | 34 986      | 10     | 12×14 blocks    |
+//! | `shanghai`   | 6.4 × 14.4       | 9 298       | 10     | 6×12 blocks     |
+//! | `chengdu_few`| same as chengdu, ~20 % of the trajectories              |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rntrajrec_roadnet::{CityConfig, SyntheticCity};
+
+use crate::{SimConfig, Simulator, TrajSample};
+
+/// Everything needed to build one named dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    pub name: &'static str,
+    pub city: CityConfig,
+    pub sim: SimConfig,
+    /// Down-sampling factor: ϵτ = ϵρ · factor (8 or 16 in the paper).
+    pub downsample: usize,
+    /// Total number of trajectories (split 7:2:1).
+    pub num_trajectories: usize,
+    /// Fraction of trips forced to depart on the elevated/trunk corridor so
+    /// the robustness study (Fig. 4) has enough hard cases.
+    pub corridor_fraction: f64,
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Chengdu: compact dense grid, ϵρ = 12 s (Table II row 2).
+    pub fn chengdu(downsample: usize, num_trajectories: usize) -> Self {
+        Self {
+            name: "chengdu",
+            city: CityConfig {
+                blocks_x: 8,
+                blocks_y: 8,
+                block_min_m: 120.0,
+                block_max_m: 240.0,
+                seed: 101,
+                ..CityConfig::default()
+            },
+            sim: SimConfig { eps_rho_s: 12.0, speed_scale: 2.0, ..SimConfig::default() },
+            downsample,
+            num_trajectories,
+            corridor_fraction: 0.3,
+            seed: 1001,
+        }
+    }
+
+    /// Porto: slightly smaller but denser network, ϵρ = 15 s.
+    pub fn porto(downsample: usize, num_trajectories: usize) -> Self {
+        Self {
+            name: "porto",
+            city: CityConfig {
+                blocks_x: 7,
+                blocks_y: 7,
+                block_min_m: 90.0,
+                block_max_m: 180.0,
+                arterial_every: 3,
+                seed: 202,
+                ..CityConfig::default()
+            },
+            sim: SimConfig { eps_rho_s: 15.0, speed_scale: 2.0, ..SimConfig::default() },
+            downsample,
+            num_trajectories,
+            corridor_fraction: 0.3,
+            seed: 2002,
+        }
+    }
+
+    /// Shanghai-L: the scalability config — largest area and segment count,
+    /// ϵρ = 10 s.
+    pub fn shanghai_l(downsample: usize, num_trajectories: usize) -> Self {
+        Self {
+            name: "shanghai_l",
+            city: CityConfig {
+                blocks_x: 12,
+                blocks_y: 14,
+                block_min_m: 130.0,
+                block_max_m: 280.0,
+                seed: 303,
+                ..CityConfig::default()
+            },
+            sim: SimConfig { eps_rho_s: 10.0, speed_scale: 2.0, ..SimConfig::default() },
+            downsample,
+            num_trajectories,
+            corridor_fraction: 0.3,
+            seed: 3003,
+        }
+    }
+
+    /// Shanghai (Table IV): a different, mid-sized Shanghai area.
+    pub fn shanghai(downsample: usize, num_trajectories: usize) -> Self {
+        Self {
+            name: "shanghai",
+            city: CityConfig {
+                blocks_x: 6,
+                blocks_y: 12,
+                block_min_m: 120.0,
+                block_max_m: 260.0,
+                seed: 404,
+                ..CityConfig::default()
+            },
+            sim: SimConfig { eps_rho_s: 10.0, speed_scale: 2.0, ..SimConfig::default() },
+            downsample,
+            num_trajectories,
+            corridor_fraction: 0.3,
+            seed: 4004,
+        }
+    }
+
+    /// Chengdu-Few (Table IV): identical city/settings to Chengdu but ~20 %
+    /// of the trajectories.
+    pub fn chengdu_few(downsample: usize, chengdu_trajectories: usize) -> Self {
+        let mut c = Self::chengdu(downsample, (chengdu_trajectories / 5).max(10));
+        c.name = "chengdu_few";
+        c.seed = 5005;
+        c
+    }
+
+    /// A minimal configuration for unit tests (fast to generate & train).
+    pub fn tiny(downsample: usize, num_trajectories: usize) -> Self {
+        Self {
+            name: "tiny",
+            city: CityConfig::tiny(),
+            sim: SimConfig { target_len: 17, ..SimConfig::default() },
+            downsample,
+            num_trajectories,
+            corridor_fraction: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+/// Summary statistics for Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub name: &'static str,
+    pub num_trajectories: usize,
+    pub num_segments: usize,
+    pub area_km2: (f64, f64),
+    pub avg_travel_time_s: f64,
+    pub raw_interval_s: f64,
+    pub eps_rho_s: f64,
+    pub eps_tau_s: f64,
+}
+
+/// A generated dataset with 7:2:1 train/validation/test split.
+pub struct SplitDataset {
+    pub city: SyntheticCity,
+    pub train: Vec<TrajSample>,
+    pub valid: Vec<TrajSample>,
+    pub test: Vec<TrajSample>,
+    pub config: DatasetConfig,
+}
+
+impl SplitDataset {
+    /// Generate the city and all trajectories, deterministically from the
+    /// config seed.
+    pub fn generate(config: DatasetConfig) -> Self {
+        let city = SyntheticCity::generate(config.city.clone());
+        let mut sim = Simulator::new(&city.net, config.sim.clone());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut samples = Vec::with_capacity(config.num_trajectories);
+        let corridor: Vec<_> =
+            city.elevated.iter().chain(&city.trunk_under_elevated).copied().collect();
+        for _ in 0..config.num_trajectories {
+            let s = if !corridor.is_empty() && rng.gen_bool(config.corridor_fraction) {
+                let origin = corridor[rng.gen_range(0..corridor.len())];
+                sim.sample_from(&mut rng, origin, config.downsample)
+            } else {
+                sim.sample(&mut rng, config.downsample)
+            };
+            samples.push(s);
+        }
+        drop(sim);
+
+        let n = samples.len();
+        let n_train = n * 7 / 10;
+        let n_valid = n * 2 / 10;
+        let test = samples.split_off(n_train + n_valid);
+        let valid = samples.split_off(n_train);
+        SplitDataset { city, train: samples, valid, test, config }
+    }
+
+    pub fn all_samples(&self) -> impl Iterator<Item = &TrajSample> {
+        self.train.iter().chain(&self.valid).chain(&self.test)
+    }
+
+    /// Table II row for this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        let b = self.city.net.bbox();
+        let n = self.config.num_trajectories.max(1);
+        let avg_tt = self
+            .all_samples()
+            .map(|s| s.target.points.last().map_or(0.0, |p| p.t))
+            .sum::<f64>()
+            / n as f64;
+        DatasetStats {
+            name: self.config.name,
+            num_trajectories: self.config.num_trajectories,
+            num_segments: self.city.net.num_segments(),
+            area_km2: (b.width() / 1000.0, b.height() / 1000.0),
+            avg_travel_time_s: avg_tt,
+            raw_interval_s: self.config.sim.eps_rho_s,
+            eps_rho_s: self.config.sim.eps_rho_s,
+            eps_tau_s: self.config.sim.eps_rho_s * self.config.downsample as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_proportions() {
+        let ds = SplitDataset::generate(DatasetConfig::tiny(8, 20));
+        assert_eq!(ds.train.len(), 14);
+        assert_eq!(ds.valid.len(), 4);
+        assert_eq!(ds.test.len(), 2);
+    }
+
+    #[test]
+    fn all_targets_have_configured_length() {
+        let ds = SplitDataset::generate(DatasetConfig::tiny(8, 10));
+        for s in ds.all_samples() {
+            assert_eq!(s.target.len(), 17);
+            assert_eq!(s.raw.len(), 3); // 0,8,16
+        }
+    }
+
+    #[test]
+    fn stats_reflect_config() {
+        let ds = SplitDataset::generate(DatasetConfig::tiny(16, 10));
+        let st = ds.stats();
+        assert_eq!(st.eps_tau_s, 12.0 * 16.0);
+        assert_eq!(st.num_segments, ds.city.net.num_segments());
+        assert!(st.avg_travel_time_s > 0.0);
+        assert!(st.area_km2.0 > 0.0 && st.area_km2.1 > 0.0);
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = SplitDataset::generate(DatasetConfig::tiny(8, 6));
+        let b = SplitDataset::generate(DatasetConfig::tiny(8, 6));
+        for (x, y) in a.all_samples().zip(b.all_samples()) {
+            assert_eq!(x.target, y.target);
+            assert_eq!(x.raw, y.raw);
+        }
+    }
+
+    #[test]
+    fn corridor_fraction_biases_departures() {
+        let mut cfg = DatasetConfig::tiny(8, 40);
+        cfg.corridor_fraction = 1.0;
+        let ds = SplitDataset::generate(cfg);
+        let corridor: std::collections::HashSet<_> = ds
+            .city
+            .elevated
+            .iter()
+            .chain(&ds.city.trunk_under_elevated)
+            .copied()
+            .collect();
+        let on_corridor = ds
+            .all_samples()
+            .filter(|s| corridor.contains(&s.target.points[0].pos.seg))
+            .count();
+        assert_eq!(on_corridor, 40);
+    }
+
+    #[test]
+    fn named_configs_have_expected_relative_scales() {
+        // Compare segment counts without generating trajectories.
+        let chengdu = SyntheticCity::generate(DatasetConfig::chengdu(8, 1).city);
+        let shanghai_l = SyntheticCity::generate(DatasetConfig::shanghai_l(8, 1).city);
+        assert!(
+            shanghai_l.net.num_segments() > chengdu.net.num_segments(),
+            "Shanghai-L must be the largest network"
+        );
+        let few = DatasetConfig::chengdu_few(8, 100);
+        assert_eq!(few.num_trajectories, 20);
+        assert_eq!(few.city.seed, DatasetConfig::chengdu(8, 100).city.seed);
+    }
+}

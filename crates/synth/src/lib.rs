@@ -1,0 +1,28 @@
+//! Synthetic trajectory data for the RNTrajRec reproduction.
+//!
+//! The paper trains on proprietary taxi GPS datasets (Shanghai-L, Chengdu,
+//! Porto — Table II). Those are not available, so this crate simulates the
+//! generating process the paper describes:
+//!
+//! 1. vehicles drive **time-shortest routes** on the road network
+//!    (ramps/elevated expressways become attractive exactly as in a real
+//!    city),
+//! 2. ground truth is the **map-matched ϵρ-sample-interval trajectory**
+//!    (Definition 3): `(segment, moving-ratio)` at a fixed interval,
+//! 3. raw GPS points are the true positions plus Gaussian sensor noise,
+//! 4. the model input is a **down-sampled** raw trajectory keeping every
+//!    8th / 16th point (ϵτ = ϵρ·8 or ϵρ·16, Section VI-A1).
+//!
+//! [`datasets`] provides named configurations whose *relative* scales mirror
+//! Table II (Chengdu: small dense area, shortest ϵρ·count; Shanghai-L:
+//! largest area; Porto: mid) at laptop-friendly absolute sizes.
+
+pub mod datasets;
+mod simulate;
+mod trajectory;
+
+pub use datasets::{DatasetConfig, SplitDataset};
+pub use simulate::{gauss, SimConfig, Simulator};
+pub use trajectory::{
+    MatchedPoint, MatchedTrajectory, RawPoint, RawTrajectory, TimeContext, TrajSample,
+};

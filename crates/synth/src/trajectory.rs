@@ -1,0 +1,233 @@
+//! Trajectory types: raw GPS sequences and map-matched sequences.
+
+use rntrajrec_geo::XY;
+use rntrajrec_roadnet::{RoadNetwork, RoadPosition, SegmentId};
+
+/// One raw GPS observation: noisy planar position + relative timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawPoint {
+    pub xy: XY,
+    /// Seconds since the first point of the trajectory.
+    pub t: f64,
+}
+
+/// A raw GPS trajectory `τ` (Definition 2): what the sensor reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RawTrajectory {
+    pub points: Vec<RawPoint>,
+}
+
+impl RawTrajectory {
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Average sample interval ϵτ in seconds (0 for < 2 points).
+    pub fn avg_interval_s(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let span = self.points.last().unwrap().t - self.points[0].t;
+        span / (self.points.len() - 1) as f64
+    }
+
+    /// Keep every `k`-th point starting at index 0; the final point is
+    /// always retained so the recovered window is fully covered.
+    pub fn downsample(&self, k: usize) -> RawTrajectory {
+        assert!(k >= 1);
+        let mut points: Vec<RawPoint> =
+            self.points.iter().copied().step_by(k).collect();
+        if let Some(&last) = self.points.last() {
+            if points.last() != Some(&last) {
+                points.push(last);
+            }
+        }
+        RawTrajectory { points }
+    }
+}
+
+/// One map-matched sample: `(segment, moving ratio)` + relative timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchedPoint {
+    pub pos: RoadPosition,
+    pub t: f64,
+}
+
+/// A map-matched ϵρ-sample-interval trajectory `ρ` (Definition 3) — the
+/// recovery target.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatchedTrajectory {
+    pub points: Vec<MatchedPoint>,
+}
+
+impl MatchedTrajectory {
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The travel path `E_ρ`: consecutive-deduplicated segment sequence
+    /// (used by the Recall/Precision/F1 metrics, Section VI-A2).
+    pub fn travel_path(&self) -> Vec<SegmentId> {
+        let mut out: Vec<SegmentId> = Vec::with_capacity(self.points.len());
+        for p in &self.points {
+            if out.last() != Some(&p.pos.seg) {
+                out.push(p.pos.seg);
+            }
+        }
+        out
+    }
+
+    /// Planar positions of all samples.
+    pub fn xys(&self, net: &RoadNetwork) -> Vec<XY> {
+        self.points.iter().map(|p| p.pos.xy(net)).collect()
+    }
+}
+
+/// Hour-of-day / holiday context (`f_e`, Section IV-F: 24-dim one-hot hour
+/// + holiday flag). Derived from an absolute departure timestamp on a
+/// synthetic calendar where days 5 and 6 of each week are holidays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeContext {
+    pub hour: u8,
+    pub holiday: bool,
+}
+
+impl TimeContext {
+    /// Derive from an absolute timestamp in seconds (epoch 0 = Monday 00:00).
+    pub fn from_epoch_s(t: f64) -> Self {
+        let day = (t / 86_400.0).floor() as i64;
+        let hour = ((t - day as f64 * 86_400.0) / 3600.0).floor() as u8;
+        Self { hour: hour.min(23), holiday: day.rem_euclid(7) >= 5 }
+    }
+
+    /// Whether this hour falls in the simulated rush (affects speeds).
+    pub fn is_rush_hour(&self) -> bool {
+        !self.holiday && ((7..=9).contains(&self.hour) || (17..=19).contains(&self.hour))
+    }
+
+    /// 25-dim feature vector: hour one-hot ++ holiday flag.
+    pub fn features(&self) -> [f32; 25] {
+        let mut f = [0.0; 25];
+        f[self.hour as usize] = 1.0;
+        f[24] = self.holiday as u8 as f32;
+        f
+    }
+}
+
+/// A complete supervised sample: low-sample noisy input + ϵρ ground truth.
+#[derive(Debug, Clone)]
+pub struct TrajSample {
+    /// Low-sample raw input `τ` (length `l_τ`).
+    pub raw: RawTrajectory,
+    /// Ground-truth map-matched ϵρ-interval trajectory `ρ` (length `l_ρ`).
+    pub target: MatchedTrajectory,
+    /// Absolute departure time (synthetic calendar seconds).
+    pub depart_epoch_s: f64,
+}
+
+impl TrajSample {
+    pub fn time_context(&self) -> TimeContext {
+        TimeContext::from_epoch_s(self.depart_epoch_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rntrajrec_geo::Polyline;
+    use rntrajrec_roadnet::{RoadLevel, RoadNetworkBuilder};
+
+    fn raw(n: usize, dt: f64) -> RawTrajectory {
+        RawTrajectory {
+            points: (0..n)
+                .map(|i| RawPoint { xy: XY::new(i as f64, 0.0), t: i as f64 * dt })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn avg_interval() {
+        assert_eq!(raw(5, 12.0).avg_interval_s(), 12.0);
+        assert_eq!(raw(1, 12.0).avg_interval_s(), 0.0);
+    }
+
+    #[test]
+    fn downsample_keeps_ends() {
+        let t = raw(33, 10.0);
+        let d = t.downsample(8);
+        assert_eq!(d.len(), 5); // indices 0,8,16,24,32
+        assert_eq!(d.points[0], t.points[0]);
+        assert_eq!(*d.points.last().unwrap(), *t.points.last().unwrap());
+        assert!((d.avg_interval_s() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_appends_tail_when_not_divisible() {
+        let t = raw(10, 10.0);
+        let d = t.downsample(4); // 0,4,8 then forced 9
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.points.last().unwrap().t, 90.0);
+    }
+
+    #[test]
+    fn downsample_k1_is_identity() {
+        let t = raw(7, 5.0);
+        assert_eq!(t.downsample(1), t);
+    }
+
+    #[test]
+    fn travel_path_dedups_consecutive() {
+        let mk = |seg: u32, frac: f64, t: f64| MatchedPoint {
+            pos: RoadPosition::new(SegmentId(seg), frac),
+            t,
+        };
+        let traj = MatchedTrajectory {
+            points: vec![mk(0, 0.1, 0.0), mk(0, 0.6, 10.0), mk(1, 0.2, 20.0), mk(0, 0.5, 30.0)],
+        };
+        assert_eq!(traj.travel_path(), vec![SegmentId(0), SegmentId(1), SegmentId(0)]);
+    }
+
+    #[test]
+    fn xys_match_positions() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)), RoadLevel::Primary);
+        let net = b.build();
+        let traj = MatchedTrajectory {
+            points: vec![MatchedPoint { pos: RoadPosition::new(SegmentId(0), 0.5), t: 0.0 }],
+        };
+        assert_eq!(traj.xys(&net), vec![XY::new(50.0, 0.0)]);
+    }
+
+    #[test]
+    fn time_context_hours_and_holidays() {
+        // Monday 08:30.
+        let c = TimeContext::from_epoch_s(8.5 * 3600.0);
+        assert_eq!(c.hour, 8);
+        assert!(!c.holiday);
+        assert!(c.is_rush_hour());
+        // Saturday (day 5) 08:30 — holiday, no rush.
+        let c = TimeContext::from_epoch_s(5.0 * 86_400.0 + 8.5 * 3600.0);
+        assert!(c.holiday);
+        assert!(!c.is_rush_hour());
+        // Tuesday 03:00 — off-peak.
+        let c = TimeContext::from_epoch_s(86_400.0 + 3.0 * 3600.0);
+        assert!(!c.is_rush_hour());
+    }
+
+    #[test]
+    fn time_context_features_one_hot() {
+        let c = TimeContext { hour: 17, holiday: true };
+        let f = c.features();
+        assert_eq!(f[17], 1.0);
+        assert_eq!(f[24], 1.0);
+        assert_eq!(f.iter().sum::<f32>(), 2.0);
+    }
+}

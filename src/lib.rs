@@ -1,0 +1,20 @@
+//! Umbrella crate for the RNTrajRec reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the actual library code:
+//!
+//! * [`rntrajrec_geo`] — geodesy primitives
+//! * [`rntrajrec_roadnet`] — road-network graph, grid partition, R-tree
+//! * [`rntrajrec_synth`] — synthetic city + trajectory simulator
+//! * [`rntrajrec_mapmatch`] — HMM map matching, interpolation, Kalman filter
+//! * [`rntrajrec_nn`] — tensor/autograd engine and optimizers
+//! * [`rntrajrec_models`] — neural modules (GridGNN, GPSFormer, baselines)
+//! * [`rntrajrec`] — the end-to-end model, training, and evaluation
+
+pub use rntrajrec;
+pub use rntrajrec_geo;
+pub use rntrajrec_mapmatch;
+pub use rntrajrec_models;
+pub use rntrajrec_nn;
+pub use rntrajrec_roadnet;
+pub use rntrajrec_synth;

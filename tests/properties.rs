@@ -1,0 +1,110 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rntrajrec_suite::rntrajrec_geo::{GeoPoint, GridSpec, Polyline, Projection, XY};
+use rntrajrec_suite::rntrajrec_roadnet::{
+    CityConfig, NetworkDistance, RTree, RoadPosition, SegmentId, SyntheticCity,
+};
+use rntrajrec_suite::rntrajrec_synth::{SimConfig, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Projection round-trip is exact at city scale.
+    #[test]
+    fn projection_round_trip(lat in 30.0f64..32.0, lng in 120.0f64..122.0,
+                             dlat in -0.2f64..0.2, dlng in -0.2f64..0.2) {
+        let proj = Projection::new(GeoPoint::new(lat, lng));
+        let p = GeoPoint::new(lat + dlat, lng + dlng);
+        let back = proj.to_geo(&proj.to_xy(&p));
+        prop_assert!((back.lat - p.lat).abs() < 1e-9);
+        prop_assert!((back.lng - p.lng).abs() < 1e-9);
+    }
+
+    /// A polyline projection always lands on the polyline (distance from
+    /// the projected point back to the line is ~0) with frac in [0,1].
+    #[test]
+    fn polyline_projection_is_on_the_line(
+        x0 in -100.0f64..100.0, y0 in -100.0f64..100.0,
+        x1 in -100.0f64..100.0, y1 in -100.0f64..100.0,
+        px in -200.0f64..200.0, py in -200.0f64..200.0,
+    ) {
+        prop_assume!((x0 - x1).abs() > 1e-6 || (y0 - y1).abs() > 1e-6);
+        let line = Polyline::segment(XY::new(x0, y0), XY::new(x1, y1));
+        let pr = line.project(&XY::new(px, py));
+        prop_assert!((0.0..=1.0).contains(&pr.frac));
+        let back = line.project(&pr.point);
+        prop_assert!(back.dist < 1e-6, "projected point {} m off the line", back.dist);
+    }
+
+    /// Grid cell containment: every cell centre maps back to its own cell.
+    #[test]
+    fn grid_cell_center_round_trip(col in 0u32..40, row in 0u32..20) {
+        let g = GridSpec::cover(0.0, 0.0, 2000.0, 1000.0, 50.0);
+        let c = rntrajrec_suite::rntrajrec_geo::GridCell { col, row };
+        prop_assert_eq!(g.cell_of(&g.cell_center(c)), c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Road-network metric distance: identity, symmetry, and a relaxed
+    /// triangle inequality (the metric is a min over directions, so the
+    /// triangle inequality holds up to numerical slack).
+    #[test]
+    fn network_distance_metric_properties(seed in 0u64..50) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let mut nd = NetworkDistance::new(&city.net);
+        let n = city.net.num_segments() as u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let pos = |rng: &mut StdRng| RoadPosition::new(
+            SegmentId(rng.gen_range(0..n)), rng.gen_range(0.0..1.0));
+        let a = pos(&mut rng);
+        let b = pos(&mut rng);
+        prop_assert!(nd.metric_m(&a, &a) < 1e-9);
+        let ab = nd.metric_m(&a, &b);
+        let ba = nd.metric_m(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6, "symmetry violated: {ab} vs {ba}");
+        prop_assert!(ab >= 0.0);
+    }
+
+    /// R-tree radius query matches brute force on the synthetic city.
+    #[test]
+    fn rtree_radius_matches_brute_force(seed in 0u64..30, r in 50.0f64..400.0) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let tree = RTree::build(&city.net);
+        let b = city.net.bbox();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let p = XY::new(rng.gen_range(b.min_x..b.max_x), rng.gen_range(b.min_y..b.max_y));
+        let mut got: Vec<u32> = tree.within_radius(&city.net, &p, r)
+            .into_iter().map(|h| h.seg.0).collect();
+        got.sort_unstable();
+        let mut brute: Vec<u32> = city.net.segments().iter()
+            .filter(|s| s.geometry.project(&p).dist <= r)
+            .map(|s| s.id.0).collect();
+        brute.sort_unstable();
+        prop_assert_eq!(got, brute);
+    }
+
+    /// Simulated ground truth is physically consistent: consecutive points
+    /// are reachable within one interval at the clamped max speed.
+    #[test]
+    fn simulated_motion_is_speed_bounded(seed in 0u64..20) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let mut sim = Simulator::new(&city.net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sim.sample(&mut rng, 8);
+        let mut nd = NetworkDistance::new(&city.net);
+        for w in s.target.points.windows(2) {
+            let d = nd.directed_m(&w[0].pos, &w[1].pos);
+            prop_assert!(d.is_some(), "consecutive samples must be route-connected");
+            prop_assert!(d.unwrap() <= 35.0 * 12.0 + 1e-6);
+        }
+    }
+}
