@@ -27,7 +27,9 @@ fn bench_spatial(c: &mut Criterion) {
     g.bench_function("rtree_nearest", |b| {
         b.iter(|| black_box(rtree.nearest(&city.net, &XY::new(center.x + 13.0, center.y - 31.0))))
     });
-    g.bench_function("rtree_build", |b| b.iter(|| black_box(RTree::build(&city.net))));
+    g.bench_function("rtree_build", |b| {
+        b.iter(|| black_box(RTree::build(&city.net)))
+    });
     g.finish();
 }
 
@@ -68,7 +70,12 @@ fn bench_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulation");
     g.bench_function("simulate_one_trajectory", |b| {
         b.iter_batched(
-            || (Simulator::new(&city.net, SimConfig::default()), StdRng::seed_from_u64(9)),
+            || {
+                (
+                    Simulator::new(&city.net, SimConfig::default()),
+                    StdRng::seed_from_u64(9),
+                )
+            },
             |(mut sim, mut rng)| black_box(sim.sample(&mut rng, 8)),
             BatchSize::SmallInput,
         )
@@ -79,7 +86,9 @@ fn bench_simulation(c: &mut Criterion) {
     let mut sim = Simulator::new(&city.net, SimConfig::default());
     let mut rng = StdRng::seed_from_u64(10);
     let sample = sim.sample(&mut rng, 8);
-    g.bench_function("feature_extraction", |b| b.iter(|| black_box(fx.extract(&sample))));
+    g.bench_function("feature_extraction", |b| {
+        b.iter(|| black_box(fx.extract(&sample)))
+    });
     g.finish();
 }
 
@@ -123,9 +132,15 @@ fn bench_nn_blocks(c: &mut Criterion) {
     let lists: Vec<Vec<usize>> = city
         .net
         .segment_ids()
-        .map(|id| city.net.neighbors_undirected(id).iter().map(|s| s.index()).collect())
+        .map(|id| {
+            city.net
+                .neighbors_undirected(id)
+                .iter()
+                .map(|s| s.index())
+                .collect()
+        })
         .collect();
-    let csr = std::rc::Rc::new(rntrajrec_nn::GraphCsr::from_neighbor_lists(&lists, true));
+    let csr = std::sync::Arc::new(rntrajrec_nn::GraphCsr::from_neighbor_lists(&lists, true));
     let h = Tensor::uniform(city.net.num_segments(), 32, 1.0, &mut rng);
     g.bench_function("gat_layer_city_fwd", |b| {
         b.iter(|| {
@@ -143,7 +158,12 @@ fn bench_nn_blocks(c: &mut Criterion) {
         &mut rng,
         &city.net,
         &grid,
-        GridGnnConfig { dim: 32, layers: 2, heads: 4, ..Default::default() },
+        GridGnnConfig {
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            ..Default::default()
+        },
     );
     g.bench_function("gridgnn_fwd", |b| {
         b.iter(|| {

@@ -13,7 +13,10 @@ use rntrajrec_synth::DatasetConfig;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Fig. 6 — efficiency study (accuracy / inference time / #params)", &scale);
+    banner(
+        "Fig. 6 — efficiency study (accuracy / inference time / #params)",
+        &scale,
+    );
     let pipeline = Pipeline::prepare(DatasetConfig::chengdu(8, scale.num_traj), &scale);
 
     let mut methods = MethodSpec::table3();

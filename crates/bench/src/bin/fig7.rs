@@ -52,8 +52,7 @@ fn main() {
 
     // (c) Receptive field δ (features re-extracted per value).
     println!("--- (c) receptive field delta (m) ---");
-    let deltas: Vec<(f64, f64)> =
-        [100.0, 400.0, 800.0].iter().map(|&d| (d, 30.0)).collect();
+    let deltas: Vec<(f64, f64)> = [100.0, 400.0, 800.0].iter().map(|&d| (d, 30.0)).collect();
     let mut part = Vec::new();
     for ((d, _), r) in sweep_extraction(config.clone(), &deltas, &scale) {
         println!("  delta={d:<5} acc {:.4}  F1 {:.4}", r.accuracy, r.f1);
@@ -63,8 +62,7 @@ fn main() {
 
     // (d) Influence bandwidth γ.
     println!("--- (d) influence bandwidth gamma (m) ---");
-    let gammas: Vec<(f64, f64)> =
-        [10.0, 30.0, 50.0].iter().map(|&g| (400.0, g)).collect();
+    let gammas: Vec<(f64, f64)> = [10.0, 30.0, 50.0].iter().map(|&g| (400.0, g)).collect();
     let mut part = Vec::new();
     for ((_, g), r) in sweep_extraction(config, &gammas, &scale) {
         println!("  gamma={g:<5} acc {:.4}  F1 {:.4}", r.accuracy, r.f1);

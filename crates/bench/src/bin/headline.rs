@@ -29,13 +29,20 @@ fn main() {
         scale.num_traj, scale.dim, scale.epochs
     );
     let pipeline = Pipeline::prepare(DatasetConfig::chengdu(8, scale.num_traj), &scale);
-    let methods = [MethodSpec::LinearHmm, MethodSpec::MTrajRec, MethodSpec::RnTrajRec];
+    let methods = [
+        MethodSpec::LinearHmm,
+        MethodSpec::MTrajRec,
+        MethodSpec::RnTrajRec,
+    ];
     let mut results = Vec::new();
     for m in &methods {
         let r = pipeline.train_and_eval(m, &scale);
         println!("finished {} (train {:.0}s)", r.label, r.train_secs);
         results.push(r);
     }
-    print_table("Chengdu (eps_tau = eps_rho * 8), 2500 trajectories", &results);
+    print_table(
+        "Chengdu (eps_tau = eps_rho * 8), 2500 trajectories",
+        &results,
+    );
     dump_json("headline", &results);
 }

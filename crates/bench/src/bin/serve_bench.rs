@@ -1,0 +1,164 @@
+//! Serving throughput benchmark: requests/sec and p50/p99 latency of the
+//! micro-batching engine across batch-size and worker-count settings, plus
+//! the per-trajectory latency of tape-free inference versus the tape-based
+//! `EndToEnd::predict`. Writes `results/BENCH_serve.json`.
+//!
+//! ```bash
+//! cargo run --release -p rntrajrec-bench --bin serve_bench          # full
+//! SCALE=quick cargo run --release -p rntrajrec-bench --bin serve_bench
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rntrajrec::model::{EndToEnd, MethodSpec};
+use rntrajrec_bench::dump_json;
+use rntrajrec_models::{FeatureExtractor, SampleInput};
+use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
+use rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel};
+use rntrajrec_synth::{SimConfig, Simulator};
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let quick = matches!(std::env::var("SCALE").as_deref(), Ok("quick"));
+    let (latency_reps, sweep_requests) = if quick { (4, 48) } else { (16, 240) };
+
+    // Weights are untrained: latency is weight-independent (same note as
+    // the Fig. 6 inference benchmark).
+    let city = SyntheticCity::generate(CityConfig::tiny());
+    let rtree = RTree::build(&city.net);
+    let grid = city.net.grid(50.0);
+    let fx = FeatureExtractor::new(&city.net, &rtree, grid);
+    let mut sim = Simulator::new(&city.net, SimConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let inputs: Vec<SampleInput> = (0..24)
+        .map(|_| fx.extract(&sim.sample(&mut rng, 8)))
+        .collect();
+
+    let model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
+
+    println!("=== rntrajrec-serve throughput benchmark ===");
+    println!(
+        "city: {} segments; {} request templates; SCALE={}",
+        city.net.num_segments(),
+        inputs.len(),
+        if quick { "quick" } else { "full" }
+    );
+
+    // --- 1. Per-trajectory latency: tape vs. tape-free -------------------
+    let mut rng_pred = StdRng::seed_from_u64(11);
+    let t = Instant::now();
+    for _ in 0..latency_reps {
+        for input in &inputs {
+            std::hint::black_box(model.predict(input, &mut rng_pred));
+        }
+    }
+    let tape_ms = t.elapsed().as_secs_f64() * 1000.0 / (latency_reps * inputs.len()) as f64;
+
+    let t = Instant::now();
+    let serving = Arc::new(ServingModel::new(model).expect("RNTrajRec serves"));
+    let precompute_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let t = Instant::now();
+    for _ in 0..latency_reps {
+        for input in &inputs {
+            std::hint::black_box(serving.recover(input));
+        }
+    }
+    let tapefree_ms = t.elapsed().as_secs_f64() * 1000.0 / (latency_reps * inputs.len()) as f64;
+
+    let speedup = tape_ms / tapefree_ms;
+    println!("\n--- per-trajectory latency ---");
+    println!("tape-based EndToEnd::predict : {tape_ms:9.3} ms");
+    println!("tape-free ServingModel::recover: {tapefree_ms:7.3} ms  (x{speedup:.1} faster)");
+    println!("one-time X_road precompute   : {precompute_ms:9.3} ms");
+
+    // --- 2. Engine throughput sweep --------------------------------------
+    println!("\n--- engine sweep ({sweep_requests} closed-loop requests, 8 clients) ---");
+    println!(
+        "{:>8} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "workers", "batch", "req/s", "p50 (ms)", "p99 (ms)", "mean batch"
+    );
+    let mut sweep = Vec::new();
+    for &workers in &[1usize, 2, 4] {
+        for &max_batch in &[1usize, 4, 8, 16] {
+            let engine = RecoveryEngine::start(
+                Arc::clone(&serving),
+                EngineConfig {
+                    max_batch,
+                    max_delay: Duration::from_millis(2),
+                    workers,
+                },
+            );
+            let clients = 8usize;
+            let per_client = sweep_requests / clients;
+            let t = Instant::now();
+            let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * per_client);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let engine = &engine;
+                        let inputs = &inputs;
+                        s.spawn(move || {
+                            let mut ms = Vec::with_capacity(per_client);
+                            for k in 0..per_client {
+                                let input = inputs[(c + k) % inputs.len()].clone();
+                                let r = engine.recover(input);
+                                ms.push(r.latency.as_secs_f64() * 1000.0);
+                            }
+                            ms
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    latencies_ms.extend(h.join().expect("client thread"));
+                }
+            });
+            let wall = t.elapsed().as_secs_f64();
+            let rps = latencies_ms.len() as f64 / wall;
+            latencies_ms.sort_by(|a, b| a.total_cmp(b));
+            let p50 = percentile(&latencies_ms, 0.50);
+            let p99 = percentile(&latencies_ms, 0.99);
+            let stats = engine.stats();
+            println!(
+                "{workers:>8} {max_batch:>7} {rps:>10.1} {p50:>10.3} {p99:>10.3} {:>10.2}",
+                stats.mean_batch
+            );
+            sweep.push(serde_json::json!({
+                "workers": workers,
+                "max_batch": max_batch,
+                "requests": latencies_ms.len(),
+                "requests_per_sec": rps,
+                "p50_ms": p50,
+                "p99_ms": p99,
+                "mean_batch": stats.mean_batch,
+                "flushed_full": stats.flushed_full,
+                "flushed_deadline": stats.flushed_deadline,
+            }));
+        }
+    }
+
+    let json = serde_json::json!({
+        "tape_predict_ms": tape_ms,
+        "tapefree_recover_ms": tapefree_ms,
+        "speedup": speedup,
+        "road_precompute_ms": precompute_ms,
+        "sweep": sweep,
+    });
+    dump_json("BENCH_serve", &json);
+
+    if speedup <= 1.0 {
+        eprintln!("WARNING: tape-free path slower than tape predict — investigate");
+        std::process::exit(1);
+    }
+}

@@ -37,8 +37,6 @@ fn main() {
             st.eps_tau_s
         );
     }
-    println!(
-        "\npaper (for shape comparison): Shanghai-L 34986 segs 23.0x30.8 km ϵρ=10s;"
-    );
+    println!("\npaper (for shape comparison): Shanghai-L 34986 segs 23.0x30.8 km ϵρ=10s;");
     println!("Chengdu 8781 segs 8.3x8.3 km ϵρ=12s; Porto 12613 segs 6.8x7.2 km ϵρ=15s.");
 }

@@ -12,13 +12,28 @@ use rntrajrec_synth::DatasetConfig;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Table III — performance comparison on trajectory recovery", &scale);
+    banner(
+        "Table III — performance comparison on trajectory recovery",
+        &scale,
+    );
     let methods = MethodSpec::table3();
     let configs = vec![
-        ("Chengdu (eps_tau = eps_rho * 8)", DatasetConfig::chengdu(8, scale.num_traj)),
-        ("Chengdu (eps_tau = eps_rho * 16)", DatasetConfig::chengdu(16, scale.num_traj)),
-        ("Porto (eps_tau = eps_rho * 8)", DatasetConfig::porto(8, scale.num_traj)),
-        ("Shanghai-L (eps_tau = eps_rho * 16)", DatasetConfig::shanghai_l(16, scale.num_traj)),
+        (
+            "Chengdu (eps_tau = eps_rho * 8)",
+            DatasetConfig::chengdu(8, scale.num_traj),
+        ),
+        (
+            "Chengdu (eps_tau = eps_rho * 16)",
+            DatasetConfig::chengdu(16, scale.num_traj),
+        ),
+        (
+            "Porto (eps_tau = eps_rho * 8)",
+            DatasetConfig::porto(8, scale.num_traj),
+        ),
+        (
+            "Shanghai-L (eps_tau = eps_rho * 16)",
+            DatasetConfig::shanghai_l(16, scale.num_traj),
+        ),
     ];
     let mut all = Vec::new();
     for (title, config) in configs {

@@ -12,7 +12,10 @@ use rntrajrec_synth::DatasetConfig;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Table IV — additional Shanghai and Chengdu-Few datasets", &scale);
+    banner(
+        "Table IV — additional Shanghai and Chengdu-Few datasets",
+        &scale,
+    );
     let methods = MethodSpec::table3();
     // Chengdu-Few keeps the Chengdu city but ~20 % of the trajectories;
     // run_comparison overrides num_trajectories with the scale, so divide

@@ -20,8 +20,14 @@ fn main() {
     let mut methods = MethodSpec::table5();
     methods.push(MethodSpec::RnTrajRecNoMask);
     let configs = vec![
-        ("Chengdu (eps_tau = eps_rho * 8)", DatasetConfig::chengdu(8, scale.num_traj)),
-        ("Porto (eps_tau = eps_rho * 8)", DatasetConfig::porto(8, scale.num_traj)),
+        (
+            "Chengdu (eps_tau = eps_rho * 8)",
+            DatasetConfig::chengdu(8, scale.num_traj),
+        ),
+        (
+            "Porto (eps_tau = eps_rho * 8)",
+            DatasetConfig::porto(8, scale.num_traj),
+        ),
     ];
     let mut all = Vec::new();
     for (title, config) in configs {

@@ -72,7 +72,11 @@ pub fn dump_json(name: &str, value: &impl serde::Serialize) {
     }
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(value).unwrap_or_default()
+        );
         println!("[results written to {}]", path.display());
     }
 }

@@ -42,12 +42,28 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Minimal settings for unit tests (seconds, not minutes).
     pub fn quick() -> Self {
-        Self { num_traj: 30, dim: 16, epochs: 2, batch: 4, max_eval: 5, seed: 7, lr: 3e-3 }
+        Self {
+            num_traj: 30,
+            dim: 16,
+            epochs: 2,
+            batch: 4,
+            max_eval: 5,
+            seed: 7,
+            lr: 3e-3,
+        }
     }
 
     /// Bench-harness settings: small absolute scale, paper-shaped results.
     pub fn paper_shape() -> Self {
-        Self { num_traj: 240, dim: 32, epochs: 20, batch: 8, max_eval: 24, seed: 7, lr: 3e-3 }
+        Self {
+            num_traj: 240,
+            dim: 32,
+            epochs: 20,
+            batch: 8,
+            max_eval: 24,
+            seed: 7,
+            lr: 3e-3,
+        }
     }
 }
 
@@ -91,7 +107,12 @@ impl std::fmt::Display for MethodResult {
         write!(
             f,
             "{:<24} {:.4}  {:.4}  {:.4}  {:.4}  {:8.2}  {:8.2}",
-            self.label, self.recall, self.precision, self.f1, self.accuracy, self.mae_m,
+            self.label,
+            self.recall,
+            self.precision,
+            self.f1,
+            self.accuracy,
+            self.mae_m,
             self.rmse_m
         )
     }
@@ -129,7 +150,16 @@ impl Pipeline {
         let train_inputs = dataset.train.iter().map(|s| fx.extract(s)).collect();
         let valid_inputs = dataset.valid.iter().map(|s| fx.extract(s)).collect();
         let test_inputs = dataset.test.iter().map(|s| fx.extract(s)).collect();
-        Pipeline { dataset, rtree, grid, train_inputs, valid_inputs, test_inputs, delta_m, gamma_m }
+        Pipeline {
+            dataset,
+            rtree,
+            grid,
+            train_inputs,
+            valid_inputs,
+            test_inputs,
+            delta_m,
+            gamma_m,
+        }
     }
 
     /// Feature extractor with this pipeline's parameters.
@@ -257,7 +287,12 @@ impl Pipeline {
     /// Fig. 4: SR%k curve for an already-evaluated method.
     pub fn sr_curve(&self, result: &MethodResult, ks: &[f64]) -> Vec<(f64, f64)> {
         ks.iter()
-            .map(|&k| (k, sr_at_k(&result.sr_cases, |s| self.is_corridor_segment(s), k)))
+            .map(|&k| {
+                (
+                    k,
+                    sr_at_k(&result.sr_cases, |s| self.is_corridor_segment(s), k),
+                )
+            })
             .collect()
     }
 }
@@ -269,7 +304,10 @@ pub fn run_comparison(
     scale: &ExperimentScale,
 ) -> (Pipeline, Vec<MethodResult>) {
     let pipeline = Pipeline::prepare(config, scale);
-    let results = methods.iter().map(|m| pipeline.train_and_eval(m, scale)).collect();
+    let results = methods
+        .iter()
+        .map(|m| pipeline.train_and_eval(m, scale))
+        .collect();
     (pipeline, results)
 }
 
@@ -280,7 +318,12 @@ pub fn sweep_n_blocks(
     scale: &ExperimentScale,
 ) -> Vec<(usize, MethodResult)> {
     ns.iter()
-        .map(|&n| (n, pipeline.train_and_eval(&MethodSpec::RnTrajRecN(n), scale)))
+        .map(|&n| {
+            (
+                n,
+                pipeline.train_and_eval(&MethodSpec::RnTrajRecN(n), scale),
+            )
+        })
         .collect()
 }
 

@@ -141,8 +141,7 @@ pub fn sr_at_k(
     let mut success = 0usize;
     for (truth, pred) in cases {
         // Sub-trajectory: steps whose ground truth lies on the corridor.
-        let idx: Vec<usize> =
-            (0..truth.len()).filter(|&i| is_hard(truth[i])).collect();
+        let idx: Vec<usize> = (0..truth.len()).filter(|&i| is_hard(truth[i])).collect();
         if idx.is_empty() {
             continue;
         }

@@ -9,7 +9,7 @@ use rntrajrec_models::{
     RnTrajRecConfig, RnTrajRecEncoder, SampleInput, T2vecEncoder, T3sEncoder, TrajEncoder,
     TransformerBaseline,
 };
-use rntrajrec_nn::{NodeId, ParamStore, Tape};
+use rntrajrec_nn::{NodeId, ParamStore, Tape, Tensor};
 use rntrajrec_roadnet::RoadNetwork;
 
 /// Every method of the paper's comparison (Tables III/IV) plus the
@@ -133,7 +133,7 @@ impl EndToEnd {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let cells = grid.num_cells();
-        let heads = if dim % 4 == 0 { 4 } else { 2 };
+        let heads = if dim.is_multiple_of(4) { 4 } else { 2 };
         let mut lambda2 = 0.1;
         let mut use_mask = true;
 
@@ -144,7 +144,9 @@ impl EndToEnd {
             }
             MethodSpec::Transformer => {
                 lambda2 = 0.0;
-                Box::new(TransformerBaseline::new(&mut store, &mut rng, cells, dim, 2, heads))
+                Box::new(TransformerBaseline::new(
+                    &mut store, &mut rng, cells, dim, 2, heads,
+                ))
             }
             MethodSpec::MTrajRec => {
                 lambda2 = 0.0;
@@ -199,7 +201,10 @@ impl EndToEnd {
                     }
                     _ => {}
                 }
-                if matches!(spec, MethodSpec::RnTrajRecWoGrl | MethodSpec::RnTrajRecWoGrlN(_)) {
+                if matches!(
+                    spec,
+                    MethodSpec::RnTrajRecWoGrl | MethodSpec::RnTrajRecWoGrlN(_)
+                ) {
                     lambda2 = 0.0; // no graph output to classify
                 }
                 Box::new(RnTrajRecEncoder::new(&mut store, &mut rng, net, grid, cfg))
@@ -209,9 +214,20 @@ impl EndToEnd {
         let decoder = Decoder::new(
             &mut store,
             &mut rng,
-            DecoderConfig { dim, num_segments: net.num_segments(), use_mask },
+            DecoderConfig {
+                dim,
+                num_segments: net.num_segments(),
+                use_mask,
+            },
         );
-        EndToEnd { store, encoder, decoder, lambda1: 10.0, lambda2, name: spec.label() }
+        EndToEnd {
+            store,
+            encoder,
+            decoder,
+            lambda1: 10.0,
+            lambda2,
+            name: spec.label(),
+        }
     }
 
     /// Number of learnable scalars (Fig. 6's "#Para").
@@ -221,12 +237,7 @@ impl EndToEnd {
 
     /// Total batch loss `Σ_samples (L_id + λ₁·L_rate) + λ₂·L_enc` on the
     /// tape (full teacher forcing).
-    pub fn batch_loss(
-        &self,
-        tape: &mut Tape,
-        batch: &[&SampleInput],
-        rng: &mut StdRng,
-    ) -> NodeId {
+    pub fn batch_loss(&self, tape: &mut Tape, batch: &[&SampleInput], rng: &mut StdRng) -> NodeId {
         self.batch_loss_scheduled(tape, batch, 1.0, rng)
     }
 
@@ -248,9 +259,11 @@ impl EndToEnd {
         for (out, sample) in enc.outputs.iter().zip(batch) {
             let observed: std::collections::HashSet<usize> =
                 sample.obs_step.iter().copied().collect();
-            let run = self.decoder.run_scheduled(tape, &self.store, out, sample, |j| {
-                observed.contains(&j) || tf_prob >= 1.0 || rng.gen::<f32>() < tf_prob
-            });
+            let run = self
+                .decoder
+                .run_scheduled(tape, &self.store, out, sample, |j| {
+                    observed.contains(&j) || tf_prob >= 1.0 || rng.gen::<f32>() < tf_prob
+                });
             for (j, (&lp, &rate)) in run.logps.iter().zip(&run.rates).enumerate() {
                 let picked = tape.select_cols(lp, sample.target_segs[j], 1);
                 id_terms.push(tape.scale(picked, -1.0));
@@ -277,13 +290,45 @@ impl EndToEnd {
     /// Greedy inference: predicted `(segment, rate)` per target step.
     pub fn predict(&self, input: &SampleInput, rng: &mut StdRng) -> Vec<(usize, f32)> {
         let mut tape = Tape::new();
-        let enc = self.encoder.encode(&mut tape, &self.store, &[input], false, rng);
-        let run = self.decoder.run(&mut tape, &self.store, &enc.outputs[0], input, false);
+        let enc = self
+            .encoder
+            .encode(&mut tape, &self.store, &[input], false, rng);
+        let run = self
+            .decoder
+            .run(&mut tape, &self.store, &enc.outputs[0], input, false);
         run.preds
             .iter()
             .zip(&run.rates)
             .map(|(&seg, &rate)| (seg, tape.value(rate).item()))
             .collect()
+    }
+
+    /// Does this model offer the tape-free inference path?
+    pub fn supports_infer(&self) -> bool {
+        self.encoder.has_infer()
+    }
+
+    /// Precompute the input-independent road representation (`X_road`) for
+    /// serving; `None` for encoders without a tape-free path.
+    pub fn precompute_road(&self) -> Option<Tensor> {
+        self.encoder.precompute_road(&self.store)
+    }
+
+    /// Tape-free greedy inference: the forward-only twin of
+    /// [`EndToEnd::predict`] with no autograd allocation. `road` is the
+    /// cached [`EndToEnd::precompute_road`] output (pass `None` to
+    /// recompute per call). Returns `None` when the encoder has no
+    /// tape-free path — callers fall back to [`EndToEnd::predict`].
+    pub fn infer_predict(
+        &self,
+        input: &SampleInput,
+        road: Option<&Tensor>,
+    ) -> Option<Vec<(usize, f32)>> {
+        let enc = self.encoder.infer_one(&self.store, input, road)?;
+        Some(
+            self.decoder
+                .infer_run(&self.store, &enc.per_point, &enc.traj, input),
+        )
     }
 }
 
@@ -299,9 +344,17 @@ mod tests {
         let rtree = RTree::build(&city.net);
         let grid = city.net.grid(50.0);
         let fx = FeatureExtractor::new(&city.net, &rtree, grid);
-        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 9, ..Default::default() });
+        let mut sim = Simulator::new(
+            &city.net,
+            SimConfig {
+                target_len: 9,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(3);
-        let inputs = (0..3).map(|_| fx.extract(&sim.sample(&mut rng, 8))).collect();
+        let inputs = (0..3)
+            .map(|_| fx.extract(&sim.sample(&mut rng, 8)))
+            .collect();
         (city, inputs, grid)
     }
 
@@ -310,7 +363,10 @@ mod tests {
         let (city, inputs, grid) = fixture();
         let refs: Vec<&SampleInput> = inputs.iter().collect();
         let mut rng = StdRng::seed_from_u64(1);
-        for spec in MethodSpec::table3().into_iter().filter(|s| s.is_end_to_end()) {
+        for spec in MethodSpec::table3()
+            .into_iter()
+            .filter(|s| s.is_end_to_end())
+        {
             let model = EndToEnd::build(&spec, &city.net, &grid, 16, 7);
             let mut tape = Tape::new();
             let loss = model.batch_loss(&mut tape, &refs, &mut rng);
@@ -343,6 +399,34 @@ mod tests {
             assert!(seg < city.net.num_segments());
             assert!((0.0..=1.0).contains(&rate));
         }
+    }
+
+    #[test]
+    fn tape_free_inference_matches_tape_predict() {
+        let (city, inputs, grid) = fixture();
+        let model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
+        assert!(model.supports_infer());
+        let road = model.precompute_road().expect("X_road precompute");
+        let mut rng = StdRng::seed_from_u64(9);
+        for input in &inputs {
+            let slow = model.predict(input, &mut rng);
+            let fast = model.infer_predict(input, Some(&road)).expect("infer path");
+            assert_eq!(slow.len(), fast.len());
+            for (j, (&(s_seg, s_rate), &(f_seg, f_rate))) in slow.iter().zip(&fast).enumerate() {
+                assert_eq!(s_seg, f_seg, "step {j}: segment diverged");
+                // Tape-free mirrors the tape op-for-op: bit-identical.
+                assert_eq!(s_rate, f_rate, "step {j}: rate not bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_fall_back_to_tape_predict() {
+        let (city, inputs, grid) = fixture();
+        let model = EndToEnd::build(&MethodSpec::MTrajRec, &city.net, &grid, 16, 7);
+        assert!(!model.supports_infer());
+        assert!(model.precompute_road().is_none());
+        assert!(model.infer_predict(&inputs[0], None).is_none());
     }
 
     #[test]

@@ -26,7 +26,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 8, batch_size: 8, lr: 1e-3, clip_norm: 5.0, seed: 17, tf_floor: 0.4 }
+        Self {
+            epochs: 8,
+            batch_size: 8,
+            lr: 1e-3,
+            clip_norm: 5.0,
+            seed: 17,
+            tf_floor: 0.4,
+        }
     }
 }
 
@@ -115,7 +122,11 @@ impl Trainer {
             let tf_prob = 1.0 - (1.0 - self.config.tf_floor) * progress;
             let train_loss = self.train_epoch_scheduled(model, train, tf_prob);
             let valid_loss = valid.map(|v| self.eval_loss(model, v));
-            stats.push(EpochStats { epoch, train_loss, valid_loss });
+            stats.push(EpochStats {
+                epoch,
+                train_loss,
+                valid_loss,
+            });
         }
         stats
     }
@@ -134,9 +145,17 @@ mod tests {
         let rtree = RTree::build(&city.net);
         let grid = city.net.grid(50.0);
         let fx = FeatureExtractor::new(&city.net, &rtree, grid);
-        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 9, ..Default::default() });
+        let mut sim = Simulator::new(
+            &city.net,
+            SimConfig {
+                target_len: 9,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(21);
-        let inputs = (0..n).map(|_| fx.extract(&sim.sample(&mut rng, 8))).collect();
+        let inputs = (0..n)
+            .map(|_| fx.extract(&sim.sample(&mut rng, 8)))
+            .collect();
         (city, inputs)
     }
 
@@ -145,7 +164,11 @@ mod tests {
         let (city, inputs) = fixture(8);
         let grid = city.net.grid(50.0);
         let mut model = EndToEnd::build(&MethodSpec::MTrajRec, &city.net, &grid, 16, 7);
-        let mut trainer = Trainer::new(TrainConfig { epochs: 6, batch_size: 4, ..Default::default() });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 6,
+            batch_size: 4,
+            ..Default::default()
+        });
         let stats = trainer.fit(&mut model, &inputs, None);
         let first = stats.first().unwrap().train_loss;
         let last = stats.last().unwrap().train_loss;
@@ -157,8 +180,11 @@ mod tests {
         let (city, inputs) = fixture(6);
         let grid = city.net.grid(50.0);
         let mut model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
-        let mut trainer =
-            Trainer::new(TrainConfig { epochs: 4, batch_size: 3, ..Default::default() });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 3,
+            ..Default::default()
+        });
         let stats = trainer.fit(&mut model, &inputs, None);
         let first = stats.first().unwrap().train_loss;
         let last = stats.last().unwrap().train_loss;
@@ -190,8 +216,11 @@ mod tests {
         let (city, inputs) = fixture(6);
         let grid = city.net.grid(50.0);
         let mut model = EndToEnd::build(&MethodSpec::MTrajRec, &city.net, &grid, 16, 7);
-        let mut trainer =
-            Trainer::new(TrainConfig { epochs: 2, batch_size: 4, ..Default::default() });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        });
         let stats = trainer.fit(&mut model, &inputs[..4], Some(&inputs[4..]));
         assert!(stats.iter().all(|s| s.valid_loss.is_some()));
     }

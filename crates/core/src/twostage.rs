@@ -46,7 +46,11 @@ impl DhtrModel {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let seq2seq = DhtrSeq2Seq::new(&mut store, &mut rng, dim);
-        Self { store, seq2seq, kalman: KalmanSmoother::default() }
+        Self {
+            store,
+            seq2seq,
+            kalman: KalmanSmoother::default(),
+        }
     }
 
     pub fn num_params(&self) -> usize {
@@ -98,14 +102,18 @@ impl DhtrModel {
         let mut tape = Tape::new();
         let pred = self.seq2seq.forward(&mut tape, &self.store, input);
         let v = tape.value(pred);
-        let raw_xy: Vec<XY> =
-            (0..v.rows).map(|r| fx.denormalize(v.get(r, 0), v.get(r, 1))).collect();
+        let raw_xy: Vec<XY> = (0..v.rows)
+            .map(|r| fx.denormalize(v.get(r, 0), v.get(r, 1)))
+            .collect();
         let smoothed = self.kalman.smooth(&raw_xy, eps_rho_s);
         let dense = RawTrajectory {
             points: smoothed
                 .iter()
                 .enumerate()
-                .map(|(j, &xy)| RawPoint { xy, t: j as f64 * eps_rho_s })
+                .map(|(j, &xy)| RawPoint {
+                    xy,
+                    t: j as f64 * eps_rho_s,
+                })
                 .collect(),
         };
         let mut matcher = HmmMatcher::new(fx.net, rtree, hmm.clone());
@@ -127,7 +135,13 @@ mod tests {
     fn fixture() -> (SyntheticCity, RTree, Vec<TrajSample>) {
         let city = SyntheticCity::generate(CityConfig::tiny());
         let rtree = RTree::build(&city.net);
-        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 9, ..Default::default() });
+        let mut sim = Simulator::new(
+            &city.net,
+            SimConfig {
+                target_len: 9,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(31);
         let samples = (0..4).map(|_| sim.sample(&mut rng, 8)).collect();
         (city, rtree, samples)
@@ -136,10 +150,11 @@ mod tests {
     #[test]
     fn linear_hmm_full_length_predictions() {
         let (city, rtree, samples) = fixture();
-        let pred =
-            linear_hmm_predict(&city.net, &rtree, &HmmConfig::default(), &samples[0], 12.0);
+        let pred = linear_hmm_predict(&city.net, &rtree, &HmmConfig::default(), &samples[0], 12.0);
         assert_eq!(pred.len(), samples[0].target.len());
-        assert!(pred.iter().all(|&(s, r)| s < city.net.num_segments() && (0.0..=1.0).contains(&r)));
+        assert!(pred
+            .iter()
+            .all(|&(s, r)| s < city.net.num_segments() && (0.0..=1.0).contains(&r)));
     }
 
     #[test]
@@ -151,9 +166,16 @@ mod tests {
         let mut model = DhtrModel::new(16, 5);
         let losses = model.fit(
             &inputs,
-            &TrainConfig { epochs: 5, batch_size: 2, ..Default::default() },
+            &TrainConfig {
+                epochs: 5,
+                batch_size: 2,
+                ..Default::default()
+            },
         );
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
         let pred = model.predict(&fx, &rtree, &HmmConfig::default(), &inputs[0], 12.0);
         assert_eq!(pred.len(), inputs[0].target_len());
     }

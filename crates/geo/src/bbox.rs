@@ -27,7 +27,12 @@ impl BBox {
     }
 
     pub fn from_point(p: &XY) -> Self {
-        Self { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+        Self {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
     }
 
     pub fn from_points<'a, I: IntoIterator<Item = &'a XY>>(points: I) -> Self {
@@ -77,7 +82,10 @@ impl BBox {
     }
 
     pub fn center(&self) -> XY {
-        XY::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+        XY::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
     }
 
     pub fn contains(&self, p: &XY) -> bool {
@@ -159,7 +167,10 @@ mod tests {
     #[test]
     fn inflation_grows_symmetrically() {
         let b = sample().inflated(2.0);
-        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (-2.0, -2.0, 12.0, 7.0));
+        assert_eq!(
+            (b.min_x, b.min_y, b.max_x, b.max_y),
+            (-2.0, -2.0, 12.0, 7.0)
+        );
     }
 
     #[test]

@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(g.cell_of(&XY::new(0.0, 0.0)), GridCell { col: 0, row: 0 });
         assert_eq!(g.cell_of(&XY::new(75.0, 60.0)), GridCell { col: 1, row: 1 });
         // Clamping out-of-bounds points onto the border cells.
-        assert_eq!(g.cell_of(&XY::new(-10.0, -10.0)), GridCell { col: 0, row: 0 });
+        assert_eq!(
+            g.cell_of(&XY::new(-10.0, -10.0)),
+            GridCell { col: 0, row: 0 }
+        );
         assert_eq!(g.cell_of(&XY::new(1e6, 1e6)), GridCell { col: 19, row: 9 });
     }
 
@@ -180,6 +183,9 @@ mod tests {
     fn short_segment_single_cell() {
         let g = grid();
         let line = Polyline::segment(XY::new(10.0, 10.0), XY::new(12.0, 11.0));
-        assert_eq!(g.cells_on_polyline(&line), vec![GridCell { col: 0, row: 0 }]);
+        assert_eq!(
+            g.cells_on_polyline(&line),
+            vec![GridCell { col: 0, row: 0 }]
+        );
     }
 }

@@ -24,5 +24,5 @@ mod polyline;
 
 pub use bbox::BBox;
 pub use grid::{GridCell, GridSpec};
-pub use point::{GeoPoint, Projection, XY, EARTH_RADIUS_M};
+pub use point::{GeoPoint, Projection, EARTH_RADIUS_M, XY};
 pub use polyline::{PointOnPolyline, Polyline, SegmentProjection};

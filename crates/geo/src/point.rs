@@ -58,7 +58,10 @@ impl XY {
 
     /// Linear interpolation: `self + t * (other - self)`.
     pub fn lerp(&self, other: &XY, t: f64) -> XY {
-        XY::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        XY::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 }
 
@@ -90,7 +93,10 @@ pub struct Projection {
 
 impl Projection {
     pub fn new(origin: GeoPoint) -> Self {
-        Self { origin, cos_lat0: origin.lat.to_radians().cos() }
+        Self {
+            origin,
+            cos_lat0: origin.lat.to_radians().cos(),
+        }
     }
 
     pub fn origin(&self) -> GeoPoint {
@@ -108,7 +114,10 @@ impl Projection {
     pub fn to_geo(&self, p: &XY) -> GeoPoint {
         let dlat = p.y / EARTH_RADIUS_M;
         let dlng = p.x / (EARTH_RADIUS_M * self.cos_lat0);
-        GeoPoint::new(self.origin.lat + dlat.to_degrees(), self.origin.lng + dlng.to_degrees())
+        GeoPoint::new(
+            self.origin.lat + dlat.to_degrees(),
+            self.origin.lng + dlng.to_degrees(),
+        )
     }
 }
 

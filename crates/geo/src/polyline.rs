@@ -106,7 +106,11 @@ impl Polyline {
             Err(i) => i.saturating_sub(1).min(self.points.len() - 2),
         };
         let seg_len = self.cum[i + 1] - self.cum[i];
-        let t = if seg_len <= f64::EPSILON { 0.0 } else { (off - self.cum[i]) / seg_len };
+        let t = if seg_len <= f64::EPSILON {
+            0.0
+        } else {
+            (off - self.cum[i]) / seg_len
+        };
         self.points[i].lerp(&self.points[i + 1], t)
     }
 
@@ -118,13 +122,21 @@ impl Polyline {
 
     /// Project `p` onto the polyline: closest point over all segments.
     pub fn project(&self, p: &XY) -> SegmentProjection {
-        let mut best = SegmentProjection { point: self.points[0], dist: f64::INFINITY, frac: 0.0 };
+        let mut best = SegmentProjection {
+            point: self.points[0],
+            dist: f64::INFINITY,
+            frac: 0.0,
+        };
         let total = self.length().max(f64::EPSILON);
         for i in 0..self.points.len() - 1 {
             let (q, d, t) = project_on_segment(p, &self.points[i], &self.points[i + 1]);
             if d < best.dist {
                 let off = self.cum[i] + t * (self.cum[i + 1] - self.cum[i]);
-                best = SegmentProjection { point: q, dist: d, frac: (off / total).clamp(0.0, 1.0) };
+                best = SegmentProjection {
+                    point: q,
+                    dist: d,
+                    frac: (off / total).clamp(0.0, 1.0),
+                };
             }
         }
         best
@@ -138,10 +150,16 @@ impl Polyline {
         let mut out = Vec::with_capacity((total / step_m) as usize + 2);
         let mut off = 0.0;
         while off < total {
-            out.push(PointOnPolyline { point: self.point_at_offset(off), offset_m: off });
+            out.push(PointOnPolyline {
+                point: self.point_at_offset(off),
+                offset_m: off,
+            });
             off += step_m;
         }
-        out.push(PointOnPolyline { point: self.last(), offset_m: total });
+        out.push(PointOnPolyline {
+            point: self.last(),
+            offset_m: total,
+        });
         out
     }
 
@@ -159,13 +177,20 @@ mod tests {
 
     fn l_shape() -> Polyline {
         // 100 m east then 50 m north.
-        Polyline::new(vec![XY::new(0.0, 0.0), XY::new(100.0, 0.0), XY::new(100.0, 50.0)])
+        Polyline::new(vec![
+            XY::new(0.0, 0.0),
+            XY::new(100.0, 0.0),
+            XY::new(100.0, 50.0),
+        ])
     }
 
     #[test]
     fn length_is_sum_of_segments() {
         assert_eq!(l_shape().length(), 150.0);
-        assert_eq!(Polyline::segment(XY::new(0.0, 0.0), XY::new(3.0, 4.0)).length(), 5.0);
+        assert_eq!(
+            Polyline::segment(XY::new(0.0, 0.0), XY::new(3.0, 4.0)).length(),
+            5.0
+        );
     }
 
     #[test]
@@ -236,7 +261,8 @@ mod tests {
 
     #[test]
     fn degenerate_segment_projection() {
-        let (q, d, t) = project_on_segment(&XY::new(1.0, 1.0), &XY::new(0.0, 0.0), &XY::new(0.0, 0.0));
+        let (q, d, t) =
+            project_on_segment(&XY::new(1.0, 1.0), &XY::new(0.0, 0.0), &XY::new(0.0, 0.0));
         assert_eq!(q, XY::new(0.0, 0.0));
         assert!((d - 2f64.sqrt()).abs() < 1e-12);
         assert_eq!(t, 0.0);

@@ -49,7 +49,12 @@ pub struct HmmMatcher<'a> {
 
 impl<'a> HmmMatcher<'a> {
     pub fn new(net: &'a RoadNetwork, rtree: &'a RTree, config: HmmConfig) -> Self {
-        Self { net, rtree, sp: ShortestPaths::new(net), config }
+        Self {
+            net,
+            rtree,
+            sp: ShortestPaths::new(net),
+            config,
+        }
     }
 
     /// Viterbi-decode the most likely `(segment, ratio)` sequence for `raw`.
@@ -134,7 +139,9 @@ impl<'a> HmmMatcher<'a> {
     }
 
     fn candidates(&self, p: &XY) -> Vec<RadiusHit> {
-        let mut hits = self.rtree.within_radius(self.net, p, self.config.candidate_radius_m);
+        let mut hits = self
+            .rtree
+            .within_radius(self.net, p, self.config.candidate_radius_m);
         hits.truncate(self.config.max_candidates);
         if hits.is_empty() {
             // Fallback: globally nearest segment keeps the chain alive.
@@ -185,7 +192,10 @@ mod tests {
     #[test]
     fn noise_free_dense_trace_is_recovered_exactly() {
         let (city, rtree) = setup();
-        let cfg = SimConfig { gps_noise_std_m: 0.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            gps_noise_std_m: 0.0,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(&city.net, cfg);
         let mut rng = StdRng::seed_from_u64(11);
         let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
@@ -200,7 +210,10 @@ mod tests {
     #[test]
     fn noisy_dense_trace_is_mostly_recovered() {
         let (city, rtree) = setup();
-        let cfg = SimConfig { gps_noise_std_m: 10.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            gps_noise_std_m: 10.0,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(&city.net, cfg);
         let mut rng = StdRng::seed_from_u64(12);
         let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
@@ -233,7 +246,10 @@ mod tests {
     fn far_away_point_falls_back_to_nearest() {
         let (city, rtree) = setup();
         let raw = RawTrajectory {
-            points: vec![RawPoint { xy: XY::new(-5_000.0, -5_000.0), t: 0.0 }],
+            points: vec![RawPoint {
+                xy: XY::new(-5_000.0, -5_000.0),
+                t: 0.0,
+            }],
         };
         let mut matcher = HmmMatcher::new(&city.net, &rtree, HmmConfig::default());
         let got = matcher.match_trajectory(&raw);

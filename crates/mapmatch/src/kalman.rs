@@ -18,7 +18,10 @@ pub struct KalmanSmoother {
 
 impl Default for KalmanSmoother {
     fn default() -> Self {
-        Self { process_noise: 1.0, obs_noise_std: 15.0 }
+        Self {
+            process_noise: 1.0,
+            obs_noise_std: 15.0,
+        }
     }
 }
 
@@ -220,14 +223,15 @@ fn inv4(a: &Mat4) -> Mat4 {
             .unwrap();
         aug.swap(col, pivot);
         let d = aug[col][col];
-        for j in 0..8 {
-            aug[col][j] /= d;
+        for x in aug[col].iter_mut() {
+            *x /= d;
         }
-        for row in 0..4 {
+        let pivot_row = aug[col];
+        for (row, r) in aug.iter_mut().enumerate() {
             if row != col {
-                let f = aug[row][col];
-                for j in 0..8 {
-                    aug[row][j] -= f * aug[col][j];
+                let f = r[col];
+                for (x, &p) in r.iter_mut().zip(&pivot_row) {
+                    *x -= f * p;
                 }
             }
         }
@@ -259,9 +263,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let dt = 10.0;
         let speed = 12.0;
-        let truth: Vec<XY> = (0..40).map(|i| XY::new(i as f64 * speed * dt, 0.0)).collect();
-        let noisy: Vec<XY> =
-            truth.iter().map(|p| XY::new(p.x + 15.0 * gauss(&mut rng), p.y + 15.0 * gauss(&mut rng))).collect();
+        let truth: Vec<XY> = (0..40)
+            .map(|i| XY::new(i as f64 * speed * dt, 0.0))
+            .collect();
+        let noisy: Vec<XY> = truth
+            .iter()
+            .map(|p| XY::new(p.x + 15.0 * gauss(&mut rng), p.y + 15.0 * gauss(&mut rng)))
+            .collect();
         let smoothed = ks.smooth(&noisy, dt);
         let rmse = |pts: &[XY]| {
             (pts.iter().zip(&truth).map(|(a, b)| a.dist2(b)).sum::<f64>() / truth.len() as f64)
@@ -277,7 +285,10 @@ mod tests {
 
     #[test]
     fn noise_free_input_nearly_unchanged() {
-        let ks = KalmanSmoother { process_noise: 5.0, obs_noise_std: 5.0 };
+        let ks = KalmanSmoother {
+            process_noise: 5.0,
+            obs_noise_std: 5.0,
+        };
         let dt = 10.0;
         let truth: Vec<XY> = (0..20).map(|i| XY::new(i as f64 * 100.0, 50.0)).collect();
         let smoothed = ks.smooth(&truth, dt);
@@ -296,10 +307,10 @@ mod tests {
         ];
         let inv = inv4(&m);
         let prod = mat_mul(&m, &inv);
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, row) in prod.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((prod[i][j] - expect).abs() < 1e-9, "prod[{i}][{j}]={}", prod[i][j]);
+                assert!((v - expect).abs() < 1e-9, "prod[{i}][{j}]={v}");
             }
         }
     }

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 
 use crate::layers::Linear;
-use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_nn::{infer, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// Multi-head scaled dot-product self-attention (Eq. 10).
 #[derive(Debug, Clone)]
@@ -26,7 +26,10 @@ impl MultiHeadAttention {
         dim: usize,
         heads: usize,
     ) -> Self {
-        assert!(dim % heads == 0, "dim {dim} must divide into {heads} heads");
+        assert!(
+            dim.is_multiple_of(heads),
+            "dim {dim} must divide into {heads} heads"
+        );
         Self {
             wq: Linear::new(store, rng, &format!("{name}.wq"), dim, dim, false),
             wk: Linear::new(store, rng, &format!("{name}.wk"), dim, dim, false),
@@ -56,6 +59,26 @@ impl MultiHeadAttention {
         }
         let cat = tape.concat_cols(&heads);
         self.wo.forward(tape, store, cat)
+    }
+
+    /// Tape-free twin of [`MultiHeadAttention::forward`].
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let q = self.wq.infer(store, x);
+        let k = self.wk.infer(store, x);
+        let v = self.wv.infer(store, x);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut heads = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = infer::select_cols(&q, h * dh, dh);
+            let kh = infer::select_cols(&k, h * dh, dh);
+            let vh = infer::select_cols(&v, h * dh, dh);
+            let scores = infer::scale(&infer::matmul_nt(&qh, &kh), scale);
+            let alphas = infer::softmax_rows(&scores);
+            heads.push(infer::matmul(&alphas, &vh));
+        }
+        let refs: Vec<&Tensor> = heads.iter().collect();
+        self.wo.infer(store, &infer::concat_cols(&refs))
     }
 }
 
@@ -133,6 +156,16 @@ impl AdditiveAttention {
         let mu = tape.matmul_nt(v, t); // [1, L]
         let alphas = tape.softmax_rows(mu); // [1, L]
         tape.matmul(alphas, keys) // [1, d]
+    }
+
+    /// Tape-free twin of [`AdditiveAttention::forward`].
+    pub fn infer(&self, store: &ParamStore, query: &Tensor, keys: &Tensor) -> Tensor {
+        let gq = infer::matmul(query, store.value(self.wg));
+        let hk = infer::matmul(keys, store.value(self.wh));
+        let t = infer::tanh(&infer::add_rowvec(&hk, &gq));
+        let mu = infer::matmul_nt(store.value(self.v), &t);
+        let alphas = infer::softmax_rows(&mu);
+        infer::matmul(&alphas, keys)
     }
 }
 

@@ -15,7 +15,7 @@
 //!   position regression (its Kalman/HMM post-processing lives in
 //!   `rntrajrec-mapmatch` / the evaluation harness).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
@@ -44,7 +44,13 @@ impl GridInput {
         dim: usize,
     ) -> Self {
         Self {
-            grid_emb: store.add(format!("{name}.grid_emb"), num_cells, dim, Init::Uniform(0.1), rng),
+            grid_emb: store.add(
+                format!("{name}.grid_emb"),
+                num_cells,
+                dim,
+                Init::Uniform(0.1),
+                rng,
+            ),
             proj: Linear::new(store, rng, &format!("{name}.in"), dim + 5, dim, true),
         }
     }
@@ -66,7 +72,9 @@ struct TrajHead {
 
 impl TrajHead {
     fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, dim: usize) -> Self {
-        Self { head: Linear::new(store, rng, &format!("{name}.traj"), dim + 25, dim, true) }
+        Self {
+            head: Linear::new(store, rng, &format!("{name}.traj"), dim + 25, dim, true),
+        }
     }
 
     fn forward(
@@ -130,7 +138,10 @@ impl TrajEncoder for MTrajRecEncoder {
                 EncoderOutput { per_point, traj }
             })
             .collect();
-        BatchEncoderOutput { outputs, aux_loss: None }
+        BatchEncoderOutput {
+            outputs,
+            aux_loss: None,
+        }
     }
 }
 
@@ -160,7 +171,14 @@ impl TransformerBaseline {
             pe: PositionalEncoding::new(dim),
             layers: (0..n_layers)
                 .map(|l| {
-                    TransformerEncoderLayer::new(store, rng, &format!("tf.l{l}"), dim, heads, 2 * dim)
+                    TransformerEncoderLayer::new(
+                        store,
+                        rng,
+                        &format!("tf.l{l}"),
+                        dim,
+                        heads,
+                        2 * dim,
+                    )
                 })
                 .collect(),
             traj: TrajHead::new(store, rng, "tf", dim),
@@ -198,7 +216,10 @@ impl TrajEncoder for TransformerBaseline {
                 EncoderOutput { per_point: h, traj }
             })
             .collect();
-        BatchEncoderOutput { outputs, aux_loss: None }
+        BatchEncoderOutput {
+            outputs,
+            aux_loss: None,
+        }
     }
 }
 
@@ -249,7 +270,10 @@ impl TrajEncoder for T2vecEncoder {
                 EncoderOutput { per_point, traj }
             })
             .collect();
-        BatchEncoderOutput { outputs, aux_loss: None }
+        BatchEncoderOutput {
+            outputs,
+            aux_loss: None,
+        }
     }
 }
 
@@ -353,7 +377,10 @@ impl TrajEncoder for NeuTrajEncoder {
                 EncoderOutput { per_point, traj }
             })
             .collect();
-        BatchEncoderOutput { outputs, aux_loss: None }
+        BatchEncoderOutput {
+            outputs,
+            aux_loss: None,
+        }
     }
 }
 
@@ -426,7 +453,10 @@ impl TrajEncoder for T3sEncoder {
                 EncoderOutput { per_point, traj }
             })
             .collect();
-        BatchEncoderOutput { outputs, aux_loss: None }
+        BatchEncoderOutput {
+            outputs,
+            aux_loss: None,
+        }
     }
 }
 
@@ -441,7 +471,7 @@ pub struct GtsEncoder {
     proj: Linear,
     gru: GruCell,
     traj: TrajHead,
-    csr: Rc<GraphCsr>,
+    csr: Arc<GraphCsr>,
     dim: usize,
 }
 
@@ -449,15 +479,28 @@ impl GtsEncoder {
     pub fn new(store: &mut ParamStore, rng: &mut StdRng, net: &RoadNetwork, dim: usize) -> Self {
         let lists: Vec<Vec<usize>> = net
             .segment_ids()
-            .map(|id| net.neighbors_undirected(id).iter().map(|s| s.index()).collect())
+            .map(|id| {
+                net.neighbors_undirected(id)
+                    .iter()
+                    .map(|s| s.index())
+                    .collect()
+            })
             .collect();
         Self {
-            road_emb: store.add("gts.road_emb", net.num_segments(), dim, Init::Uniform(0.1), rng),
-            gcns: (0..2).map(|l| GcnLayer::new(store, rng, &format!("gts.gcn{l}"), dim, dim)).collect(),
+            road_emb: store.add(
+                "gts.road_emb",
+                net.num_segments(),
+                dim,
+                Init::Uniform(0.1),
+                rng,
+            ),
+            gcns: (0..2)
+                .map(|l| GcnLayer::new(store, rng, &format!("gts.gcn{l}"), dim, dim))
+                .collect(),
             proj: Linear::new(store, rng, "gts.in", dim + 5, dim, true),
             gru: GruCell::new(store, rng, "gts.gru", dim, dim),
             traj: TrajHead::new(store, rng, "gts", dim),
-            csr: Rc::new(GraphCsr::from_neighbor_lists(&lists, true)),
+            csr: Arc::new(GraphCsr::from_neighbor_lists(&lists, true)),
             dim,
         }
     }
@@ -497,7 +540,10 @@ impl TrajEncoder for GtsEncoder {
                 EncoderOutput { per_point, traj }
             })
             .collect();
-        BatchEncoderOutput { outputs, aux_loss: None }
+        BatchEncoderOutput {
+            outputs,
+            aux_loss: None,
+        }
     }
 }
 
@@ -575,9 +621,17 @@ mod tests {
         let rtree = RTree::build(&city.net);
         let grid = city.net.grid(50.0);
         let fx = FeatureExtractor::new(&city.net, &rtree, grid);
-        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 9, ..Default::default() });
+        let mut sim = Simulator::new(
+            &city.net,
+            SimConfig {
+                target_len: 9,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(11);
-        let inputs = (0..2).map(|_| fx.extract(&sim.sample(&mut rng, 8))).collect();
+        let inputs = (0..2)
+            .map(|_| fx.extract(&sim.sample(&mut rng, 8)))
+            .collect();
         Fixture {
             city,
             inputs,
@@ -609,9 +663,22 @@ mod tests {
         let d = 16;
         let encoders: Vec<Box<dyn TrajEncoder>> = vec![
             Box::new(MTrajRecEncoder::new(&mut store, &mut rng, f.grid_cells, d)),
-            Box::new(TransformerBaseline::new(&mut store, &mut rng, f.grid_cells, d, 2, 2)),
+            Box::new(TransformerBaseline::new(
+                &mut store,
+                &mut rng,
+                f.grid_cells,
+                d,
+                2,
+                2,
+            )),
             Box::new(T2vecEncoder::new(&mut store, &mut rng, f.grid_cells, d)),
-            Box::new(NeuTrajEncoder::new(&mut store, &mut rng, f.grid_cols, f.grid_rows, d)),
+            Box::new(NeuTrajEncoder::new(
+                &mut store,
+                &mut rng,
+                f.grid_cols,
+                f.grid_rows,
+                d,
+            )),
             Box::new(T3sEncoder::new(&mut store, &mut rng, f.grid_cells, d, 2)),
             Box::new(GtsEncoder::new(&mut store, &mut rng, &f.city.net, d)),
         ];
@@ -630,7 +697,11 @@ mod tests {
                 assert_eq!(tape.value(o.traj).shape(), (1, d), "{} traj", enc.name());
                 assert!(tape.value(o.per_point).all_finite(), "{}", enc.name());
             }
-            assert!(out.aux_loss.is_none(), "{} must not have aux loss", enc.name());
+            assert!(
+                out.aux_loss.is_none(),
+                "{} must not have aux loss",
+                enc.name()
+            );
         }
         let _ = check_encoder;
     }
@@ -642,14 +713,26 @@ mod tests {
         let mut store = ParamStore::new();
         let encoders: Vec<Box<dyn TrajEncoder>> = vec![
             Box::new(MTrajRecEncoder::new(&mut store, &mut rng, f.grid_cells, 8)),
-            Box::new(TransformerBaseline::new(&mut store, &mut rng, f.grid_cells, 8, 1, 2)),
+            Box::new(TransformerBaseline::new(
+                &mut store,
+                &mut rng,
+                f.grid_cells,
+                8,
+                1,
+                2,
+            )),
             Box::new(T2vecEncoder::new(&mut store, &mut rng, f.grid_cells, 8)),
-            Box::new(NeuTrajEncoder::new(&mut store, &mut rng, f.grid_cols, f.grid_rows, 8)),
+            Box::new(NeuTrajEncoder::new(
+                &mut store,
+                &mut rng,
+                f.grid_cols,
+                f.grid_rows,
+                8,
+            )),
             Box::new(T3sEncoder::new(&mut store, &mut rng, f.grid_cells, 8, 2)),
             Box::new(GtsEncoder::new(&mut store, &mut rng, &f.city.net, 8)),
         ];
-        let names: std::collections::HashSet<&str> =
-            encoders.iter().map(|e| e.name()).collect();
+        let names: std::collections::HashSet<&str> = encoders.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), encoders.len());
     }
 
@@ -662,7 +745,11 @@ mod tests {
         let mut tape = Tape::new();
         let xy = dhtr.forward(&mut tape, &store, &f.inputs[0]);
         assert_eq!(tape.value(xy).shape(), (f.inputs[0].target_len(), 2));
-        assert!(tape.value(xy).data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(tape
+            .value(xy)
+            .data
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -687,7 +774,10 @@ mod tests {
             tape.backward(loss, &mut store);
             opt.step(&mut store);
         }
-        assert!(last < first.unwrap(), "DHTR loss did not decrease: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap(),
+            "DHTR loss did not decrease: {first:?} -> {last}"
+        );
     }
 
     #[test]

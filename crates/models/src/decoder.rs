@@ -12,7 +12,7 @@ use crate::encoder::EncoderOutput;
 use crate::features::SampleInput;
 
 use crate::rnn::GruCell;
-use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_nn::{infer, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// Log-weight assigned to segments outside the constraint mask
 /// (`exp(-30) ≈ 1e-13`: effectively zero probability, numerically safe).
@@ -53,7 +53,13 @@ impl Decoder {
     pub fn new(store: &mut ParamStore, rng: &mut StdRng, config: DecoderConfig) -> Self {
         let d = config.dim;
         Self {
-            seg_emb: store.add("dec.seg_emb", config.num_segments, d, Init::Uniform(0.1), rng),
+            seg_emb: store.add(
+                "dec.seg_emb",
+                config.num_segments,
+                d,
+                Init::Uniform(0.1),
+                rng,
+            ),
             start_emb: store.add("dec.start", 1, d, Init::Uniform(0.1), rng),
             attn: AdditiveAttention::new(store, rng, "dec.attn", d),
             // Input: [x_{j-1} ∥ r_{j-1} ∥ a_j] (Eq. 15).
@@ -150,7 +156,67 @@ impl Decoder {
                 rate
             };
         }
-        DecoderRun { logps, rates, preds }
+        DecoderRun {
+            logps,
+            rates,
+            preds,
+        }
+    }
+
+    /// Tape-free greedy decode (the serving hot path): the twin of
+    /// [`Decoder::run`] with `teacher_forcing = false`, evaluated with
+    /// plain tensor ops. Returns the predicted `(segment, rate)` per
+    /// target step.
+    pub fn infer_run(
+        &self,
+        store: &ParamStore,
+        per_point: &Tensor,
+        traj: &Tensor,
+        sample: &SampleInput,
+    ) -> Vec<(usize, f32)> {
+        let l_rho = sample.target_len();
+        let seg_table = store.value(self.seg_emb);
+        let w_id = store.value(self.w_id);
+        let b_id = store.value(self.b_id);
+        let w_rate = store.value(self.w_rate);
+
+        let mut h = traj.clone();
+        let mut x_prev = store.value(self.start_emb).clone();
+        let mut r_prev = Tensor::scalar(0.0);
+        let mut out = Vec::with_capacity(l_rho);
+
+        for j in 0..l_rho {
+            // Eq. (14): attention over encoder outputs.
+            let a = self.attn.infer(store, &h, per_point);
+            // Eq. (15): GRU update.
+            let input = infer::concat_cols(&[&x_prev, &r_prev, &a]);
+            h = self.gru.infer_step(store, &input, &h);
+
+            // Road-segment head with constraint mask (Eq. 16).
+            let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
+            let masked = match (self.config.use_mask, &sample.masks[j]) {
+                (true, Some(entries)) => {
+                    let mut logw = vec![MASKED_OUT_LOGW; self.config.num_segments];
+                    for &(seg, w) in entries {
+                        logw[seg] = w.max(1e-6).ln();
+                    }
+                    infer::add(&logits, &Tensor::row(logw))
+                }
+                _ => logits,
+            };
+            let logp = infer::log_softmax_rows(&masked);
+            let pred = logp.argmax_row(0);
+
+            let x_j = infer::gather_rows(seg_table, &[pred]);
+            // Moving-ratio head (Eq. 17).
+            let rate_in = infer::concat_cols(&[&x_j, &h]);
+            let rate = infer::sigmoid(&infer::matmul(&rate_in, w_rate));
+            out.push((pred, rate.item()));
+
+            x_prev = x_j;
+            r_prev = rate;
+        }
+        out
     }
 }
 
@@ -167,7 +233,13 @@ mod tests {
         let rtree = RTree::build(&city.net);
         let grid = city.net.grid(50.0);
         let fx = FeatureExtractor::new(&city.net, &rtree, grid);
-        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 9, ..Default::default() });
+        let mut sim = Simulator::new(
+            &city.net,
+            SimConfig {
+                target_len: 9,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(5);
         let s = sim.sample(&mut rng, 8);
         let input = fx.extract(&s);
@@ -189,7 +261,11 @@ mod tests {
         let dec = Decoder::new(
             &mut store,
             &mut rng,
-            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+            DecoderConfig {
+                dim: 16,
+                num_segments: city.net.num_segments(),
+                use_mask: true,
+            },
         );
         let mut tape = Tape::new();
         let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
@@ -215,7 +291,11 @@ mod tests {
         let dec = Decoder::new(
             &mut store,
             &mut rng,
-            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+            DecoderConfig {
+                dim: 16,
+                num_segments: city.net.num_segments(),
+                use_mask: true,
+            },
         );
         let mut tape = Tape::new();
         let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
@@ -241,7 +321,11 @@ mod tests {
         let dec = Decoder::new(
             &mut store,
             &mut rng,
-            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: false },
+            DecoderConfig {
+                dim: 16,
+                num_segments: city.net.num_segments(),
+                use_mask: false,
+            },
         );
         let mut tape = Tape::new();
         let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
@@ -250,7 +334,10 @@ mod tests {
         // non-negligible probability on observed steps when unmasked.
         let lp = tape.value(run.logps[0]);
         let min = lp.data.iter().cloned().fold(f32::INFINITY, f32::min);
-        assert!(min > MASKED_OUT_LOGW, "unmasked probs should not be pinned to -30");
+        assert!(
+            min > MASKED_OUT_LOGW,
+            "unmasked probs should not be pinned to -30"
+        );
     }
 
     #[test]
@@ -261,7 +348,11 @@ mod tests {
         let dec = Decoder::new(
             &mut store,
             &mut rng,
-            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+            DecoderConfig {
+                dim: 16,
+                num_segments: city.net.num_segments(),
+                use_mask: true,
+            },
         );
         let mut tape = Tape::new();
         let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
@@ -272,6 +363,36 @@ mod tests {
     }
 
     #[test]
+    fn infer_run_matches_tape_inference() {
+        let (city, input) = sample_input();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig {
+                dim: 16,
+                num_segments: city.net.num_segments(),
+                use_mask: true,
+            },
+        );
+        let mut tape = Tape::new();
+        let enc = fake_encoder_output(&mut tape, input.input_len(), 16);
+        let run = dec.run(&mut tape, &store, &enc, &input, false);
+
+        let per_point = tape.value(enc.per_point).clone();
+        let traj = tape.value(enc.traj).clone();
+        let fast = dec.infer_run(&store, &per_point, &traj, &input);
+
+        assert_eq!(fast.len(), run.preds.len());
+        for (j, &(seg, rate)) in fast.iter().enumerate() {
+            assert_eq!(seg, run.preds[j], "step {j}: segment prediction diverged");
+            let tape_rate = tape.value(run.rates[j]).item();
+            assert_eq!(rate, tape_rate, "step {j}: rate not bit-identical");
+        }
+    }
+
+    #[test]
     fn teacher_forcing_gradients_reach_embeddings() {
         let (city, input) = sample_input();
         let mut rng = StdRng::seed_from_u64(6);
@@ -279,7 +400,11 @@ mod tests {
         let dec = Decoder::new(
             &mut store,
             &mut rng,
-            DecoderConfig { dim: 16, num_segments: city.net.num_segments(), use_mask: true },
+            DecoderConfig {
+                dim: 16,
+                num_segments: city.net.num_segments(),
+                use_mask: true,
+            },
         );
         let mut tape = Tape::new();
         let enc = fake_encoder_output(&mut tape, input.input_len(), 16);

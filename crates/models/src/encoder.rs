@@ -6,11 +6,18 @@
 //! hidden states `H_traj` `[l_τ, d]` and a trajectory-level vector
 //! `ĥ_traj` `[1, d]` (plus, for RNTrajRec, the graph-classification
 //! auxiliary loss of Eq. 18).
+//!
+//! Encoders may additionally provide a **tape-free inference path**
+//! ([`TrajEncoder::infer_one`]): the same forward computation evaluated
+//! with plain tensor ops (`rntrajrec_nn::infer`), no autograd bookkeeping.
+//! Input-independent work (GridGNN's `X_road`) is split out into
+//! [`TrajEncoder::precompute_road`] so a serving engine can compute it once
+//! per road network and share it read-only across requests.
 
 use rand::rngs::StdRng;
 
 use crate::features::SampleInput;
-use rntrajrec_nn::{NodeId, ParamStore, Tape};
+use rntrajrec_nn::{NodeId, ParamStore, Tape, Tensor};
 
 /// Encoder outputs for one trajectory.
 #[derive(Debug, Clone, Copy)]
@@ -28,8 +35,20 @@ pub struct BatchEncoderOutput {
     pub aux_loss: Option<NodeId>,
 }
 
+/// Tape-free encoder outputs for one trajectory (plain tensors, no tape).
+#[derive(Debug, Clone)]
+pub struct InferOutput {
+    /// `[l_τ, d]` per-point hidden states.
+    pub per_point: Tensor,
+    /// `[1, d]` trajectory-level state.
+    pub traj: Tensor,
+}
+
 /// A trajectory encoder ("A" in the paper's "A + Decoder" convention).
-pub trait TrajEncoder {
+///
+/// `Send + Sync` so a trained encoder can be shared read-only (`Arc`)
+/// across serving worker threads.
+pub trait TrajEncoder: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Hidden size `d` of the outputs.
@@ -44,4 +63,32 @@ pub trait TrajEncoder {
         training: bool,
         rng: &mut StdRng,
     ) -> BatchEncoderOutput;
+
+    /// Does this encoder implement the tape-free path? (Cheap probe —
+    /// [`TrajEncoder::precompute_road`] actually computes the embeddings.)
+    fn has_infer(&self) -> bool {
+        false
+    }
+
+    /// Precompute the input-independent road representation (`X_road` for
+    /// RNTrajRec), if this encoder has one. Serving engines call this once
+    /// per road network and pass the result to every [`TrajEncoder::infer_one`].
+    fn precompute_road(&self, _store: &ParamStore) -> Option<Tensor> {
+        None
+    }
+
+    /// Tape-free single-trajectory inference. Returns `None` when the
+    /// encoder has no forward-only implementation (the serving engine then
+    /// refuses to build; training-time `encode` is unaffected).
+    ///
+    /// `road` is the cached [`TrajEncoder::precompute_road`] output; pass
+    /// `None` to recompute it for this call.
+    fn infer_one(
+        &self,
+        _store: &ParamStore,
+        _sample: &SampleInput,
+        _road: Option<&Tensor>,
+    ) -> Option<InferOutput> {
+        None
+    }
 }

@@ -5,7 +5,7 @@
 //! IV-C, the decoder constraint masks of Section V, and the supervision
 //! targets.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rntrajrec_geo::{BBox, GridSpec, XY};
 use rntrajrec_nn::{GraphCsr, Tensor};
@@ -21,7 +21,7 @@ pub struct SubGraph {
     pub nodes: Vec<usize>,
     /// Adjacency among `nodes` (induced from the road graph, undirected
     /// with self-loops — the GAT attention neighbourhood).
-    pub csr: Rc<GraphCsr>,
+    pub csr: Arc<GraphCsr>,
     /// `ω(e, p) = exp(-dist²/γ²)` per node (Eq. 5).
     pub weights: Vec<f32>,
     /// Row of the ground-truth segment, if it is inside the sub-graph
@@ -132,8 +132,11 @@ impl<'a> FeatureExtractor<'a> {
             })
             .collect();
         // Induced adjacency: E_p = (V_p × V_p) ∩ E, undirected for GAT.
-        let index_of: std::collections::HashMap<usize, usize> =
-            nodes.iter().enumerate().map(|(row, &seg)| (seg, row)).collect();
+        let index_of: std::collections::HashMap<usize, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(row, &seg)| (seg, row))
+            .collect();
         let lists: Vec<Vec<usize>> = nodes
             .iter()
             .map(|&seg| {
@@ -144,9 +147,14 @@ impl<'a> FeatureExtractor<'a> {
                     .collect()
             })
             .collect();
-        let csr = Rc::new(GraphCsr::from_neighbor_lists(&lists, true));
+        let csr = Arc::new(GraphCsr::from_neighbor_lists(&lists, true));
         let true_row = true_seg.and_then(|s| index_of.get(&s.index()).copied());
-        SubGraph { nodes, csr, weights, true_row }
+        SubGraph {
+            nodes,
+            csr,
+            weights,
+            true_row,
+        }
     }
 
     /// Full conversion of one sample.
@@ -205,7 +213,9 @@ impl<'a> FeatureExtractor<'a> {
             target_xy_norm.set(j, 1, ((xy.y - self.bbox.min_y) / height) as f32);
         }
         for (i, p) in sample.raw.points.iter().enumerate() {
-            let hits = self.rtree.within_radius(self.net, &p.xy, self.mask_radius_m);
+            let hits = self
+                .rtree
+                .within_radius(self.net, &p.xy, self.mask_radius_m);
             if hits.is_empty() {
                 continue; // keep all-ones mask rather than forbidding everything
             }
@@ -283,7 +293,11 @@ mod tests {
     fn subgraph_weights_decay_with_distance() {
         let (city, rtree) = setup();
         let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
-        let p = city.net.segment(SegmentId(0)).geometry.point_at_fraction(0.5);
+        let p = city
+            .net
+            .segment(SegmentId(0))
+            .geometry
+            .point_at_fraction(0.5);
         let sg = fx.subgraph_at(&p, Some(SegmentId(0)));
         assert!(!sg.nodes.is_empty());
         // Hits are distance-sorted, so weights must be non-increasing.
@@ -299,7 +313,11 @@ mod tests {
     fn subgraph_adjacency_is_induced() {
         let (city, rtree) = setup();
         let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
-        let p = city.net.segment(SegmentId(5)).geometry.point_at_fraction(0.2);
+        let p = city
+            .net
+            .segment(SegmentId(5))
+            .geometry
+            .point_at_fraction(0.2);
         let sg = fx.subgraph_at(&p, None);
         for (row, &seg) in sg.nodes.iter().enumerate() {
             let global: Vec<usize> = city

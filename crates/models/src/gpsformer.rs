@@ -10,14 +10,14 @@
 use rand::rngs::StdRng;
 
 use crate::attention::PositionalEncoding;
-use crate::encoder::{BatchEncoderOutput, EncoderOutput, TrajEncoder};
+use crate::encoder::{BatchEncoderOutput, EncoderOutput, InferOutput, TrajEncoder};
 use crate::features::SampleInput;
 use crate::gridgnn::{GridGnn, GridGnnConfig};
 use crate::grl::{GraphRefinementLayer, GrlConfig};
 use crate::layers::Linear;
 use crate::transformer::TransformerEncoderLayer;
 use rntrajrec_geo::GridSpec;
-use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_nn::{infer, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 use rntrajrec_roadnet::RoadNetwork;
 
 /// Hyper-parameters of the full RNTrajRec encoder.
@@ -42,7 +42,7 @@ pub struct RnTrajRecConfig {
 
 impl RnTrajRecConfig {
     pub fn small(dim: usize) -> Self {
-        let heads = if dim % 4 == 0 { 4 } else { 2 };
+        let heads = if dim.is_multiple_of(4) { 4 } else { 2 };
         Self {
             dim,
             n_blocks: 2,
@@ -103,7 +103,72 @@ impl RnTrajRecEncoder {
             .collect();
         let traj_head = Linear::new(store, rng, "former.traj", d + 25, d, true);
         let w_enc = store.add("former.w_enc", 1, d, Init::Xavier, rng);
-        Self { gridgnn, input_proj, pe, blocks, traj_head, w_enc, config }
+        Self {
+            gridgnn,
+            input_proj,
+            pe,
+            blocks,
+            traj_head,
+            w_enc,
+            config,
+        }
+    }
+
+    /// Tape-free twin of the `encode` path for a single trajectory.
+    ///
+    /// Matches `encode` with a batch of exactly this sample (the GRL's
+    /// GraphNorm statistics then cover only this trajectory's sub-graphs),
+    /// so results are bit-identical to the tape forward at batch size 1 —
+    /// and, crucially for serving, independent of whatever other requests
+    /// happen to share a micro-batch.
+    pub fn infer_sample(
+        &self,
+        store: &ParamStore,
+        sample: &SampleInput,
+        xroad: &Tensor,
+    ) -> InferOutput {
+        let l = sample.input_len();
+
+        // Sub-graph features Z⁽⁰⁾ and pooled inputs Ĥ⁽⁰⁾ (Eq. 6).
+        let mut zs = Vec::with_capacity(l);
+        let mut pooled = Vec::with_capacity(l);
+        for sg in &sample.subgraphs {
+            let z = infer::gather_rows(xroad, &sg.nodes);
+            pooled.push(infer::weighted_mean_rows(&z, &sg.weights));
+            zs.push(z);
+        }
+        let pooled_refs: Vec<&Tensor> = pooled.iter().collect();
+        let gp = infer::concat_rows(&pooled_refs);
+        let extra = select_columns(&sample.base_feats, &[2, 3, 4]);
+        let cat = infer::concat_cols(&[&gp, &extra]);
+        let h0 = self.input_proj.infer(store, &cat);
+        let mut h = infer::add(&h0, &self.pe.table(l)); // Eq. (12)
+
+        // N GPSFormer blocks (Eq. 13).
+        for (te, grl) in &self.blocks {
+            let tr = te.infer(store, &h);
+            match grl {
+                Some(grl) => {
+                    let tr_rows: Vec<Tensor> =
+                        (0..l).map(|i| infer::select_rows(&tr, i, 1)).collect();
+                    let csrs: Vec<_> = sample.subgraphs.iter().map(|sg| sg.csr.clone()).collect();
+                    let refined = grl.infer(store, &tr_rows, &zs, &csrs);
+                    let rows: Vec<Tensor> = refined.iter().map(infer::mean_rows).collect();
+                    let row_refs: Vec<&Tensor> = rows.iter().collect();
+                    h = infer::concat_rows(&row_refs);
+                    zs = refined;
+                }
+                None => h = tr,
+            }
+        }
+
+        // Trajectory-level vector: mean pool + environmental context.
+        let mean = infer::mean_rows(&h);
+        let env = Tensor::row(sample.env.to_vec());
+        let traj = self
+            .traj_head
+            .infer(store, &infer::concat_cols(&[&mean, &env]));
+        InferOutput { per_point: h, traj }
     }
 }
 
@@ -130,8 +195,8 @@ impl TrajEncoder for RnTrajRecEncoder {
 
         // Per-sample sub-graph features Z⁽⁰⁾ and pooled inputs Ĥ⁽⁰⁾.
         struct SampleState {
-            h: NodeId,          // [lτ, d]
-            zs: Vec<NodeId>,    // per-point [n_i, d]
+            h: NodeId,       // [lτ, d]
+            zs: Vec<NodeId>, // per-point [n_i, d]
         }
         let mut states = Vec::with_capacity(batch.len());
         for sample in batch {
@@ -144,7 +209,7 @@ impl TrajEncoder for RnTrajRecEncoder {
                 zs.push(z);
             }
             let gp = tape.concat_rows(&pooled); // [lτ, d]
-            // Concat timestamp + grid index (base_feats columns 2..5).
+                                                // Concat timestamp + grid index (base_feats columns 2..5).
             let extra = tape.leaf(select_columns(&sample.base_feats, &[2, 3, 4]));
             let cat = tape.concat_cols(&[gp, extra]);
             let h0 = self.input_proj.forward(tape, store, cat);
@@ -156,17 +221,17 @@ impl TrajEncoder for RnTrajRecEncoder {
         // GraphNorm sees true mini-batch statistics.
         for (te, grl) in &self.blocks {
             // Temporal: transformer per trajectory.
-            let trs: Vec<NodeId> =
-                states.iter().map(|s| te.forward(tape, store, s.h)).collect();
+            let trs: Vec<NodeId> = states
+                .iter()
+                .map(|s| te.forward(tape, store, s.h))
+                .collect();
             match grl {
                 Some(grl) => {
                     // Flatten (trajectory, point) pairs for the batched GRL.
                     let mut tr_rows = Vec::new();
                     let mut zs = Vec::new();
                     let mut csrs = Vec::new();
-                    for (state, (&tr, sample)) in
-                        states.iter().zip(trs.iter().zip(batch.iter()))
-                    {
+                    for (state, (&tr, sample)) in states.iter().zip(trs.iter().zip(batch.iter())) {
                         for (i, &z) in state.zs.iter().enumerate() {
                             tr_rows.push(tape.select_rows(tr, i, 1));
                             zs.push(z);
@@ -202,7 +267,10 @@ impl TrajEncoder for RnTrajRecEncoder {
             let env = tape.leaf(Tensor::row(sample.env.to_vec()));
             let cat = tape.concat_cols(&[mean, env]);
             let traj = self.traj_head.forward(tape, store, cat);
-            outputs.push(EncoderOutput { per_point: state.h, traj });
+            outputs.push(EncoderOutput {
+                per_point: state.h,
+                traj,
+            });
         }
 
         // Graph classification loss L_enc (Eq. 18) on the final Z⁽ᴺ⁾.
@@ -212,7 +280,9 @@ impl TrajEncoder for RnTrajRecEncoder {
             for (state, sample) in states.iter().zip(batch) {
                 for (i, &z) in state.zs.iter().enumerate() {
                     let sg = &sample.subgraphs[i];
-                    let Some(true_row) = sg.true_row else { continue };
+                    let Some(true_row) = sg.true_row else {
+                        continue;
+                    };
                     let scores = tape.matmul_nt(w, z); // [1, n]
                     let log_w = tape.leaf(Tensor::row(
                         sg.weights.iter().map(|&x| x.max(1e-6).ln()).collect(),
@@ -232,6 +302,31 @@ impl TrajEncoder for RnTrajRecEncoder {
         };
 
         BatchEncoderOutput { outputs, aux_loss }
+    }
+
+    fn has_infer(&self) -> bool {
+        true
+    }
+
+    fn precompute_road(&self, store: &ParamStore) -> Option<Tensor> {
+        Some(self.gridgnn.infer(store))
+    }
+
+    fn infer_one(
+        &self,
+        store: &ParamStore,
+        sample: &SampleInput,
+        road: Option<&Tensor>,
+    ) -> Option<InferOutput> {
+        let owned;
+        let xroad = match road {
+            Some(t) => t,
+            None => {
+                owned = self.gridgnn.infer(store);
+                &owned
+            }
+        };
+        Some(self.infer_sample(store, sample, xroad))
     }
 }
 
@@ -264,9 +359,17 @@ mod tests {
     fn inputs(city: &SyntheticCity, rtree: &RTree, n: usize) -> Vec<SampleInput> {
         let grid = city.net.grid(50.0);
         let fx = FeatureExtractor::new(&city.net, rtree, grid);
-        let mut sim = Simulator::new(&city.net, SimConfig { target_len: 17, ..Default::default() });
+        let mut sim = Simulator::new(
+            &city.net,
+            SimConfig {
+                target_len: 17,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(7);
-        (0..n).map(|_| fx.extract(&sim.sample(&mut rng, 8))).collect()
+        (0..n)
+            .map(|_| fx.extract(&sim.sample(&mut rng, 8)))
+            .collect()
     }
 
     #[test]
@@ -311,7 +414,66 @@ mod tests {
         let mut tape = Tape::new();
         let out = enc.encode(&mut tape, &store, &refs, true, &mut rng);
         assert!(out.aux_loss.is_none());
-        assert_eq!(tape.value(out.outputs[0].per_point).shape(), (ins[0].input_len(), 16));
+        assert_eq!(
+            tape.value(out.outputs[0].per_point).shape(),
+            (ins[0].input_len(), 16)
+        );
+    }
+
+    #[test]
+    fn infer_sample_matches_tape_encode() {
+        let (city, rtree) = build();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let grid = city.net.grid(50.0);
+        let enc = RnTrajRecEncoder::new(
+            &mut store,
+            &mut rng,
+            &city.net,
+            &grid,
+            RnTrajRecConfig::small(16),
+        );
+        let ins = inputs(&city, &rtree, 2);
+        let xroad = enc.gridgnn.infer(&store);
+        for sample in &ins {
+            // Batch of exactly this sample: GraphNorm statistics match.
+            let mut tape = Tape::new();
+            let out = enc.encode(&mut tape, &store, &[sample], false, &mut rng);
+            let fast = enc.infer_sample(&store, sample, &xroad);
+            let pp = tape.value(out.outputs[0].per_point);
+            let tj = tape.value(out.outputs[0].traj);
+            assert_eq!(fast.per_point.shape(), pp.shape());
+            // The twins mirror the tape op-for-op: bit-identical, not
+            // merely close (the documented serving contract).
+            assert_eq!(
+                fast.per_point.data, pp.data,
+                "per-point infer not bit-identical"
+            );
+            assert_eq!(fast.traj.data, tj.data, "traj infer not bit-identical");
+        }
+    }
+
+    #[test]
+    fn infer_one_without_cache_recomputes_road() {
+        let (city, rtree) = build();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let grid = city.net.grid(50.0);
+        let enc = RnTrajRecEncoder::new(
+            &mut store,
+            &mut rng,
+            &city.net,
+            &grid,
+            RnTrajRecConfig::small(16),
+        );
+        let ins = inputs(&city, &rtree, 1);
+        let xroad = enc
+            .precompute_road(&store)
+            .expect("RNTrajRec precomputes X_road");
+        let cached = enc.infer_one(&store, &ins[0], Some(&xroad)).unwrap();
+        let uncached = enc.infer_one(&store, &ins[0], None).unwrap();
+        assert_eq!(cached.per_point.data, uncached.per_point.data);
+        assert_eq!(cached.traj.data, uncached.traj.data);
     }
 
     #[test]

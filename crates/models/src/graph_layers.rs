@@ -1,11 +1,11 @@
 //! Graph neural layers: GAT (Eq. 3–4), GCN and GIN (Fig. 7(a) backbones).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
 use crate::layers::Linear;
-use rntrajrec_nn::{GraphCsr, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_nn::{infer, GraphCsr, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// Multi-head graph attention layer exactly as Eq. (3)–(4):
 /// per head `k`, scores `a_ij = softmax_j(LeakyReLU(a_kᵀ[Ŵ_k h_i ∥ Ŵ_k h_j]))`
@@ -39,7 +39,10 @@ impl GatLayer {
         out_dim: usize,
         heads: usize,
     ) -> Self {
-        assert!(out_dim % heads == 0, "out_dim {out_dim} must divide into {heads} heads");
+        assert!(
+            out_dim.is_multiple_of(heads),
+            "out_dim {out_dim} must divide into {heads} heads"
+        );
         let dh = out_dim / heads;
         let mut w = Vec::with_capacity(heads);
         let mut w_hat = Vec::with_capacity(heads);
@@ -51,7 +54,16 @@ impl GatLayer {
             a_src.push(store.add(format!("{name}.asrc{k}"), dh, 1, Init::Xavier, rng));
             a_dst.push(store.add(format!("{name}.adst{k}"), dh, 1, Init::Xavier, rng));
         }
-        Self { w, w_hat, a_src, a_dst, heads, in_dim, out_dim, slope: 0.2 }
+        Self {
+            w,
+            w_hat,
+            a_src,
+            a_dst,
+            heads,
+            in_dim,
+            out_dim,
+            slope: 0.2,
+        }
     }
 
     /// `h: [n, in_dim]` with adjacency `csr` → `[n, out_dim]`.
@@ -60,7 +72,7 @@ impl GatLayer {
         tape: &mut Tape,
         store: &ParamStore,
         h: NodeId,
-        csr: &Rc<GraphCsr>,
+        csr: &Arc<GraphCsr>,
     ) -> NodeId {
         let mut outs = Vec::with_capacity(self.heads);
         for k in 0..self.heads {
@@ -80,6 +92,23 @@ impl GatLayer {
         }
         tape.concat_cols(&outs)
     }
+
+    /// Tape-free twin of [`GatLayer::forward`].
+    pub fn infer(&self, store: &ParamStore, h: &Tensor, csr: &GraphCsr) -> Tensor {
+        let mut outs = Vec::with_capacity(self.heads);
+        for k in 0..self.heads {
+            let hw = infer::matmul(h, store.value(self.w[k]));
+            let hw_hat = infer::matmul(h, store.value(self.w_hat[k]));
+            let s_src = infer::matmul(&hw_hat, store.value(self.a_src[k]));
+            let s_dst = infer::matmul(&hw_hat, store.value(self.a_dst[k]));
+            let scores = infer::leaky_relu(&infer::edge_scores(&s_src, &s_dst, csr), self.slope);
+            let alphas = infer::segmented_softmax(&scores, csr);
+            let agg = infer::neighbor_sum(&alphas, &hw, csr);
+            outs.push(infer::leaky_relu(&agg, self.slope));
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        infer::concat_cols(&refs)
+    }
 }
 
 /// Mean-aggregation GCN layer: `h' = ReLU(mean_{j∈N(i)∪{i}} h_j · W + b)`.
@@ -96,7 +125,9 @@ impl GcnLayer {
         in_dim: usize,
         out_dim: usize,
     ) -> Self {
-        Self { lin: Linear::new(store, rng, name, in_dim, out_dim, true) }
+        Self {
+            lin: Linear::new(store, rng, name, in_dim, out_dim, true),
+        }
     }
 
     pub fn forward(
@@ -104,12 +135,18 @@ impl GcnLayer {
         tape: &mut Tape,
         store: &ParamStore,
         h: NodeId,
-        csr: &Rc<GraphCsr>,
+        csr: &Arc<GraphCsr>,
     ) -> NodeId {
         let alphas = tape.leaf(mean_alphas(csr));
         let agg = tape.neighbor_sum(alphas, h, csr);
         let y = self.lin.forward(tape, store, agg);
         tape.relu(y)
+    }
+
+    /// Tape-free twin of [`GcnLayer::forward`].
+    pub fn infer(&self, store: &ParamStore, h: &Tensor, csr: &GraphCsr) -> Tensor {
+        let agg = infer::neighbor_sum(&mean_alphas(csr), h, csr);
+        infer::relu(&self.lin.infer(store, &agg))
     }
 }
 
@@ -140,13 +177,21 @@ impl GinLayer {
         tape: &mut Tape,
         store: &ParamStore,
         h: NodeId,
-        csr: &Rc<GraphCsr>,
+        csr: &Arc<GraphCsr>,
     ) -> NodeId {
         let ones = tape.leaf(Tensor::full(csr.num_edges(), 1, 1.0));
         let agg = tape.neighbor_sum(ones, h, csr); // Σ_j h_j (self-loop in csr adds h_i)
         let y = self.l1.forward(tape, store, agg);
         let y = tape.relu(y);
         self.l2.forward(tape, store, y)
+    }
+
+    /// Tape-free twin of [`GinLayer::forward`].
+    pub fn infer(&self, store: &ParamStore, h: &Tensor, csr: &GraphCsr) -> Tensor {
+        let ones = Tensor::full(csr.num_edges(), 1, 1.0);
+        let agg = infer::neighbor_sum(&ones, h, csr);
+        let y = infer::relu(&self.l1.infer(store, &agg));
+        self.l2.infer(store, &y)
     }
 }
 
@@ -169,8 +214,11 @@ mod tests {
     use rand::SeedableRng;
     use rntrajrec_nn::Adam;
 
-    fn path_csr() -> Rc<GraphCsr> {
-        Rc::new(GraphCsr::from_neighbor_lists(&[vec![1], vec![0, 2], vec![1]], true))
+    fn path_csr() -> Arc<GraphCsr> {
+        Arc::new(GraphCsr::from_neighbor_lists(
+            &[vec![1], vec![0, 2], vec![1]],
+            true,
+        ))
     }
 
     #[test]
@@ -208,8 +256,16 @@ mod tests {
         let y1 = gat.forward(&mut tape, &store, h1, &csr);
         let y2 = gat.forward(&mut tape, &store, h2, &csr);
         let row0 = |n: NodeId, tape: &Tape| tape.value(n).row_slice(0).to_vec();
-        assert_ne!(row0(y0, &tape), row0(y1, &tape), "neighbour change must propagate");
-        assert_eq!(row0(y0, &tape), row0(y2, &tape), "non-neighbour change must not");
+        assert_ne!(
+            row0(y0, &tape),
+            row0(y1, &tape),
+            "neighbour change must propagate"
+        );
+        assert_eq!(
+            row0(y0, &tape),
+            row0(y2, &tape),
+            "non-neighbour change must not"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! graph (Eq. 3–4); finally static features are concatenated and projected
 //! (end of Section IV-B). Produces `X_road ∈ R^{|V|×d}`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
@@ -14,7 +14,7 @@ use crate::graph_layers::{GatLayer, GcnLayer, GinLayer};
 use crate::layers::Linear;
 use crate::rnn::GruCell;
 use rntrajrec_geo::GridSpec;
-use rntrajrec_nn::{GraphCsr, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_nn::{infer, GraphCsr, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 use rntrajrec_roadnet::{RoadNetwork, NUM_ROAD_LEVELS};
 
 /// Graph backbone selector for the Fig. 7(a) comparison.
@@ -48,7 +48,13 @@ pub struct GridGnnConfig {
 
 impl Default for GridGnnConfig {
     fn default() -> Self {
-        Self { dim: 32, layers: 2, heads: 4, backbone: GnnBackbone::Gat, use_grid: true }
+        Self {
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            backbone: GnnBackbone::Gat,
+            use_grid: true,
+        }
     }
 }
 
@@ -66,7 +72,7 @@ pub struct GridGnn {
     /// Row permutation restoring original segment order after grouping.
     perm: Vec<usize>,
     /// Full road-graph adjacency (undirected + self loops).
-    csr: Rc<GraphCsr>,
+    csr: Arc<GraphCsr>,
     /// Constant static features `f_road_s` `[|V|, 11]`.
     static_feats: Tensor,
     pub config: GridGnnConfig,
@@ -82,7 +88,13 @@ impl GridGnn {
     ) -> Self {
         let d = config.dim;
         let n = net.num_segments();
-        let grid_emb = store.add("gridgnn.grid_emb", grid.num_cells(), d, Init::Uniform(0.1), rng);
+        let grid_emb = store.add(
+            "gridgnn.grid_emb",
+            grid.num_cells(),
+            d,
+            Init::Uniform(0.1),
+            rng,
+        );
         let road_emb = store.add("gridgnn.road_emb", n, d, Init::Uniform(0.1), rng);
         let gru = GruCell::new(store, rng, "gridgnn.gru", d, d);
         let backbone = match config.backbone {
@@ -129,9 +141,14 @@ impl GridGnn {
 
         let lists: Vec<Vec<usize>> = net
             .segment_ids()
-            .map(|id| net.neighbors_undirected(id).iter().map(|s| s.index()).collect())
+            .map(|id| {
+                net.neighbors_undirected(id)
+                    .iter()
+                    .map(|s| s.index())
+                    .collect()
+            })
             .collect();
-        let csr = Rc::new(GraphCsr::from_neighbor_lists(&lists, true));
+        let csr = Arc::new(GraphCsr::from_neighbor_lists(&lists, true));
 
         let mut static_feats = Tensor::zeros(n, NUM_ROAD_LEVELS + 3);
         for id in net.segment_ids() {
@@ -169,8 +186,7 @@ impl GridGnn {
                 let len = self.grid_seqs[group[0]].len();
                 let mut state = tape.leaf(Tensor::zeros(group.len(), self.config.dim));
                 for t in 0..len {
-                    let idx: Vec<usize> =
-                        group.iter().map(|&seg| self.grid_seqs[seg][t]).collect();
+                    let idx: Vec<usize> = group.iter().map(|&seg| self.grid_seqs[seg][t]).collect();
                     let x = tape.gather_rows(grid_table, &idx);
                     state = self.gru.step(tape, store, x, state);
                 }
@@ -178,7 +194,7 @@ impl GridGnn {
             }
             let stacked = tape.concat_rows(&group_outputs);
             let grid_repr = tape.gather_rows(stacked, &self.perm); // original order
-            // Eq. (2): r⁰ = ReLU(s^{(φ)} + σ_road).
+                                                                   // Eq. (2): r⁰ = ReLU(s^{(φ)} + σ_road).
             let sum = tape.add(grid_repr, road);
             tape.relu(sum)
         } else {
@@ -211,7 +227,57 @@ impl GridGnn {
         self.out.forward(tape, store, cat)
     }
 
-    pub fn full_csr(&self) -> &Rc<GraphCsr> {
+    /// Tape-free twin of [`GridGnn::forward`]: compute `X_road` once from
+    /// the current weights. The result is input-independent (the paper
+    /// notes it can be computed in advance at inference time), so serving
+    /// precomputes it per road network and shares it read-only across
+    /// worker threads — see `rntrajrec-serve`'s road-embedding cache.
+    pub fn infer(&self, store: &ParamStore) -> Tensor {
+        let road = store.value(self.road_emb);
+        let mut x = if self.config.use_grid {
+            let grid_table = store.value(self.grid_emb);
+            let mut group_outputs = Vec::with_capacity(self.length_groups.len());
+            for group in &self.length_groups {
+                let len = self.grid_seqs[group[0]].len();
+                let mut state = Tensor::zeros(group.len(), self.config.dim);
+                for t in 0..len {
+                    let idx: Vec<usize> = group.iter().map(|&seg| self.grid_seqs[seg][t]).collect();
+                    let x = infer::gather_rows(grid_table, &idx);
+                    state = self.gru.infer_step(store, &x, &state);
+                }
+                group_outputs.push(state);
+            }
+            let refs: Vec<&Tensor> = group_outputs.iter().collect();
+            let stacked = infer::concat_rows(&refs);
+            let grid_repr = infer::gather_rows(&stacked, &self.perm);
+            infer::relu(&infer::add(&grid_repr, road))
+        } else {
+            infer::relu(road)
+        };
+
+        match &self.backbone {
+            BackboneLayers::Gat(layers) => {
+                for l in layers {
+                    x = l.infer(store, &x, &self.csr);
+                }
+            }
+            BackboneLayers::Gcn(layers) => {
+                for l in layers {
+                    x = l.infer(store, &x, &self.csr);
+                }
+            }
+            BackboneLayers::Gin(layers) => {
+                for l in layers {
+                    x = l.infer(store, &x, &self.csr);
+                }
+            }
+        }
+
+        let cat = infer::concat_cols(&[&x, &self.static_feats]);
+        self.out.infer(store, &cat)
+    }
+
+    pub fn full_csr(&self) -> &Arc<GraphCsr> {
         &self.csr
     }
 }
@@ -228,7 +294,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut store = ParamStore::new();
         let grid = city.net.grid(50.0);
-        let cfg = GridGnnConfig { dim: 16, layers: 2, heads: 2, backbone, use_grid: true };
+        let cfg = GridGnnConfig {
+            dim: 16,
+            layers: 2,
+            heads: 2,
+            backbone,
+            use_grid: true,
+        };
         let gg = GridGnn::new(&mut store, &mut rng, &city.net, &grid, cfg);
         (city, store, gg)
     }
@@ -296,6 +368,22 @@ mod tests {
     }
 
     #[test]
+    fn infer_matches_tape_forward() {
+        for b in [GnnBackbone::Gat, GnnBackbone::Gcn, GnnBackbone::Gin] {
+            let (_, store, gg) = setup(b);
+            let mut tape = Tape::new();
+            let x = gg.forward(&mut tape, &store);
+            let fast = gg.infer(&store);
+            assert_eq!(fast.shape(), tape.value(x).shape());
+            assert_eq!(
+                fast.data,
+                tape.value(x).data,
+                "{b:?}: infer not bit-identical"
+            );
+        }
+    }
+
+    #[test]
     fn grid_embedding_receives_gradient() {
         let (_, mut store, gg) = setup(GnnBackbone::Gat);
         let mut tape = Tape::new();
@@ -304,8 +392,14 @@ mod tests {
         store.zero_grad();
         tape.backward(loss, &mut store);
         let g = store.grad(gg.grid_emb);
-        assert!(g.data.iter().any(|&v| v != 0.0), "grid embedding got no gradient");
+        assert!(
+            g.data.iter().any(|&v| v != 0.0),
+            "grid embedding got no gradient"
+        );
         let g = store.grad(gg.road_emb);
-        assert!(g.data.iter().any(|&v| v != 0.0), "road embedding got no gradient");
+        assert!(
+            g.data.iter().any(|&v| v != 0.0),
+            "road embedding got no gradient"
+        );
     }
 }

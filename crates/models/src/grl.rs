@@ -1,13 +1,13 @@
 //! Graph Refinement Layer (Section IV-D): gated fusion + graph forward +
 //! graph normalisation, with ablation switches for Table V.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
 use crate::graph_layers::GatLayer;
 use crate::layers::{FeedForward, LayerNorm, Linear};
-use rntrajrec_nn::{GraphCsr, Init, NodeId, ParamId, ParamStore, Tape};
+use rntrajrec_nn::{infer, GraphCsr, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// Gated fusion (Eq. 7): adaptively mix the transformer output `tr_i`
 /// (temporal) into every node of the point's sub-graph (spatial):
@@ -48,6 +48,19 @@ impl GatedFusion {
         let keep_z = tape.mul(inv_gate, z);
         tape.add(take_tr, keep_z)
     }
+
+    /// Tape-free twin of [`GatedFusion::forward`].
+    pub fn infer(&self, store: &ParamStore, tr: &Tensor, z: &Tensor) -> Tensor {
+        let tr_rep = infer::repeat_rows(tr, z.rows);
+        let a = infer::matmul(&tr_rep, store.value(self.wz1));
+        let b = infer::matmul(z, store.value(self.wz2));
+        let s = infer::add_rowvec(&infer::add(&a, &b), store.value(self.bz));
+        let gate = infer::sigmoid(&s);
+        let take_tr = infer::mul(&gate, &tr_rep);
+        let inv_gate = infer::add_const(&infer::scale(&gate, -1.0), 1.0);
+        let keep_z = infer::mul(&inv_gate, z);
+        infer::add(&take_tr, &keep_z)
+    }
 }
 
 /// Graph normalisation (Eq. 8–9): batch-norm for graph features with
@@ -83,7 +96,7 @@ impl GraphNorm {
         let means: Vec<NodeId> = zs.iter().map(|&z| tape.mean_rows(z)).collect();
         let m = tape.concat_rows(&means); // [B·lτ, d]
         let mu = tape.mean_rows(m); // [1, d]
-        // Eq. (9): variance of all node features around μ_B.
+                                    // Eq. (9): variance of all node features around μ_B.
         let big = tape.concat_rows(zs); // [Σn_k, d]
         let neg_mu = tape.scale(mu, -1.0);
         let centered = tape.add_rowvec(big, neg_mu);
@@ -107,6 +120,34 @@ impl GraphNorm {
         }
         res
     }
+
+    /// Tape-free twin of [`GraphNorm::forward`]. The statistics are
+    /// computed over exactly the graphs passed in `zs` — the serving path
+    /// passes one trajectory's sub-graphs, which matches a training batch
+    /// of size 1 and keeps batched inference independent per request.
+    pub fn infer(&self, store: &ParamStore, zs: &[Tensor]) -> Vec<Tensor> {
+        assert!(!zs.is_empty());
+        let means: Vec<Tensor> = zs.iter().map(infer::mean_rows).collect();
+        let mean_refs: Vec<&Tensor> = means.iter().collect();
+        let mu = infer::mean_rows(&infer::concat_rows(&mean_refs));
+        let z_refs: Vec<&Tensor> = zs.iter().collect();
+        let big = infer::concat_rows(&z_refs);
+        let neg_mu = infer::scale(&mu, -1.0);
+        let centered = infer::add_rowvec(&big, &neg_mu);
+        let sq = infer::mul(&centered, &centered);
+        let var = infer::add_const(&infer::mean_rows(&sq), self.eps);
+        let inv = infer::recip(&infer::sqrt(&var));
+        let norm = infer::mul_rowvec(&centered, &inv);
+        let scaled = infer::mul_rowvec(&norm, store.value(self.gamma));
+        let out = infer::add_rowvec(&scaled, store.value(self.beta));
+        let mut res = Vec::with_capacity(zs.len());
+        let mut off = 0;
+        for z in zs {
+            res.push(infer::select_rows(&out, off, z.rows));
+            off += z.rows;
+        }
+        res
+    }
 }
 
 /// Which normaliser a GRL sub-layer uses (Table V `w/o GN`).
@@ -121,6 +162,13 @@ impl Norm {
         match self {
             Norm::Graph(gn) => gn.forward(tape, store, zs),
             Norm::Layer(ln) => zs.iter().map(|&z| ln.forward(tape, store, z)).collect(),
+        }
+    }
+
+    fn infer(&self, store: &ParamStore, zs: &[Tensor]) -> Vec<Tensor> {
+        match self {
+            Norm::Graph(gn) => gn.infer(store, zs),
+            Norm::Layer(ln) => zs.iter().map(|z| ln.infer(store, z)).collect(),
         }
     }
 }
@@ -142,7 +190,14 @@ pub struct GrlConfig {
 
 impl GrlConfig {
     pub fn new(dim: usize, heads: usize) -> Self {
-        Self { dim, gat_layers: 1, heads, gated_fusion: true, gat: true, graph_norm: true }
+        Self {
+            dim,
+            gat_layers: 1,
+            heads,
+            gated_fusion: true,
+            gat: true,
+            graph_norm: true,
+        }
     }
 }
 
@@ -163,19 +218,43 @@ impl GraphRefinementLayer {
     pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, config: GrlConfig) -> Self {
         let d = config.dim;
         let (fusion, fusion_ffn) = if config.gated_fusion {
-            (Some(GatedFusion::new(store, rng, &format!("{name}.gf"), d)), None)
+            (
+                Some(GatedFusion::new(store, rng, &format!("{name}.gf"), d)),
+                None,
+            )
         } else {
-            (None, Some(Linear::new(store, rng, &format!("{name}.gf_ffn"), 2 * d, d, true)))
+            (
+                None,
+                Some(Linear::new(
+                    store,
+                    rng,
+                    &format!("{name}.gf_ffn"),
+                    2 * d,
+                    d,
+                    true,
+                )),
+            )
         };
         let (gats, forward_ffn) = if config.gat {
             (
                 (0..config.gat_layers)
-                    .map(|l| GatLayer::new(store, rng, &format!("{name}.gat{l}"), d, d, config.heads))
+                    .map(|l| {
+                        GatLayer::new(store, rng, &format!("{name}.gat{l}"), d, d, config.heads)
+                    })
                     .collect(),
                 None,
             )
         } else {
-            (Vec::new(), Some(FeedForward::new(store, rng, &format!("{name}.fwd_ffn"), d, 2 * d)))
+            (
+                Vec::new(),
+                Some(FeedForward::new(
+                    store,
+                    rng,
+                    &format!("{name}.fwd_ffn"),
+                    d,
+                    2 * d,
+                )),
+            )
         };
         let mk_norm = |store: &mut ParamStore, rng: &mut StdRng, n: String| {
             if config.graph_norm {
@@ -186,7 +265,15 @@ impl GraphRefinementLayer {
         };
         let norm1 = mk_norm(store, rng, format!("{name}.norm1"));
         let norm2 = mk_norm(store, rng, format!("{name}.norm2"));
-        Self { fusion, fusion_ffn, gats, forward_ffn, norm1, norm2, config }
+        Self {
+            fusion,
+            fusion_ffn,
+            gats,
+            forward_ffn,
+            norm1,
+            norm2,
+            config,
+        }
     }
 
     /// Refine a mini-batch of sub-graphs.
@@ -203,7 +290,7 @@ impl GraphRefinementLayer {
         store: &ParamStore,
         tr_rows: &[NodeId],
         zs: &[NodeId],
-        csrs: &[Rc<GraphCsr>],
+        csrs: &[Arc<GraphCsr>],
     ) -> Vec<NodeId> {
         assert_eq!(tr_rows.len(), zs.len());
         assert_eq!(zs.len(), csrs.len());
@@ -247,6 +334,53 @@ impl GraphRefinementLayer {
             .collect();
         self.norm2.forward(tape, store, &refined)
     }
+
+    /// Tape-free twin of [`GraphRefinementLayer::forward`].
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        tr_rows: &[Tensor],
+        zs: &[Tensor],
+        csrs: &[Arc<GraphCsr>],
+    ) -> Vec<Tensor> {
+        assert_eq!(tr_rows.len(), zs.len());
+        assert_eq!(zs.len(), csrs.len());
+        let fused: Vec<Tensor> = zs
+            .iter()
+            .zip(tr_rows)
+            .map(|(z, tr)| {
+                let f = match (&self.fusion, &self.fusion_ffn) {
+                    (Some(gf), _) => gf.infer(store, tr, z),
+                    (None, Some(ffn)) => {
+                        let tr_rep = infer::repeat_rows(tr, z.rows);
+                        let cat = infer::concat_cols(&[&tr_rep, z]);
+                        infer::relu(&ffn.infer(store, &cat))
+                    }
+                    _ => unreachable!(),
+                };
+                infer::add(z, &f)
+            })
+            .collect();
+        let x = self.norm1.infer(store, &fused);
+
+        let refined: Vec<Tensor> = x
+            .iter()
+            .zip(csrs)
+            .map(|(xi, csr)| {
+                let f = if let Some(ffn) = &self.forward_ffn {
+                    ffn.infer(store, xi)
+                } else {
+                    let mut h = xi.clone();
+                    for gat in &self.gats {
+                        h = gat.infer(store, &h, csr);
+                    }
+                    h
+                };
+                infer::add(xi, &f)
+            })
+            .collect();
+        self.norm2.infer(store, &refined)
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +389,7 @@ mod tests {
     use rand::SeedableRng;
     use rntrajrec_nn::Tensor;
 
-    fn csr(n: usize) -> Rc<GraphCsr> {
+    fn csr(n: usize) -> Arc<GraphCsr> {
         // Simple path graph.
         let lists: Vec<Vec<usize>> = (0..n)
             .map(|i| {
@@ -269,7 +403,7 @@ mod tests {
                 v
             })
             .collect();
-        Rc::new(GraphCsr::from_neighbor_lists(&lists, true))
+        Arc::new(GraphCsr::from_neighbor_lists(&lists, true))
     }
 
     #[test]
@@ -294,8 +428,16 @@ mod tests {
         let mut store = ParamStore::new();
         let gn = GraphNorm::new(&mut store, &mut rng, "gn", 3);
         let mut tape = Tape::new();
-        let z1 = tape.leaf(Tensor::from_vec(2, 3, vec![10.0, -4.0, 3.0, 14.0, -8.0, 5.0]));
-        let z2 = tape.leaf(Tensor::from_vec(3, 3, vec![6.0, 0.0, 1.0, 8.0, -2.0, 7.0, 12.0, -6.0, 3.0]));
+        let z1 = tape.leaf(Tensor::from_vec(
+            2,
+            3,
+            vec![10.0, -4.0, 3.0, 14.0, -8.0, 5.0],
+        ));
+        let z2 = tape.leaf(Tensor::from_vec(
+            3,
+            3,
+            vec![6.0, 0.0, 1.0, 8.0, -2.0, 7.0, 12.0, -6.0, 3.0],
+        ));
         let out = gn.forward(&mut tape, &store, &[z1, z2]);
         assert_eq!(out.len(), 2);
         assert_eq!(tape.value(out[0]).shape(), (2, 3));
@@ -340,14 +482,12 @@ mod tests {
             let tr2 = tape.leaf(Tensor::uniform(1, 8, 1.0, &mut rng));
             let z1 = tape.leaf(Tensor::uniform(4, 8, 1.0, &mut rng));
             let z2 = tape.leaf(Tensor::uniform(2, 8, 1.0, &mut rng));
-            let out = grl.forward(
-                &mut tape,
-                &store,
-                &[tr1, tr2],
-                &[z1, z2],
-                &[csr(4), csr(2)],
+            let out = grl.forward(&mut tape, &store, &[tr1, tr2], &[z1, z2], &[csr(4), csr(2)]);
+            assert_eq!(
+                tape.value(out[0]).shape(),
+                (4, 8),
+                "variant {gf}/{gat}/{gn}"
             );
-            assert_eq!(tape.value(out[0]).shape(), (4, 8), "variant {gf}/{gat}/{gn}");
             assert_eq!(tape.value(out[1]).shape(), (2, 8));
             assert!(tape.value(out[0]).all_finite());
         }
@@ -364,7 +504,7 @@ mod tests {
         let tr = tape.leaf(Tensor::uniform(1, 8, 1.0, &mut rng));
         let z = tape.leaf(Tensor::uniform(3, 8, 1.0, &mut rng));
         let c = csr(3);
-        let out1 = a.forward(&mut tape, &store, &[tr], &[z], &[c.clone()]);
+        let out1 = a.forward(&mut tape, &store, &[tr], &[z], std::slice::from_ref(&c));
         let out2 = b.forward(&mut tape, &store, &[tr], &[out1[0]], &[c]);
         assert_eq!(tape.value(out2[0]).shape(), (3, 8));
     }

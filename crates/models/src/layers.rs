@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_nn::{infer, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// Fully connected layer `y = x·W (+ b)`.
 #[derive(Debug, Clone)]
@@ -24,7 +24,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(format!("{name}.w"), in_dim, out_dim, Init::Xavier, rng);
         let b = bias.then(|| store.add(format!("{name}.b"), 1, out_dim, Init::Zeros, rng));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// `x: [N, in] -> [N, out]`.
@@ -36,6 +41,15 @@ impl Linear {
                 let b = tape.param(store, b);
                 tape.add_rowvec(y, b)
             }
+            None => y,
+        }
+    }
+
+    /// Tape-free twin of [`Linear::forward`].
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let y = infer::matmul(x, store.value(self.w));
+        match self.b {
+            Some(b) => infer::add_rowvec(&y, store.value(b)),
             None => y,
         }
     }
@@ -55,7 +69,12 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, dim: usize) -> Self {
         let gamma = store.add(format!("{name}.gamma"), 1, dim, Init::Ones, rng);
         let beta = store.add(format!("{name}.beta"), 1, dim, Init::Zeros, rng);
-        Self { gamma, beta, dim, eps: 1e-5 }
+        Self {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
     }
 
     /// `x: [N, dim] -> [N, dim]`, each row normalised independently.
@@ -77,6 +96,23 @@ impl LayerNorm {
         let beta = tape.param(store, self.beta);
         let scaled = tape.mul_rowvec(norm, gamma);
         tape.add_rowvec(scaled, beta)
+    }
+
+    /// Tape-free twin of [`LayerNorm::forward`] (same op order, so results
+    /// are bit-identical).
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let d = self.dim;
+        let ones = Tensor::full(d, 1, 1.0);
+        let mu = infer::scale(&infer::matmul(x, &ones), 1.0 / d as f32);
+        let neg_mu = infer::scale(&mu, -1.0);
+        let centered = infer::add_colvec(x, &neg_mu);
+        let sq = infer::mul(&centered, &centered);
+        let var = infer::scale(&infer::matmul(&sq, &ones), 1.0 / d as f32);
+        let var = infer::add_const(&var, self.eps);
+        let inv = infer::recip(&infer::sqrt(&var));
+        let norm = infer::mul_colvec(&centered, &inv);
+        let scaled = infer::mul_rowvec(&norm, store.value(self.gamma));
+        infer::add_rowvec(&scaled, store.value(self.beta))
     }
 }
 
@@ -105,6 +141,12 @@ impl FeedForward {
         let h = self.l1.forward(tape, store, x);
         let h = tape.relu(h);
         self.l2.forward(tape, store, h)
+    }
+
+    /// Tape-free twin of [`FeedForward::forward`].
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let h = infer::relu(&self.l1.infer(store, x));
+        self.l2.infer(store, &h)
     }
 }
 
@@ -160,7 +202,9 @@ mod tests {
         let x = tape.leaf(Tensor::from_vec(
             2,
             6,
-            vec![10.0, 12.0, 8.0, 11.0, 9.0, 10.0, -5.0, 0.0, 5.0, 2.0, -2.0, 0.0],
+            vec![
+                10.0, 12.0, 8.0, 11.0, 9.0, 10.0, -5.0, 0.0, 5.0, 2.0, -2.0, 0.0,
+            ],
         ));
         let y = ln.forward(&mut tape, &store, x);
         let v = tape.value(y);
@@ -186,7 +230,11 @@ mod tests {
         tape.backward(loss, &mut store);
         assert!(store.grad(ln.gamma).data.iter().any(|&g| g != 0.0));
         // Beta gradient of mean loss is uniform 1/4.
-        assert!(store.grad(ln.beta).data.iter().all(|&g| (g - 0.25).abs() < 1e-6));
+        assert!(store
+            .grad(ln.beta)
+            .data
+            .iter()
+            .all(|&g| (g - 0.25).abs() < 1e-6));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use baselines::{
     TransformerBaseline,
 };
 pub use decoder::{Decoder, DecoderConfig, DecoderRun};
-pub use encoder::{BatchEncoderOutput, EncoderOutput, TrajEncoder};
+pub use encoder::{BatchEncoderOutput, EncoderOutput, InferOutput, TrajEncoder};
 pub use features::{FeatureExtractor, SampleInput, SubGraph};
 pub use gpsformer::{RnTrajRecConfig, RnTrajRecEncoder};
 pub use graph_layers::{GatLayer, GcnLayer, GinLayer};

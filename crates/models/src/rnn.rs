@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use rntrajrec_nn::{Init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use rntrajrec_nn::{infer, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// Gated recurrent unit cell exactly as the paper's Eq. (1):
 /// `z = σ(W_z·[s,x]+b_z)`, `r = σ(W_r·[s,x]+b_r)`,
@@ -68,6 +68,32 @@ impl GruCell {
         let keep = tape.mul(one_minus_z, s);
         let update = tape.mul(z, c);
         tape.add(keep, update)
+    }
+
+    /// Tape-free twin of [`GruCell::step`].
+    pub fn infer_step(&self, store: &ParamStore, x: &Tensor, s: &Tensor) -> Tensor {
+        let cat = infer::concat_cols(&[s, x]);
+        let z_lin = infer::add_rowvec(
+            &infer::matmul(&cat, store.value(self.wz)),
+            store.value(self.bz),
+        );
+        let z = infer::sigmoid(&z_lin);
+        let r_lin = infer::add_rowvec(
+            &infer::matmul(&cat, store.value(self.wr)),
+            store.value(self.br),
+        );
+        let r = infer::sigmoid(&r_lin);
+        let rs = infer::mul(&r, s);
+        let cat2 = infer::concat_cols(&[&rs, x]);
+        let c_lin = infer::add_rowvec(
+            &infer::matmul(&cat2, store.value(self.wc)),
+            store.value(self.bc),
+        );
+        let c = infer::tanh(&c_lin);
+        let one_minus_z = infer::add_const(&infer::scale(&z, -1.0), 1.0);
+        let keep = infer::mul(&one_minus_z, s);
+        let update = infer::mul(&z, &c);
+        infer::add(&keep, &update)
     }
 
     /// Run over a sequence `[L, in]` with zero initial state; returns the
@@ -216,12 +242,13 @@ impl BiLstm {
         let len = tape.value(xs).rows;
         let f = self.fwd.run_sequence(tape, store, xs);
         // Reverse the sequence for the backward pass.
-        let rev_rows: Vec<NodeId> =
-            (0..len).rev().map(|i| tape.select_rows(xs, i, 1)).collect();
+        let rev_rows: Vec<NodeId> = (0..len).rev().map(|i| tape.select_rows(xs, i, 1)).collect();
         let xs_rev = tape.concat_rows(&rev_rows);
         let b_rev = self.bwd.run_sequence(tape, store, xs_rev);
-        let b_rows: Vec<NodeId> =
-            (0..len).rev().map(|i| tape.select_rows(b_rev, i, 1)).collect();
+        let b_rows: Vec<NodeId> = (0..len)
+            .rev()
+            .map(|i| tape.select_rows(b_rev, i, 1))
+            .collect();
         let b = tape.concat_rows(&b_rows);
         let cat = tape.concat_cols(&[f, b]);
         self.proj.forward(tape, store, cat)

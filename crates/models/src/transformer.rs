@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 
 use crate::attention::MultiHeadAttention;
 use crate::layers::{FeedForward, LayerNorm};
-use rntrajrec_nn::{NodeId, ParamStore, Tape};
+use rntrajrec_nn::{infer, NodeId, ParamStore, Tape, Tensor};
 
 /// `LayerNorm(x + MultiHead(x))` then `LayerNorm(x + FFN(x))` — the
 /// temporal-modelling half of each GPSFormer block.
@@ -41,6 +41,14 @@ impl TransformerEncoderLayer {
         let ff = self.ffn.forward(tape, store, h);
         let res2 = tape.add(h, ff);
         self.ln2.forward(tape, store, res2)
+    }
+
+    /// Tape-free twin of [`TransformerEncoderLayer::forward`].
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let attn = self.mha.infer(store, x);
+        let h = self.ln1.infer(store, &infer::add(x, &attn));
+        let ff = self.ffn.infer(store, &h);
+        self.ln2.infer(store, &infer::add(&h, &ff))
     }
 }
 
@@ -115,6 +123,9 @@ mod tests {
             tape.backward(loss, &mut store);
             opt.step(&mut store);
         }
-        assert!(last < 0.05, "transformer failed to learn attention task: {last}");
+        assert!(
+            last < 0.05,
+            "transformer failed to learn attention task: {last}"
+        );
     }
 }

@@ -22,8 +22,12 @@
 //!   tape; `Tape::param` imports them as leaves, `Tape::backward` routes
 //!   leaf gradients back into the store, and [`Adam`] / [`Sgd`] update them.
 //! * [`GraphCsr`] — shared immutable adjacency used by the fused GAT ops.
+//! * [`infer`] — tape-free forward-only twins of every op above: the same
+//!   numerical kernels applied directly to [`Tensor`]s with no graph
+//!   bookkeeping, for the online-serving hot path (`rntrajrec-serve`).
 
 mod csr;
+pub mod infer;
 mod optim;
 mod param;
 mod tape;

@@ -54,7 +54,13 @@ pub struct Adam {
 impl Adam {
     /// The paper's setting: learning rate `1e-3`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     pub fn step_count(&self) -> u64 {
@@ -125,7 +131,11 @@ mod tests {
             tape.backward(loss, &mut store);
             opt.step(&mut store);
         }
-        assert!((store.value(w).item() - 3.0).abs() < 1e-2, "w = {}", store.value(w).item());
+        assert!(
+            (store.value(w).item() - 3.0).abs() < 1e-2,
+            "w = {}",
+            store.value(w).item()
+        );
         assert_eq!(opt.step_count(), 200);
     }
 

@@ -62,7 +62,13 @@ impl ParamStore {
             Init::Uniform(a) => Tensor::uniform(rows, cols, a, rng),
         };
         let grad = Tensor::zeros(rows, cols);
-        self.params.push(ParamData { name: name.into(), value, grad, m: None, v: None });
+        self.params.push(ParamData {
+            name: name.into(),
+            value,
+            grad,
+            m: None,
+            v: None,
+        });
         ParamId(self.params.len() - 1)
     }
 

@@ -5,7 +5,7 @@
 //! simply reverse insertion order) accumulating gradients, and routes leaf
 //! gradients into the [`ParamStore`].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::{GraphCsr, ParamId, ParamStore, Tensor};
 
@@ -18,7 +18,9 @@ pub type NodeId = usize;
 #[derive(Debug, Clone)]
 pub enum Op {
     /// Input: constant or parameter (gradient routed to the store).
-    Leaf { param: Option<ParamId> },
+    Leaf {
+        param: Option<ParamId>,
+    },
     /// Element-wise `a + b` (same shape).
     Add(NodeId, NodeId),
     /// Element-wise `a - b`.
@@ -68,22 +70,22 @@ pub enum Op {
     /// Weighted column means with fixed (non-learned) weights, normalised
     /// internally → `[1,C]`. This is the paper's weighted mean pooling
     /// (Eq. 6) and graph readout (Eq. 8).
-    WeightedMeanRows(NodeId, Rc<Vec<f32>>),
+    WeightedMeanRows(NodeId, Arc<Vec<f32>>),
     /// Mean of all entries → `[1,1]`.
     MeanAll(NodeId),
     /// Sum of all entries → `[1,1]`.
     SumAll(NodeId),
     /// Row gather: `table[indices[i], :]` → `[n, C]` (embedding lookup).
-    GatherRows(NodeId, Rc<Vec<usize>>),
+    GatherRows(NodeId, Arc<Vec<usize>>),
     /// Element-wise multiply by a fixed 0/scale mask (inverted dropout).
-    Dropout(NodeId, Rc<Vec<f32>>),
+    Dropout(NodeId, Arc<Vec<f32>>),
     /// GAT edge scores: `out[e] = src[i] + dst[j_e]` for each edge slot `e`
     /// in node `i`'s segment.
-    EdgeScores(NodeId, NodeId, Rc<GraphCsr>),
+    EdgeScores(NodeId, NodeId, Arc<GraphCsr>),
     /// Softmax within each node's edge segment (attention normalisation).
-    SegmentedSoftmax(NodeId, Rc<GraphCsr>),
+    SegmentedSoftmax(NodeId, Arc<GraphCsr>),
     /// `out[i] = Σ_{e ∈ seg(i)} α[e] · feats[j_e]` (attention aggregation).
-    NeighborSum(NodeId, NodeId, Rc<GraphCsr>),
+    NeighborSum(NodeId, NodeId, Arc<GraphCsr>),
 }
 
 #[derive(Debug)]
@@ -129,7 +131,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
-        self.nodes.push(Node { value, op, grad: None });
+        self.nodes.push(Node {
+            value,
+            op,
+            grad: None,
+        });
         self.nodes.len() - 1
     }
 
@@ -284,7 +290,11 @@ impl Tape {
 
     pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
         let ta = self.val(a);
-        let data = ta.data.iter().map(|&x| if x > 0.0 { x } else { slope * x }).collect();
+        let data = ta
+            .data
+            .iter()
+            .map(|&x| if x > 0.0 { x } else { slope * x })
+            .collect();
         let t = Tensor::from_vec(ta.rows, ta.cols, data);
         self.push(t, Op::LeakyRelu(a, slope))
     }
@@ -368,14 +378,20 @@ impl Tape {
             assert_eq!(tp.cols, cols, "concat_rows: column mismatch");
             data.extend_from_slice(&tp.data);
         }
-        self.push(Tensor::from_vec(total, cols, data), Op::ConcatRows(parts.to_vec()))
+        self.push(
+            Tensor::from_vec(total, cols, data),
+            Op::ConcatRows(parts.to_vec()),
+        )
     }
 
     pub fn select_rows(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
         let ta = self.val(a);
         assert!(start + len <= ta.rows, "select_rows out of range");
         let data = ta.data[start * ta.cols..(start + len) * ta.cols].to_vec();
-        self.push(Tensor::from_vec(len, ta.cols, data), Op::SelectRows(a, start, len))
+        self.push(
+            Tensor::from_vec(len, ta.cols, data),
+            Op::SelectRows(a, start, len),
+        )
     }
 
     pub fn repeat_rows(&mut self, a: NodeId, n: usize) -> NodeId {
@@ -393,9 +409,9 @@ impl Tape {
     pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
         let ta = self.val(a);
         let mut out = vec![0.0f32; ta.cols];
-        for r in 0..ta.rows {
-            for c in 0..ta.cols {
-                out[c] += ta.data[r * ta.cols + c];
+        for row in ta.data.chunks_exact(ta.cols) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
             }
         }
         let inv = 1.0 / ta.rows as f32;
@@ -412,13 +428,12 @@ impl Tape {
         assert!(total > 0.0, "weights must not all be zero");
         let norm: Vec<f32> = weights.iter().map(|w| w / total).collect();
         let mut out = vec![0.0f32; ta.cols];
-        for r in 0..ta.rows {
-            let w = norm[r];
-            for c in 0..ta.cols {
-                out[c] += w * ta.data[r * ta.cols + c];
+        for (row, &w) in ta.data.chunks_exact(ta.cols).zip(&norm) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += w * x;
             }
         }
-        self.push(Tensor::row(out), Op::WeightedMeanRows(a, Rc::new(norm)))
+        self.push(Tensor::row(out), Op::WeightedMeanRows(a, Arc::new(norm)))
     }
 
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
@@ -439,34 +454,45 @@ impl Tape {
         let tt = self.val(table);
         let mut data = Vec::with_capacity(indices.len() * tt.cols);
         for &i in indices {
-            assert!(i < tt.rows, "gather_rows: index {i} out of {} rows", tt.rows);
+            assert!(
+                i < tt.rows,
+                "gather_rows: index {i} out of {} rows",
+                tt.rows
+            );
             data.extend_from_slice(&tt.data[i * tt.cols..(i + 1) * tt.cols]);
         }
         let t = Tensor::from_vec(indices.len(), tt.cols, data);
-        self.push(t, Op::GatherRows(table, Rc::new(indices.to_vec())))
+        self.push(t, Op::GatherRows(table, Arc::new(indices.to_vec())))
     }
 
     /// Inverted dropout with keep probability `1 - p`; pass `training=false`
     /// for identity.
-    pub fn dropout(&mut self, a: NodeId, p: f32, training: bool, rng: &mut impl rand::Rng) -> NodeId {
+    pub fn dropout(
+        &mut self,
+        a: NodeId,
+        p: f32,
+        training: bool,
+        rng: &mut impl rand::Rng,
+    ) -> NodeId {
         if !training || p <= 0.0 {
             return self.scale(a, 1.0);
         }
         let ta = self.val(a);
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> =
-            (0..ta.len()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
+        let mask: Vec<f32> = (0..ta.len())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
         let data = ta.data.iter().zip(&mask).map(|(x, m)| x * m).collect();
         let t = Tensor::from_vec(ta.rows, ta.cols, data);
-        self.push(t, Op::Dropout(a, Rc::new(mask)))
+        self.push(t, Op::Dropout(a, Arc::new(mask)))
     }
 
     // ----- fused graph-attention ops -------------------------------------------
 
     /// GAT edge scores: for each edge slot `e` of node `i` with neighbour
     /// `j_e`, `out[e] = src[i] + dst[j_e]` (`src`/`dst` are `[n,1]`).
-    pub fn edge_scores(&mut self, src: NodeId, dst: NodeId, csr: &Rc<GraphCsr>) -> NodeId {
+    pub fn edge_scores(&mut self, src: NodeId, dst: NodeId, csr: &Arc<GraphCsr>) -> NodeId {
         let (ts, td) = (self.val(src), self.val(dst));
         let n = csr.num_nodes();
         assert_eq!((ts.rows, ts.cols), (n, 1), "edge_scores: src must be [n,1]");
@@ -478,13 +504,17 @@ impl Tape {
             }
         }
         let t = Tensor::from_vec(csr.num_edges(), 1, out);
-        self.push(t, Op::EdgeScores(src, dst, Rc::clone(csr)))
+        self.push(t, Op::EdgeScores(src, dst, Arc::clone(csr)))
     }
 
     /// Attention normalisation: softmax within each node's edge segment.
-    pub fn segmented_softmax(&mut self, scores: NodeId, csr: &Rc<GraphCsr>) -> NodeId {
+    pub fn segmented_softmax(&mut self, scores: NodeId, csr: &Arc<GraphCsr>) -> NodeId {
         let ts = self.val(scores);
-        assert_eq!((ts.rows, ts.cols), (csr.num_edges(), 1), "segmented_softmax: [E,1]");
+        assert_eq!(
+            (ts.rows, ts.cols),
+            (csr.num_edges(), 1),
+            "segmented_softmax: [E,1]"
+        );
         let mut t = ts.clone();
         for i in 0..csr.num_nodes() {
             let seg = csr.segment(i);
@@ -492,13 +522,17 @@ impl Tape {
                 softmax_in_place(&mut t.data[seg]);
             }
         }
-        self.push(t, Op::SegmentedSoftmax(scores, Rc::clone(csr)))
+        self.push(t, Op::SegmentedSoftmax(scores, Arc::clone(csr)))
     }
 
     /// Attention aggregation: `out[i] = Σ_{e ∈ seg(i)} α[e] · feats[j_e]`.
-    pub fn neighbor_sum(&mut self, alphas: NodeId, feats: NodeId, csr: &Rc<GraphCsr>) -> NodeId {
+    pub fn neighbor_sum(&mut self, alphas: NodeId, feats: NodeId, csr: &Arc<GraphCsr>) -> NodeId {
         let (ta, tf) = (self.val(alphas), self.val(feats));
-        assert_eq!((ta.rows, ta.cols), (csr.num_edges(), 1), "neighbor_sum: alphas [E,1]");
+        assert_eq!(
+            (ta.rows, ta.cols),
+            (csr.num_edges(), 1),
+            "neighbor_sum: alphas [E,1]"
+        );
         assert_eq!(tf.rows, csr.num_nodes(), "neighbor_sum: feats [n,C]");
         let cols = tf.cols;
         let mut t = Tensor::zeros(csr.num_nodes(), cols);
@@ -511,7 +545,7 @@ impl Tape {
                 }
             }
         }
-        self.push(t, Op::NeighborSum(alphas, feats, Rc::clone(csr)))
+        self.push(t, Op::NeighborSum(alphas, feats, Arc::clone(csr)))
     }
 
     // ----- backward --------------------------------------------------------------
@@ -520,14 +554,20 @@ impl Tape {
     /// parameter gradients into `store`; node gradients stay readable via
     /// [`Tape::grad`] until the next forward op or `clear`.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
-        assert_eq!(self.val(loss).shape(), (1, 1), "backward: loss must be scalar");
+        assert_eq!(
+            self.val(loss).shape(),
+            (1, 1),
+            "backward: loss must be scalar"
+        );
         for n in &mut self.nodes {
             n.grad = None;
         }
         self.nodes[loss].grad = Some(vec![1.0]);
 
         for i in (0..self.nodes.len()).rev() {
-            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
             // Split-borrow: the node's op/value vs. parent grads.
             let op = self.nodes[i].op.clone();
             match op {
@@ -546,10 +586,16 @@ impl Tape {
                     self.acc(b, &neg);
                 }
                 Op::Mul(a, b) => {
-                    let ga: Vec<f32> =
-                        g.iter().zip(&self.nodes[b].value.data).map(|(x, y)| x * y).collect();
-                    let gb: Vec<f32> =
-                        g.iter().zip(&self.nodes[a].value.data).map(|(x, y)| x * y).collect();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(&self.nodes[b].value.data)
+                        .map(|(x, y)| x * y)
+                        .collect();
+                    let gb: Vec<f32> = g
+                        .iter()
+                        .zip(&self.nodes[a].value.data)
+                        .map(|(x, y)| x * y)
+                        .collect();
                     self.acc(a, &ga);
                     self.acc(b, &gb);
                 }
@@ -634,14 +680,20 @@ impl Tape {
                 }
                 Op::Sigmoid(a) => {
                     let y = &self.nodes[i].value;
-                    let ga: Vec<f32> =
-                        g.iter().zip(&y.data).map(|(gx, &yy)| gx * yy * (1.0 - yy)).collect();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(&y.data)
+                        .map(|(gx, &yy)| gx * yy * (1.0 - yy))
+                        .collect();
                     self.acc(a, &ga);
                 }
                 Op::Tanh(a) => {
                     let y = &self.nodes[i].value;
-                    let ga: Vec<f32> =
-                        g.iter().zip(&y.data).map(|(gx, &yy)| gx * (1.0 - yy * yy)).collect();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(&y.data)
+                        .map(|(gx, &yy)| gx * (1.0 - yy * yy))
+                        .collect();
                     self.acc(a, &ga);
                 }
                 Op::Relu(a) => {
@@ -673,8 +725,11 @@ impl Tape {
                 }
                 Op::Recip(a) => {
                     let y = &self.nodes[i].value;
-                    let ga: Vec<f32> =
-                        g.iter().zip(&y.data).map(|(gx, &yy)| -gx * yy * yy).collect();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(&y.data)
+                        .map(|(gx, &yy)| -gx * yy * yy)
+                        .collect();
                     self.acc(a, &ga);
                 }
                 Op::SoftmaxRows(a) => {
@@ -806,9 +861,9 @@ impl Tape {
                     let n = csr.num_nodes();
                     let mut gs = vec![0.0f32; n];
                     let mut gd = vec![0.0f32; n];
-                    for i2 in 0..n {
+                    for (i2, gsi) in gs.iter_mut().enumerate() {
                         for e in csr.segment(i2) {
-                            gs[i2] += g[e];
+                            *gsi += g[e];
                             gd[csr.target(e)] += g[e];
                         }
                     }
@@ -868,7 +923,7 @@ impl Tape {
     }
 }
 
-fn softmax_in_place(row: &mut [f32]) {
+pub(crate) fn softmax_in_place(row: &mut [f32]) {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0;
     for x in row.iter_mut() {

@@ -13,11 +13,19 @@ pub struct Tensor {
 
 impl Tensor {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
@@ -27,12 +35,20 @@ impl Tensor {
 
     /// A `[1, C]` row vector.
     pub fn row(data: Vec<f32>) -> Self {
-        Self { rows: 1, cols: data.len(), data }
+        Self {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
     }
 
     /// A `[1, 1]` scalar.
     pub fn scalar(v: f32) -> Self {
-        Self { rows: 1, cols: 1, data: vec![v] }
+        Self {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
     }
 
     /// Uniform init in `[-a, a]`.

@@ -74,7 +74,13 @@ impl Default for CityConfig {
 impl CityConfig {
     /// A small city for unit tests (fast to build and route on).
     pub fn tiny() -> Self {
-        Self { blocks_x: 4, blocks_y: 4, with_elevated: true, ramp_every: 2, ..Self::default() }
+        Self {
+            blocks_x: 4,
+            blocks_y: 4,
+            with_elevated: true,
+            ramp_every: 2,
+            ..Self::default()
+        }
     }
 }
 
@@ -91,13 +97,26 @@ pub struct SyntheticCity {
 
 impl SyntheticCity {
     pub fn generate(config: CityConfig) -> Self {
-        assert!(config.blocks_x >= 2 && config.blocks_y >= 2, "city too small");
+        assert!(
+            config.blocks_x >= 2 && config.blocks_y >= 2,
+            "city too small"
+        );
         assert!(config.block_min_m > 0.0 && config.block_max_m >= config.block_min_m);
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         // Variable-pitch grid lines.
-        let xs = cumulative(&mut rng, config.blocks_x + 1, config.block_min_m, config.block_max_m);
-        let ys = cumulative(&mut rng, config.blocks_y + 1, config.block_min_m, config.block_max_m);
+        let xs = cumulative(
+            &mut rng,
+            config.blocks_x + 1,
+            config.block_min_m,
+            config.block_max_m,
+        );
+        let ys = cumulative(
+            &mut rng,
+            config.blocks_y + 1,
+            config.block_min_m,
+            config.block_max_m,
+        );
 
         let mut b = RoadNetworkBuilder::new();
         let elevated_row = config.blocks_y / 2;
@@ -105,9 +124,9 @@ impl SyntheticCity {
         let mut trunk_under = Vec::new();
 
         let is_arterial_row =
-            |r: usize| r % config.arterial_every.max(1) == 0 || r == config.blocks_y;
+            |r: usize| r.is_multiple_of(config.arterial_every.max(1)) || r == config.blocks_y;
         let is_arterial_col =
-            |c: usize| c % config.arterial_every.max(1) == 0 || c == config.blocks_x;
+            |c: usize| c.is_multiple_of(config.arterial_every.max(1)) || c == config.blocks_x;
 
         // Horizontal streets.
         for (r, &y) in ys.iter().enumerate() {
@@ -186,23 +205,24 @@ impl SyntheticCity {
             }
             // Elevated carriageway between consecutive ramp columns (two-way).
             for w in cols.windows(2) {
-                let geom =
-                    Polyline::segment(XY::new(xs[w[0]], y_e), XY::new(xs[w[1]], y_e));
+                let geom = Polyline::segment(XY::new(xs[w[0]], y_e), XY::new(xs[w[1]], y_e));
                 let (f, bk) = b.add_two_way(geom, RoadLevel::Elevated);
                 elevated.push(f);
                 elevated.push(bk);
             }
             // Ramps between each elevated node and the trunk intersection.
             for &c in &cols {
-                let up = Polyline::segment(
-                    XY::new(xs[c], ys[elevated_row]),
-                    XY::new(xs[c], y_e),
-                );
+                let up = Polyline::segment(XY::new(xs[c], ys[elevated_row]), XY::new(xs[c], y_e));
                 b.add_two_way(up, RoadLevel::Ramp);
             }
         }
 
-        SyntheticCity { net: b.build(), elevated, trunk_under_elevated: trunk_under, config }
+        SyntheticCity {
+            net: b.build(),
+            elevated,
+            trunk_under_elevated: trunk_under,
+            config,
+        }
     }
 }
 
@@ -254,13 +274,19 @@ mod tests {
         let city = SyntheticCity::generate(CityConfig::tiny());
         assert!(city.net.num_segments() > 50);
         assert!(city.net.num_edges() > city.net.num_segments());
-        assert!(is_strongly_connected(&city.net), "tiny city must be strongly connected");
+        assert!(
+            is_strongly_connected(&city.net),
+            "tiny city must be strongly connected"
+        );
     }
 
     #[test]
     fn default_city_is_strongly_connected_across_seeds() {
         for seed in [1, 2, 3] {
-            let city = SyntheticCity::generate(CityConfig { seed, ..CityConfig::default() });
+            let city = SyntheticCity::generate(CityConfig {
+                seed,
+                ..CityConfig::default()
+            });
             assert!(is_strongly_connected(&city.net), "seed {seed}");
         }
     }
@@ -290,7 +316,10 @@ mod tests {
             .iter()
             .map(|&t| city.net.segment(t).geometry.project(&mid).dist)
             .fold(f64::INFINITY, f64::min);
-        assert!(closest_trunk <= city.config.elevated_offset_m + 1.0, "got {closest_trunk}");
+        assert!(
+            closest_trunk <= city.config.elevated_offset_m + 1.0,
+            "got {closest_trunk}"
+        );
     }
 
     #[test]
@@ -317,7 +346,10 @@ mod tests {
         let a = crate::RoadPosition::new(e, 0.5);
         let b = crate::RoadPosition::new(t, 0.5);
         let d = nd.metric_m(&a, &b);
-        assert!(d > 50.0, "network distance {d} should be much larger than the 8 m planar gap");
+        assert!(
+            d > 50.0,
+            "network distance {d} should be much larger than the 8 m planar gap"
+        );
     }
 
     #[test]
@@ -358,7 +390,10 @@ mod tests {
             .collect();
         let min = lens.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = lens.iter().cloned().fold(0.0, f64::max);
-        assert!(max - min > 20.0, "expected variable block sizes, got range {min}..{max}");
+        assert!(
+            max - min > 20.0,
+            "expected variable block sizes, got range {min}..{max}"
+        );
     }
 
     #[test]

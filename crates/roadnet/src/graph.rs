@@ -154,8 +154,12 @@ impl RoadNetwork {
     /// GAT layers of GridGNN where attention flows along connectivity
     /// regardless of travel direction.
     pub fn neighbors_undirected(&self, id: SegmentId) -> Vec<SegmentId> {
-        let mut n: Vec<SegmentId> =
-            self.out_edges(id).iter().chain(self.in_edges(id)).copied().collect();
+        let mut n: Vec<SegmentId> = self
+            .out_edges(id)
+            .iter()
+            .chain(self.in_edges(id))
+            .copied()
+            .collect();
         n.sort_unstable();
         n.dedup();
         n
@@ -184,7 +188,10 @@ impl RoadNetwork {
 
     /// Per-segment grid-cell sequences `S_i` (Eq. 1) under `spec`.
     pub fn grid_sequences(&self, spec: &GridSpec) -> Vec<Vec<GridCell>> {
-        self.segments.iter().map(|s| spec.cells_on_polyline(&s.geometry)).collect()
+        self.segments
+            .iter()
+            .map(|s| spec.cells_on_polyline(&s.geometry))
+            .collect()
     }
 }
 
@@ -198,7 +205,10 @@ pub struct RoadNetworkBuilder {
 
 impl RoadNetworkBuilder {
     pub fn new() -> Self {
-        Self { segments: Vec::new(), tolerance: 0.5 }
+        Self {
+            segments: Vec::new(),
+            tolerance: 0.5,
+        }
     }
 
     pub fn with_tolerance(mut self, tolerance: f64) -> Self {
@@ -210,14 +220,21 @@ impl RoadNetworkBuilder {
     /// Add a directed segment; returns its id.
     pub fn add_segment(&mut self, geometry: Polyline, level: RoadLevel) -> SegmentId {
         let id = SegmentId(self.segments.len() as u32);
-        self.segments.push(RoadSegment { id, geometry, level });
+        self.segments.push(RoadSegment {
+            id,
+            geometry,
+            level,
+        });
         id
     }
 
     /// Add both directions of a two-way road; returns (forward, backward).
     pub fn add_two_way(&mut self, geometry: Polyline, level: RoadLevel) -> (SegmentId, SegmentId) {
         let rev = geometry.reversed();
-        (self.add_segment(geometry, level), self.add_segment(rev, level))
+        (
+            self.add_segment(geometry, level),
+            self.add_segment(rev, level),
+        )
     }
 
     fn key(&self, p: &XY) -> (i64, i64) {
@@ -257,7 +274,11 @@ impl RoadNetworkBuilder {
             v.sort_unstable();
             v.dedup();
         }
-        RoadNetwork { segments: self.segments, out_edges, in_edges }
+        RoadNetwork {
+            segments: self.segments,
+            out_edges,
+            in_edges,
+        }
     }
 }
 
@@ -268,7 +289,10 @@ mod tests {
     /// Three segments forming a path a->b->c plus a branch b->d.
     fn small_net() -> RoadNetwork {
         let mut b = RoadNetworkBuilder::new();
-        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)), RoadLevel::Primary);
+        b.add_segment(
+            Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)),
+            RoadLevel::Primary,
+        );
         b.add_segment(
             Polyline::segment(XY::new(100.0, 0.0), XY::new(200.0, 0.0)),
             RoadLevel::Primary,
@@ -339,7 +363,10 @@ mod tests {
     fn neighbors_undirected_unions_both_sides() {
         let net = small_net();
         assert_eq!(net.neighbors_undirected(SegmentId(1)), vec![SegmentId(0)]);
-        assert_eq!(net.neighbors_undirected(SegmentId(0)), vec![SegmentId(1), SegmentId(2)]);
+        assert_eq!(
+            net.neighbors_undirected(SegmentId(0)),
+            vec![SegmentId(1), SegmentId(2)]
+        );
     }
 
     #[test]
@@ -362,7 +389,16 @@ mod tests {
     #[test]
     fn level_indices_are_unique_and_dense() {
         use RoadLevel::*;
-        let levels = [Residential, Tertiary, Secondary, Primary, Trunk, Motorway, Elevated, Ramp];
+        let levels = [
+            Residential,
+            Tertiary,
+            Secondary,
+            Primary,
+            Trunk,
+            Motorway,
+            Elevated,
+            Ramp,
+        ];
         let mut seen = [false; NUM_ROAD_LEVELS];
         for l in levels {
             assert!(!seen[l.index()]);

@@ -13,7 +13,10 @@ pub struct RoadPosition {
 
 impl RoadPosition {
     pub fn new(seg: SegmentId, frac: f64) -> Self {
-        Self { seg, frac: frac.clamp(0.0, 1.0) }
+        Self {
+            seg,
+            frac: frac.clamp(0.0, 1.0),
+        }
     }
 
     /// Planar coordinates of this position.
@@ -40,7 +43,10 @@ mod tests {
 
     fn net() -> RoadNetwork {
         let mut b = RoadNetworkBuilder::new();
-        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(200.0, 0.0)), RoadLevel::Primary);
+        b.add_segment(
+            Polyline::segment(XY::new(0.0, 0.0), XY::new(200.0, 0.0)),
+            RoadLevel::Primary,
+        );
         b.build()
     }
 

@@ -6,7 +6,6 @@
 //! Recursive packing) because the study-area networks are static: STR gives
 //! near-optimal packing with a trivial build.
 
-
 use std::collections::BinaryHeap;
 
 use crate::{RoadNetwork, SegmentId};
@@ -47,14 +46,20 @@ impl RTree {
     /// Bulk-load from a road network using Sort-Tile-Recursive packing.
     pub fn build(net: &RoadNetwork) -> Self {
         assert!(net.num_segments() > 0, "cannot index an empty network");
-        let mut entries: Vec<(BBox, SegmentId)> =
-            net.segments().iter().map(|s| (s.geometry.bbox(), s.id)).collect();
+        let mut entries: Vec<(BBox, SegmentId)> = net
+            .segments()
+            .iter()
+            .map(|s| (s.geometry.bbox(), s.id))
+            .collect();
 
         let mut nodes: Vec<Node> = Vec::new();
         // Pack leaves.
         let mut level: Vec<usize> = str_pack(&mut entries, |chunk| {
             let bbox = union_boxes(chunk.iter().map(|(b, _)| b));
-            nodes.push(Node { bbox, kind: NodeKind::Leaf(chunk.iter().map(|(_, id)| *id).collect()) });
+            nodes.push(Node {
+                bbox,
+                kind: NodeKind::Leaf(chunk.iter().map(|(_, id)| *id).collect()),
+            });
             nodes.len() - 1
         });
         // Pack upper levels until a single root remains.
@@ -239,7 +244,11 @@ mod tests {
     fn within_radius_matches_brute_force() {
         let net = lattice();
         let tree = RTree::build(&net);
-        for (px, py, r) in [(250.0, 250.0, 120.0), (0.0, 0.0, 60.0), (999.0, 10.0, 250.0)] {
+        for (px, py, r) in [
+            (250.0, 250.0, 120.0),
+            (0.0, 0.0, 60.0),
+            (999.0, 10.0, 250.0),
+        ] {
             let p = XY::new(px, py);
             let mut expected: Vec<SegmentId> = net
                 .segments()
@@ -248,8 +257,11 @@ mod tests {
                 .map(|s| s.id)
                 .collect();
             expected.sort_unstable();
-            let mut got: Vec<SegmentId> =
-                tree.within_radius(&net, &p, r).into_iter().map(|h| h.seg).collect();
+            let mut got: Vec<SegmentId> = tree
+                .within_radius(&net, &p, r)
+                .into_iter()
+                .map(|h| h.seg)
+                .collect();
             got.sort_unstable();
             assert_eq!(got, expected, "query at ({px},{py}) r={r}");
         }
@@ -275,7 +287,12 @@ mod tests {
             let brute = net
                 .segments()
                 .iter()
-                .min_by(|a, b| a.geometry.project(&p).dist.total_cmp(&b.geometry.project(&p).dist))
+                .min_by(|a, b| {
+                    a.geometry
+                        .project(&p)
+                        .dist
+                        .total_cmp(&b.geometry.project(&p).dist)
+                })
                 .unwrap()
                 .id;
             let got = tree.nearest(&net, &p).unwrap();
@@ -305,7 +322,10 @@ mod tests {
     #[test]
     fn k_nearest_with_k_larger_than_n() {
         let mut b = RoadNetworkBuilder::new();
-        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(1.0, 0.0)), RoadLevel::Primary);
+        b.add_segment(
+            Polyline::segment(XY::new(0.0, 0.0), XY::new(1.0, 0.0)),
+            RoadLevel::Primary,
+        );
         let net = b.build();
         let tree = RTree::build(&net);
         assert_eq!(tree.k_nearest(&net, &XY::new(0.0, 0.0), 10).len(), 1);
@@ -315,7 +335,9 @@ mod tests {
     fn empty_radius_returns_nothing() {
         let net = lattice();
         let tree = RTree::build(&net);
-        assert!(tree.within_radius(&net, &XY::new(5000.0, 5000.0), 10.0).is_empty());
+        assert!(tree
+            .within_radius(&net, &XY::new(5000.0, 5000.0), 10.0)
+            .is_empty());
     }
 
     #[test]

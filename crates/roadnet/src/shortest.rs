@@ -32,7 +32,12 @@ pub struct ShortestPaths {
 impl ShortestPaths {
     pub fn new(net: &RoadNetwork) -> Self {
         let n = net.num_segments();
-        Self { dist: vec![UNVISITED; n], prev: vec![None; n], gen: vec![0; n], cur_gen: 0 }
+        Self {
+            dist: vec![UNVISITED; n],
+            prev: vec![None; n],
+            gen: vec![0; n],
+            cur_gen: 0,
+        }
     }
 
     fn reset(&mut self) {
@@ -64,7 +69,13 @@ impl ShortestPaths {
     ///
     /// After the call, [`ShortestPaths::gap_m`] reads distances and
     /// [`ShortestPaths::route`] reconstructs segment paths.
-    pub fn run(&mut self, net: &RoadNetwork, source: SegmentId, target: Option<SegmentId>, max_m: f64) {
+    pub fn run(
+        &mut self,
+        net: &RoadNetwork,
+        source: SegmentId,
+        target: Option<SegmentId>,
+        max_m: f64,
+    ) {
         self.run_with(net, source, target, max_m, |s| net.segment(s).length());
     }
 
@@ -151,7 +162,11 @@ pub struct NetworkDistance<'a> {
 
 impl<'a> NetworkDistance<'a> {
     pub fn new(net: &'a RoadNetwork) -> Self {
-        Self { net, sp: ShortestPaths::new(net), max_m: 20_000.0 }
+        Self {
+            net,
+            sp: ShortestPaths::new(net),
+            max_m: 20_000.0,
+        }
     }
 
     /// Directed driving distance from `a` to `b`, in metres.
@@ -204,7 +219,10 @@ mod tests {
             XY::new(0.0, 100.0),
         ];
         for i in 0..4 {
-            b.add_segment(Polyline::segment(pts[i], pts[(i + 1) % 4]), RoadLevel::Primary);
+            b.add_segment(
+                Polyline::segment(pts[i], pts[(i + 1) % 4]),
+                RoadLevel::Primary,
+            );
         }
         b.build()
     }
@@ -234,7 +252,10 @@ mod tests {
         let net = ring();
         let mut sp = ShortestPaths::new(&net);
         sp.run(&net, SegmentId(0), Some(SegmentId(2)), f64::INFINITY);
-        assert_eq!(sp.route(SegmentId(0), SegmentId(2)), Some(vec![SegmentId(0), SegmentId(1), SegmentId(2)]));
+        assert_eq!(
+            sp.route(SegmentId(0), SegmentId(2)),
+            Some(vec![SegmentId(0), SegmentId(1), SegmentId(2)])
+        );
     }
 
     #[test]
@@ -284,7 +305,10 @@ mod tests {
     fn unreachable_fallback_is_straight_line() {
         // Two disconnected parallel segments.
         let mut b = RoadNetworkBuilder::new();
-        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)), RoadLevel::Primary);
+        b.add_segment(
+            Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)),
+            RoadLevel::Primary,
+        );
         b.add_segment(
             Polyline::segment(XY::new(0.0, 50.0), XY::new(100.0, 50.0)),
             RoadLevel::Primary,
@@ -316,6 +340,9 @@ mod tests {
     fn route_same_segment() {
         let net = ring();
         let mut nd = NetworkDistance::new(&net);
-        assert_eq!(nd.route(SegmentId(1), SegmentId(1)), Some(vec![SegmentId(1)]));
+        assert_eq!(
+            nd.route(SegmentId(1), SegmentId(1)),
+            Some(vec![SegmentId(1)])
+        );
     }
 }

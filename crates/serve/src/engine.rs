@@ -1,0 +1,312 @@
+//! The micro-batching recovery engine.
+//!
+//! Requests are appended to a shared queue; worker threads pop *batches* —
+//! a batch flushes as soon as it reaches [`EngineConfig::max_batch`]
+//! requests, or when its oldest request has waited
+//! [`EngineConfig::max_delay`] (continuous-batching style: size bounds
+//! throughput overhead, the deadline bounds tail latency at low load).
+//!
+//! Each request inside a batch is recovered independently against the
+//! shared read-only [`ServingModel`], so batched results are bit-identical
+//! to sequential per-request inference regardless of batch composition,
+//! worker count, or arrival order — property-tested in this crate. The
+//! batching win is scheduling (one queue round-trip per batch, warm caches
+//! on the shared road embeddings), not cross-request math: RNTrajRec's
+//! GraphNorm makes cross-trajectory fusion change results, which an online
+//! service must never do.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rntrajrec_models::SampleInput;
+
+use crate::ServingModel;
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Flush a batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a non-empty batch once its oldest request is this old.
+    pub max_delay: Duration,
+    /// Worker threads executing batches.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+        Self {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            workers,
+        }
+    }
+}
+
+/// One completed recovery.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// Submission id (monotonically increasing per engine).
+    pub id: u64,
+    /// Predicted `(segment, moving-rate)` per target step. Empty when
+    /// [`Recovered::error`] is set.
+    pub path: Vec<(usize, f32)>,
+    /// `Some(panic message)` if inference failed for this request (a
+    /// malformed input, say); the engine itself stays up.
+    pub error: Option<String>,
+    /// Size of the micro-batch this request was served in.
+    pub batch_size: usize,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+}
+
+/// Handle to an in-flight request.
+pub struct RecoveryHandle {
+    id: u64,
+    rx: mpsc::Receiver<Recovered>,
+}
+
+impl RecoveryHandle {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the recovery completes.
+    pub fn wait(self) -> Recovered {
+        self.rx
+            .recv()
+            .expect("recovery engine dropped before completing request")
+    }
+}
+
+/// Aggregate engine counters (snapshot).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    pub requests: u64,
+    pub completed: u64,
+    /// Requests whose inference panicked (reported via [`Recovered::error`]).
+    pub failed: u64,
+    pub batches: u64,
+    /// Batches flushed because they reached `max_batch`.
+    pub flushed_full: u64,
+    /// Batches flushed by the `max_delay` deadline (or shutdown drain).
+    pub flushed_deadline: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+}
+
+struct Pending {
+    id: u64,
+    input: SampleInput,
+    enqueued: Instant,
+    tx: mpsc::Sender<Recovered>,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    flushed_full: AtomicU64,
+    flushed_deadline: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+struct Shared {
+    model: Arc<ServingModel>,
+    queue: Mutex<VecDeque<Pending>>,
+    cond: Condvar,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    counters: Counters,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+/// The multi-threaded online recovery engine.
+pub struct RecoveryEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RecoveryEngine {
+    /// Start `config.workers` threads over a shared model.
+    pub fn start(model: Arc<ServingModel>, config: EngineConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be >= 1");
+        assert!(config.workers >= 1, "workers must be >= 1");
+        let shared = Arc::new(Shared {
+            model,
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            counters: Counters::default(),
+            max_batch: config.max_batch,
+            max_delay: config.max_delay,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rntrajrec-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueue a request; returns immediately with a waitable handle.
+    pub fn submit(&self, input: SampleInput) -> RecoveryHandle {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.push_back(Pending {
+                id,
+                input,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        self.shared.cond.notify_one();
+        RecoveryHandle { id, rx }
+    }
+
+    /// Convenience: submit and block for the result.
+    pub fn recover(&self, input: SampleInput) -> Recovered {
+        self.submit(input).wait()
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.shared.counters;
+        let batches = c.batches.load(Ordering::Relaxed);
+        let batched = c.batched_requests.load(Ordering::Relaxed);
+        EngineStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            batches,
+            flushed_full: c.flushed_full.load(Ordering::Relaxed),
+            flushed_deadline: c.flushed_deadline.load(Ordering::Relaxed),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+        }
+    }
+
+    /// The served model (e.g. for direct single-request comparison).
+    pub fn model(&self) -> &ServingModel {
+        &self.shared.model
+    }
+}
+
+impl Drop for RecoveryEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Pop one micro-batch (blocking) or `None` on shutdown with an empty queue.
+fn take_batch(shared: &Shared) -> Option<Vec<Pending>> {
+    let mut q = shared.queue.lock().unwrap();
+    let full = loop {
+        if q.len() >= shared.max_batch {
+            break true; // flush on size
+        }
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        match q.front() {
+            Some(oldest) => {
+                let age = oldest.enqueued.elapsed();
+                if draining || age >= shared.max_delay {
+                    break false; // flush on deadline (or shutdown drain)
+                }
+                let (guard, _) = shared.cond.wait_timeout(q, shared.max_delay - age).unwrap();
+                q = guard;
+            }
+            None => {
+                if draining {
+                    return None;
+                }
+                q = shared.cond.wait(q).unwrap();
+            }
+        }
+    };
+    let take = q.len().min(shared.max_batch);
+    let batch: Vec<Pending> = q.drain(..take).collect();
+    let leftovers = !q.is_empty();
+    drop(q);
+    if leftovers {
+        // More work remains and no submit may come to notify for it:
+        // wake another worker rather than leaving the leftovers to wait
+        // behind this batch's inference.
+        shared.cond.notify_one();
+    }
+    if batch.len() == shared.max_batch && full {
+        shared.counters.flushed_full.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared
+            .counters
+            .flushed_deadline
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .batched_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    Some(batch)
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(batch) = take_batch(shared) {
+        let batch_size = batch.len();
+        for pending in batch {
+            // Independent per-request inference against the shared
+            // read-only model: bit-identical to a sequential call. A
+            // panicking request (e.g. an input built against a different
+            // road network tripping a shape assert) must fail that request
+            // only — never take the worker thread, and with it the whole
+            // engine, down.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.model.recover(&pending.input)
+            }));
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            let (path, error) = match result {
+                Ok(path) => (path, None),
+                Err(payload) => {
+                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "inference panicked".to_string());
+                    (Vec::new(), Some(msg))
+                }
+            };
+            let _ = pending.tx.send(Recovered {
+                id: pending.id,
+                path,
+                error,
+                batch_size,
+                latency: pending.enqueued.elapsed(),
+            });
+        }
+    }
+}

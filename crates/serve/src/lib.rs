@@ -1,0 +1,241 @@
+//! `rntrajrec-serve` — online trajectory-recovery serving.
+//!
+//! The training stack (`rntrajrec`, `rntrajrec-models`, `rntrajrec-nn`)
+//! predicts by building a full autograd tape per trajectory and recomputes
+//! the GridGNN road representation on every call — fine for regenerating
+//! the paper's tables, hopeless for an online service. This crate is the
+//! serving path on top of the same weights:
+//!
+//! * [`ServingModel`] — a trained [`rntrajrec::EndToEnd`] model validated
+//!   for **tape-free inference** (`rntrajrec_nn::infer`: plain tensor ops,
+//!   no gradient bookkeeping or node allocation), with the
+//!   [`RoadEmbeddingCache`] — GridGNN grid-cell/segment embeddings
+//!   (`X_road`) precomputed once per road network — attached. Shared
+//!   read-only (`Arc`) across worker threads, so per-request work is only
+//!   the GPS encoder and decoder.
+//! * [`RecoveryEngine`] — a multi-threaded **micro-batching** scheduler:
+//!   requests queue up, a batch flushes on size ([`EngineConfig::max_batch`])
+//!   or deadline ([`EngineConfig::max_delay`]), workers drain batches
+//!   concurrently. Batched output is bit-identical to sequential
+//!   per-request inference (each request is computed independently; the
+//!   batch is a scheduling unit, not a numerical one).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use rntrajrec::experiments::{ExperimentScale, Pipeline};
+//! use rntrajrec::model::{EndToEnd, MethodSpec};
+//! use rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel};
+//! use rntrajrec_synth::DatasetConfig;
+//!
+//! let scale = ExperimentScale::quick();
+//! let pipeline = Pipeline::prepare(DatasetConfig::tiny(8, 40), &scale);
+//! let model = EndToEnd::build(
+//!     &MethodSpec::RnTrajRec,
+//!     &pipeline.dataset.city.net,
+//!     &pipeline.grid,
+//!     scale.dim,
+//!     scale.seed,
+//! );
+//! let serving = Arc::new(ServingModel::new(model).unwrap());
+//! let engine = RecoveryEngine::start(serving, EngineConfig::default());
+//! let recovered = engine.recover(pipeline.test_inputs[0].clone());
+//! println!("{} segments in {:?}", recovered.path.len(), recovered.latency);
+//! ```
+
+mod engine;
+mod service;
+
+pub use engine::{EngineConfig, EngineStats, Recovered, RecoveryEngine, RecoveryHandle};
+pub use service::{RoadEmbeddingCache, ServeError, ServingModel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use rntrajrec::model::{EndToEnd, MethodSpec};
+    use rntrajrec_models::{FeatureExtractor, SampleInput};
+    use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
+    use rntrajrec_synth::{SimConfig, Simulator};
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(n: usize) -> (SyntheticCity, Vec<SampleInput>) {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        let grid = city.net.grid(50.0);
+        let fx = FeatureExtractor::new(&city.net, &rtree, grid);
+        let mut sim = Simulator::new(
+            &city.net,
+            SimConfig {
+                target_len: 9,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let inputs = (0..n)
+            .map(|_| fx.extract(&sim.sample(&mut rng, 8)))
+            .collect();
+        (city, inputs)
+    }
+
+    fn serving(city: &SyntheticCity) -> Arc<ServingModel> {
+        let grid = city.net.grid(50.0);
+        let model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
+        Arc::new(ServingModel::new(model).expect("RNTrajRec serves"))
+    }
+
+    #[test]
+    fn rejects_models_without_infer_path() {
+        let (city, _) = fixture(0);
+        let grid = city.net.grid(50.0);
+        let model = EndToEnd::build(&MethodSpec::MTrajRec, &city.net, &grid, 16, 7);
+        match ServingModel::new(model) {
+            Err(ServeError::NoInferPath { encoder }) => assert_eq!(encoder, "MTrajRec"),
+            Ok(_) => panic!("MTrajRec has no tape-free path and must be rejected"),
+        }
+    }
+
+    #[test]
+    fn road_cache_is_precomputed() {
+        let (city, _) = fixture(0);
+        let model = serving(&city);
+        let cache = model.road_cache().expect("RNTrajRec precomputes X_road");
+        assert_eq!(cache.x_road.rows, city.net.num_segments());
+        assert!(cache.x_road.all_finite());
+    }
+
+    /// The acceptance property: micro-batched engine output must equal
+    /// sequential per-request inference exactly, bit for bit, under
+    /// multi-threaded execution and arbitrary batch grouping.
+    #[test]
+    fn batched_equals_sequential_bitwise() {
+        let (city, inputs) = fixture(12);
+        let model = serving(&city);
+        let sequential: Vec<Vec<(usize, f32)>> = inputs.iter().map(|i| model.recover(i)).collect();
+
+        let engine = RecoveryEngine::start(
+            Arc::clone(&model),
+            EngineConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                workers: 4,
+            },
+        );
+        let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
+        for (handle, want) in handles.into_iter().zip(&sequential) {
+            let got = handle.wait();
+            assert_eq!(&got.path, want, "batched result diverged from sequential");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 12);
+        assert_eq!(stats.completed, 12);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batches() {
+        let (city, inputs) = fixture(1);
+        let model = serving(&city);
+        // Batch size far larger than the request count: only the deadline
+        // can flush this.
+        let engine = RecoveryEngine::start(
+            model,
+            EngineConfig {
+                max_batch: 64,
+                max_delay: Duration::from_millis(5),
+                workers: 1,
+            },
+        );
+        let r = engine.recover(inputs[0].clone());
+        assert_eq!(r.batch_size, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.flushed_deadline, 1);
+        assert_eq!(stats.flushed_full, 0);
+    }
+
+    #[test]
+    fn size_flushes_full_batches() {
+        let (city, inputs) = fixture(8);
+        let model = serving(&city);
+        // Long deadline: only the size trigger can flush promptly.
+        let engine = RecoveryEngine::start(
+            model,
+            EngineConfig {
+                max_batch: 2,
+                max_delay: Duration::from_secs(5),
+                workers: 1,
+            },
+        );
+        let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
+        for h in handles {
+            let r = h.wait();
+            assert!(!r.path.is_empty());
+        }
+        let stats = engine.stats();
+        assert!(
+            stats.flushed_full >= 1,
+            "expected at least one size-triggered flush"
+        );
+        assert_eq!(stats.completed, 8);
+    }
+
+    #[test]
+    fn concurrent_clients_all_complete() {
+        let (city, inputs) = fixture(6);
+        let model = serving(&city);
+        let sequential: Vec<Vec<(usize, f32)>> = inputs.iter().map(|i| model.recover(i)).collect();
+        let engine = RecoveryEngine::start(Arc::clone(&model), EngineConfig::default());
+        std::thread::scope(|s| {
+            for round in 0..3 {
+                let engine = &engine;
+                let inputs = &inputs;
+                let sequential = &sequential;
+                s.spawn(move || {
+                    for (input, want) in inputs.iter().zip(sequential) {
+                        let got = engine.recover(input.clone());
+                        assert_eq!(&got.path, want, "round {round} diverged");
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.stats().completed, 18);
+    }
+
+    #[test]
+    fn malformed_request_fails_without_killing_the_engine() {
+        let (city, inputs) = fixture(2);
+        let model = serving(&city);
+        // Single worker: if the panic killed the thread, the follow-up
+        // request would hang forever instead of completing.
+        let engine = RecoveryEngine::start(
+            Arc::clone(&model),
+            EngineConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                workers: 1,
+            },
+        );
+        let mut bad = inputs[0].clone();
+        bad.subgraphs[0].nodes[0] = usize::MAX / 2; // out of any road network's range
+        let failed = engine.recover(bad);
+        assert!(failed.error.is_some(), "corrupt input must report an error");
+        assert!(failed.path.is_empty());
+
+        let good = engine.recover(inputs[1].clone());
+        assert!(good.error.is_none());
+        assert_eq!(good.path, model.recover(&inputs[1]));
+        let stats = engine.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn drop_drains_cleanly_with_pending_none() {
+        let (city, _) = fixture(0);
+        let engine = RecoveryEngine::start(serving(&city), EngineConfig::default());
+        drop(engine); // no requests: workers must exit, not hang
+    }
+}

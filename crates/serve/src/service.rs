@@ -1,0 +1,85 @@
+//! The serving-side model wrapper: a trained [`EndToEnd`] model validated
+//! for tape-free inference, plus the precomputed road-embedding cache.
+
+use rntrajrec::EndToEnd;
+use rntrajrec_models::SampleInput;
+use rntrajrec_nn::Tensor;
+
+/// Precomputed GridGNN road representation `X_road ∈ R^{|V|×d}`.
+///
+/// The paper notes the road-network representation is input-independent
+/// and can be computed in advance at inference time; this cache is that
+/// observation made structural. It is built once per (road network,
+/// weights) pair and shared read-only — `Arc<ServingModel>` — across every
+/// worker thread, so per-request encoder work is only the GPS encoder and
+/// decoder.
+#[derive(Debug, Clone)]
+pub struct RoadEmbeddingCache {
+    /// `[|V|, d]` — one embedding row per road segment.
+    pub x_road: Tensor,
+}
+
+impl RoadEmbeddingCache {
+    /// Build from a model's current weights; `None` when the encoder has
+    /// no input-independent representation (pure-sequence baselines).
+    pub fn build(model: &EndToEnd) -> Option<Self> {
+        model.precompute_road().map(|x_road| Self { x_road })
+    }
+}
+
+/// Why a model cannot be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The encoder implements no tape-free inference path (only the
+    /// RNTrajRec encoder does today); serve with [`EndToEnd::predict`]
+    /// offline instead.
+    NoInferPath { encoder: String },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoInferPath { encoder } => {
+                write!(f, "encoder '{encoder}' has no tape-free inference path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A model ready to serve: tape-free path validated at construction, road
+/// embeddings precomputed. Shared read-only across worker threads.
+pub struct ServingModel {
+    model: EndToEnd,
+    road: Option<RoadEmbeddingCache>,
+}
+
+impl ServingModel {
+    /// Wrap a trained model. Fails fast (rather than at first request)
+    /// when the encoder cannot run without a tape.
+    pub fn new(model: EndToEnd) -> Result<Self, ServeError> {
+        if !model.supports_infer() {
+            return Err(ServeError::NoInferPath {
+                encoder: model.name.clone(),
+            });
+        }
+        let road = RoadEmbeddingCache::build(&model);
+        Ok(Self { model, road })
+    }
+
+    /// Recover one trajectory on the tape-free hot path.
+    pub fn recover(&self, input: &SampleInput) -> Vec<(usize, f32)> {
+        self.model
+            .infer_predict(input, self.road.as_ref().map(|c| &c.x_road))
+            .expect("infer path validated in ServingModel::new")
+    }
+
+    pub fn model(&self) -> &EndToEnd {
+        &self.model
+    }
+
+    pub fn road_cache(&self) -> Option<&RoadEmbeddingCache> {
+        self.road.as_ref()
+    }
+}

@@ -47,7 +47,11 @@ impl DatasetConfig {
                 seed: 101,
                 ..CityConfig::default()
             },
-            sim: SimConfig { eps_rho_s: 12.0, speed_scale: 2.0, ..SimConfig::default() },
+            sim: SimConfig {
+                eps_rho_s: 12.0,
+                speed_scale: 2.0,
+                ..SimConfig::default()
+            },
             downsample,
             num_trajectories,
             corridor_fraction: 0.3,
@@ -68,7 +72,11 @@ impl DatasetConfig {
                 seed: 202,
                 ..CityConfig::default()
             },
-            sim: SimConfig { eps_rho_s: 15.0, speed_scale: 2.0, ..SimConfig::default() },
+            sim: SimConfig {
+                eps_rho_s: 15.0,
+                speed_scale: 2.0,
+                ..SimConfig::default()
+            },
             downsample,
             num_trajectories,
             corridor_fraction: 0.3,
@@ -89,7 +97,11 @@ impl DatasetConfig {
                 seed: 303,
                 ..CityConfig::default()
             },
-            sim: SimConfig { eps_rho_s: 10.0, speed_scale: 2.0, ..SimConfig::default() },
+            sim: SimConfig {
+                eps_rho_s: 10.0,
+                speed_scale: 2.0,
+                ..SimConfig::default()
+            },
             downsample,
             num_trajectories,
             corridor_fraction: 0.3,
@@ -109,7 +121,11 @@ impl DatasetConfig {
                 seed: 404,
                 ..CityConfig::default()
             },
-            sim: SimConfig { eps_rho_s: 10.0, speed_scale: 2.0, ..SimConfig::default() },
+            sim: SimConfig {
+                eps_rho_s: 10.0,
+                speed_scale: 2.0,
+                ..SimConfig::default()
+            },
             downsample,
             num_trajectories,
             corridor_fraction: 0.3,
@@ -131,7 +147,10 @@ impl DatasetConfig {
         Self {
             name: "tiny",
             city: CityConfig::tiny(),
-            sim: SimConfig { target_len: 17, ..SimConfig::default() },
+            sim: SimConfig {
+                target_len: 17,
+                ..SimConfig::default()
+            },
             downsample,
             num_trajectories,
             corridor_fraction: 0.3,
@@ -170,8 +189,12 @@ impl SplitDataset {
         let mut sim = Simulator::new(&city.net, config.sim.clone());
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut samples = Vec::with_capacity(config.num_trajectories);
-        let corridor: Vec<_> =
-            city.elevated.iter().chain(&city.trunk_under_elevated).copied().collect();
+        let corridor: Vec<_> = city
+            .elevated
+            .iter()
+            .chain(&city.trunk_under_elevated)
+            .copied()
+            .collect();
         for _ in 0..config.num_trajectories {
             let s = if !corridor.is_empty() && rng.gen_bool(config.corridor_fraction) {
                 let origin = corridor[rng.gen_range(0..corridor.len())];
@@ -188,7 +211,13 @@ impl SplitDataset {
         let n_valid = n * 2 / 10;
         let test = samples.split_off(n_train + n_valid);
         let valid = samples.split_off(n_train);
-        SplitDataset { city, train: samples, valid, test, config }
+        SplitDataset {
+            city,
+            train: samples,
+            valid,
+            test,
+            config,
+        }
     }
 
     pub fn all_samples(&self) -> impl Iterator<Item = &TrajSample> {

@@ -73,7 +73,11 @@ pub struct Simulator<'a> {
 
 impl<'a> Simulator<'a> {
     pub fn new(net: &'a RoadNetwork, config: SimConfig) -> Self {
-        Self { net, sp: ShortestPaths::new(net), config }
+        Self {
+            net,
+            sp: ShortestPaths::new(net),
+            config,
+        }
     }
 
     pub fn net(&self) -> &RoadNetwork {
@@ -94,11 +98,14 @@ impl<'a> Simulator<'a> {
         origin: SegmentId,
         downsample: usize,
     ) -> TrajSample {
-        let depart_epoch_s =
-            rng.gen_range(0.0..self.config.calendar_days as f64 * 86_400.0);
+        let depart_epoch_s = rng.gen_range(0.0..self.config.calendar_days as f64 * 86_400.0);
         let ctx = TimeContext::from_epoch_s(depart_epoch_s);
         let rush = self.config.speed_scale
-            * if ctx.is_rush_hour() { self.config.rush_slowdown } else { 1.0 };
+            * if ctx.is_rush_hour() {
+                self.config.rush_slowdown
+            } else {
+                1.0
+            };
 
         let needed_s = (self.config.target_len - 1) as f64 * self.config.eps_rho_s;
         let legs = self.build_route(rng, origin, needed_s, rush);
@@ -116,7 +123,11 @@ impl<'a> Simulator<'a> {
                 })
                 .collect(),
         };
-        TrajSample { raw: dense.downsample(downsample), target, depart_epoch_s }
+        TrajSample {
+            raw: dense.downsample(downsample),
+            target,
+            depart_epoch_s,
+        }
     }
 
     /// Simulate and keep the *dense* noisy raw trajectory (sample interval
@@ -142,7 +153,12 @@ impl<'a> Simulator<'a> {
             seg: origin,
             start_off_m: start_frac * len0,
             len_m: len0,
-            speed_mps: jittered_speed(rng, seg0.level.freeflow_speed(), self.config.speed_jitter, rush),
+            speed_mps: jittered_speed(
+                rng,
+                seg0.level.freeflow_speed(),
+                self.config.speed_jitter,
+                rush,
+            ),
         });
         let mut total_s = (legs[0].len_m - legs[0].start_off_m) / legs[0].speed_mps;
 
@@ -150,7 +166,10 @@ impl<'a> Simulator<'a> {
         let mut guard = 0;
         while total_s < needed_s {
             guard += 1;
-            assert!(guard < 1000, "route construction failed to reach the needed duration");
+            assert!(
+                guard < 1000,
+                "route construction failed to reach the needed duration"
+            );
             let last = legs.last().unwrap().seg;
             // Prefer *far* destinations (best of a small candidate pool):
             // real trips are mostly direct journeys, not random walks, and
@@ -178,7 +197,9 @@ impl<'a> Simulator<'a> {
                 let seg = net.segment(s);
                 seg.length() / seg.level.freeflow_speed()
             });
-            let Some(route) = self.sp.route(last, dest) else { continue };
+            let Some(route) = self.sp.route(last, dest) else {
+                continue;
+            };
             for &seg_id in &route[1..] {
                 let seg = self.net.segment(seg_id);
                 let speed = jittered_speed(
@@ -187,7 +208,12 @@ impl<'a> Simulator<'a> {
                     self.config.speed_jitter,
                     rush,
                 );
-                let leg = Leg { seg: seg_id, start_off_m: 0.0, len_m: seg.length(), speed_mps: speed };
+                let leg = Leg {
+                    seg: seg_id,
+                    start_off_m: 0.0,
+                    len_m: seg.length(),
+                    speed_mps: speed,
+                };
                 total_s += leg.len_m / leg.speed_mps;
                 legs.push(leg);
                 if total_s >= needed_s {
@@ -219,7 +245,11 @@ impl<'a> Simulator<'a> {
             }
             let leg = &legs[leg_i];
             let off = (leg.start_off_m + (t - cum[leg_i]) * leg.speed_mps).min(leg.len_m);
-            let frac = if leg.len_m <= f64::EPSILON { 0.0 } else { off / leg.len_m };
+            let frac = if leg.len_m <= f64::EPSILON {
+                0.0
+            } else {
+                off / leg.len_m
+            };
             let pos = RoadPosition::new(leg.seg, frac.min(0.999_999));
             xys.push(pos.xy(self.net));
             points.push(MatchedPoint { pos, t });
@@ -288,7 +318,12 @@ mod tests {
                     .iter()
                     .map(|&s| city.net.segment(s).length())
                     .sum();
-                assert!(gap <= 35.0 * 12.0 + 1e-6, "hop {} -> {} spans {gap} m", w[0], w[1]);
+                assert!(
+                    gap <= 35.0 * 12.0 + 1e-6,
+                    "hop {} -> {} spans {gap} m",
+                    w[0],
+                    w[1]
+                );
             }
         }
     }
@@ -301,7 +336,9 @@ mod tests {
         let s = sim.sample(&mut rng, 8);
         let mut nd = NetworkDistance::new(&city.net);
         for w in s.target.points.windows(2) {
-            let d = nd.directed_m(&w[0].pos, &w[1].pos).expect("route must exist");
+            let d = nd
+                .directed_m(&w[0].pos, &w[1].pos)
+                .expect("route must exist");
             // 35 m/s is the hard clamp; 12 s interval -> at most 420 m.
             assert!(d <= 35.0 * 12.0 + 1e-6, "impossible jump of {d} m in 12 s");
         }
@@ -310,7 +347,10 @@ mod tests {
     #[test]
     fn raw_noise_is_bounded_and_nonzero() {
         let city = city();
-        let cfg = SimConfig { gps_noise_std_m: 10.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            gps_noise_std_m: 10.0,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(&city.net, cfg);
         let mut rng = StdRng::seed_from_u64(5);
         let s = sim.sample_dense(&mut rng, rntrajrec_roadnet::SegmentId(0));

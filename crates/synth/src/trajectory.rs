@@ -39,8 +39,7 @@ impl RawTrajectory {
     /// always retained so the recovered window is fully covered.
     pub fn downsample(&self, k: usize) -> RawTrajectory {
         assert!(k >= 1);
-        let mut points: Vec<RawPoint> =
-            self.points.iter().copied().step_by(k).collect();
+        let mut points: Vec<RawPoint> = self.points.iter().copied().step_by(k).collect();
         if let Some(&last) = self.points.last() {
             if points.last() != Some(&last) {
                 points.push(last);
@@ -91,9 +90,9 @@ impl MatchedTrajectory {
     }
 }
 
-/// Hour-of-day / holiday context (`f_e`, Section IV-F: 24-dim one-hot hour
-/// + holiday flag). Derived from an absolute departure timestamp on a
-/// synthetic calendar where days 5 and 6 of each week are holidays.
+/// Hour-of-day / holiday context (`f_e`, Section IV-F: 24-dim one-hot
+/// hour and a holiday flag). Derived from an absolute departure timestamp
+/// on a synthetic calendar where days 5 and 6 of each week are holidays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimeContext {
     pub hour: u8,
@@ -105,7 +104,10 @@ impl TimeContext {
     pub fn from_epoch_s(t: f64) -> Self {
         let day = (t / 86_400.0).floor() as i64;
         let hour = ((t - day as f64 * 86_400.0) / 3600.0).floor() as u8;
-        Self { hour: hour.min(23), holiday: day.rem_euclid(7) >= 5 }
+        Self {
+            hour: hour.min(23),
+            holiday: day.rem_euclid(7) >= 5,
+        }
     }
 
     /// Whether this hour falls in the simulated rush (affects speeds).
@@ -148,7 +150,10 @@ mod tests {
     fn raw(n: usize, dt: f64) -> RawTrajectory {
         RawTrajectory {
             points: (0..n)
-                .map(|i| RawPoint { xy: XY::new(i as f64, 0.0), t: i as f64 * dt })
+                .map(|i| RawPoint {
+                    xy: XY::new(i as f64, 0.0),
+                    t: i as f64 * dt,
+                })
                 .collect(),
         }
     }
@@ -190,18 +195,32 @@ mod tests {
             t,
         };
         let traj = MatchedTrajectory {
-            points: vec![mk(0, 0.1, 0.0), mk(0, 0.6, 10.0), mk(1, 0.2, 20.0), mk(0, 0.5, 30.0)],
+            points: vec![
+                mk(0, 0.1, 0.0),
+                mk(0, 0.6, 10.0),
+                mk(1, 0.2, 20.0),
+                mk(0, 0.5, 30.0),
+            ],
         };
-        assert_eq!(traj.travel_path(), vec![SegmentId(0), SegmentId(1), SegmentId(0)]);
+        assert_eq!(
+            traj.travel_path(),
+            vec![SegmentId(0), SegmentId(1), SegmentId(0)]
+        );
     }
 
     #[test]
     fn xys_match_positions() {
         let mut b = RoadNetworkBuilder::new();
-        b.add_segment(Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)), RoadLevel::Primary);
+        b.add_segment(
+            Polyline::segment(XY::new(0.0, 0.0), XY::new(100.0, 0.0)),
+            RoadLevel::Primary,
+        );
         let net = b.build();
         let traj = MatchedTrajectory {
-            points: vec![MatchedPoint { pos: RoadPosition::new(SegmentId(0), 0.5), t: 0.0 }],
+            points: vec![MatchedPoint {
+                pos: RoadPosition::new(SegmentId(0), 0.5),
+                t: 0.0,
+            }],
         };
         assert_eq!(traj.xys(&net), vec![XY::new(50.0, 0.0)]);
     }
@@ -224,7 +243,10 @@ mod tests {
 
     #[test]
     fn time_context_features_one_hot() {
-        let c = TimeContext { hour: 17, holiday: true };
+        let c = TimeContext {
+            hour: 17,
+            holiday: true,
+        };
         let f = c.features();
         assert_eq!(f[17], 1.0);
         assert_eq!(f[24], 1.0);

@@ -73,8 +73,10 @@ fn main() {
         let (truth, pred) = &r.sr_cases[case_idx];
         let pred_path = travel_path(pred.iter().copied());
         let (_, _, f1) = path_prf(&truth_path, &pred_path);
-        let on_corridor_truth =
-            truth.iter().filter(|&&s| pipeline.is_corridor_segment(s)).count();
+        let on_corridor_truth = truth
+            .iter()
+            .filter(|&&s| pipeline.is_corridor_segment(s))
+            .count();
         let corridor_correct = truth
             .iter()
             .zip(pred)
@@ -82,11 +84,7 @@ fn main() {
             .count();
         println!(
             "{:<22} case F1 {:.3} | corridor steps correct {}/{} | overall acc {:.3}",
-            r.label,
-            f1,
-            corridor_correct,
-            on_corridor_truth,
-            r.accuracy
+            r.label, f1, corridor_correct, on_corridor_truth, r.accuracy
         );
         // Reconstruct predicted coordinates for plotting.
         let model_pred = pred.clone();

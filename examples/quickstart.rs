@@ -37,9 +37,15 @@ fn main() {
 
     println!("\nTraining RNTrajRec ({} epochs)...", scale.epochs);
     let result = pipeline.train_and_eval(&MethodSpec::RnTrajRec, &scale);
-    println!("  trained {} parameters in {:.1}s", result.num_params, result.train_secs);
+    println!(
+        "  trained {} parameters in {:.1}s",
+        result.num_params, result.train_secs
+    );
 
-    println!("\nTest metrics (averaged over {} trajectories):", result.sr_cases.len());
+    println!(
+        "\nTest metrics (averaged over {} trajectories):",
+        result.sr_cases.len()
+    );
     println!("  recall    {:.4}", result.recall);
     println!("  precision {:.4}", result.precision);
     println!("  F1        {:.4}", result.f1);
@@ -54,5 +60,9 @@ fn main() {
     println!("  truth: {truth:?}");
     println!("  pred:  {pred:?}");
     let correct = truth.iter().zip(pred).filter(|(a, b)| a == b).count();
-    println!("  {} / {} steps on the correct road segment", correct, truth.len());
+    println!(
+        "  {} / {} steps on the correct road segment",
+        correct,
+        truth.len()
+    );
 }

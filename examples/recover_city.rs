@@ -28,8 +28,11 @@ fn main() {
         st.num_segments, st.area_km2.0, st.area_km2.1, st.num_trajectories
     );
 
-    let methods =
-        [MethodSpec::LinearHmm, MethodSpec::MTrajRec, MethodSpec::RnTrajRec];
+    let methods = [
+        MethodSpec::LinearHmm,
+        MethodSpec::MTrajRec,
+        MethodSpec::RnTrajRec,
+    ];
     println!(
         "{:<24} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
         "method", "recall", "prec", "F1", "acc", "MAE(m)", "RMSE(m)"

@@ -7,9 +7,12 @@
 //! * [`rntrajrec_roadnet`] — road-network graph, grid partition, R-tree
 //! * [`rntrajrec_synth`] — synthetic city + trajectory simulator
 //! * [`rntrajrec_mapmatch`] — HMM map matching, interpolation, Kalman filter
-//! * [`rntrajrec_nn`] — tensor/autograd engine and optimizers
+//! * [`rntrajrec_nn`] — tensor/autograd engine, optimizers, and the
+//!   tape-free inference ops
 //! * [`rntrajrec_models`] — neural modules (GridGNN, GPSFormer, baselines)
 //! * [`rntrajrec`] — the end-to-end model, training, and evaluation
+//! * [`rntrajrec_serve`] — the online recovery serving engine
+//!   (micro-batching over tape-free inference)
 
 pub use rntrajrec;
 pub use rntrajrec_geo;
@@ -17,4 +20,5 @@ pub use rntrajrec_mapmatch;
 pub use rntrajrec_models;
 pub use rntrajrec_nn;
 pub use rntrajrec_roadnet;
+pub use rntrajrec_serve;
 pub use rntrajrec_synth;

@@ -11,7 +11,15 @@ use rntrajrec_suite::rntrajrec::train::{TrainConfig, Trainer};
 use rntrajrec_suite::rntrajrec_synth::DatasetConfig;
 
 fn scale() -> ExperimentScale {
-    ExperimentScale { num_traj: 16, dim: 8, epochs: 1, batch: 4, max_eval: 2, seed: 7, lr: 3e-3 }
+    ExperimentScale {
+        num_traj: 16,
+        dim: 8,
+        epochs: 1,
+        batch: 4,
+        max_eval: 2,
+        seed: 7,
+        lr: 3e-3,
+    }
 }
 
 #[test]

@@ -13,7 +13,15 @@ use rntrajrec_suite::rntrajrec_roadnet::{is_strongly_connected, CityConfig, RTre
 use rntrajrec_suite::rntrajrec_synth::{DatasetConfig, SimConfig, Simulator, SplitDataset};
 
 fn quick_scale() -> ExperimentScale {
-    ExperimentScale { num_traj: 24, dim: 8, epochs: 1, batch: 4, max_eval: 2, seed: 7, lr: 3e-3 }
+    ExperimentScale {
+        num_traj: 24,
+        dim: 8,
+        epochs: 1,
+        batch: 4,
+        max_eval: 2,
+        seed: 7,
+        lr: 3e-3,
+    }
 }
 
 #[test]
@@ -49,8 +57,14 @@ fn every_named_dataset_generates_and_is_connected() {
     ] {
         let name = cfg.name;
         let ds = SplitDataset::generate(cfg);
-        assert!(is_strongly_connected(&ds.city.net), "{name} not strongly connected");
-        assert!(ds.train.len() + ds.valid.len() + ds.test.len() > 0, "{name} empty");
+        assert!(
+            is_strongly_connected(&ds.city.net),
+            "{name} not strongly connected"
+        );
+        assert!(
+            ds.train.len() + ds.valid.len() + ds.test.len() > 0,
+            "{name} empty"
+        );
         for s in ds.all_samples() {
             assert_eq!(s.target.len(), 33, "{name} target length");
             assert!(s.raw.len() >= 3, "{name} input too short");
@@ -64,7 +78,10 @@ fn hmm_ground_truth_pipeline_consistency() {
     // simulator produces it directly. Both must agree on clean data.
     let city = SyntheticCity::generate(CityConfig::tiny());
     let rtree = RTree::build(&city.net);
-    let cfg = SimConfig { gps_noise_std_m: 0.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        gps_noise_std_m: 0.0,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(&city.net, cfg);
     let mut rng = StdRng::seed_from_u64(5);
     let sample = sim.sample_dense(&mut rng, rntrajrec_suite::rntrajrec_roadnet::SegmentId(0));
@@ -77,7 +94,10 @@ fn hmm_ground_truth_pipeline_consistency() {
         .filter(|(a, b)| a.pos.seg == b.pos.seg)
         .count();
     let acc = agree as f64 / sample.target.len() as f64;
-    assert!(acc > 0.9, "HMM vs simulator ground truth agreement only {acc}");
+    assert!(
+        acc > 0.9,
+        "HMM vs simulator ground truth agreement only {acc}"
+    );
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! Cross-crate serving integration: train a small RNTrajRec model through
+//! the standard pipeline, then serve it online and check that the
+//! micro-batched engine reproduces offline inference exactly and that the
+//! tape-free path agrees with the tape-based predictor on trained weights.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rntrajrec_suite::rntrajrec::experiments::{ExperimentScale, Pipeline};
+use rntrajrec_suite::rntrajrec::model::{EndToEnd, MethodSpec};
+use rntrajrec_suite::rntrajrec::train::{TrainConfig, Trainer};
+use rntrajrec_suite::rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel};
+use rntrajrec_suite::rntrajrec_synth::DatasetConfig;
+
+fn trained_pipeline() -> (Pipeline, EndToEnd) {
+    let scale = ExperimentScale {
+        num_traj: 24,
+        dim: 8,
+        epochs: 1,
+        batch: 4,
+        max_eval: 4,
+        seed: 7,
+        lr: 3e-3,
+    };
+    let pipeline = Pipeline::prepare(DatasetConfig::tiny(8, scale.num_traj), &scale);
+    let mut model = EndToEnd::build(
+        &MethodSpec::RnTrajRec,
+        &pipeline.dataset.city.net,
+        &pipeline.grid,
+        scale.dim,
+        scale.seed,
+    );
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: scale.epochs,
+        batch_size: scale.batch,
+        seed: scale.seed,
+        lr: scale.lr,
+        ..Default::default()
+    });
+    trainer.fit(&mut model, &pipeline.train_inputs, None);
+    (pipeline, model)
+}
+
+#[test]
+fn trained_weights_serve_identically_to_tape_predict() {
+    let (pipeline, model) = trained_pipeline();
+    let mut rng = StdRng::seed_from_u64(5);
+    let tape_preds: Vec<Vec<(usize, f32)>> = pipeline
+        .test_inputs
+        .iter()
+        .map(|i| model.predict(i, &mut rng))
+        .collect();
+
+    let serving = Arc::new(ServingModel::new(model).expect("RNTrajRec serves"));
+    for (input, want) in pipeline.test_inputs.iter().zip(&tape_preds) {
+        let got = serving.recover(input);
+        assert_eq!(got.len(), want.len());
+        for (j, (&(gs, gr), &(ws, wr))) in got.iter().zip(want).enumerate() {
+            assert_eq!(gs, ws, "step {j}: trained tape-free segment diverged");
+            assert_eq!(
+                gr, wr,
+                "step {j}: rate not bit-identical on trained weights"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_micro_batching_is_transparent_end_to_end() {
+    let (pipeline, model) = trained_pipeline();
+    let serving = Arc::new(ServingModel::new(model).expect("RNTrajRec serves"));
+    let sequential: Vec<Vec<(usize, f32)>> = pipeline
+        .test_inputs
+        .iter()
+        .map(|i| serving.recover(i))
+        .collect();
+
+    let engine = RecoveryEngine::start(
+        Arc::clone(&serving),
+        EngineConfig {
+            max_batch: 3,
+            max_delay: Duration::from_millis(1),
+            workers: 3,
+        },
+    );
+    // Submit everything at once so batches actually form.
+    let handles: Vec<_> = pipeline
+        .test_inputs
+        .iter()
+        .map(|i| engine.submit(i.clone()))
+        .collect();
+    for (h, want) in handles.into_iter().zip(&sequential) {
+        assert_eq!(
+            &h.wait().path,
+            want,
+            "micro-batched serving changed a result"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed as usize, pipeline.test_inputs.len());
+}

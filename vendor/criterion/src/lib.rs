@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the bench targets use — `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple calibrated wall-clock loop instead of criterion's
+//! statistical machinery. Passing `--test` (as `cargo test` does for
+//! harness-less bench targets) runs each routine once and skips timing.
+
+use std::time::{Duration, Instant};
+
+/// How the per-iteration setup output is batched (accepted for API
+/// compatibility; this harness always runs setup per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Test mode: run the routine once, skip measurement.
+    quick: bool,
+    /// Mean ns/iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    fn measure<F: FnMut()>(&mut self, mut routine: F) {
+        if self.quick {
+            routine();
+            self.last_ns = 0.0;
+            return;
+        }
+        // Warm-up.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            routine();
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~200 ms of measurement, capped.
+        let iters = ((0.2 / per_iter.max(1e-9)) as u64).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        self.last_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            std::hint::black_box(routine());
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        });
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`.
+        let quick = std::env::args().any(|a| a == "--test" || a == "--list");
+        Self { quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            quick: self.quick,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            quick: self.c.quick,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.quick {
+        println!("bench {name}: ok (test mode)");
+    } else if b.last_ns >= 1e6 {
+        println!("bench {name}: {:.3} ms/iter", b.last_ns / 1e6);
+    } else if b.last_ns >= 1e3 {
+        println!("bench {name}: {:.3} µs/iter", b.last_ns / 1e3);
+    } else {
+        println!("bench {name}: {:.1} ns/iter", b.last_ns);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { quick: true };
+        let mut ran = 0;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("g");
+        let mut hits = 0;
+        g.bench_function("a", |b| {
+            b.iter_batched(|| 3, |x| hits += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

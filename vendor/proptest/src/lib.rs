@@ -1,0 +1,185 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports exactly the shape this workspace's property tests use: a
+//! `proptest!` block with an optional `#![proptest_config(...)]`, test
+//! functions whose arguments are `name in <numeric range>` strategies, and
+//! the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Each
+//! test runs `cases` deterministic iterations (seeded per case index), so
+//! failures are reproducible without shrinking.
+
+pub use rand;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Run-count configuration (`with_cases` is the only knob used).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A value generator. Implemented for numeric `Range`s (the only strategy
+/// form the workspace uses).
+pub trait Strategy {
+    type Value;
+    fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate<R: RngCore>(&self, rng: &mut R) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate<R: RngCore>(&self, rng: &mut R) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Deterministic per-case RNG: test name + case index.
+pub fn case_rng(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Outcome of one proptest case body.
+pub enum CaseResult {
+    Ok,
+    /// `prop_assume!` failed — the case is skipped, not failed.
+    Reject,
+    Fail(String),
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // Internal: expanded test functions (must precede the catch-all rule).
+    (@cfg ($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strategy, &mut __proptest_rng);
+                    )*
+                    let outcome = (|| -> $crate::CaseResult {
+                        $body
+                        $crate::CaseResult::Ok
+                    })();
+                    match outcome {
+                        $crate::CaseResult::Ok | $crate::CaseResult::Reject => {}
+                        $crate::CaseResult::Fail(msg) => {
+                            panic!(
+                                "proptest case {case} failed: {msg}\n  inputs: {}",
+                                vec![$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", ")
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    // With a leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Without one.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `if cond {} else` (rather than `if !cond`) keeps the
+        // neg_cmp_op_on_partial_ord lint quiet for float comparisons.
+        if $cond {
+        } else {
+            return $crate::CaseResult::Fail(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if $cond {
+        } else {
+            return $crate::CaseResult::Fail(format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return $crate::CaseResult::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(x in 0.0f64..1.0, n in 1u32..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in -1.0f64..1.0) {
+            prop_assume!(x > 0.0);
+            prop_assert!(x > 0.0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        use rand::Rng;
+        assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields, without
+//! `syn`/`quote` (unavailable offline): the token stream is parsed by hand.
+//! Supported attribute: `#[serde(skip)]` on a field. Anything fancier
+//! (enums, generics, rename) is intentionally rejected — this workspace
+//! only derives on plain result-record structs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name> { ... }`.
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => panic!("derive(Serialize): expected struct name"),
+                }
+                for rest in iter.by_ref() {
+                    if let TokenTree::Group(g) = rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                    if let TokenTree::Punct(p) = rest {
+                        if p.as_char() == '<' {
+                            panic!("derive(Serialize): generic structs unsupported");
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): no struct found (enums unsupported)");
+    let body = body.expect("derive(Serialize): only named-field structs are supported");
+
+    let mut pushes = String::new();
+    for field in parse_fields(body) {
+        if field.skip {
+            continue;
+        }
+        pushes.push_str(&format!(
+            "obj.push((\"{0}\".to_string(), serde::Serialize::serialize_value(&self.{0})));\n",
+            field.name
+        ));
+    }
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> serde::Value {{\n\
+         let mut obj: Vec<(String, serde::Value)> = Vec::new();\n\
+         {pushes}\
+         serde::Value::Object(obj)\n\
+         }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// Split the brace body into fields at top-level commas; for each field,
+/// record its name (the ident before the first top-level `:`) and whether a
+/// `#[serde(skip)]` attribute precedes it.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut skip = false;
+    let mut current_name: Option<String> = None;
+    let mut seen_colon = false;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: `#` followed by a bracket group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if let Some(name) = current_name.take() {
+                    fields.push(Field { name, skip });
+                }
+                skip = false;
+                seen_colon = false;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon => {
+                seen_colon = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if !seen_colon => {
+                let s = id.to_string();
+                if s != "pub" {
+                    current_name = Some(s);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(name) = current_name.take() {
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(g)] if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}

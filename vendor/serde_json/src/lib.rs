@@ -1,0 +1,198 @@
+//! Offline stand-in for `serde_json`: renders the vendored [`serde::Value`]
+//! tree as JSON text, plus the `json!` object/array macro.
+
+pub use serde::Value;
+
+/// An insertion-ordered string-keyed object map (stand-in for
+/// `serde_json::Map<String, Value>`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a key, returning the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl serde::Serialize for Map {
+    fn serialize_value(&self) -> Value {
+        Value::Object(self.entries.clone())
+    }
+}
+
+/// Convert any [`serde::Serialize`] value into a [`Value`] (used by the
+/// `json!` macro).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, std::fmt::Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty-printed JSON (two-space indent, like the real serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(
+    value: &T,
+) -> Result<String, std::fmt::Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f}"));
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), write_value, '[', ']', indent, depth),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            |o, (k, val), ind, d| {
+                write_string(o, k);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, ind, d);
+            },
+            '{',
+            '}',
+            indent,
+            depth,
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+) {
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Supports objects with literal
+/// string keys, arrays, and arbitrary `Serialize` expressions as values
+/// (nested object literals as values are not supported — build them with a
+/// nested `json!` call instead).
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    (null) => { $crate::Value::Null };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_pretty() {
+        let v =
+            json!({ "name": "x", "xs": vec![1.0, 2.5], "none": Option::<u32>::None, "ok": true });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"x\""));
+        assert!(s.contains("2.5"));
+        assert!(s.contains("null"));
+        let compact = to_string(&v).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"name":"x","xs":[1,2.5],"none":null,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn exprs_in_json_macro() {
+        let rows = vec![1usize, 2, 3];
+        let label = String::from("t");
+        let v = json!({ "dataset": label, "rows": rows });
+        assert_eq!(to_string(&v).unwrap(), r#"{"dataset":"t","rows":[1,2,3]}"#);
+    }
+}
