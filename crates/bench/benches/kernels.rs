@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks for the unified `rntrajrec_nn::kernels`
+//! layer: matmul and GAT-aggregate scaling at 1/2/4 intra-op threads.
+//! Also writes machine-readable timings to `results/BENCH_kernels.json`
+//! (skipped under `cargo test`'s `--test` quick mode).
+//!
+//! ```bash
+//! cargo bench -p rntrajrec-bench --bench kernels
+//! ```
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rntrajrec_bench::dump_json;
+use rntrajrec_nn::{kernels, pool, GraphCsr, Tensor};
+
+/// A named benchmark routine.
+type Case<'a> = (&'a str, Box<dyn Fn() + 'a>);
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+struct Fixtures {
+    /// Decoder-logits shape: `[1, d] × [d, |V|]` (column-partitioned).
+    logits_a: Tensor,
+    logits_b: Tensor,
+    /// Encoder-projection shape: `[n, d] × [d, d]` (row-partitioned).
+    proj_a: Tensor,
+    proj_b: Tensor,
+    /// Road-graph GAT aggregation.
+    csr: Arc<GraphCsr>,
+    alphas: Tensor,
+    feats: Tensor,
+}
+
+fn fixtures() -> Fixtures {
+    let mut rng = StdRng::seed_from_u64(42);
+    let (v, d, n) = (4096usize, 64usize, 4096usize);
+    let lists: Vec<Vec<usize>> = (0..n)
+        .map(|_| {
+            let deg = rng.gen_range(2usize..=6);
+            (0..deg).map(|_| rng.gen_range(0..n)).collect()
+        })
+        .collect();
+    let csr = Arc::new(GraphCsr::from_neighbor_lists(&lists, true));
+    let e = csr.num_edges();
+    Fixtures {
+        logits_a: Tensor::uniform(1, d, 1.0, &mut rng),
+        logits_b: Tensor::uniform(d, v, 1.0, &mut rng),
+        proj_a: Tensor::uniform(n, d, 1.0, &mut rng),
+        proj_b: Tensor::uniform(d, d, 1.0, &mut rng),
+        csr,
+        alphas: Tensor::uniform(e, 1, 1.0, &mut rng),
+        feats: Tensor::uniform(n, d, 1.0, &mut rng),
+    }
+}
+
+/// Mean ns/iter of `f` over a calibrated ~200 ms loop (one warm-up run).
+fn time_ns(f: &dyn Fn()) -> f64 {
+    f();
+    let warm = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm.elapsed() < Duration::from_millis(50) {
+        f();
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let per = warm.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let iters = ((0.2 / per.max(1e-9)) as u64).clamp(1, 100_000);
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--list");
+    let fx = fixtures();
+    let mut c = Criterion::default();
+
+    let cases: Vec<Case> = vec![
+        (
+            "matmul_1x64x4096",
+            Box::new(|| {
+                black_box(kernels::matmul(&fx.logits_a, &fx.logits_b));
+            }),
+        ),
+        (
+            "matmul_4096x64x64",
+            Box::new(|| {
+                black_box(kernels::matmul(&fx.proj_a, &fx.proj_b));
+            }),
+        ),
+        (
+            "gat_neighbor_sum_4096n",
+            Box::new(|| {
+                black_box(kernels::neighbor_sum(&fx.alphas, &fx.feats, &fx.csr));
+            }),
+        ),
+        (
+            "gat_segmented_softmax_4096n",
+            Box::new(|| {
+                black_box(kernels::segmented_softmax(&fx.alphas, &fx.csr));
+            }),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    let mut group = c.benchmark_group("kernels");
+    for (name, f) in &cases {
+        let mut per_thread = Vec::new();
+        let mut base_ns = 0.0f64;
+        for &threads in &THREADS {
+            pool::set_num_threads(threads);
+            group.bench_function(&format!("{name}/t{threads}"), |b| b.iter(f.as_ref()));
+            if !quick {
+                let ns = time_ns(f.as_ref());
+                if threads == 1 {
+                    base_ns = ns;
+                }
+                per_thread.push(serde_json::json!({
+                    "threads": threads,
+                    "ns_per_iter": ns,
+                    "speedup_vs_1_thread": base_ns / ns,
+                }));
+            }
+        }
+        pool::set_num_threads(1);
+        if !quick {
+            results.push(serde_json::json!({
+                "kernel": name,
+                "sweep": per_thread,
+            }));
+        }
+    }
+    group.finish();
+
+    if !quick {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let json = serde_json::json!({
+            "cores": cores,
+            "kernels": results,
+        });
+        dump_json("BENCH_kernels", &json);
+    }
+}

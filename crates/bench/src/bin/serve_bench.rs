@@ -1,7 +1,10 @@
 //! Serving throughput benchmark: requests/sec and p50/p99 latency of the
-//! micro-batching engine across batch-size and worker-count settings, plus
-//! the per-trajectory latency of tape-free inference versus the tape-based
-//! `EndToEnd::predict`. Writes `results/BENCH_serve.json`.
+//! micro-batching engine across batch-size and worker-count settings, the
+//! per-trajectory latency of tape-free inference versus the tape-based
+//! `EndToEnd::predict`, a **city-scale intra-op thread sweep** (kernel
+//! parallelism via `NN_THREADS` / `rntrajrec_nn::pool`), and the
+//! decoder-step matmul count per request (the baseline for the planned
+//! same-length decoder-step fusion). Writes `results/BENCH_serve.json`.
 //!
 //! ```bash
 //! cargo run --release -p rntrajrec-bench --bin serve_bench          # full
@@ -17,6 +20,7 @@ use rand::SeedableRng;
 use rntrajrec::model::{EndToEnd, MethodSpec};
 use rntrajrec_bench::dump_json;
 use rntrajrec_models::{FeatureExtractor, SampleInput};
+use rntrajrec_nn::{kernels, pool};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
 use rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel};
 use rntrajrec_synth::{SimConfig, Simulator};
@@ -98,6 +102,9 @@ fn main() {
                     max_batch,
                     max_delay: Duration::from_millis(2),
                     workers,
+                    // Pin kernels to one thread: this sweep isolates
+                    // worker/batch scaling from intra-op parallelism.
+                    threads_per_worker: 1,
                 },
             );
             let clients = 8usize;
@@ -137,6 +144,7 @@ fn main() {
             sweep.push(serde_json::json!({
                 "workers": workers,
                 "max_batch": max_batch,
+                "threads_per_worker": 1,
                 "requests": latencies_ms.len(),
                 "requests_per_sec": rps,
                 "p50_ms": p50,
@@ -148,12 +156,125 @@ fn main() {
         }
     }
 
+    // --- 3. City-scale intra-op thread sweep ------------------------------
+    // A larger road network and hidden size, where the per-request hot
+    // path (decoder `[1,d]×[d,|V|]` logits, GAT aggregation, GridGNN
+    // precompute) has enough work for kernel-level parallelism to pay.
+    let (blocks, big_dim, city_reps) = if quick { (8, 32, 2) } else { (14, 64, 8) };
+    let big_city = SyntheticCity::generate(CityConfig {
+        blocks_x: blocks,
+        blocks_y: blocks,
+        ..CityConfig::default()
+    });
+    let big_rtree = RTree::build(&big_city.net);
+    let big_grid = big_city.net.grid(50.0);
+    let big_fx = FeatureExtractor::new(&big_city.net, &big_rtree, big_grid);
+    let mut big_sim = Simulator::new(&big_city.net, SimConfig::default());
+    let mut big_rng = StdRng::seed_from_u64(17);
+    let big_inputs: Vec<SampleInput> = (0..12)
+        .map(|_| big_fx.extract(&big_sim.sample(&mut big_rng, 8)))
+        .collect();
+    let big_model = EndToEnd::build(&MethodSpec::RnTrajRec, &big_city.net, &big_grid, big_dim, 7);
+
+    // 3a. Decoder-step matmul invocations per request (fusion baseline).
+    let road = big_model.precompute_road().expect("RNTrajRec precomputes");
+    let mut decoder_matmuls = 0u64;
+    let mut decoder_steps = 0usize;
+    for input in &big_inputs {
+        let enc = big_model
+            .encoder
+            .infer_one(&big_model.store, input, Some(&road))
+            .expect("infer path");
+        let before = kernels::matmul_invocations();
+        let _ = big_model
+            .decoder
+            .infer_run(&big_model.store, &enc.per_point, &enc.traj, input);
+        decoder_matmuls += kernels::matmul_invocations() - before;
+        decoder_steps += input.target_len();
+    }
+    let matmuls_per_request = decoder_matmuls as f64 / big_inputs.len() as f64;
+    let steps_per_request = decoder_steps as f64 / big_inputs.len() as f64;
+    let matmuls_per_step = decoder_matmuls as f64 / decoder_steps.max(1) as f64;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n--- city-scale intra-op thread sweep ({} segments, d={big_dim}, {cores} core(s)) ---",
+        big_city.net.num_segments()
+    );
+    println!(
+        "decoder fusion baseline: {matmuls_per_request:.1} matmuls/request over {steps_per_request:.1} steps ({matmuls_per_step:.1} matmuls/decoder step)"
+    );
+
+    // 3b. Single-request recovery latency at 1/2/4 intra-op threads.
+    let big_serving = Arc::new(ServingModel::new(big_model).expect("RNTrajRec serves"));
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "threads", "recover (ms)", "precompute(ms)", "speedup"
+    );
+    let mut intra_sweep = Vec::new();
+    let mut base_ms = 0.0f64;
+    let mut reference: Option<Vec<Vec<(usize, f32)>>> = None;
+    for &threads in &[1usize, 2, 4] {
+        pool::set_num_threads(threads);
+        // Warm the pool (thread spawn, first-touch) outside the timing.
+        let _ = big_serving.recover(&big_inputs[0]);
+        let t = Instant::now();
+        for _ in 0..city_reps {
+            for input in &big_inputs {
+                std::hint::black_box(big_serving.recover(input));
+            }
+        }
+        let ms = t.elapsed().as_secs_f64() * 1000.0 / (city_reps * big_inputs.len()) as f64;
+        let t = Instant::now();
+        let xroad = big_serving.model().precompute_road().expect("precompute");
+        let pre_ms = t.elapsed().as_secs_f64() * 1000.0;
+        std::hint::black_box(xroad);
+        if threads == 1 {
+            base_ms = ms;
+        }
+        let thread_speedup = base_ms / ms;
+        println!("{threads:>10} {ms:>14.3} {pre_ms:>14.3} {thread_speedup:>9.2}x");
+        // Determinism spot-check: recoveries must be bit-identical to the
+        // 1-thread reference.
+        let outputs: Vec<Vec<(usize, f32)>> =
+            big_inputs.iter().map(|i| big_serving.recover(i)).collect();
+        match &reference {
+            None => reference = Some(outputs),
+            Some(want) => assert_eq!(want, &outputs, "thread count changed results"),
+        }
+        intra_sweep.push(serde_json::json!({
+            "threads": threads,
+            "recover_ms": ms,
+            "road_precompute_ms": pre_ms,
+            "speedup_vs_1_thread": thread_speedup,
+        }));
+    }
+    pool::set_num_threads(1);
+    if cores < 4 {
+        println!(
+            "(note: only {cores} core(s) visible — thread-scaling numbers are not meaningful here)"
+        );
+    }
+
+    let decoder_baseline = serde_json::json!({
+        "matmuls_per_request": matmuls_per_request,
+        "decoder_steps_per_request": steps_per_request,
+        "matmuls_per_decoder_step": matmuls_per_step,
+    });
+    let city_scale = serde_json::json!({
+        "segments": big_city.net.num_segments(),
+        "dim": big_dim,
+        "intra_op_sweep": intra_sweep,
+        "decoder_fusion_baseline": decoder_baseline,
+    });
     let json = serde_json::json!({
         "tape_predict_ms": tape_ms,
         "tapefree_recover_ms": tapefree_ms,
         "speedup": speedup,
         "road_precompute_ms": precompute_ms,
         "sweep": sweep,
+        "cores": cores,
+        "city_scale": city_scale,
     });
     dump_json("BENCH_serve", &json);
 

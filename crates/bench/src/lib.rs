@@ -64,12 +64,15 @@ pub fn print_table(title: &str, results: &[MethodResult]) {
     }
 }
 
-/// Write a JSON record under `results/`.
+/// Write a JSON record under the workspace-root `results/` directory
+/// (anchored via the crate manifest, so binaries, benches and tests all
+/// write to the same place regardless of the invocation directory).
 pub fn dump_json(name: &str, value: &impl serde::Serialize) {
-    let dir = PathBuf::from("results");
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
+    let dir = dir.canonicalize().unwrap_or(dir);
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
         let _ = writeln!(

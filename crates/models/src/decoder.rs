@@ -71,6 +71,18 @@ impl Decoder {
         }
     }
 
+    /// The constraint-mask log-weight row of Eq. (16): allowed segments
+    /// carry `ln w`, everything else the effectively-zero
+    /// [`MASKED_OUT_LOGW`]. One body shared by the tape and tape-free
+    /// decode paths.
+    fn mask_logw_row(&self, entries: &[(usize, f32)]) -> Tensor {
+        let mut logw = vec![MASKED_OUT_LOGW; self.config.num_segments];
+        for &(seg, w) in entries {
+            logw[seg] = w.max(1e-6).ln();
+        }
+        Tensor::row(logw)
+    }
+
     /// Decode all `l_ρ` steps. With `teacher_forcing` the ground-truth
     /// segment/rate feed the next step (training); otherwise the model's
     /// own predictions do (inference).
@@ -123,11 +135,7 @@ impl Decoder {
             let logits = tape.add_rowvec(logits, b_id);
             let masked = match (self.config.use_mask, &sample.masks[j]) {
                 (true, Some(entries)) => {
-                    let mut logw = vec![MASKED_OUT_LOGW; self.config.num_segments];
-                    for &(seg, w) in entries {
-                        logw[seg] = w.max(1e-6).ln();
-                    }
-                    let lw = tape.leaf(Tensor::row(logw));
+                    let lw = tape.leaf(self.mask_logw_row(entries));
                     tape.add(logits, lw)
                 }
                 _ => logits,
@@ -167,6 +175,14 @@ impl Decoder {
     /// [`Decoder::run`] with `teacher_forcing = false`, evaluated with
     /// plain tensor ops. Returns the predicted `(segment, rate)` per
     /// target step.
+    ///
+    /// Every step's heavy math (the `[1,d]×[d,|V|]` segment-head matmul,
+    /// the GRU and attention products) runs on `rntrajrec_nn::kernels`,
+    /// which parallelises wide outputs by disjoint column ranges — the
+    /// `NN_THREADS` knob cuts per-step latency without changing a bit of
+    /// the output. `rntrajrec_nn::kernels::matmul_invocations` deltas
+    /// around this call count the per-step matmuls (`serve_bench` records
+    /// them as the baseline for fusing same-length decoder steps).
     pub fn infer_run(
         &self,
         store: &ParamStore,
@@ -195,13 +211,7 @@ impl Decoder {
             // Road-segment head with constraint mask (Eq. 16).
             let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
             let masked = match (self.config.use_mask, &sample.masks[j]) {
-                (true, Some(entries)) => {
-                    let mut logw = vec![MASKED_OUT_LOGW; self.config.num_segments];
-                    for &(seg, w) in entries {
-                        logw[seg] = w.max(1e-6).ln();
-                    }
-                    infer::add(&logits, &Tensor::row(logw))
-                }
+                (true, Some(entries)) => infer::add(&logits, &self.mask_logw_row(entries)),
                 _ => logits,
             };
             let logp = infer::log_softmax_rows(&masked);

@@ -1,5 +1,11 @@
 //! GPSFormer (Section IV-F) and the complete RNTrajRec encoder.
 //!
+//! All numeric work in both the tape `encode` and the tape-free
+//! `infer_sample` paths (attention products, FFNs, pooling, GRL graph
+//! ops) executes on `rntrajrec_nn::kernels`, the workspace's single
+//! parallel compute core — see `nn`'s crate docs for the determinism
+//! contract.
+//!
 //! Per mini-batch: GridGNN produces `X_road`; the Sub-Graph Generation
 //! features (precomputed in [`crate::features`]) select and weight rows of
 //! `X_road` per GPS point (Eq. 6); `N` GPSFormer blocks alternate a

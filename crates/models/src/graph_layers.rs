@@ -1,4 +1,11 @@
 //! Graph neural layers: GAT (Eq. 3–4), GCN and GIN (Fig. 7(a) backbones).
+//!
+//! Both the tape `forward` and the tape-free `infer` of every layer run on
+//! the unified `rntrajrec_nn::kernels` compute core: the per-head feature
+//! transforms are row-partitioned matmuls and the CSR gather/scatter
+//! (edge scores → segmented softmax → neighbour aggregation) partitions by
+//! destination-node segment ranges, so multi-threaded aggregation is
+//! bit-identical to the sequential loop.
 
 use std::sync::Arc;
 

@@ -232,6 +232,11 @@ impl GridGnn {
     /// notes it can be computed in advance at inference time), so serving
     /// precomputes it per road network and shares it read-only across
     /// worker threads — see `rntrajrec-serve`'s road-embedding cache.
+    ///
+    /// The precompute is parallel by node ranges: the grouped-GRU matmuls
+    /// partition by segment rows, the GAT layers by destination-node CSR
+    /// segments, and the final projection by road rows — all through
+    /// `rntrajrec_nn::kernels`, bit-identical at any `NN_THREADS`.
     pub fn infer(&self, store: &ParamStore) -> Tensor {
         let road = store.value(self.road_emb);
         let mut x = if self.config.use_grid {

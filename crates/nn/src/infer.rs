@@ -5,345 +5,160 @@
 //! serving never calls `backward`, so every prediction through the tape
 //! pays for node bookkeeping (an `Op` clone, a `Vec` push, a retained copy
 //! of every intermediate) it will never use. This module is the serving
-//! hot path: the same numerical kernels as the tape ops, applied directly
-//! to [`Tensor`]s with no graph allocation. Each function mirrors its tape
-//! twin operation-for-operation (same accumulation order), so results are
-//! bit-identical to a forward pass on the tape — property-tested in this
-//! module and end-to-end in `rntrajrec-models` / `rntrajrec-serve`.
+//! hot path: each function applies the corresponding [`crate::kernels`]
+//! routine — the *same* compute body the tape ops execute — directly to
+//! [`Tensor`]s with no graph allocation. Because both paths share one
+//! kernel body (and the kernels are deterministic at any thread count),
+//! results are bit-identical to a forward pass on the tape — property-
+//! tested in `tests/kernel_parity.rs` and end-to-end in
+//! `rntrajrec-models` / `rntrajrec-serve`.
 //!
 //! Naming follows the tape methods (`add_rowvec` here ≡ `Tape::add_rowvec`).
 
-use crate::tape::{matmul_kernel, matmul_nt_kernel, softmax_in_place};
-use crate::{GraphCsr, Tensor};
+use crate::{kernels, GraphCsr, Tensor};
 
 // ----- element-wise ---------------------------------------------------------
 
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
-    Tensor::from_vec(
-        a.rows,
-        a.cols,
-        a.data.iter().zip(&b.data).map(|(x, y)| x + y).collect(),
-    )
+    kernels::add(a, b)
 }
 
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
-    Tensor::from_vec(
-        a.rows,
-        a.cols,
-        a.data.iter().zip(&b.data).map(|(x, y)| x - y).collect(),
-    )
+    kernels::sub(a, b)
 }
 
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "mul: shape mismatch");
-    Tensor::from_vec(
-        a.rows,
-        a.cols,
-        a.data.iter().zip(&b.data).map(|(x, y)| x * y).collect(),
-    )
+    kernels::mul(a, b)
 }
 
 pub fn scale(a: &Tensor, c: f32) -> Tensor {
-    Tensor::from_vec(a.rows, a.cols, a.data.iter().map(|x| x * c).collect())
+    kernels::scale(a, c)
 }
 
 pub fn add_const(a: &Tensor, c: f32) -> Tensor {
-    Tensor::from_vec(a.rows, a.cols, a.data.iter().map(|x| x + c).collect())
+    kernels::add_const(a, c)
 }
 
 pub fn add_rowvec(m: &Tensor, v: &Tensor) -> Tensor {
-    assert_eq!(v.rows, 1, "add_rowvec: v must be [1,C]");
-    assert_eq!(m.cols, v.cols, "add_rowvec: column mismatch");
-    let mut t = m.clone();
-    for r in 0..t.rows {
-        for c in 0..t.cols {
-            t.data[r * t.cols + c] += v.data[c];
-        }
-    }
-    t
+    kernels::add_rowvec(m, v)
 }
 
 pub fn mul_rowvec(m: &Tensor, v: &Tensor) -> Tensor {
-    assert_eq!(v.rows, 1, "mul_rowvec: v must be [1,C]");
-    assert_eq!(m.cols, v.cols, "mul_rowvec: column mismatch");
-    let mut t = m.clone();
-    for r in 0..t.rows {
-        for c in 0..t.cols {
-            t.data[r * t.cols + c] *= v.data[c];
-        }
-    }
-    t
+    kernels::mul_rowvec(m, v)
 }
 
 pub fn add_colvec(m: &Tensor, v: &Tensor) -> Tensor {
-    assert_eq!(v.cols, 1, "add_colvec: v must be [R,1]");
-    assert_eq!(m.rows, v.rows, "add_colvec: row mismatch");
-    let mut t = m.clone();
-    for r in 0..t.rows {
-        let add = v.data[r];
-        for c in 0..t.cols {
-            t.data[r * t.cols + c] += add;
-        }
-    }
-    t
+    kernels::add_colvec(m, v)
 }
 
 pub fn mul_colvec(m: &Tensor, v: &Tensor) -> Tensor {
-    assert_eq!(v.cols, 1, "mul_colvec: v must be [R,1]");
-    assert_eq!(m.rows, v.rows, "mul_colvec: row mismatch");
-    let mut t = m.clone();
-    for r in 0..t.rows {
-        let f = v.data[r];
-        for c in 0..t.cols {
-            t.data[r * t.cols + c] *= f;
-        }
-    }
-    t
+    kernels::mul_colvec(m, v)
 }
 
 // ----- matrix products ------------------------------------------------------
 
 /// `[R,K] × [K,C]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.cols, b.rows, "matmul: inner dimension mismatch");
-    matmul_kernel(a, b)
+    kernels::matmul(a, b)
 }
 
 /// `a × bᵀ` without materialising the transpose.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.cols, b.cols, "matmul_nt: inner dimension mismatch");
-    matmul_nt_kernel(a, b)
+    kernels::matmul_nt(a, b)
 }
 
 // ----- activations ----------------------------------------------------------
 
 pub fn sigmoid(a: &Tensor) -> Tensor {
-    Tensor::from_vec(
-        a.rows,
-        a.cols,
-        a.data.iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect(),
-    )
+    kernels::sigmoid(a)
 }
 
 pub fn tanh(a: &Tensor) -> Tensor {
-    Tensor::from_vec(a.rows, a.cols, a.data.iter().map(|&x| x.tanh()).collect())
+    kernels::tanh(a)
 }
 
 pub fn relu(a: &Tensor) -> Tensor {
-    Tensor::from_vec(a.rows, a.cols, a.data.iter().map(|&x| x.max(0.0)).collect())
+    kernels::relu(a)
 }
 
 pub fn leaky_relu(a: &Tensor, slope: f32) -> Tensor {
-    Tensor::from_vec(
-        a.rows,
-        a.cols,
-        a.data
-            .iter()
-            .map(|&x| if x > 0.0 { x } else { slope * x })
-            .collect(),
-    )
+    kernels::leaky_relu(a, slope)
 }
 
 pub fn sqrt(a: &Tensor) -> Tensor {
-    Tensor::from_vec(
-        a.rows,
-        a.cols,
-        a.data.iter().map(|&x| x.max(0.0).sqrt()).collect(),
-    )
+    kernels::sqrt(a)
 }
 
 pub fn recip(a: &Tensor) -> Tensor {
-    Tensor::from_vec(a.rows, a.cols, a.data.iter().map(|&x| 1.0 / x).collect())
+    kernels::recip(a)
 }
 
 // ----- softmax --------------------------------------------------------------
 
 pub fn softmax_rows(a: &Tensor) -> Tensor {
-    let mut t = a.clone();
-    for r in 0..t.rows {
-        softmax_in_place(&mut t.data[r * t.cols..(r + 1) * t.cols]);
-    }
-    t
+    kernels::softmax_rows(a)
 }
 
 pub fn log_softmax_rows(a: &Tensor) -> Tensor {
-    let mut t = a.clone();
-    for r in 0..t.rows {
-        let row = &mut t.data[r * t.cols..(r + 1) * t.cols];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-        row.iter_mut().for_each(|x| *x -= lse);
-    }
-    t
+    kernels::log_softmax_rows(a)
 }
 
 // ----- shape ops ------------------------------------------------------------
 
 pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
-    assert!(!parts.is_empty());
-    let rows = parts[0].rows;
-    let total: usize = parts.iter().map(|p| p.cols).sum();
-    let mut t = Tensor::zeros(rows, total);
-    let mut off = 0;
-    for p in parts {
-        assert_eq!(p.rows, rows, "concat_cols: row mismatch");
-        for r in 0..rows {
-            let dst = r * total + off;
-            t.data[dst..dst + p.cols].copy_from_slice(&p.data[r * p.cols..(r + 1) * p.cols]);
-        }
-        off += p.cols;
-    }
-    t
+    kernels::concat_cols(parts)
 }
 
 pub fn select_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
-    assert!(start + len <= a.cols, "select_cols out of range");
-    let mut t = Tensor::zeros(a.rows, len);
-    for r in 0..a.rows {
-        t.data[r * len..(r + 1) * len]
-            .copy_from_slice(&a.data[r * a.cols + start..r * a.cols + start + len]);
-    }
-    t
+    kernels::select_cols(a, start, len)
 }
 
 pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
-    assert!(!parts.is_empty());
-    let cols = parts[0].cols;
-    let total: usize = parts.iter().map(|p| p.rows).sum();
-    let mut data = Vec::with_capacity(total * cols);
-    for p in parts {
-        assert_eq!(p.cols, cols, "concat_rows: column mismatch");
-        data.extend_from_slice(&p.data);
-    }
-    Tensor::from_vec(total, cols, data)
+    kernels::concat_rows(parts)
 }
 
 pub fn select_rows(a: &Tensor, start: usize, len: usize) -> Tensor {
-    assert!(start + len <= a.rows, "select_rows out of range");
-    Tensor::from_vec(
-        len,
-        a.cols,
-        a.data[start * a.cols..(start + len) * a.cols].to_vec(),
-    )
+    kernels::select_rows(a, start, len)
 }
 
 pub fn repeat_rows(a: &Tensor, n: usize) -> Tensor {
-    assert_eq!(a.rows, 1, "repeat_rows expects a [1,C] row");
-    let mut data = Vec::with_capacity(n * a.cols);
-    for _ in 0..n {
-        data.extend_from_slice(&a.data);
-    }
-    Tensor::from_vec(n, a.cols, data)
+    kernels::repeat_rows(a, n)
 }
 
 // ----- reductions -----------------------------------------------------------
 
 pub fn mean_rows(a: &Tensor) -> Tensor {
-    let mut out = vec![0.0f32; a.cols];
-    for row in a.data.chunks_exact(a.cols) {
-        for (o, &x) in out.iter_mut().zip(row) {
-            *o += x;
-        }
-    }
-    let inv = 1.0 / a.rows as f32;
-    out.iter_mut().for_each(|x| *x *= inv);
-    Tensor::row(out)
+    kernels::mean_rows(a)
 }
 
 /// Weighted mean over rows with fixed positive weights (normalised
 /// internally) — Eq. (6) pooling.
 pub fn weighted_mean_rows(a: &Tensor, weights: &[f32]) -> Tensor {
-    assert_eq!(weights.len(), a.rows, "weighted_mean_rows: weight count");
-    let total: f32 = weights.iter().sum();
-    assert!(total > 0.0, "weights must not all be zero");
-    let norm: Vec<f32> = weights.iter().map(|w| w / total).collect();
-    let mut out = vec![0.0f32; a.cols];
-    for (row, &w) in a.data.chunks_exact(a.cols).zip(&norm) {
-        for (o, &x) in out.iter_mut().zip(row) {
-            *o += w * x;
-        }
-    }
-    Tensor::row(out)
+    let norm = kernels::normalized_weights(a.rows, weights);
+    kernels::weighted_mean_rows(a, &norm)
 }
 
 // ----- lookup ---------------------------------------------------------------
 
 pub fn gather_rows(table: &Tensor, indices: &[usize]) -> Tensor {
-    let mut data = Vec::with_capacity(indices.len() * table.cols);
-    for &i in indices {
-        assert!(
-            i < table.rows,
-            "gather_rows: index {i} out of {} rows",
-            table.rows
-        );
-        data.extend_from_slice(&table.data[i * table.cols..(i + 1) * table.cols]);
-    }
-    Tensor::from_vec(indices.len(), table.cols, data)
+    kernels::gather_rows(table, indices)
 }
 
 // ----- fused graph-attention ops --------------------------------------------
 
 /// GAT edge scores: `out[e] = src[i] + dst[j_e]` (`src`/`dst` are `[n,1]`).
 pub fn edge_scores(src: &Tensor, dst: &Tensor, csr: &GraphCsr) -> Tensor {
-    let n = csr.num_nodes();
-    assert_eq!(
-        (src.rows, src.cols),
-        (n, 1),
-        "edge_scores: src must be [n,1]"
-    );
-    assert_eq!(
-        (dst.rows, dst.cols),
-        (n, 1),
-        "edge_scores: dst must be [n,1]"
-    );
-    let mut out = vec![0.0f32; csr.num_edges()];
-    for i in 0..n {
-        for e in csr.segment(i) {
-            out[e] = src.data[i] + dst.data[csr.target(e)];
-        }
-    }
-    Tensor::from_vec(csr.num_edges(), 1, out)
+    kernels::edge_scores(src, dst, csr)
 }
 
 /// Softmax within each node's edge segment.
 pub fn segmented_softmax(scores: &Tensor, csr: &GraphCsr) -> Tensor {
-    assert_eq!(
-        (scores.rows, scores.cols),
-        (csr.num_edges(), 1),
-        "segmented_softmax: [E,1]"
-    );
-    let mut t = scores.clone();
-    for i in 0..csr.num_nodes() {
-        let seg = csr.segment(i);
-        if !seg.is_empty() {
-            softmax_in_place(&mut t.data[seg]);
-        }
-    }
-    t
+    kernels::segmented_softmax(scores, csr)
 }
 
 /// Attention aggregation: `out[i] = Σ_{e ∈ seg(i)} α[e] · feats[j_e]`.
 pub fn neighbor_sum(alphas: &Tensor, feats: &Tensor, csr: &GraphCsr) -> Tensor {
-    assert_eq!(
-        (alphas.rows, alphas.cols),
-        (csr.num_edges(), 1),
-        "neighbor_sum: alphas [E,1]"
-    );
-    assert_eq!(feats.rows, csr.num_nodes(), "neighbor_sum: feats [n,C]");
-    let cols = feats.cols;
-    let mut t = Tensor::zeros(csr.num_nodes(), cols);
-    for i in 0..csr.num_nodes() {
-        for e in csr.segment(i) {
-            let a = alphas.data[e];
-            let j = csr.target(e);
-            for c in 0..cols {
-                t.data[i * cols + c] += a * feats.data[j * cols + c];
-            }
-        }
-    }
-    t
+    kernels::neighbor_sum(alphas, feats, csr)
 }
 
 #[cfg(test)]

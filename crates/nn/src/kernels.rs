@@ -1,0 +1,833 @@
+//! The single home of every numeric kernel in the workspace.
+//!
+//! Both execution paths of the engine call into this module — the autograd
+//! [`crate::Tape`] (forward *and* backward) and the tape-free
+//! [`crate::infer`] serving path — so each kernel has exactly one body to
+//! optimise and parity-test. The kernels cover the model's entire compute
+//! profile: the matmul family (GPSFormer attention, decoder steps),
+//! row-wise softmax / log-softmax, layer-norm statistics, element-wise
+//! maps and broadcasts, embedding gathers, and the CSR graph-attention
+//! gather/scatter used by GridGNN (edge scores, segmented softmax,
+//! neighbour aggregation).
+//!
+//! # Determinism under parallelism
+//!
+//! Heavy kernels are parallelised over the [`crate::pool`] thread pool by
+//! **disjoint output partitions**: matmuls by output-row ranges (or
+//! output-column ranges for `[1, C]` results such as decoder logits), the
+//! CSR ops by destination-node segment ranges, element-wise maps by flat
+//! element ranges. Every output element is always accumulated in the same
+//! (ascending-index) order as the sequential loop and no reduction ever
+//! crosses a partition boundary, so results are **bit-identical at any
+//! thread count** — the property the serving stack's "batched ≡
+//! sequential" contract is built on, and what the `kernel_parity` proptest
+//! suite pins down.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{pool, GraphCsr, Tensor};
+
+/// Minimum multiply-adds per chunk before a matmul engages the pool.
+const MIN_MATMUL_WORK: usize = 32 * 1024;
+/// Minimum elements per chunk for element-wise maps and broadcasts.
+const MIN_MAP_ELEMS: usize = 16 * 1024;
+/// Minimum scalar reads per chunk for the CSR graph ops.
+const MIN_GRAPH_WORK: usize = 8 * 1024;
+/// Minimum elements per chunk for row-wise softmax / norm statistics.
+const MIN_ROW_WORK: usize = 8 * 1024;
+/// Minimum elements per chunk for row-gather copies.
+const MIN_COPY_ELEMS: usize = 32 * 1024;
+
+/// Process-wide count of matmul-family kernel invocations
+/// ([`matmul`] + [`matmul_nt`] + [`matmul_tn`], forward and backward).
+static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone process-wide counter of matmul-family kernel invocations.
+/// Benchmarks take deltas around a measured section (e.g. `serve_bench`
+/// counts decoder-step matmuls per request to baseline the planned
+/// same-length decoder-step fusion).
+pub fn matmul_invocations() -> u64 {
+    MATMUL_CALLS.load(Ordering::Relaxed)
+}
+
+/// Raw mutable output pointer shared across pool chunks. Sound because
+/// every kernel writes strictly disjoint index ranges per chunk.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer field.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Run `f` over disjoint chunks of `rows` output rows; each call receives
+/// the row range and the matching mutable row-major slice of `out`
+/// (`width` elements per row).
+fn par_row_chunks<F>(out: &mut [f32], width: usize, rows: usize, min_rows: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * width);
+    let ptr = SendPtr(out.as_mut_ptr());
+    pool::for_each_chunk(rows, min_rows, move |range| {
+        // SAFETY: chunk ranges are disjoint, so the sub-slices never alias.
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(ptr.get().add(range.start * width), range.len() * width)
+        };
+        f(range, slice);
+    });
+}
+
+// ----- matrix products -------------------------------------------------------
+
+/// `A[R,K] × B[K,C]`, parallel over output rows (output columns when
+/// `R == 1`). Zero entries of `A` are skipped — per output element the
+/// accumulation is ascending over `k`, identical in every partitioning.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.rows, "matmul: inner dimension mismatch");
+    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
+    let (r, k, c) = (a.rows, a.cols, b.cols);
+    let mut out = Tensor::zeros(r, c);
+    if r == 1 {
+        let ptr = SendPtr(out.data.as_mut_ptr());
+        pool::for_each_chunk(c, (MIN_MATMUL_WORK / k.max(1)).max(1), move |cols| {
+            for (kk, &av) in a.data.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[kk * c..(kk + 1) * c];
+                for j in cols.clone() {
+                    // SAFETY: column ranges are disjoint across chunks.
+                    unsafe { *ptr.get().add(j) += av * brow[j] };
+                }
+            }
+        });
+    } else {
+        let min_rows = (MIN_MATMUL_WORK / (k * c).max(1)).max(1);
+        par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+            for (ri, i) in rows.enumerate() {
+                let arow = &a.data[i * k..(i + 1) * k];
+                let orow = &mut dst[ri * c..(ri + 1) * c];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.data[kk * c..(kk + 1) * c];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// `A[R,K] × B[C,K]ᵀ → [R,C]` without materialising the transpose;
+/// parallel over output rows (columns when `R == 1`).
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.cols, "matmul_nt: inner dimension mismatch");
+    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
+    let (r, k, c) = (a.rows, a.cols, b.rows);
+    let mut out = Tensor::zeros(r, c);
+    let dot = |arow: &[f32], j: usize| -> f32 {
+        let brow = &b.data[j * k..(j + 1) * k];
+        let mut s = 0.0;
+        for kk in 0..k {
+            s += arow[kk] * brow[kk];
+        }
+        s
+    };
+    if r == 1 {
+        par_row_chunks(
+            &mut out.data,
+            1,
+            c,
+            (MIN_MATMUL_WORK / k.max(1)).max(1),
+            |cols, dst| {
+                for (oi, j) in cols.enumerate() {
+                    dst[oi] = dot(&a.data, j);
+                }
+            },
+        );
+    } else {
+        let min_rows = (MIN_MATMUL_WORK / (k * c).max(1)).max(1);
+        par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+            for (ri, i) in rows.enumerate() {
+                let arow = &a.data[i * k..(i + 1) * k];
+                for j in 0..c {
+                    dst[ri * c + j] = dot(arow, j);
+                }
+            }
+        });
+    }
+    out
+}
+
+/// `A[K,R]ᵀ × B[K,C] → [R,C]` (the backward-pass transpose product);
+/// parallel over output rows (columns when `R == 1`). Zero entries of `A`
+/// are skipped, matching [`matmul`]'s accumulation exactly.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows, b.rows, "matmul_tn: inner dimension mismatch");
+    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
+    let (k, r, c) = (a.rows, a.cols, b.cols);
+    let mut out = Tensor::zeros(r, c);
+    if r == 1 {
+        let ptr = SendPtr(out.data.as_mut_ptr());
+        pool::for_each_chunk(c, (MIN_MATMUL_WORK / k.max(1)).max(1), move |cols| {
+            for kk in 0..k {
+                let av = a.data[kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[kk * c..(kk + 1) * c];
+                for j in cols.clone() {
+                    // SAFETY: column ranges are disjoint across chunks.
+                    unsafe { *ptr.get().add(j) += av * brow[j] };
+                }
+            }
+        });
+    } else {
+        let min_rows = (MIN_MATMUL_WORK / (k * c).max(1)).max(1);
+        par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+            let rows_start = rows.start;
+            let nrows = rows.len();
+            for kk in 0..k {
+                let brow = &b.data[kk * c..(kk + 1) * c];
+                for ri in 0..nrows {
+                    let av = a.data[kk * r + rows_start + ri];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut dst[ri * c..(ri + 1) * c];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+// ----- element-wise maps -----------------------------------------------------
+
+/// Apply `f` element-wise; parallel over flat element ranges.
+pub fn unary_map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = Tensor::zeros(a.rows, a.cols);
+    par_row_chunks(
+        &mut out.data,
+        1,
+        a.data.len(),
+        MIN_MAP_ELEMS,
+        |range, dst| {
+            for (d, &x) in dst.iter_mut().zip(&a.data[range]) {
+                *d = f(x);
+            }
+        },
+    );
+    out
+}
+
+/// Apply `f` element-wise over two same-shaped tensors; parallel over flat
+/// element ranges.
+pub fn binary_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "binary_map: shape mismatch");
+    let mut out = Tensor::zeros(a.rows, a.cols);
+    par_row_chunks(
+        &mut out.data,
+        1,
+        a.data.len(),
+        MIN_MAP_ELEMS,
+        |range, dst| {
+            for ((d, &x), &y) in dst
+                .iter_mut()
+                .zip(&a.data[range.clone()])
+                .zip(&b.data[range])
+            {
+                *d = f(x, y);
+            }
+        },
+    );
+    out
+}
+
+/// `out[r,c] = f(m[r,c], v[c])` for a `[1,C]` row vector `v`; parallel
+/// over row ranges.
+pub fn rowvec_map(m: &Tensor, v: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    let (r, c) = m.shape();
+    assert_eq!((v.rows, v.cols), (1, c), "rowvec_map: v must be [1,C]");
+    let mut out = Tensor::zeros(r, c);
+    let min_rows = (MIN_MAP_ELEMS / c.max(1)).max(1);
+    par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+        for (ri, i) in rows.enumerate() {
+            let src = &m.data[i * c..(i + 1) * c];
+            let drow = &mut dst[ri * c..(ri + 1) * c];
+            for ((d, &x), &y) in drow.iter_mut().zip(src).zip(&v.data) {
+                *d = f(x, y);
+            }
+        }
+    });
+    out
+}
+
+/// `out[r,c] = f(m[r,c], v[r])` for an `[R,1]` column vector `v`; parallel
+/// over row ranges.
+pub fn colvec_map(m: &Tensor, v: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    let (r, c) = m.shape();
+    assert_eq!((v.rows, v.cols), (r, 1), "colvec_map: v must be [R,1]");
+    let mut out = Tensor::zeros(r, c);
+    let min_rows = (MIN_MAP_ELEMS / c.max(1)).max(1);
+    par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+        for (ri, i) in rows.enumerate() {
+            let y = v.data[i];
+            let src = &m.data[i * c..(i + 1) * c];
+            let drow = &mut dst[ri * c..(ri + 1) * c];
+            for (d, &x) in drow.iter_mut().zip(src) {
+                *d = f(x, y);
+            }
+        }
+    });
+    out
+}
+
+/// Element-wise `a + b` (same shape).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+    binary_map(a, b, |x, y| x + y)
+}
+
+/// Element-wise `a - b` (same shape).
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
+    binary_map(a, b, |x, y| x - y)
+}
+
+/// Element-wise (Hadamard) `a ⊙ b` (same shape).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "mul: shape mismatch");
+    binary_map(a, b, |x, y| x * y)
+}
+
+/// `a · c` for a constant scalar.
+pub fn scale(a: &Tensor, c: f32) -> Tensor {
+    unary_map(a, |x| x * c)
+}
+
+/// `a + c` for a constant scalar.
+pub fn add_const(a: &Tensor, c: f32) -> Tensor {
+    unary_map(a, |x| x + c)
+}
+
+/// `[R,C] + [1,C]` broadcast over rows.
+pub fn add_rowvec(m: &Tensor, v: &Tensor) -> Tensor {
+    assert_eq!(v.rows, 1, "add_rowvec: v must be [1,C]");
+    assert_eq!(m.cols, v.cols, "add_rowvec: column mismatch");
+    rowvec_map(m, v, |x, y| x + y)
+}
+
+/// `[R,C] ⊙ [1,C]` broadcast over rows.
+pub fn mul_rowvec(m: &Tensor, v: &Tensor) -> Tensor {
+    assert_eq!(v.rows, 1, "mul_rowvec: v must be [1,C]");
+    assert_eq!(m.cols, v.cols, "mul_rowvec: column mismatch");
+    rowvec_map(m, v, |x, y| x * y)
+}
+
+/// `[R,C] + [R,1]` broadcast over columns.
+pub fn add_colvec(m: &Tensor, v: &Tensor) -> Tensor {
+    assert_eq!(v.cols, 1, "add_colvec: v must be [R,1]");
+    assert_eq!(m.rows, v.rows, "add_colvec: row mismatch");
+    colvec_map(m, v, |x, y| x + y)
+}
+
+/// `[R,C] ⊙ [R,1]` broadcast over columns.
+pub fn mul_colvec(m: &Tensor, v: &Tensor) -> Tensor {
+    assert_eq!(v.cols, 1, "mul_colvec: v must be [R,1]");
+    assert_eq!(m.rows, v.rows, "mul_colvec: row mismatch");
+    colvec_map(m, v, |x, y| x * y)
+}
+
+/// Element-wise logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    unary_map(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    unary_map(a, |x| x.tanh())
+}
+
+/// Element-wise `max(x, 0)`.
+pub fn relu(a: &Tensor) -> Tensor {
+    unary_map(a, |x| x.max(0.0))
+}
+
+/// Element-wise leaky ReLU with the given negative slope.
+pub fn leaky_relu(a: &Tensor, slope: f32) -> Tensor {
+    unary_map(a, move |x| if x > 0.0 { x } else { slope * x })
+}
+
+/// Element-wise `sqrt(max(x, 0))`.
+pub fn sqrt(a: &Tensor) -> Tensor {
+    unary_map(a, |x| x.max(0.0).sqrt())
+}
+
+/// Element-wise reciprocal.
+pub fn recip(a: &Tensor) -> Tensor {
+    unary_map(a, |x| 1.0 / x)
+}
+
+// ----- softmax & norm statistics ---------------------------------------------
+
+/// Numerically stable in-place softmax over one contiguous slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    row.iter_mut().for_each(|x| *x *= inv);
+}
+
+/// Row-wise softmax; parallel over row ranges (each row is one
+/// self-contained reduction, so partitioning never reorders a sum).
+pub fn softmax_rows(a: &Tensor) -> Tensor {
+    let mut t = a.clone();
+    let (r, c) = t.shape();
+    if c == 0 {
+        return t;
+    }
+    let min_rows = (MIN_ROW_WORK / c).max(1);
+    par_row_chunks(&mut t.data, c, r, min_rows, |_, dst| {
+        for row in dst.chunks_exact_mut(c) {
+            softmax_in_place(row);
+        }
+    });
+    t
+}
+
+/// Row-wise stable log-softmax; parallel over row ranges.
+pub fn log_softmax_rows(a: &Tensor) -> Tensor {
+    let mut t = a.clone();
+    let (r, c) = t.shape();
+    if c == 0 {
+        return t;
+    }
+    let min_rows = (MIN_ROW_WORK / c).max(1);
+    par_row_chunks(&mut t.data, c, r, min_rows, |_, dst| {
+        for row in dst.chunks_exact_mut(c) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            row.iter_mut().for_each(|x| *x -= lse);
+        }
+    });
+    t
+}
+
+/// Per-row layer-norm statistics: `(mean, 1/sqrt(var + eps))`, each
+/// `[R,1]`; parallel over row ranges. Follows the exact accumulation
+/// order of the composed tape/infer layer-norm route (ascending-index
+/// sums, `Σ·(1/d)`, `x + (-μ)` centering), so the fused statistics are
+/// bit-identical to the op-by-op computation.
+pub fn row_norm_stats(a: &Tensor, eps: f32) -> (Tensor, Tensor) {
+    let (r, c) = a.shape();
+    assert!(c > 0, "row_norm_stats: empty rows");
+    let mut mean = Tensor::zeros(r, 1);
+    let mut inv_std = Tensor::zeros(r, 1);
+    let pm = SendPtr(mean.data.as_mut_ptr());
+    let ps = SendPtr(inv_std.data.as_mut_ptr());
+    let min_rows = (MIN_ROW_WORK / c).max(1);
+    let inv_d = 1.0 / c as f32;
+    pool::for_each_chunk(r, min_rows, move |rows| {
+        for i in rows {
+            let row = &a.data[i * c..(i + 1) * c];
+            let mut sum = 0.0f32;
+            for &x in row {
+                sum += x;
+            }
+            let mu = sum * inv_d;
+            let neg_mu = -mu;
+            let mut sq = 0.0f32;
+            for &x in row {
+                let d = x + neg_mu;
+                sq += d * d;
+            }
+            let var = sq * inv_d + eps;
+            // SAFETY: row ranges are disjoint across chunks.
+            unsafe {
+                *pm.get().add(i) = mu;
+                *ps.get().add(i) = 1.0 / var.max(0.0).sqrt();
+            }
+        }
+    });
+    (mean, inv_std)
+}
+
+// ----- shape & gather ops ----------------------------------------------------
+
+/// Horizontal concatenation (same row count).
+pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty());
+    let rows = parts[0].rows;
+    let total: usize = parts.iter().map(|p| p.cols).sum();
+    let mut t = Tensor::zeros(rows, total);
+    let mut off = 0;
+    for p in parts {
+        assert_eq!(p.rows, rows, "concat_cols: row mismatch");
+        for r in 0..rows {
+            let dst = r * total + off;
+            t.data[dst..dst + p.cols].copy_from_slice(&p.data[r * p.cols..(r + 1) * p.cols]);
+        }
+        off += p.cols;
+    }
+    t
+}
+
+/// Columns `[start, start+len)`.
+pub fn select_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
+    assert!(start + len <= a.cols, "select_cols out of range");
+    let mut t = Tensor::zeros(a.rows, len);
+    for r in 0..a.rows {
+        t.data[r * len..(r + 1) * len]
+            .copy_from_slice(&a.data[r * a.cols + start..r * a.cols + start + len]);
+    }
+    t
+}
+
+/// Vertical concatenation (same column count).
+pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty());
+    let cols = parts[0].cols;
+    let total: usize = parts.iter().map(|p| p.rows).sum();
+    let mut data = Vec::with_capacity(total * cols);
+    for p in parts {
+        assert_eq!(p.cols, cols, "concat_rows: column mismatch");
+        data.extend_from_slice(&p.data);
+    }
+    Tensor::from_vec(total, cols, data)
+}
+
+/// Rows `[start, start+len)`.
+pub fn select_rows(a: &Tensor, start: usize, len: usize) -> Tensor {
+    assert!(start + len <= a.rows, "select_rows out of range");
+    Tensor::from_vec(
+        len,
+        a.cols,
+        a.data[start * a.cols..(start + len) * a.cols].to_vec(),
+    )
+}
+
+/// Repeat a `[1,C]` row `n` times → `[n,C]`.
+pub fn repeat_rows(a: &Tensor, n: usize) -> Tensor {
+    assert_eq!(a.rows, 1, "repeat_rows expects a [1,C] row");
+    let mut data = Vec::with_capacity(n * a.cols);
+    for _ in 0..n {
+        data.extend_from_slice(&a.data);
+    }
+    Tensor::from_vec(n, a.cols, data)
+}
+
+/// Column means → `[1,C]` (rows accumulated in ascending order).
+pub fn mean_rows(a: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; a.cols];
+    for row in a.data.chunks_exact(a.cols) {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / a.rows as f32;
+    out.iter_mut().for_each(|x| *x *= inv);
+    Tensor::row(out)
+}
+
+/// Normalise positive pooling weights for `rows` rows so they sum to one
+/// (the paper's Eq. 6 / Eq. 8 weighting).
+pub fn normalized_weights(rows: usize, weights: &[f32]) -> Vec<f32> {
+    assert_eq!(weights.len(), rows, "weighted_mean_rows: weight count");
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    weights.iter().map(|w| w / total).collect()
+}
+
+/// Weighted column means with pre-normalised weights (see
+/// [`normalized_weights`]) → `[1,C]`.
+pub fn weighted_mean_rows(a: &Tensor, norm: &[f32]) -> Tensor {
+    assert_eq!(norm.len(), a.rows, "weighted_mean_rows: weight count");
+    let mut out = vec![0.0f32; a.cols];
+    for (row, &w) in a.data.chunks_exact(a.cols).zip(norm) {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += w * x;
+        }
+    }
+    Tensor::row(out)
+}
+
+/// Row gather `table[indices[i], :] → [n, C]` (embedding lookup); bounds
+/// are validated up front, then rows copy in parallel over index ranges.
+pub fn gather_rows(table: &Tensor, indices: &[usize]) -> Tensor {
+    let c = table.cols;
+    for &i in indices {
+        assert!(
+            i < table.rows,
+            "gather_rows: index {i} out of {} rows",
+            table.rows
+        );
+    }
+    let mut out = Tensor::zeros(indices.len(), c);
+    let min_rows = (MIN_COPY_ELEMS / c.max(1)).max(1);
+    par_row_chunks(&mut out.data, c, indices.len(), min_rows, |rows, dst| {
+        for (ri, i) in rows.enumerate() {
+            let src = indices[i];
+            dst[ri * c..(ri + 1) * c].copy_from_slice(&table.data[src * c..(src + 1) * c]);
+        }
+    });
+    out
+}
+
+// ----- CSR graph-attention gather/scatter ------------------------------------
+
+/// Node ranges sized so each chunk holds roughly `min_work` scalar
+/// operations' worth of edges.
+fn min_nodes_for(csr: &GraphCsr, work_per_edge: usize) -> usize {
+    let total = csr.num_edges() * work_per_edge.max(1);
+    if total == 0 {
+        return usize::MAX;
+    }
+    (MIN_GRAPH_WORK * csr.num_nodes() / total).max(1)
+}
+
+/// GAT edge scores `out[e] = src[i] + dst[j_e]` for each edge slot `e` of
+/// node `i` (`src`/`dst` are `[n,1]`); parallel over destination-node
+/// segment ranges (a node's edge slots are contiguous in CSR order).
+pub fn edge_scores(src: &Tensor, dst: &Tensor, csr: &GraphCsr) -> Tensor {
+    let n = csr.num_nodes();
+    assert_eq!(
+        (src.rows, src.cols),
+        (n, 1),
+        "edge_scores: src must be [n,1]"
+    );
+    assert_eq!(
+        (dst.rows, dst.cols),
+        (n, 1),
+        "edge_scores: dst must be [n,1]"
+    );
+    let mut out = Tensor::zeros(csr.num_edges(), 1);
+    let ptr = SendPtr(out.data.as_mut_ptr());
+    pool::for_each_chunk(n, min_nodes_for(csr, 1), move |nodes| {
+        for i in nodes {
+            for e in csr.segment(i) {
+                // SAFETY: node ranges own disjoint contiguous edge ranges.
+                unsafe { *ptr.get().add(e) = src.data[i] + dst.data[csr.target(e)] };
+            }
+        }
+    });
+    out
+}
+
+/// Softmax within each node's edge segment (GAT attention normalisation);
+/// parallel over node ranges — each segment is one self-contained
+/// reduction. Empty segments (isolated nodes without self-loops) are
+/// left untouched.
+pub fn segmented_softmax(scores: &Tensor, csr: &GraphCsr) -> Tensor {
+    assert_eq!(
+        (scores.rows, scores.cols),
+        (csr.num_edges(), 1),
+        "segmented_softmax: [E,1]"
+    );
+    let mut t = scores.clone();
+    let ptr = SendPtr(t.data.as_mut_ptr());
+    pool::for_each_chunk(csr.num_nodes(), min_nodes_for(csr, 4), move |nodes| {
+        for i in nodes {
+            let seg = csr.segment(i);
+            if !seg.is_empty() {
+                // SAFETY: segments of distinct nodes never overlap.
+                let row =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(seg.start), seg.len()) };
+                softmax_in_place(row);
+            }
+        }
+    });
+    t
+}
+
+/// GAT attention aggregation `out[i] = Σ_{e ∈ seg(i)} α[e] · feats[j_e]`;
+/// parallel over destination-node ranges — each output row is owned by
+/// exactly one chunk and accumulated in ascending edge order.
+pub fn neighbor_sum(alphas: &Tensor, feats: &Tensor, csr: &GraphCsr) -> Tensor {
+    assert_eq!(
+        (alphas.rows, alphas.cols),
+        (csr.num_edges(), 1),
+        "neighbor_sum: alphas [E,1]"
+    );
+    assert_eq!(feats.rows, csr.num_nodes(), "neighbor_sum: feats [n,C]");
+    let n = csr.num_nodes();
+    let cols = feats.cols;
+    let mut out = Tensor::zeros(n, cols);
+    let min_rows = min_nodes_for(csr, cols);
+    par_row_chunks(&mut out.data, cols, n, min_rows, |nodes, dst| {
+        for (ri, i) in nodes.enumerate() {
+            let orow = &mut dst[ri * cols..(ri + 1) * cols];
+            for e in csr.segment(i) {
+                let aw = alphas.data[e];
+                let j = csr.target(e);
+                let frow = &feats.data[j * cols..(j + 1) * cols];
+                for (o, &fv) in orow.iter_mut().zip(frow) {
+                    *o += aw * fv;
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::uniform(rows, cols, 1.0, &mut rng)
+    }
+
+    /// Reference matmul: per element, ascending-k accumulation from 0.
+    fn matmul_ref(a: &Tensor, b: &Tensor) -> Tensor {
+        let (r, k, c) = (a.rows, a.cols, b.cols);
+        let mut out = Tensor::zeros(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    let av = a.data[i * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    acc += av * b.data[kk * c + j];
+                }
+                out.data[i * c + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_family_matches_reference_at_every_thread_count() {
+        // Big enough that the pool actually engages at > 1 thread.
+        let a = t(70, 40, 1);
+        let b = t(40, 60, 2);
+        let row = t(1, 40, 3);
+        let want = matmul_ref(&a, &b);
+        let want_row = matmul_ref(&row, &b);
+        let before = pool::num_threads();
+        for threads in [1, 2, 4] {
+            pool::set_num_threads(threads);
+            assert_eq!(matmul(&a, &b).data, want.data, "t={threads}");
+            assert_eq!(matmul(&row, &b).data, want_row.data, "row t={threads}");
+        }
+        pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn matmul_tn_is_transposed_matmul() {
+        let a = t(30, 20, 4); // interpreted as [K=30, R=20]
+        let b = t(30, 25, 5);
+        let got = matmul_tn(&a, &b);
+        // Materialise the transpose and compare against the reference.
+        let mut at = Tensor::zeros(20, 30);
+        for i in 0..30 {
+            for j in 0..20 {
+                at.data[j * 30 + i] = a.data[i * 20 + j];
+            }
+        }
+        assert_eq!(got.data, matmul_ref(&at, &b).data);
+    }
+
+    #[test]
+    fn matmul_nt_is_dot_of_rows() {
+        let a = t(6, 9, 6);
+        let b = t(7, 9, 7);
+        let got = matmul_nt(&a, &b);
+        for i in 0..6 {
+            for j in 0..7 {
+                let mut s = 0.0f32;
+                for kk in 0..9 {
+                    s += a.data[i * 9 + kk] * b.data[j * 9 + kk];
+                }
+                assert_eq!(got.data[i * 7 + j], s);
+            }
+        }
+    }
+
+    #[test]
+    fn row_norm_stats_matches_composed_route() {
+        let x = t(5, 16, 8);
+        let eps = 1e-5;
+        let (mean, inv_std) = row_norm_stats(&x, eps);
+        // The composed route: Σ via matmul with a ones column, scale 1/d,
+        // centre via x + (-μ), square, Σ, scale, + eps, sqrt, recip.
+        let ones = Tensor::full(16, 1, 1.0);
+        let mu = scale(&matmul(&x, &ones), 1.0 / 16.0);
+        let centered = add_colvec(&x, &scale(&mu, -1.0));
+        let var = add_const(
+            &scale(&matmul(&mul(&centered, &centered), &ones), 1.0 / 16.0),
+            eps,
+        );
+        let inv = recip(&sqrt(&var));
+        assert_eq!(mean.data, mu.data, "means not bit-identical");
+        assert_eq!(inv_std.data, inv.data, "inv-std not bit-identical");
+    }
+
+    #[test]
+    fn matmul_counter_is_monotone() {
+        let before = matmul_invocations();
+        let a = t(3, 4, 9);
+        let b = t(4, 5, 10);
+        let _ = matmul(&a, &b);
+        let _ = matmul_nt(&a, &t(6, 4, 11));
+        assert!(matmul_invocations() >= before + 2);
+    }
+
+    #[test]
+    fn graph_kernels_handle_edgeless_csr_at_any_thread_count() {
+        // All-isolated graph without self-loops: zero edges. The "never
+        // parallelise" sentinel (usize::MAX min-chunk) must not overflow
+        // the pool's inline guard at multi-thread settings.
+        let csr = GraphCsr::from_neighbor_lists(&[vec![], vec![], vec![]], false);
+        assert_eq!(csr.num_edges(), 0);
+        let src = t(3, 1, 20);
+        let dst = t(3, 1, 21);
+        let empty = Tensor::zeros(0, 1);
+        let feats = t(3, 4, 22);
+        let before = pool::num_threads();
+        for threads in [1, 2, 4] {
+            pool::set_num_threads(threads);
+            assert_eq!(edge_scores(&src, &dst, &csr).len(), 0);
+            assert_eq!(segmented_softmax(&empty, &csr).len(), 0);
+            let agg = neighbor_sum(&empty, &feats, &csr);
+            assert!(agg.data.iter().all(|&x| x == 0.0));
+        }
+        pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn gather_rows_validates_before_copying() {
+        let table = t(4, 3, 12);
+        let r = std::panic::catch_unwind(|| gather_rows(&table, &[1, 9]));
+        assert!(r.is_err());
+        let ok = gather_rows(&table, &[3, 0]);
+        assert_eq!(ok.row_slice(0), table.row_slice(3));
+        assert_eq!(ok.row_slice(1), table.row_slice(0));
+    }
+}

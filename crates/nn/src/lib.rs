@@ -13,6 +13,16 @@
 //!   scalars `[1, 1]`. Two dimensions are all the model needs (batching is
 //!   done by looping trajectories into one tape, which also lets GraphNorm
 //!   compute true mini-batch statistics via `concat_rows`).
+//! * [`kernels`] — the **single home of every numeric kernel**: the matmul
+//!   family, softmax, layer-norm statistics, element-wise maps, gathers,
+//!   and the CSR graph-attention gather/scatter. Both execution paths
+//!   below call into it, so every kernel has one body to optimise and
+//!   parity-test. Heavy kernels parallelise over [`pool`] by disjoint
+//!   output partitions and are **bit-identical at any thread count**.
+//! * [`pool`] — a small dependency-free persistent thread pool (`rayon` is
+//!   unavailable here) with a scoped chunked-range API; the intra-op
+//!   thread count is a process-wide knob (`NN_THREADS` env /
+//!   [`pool::set_num_threads`]).
 //! * [`Tape`] — a dynamic computation graph ("define-by-run"): every op
 //!   pushes a node holding its value and an [`Op`] record; backward walks
 //!   the tape in reverse, accumulating gradients. No closures, no RefCell
@@ -23,13 +33,15 @@
 //!   leaf gradients back into the store, and [`Adam`] / [`Sgd`] update them.
 //! * [`GraphCsr`] — shared immutable adjacency used by the fused GAT ops.
 //! * [`infer`] — tape-free forward-only twins of every op above: the same
-//!   numerical kernels applied directly to [`Tensor`]s with no graph
+//!   [`kernels`] bodies applied directly to [`Tensor`]s with no graph
 //!   bookkeeping, for the online-serving hot path (`rntrajrec-serve`).
 
 mod csr;
 pub mod infer;
+pub mod kernels;
 mod optim;
 mod param;
+pub mod pool;
 mod tape;
 mod tensor;
 

@@ -1,0 +1,408 @@
+//! A small, dependency-free, persistent thread pool for intra-op kernel
+//! parallelism (`rayon` is not available in this environment).
+//!
+//! # Design
+//!
+//! * **Persistent workers.** A fixed set of worker threads is spawned once
+//!   (lazily, on first parallel kernel) and parked on a condvar between
+//!   jobs — no per-call thread spawning on the serving hot path.
+//! * **Scoped jobs.** [`ThreadPool::run`] borrows the caller's closure for
+//!   the duration of the call only: the caller participates in the job
+//!   (it executes chunk 0 itself) and blocks until every worker chunk has
+//!   finished before returning, so the closure never outlives the call
+//!   even though workers see it through an erased `'static` reference.
+//! * **Deterministic partitioning.** A job over `items` work items is
+//!   split into at most `threads` *contiguous, disjoint* ranges. Kernels
+//!   built on top only ever write disjoint output partitions and keep the
+//!   per-element accumulation order identical to the sequential loop, so
+//!   results are **bit-identical at any thread count** — there are no
+//!   atomic or reordered reductions anywhere in `crate::kernels`.
+//! * **Single job at a time.** If the pool is already busy (another thread
+//!   is inside a parallel region, or a kernel is nested inside one), the
+//!   new region simply runs inline on the calling thread. This makes
+//!   concurrent callers (e.g. several serving workers) and nested kernels
+//!   deadlock-free by construction, and bounds total CPU use: at most one
+//!   parallel region is fanned out at any moment.
+//!
+//! # Configuration
+//!
+//! The number of threads kernels may use is a process-wide setting read
+//! via [`num_threads`] and changed with [`set_num_threads`]. Its initial
+//! value comes from the `NN_THREADS` environment variable when set, and
+//! from the hardware parallelism otherwise. Because results are
+//! bit-identical at any setting, changing it is purely a performance
+//! knob.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Erased reference to the caller's job closure. Only ever dereferenced
+/// between job publication and the final chunk-completion handshake, while
+/// the real (stack-borrowed) closure is guaranteed alive.
+#[derive(Clone, Copy)]
+struct TaskRef(&'static (dyn Fn(Range<usize>) + Sync));
+
+#[derive(Clone, Copy)]
+struct Job {
+    task: TaskRef,
+    items: usize,
+    /// Total participants, caller included. Worker `i` takes chunk `i + 1`
+    /// when `i + 1 < threads`; the caller takes chunk 0.
+    threads: usize,
+}
+
+struct State {
+    job: Option<Job>,
+    /// Job sequence number; lets a worker tell a fresh job from one it has
+    /// already processed across spurious condvar wake-ups.
+    seq: u64,
+    /// Worker chunks still running for the current job.
+    remaining: usize,
+    /// A worker chunk panicked during the current job.
+    worker_panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: a new job was published (or shutdown).
+    work: Condvar,
+    /// Signals the caller: all worker chunks of the current job finished.
+    done: Condvar,
+}
+
+/// The persistent scoped thread pool. Most callers use the module-level
+/// [`for_each_chunk`] over the process-global pool instead of constructing
+/// their own.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `workers` background threads (plus the caller,
+    /// every job can use up to `workers + 1` threads).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                seq: 0,
+                remaining: 0,
+                worker_panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rntrajrec-nn-pool-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn nn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Maximum threads a single job can use (workers + the caller).
+    pub fn max_threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Split `0..items` into at most `threads` contiguous disjoint ranges
+    /// and run `f` on each, in parallel across the pool. The caller
+    /// executes one chunk itself and blocks until all chunks are done. If
+    /// the pool is busy (concurrent or nested region) the whole range runs
+    /// inline on the calling thread instead.
+    ///
+    /// Panics in `f` (on any participating thread) are propagated to the
+    /// caller after every chunk has completed, so the borrowed closure
+    /// never dangles.
+    pub fn run<F: Fn(Range<usize>) + Sync>(&self, threads: usize, items: usize, f: F) {
+        let threads = threads.min(self.max_threads()).min(items.max(1)).max(1);
+        if threads <= 1 {
+            f(0..items);
+            return;
+        }
+        let task: &(dyn Fn(Range<usize>) + Sync) = &f;
+        // SAFETY: the 'static lifetime is a lie confined to this call: the
+        // job is removed from the shared state and all worker chunks are
+        // joined (remaining == 0) before `run` returns on every path,
+        // including panics, so workers never touch `task` after `f` dies.
+        let task = TaskRef(unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(Range<usize>) + Sync),
+                &'static (dyn Fn(Range<usize>) + Sync),
+            >(task)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.job.is_some() || st.remaining > 0 {
+                drop(st);
+                f(0..items); // busy: run inline, never queue (deadlock-free)
+                return;
+            }
+            st.seq += 1;
+            st.remaining = threads - 1;
+            st.worker_panicked = false;
+            st.job = Some(Job {
+                task,
+                items,
+                threads,
+            });
+        }
+        self.shared.work.notify_all();
+        // The caller is participant 0.
+        let mine = catch_unwind(AssertUnwindSafe(|| {
+            (task.0)(chunk_range(items, threads, 0));
+        }));
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        let worker_panicked = st.worker_panicked;
+        drop(st);
+        match mine {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if worker_panicked => panic!("nn::pool: a parallel kernel chunk panicked"),
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    Some(job) if st.seq != seen => {
+                        seen = st.seq;
+                        if index + 1 < job.threads {
+                            break job;
+                        }
+                        // Published job has fewer chunks than workers; this
+                        // worker sits it out.
+                    }
+                    _ => {}
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let chunk = chunk_range(job.items, job.threads, index + 1);
+        let result = catch_unwind(AssertUnwindSafe(|| (job.task.0)(chunk)));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.worker_panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            st.job = None;
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// The `k`-th of `chunks` balanced contiguous ranges over `0..items`.
+fn chunk_range(items: usize, chunks: usize, k: usize) -> Range<usize> {
+    let base = items / chunks;
+    let rem = items % chunks;
+    let start = k * base + k.min(rem);
+    let len = base + usize::from(k < rem);
+    start..start + len
+}
+
+// ----- process-global pool ---------------------------------------------------
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+/// Current intra-op thread setting; 0 means "not initialised yet".
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// The `NN_THREADS` environment override, when set to a positive integer.
+/// Single source of truth for the variable's parsing — callers layering
+/// their own configuration under it (e.g. the serving engine) must use
+/// this rather than re-parsing the variable.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("NN_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Upper bound on threads the global pool supports. At least 4 so
+/// thread-scaling sweeps (1/2/4) run everywhere, capped at 16; a larger
+/// `NN_THREADS` raises it.
+fn capacity() -> usize {
+    let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+    hw.max(env_threads().unwrap_or(0)).clamp(4, 16)
+}
+
+/// The process-global pool, created on first use.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(capacity() - 1))
+}
+
+/// Current intra-op thread count kernels will use. Defaults to
+/// `NN_THREADS` when set, otherwise the hardware parallelism (clamped to
+/// the pool capacity).
+pub fn num_threads() -> usize {
+    let n = ACTIVE.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let default = env_threads().unwrap_or(hw).clamp(1, capacity());
+    // First initialiser wins; a racing `set_num_threads` is preserved.
+    let _ = ACTIVE.compare_exchange(0, default, Ordering::Relaxed, Ordering::Relaxed);
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Set the process-wide intra-op thread count (clamped to
+/// `1..=capacity`); returns the effective value. Purely a performance
+/// knob: kernel outputs are bit-identical at any setting.
+pub fn set_num_threads(n: usize) -> usize {
+    let eff = n.clamp(1, capacity());
+    ACTIVE.store(eff, Ordering::Relaxed);
+    eff
+}
+
+/// Run `f` over disjoint contiguous chunks of `0..items` on the global
+/// pool, using at most [`num_threads`] chunks and at least
+/// `min_items_per_chunk` items per chunk (small workloads run inline —
+/// parallel dispatch has a fixed cost that tiny ops must not pay).
+pub fn for_each_chunk<F: Fn(Range<usize>) + Sync>(items: usize, min_items_per_chunk: usize, f: F) {
+    let min = min_items_per_chunk.max(1);
+    let t = num_threads();
+    // `items / 2 < min` ⇔ `items < 2 * min` without the overflow a huge
+    // `min` sentinel (e.g. "never parallelise" = usize::MAX) would hit.
+    if t <= 1 || items / 2 < min {
+        f(0..items);
+        return;
+    }
+    let chunks = t.min(items / min).max(1);
+    if chunks <= 1 {
+        f(0..items);
+        return;
+    }
+    global().run(chunks, items, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for items in [0usize, 1, 5, 16, 17, 100] {
+            for chunks in 1..=8usize.min(items.max(1)) {
+                let mut covered = vec![0u8; items];
+                for k in 0..chunks {
+                    for i in chunk_range(items, chunks, k) {
+                        covered[i] += 1;
+                    }
+                }
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "items={items} chunks={chunks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_visits_every_item_once() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(4, hits.len(), |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn busy_pool_runs_inline() {
+        let pool = ThreadPool::new(3);
+        let outer = AtomicU64::new(0);
+        let inner = AtomicU64::new(0);
+        pool.run(4, 4, |range| {
+            for _ in range.clone() {
+                outer.fetch_add(1, Ordering::Relaxed);
+            }
+            // Nested region while the pool is busy: must run inline, not
+            // deadlock.
+            pool.run(4, 8, |r| {
+                inner.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+        assert_eq!(inner.load(Ordering::Relaxed), 4 * 8);
+    }
+
+    #[test]
+    fn panics_propagate_after_join() {
+        let pool = ThreadPool::new(3);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, 4, |range| {
+                if range.contains(&0) {
+                    panic!("chunk zero exploded");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool must still be usable afterwards.
+        let count = AtomicU64::new(0);
+        pool.run(4, 10, |range| {
+            count.fetch_add(range.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(3);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, 4, |range| {
+                if !range.contains(&0) {
+                    panic!("worker chunk exploded");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        let count = AtomicU64::new(0);
+        pool.run(4, 10, |range| {
+            count.fetch_add(range.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn set_num_threads_clamps() {
+        assert_eq!(set_num_threads(1), 1);
+        assert!(set_num_threads(usize::MAX) >= 4);
+        set_num_threads(1);
+    }
+}

@@ -4,10 +4,15 @@
 //! [`Tape::backward`] walks the tape in reverse topological order (which is
 //! simply reverse insertion order) accumulating gradients, and routes leaf
 //! gradients into the [`ParamStore`].
+//!
+//! All numeric work — forward values *and* the backward matmuls — runs on
+//! the unified [`crate::kernels`] layer, the same compute core the
+//! tape-free [`crate::infer`] serving path uses. The tape adds only the
+//! graph bookkeeping on top.
 
 use std::sync::Arc;
 
-use crate::{GraphCsr, ParamId, ParamStore, Tensor};
+use crate::{kernels, GraphCsr, ParamId, ParamStore, Tensor};
 
 /// Index of a node on the tape.
 pub type NodeId = usize;
@@ -159,281 +164,153 @@ impl Tape {
     // ----- element-wise ---------------------------------------------------
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (ta, tb) = (self.val(a), self.val(b));
-        assert_eq!(ta.shape(), tb.shape(), "add: shape mismatch");
-        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x + y).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::add(self.val(a), self.val(b));
         self.push(t, Op::Add(a, b))
     }
 
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (ta, tb) = (self.val(a), self.val(b));
-        assert_eq!(ta.shape(), tb.shape(), "sub: shape mismatch");
-        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x - y).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::sub(self.val(a), self.val(b));
         self.push(t, Op::Sub(a, b))
     }
 
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (ta, tb) = (self.val(a), self.val(b));
-        assert_eq!(ta.shape(), tb.shape(), "mul: shape mismatch");
-        let data = ta.data.iter().zip(&tb.data).map(|(x, y)| x * y).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::mul(self.val(a), self.val(b));
         self.push(t, Op::Mul(a, b))
     }
 
     pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
-        let ta = self.val(a);
-        let t = Tensor::from_vec(ta.rows, ta.cols, ta.data.iter().map(|x| x * c).collect());
+        let t = kernels::scale(self.val(a), c);
         self.push(t, Op::Scale(a, c))
     }
 
     pub fn add_const(&mut self, a: NodeId, c: f32) -> NodeId {
-        let ta = self.val(a);
-        let t = Tensor::from_vec(ta.rows, ta.cols, ta.data.iter().map(|x| x + c).collect());
+        let t = kernels::add_const(self.val(a), c);
         self.push(t, Op::AddConst(a, c))
     }
 
     pub fn add_rowvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
-        let (tm, tv) = (self.val(m), self.val(v));
-        assert_eq!(tv.rows, 1, "add_rowvec: v must be [1,C]");
-        assert_eq!(tm.cols, tv.cols, "add_rowvec: column mismatch");
-        let mut t = tm.clone();
-        for r in 0..t.rows {
-            for c in 0..t.cols {
-                t.data[r * t.cols + c] += tv.data[c];
-            }
-        }
+        let t = kernels::add_rowvec(self.val(m), self.val(v));
         self.push(t, Op::AddRowVec(m, v))
     }
 
     pub fn mul_rowvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
-        let (tm, tv) = (self.val(m), self.val(v));
-        assert_eq!(tv.rows, 1, "mul_rowvec: v must be [1,C]");
-        assert_eq!(tm.cols, tv.cols, "mul_rowvec: column mismatch");
-        let mut t = tm.clone();
-        for r in 0..t.rows {
-            for c in 0..t.cols {
-                t.data[r * t.cols + c] *= tv.data[c];
-            }
-        }
+        let t = kernels::mul_rowvec(self.val(m), self.val(v));
         self.push(t, Op::MulRowVec(m, v))
     }
 
     pub fn add_colvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
-        let (tm, tv) = (self.val(m), self.val(v));
-        assert_eq!(tv.cols, 1, "add_colvec: v must be [R,1]");
-        assert_eq!(tm.rows, tv.rows, "add_colvec: row mismatch");
-        let mut t = tm.clone();
-        for r in 0..t.rows {
-            let add = tv.data[r];
-            for c in 0..t.cols {
-                t.data[r * t.cols + c] += add;
-            }
-        }
+        let t = kernels::add_colvec(self.val(m), self.val(v));
         self.push(t, Op::AddColVec(m, v))
     }
 
     pub fn mul_colvec(&mut self, m: NodeId, v: NodeId) -> NodeId {
-        let (tm, tv) = (self.val(m), self.val(v));
-        assert_eq!(tv.cols, 1, "mul_colvec: v must be [R,1]");
-        assert_eq!(tm.rows, tv.rows, "mul_colvec: row mismatch");
-        let mut t = tm.clone();
-        for r in 0..t.rows {
-            let f = tv.data[r];
-            for c in 0..t.cols {
-                t.data[r * t.cols + c] *= f;
-            }
-        }
+        let t = kernels::mul_colvec(self.val(m), self.val(v));
         self.push(t, Op::MulColVec(m, v))
     }
 
     // ----- matrix products --------------------------------------------------
 
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (ta, tb) = (self.val(a), self.val(b));
-        assert_eq!(ta.cols, tb.rows, "matmul: inner dimension mismatch");
-        let t = matmul_kernel(ta, tb);
+        let t = kernels::matmul(self.val(a), self.val(b));
         self.push(t, Op::MatMul(a, b))
     }
 
     /// `a × bᵀ` without materialising the transpose.
     pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (ta, tb) = (self.val(a), self.val(b));
-        assert_eq!(ta.cols, tb.cols, "matmul_nt: inner dimension mismatch");
-        let t = matmul_nt_kernel(ta, tb);
+        let t = kernels::matmul_nt(self.val(a), self.val(b));
         self.push(t, Op::MatMulNT(a, b))
     }
 
     // ----- activations ------------------------------------------------------
 
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let data = ta.data.iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::sigmoid(self.val(a));
         self.push(t, Op::Sigmoid(a))
     }
 
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let data = ta.data.iter().map(|&x| x.tanh()).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::tanh(self.val(a));
         self.push(t, Op::Tanh(a))
     }
 
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let data = ta.data.iter().map(|&x| x.max(0.0)).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::relu(self.val(a));
         self.push(t, Op::Relu(a))
     }
 
     pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
-        let ta = self.val(a);
-        let data = ta
-            .data
-            .iter()
-            .map(|&x| if x > 0.0 { x } else { slope * x })
-            .collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::leaky_relu(self.val(a), slope);
         self.push(t, Op::LeakyRelu(a, slope))
     }
 
     pub fn sqrt(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let data = ta.data.iter().map(|&x| x.max(0.0).sqrt()).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::sqrt(self.val(a));
         self.push(t, Op::Sqrt(a))
     }
 
     pub fn recip(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let data = ta.data.iter().map(|&x| 1.0 / x).collect();
-        let t = Tensor::from_vec(ta.rows, ta.cols, data);
+        let t = kernels::recip(self.val(a));
         self.push(t, Op::Recip(a))
     }
 
     // ----- softmax ----------------------------------------------------------
 
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let mut t = ta.clone();
-        for r in 0..t.rows {
-            softmax_in_place(&mut t.data[r * t.cols..(r + 1) * t.cols]);
-        }
+        let t = kernels::softmax_rows(self.val(a));
         self.push(t, Op::SoftmaxRows(a))
     }
 
     pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let mut t = ta.clone();
-        for r in 0..t.rows {
-            let row = &mut t.data[r * t.cols..(r + 1) * t.cols];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-            row.iter_mut().for_each(|x| *x -= lse);
-        }
+        let t = kernels::log_softmax_rows(self.val(a));
         self.push(t, Op::LogSoftmaxRows(a))
     }
 
     // ----- shape ops ----------------------------------------------------------
 
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
-        assert!(!parts.is_empty());
-        let rows = self.val(parts[0]).rows;
-        let total: usize = parts.iter().map(|&p| self.val(p).cols).sum();
-        let mut t = Tensor::zeros(rows, total);
-        let mut off = 0;
-        for &p in parts {
-            let tp = self.val(p);
-            assert_eq!(tp.rows, rows, "concat_cols: row mismatch");
-            for r in 0..rows {
-                let dst = r * total + off;
-                t.data[dst..dst + tp.cols]
-                    .copy_from_slice(&tp.data[r * tp.cols..(r + 1) * tp.cols]);
-            }
-            off += tp.cols;
-        }
+        let t = {
+            let refs: Vec<&Tensor> = parts.iter().map(|&p| self.val(p)).collect();
+            kernels::concat_cols(&refs)
+        };
         self.push(t, Op::ConcatCols(parts.to_vec()))
     }
 
     pub fn select_cols(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
-        let ta = self.val(a);
-        assert!(start + len <= ta.cols, "select_cols out of range");
-        let mut t = Tensor::zeros(ta.rows, len);
-        for r in 0..ta.rows {
-            t.data[r * len..(r + 1) * len]
-                .copy_from_slice(&ta.data[r * ta.cols + start..r * ta.cols + start + len]);
-        }
+        let t = kernels::select_cols(self.val(a), start, len);
         self.push(t, Op::SelectCols(a, start, len))
     }
 
     pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
-        assert!(!parts.is_empty());
-        let cols = self.val(parts[0]).cols;
-        let total: usize = parts.iter().map(|&p| self.val(p).rows).sum();
-        let mut data = Vec::with_capacity(total * cols);
-        for &p in parts {
-            let tp = self.val(p);
-            assert_eq!(tp.cols, cols, "concat_rows: column mismatch");
-            data.extend_from_slice(&tp.data);
-        }
-        self.push(
-            Tensor::from_vec(total, cols, data),
-            Op::ConcatRows(parts.to_vec()),
-        )
+        let t = {
+            let refs: Vec<&Tensor> = parts.iter().map(|&p| self.val(p)).collect();
+            kernels::concat_rows(&refs)
+        };
+        self.push(t, Op::ConcatRows(parts.to_vec()))
     }
 
     pub fn select_rows(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
-        let ta = self.val(a);
-        assert!(start + len <= ta.rows, "select_rows out of range");
-        let data = ta.data[start * ta.cols..(start + len) * ta.cols].to_vec();
-        self.push(
-            Tensor::from_vec(len, ta.cols, data),
-            Op::SelectRows(a, start, len),
-        )
+        let t = kernels::select_rows(self.val(a), start, len);
+        self.push(t, Op::SelectRows(a, start, len))
     }
 
     pub fn repeat_rows(&mut self, a: NodeId, n: usize) -> NodeId {
-        let ta = self.val(a);
-        assert_eq!(ta.rows, 1, "repeat_rows expects a [1,C] row");
-        let mut data = Vec::with_capacity(n * ta.cols);
-        for _ in 0..n {
-            data.extend_from_slice(&ta.data);
-        }
-        self.push(Tensor::from_vec(n, ta.cols, data), Op::RepeatRows(a, n))
+        let t = kernels::repeat_rows(self.val(a), n);
+        self.push(t, Op::RepeatRows(a, n))
     }
 
     // ----- reductions --------------------------------------------------------
 
     pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
-        let ta = self.val(a);
-        let mut out = vec![0.0f32; ta.cols];
-        for row in ta.data.chunks_exact(ta.cols) {
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += x;
-            }
-        }
-        let inv = 1.0 / ta.rows as f32;
-        out.iter_mut().for_each(|x| *x *= inv);
-        self.push(Tensor::row(out), Op::MeanRows(a))
+        let t = kernels::mean_rows(self.val(a));
+        self.push(t, Op::MeanRows(a))
     }
 
     /// Weighted mean over rows with fixed positive weights (normalised
     /// internally).
     pub fn weighted_mean_rows(&mut self, a: NodeId, weights: &[f32]) -> NodeId {
-        let ta = self.val(a);
-        assert_eq!(weights.len(), ta.rows, "weighted_mean_rows: weight count");
-        let total: f32 = weights.iter().sum();
-        assert!(total > 0.0, "weights must not all be zero");
-        let norm: Vec<f32> = weights.iter().map(|w| w / total).collect();
-        let mut out = vec![0.0f32; ta.cols];
-        for (row, &w) in ta.data.chunks_exact(ta.cols).zip(&norm) {
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += w * x;
-            }
-        }
-        self.push(Tensor::row(out), Op::WeightedMeanRows(a, Arc::new(norm)))
+        let norm = kernels::normalized_weights(self.val(a).rows, weights);
+        let t = kernels::weighted_mean_rows(self.val(a), &norm);
+        self.push(t, Op::WeightedMeanRows(a, Arc::new(norm)))
     }
 
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
@@ -451,17 +328,7 @@ impl Tape {
     // ----- lookup / dropout ---------------------------------------------------
 
     pub fn gather_rows(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
-        let tt = self.val(table);
-        let mut data = Vec::with_capacity(indices.len() * tt.cols);
-        for &i in indices {
-            assert!(
-                i < tt.rows,
-                "gather_rows: index {i} out of {} rows",
-                tt.rows
-            );
-            data.extend_from_slice(&tt.data[i * tt.cols..(i + 1) * tt.cols]);
-        }
-        let t = Tensor::from_vec(indices.len(), tt.cols, data);
+        let t = kernels::gather_rows(self.val(table), indices);
         self.push(t, Op::GatherRows(table, Arc::new(indices.to_vec())))
     }
 
@@ -493,58 +360,19 @@ impl Tape {
     /// GAT edge scores: for each edge slot `e` of node `i` with neighbour
     /// `j_e`, `out[e] = src[i] + dst[j_e]` (`src`/`dst` are `[n,1]`).
     pub fn edge_scores(&mut self, src: NodeId, dst: NodeId, csr: &Arc<GraphCsr>) -> NodeId {
-        let (ts, td) = (self.val(src), self.val(dst));
-        let n = csr.num_nodes();
-        assert_eq!((ts.rows, ts.cols), (n, 1), "edge_scores: src must be [n,1]");
-        assert_eq!((td.rows, td.cols), (n, 1), "edge_scores: dst must be [n,1]");
-        let mut out = vec![0.0f32; csr.num_edges()];
-        for i in 0..n {
-            for e in csr.segment(i) {
-                out[e] = ts.data[i] + td.data[csr.target(e)];
-            }
-        }
-        let t = Tensor::from_vec(csr.num_edges(), 1, out);
+        let t = kernels::edge_scores(self.val(src), self.val(dst), csr);
         self.push(t, Op::EdgeScores(src, dst, Arc::clone(csr)))
     }
 
     /// Attention normalisation: softmax within each node's edge segment.
     pub fn segmented_softmax(&mut self, scores: NodeId, csr: &Arc<GraphCsr>) -> NodeId {
-        let ts = self.val(scores);
-        assert_eq!(
-            (ts.rows, ts.cols),
-            (csr.num_edges(), 1),
-            "segmented_softmax: [E,1]"
-        );
-        let mut t = ts.clone();
-        for i in 0..csr.num_nodes() {
-            let seg = csr.segment(i);
-            if !seg.is_empty() {
-                softmax_in_place(&mut t.data[seg]);
-            }
-        }
+        let t = kernels::segmented_softmax(self.val(scores), csr);
         self.push(t, Op::SegmentedSoftmax(scores, Arc::clone(csr)))
     }
 
     /// Attention aggregation: `out[i] = Σ_{e ∈ seg(i)} α[e] · feats[j_e]`.
     pub fn neighbor_sum(&mut self, alphas: NodeId, feats: NodeId, csr: &Arc<GraphCsr>) -> NodeId {
-        let (ta, tf) = (self.val(alphas), self.val(feats));
-        assert_eq!(
-            (ta.rows, ta.cols),
-            (csr.num_edges(), 1),
-            "neighbor_sum: alphas [E,1]"
-        );
-        assert_eq!(tf.rows, csr.num_nodes(), "neighbor_sum: feats [n,C]");
-        let cols = tf.cols;
-        let mut t = Tensor::zeros(csr.num_nodes(), cols);
-        for i in 0..csr.num_nodes() {
-            for e in csr.segment(i) {
-                let a = ta.data[e];
-                let j = csr.target(e);
-                for c in 0..cols {
-                    t.data[i * cols + c] += a * tf.data[j * cols + c];
-                }
-            }
-        }
+        let t = kernels::neighbor_sum(self.val(alphas), self.val(feats), csr);
         self.push(t, Op::NeighborSum(alphas, feats, Arc::clone(csr)))
     }
 
@@ -552,7 +380,8 @@ impl Tape {
 
     /// Reverse-mode differentiation from scalar node `loss`. Accumulates
     /// parameter gradients into `store`; node gradients stay readable via
-    /// [`Tape::grad`] until the next forward op or `clear`.
+    /// [`Tape::grad`] until the next forward op or `clear`. The heavy
+    /// adjoint products run on the shared [`crate::kernels`] matmul family.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
         assert_eq!(
             self.val(loss).shape(),
@@ -664,8 +493,8 @@ impl Tape {
                     let (ta, tb) = (&self.nodes[a].value, &self.nodes[b].value);
                     let gt = Tensor::from_vec(ta.rows, tb.cols, g.clone());
                     // dA = dC · Bᵀ ; dB = Aᵀ · dC
-                    let ga = matmul_nt_kernel(&gt, tb);
-                    let gb = matmul_tn_kernel(ta, &gt);
+                    let ga = kernels::matmul_nt(&gt, tb);
+                    let gb = kernels::matmul_tn(ta, &gt);
                     self.acc(a, &ga.data);
                     self.acc(b, &gb.data);
                 }
@@ -673,8 +502,8 @@ impl Tape {
                     let (ta, tb) = (&self.nodes[a].value, &self.nodes[b].value);
                     let gt = Tensor::from_vec(ta.rows, tb.rows, g.clone());
                     // C = A·Bᵀ: dA = dC·B ; dB = dCᵀ·A
-                    let ga = matmul_kernel(&gt, tb);
-                    let gb = matmul_tn_kernel(&gt, ta);
+                    let ga = kernels::matmul(&gt, tb);
+                    let gb = kernels::matmul_tn(&gt, ta);
                     self.acc(a, &ga.data);
                     self.acc(b, &gb.data);
                 }
@@ -921,73 +750,4 @@ impl Tape {
             None => node.grad = Some(contribution.to_vec()),
         }
     }
-}
-
-pub(crate) fn softmax_in_place(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for x in row.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    let inv = 1.0 / sum;
-    row.iter_mut().for_each(|x| *x *= inv);
-}
-
-/// `A[R,K] × B[K,C]`.
-pub(crate) fn matmul_kernel(a: &Tensor, b: &Tensor) -> Tensor {
-    let (r, k, c) = (a.rows, a.cols, b.cols);
-    let mut out = Tensor::zeros(r, c);
-    for i in 0..r {
-        for kk in 0..k {
-            let av = a.data[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b.data[kk * c..(kk + 1) * c];
-            let orow = &mut out.data[i * c..(i + 1) * c];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-    out
-}
-
-/// `A[R,K] × B[C,K]ᵀ → [R,C]`.
-pub(crate) fn matmul_nt_kernel(a: &Tensor, b: &Tensor) -> Tensor {
-    let (r, k, c) = (a.rows, a.cols, b.rows);
-    let mut out = Tensor::zeros(r, c);
-    for i in 0..r {
-        let arow = &a.data[i * k..(i + 1) * k];
-        for j in 0..c {
-            let brow = &b.data[j * k..(j + 1) * k];
-            let mut s = 0.0;
-            for kk in 0..k {
-                s += arow[kk] * brow[kk];
-            }
-            out.data[i * c + j] = s;
-        }
-    }
-    out
-}
-
-/// `A[K,R]ᵀ × B[K,C] → [R,C]`.
-pub(crate) fn matmul_tn_kernel(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, r, c) = (a.rows, a.cols, b.cols);
-    let mut out = Tensor::zeros(r, c);
-    for kk in 0..k {
-        for i in 0..r {
-            let av = a.data[kk * r + i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b.data[kk * c..(kk + 1) * c];
-            let orow = &mut out.data[i * c..(i + 1) * c];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-    out
 }

@@ -1,0 +1,231 @@
+//! Property-based parity suite for the unified kernel layer.
+//!
+//! The refactor contract: the autograd tape forward, the tape-free
+//! `infer` path, and the parallel kernels at every thread count all
+//! compute **bit-identical** results, because they share one kernel body
+//! per operation and the pool partitions only ever split disjoint output
+//! ranges without reordering any accumulation.
+//!
+//! Each case draws random shapes (large enough that the pool actually
+//! engages), random contents, and — for the CSR graph ops — random ragged
+//! adjacency including isolated nodes, then pins
+//! `tape ≡ infer ≡ kernels@{1,2,4} threads` exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use rntrajrec_nn::{infer, kernels, pool, GraphCsr, ParamStore, Tape, Tensor};
+
+/// A labelled parity case: (name, tape reference, tape-free recompute).
+type ParityCase<'a> = (&'a str, &'a Tensor, Box<dyn Fn() -> Tensor + 'a>);
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    // Mix in exact zeros so the matmul zero-skip path is exercised.
+    let data = (0..rows * cols)
+        .map(|_| {
+            if rng.gen::<f32>() < 0.05 {
+                0.0
+            } else {
+                rng.gen_range(-1.5f32..1.5)
+            }
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Random ragged CSR: degrees 0..=6 per node (degree 0 without self-loops
+/// leaves genuinely empty segments — the isolated-node edge case).
+fn random_csr(rng: &mut StdRng, n: usize, self_loops: bool) -> Arc<GraphCsr> {
+    let lists: Vec<Vec<usize>> = (0..n)
+        .map(|_| {
+            let deg = rng.gen_range(0usize..=6);
+            (0..deg).map(|_| rng.gen_range(0..n)).collect()
+        })
+        .collect();
+    Arc::new(GraphCsr::from_neighbor_lists(&lists, self_loops))
+}
+
+/// Run `f` once per sweep entry and assert every run equals the reference
+/// bit-for-bit.
+fn assert_thread_invariant(label: &str, reference: &Tensor, f: impl Fn() -> Tensor) {
+    for threads in THREAD_SWEEP {
+        pool::set_num_threads(threads);
+        let got = f();
+        assert_eq!(
+            got.shape(),
+            reference.shape(),
+            "{label}: shape @ t={threads}"
+        );
+        assert_eq!(
+            got.data, reference.data,
+            "{label}: not bit-identical @ t={threads}"
+        );
+    }
+    pool::set_num_threads(1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Matmul family: tape forward ≡ infer ≡ kernels at 1/2/4 threads.
+    #[test]
+    fn matmul_family_parity(r in 1usize..96, k in 1usize..64, c in 1usize..96, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor(&mut rng, r, k);
+        let b = tensor(&mut rng, k, c);
+        let bt = tensor(&mut rng, c, k);
+        let at = tensor(&mut rng, k, r);
+
+        pool::set_num_threads(1);
+        let mut tape = Tape::new();
+        let na = tape.leaf(a.clone());
+        let nb = tape.leaf(b.clone());
+        let nbt = tape.leaf(bt.clone());
+        let mm_node = tape.matmul(na, nb);
+        let nt_node = tape.matmul_nt(na, nbt);
+        let mm = tape.value(mm_node).clone();
+        let nt = tape.value(nt_node).clone();
+        let tn = kernels::matmul_tn(&at, &b);
+
+        prop_assert_eq!(&infer::matmul(&a, &b).data, &mm.data);
+        prop_assert_eq!(&infer::matmul_nt(&a, &bt).data, &nt.data);
+        assert_thread_invariant("matmul", &mm, || kernels::matmul(&a, &b));
+        assert_thread_invariant("matmul_nt", &nt, || kernels::matmul_nt(&a, &bt));
+        assert_thread_invariant("matmul_tn", &tn, || kernels::matmul_tn(&at, &b));
+    }
+
+    /// Element-wise maps, broadcasts, softmax, gathers and layer-norm
+    /// statistics.
+    #[test]
+    fn rowwise_kernels_parity(r in 1usize..80, c in 1usize..80, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor(&mut rng, r, c);
+        let b = tensor(&mut rng, r, c);
+        let v = tensor(&mut rng, 1, c);
+        let cv = tensor(&mut rng, r, 1);
+        let idx: Vec<usize> = (0..2 * r).map(|i| (i * 7) % r).collect();
+
+        pool::set_num_threads(1);
+        let mut tape = Tape::new();
+        let na = tape.leaf(a.clone());
+        let nb = tape.leaf(b.clone());
+        let nv = tape.leaf(v.clone());
+        let ncv = tape.leaf(cv.clone());
+        let n_add = tape.add(na, nb);
+        let n_mul = tape.mul(na, nb);
+        let n_sig = tape.sigmoid(na);
+        let n_tanh = tape.tanh(na);
+        let n_lrelu = tape.leaky_relu(na, 0.2);
+        let n_arow = tape.add_rowvec(na, nv);
+        let n_mcol = tape.mul_colvec(na, ncv);
+        let n_smax = tape.softmax_rows(na);
+        let n_lsmax = tape.log_softmax_rows(na);
+        let n_gather = tape.gather_rows(na, &idx);
+
+        let cases: Vec<ParityCase> = vec![
+            ("add", tape.value(n_add), Box::new(|| infer::add(&a, &b))),
+            ("mul", tape.value(n_mul), Box::new(|| infer::mul(&a, &b))),
+            ("sigmoid", tape.value(n_sig), Box::new(|| infer::sigmoid(&a))),
+            ("tanh", tape.value(n_tanh), Box::new(|| infer::tanh(&a))),
+            ("leaky_relu", tape.value(n_lrelu), Box::new(|| infer::leaky_relu(&a, 0.2))),
+            ("add_rowvec", tape.value(n_arow), Box::new(|| infer::add_rowvec(&a, &v))),
+            ("mul_colvec", tape.value(n_mcol), Box::new(|| infer::mul_colvec(&a, &cv))),
+            ("softmax_rows", tape.value(n_smax), Box::new(|| infer::softmax_rows(&a))),
+            ("log_softmax_rows", tape.value(n_lsmax), Box::new(|| infer::log_softmax_rows(&a))),
+            ("gather_rows", tape.value(n_gather), Box::new(|| infer::gather_rows(&a, &idx))),
+        ];
+        for (label, reference, f) in &cases {
+            assert_thread_invariant(label, reference, f);
+        }
+
+        // Layer-norm statistics: the fused kernel must match the composed
+        // op-by-op route bit-for-bit, at every thread count.
+        pool::set_num_threads(1);
+        let ones = Tensor::full(c, 1, 1.0);
+        let mu = infer::scale(&infer::matmul(&a, &ones), 1.0 / c as f32);
+        let centered = infer::add_colvec(&a, &infer::scale(&mu, -1.0));
+        let var = infer::add_const(
+            &infer::scale(&infer::matmul(&infer::mul(&centered, &centered), &ones), 1.0 / c as f32),
+            1e-5,
+        );
+        let inv = infer::recip(&infer::sqrt(&var));
+        for threads in THREAD_SWEEP {
+            pool::set_num_threads(threads);
+            let (m, s) = kernels::row_norm_stats(&a, 1e-5);
+            prop_assert!(m.data == mu.data, "mean not bit-identical @ t={}", threads);
+            prop_assert!(s.data == inv.data, "inv_std not bit-identical @ t={}", threads);
+        }
+        pool::set_num_threads(1);
+    }
+
+    /// CSR graph-attention ops on random ragged graphs (including isolated
+    /// nodes and empty segments).
+    #[test]
+    fn graph_kernels_parity(n in 1usize..120, d in 1usize..32, self_loops in 0u32..2, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let csr = random_csr(&mut rng, n, self_loops == 1);
+        let src = tensor(&mut rng, n, 1);
+        let dst = tensor(&mut rng, n, 1);
+        let feats = tensor(&mut rng, n, d);
+
+        pool::set_num_threads(1);
+        let mut tape = Tape::new();
+        let ns = tape.leaf(src.clone());
+        let nd = tape.leaf(dst.clone());
+        let nf = tape.leaf(feats.clone());
+        let scores_n = tape.edge_scores(ns, nd, &csr);
+        let alphas_n = tape.segmented_softmax(scores_n, &csr);
+        let agg_n = tape.neighbor_sum(alphas_n, nf, &csr);
+        let scores = tape.value(scores_n).clone();
+        let alphas = tape.value(alphas_n).clone();
+        let agg = tape.value(agg_n).clone();
+
+        prop_assert_eq!(&infer::edge_scores(&src, &dst, &csr).data, &scores.data);
+        prop_assert_eq!(&infer::segmented_softmax(&scores, &csr).data, &alphas.data);
+        prop_assert_eq!(&infer::neighbor_sum(&alphas, &feats, &csr).data, &agg.data);
+
+        assert_thread_invariant("edge_scores", &scores, || kernels::edge_scores(&src, &dst, &csr));
+        assert_thread_invariant("segmented_softmax", &alphas, || {
+            kernels::segmented_softmax(&scores, &csr)
+        });
+        assert_thread_invariant("neighbor_sum", &agg, || {
+            kernels::neighbor_sum(&alphas, &feats, &csr)
+        });
+    }
+
+    /// Training parity: a full tape forward + backward produces identical
+    /// input-side gradients at every thread count (the backward matmuls
+    /// route through the same kernels).
+    #[test]
+    fn backward_gradients_thread_invariant(r in 2usize..48, k in 2usize..32, c in 2usize..48, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor(&mut rng, r, k);
+        let b = tensor(&mut rng, k, c);
+        let mut reference: Option<(Vec<f32>, Vec<f32>)> = None;
+        for threads in THREAD_SWEEP {
+            pool::set_num_threads(threads);
+            let mut tape = Tape::new();
+            let na = tape.leaf(a.clone());
+            let nb = tape.leaf(b.clone());
+            let y = tape.matmul(na, nb);
+            let y = tape.tanh(y);
+            let loss = tape.mean_all(y);
+            let mut store = ParamStore::new();
+            tape.backward(loss, &mut store);
+            let ga = tape.grad(na).unwrap().to_vec();
+            let gb = tape.grad(nb).unwrap().to_vec();
+            match &reference {
+                None => reference = Some((ga, gb)),
+                Some((ra, rb)) => {
+                    prop_assert!(ra == &ga, "grad A diverged @ t={}", threads);
+                    prop_assert!(rb == &gb, "grad B diverged @ t={}", threads);
+                }
+            }
+        }
+        pool::set_num_threads(1);
+    }
+}

@@ -34,6 +34,15 @@ pub struct EngineConfig {
     pub max_delay: Duration,
     /// Worker threads executing batches.
     pub workers: usize,
+    /// Intra-op kernel threads each worker's inference may use
+    /// (`rntrajrec_nn::pool`), applied process-wide at
+    /// [`RecoveryEngine::start`]. `0` keeps the current process setting
+    /// (`NN_THREADS` env or hardware parallelism); a set `NN_THREADS`
+    /// environment variable always overrides this field. Size it so
+    /// `workers × threads_per_worker ≤ cores`: workers scale throughput
+    /// across requests, intra-op threads cut single-request latency —
+    /// see the crate docs for the interaction.
+    pub threads_per_worker: usize,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +52,9 @@ impl Default for EngineConfig {
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             workers,
+            // The default worker count already covers the cores; keep
+            // kernels single-threaded per worker unless configured.
+            threads_per_worker: if workers > 1 { 1 } else { 0 },
         }
     }
 }
@@ -132,13 +144,22 @@ struct Shared {
 pub struct RecoveryEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Intra-op threads applied at start (`None`: process default kept).
+    intra_op: Option<usize>,
 }
 
 impl RecoveryEngine {
     /// Start `config.workers` threads over a shared model.
+    ///
+    /// Also applies the intra-op kernel thread setting: `NN_THREADS` when
+    /// set in the environment, else [`EngineConfig::threads_per_worker`]
+    /// when non-zero. The setting is process-wide (`rntrajrec_nn::pool`),
+    /// shared by all engines and kernels in the process.
     pub fn start(model: Arc<ServingModel>, config: EngineConfig) -> Self {
         assert!(config.max_batch >= 1, "max_batch must be >= 1");
         assert!(config.workers >= 1, "workers must be >= 1");
+        let intra_op = rntrajrec_nn::pool::env_threads().unwrap_or(config.threads_per_worker);
+        let intra_op = (intra_op > 0).then(|| rntrajrec_nn::pool::set_num_threads(intra_op));
         let shared = Arc::new(Shared {
             model,
             queue: Mutex::new(VecDeque::new()),
@@ -158,7 +179,11 @@ impl RecoveryEngine {
                     .expect("spawn serve worker")
             })
             .collect();
-        Self { shared, workers }
+        Self {
+            shared,
+            workers,
+            intra_op,
+        }
     }
 
     /// Enqueue a request; returns immediately with a waitable handle.
@@ -205,6 +230,12 @@ impl RecoveryEngine {
                 batched as f64 / batches as f64
             },
         }
+    }
+
+    /// Intra-op kernel threads this engine applied at start (`None` when
+    /// the process default was kept).
+    pub fn intra_op_threads(&self) -> Option<usize> {
+        self.intra_op
     }
 
     /// The served model (e.g. for direct single-request comparison).

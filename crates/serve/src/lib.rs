@@ -20,6 +20,27 @@
 //!   per-request inference (each request is computed independently; the
 //!   batch is a scheduling unit, not a numerical one).
 //!
+//! # Compute threading: workers × intra-op threads
+//!
+//! Two thread pools compose here, and they multiply:
+//!
+//! * **Workers** ([`EngineConfig::workers`]) each run whole requests —
+//!   they scale *throughput* under concurrent load.
+//! * **Intra-op kernel threads** ([`EngineConfig::threads_per_worker`],
+//!   overridden by the `NN_THREADS` env var) parallelise the individual
+//!   matmul / GAT kernels inside one request via `rntrajrec_nn::pool` —
+//!   they cut *single-request latency*.
+//!
+//! Size them so `workers × threads_per_worker ≤ cores`. Rules of thumb:
+//! high-concurrency serving wants many workers × 1 intra-op thread (the
+//! default); latency-sensitive low-QPS serving wants few workers with
+//! intra-op threads covering the cores. Over-subscription degrades
+//! gracefully rather than deadlocking — the kernel pool runs one parallel
+//! region at a time and any concurrent region simply executes inline —
+//! but it wastes context switches. The intra-op setting is process-wide;
+//! kernel outputs are bit-identical at any thread count, so it is purely
+//! a performance knob.
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use rntrajrec::experiments::{ExperimentScale, Pipeline};
@@ -122,6 +143,7 @@ mod tests {
                 max_batch: 4,
                 max_delay: Duration::from_millis(1),
                 workers: 4,
+                threads_per_worker: 0,
             },
         );
         let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
@@ -147,6 +169,7 @@ mod tests {
                 max_batch: 64,
                 max_delay: Duration::from_millis(5),
                 workers: 1,
+                threads_per_worker: 0,
             },
         );
         let r = engine.recover(inputs[0].clone());
@@ -167,6 +190,7 @@ mod tests {
                 max_batch: 2,
                 max_delay: Duration::from_secs(5),
                 workers: 1,
+                threads_per_worker: 0,
             },
         );
         let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
@@ -216,6 +240,7 @@ mod tests {
                 max_batch: 1,
                 max_delay: Duration::from_millis(1),
                 workers: 1,
+                threads_per_worker: 0,
             },
         );
         let mut bad = inputs[0].clone();
@@ -230,6 +255,39 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn threads_per_worker_sets_intra_op_threads() {
+        let (city, inputs) = fixture(1);
+        let model = serving(&city);
+        let want = model.recover(&inputs[0]);
+        // NN_THREADS is unset in the test environment unless the whole
+        // suite runs under it — in that case the env var must win and
+        // this test asserts that instead.
+        let env_threads = std::env::var("NN_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok());
+        let engine = RecoveryEngine::start(
+            Arc::clone(&model),
+            EngineConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                workers: 1,
+                threads_per_worker: 2,
+            },
+        );
+        // Other tests may race on the process-global knob, so assert the
+        // engine's own record of what it applied.
+        let applied = engine.intra_op_threads().expect("intra-op threads set");
+        match env_threads {
+            Some(n) => assert_eq!(applied, n.clamp(1, 16), "env override must win"),
+            None => assert_eq!(applied, 2),
+        }
+        // Results are bit-identical regardless of the intra-op setting.
+        let got = engine.recover(inputs[0].clone());
+        assert_eq!(got.path, want);
+        rntrajrec_nn::pool::set_num_threads(1);
     }
 
     #[test]

@@ -84,6 +84,7 @@ fn engine_micro_batching_is_transparent_end_to_end() {
             max_batch: 3,
             max_delay: Duration::from_millis(1),
             workers: 3,
+            threads_per_worker: 0,
         },
     );
     // Submit everything at once so batches actually form.
