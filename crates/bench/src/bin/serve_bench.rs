@@ -3,8 +3,10 @@
 //! per-trajectory latency of tape-free inference versus the tape-based
 //! `EndToEnd::predict`, a **city-scale intra-op thread sweep** (kernel
 //! parallelism via `NN_THREADS` / `rntrajrec_nn::pool`), and the
-//! decoder-step matmul count per request (the baseline for the planned
-//! same-length decoder-step fusion). Writes `results/BENCH_serve.json`.
+//! decoder-step matmul counts **before and after decoder fusion** — the
+//! per-member sequential decode versus the batched path that stacks
+//! same-step states into one matmul per head — with the batched ≡
+//! sequential bit-identity asserted. Writes `results/BENCH_serve.json`.
 //!
 //! ```bash
 //! cargo run --release -p rntrajrec-bench --bin serve_bench          # full
@@ -19,7 +21,7 @@ use rand::SeedableRng;
 
 use rntrajrec::model::{EndToEnd, MethodSpec};
 use rntrajrec_bench::dump_json;
-use rntrajrec_models::{FeatureExtractor, SampleInput};
+use rntrajrec_models::{BatchMember, FeatureExtractor, SampleInput};
 use rntrajrec_nn::{kernels, pool};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
 use rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel};
@@ -176,25 +178,84 @@ fn main() {
         .collect();
     let big_model = EndToEnd::build(&MethodSpec::RnTrajRec, &big_city.net, &big_grid, big_dim, 7);
 
-    // 3a. Decoder-step matmul invocations per request (fusion baseline).
+    // 3a. Decoder-step matmul invocations per request (fusion baseline:
+    // the per-member sequential decode).
     let road = big_model.precompute_road().expect("RNTrajRec precomputes");
-    let mut decoder_matmuls = 0u64;
-    let mut decoder_steps = 0usize;
-    for input in &big_inputs {
-        let enc = big_model
-            .encoder
-            .infer_one(&big_model.store, input, Some(&road))
-            .expect("infer path");
-        let before = kernels::matmul_invocations();
-        let _ = big_model
-            .decoder
-            .infer_run(&big_model.store, &enc.per_point, &enc.traj, input);
-        decoder_matmuls += kernels::matmul_invocations() - before;
-        decoder_steps += input.target_len();
-    }
-    let matmuls_per_request = decoder_matmuls as f64 / big_inputs.len() as f64;
+    let encs: Vec<_> = big_inputs
+        .iter()
+        .map(|input| {
+            big_model
+                .encoder
+                .infer_one(&big_model.store, input, Some(&road))
+                .expect("infer path")
+        })
+        .collect();
+    let decode_seq = || -> Vec<Vec<(usize, f32)>> {
+        encs.iter()
+            .zip(&big_inputs)
+            .map(|(enc, input)| {
+                big_model
+                    .decoder
+                    .infer_run(&big_model.store, &enc.per_point, &enc.traj, input)
+            })
+            .collect()
+    };
+    let members: Vec<BatchMember> = encs
+        .iter()
+        .zip(&big_inputs)
+        .map(|(enc, sample)| BatchMember {
+            per_point: &enc.per_point,
+            traj: &enc.traj,
+            sample,
+        })
+        .collect();
+
+    let before = kernels::matmul_invocations();
+    let sequential = decode_seq();
+    let seq_matmuls = kernels::matmul_invocations() - before;
+    let decoder_steps: usize = big_inputs.iter().map(|i| i.target_len()).sum();
+    // Lock-step depth of the fused decode: the longest member.
+    let batch_steps = big_inputs.iter().map(|i| i.target_len()).max().unwrap_or(0);
+    let matmuls_per_request = seq_matmuls as f64 / big_inputs.len() as f64;
     let steps_per_request = decoder_steps as f64 / big_inputs.len() as f64;
-    let matmuls_per_step = decoder_matmuls as f64 / decoder_steps.max(1) as f64;
+    let matmuls_per_step = seq_matmuls as f64 / decoder_steps.max(1) as f64;
+
+    // 3b. Fused batched decode: one stacked matmul per head per step for
+    // the whole micro-batch, bit-identical to the sequential loop.
+    let before = kernels::matmul_invocations();
+    let batched = big_model
+        .decoder
+        .recover_batch_infer(&big_model.store, &members);
+    let fused_matmuls = kernels::matmul_invocations() - before;
+    assert_eq!(
+        batched, sequential,
+        "fused batched decode diverged from sequential recovery"
+    );
+    let seq_per_batch_step = seq_matmuls as f64 / batch_steps.max(1) as f64;
+    let fused_per_batch_step = fused_matmuls as f64 / batch_steps.max(1) as f64;
+    assert!(
+        fused_per_batch_step <= 12.0,
+        "fused decode should run ~one matmul per head per step, got {fused_per_batch_step:.1}"
+    );
+
+    let fusion_reps = if quick { 3 } else { 10 };
+    let t = Instant::now();
+    for _ in 0..fusion_reps {
+        std::hint::black_box(decode_seq());
+    }
+    let seq_decode_ms =
+        t.elapsed().as_secs_f64() * 1000.0 / (fusion_reps * big_inputs.len()) as f64;
+    let t = Instant::now();
+    for _ in 0..fusion_reps {
+        std::hint::black_box(
+            big_model
+                .decoder
+                .recover_batch_infer(&big_model.store, &members),
+        );
+    }
+    let fused_decode_ms =
+        t.elapsed().as_secs_f64() * 1000.0 / (fusion_reps * big_inputs.len()) as f64;
+    let fusion_speedup = seq_decode_ms / fused_decode_ms;
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
@@ -203,6 +264,10 @@ fn main() {
     );
     println!(
         "decoder fusion baseline: {matmuls_per_request:.1} matmuls/request over {steps_per_request:.1} steps ({matmuls_per_step:.1} matmuls/decoder step)"
+    );
+    println!(
+        "decoder fusion (B={}): {seq_per_batch_step:.1} -> {fused_per_batch_step:.1} matmuls/decoder step; decode {seq_decode_ms:.3} -> {fused_decode_ms:.3} ms/request (x{fusion_speedup:.1})",
+        big_inputs.len()
     );
 
     // 3b. Single-request recovery latency at 1/2/4 intra-op threads.
@@ -261,11 +326,21 @@ fn main() {
         "decoder_steps_per_request": steps_per_request,
         "matmuls_per_decoder_step": matmuls_per_step,
     });
+    let decoder_fusion = serde_json::json!({
+        "batch": big_inputs.len(),
+        "matmuls_per_decoder_step_sequential": seq_per_batch_step,
+        "matmuls_per_decoder_step_batched": fused_per_batch_step,
+        "sequential_decode_ms_per_request": seq_decode_ms,
+        "batched_decode_ms_per_request": fused_decode_ms,
+        "speedup": fusion_speedup,
+        "bit_identical": true,
+    });
     let city_scale = serde_json::json!({
         "segments": big_city.net.num_segments(),
         "dim": big_dim,
         "intra_op_sweep": intra_sweep,
         "decoder_fusion_baseline": decoder_baseline,
+        "decoder_fusion": decoder_fusion,
     });
     let json = serde_json::json!({
         "tape_predict_ms": tape_ms,

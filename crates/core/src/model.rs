@@ -5,7 +5,7 @@ use rand::SeedableRng;
 
 use rntrajrec_geo::GridSpec;
 use rntrajrec_models::{
-    Decoder, DecoderConfig, GnnBackbone, GtsEncoder, MTrajRecEncoder, NeuTrajEncoder,
+    BatchMember, Decoder, DecoderConfig, GnnBackbone, GtsEncoder, MTrajRecEncoder, NeuTrajEncoder,
     RnTrajRecConfig, RnTrajRecEncoder, SampleInput, T2vecEncoder, T3sEncoder, TrajEncoder,
     TransformerBaseline,
 };
@@ -330,6 +330,35 @@ impl EndToEnd {
                 .infer_run(&self.store, &enc.per_point, &enc.traj, input),
         )
     }
+
+    /// Tape-free **batched** greedy inference: encodes each input
+    /// independently (RNTrajRec's GraphNorm makes cross-trajectory
+    /// *encoder* fusion change results, which serving must never do), then
+    /// recovers the whole batch through the fused decoder
+    /// ([`Decoder::recover_batch_infer`]) — one stacked matmul per head
+    /// per decode step instead of one per member. Results are
+    /// bit-identical to calling [`EndToEnd::infer_predict`] per input.
+    /// Returns `None` when the encoder has no tape-free path.
+    pub fn infer_predict_batch(
+        &self,
+        inputs: &[&SampleInput],
+        road: Option<&Tensor>,
+    ) -> Option<Vec<Vec<(usize, f32)>>> {
+        let encs = inputs
+            .iter()
+            .map(|input| self.encoder.infer_one(&self.store, input, road))
+            .collect::<Option<Vec<_>>>()?;
+        let members: Vec<BatchMember> = encs
+            .iter()
+            .zip(inputs)
+            .map(|(enc, &sample)| BatchMember {
+                per_point: &enc.per_point,
+                traj: &enc.traj,
+                sample,
+            })
+            .collect();
+        Some(self.decoder.recover_batch_infer(&self.store, &members))
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +456,27 @@ mod tests {
         assert!(!model.supports_infer());
         assert!(model.precompute_road().is_none());
         assert!(model.infer_predict(&inputs[0], None).is_none());
+        assert!(model
+            .infer_predict_batch(&[&inputs[0], &inputs[1]], None)
+            .is_none());
+    }
+
+    #[test]
+    fn batched_inference_matches_per_input_bitwise() {
+        let (city, inputs, grid) = fixture();
+        let model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
+        let road = model.precompute_road().expect("X_road precompute");
+        let refs: Vec<&SampleInput> = inputs.iter().collect();
+        let sequential: Vec<Vec<(usize, f32)>> = refs
+            .iter()
+            .map(|i| model.infer_predict(i, Some(&road)).expect("infer path"))
+            .collect();
+        let batched = model
+            .infer_predict_batch(&refs, Some(&road))
+            .expect("infer path");
+        assert_eq!(batched, sequential, "fused decode diverged");
+        // Empty batch is a no-op.
+        assert_eq!(model.infer_predict_batch(&[], Some(&road)), Some(vec![]));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! predicts, per target timestamp, the road segment (classification with a
 //! constraint mask, Eq. 16) and the moving ratio (regression, Eq. 17).
 
+use std::ops::Range;
+
 use rand::rngs::StdRng;
 
 use crate::attention::AdditiveAttention;
@@ -18,6 +20,10 @@ use rntrajrec_nn::{infer, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 /// (`exp(-30) ≈ 1e-13`: effectively zero probability, numerically safe).
 const MASKED_OUT_LOGW: f32 = -30.0;
 
+/// One member's per-step sparse mask log-weights (`None` for unmasked
+/// steps), precomputed once per batched decode.
+type StepLogMasks = Vec<Option<Vec<(usize, f32)>>>;
+
 /// Decoder configuration.
 #[derive(Debug, Clone)]
 pub struct DecoderConfig {
@@ -25,6 +31,17 @@ pub struct DecoderConfig {
     pub num_segments: usize,
     /// Apply the constraint mask of Section V (ablation toggle).
     pub use_mask: bool,
+}
+
+/// One member of a fused decode batch ([`Decoder::recover_batch_infer`]):
+/// its tape-free encoder outputs plus the request's step metadata.
+pub struct BatchMember<'a> {
+    /// `[l_τ, d]` per-point encoder states (decoder attention keys).
+    pub per_point: &'a Tensor,
+    /// `[1, d]` trajectory-level state (initial decoder hidden state).
+    pub traj: &'a Tensor,
+    /// The request (target length and constraint masks).
+    pub sample: &'a SampleInput,
 }
 
 /// The result of decoding one trajectory.
@@ -73,14 +90,32 @@ impl Decoder {
 
     /// The constraint-mask log-weight row of Eq. (16): allowed segments
     /// carry `ln w`, everything else the effectively-zero
-    /// [`MASKED_OUT_LOGW`]. One body shared by the tape and tape-free
-    /// decode paths.
+    /// [`MASKED_OUT_LOGW`]. Used by the tape path; the tape-free paths
+    /// feed the same log-weights sparsely into the fused
+    /// `masked_log_softmax_rows` kernel via [`Decoder::mask_logw_entries`].
     fn mask_logw_row(&self, entries: &[(usize, f32)]) -> Tensor {
         let mut logw = vec![MASKED_OUT_LOGW; self.config.num_segments];
         for &(seg, w) in entries {
             logw[seg] = w.max(1e-6).ln();
         }
         Tensor::row(logw)
+    }
+
+    /// Sparse `(segment, log-weight)` mask entries for one decode step —
+    /// `None` when masking is off or the step carries no mask. The same
+    /// `ln(max(w, 1e-6))` transform as [`Decoder::mask_logw_row`], without
+    /// materialising the `[1, |V|]` row; shared by both tape-free decode
+    /// paths.
+    fn mask_logw_entries(&self, mask: &Option<Vec<(usize, f32)>>) -> Option<Vec<(usize, f32)>> {
+        match (self.config.use_mask, mask) {
+            (true, Some(entries)) => Some(
+                entries
+                    .iter()
+                    .map(|&(seg, w)| (seg, w.max(1e-6).ln()))
+                    .collect(),
+            ),
+            _ => None,
+        }
     }
 
     /// Decode all `l_ρ` steps. With `teacher_forcing` the ground-truth
@@ -208,13 +243,16 @@ impl Decoder {
             let input = infer::concat_cols(&[&x_prev, &r_prev, &a]);
             h = self.gru.infer_step(store, &input, &h);
 
-            // Road-segment head with constraint mask (Eq. 16).
+            // Road-segment head with constraint mask (Eq. 16): one fused
+            // mask-add + log-softmax kernel, no dense mask row or
+            // intermediate tensors.
             let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
-            let masked = match (self.config.use_mask, &sample.masks[j]) {
-                (true, Some(entries)) => infer::add(&logits, &self.mask_logw_row(entries)),
-                _ => logits,
-            };
-            let logp = infer::log_softmax_rows(&masked);
+            let logw = self.mask_logw_entries(&sample.masks[j]);
+            let mask = logw.as_deref().map(|entries| infer::SparseLogMask {
+                default: MASKED_OUT_LOGW,
+                entries,
+            });
+            let logp = infer::masked_log_softmax_rows(&logits, &[mask]);
             let pred = logp.argmax_row(0);
 
             let x_j = infer::gather_rows(seg_table, &[pred]);
@@ -225,6 +263,139 @@ impl Decoder {
 
             x_prev = x_j;
             r_prev = rate;
+        }
+        out
+    }
+
+    /// Fused batched greedy decode: recover a whole micro-batch in
+    /// lock-step, stacking every member's current hidden state into one
+    /// `[B, d]` matrix so each decode step runs **one** stacked matmul per
+    /// head — the `[B,d]×[d,|V|]` segment head, the `[B,2d]×[2d,1]` rate
+    /// head, the three GRU gates, the attention query projection — instead
+    /// of `B` separate `[1, d]` products. Members attend over their own
+    /// (ragged-length) encoder outputs through the segmented kernels, the
+    /// key projection `W_h·H_traj` is hoisted out of the step loop (it is
+    /// input-constant), and the active stack shrinks as shorter members
+    /// finish.
+    ///
+    /// Because every kernel involved computes each output row/segment with
+    /// exactly the accumulation order of the member's own `[1, d]` call,
+    /// the result is **bit-identical** to running [`Decoder::infer_run`]
+    /// per member, at any thread count and for any batch composition —
+    /// property-tested in `tests/batch_decode_parity.rs`.
+    pub fn recover_batch_infer(
+        &self,
+        store: &ParamStore,
+        members: &[BatchMember<'_>],
+    ) -> Vec<Vec<(usize, f32)>> {
+        let n = members.len();
+        let mut out: Vec<Vec<(usize, f32)>> = members
+            .iter()
+            .map(|m| Vec::with_capacity(m.sample.target_len()))
+            .collect();
+        let mut active: Vec<usize> = (0..n)
+            .filter(|&i| members[i].sample.target_len() > 0)
+            .collect();
+        if active.is_empty() {
+            return out;
+        }
+        let seg_table = store.value(self.seg_emb);
+        let w_id = store.value(self.w_id);
+        let b_id = store.value(self.b_id);
+        let w_rate = store.value(self.w_rate);
+        let wg = store.value(self.attn.wg);
+        let wh = store.value(self.attn.wh);
+        let v_attn = store.value(self.attn.v);
+
+        // Loop-invariant hoists: the stacked attention keys, their
+        // projection `W_h·H_traj` (one matmul for the whole batch — the
+        // sequential path recomputes it every step), per-member row ranges
+        // into both stacks, and the sparse mask log-weights per step.
+        let keys: Vec<&Tensor> = members.iter().map(|m| m.per_point).collect();
+        let keys_all = infer::concat_rows(&keys);
+        let hk_all = infer::matmul(&keys_all, wh);
+        let mut ranges: Vec<Range<usize>> = Vec::with_capacity(n);
+        let mut off = 0;
+        for m in members {
+            ranges.push(off..off + m.per_point.rows);
+            off += m.per_point.rows;
+        }
+        let logw: Vec<StepLogMasks> = members
+            .iter()
+            .map(|m| {
+                m.sample
+                    .masks
+                    .iter()
+                    .map(|mk| self.mask_logw_entries(mk))
+                    .collect()
+            })
+            .collect();
+
+        // Stacked decoder state over the active members (rows in `active`
+        // order).
+        let trajs: Vec<&Tensor> = active.iter().map(|&i| members[i].traj).collect();
+        let mut h = infer::concat_rows(&trajs);
+        let mut x_prev = infer::repeat_rows(store.value(self.start_emb), active.len());
+        let mut r_prev = Tensor::zeros(active.len(), 1);
+
+        let mut j = 0;
+        while !active.is_empty() {
+            let b = active.len();
+            // Eq. (14): additive attention, all members in lock-step — one
+            // stacked query projection, one stacked score product, then
+            // the per-member softmax/context over ragged segments.
+            let gq = infer::matmul(&h, wg);
+            let segs: Vec<Range<usize>> = active.iter().map(|&i| ranges[i].clone()).collect();
+            let pre = infer::segments_add_rowvec(&hk_all, &gq, &segs);
+            let t = infer::tanh(&pre);
+            let mu = infer::matmul_nt(v_attn, &t);
+            let lens: Vec<usize> = segs.iter().map(|s| s.len()).collect();
+            let alphas = infer::softmax_segments(&mu, &lens);
+            let a = infer::segmented_attn_context(&alphas, &keys_all, &segs);
+
+            // Eq. (15): one stacked GRU update.
+            let input = infer::concat_cols(&[&x_prev, &r_prev, &a]);
+            h = self.gru.infer_step(store, &input, &h);
+
+            // Eq. (16): one `[B,d]×[d,|V|]` segment head, then the fused
+            // per-row mask + log-softmax epilogue.
+            let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
+            let masks: Vec<Option<infer::SparseLogMask>> = active
+                .iter()
+                .map(|&i| {
+                    logw[i][j].as_deref().map(|entries| infer::SparseLogMask {
+                        default: MASKED_OUT_LOGW,
+                        entries,
+                    })
+                })
+                .collect();
+            let logp = infer::masked_log_softmax_rows(&logits, &masks);
+            let preds: Vec<usize> = (0..b).map(|r| logp.argmax_row(r)).collect();
+            let x_j = infer::gather_rows(seg_table, &preds);
+
+            // Eq. (17): one stacked rate head.
+            let rate_in = infer::concat_cols(&[&x_j, &h]);
+            let rate = infer::sigmoid(&infer::matmul(&rate_in, w_rate));
+
+            for (s, &i) in active.iter().enumerate() {
+                out[i].push((preds[s], rate.data[s]));
+            }
+            x_prev = x_j;
+            r_prev = rate;
+            j += 1;
+
+            // Retire finished members, compacting the stacked state rows
+            // (the batch shrinks; remaining rows keep their exact values —
+            // gather_rows is a pure row copy).
+            if active.iter().any(|&i| members[i].sample.target_len() <= j) {
+                let keep: Vec<usize> = (0..b)
+                    .filter(|&s| members[active[s]].sample.target_len() > j)
+                    .collect();
+                h = infer::gather_rows(&h, &keep);
+                x_prev = infer::gather_rows(&x_prev, &keep);
+                r_prev = infer::gather_rows(&r_prev, &keep);
+                active = keep.iter().map(|&s| active[s]).collect();
+            }
         }
         out
     }

@@ -78,41 +78,21 @@ impl LayerNorm {
     }
 
     /// `x: [N, dim] -> [N, dim]`, each row normalised independently.
+    ///
+    /// Runs the fused `layer_norm` kernel (one statistics pass + one
+    /// normalise-and-affine pass) instead of the nine-op primitive chain;
+    /// the forward value is bit-identical to the composed route and the op
+    /// carries its own analytic backward.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
-        let d = self.dim;
-        let ones = tape.leaf(Tensor::full(d, 1, 1.0));
-        let mu = tape.matmul(x, ones); // [N,1] row sums
-        let mu = tape.scale(mu, 1.0 / d as f32);
-        let neg_mu = tape.scale(mu, -1.0);
-        let centered = tape.add_colvec(x, neg_mu);
-        let sq = tape.mul(centered, centered);
-        let var = tape.matmul(sq, ones);
-        let var = tape.scale(var, 1.0 / d as f32);
-        let var = tape.add_const(var, self.eps);
-        let std = tape.sqrt(var);
-        let inv = tape.recip(std); // [N,1]
-        let norm = tape.mul_colvec(centered, inv);
         let gamma = tape.param(store, self.gamma);
         let beta = tape.param(store, self.beta);
-        let scaled = tape.mul_rowvec(norm, gamma);
-        tape.add_rowvec(scaled, beta)
+        tape.layer_norm(x, gamma, beta, self.eps)
     }
 
-    /// Tape-free twin of [`LayerNorm::forward`] (same op order, so results
-    /// are bit-identical).
+    /// Tape-free twin of [`LayerNorm::forward`] (same fused kernel, so
+    /// results are bit-identical).
     pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
-        let d = self.dim;
-        let ones = Tensor::full(d, 1, 1.0);
-        let mu = infer::scale(&infer::matmul(x, &ones), 1.0 / d as f32);
-        let neg_mu = infer::scale(&mu, -1.0);
-        let centered = infer::add_colvec(x, &neg_mu);
-        let sq = infer::mul(&centered, &centered);
-        let var = infer::scale(&infer::matmul(&sq, &ones), 1.0 / d as f32);
-        let var = infer::add_const(&var, self.eps);
-        let inv = infer::recip(&infer::sqrt(&var));
-        let norm = infer::mul_colvec(&centered, &inv);
-        let scaled = infer::mul_rowvec(&norm, store.value(self.gamma));
-        infer::add_rowvec(&scaled, store.value(self.beta))
+        infer::layer_norm(x, store.value(self.gamma), store.value(self.beta), self.eps)
     }
 }
 

@@ -1,0 +1,158 @@
+//! Property suite for the fused batched decoder.
+//!
+//! The contract: [`Decoder::recover_batch_infer`] over an arbitrary
+//! micro-batch — ragged target lengths, repeated members, any batch size,
+//! any intra-op thread count — is **bit-identical** to running
+//! [`Decoder::infer_run`] on each member alone. The batched path stacks
+//! same-step states into `[B, d]` matrices and runs one matmul per head
+//! per step; every fused kernel keeps each member's per-element
+//! accumulation order, which is exactly what this suite pins down.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rntrajrec_models::{BatchMember, Decoder, DecoderConfig, FeatureExtractor, SampleInput};
+use rntrajrec_nn::{pool, ParamStore, Tensor};
+use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
+use rntrajrec_synth::{SimConfig, Simulator};
+
+struct Fixture {
+    store: ParamStore,
+    decoder: Decoder,
+    /// `(per_point, traj, sample)` pool entries with ragged input and
+    /// target lengths.
+    members: Vec<(Tensor, Tensor, SampleInput)>,
+}
+
+impl Fixture {
+    fn member(&self, p: usize) -> BatchMember<'_> {
+        let (per_point, traj, sample) = &self.members[p];
+        BatchMember {
+            per_point,
+            traj,
+            sample,
+        }
+    }
+
+    fn sequential(&self, p: usize) -> Vec<(usize, f32)> {
+        let (per_point, traj, sample) = &self.members[p];
+        self.decoder.infer_run(&self.store, per_point, traj, sample)
+    }
+}
+
+const DIM: usize = 16;
+const POOL: usize = 6;
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        let grid = city.net.grid(50.0);
+        let fx = FeatureExtractor::new(&city.net, &rtree, grid);
+        let mut rng = StdRng::seed_from_u64(41);
+        // Ragged pool: distinct target lengths (3..12) and input lengths,
+        // with one pair (9, 9) sharing a target length for the
+        // equal-length grouping case.
+        let shapes: [(usize, usize); POOL] = [(3, 4), (5, 8), (7, 6), (9, 10), (9, 8), (12, 5)];
+        let members = shapes
+            .iter()
+            .map(|&(target_len, raw_len)| {
+                let mut sim = Simulator::new(
+                    &city.net,
+                    SimConfig {
+                        target_len,
+                        ..Default::default()
+                    },
+                );
+                let input = fx.extract(&sim.sample(&mut rng, raw_len));
+                let per_point = Tensor::uniform(input.input_len(), DIM, 0.5, &mut rng);
+                let traj = Tensor::uniform(1, DIM, 0.5, &mut rng);
+                (per_point, traj, input)
+            })
+            .collect();
+        let mut store = ParamStore::new();
+        let decoder = Decoder::new(
+            &mut store,
+            &mut rng,
+            DecoderConfig {
+                dim: DIM,
+                num_segments: city.net.num_segments(),
+                use_mask: true,
+            },
+        );
+        Fixture {
+            store,
+            decoder,
+            members,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary ragged batches (any composition, with repeats) decoded in
+    /// one fused pass equal the per-member sequential decode bit-for-bit,
+    /// at 1 and 4 intra-op kernel threads.
+    #[test]
+    fn fused_batch_equals_sequential(
+        batch_size in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks: Vec<usize> = (0..batch_size)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..POOL))
+            .collect();
+        let fix = fixture();
+        pool::set_num_threads(1);
+        let sequential: Vec<Vec<(usize, f32)>> =
+            picks.iter().map(|&p| fix.sequential(p)).collect();
+        for threads in [1usize, 4] {
+            pool::set_num_threads(threads);
+            let batch: Vec<BatchMember> = picks.iter().map(|&p| fix.member(p)).collect();
+            let batched = fix.decoder.recover_batch_infer(&fix.store, &batch);
+            pool::set_num_threads(1);
+            prop_assert!(batched == sequential, "diverged at {} threads", threads);
+        }
+    }
+}
+
+/// `B = 1` is the degenerate batch: it must reproduce the sequential path
+/// exactly (the stacked matrices are the member's own `[1, d]` rows).
+#[test]
+fn singleton_batch_equals_sequential() {
+    let fix = fixture();
+    pool::set_num_threads(1);
+    for p in 0..POOL {
+        let batched = fix
+            .decoder
+            .recover_batch_infer(&fix.store, &[fix.member(p)]);
+        assert_eq!(batched[0], fix.sequential(p), "member {p} diverged at B=1");
+    }
+}
+
+/// All-equal target lengths: no member ever retires early, so the stacked
+/// state never compacts — the pure lock-step regime.
+#[test]
+fn equal_length_batch_equals_sequential() {
+    let fix = fixture();
+    pool::set_num_threads(1);
+    // Members 3 and 4 share target length 9; repeat them.
+    let picks = [3usize, 4, 3, 4];
+    let sequential: Vec<Vec<(usize, f32)>> = picks.iter().map(|&p| fix.sequential(p)).collect();
+    let batch: Vec<BatchMember> = picks.iter().map(|&p| fix.member(p)).collect();
+    let batched = fix.decoder.recover_batch_infer(&fix.store, &batch);
+    assert_eq!(batched, sequential);
+}
+
+/// The empty batch is a no-op.
+#[test]
+fn empty_batch_is_noop() {
+    let fix = fixture();
+    let batched = fix.decoder.recover_batch_infer(&fix.store, &[]);
+    assert!(batched.is_empty());
+}

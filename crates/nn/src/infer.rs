@@ -15,7 +15,11 @@
 //!
 //! Naming follows the tape methods (`add_rowvec` here ≡ `Tape::add_rowvec`).
 
+use std::ops::Range;
+
 use crate::{kernels, GraphCsr, Tensor};
+
+pub use crate::kernels::SparseLogMask;
 
 // ----- element-wise ---------------------------------------------------------
 
@@ -101,6 +105,39 @@ pub fn softmax_rows(a: &Tensor) -> Tensor {
 
 pub fn log_softmax_rows(a: &Tensor) -> Tensor {
     kernels::log_softmax_rows(a)
+}
+
+/// Fused constraint-mask add + stable log-softmax per row (the decoder's
+/// Eq. 16 epilogue); bit-identical to `log_softmax_rows(add(x, mask))`.
+pub fn masked_log_softmax_rows(a: &Tensor, masks: &[Option<SparseLogMask<'_>>]) -> Tensor {
+    kernels::masked_log_softmax_rows(a, masks)
+}
+
+// ----- layer norm -------------------------------------------------------------
+
+/// Fused layer normalisation `y = γ ⊙ (x − μ)/σ + β` per row;
+/// bit-identical to the composed primitive route.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    kernels::layer_norm(x, gamma, beta, eps)
+}
+
+// ----- segmented decoder-fusion ops -------------------------------------------
+
+/// Stack `m[segs[s], :] + v[s, :]` over every segment (batched attention
+/// pre-activation).
+pub fn segments_add_rowvec(m: &Tensor, v: &Tensor, segs: &[Range<usize>]) -> Tensor {
+    kernels::segments_add_rowvec(m, v, segs)
+}
+
+/// Softmax over consecutive chunks of a `[1, N]` row.
+pub fn softmax_segments(a: &Tensor, lens: &[usize]) -> Tensor {
+    kernels::softmax_segments(a, lens)
+}
+
+/// Per-segment `[1, L_s] × [L_s, C]` attention application (batched
+/// decoder context vectors).
+pub fn segmented_attn_context(alphas: &Tensor, feats: &Tensor, segs: &[Range<usize>]) -> Tensor {
+    kernels::segmented_attn_context(alphas, feats, segs)
 }
 
 // ----- shape ops ------------------------------------------------------------

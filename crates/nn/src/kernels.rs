@@ -47,8 +47,8 @@ static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Monotone process-wide counter of matmul-family kernel invocations.
 /// Benchmarks take deltas around a measured section (e.g. `serve_bench`
-/// counts decoder-step matmuls per request to baseline the planned
-/// same-length decoder-step fusion).
+/// counts decoder-step matmuls before and after the batched decoder
+/// fusion: ~9·B per step sequential vs. ~one per head per step fused).
 pub fn matmul_invocations() -> u64 {
     MATMUL_CALLS.load(Ordering::Relaxed)
 }
@@ -88,43 +88,92 @@ where
 
 // ----- matrix products -------------------------------------------------------
 
+/// The matmul inner kernel: `orow[j] += Σ_k arow[k] · b[k, col0 + j]`,
+/// register-blocked over `k` (blocks of four `a` values held in registers,
+/// one pass over the output row per block) so the output row is traversed
+/// 4× less often and four rows of `B` stream through cache together. Per
+/// output element the floating-point work is still `+= a_k·b_kj` in
+/// ascending `k` with zero entries of `arow` skipped — one rounding step
+/// per product, in the same order as the scalar loop, so blocked and
+/// unblocked results are bit-identical (pinned by the `kernel_parity`
+/// suite).
+///
+/// `stride` is the row stride of `b`; `col0` the first output column (used
+/// by the `[1, C]` path, which partitions output columns across the pool).
+fn matmul_axpy(arow: &[f32], b: &[f32], stride: usize, col0: usize, orow: &mut [f32]) {
+    let k = arow.len();
+    let w = orow.len();
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            let base = kk * stride + col0;
+            let b0 = &b[base..base + w];
+            let b1 = &b[base + stride..base + stride + w];
+            let b2 = &b[base + 2 * stride..base + 2 * stride + w];
+            let b3 = &b[base + 3 * stride..base + 3 * stride + w];
+            for j in 0..w {
+                let mut o = orow[j];
+                o += a0 * b0[j];
+                o += a1 * b1[j];
+                o += a2 * b2[j];
+                o += a3 * b3[j];
+                orow[j] = o;
+            }
+        } else {
+            // A zero inside the block: fall back to the per-k loop with the
+            // zero-skip (same accumulation order either way).
+            for t in 0..4 {
+                let av = arow[kk + t];
+                if av == 0.0 {
+                    continue;
+                }
+                let base = (kk + t) * stride + col0;
+                let brow = &b[base..base + w];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let av = arow[kk];
+        if av != 0.0 {
+            let base = kk * stride + col0;
+            let brow = &b[base..base + w];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+        kk += 1;
+    }
+}
+
 /// `A[R,K] × B[K,C]`, parallel over output rows (output columns when
-/// `R == 1`). Zero entries of `A` are skipped — per output element the
-/// accumulation is ascending over `k`, identical in every partitioning.
+/// `R == 1`), with a register-blocked k-loop ([`matmul_axpy`]). Zero
+/// entries of `A` are skipped — per output element the accumulation is
+/// ascending over `k`, identical in every partitioning and block size.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols, b.rows, "matmul: inner dimension mismatch");
     MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
     let (r, k, c) = (a.rows, a.cols, b.cols);
     let mut out = Tensor::zeros(r, c);
     if r == 1 {
-        let ptr = SendPtr(out.data.as_mut_ptr());
-        pool::for_each_chunk(c, (MIN_MATMUL_WORK / k.max(1)).max(1), move |cols| {
-            for (kk, &av) in a.data.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b.data[kk * c..(kk + 1) * c];
-                for j in cols.clone() {
-                    // SAFETY: column ranges are disjoint across chunks.
-                    unsafe { *ptr.get().add(j) += av * brow[j] };
-                }
-            }
-        });
+        par_row_chunks(
+            &mut out.data,
+            1,
+            c,
+            (MIN_MATMUL_WORK / k.max(1)).max(1),
+            |cols, dst| matmul_axpy(&a.data, &b.data, c, cols.start, dst),
+        );
     } else {
         let min_rows = (MIN_MATMUL_WORK / (k * c).max(1)).max(1);
         par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
             for (ri, i) in rows.enumerate() {
                 let arow = &a.data[i * k..(i + 1) * k];
                 let orow = &mut dst[ri * c..(ri + 1) * c];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b.data[kk * c..(kk + 1) * c];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
+                matmul_axpy(arow, &b.data, c, 0, orow);
             }
         });
     }
@@ -434,6 +483,66 @@ pub fn log_softmax_rows(a: &Tensor) -> Tensor {
     t
 }
 
+/// Sparse per-row constraint mask for [`masked_log_softmax_rows`]: the
+/// dense mask row is `default` everywhere except at the `(column,
+/// log-weight)` `entries` (a later duplicate entry wins, matching a dense
+/// build by overwrites). This is the decoder's Eq. 16 constraint mask
+/// without ever materialising the `[1, |V|]` row.
+#[derive(Clone, Copy, Debug)]
+pub struct SparseLogMask<'a> {
+    /// Log-weight at every column not named by an entry.
+    pub default: f32,
+    /// `(column, log-weight)` overrides; columns must be in range.
+    pub entries: &'a [(usize, f32)],
+}
+
+/// Fused constraint-mask add + row-wise stable log-softmax (the decoder's
+/// Eq. 16 epilogue): one kernel instead of the mask build, `add`, and
+/// `log_softmax_rows` sequence, with no intermediate tensors. Rows with a
+/// mask compute `log_softmax(x + mask)`; rows with `None` fuse the copy
+/// and max scan into a single traversal. The per-element arithmetic
+/// (`x + m`, max fold, `Σ exp(x − max)`, `ln + max`, subtract) is exactly
+/// the composed route's, so results are bit-identical to
+/// `log_softmax_rows(add(x, mask))` — parallel over row ranges.
+pub fn masked_log_softmax_rows(a: &Tensor, masks: &[Option<SparseLogMask<'_>>]) -> Tensor {
+    let (r, c) = a.shape();
+    assert_eq!(masks.len(), r, "masked_log_softmax_rows: one mask per row");
+    let mut out = Tensor::zeros(r, c);
+    if c == 0 {
+        return out;
+    }
+    let min_rows = (MIN_ROW_WORK / c).max(1);
+    par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+        for (ri, i) in rows.enumerate() {
+            let src = &a.data[i * c..(i + 1) * c];
+            let row = &mut dst[ri * c..(ri + 1) * c];
+            let max = match masks[i] {
+                None => {
+                    // Copy + max scan in one traversal.
+                    let mut m = f32::NEG_INFINITY;
+                    for (o, &x) in row.iter_mut().zip(src) {
+                        *o = x;
+                        m = m.max(x);
+                    }
+                    m
+                }
+                Some(mask) => {
+                    for (o, &x) in row.iter_mut().zip(src) {
+                        *o = x + mask.default;
+                    }
+                    for &(col, lw) in mask.entries {
+                        row[col] = src[col] + lw;
+                    }
+                    row.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+                }
+            };
+            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            row.iter_mut().for_each(|x| *x -= lse);
+        }
+    });
+    out
+}
+
 /// Per-row layer-norm statistics: `(mean, 1/sqrt(var + eps))`, each
 /// `[R,1]`; parallel over row ranges. Follows the exact accumulation
 /// order of the composed tape/infer layer-norm route (ascending-index
@@ -471,6 +580,45 @@ pub fn row_norm_stats(a: &Tensor, eps: f32) -> (Tensor, Tensor) {
         }
     });
     (mean, inv_std)
+}
+
+/// Fused layer normalisation `y = γ ⊙ (x − μ)/σ + β` over each row:
+/// [`row_norm_stats`] plus a single normalise-and-affine pass, replacing
+/// the nine-op composed route (two matmuls with a ones column, scales,
+/// centre, square, sqrt, recip, broadcasts). Per element the arithmetic is
+/// `((x + (−μ)) · inv_std) · γ + β` — the composed route's exact operation
+/// chain — so results are bit-identical to it; parallel over row ranges.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let (r, c) = x.shape();
+    assert_eq!(
+        (gamma.rows, gamma.cols),
+        (1, c),
+        "layer_norm: gamma must be [1,C]"
+    );
+    assert_eq!(
+        (beta.rows, beta.cols),
+        (1, c),
+        "layer_norm: beta must be [1,C]"
+    );
+    let (mean, inv_std) = row_norm_stats(x, eps);
+    let mut out = Tensor::zeros(r, c);
+    let min_rows = (MIN_MAP_ELEMS / c.max(1)).max(1);
+    par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+        for (ri, i) in rows.enumerate() {
+            let neg_mu = -mean.data[i];
+            let inv = inv_std.data[i];
+            let src = &x.data[i * c..(i + 1) * c];
+            let drow = &mut dst[ri * c..(ri + 1) * c];
+            for ((d, &xv), (&g, &b)) in drow
+                .iter_mut()
+                .zip(src)
+                .zip(gamma.data.iter().zip(&beta.data))
+            {
+                *d = ((xv + neg_mu) * inv) * g + b;
+            }
+        }
+    });
+    out
 }
 
 // ----- shape & gather ops ----------------------------------------------------
@@ -589,6 +737,146 @@ pub fn gather_rows(table: &Tensor, indices: &[usize]) -> Tensor {
         for (ri, i) in rows.enumerate() {
             let src = indices[i];
             dst[ri * c..(ri + 1) * c].copy_from_slice(&table.data[src * c..(src + 1) * c]);
+        }
+    });
+    out
+}
+
+// ----- segmented decoder-fusion ops ------------------------------------------
+//
+// The batched decoder stacks a micro-batch's same-step states into one
+// matrix, but each member attends over its *own* encoder outputs (ragged
+// lengths). These kernels run the per-member attention pieces over all
+// members in one launch: segments are disjoint row/column ranges, each
+// processed with exactly the per-member op's accumulation order, so the
+// stacked result is bit-identical to B separate calls.
+
+/// Validate `segs` against `rows` rows and return the exclusive prefix
+/// offsets of the stacked output (`offsets[s]` = first stacked row of
+/// segment `s`; `offsets[len]` = total rows).
+fn segment_offsets(segs: &[Range<usize>], rows: usize) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(segs.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for seg in segs {
+        assert!(
+            seg.start <= seg.end && seg.end <= rows,
+            "segment {seg:?} out of {rows} rows"
+        );
+        acc += seg.len();
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Chunk floor sized so each pool chunk holds roughly `MIN_MAP_ELEMS`
+/// scalar operations' worth of segments.
+fn min_segments_for(num_segs: usize, total_work: usize) -> usize {
+    if total_work == 0 {
+        return usize::MAX;
+    }
+    (MIN_MAP_ELEMS * num_segs / total_work).max(1)
+}
+
+/// Stack `m[segs[s], :] + v[s, :]` over every segment → the segments
+/// concatenated in order. This is the batched decoder's attention
+/// pre-activation: each member's key projections plus its own query row,
+/// one launch for the whole micro-batch. Per element the op is exactly
+/// [`add_rowvec`]'s `x + y`; parallel over segment ranges (disjoint output
+/// row blocks).
+pub fn segments_add_rowvec(m: &Tensor, v: &Tensor, segs: &[Range<usize>]) -> Tensor {
+    let c = m.cols;
+    assert_eq!(
+        (v.rows, v.cols),
+        (segs.len(), c),
+        "segments_add_rowvec: v must be [S,C]"
+    );
+    let offsets = segment_offsets(segs, m.rows);
+    let total = offsets[segs.len()];
+    let mut out = Tensor::zeros(total, c);
+    let ptr = SendPtr(out.data.as_mut_ptr());
+    let min_segs = min_segments_for(segs.len(), total * c);
+    pool::for_each_chunk(segs.len(), min_segs, move |srange| {
+        for s in srange {
+            let vrow = &v.data[s * c..(s + 1) * c];
+            let mut o = offsets[s] * c;
+            for i in segs[s].clone() {
+                let src = &m.data[i * c..(i + 1) * c];
+                for (t, (&x, &y)) in src.iter().zip(vrow).enumerate() {
+                    // SAFETY: segment output blocks are disjoint across chunks.
+                    unsafe { *ptr.get().add(o + t) = x + y };
+                }
+                o += c;
+            }
+        }
+    });
+    out
+}
+
+/// Softmax over consecutive chunks of a `[1, N]` row (`lens` summing to
+/// `N`): each chunk is one member's attention scores, normalised exactly
+/// like [`softmax_rows`] on its own `[1, len]` slice (empty chunks are
+/// left untouched). Parallel over chunk ranges — each chunk is one
+/// self-contained reduction.
+pub fn softmax_segments(a: &Tensor, lens: &[usize]) -> Tensor {
+    assert_eq!(a.rows, 1, "softmax_segments: input must be [1,N]");
+    let total: usize = lens.iter().sum();
+    assert_eq!(total, a.cols, "softmax_segments: lens must sum to N");
+    let mut t = a.clone();
+    let mut offsets = Vec::with_capacity(lens.len());
+    let mut acc = 0usize;
+    for &l in lens {
+        offsets.push(acc);
+        acc += l;
+    }
+    let ptr = SendPtr(t.data.as_mut_ptr());
+    let min_segs = min_segments_for(lens.len(), 4 * total);
+    pool::for_each_chunk(lens.len(), min_segs, move |srange| {
+        for s in srange {
+            if lens[s] > 0 {
+                // SAFETY: chunks of distinct segments never overlap.
+                let row =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(offsets[s]), lens[s]) };
+                softmax_in_place(row);
+            }
+        }
+    });
+    t
+}
+
+/// Per-segment attention application: output row `s` is
+/// `Σ_k α[off_s + k] · feats[segs[s].start + k, :]` — the batched
+/// decoder's context vectors, a block-diagonal stack of the sequential
+/// path's `[1, L_s] × [L_s, C]` products. `alphas` holds the segments'
+/// weights concatenated in order. The accumulation is exactly [`matmul`]'s
+/// (ascending `k`, zero weights skipped), so each output row is
+/// bit-identical to the member's own product; parallel over segment ranges
+/// (one output row per segment).
+pub fn segmented_attn_context(alphas: &Tensor, feats: &Tensor, segs: &[Range<usize>]) -> Tensor {
+    let c = feats.cols;
+    let offsets = segment_offsets(segs, feats.rows);
+    assert_eq!(
+        alphas.len(),
+        offsets[segs.len()],
+        "segmented_attn_context: weight count must match segment rows"
+    );
+    let mut out = Tensor::zeros(segs.len(), c);
+    let min_rows = (MIN_MATMUL_WORK * segs.len())
+        .checked_div(alphas.len() * c)
+        .map_or(usize::MAX, |m| m.max(1));
+    par_row_chunks(&mut out.data, c, segs.len(), min_rows, |srange, dst| {
+        for (ri, s) in srange.enumerate() {
+            let orow = &mut dst[ri * c..(ri + 1) * c];
+            for (ak, i) in (offsets[s]..).zip(segs[s].clone()) {
+                let av = alphas.data[ak];
+                if av == 0.0 {
+                    continue;
+                }
+                let frow = &feats.data[i * c..(i + 1) * c];
+                for (o, &fv) in orow.iter_mut().zip(frow) {
+                    *o += av * fv;
+                }
+            }
         }
     });
     out
@@ -819,6 +1107,134 @@ mod tests {
             assert!(agg.data.iter().all(|&x| x == 0.0));
         }
         pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn masked_log_softmax_matches_composed_route() {
+        let x = t(4, 12, 30);
+        // Row 0: no mask; row 1: sparse mask; row 2: duplicate entries
+        // (later wins); row 3: empty entry list (pure default fill).
+        let e1 = [(3usize, -0.5f32), (7, 0.25)];
+        let e2 = [(5usize, -1.0f32), (5, 0.75)];
+        let e3: [(usize, f32); 0] = [];
+        let masks = [
+            None,
+            Some(SparseLogMask {
+                default: -30.0,
+                entries: &e1,
+            }),
+            Some(SparseLogMask {
+                default: -30.0,
+                entries: &e2,
+            }),
+            Some(SparseLogMask {
+                default: -2.0,
+                entries: &e3,
+            }),
+        ];
+        // Composed reference: dense mask built by overwrites, add, then
+        // log-softmax.
+        let mut want = Tensor::zeros(4, 12);
+        for (r, mask) in masks.iter().enumerate() {
+            let mut row: Vec<f32> = x.row_slice(r).to_vec();
+            if let Some(m) = mask {
+                let mut dense = vec![m.default; 12];
+                for &(col, lw) in m.entries {
+                    dense[col] = lw;
+                }
+                for (v, d) in row.iter_mut().zip(dense) {
+                    *v += d;
+                }
+            }
+            let lsm = log_softmax_rows(&Tensor::row(row));
+            want.data[r * 12..(r + 1) * 12].copy_from_slice(&lsm.data);
+        }
+        let before = pool::num_threads();
+        for threads in [1, 2, 4] {
+            pool::set_num_threads(threads);
+            let got = masked_log_softmax_rows(&x, &masks);
+            assert_eq!(got.data, want.data, "t={threads}: not bit-identical");
+        }
+        pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn layer_norm_matches_composed_route() {
+        let x = t(5, 16, 31);
+        let gamma = t(1, 16, 32);
+        let beta = t(1, 16, 33);
+        let eps = 1e-5;
+        // The composed route the tape/infer LayerNorm layer used to run.
+        let ones = Tensor::full(16, 1, 1.0);
+        let mu = scale(&matmul(&x, &ones), 1.0 / 16.0);
+        let centered = add_colvec(&x, &scale(&mu, -1.0));
+        let var = add_const(
+            &scale(&matmul(&mul(&centered, &centered), &ones), 1.0 / 16.0),
+            eps,
+        );
+        let inv = recip(&sqrt(&var));
+        let norm = mul_colvec(&centered, &inv);
+        let want = add_rowvec(&mul_rowvec(&norm, &gamma), &beta);
+        let before = pool::num_threads();
+        for threads in [1, 2, 4] {
+            pool::set_num_threads(threads);
+            let got = layer_norm(&x, &gamma, &beta, eps);
+            assert_eq!(got.data, want.data, "t={threads}: not bit-identical");
+        }
+        pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn segmented_ops_match_per_member_route() {
+        // Three ragged members (lengths 4, 0, 7) over a shared stack.
+        let m = t(11, 8, 34);
+        let v = t(3, 8, 35);
+        let segs = [0usize..4, 4..4, 4..11];
+        let before = pool::num_threads();
+
+        // Per-member reference: add_rowvec + softmax_rows + matmul.
+        let mut pre_want = Vec::new();
+        let mut alpha_want = Vec::new();
+        let mut ctx_want = Vec::new();
+        for (s, seg) in segs.iter().enumerate() {
+            let rows = select_rows(&m, seg.start, seg.len());
+            let vrow = select_rows(&v, s, 1);
+            let pre = add_rowvec(&rows, &vrow);
+            pre_want.extend_from_slice(&pre.data);
+            // Scores row for the softmax/context checks: first column.
+            let scores: Vec<f32> = (0..seg.len()).map(|i| pre.data[i * 8]).collect();
+            let sm = softmax_rows(&Tensor::row(scores.clone()));
+            alpha_want.extend_from_slice(&sm.data);
+            let ctx = matmul(&sm, &rows);
+            ctx_want.extend_from_slice(&ctx.data);
+        }
+
+        for threads in [1, 2, 4] {
+            pool::set_num_threads(threads);
+            let pre = segments_add_rowvec(&m, &v, &segs);
+            assert_eq!(pre.data, pre_want, "segments_add_rowvec t={threads}");
+            let lens: Vec<usize> = segs.iter().map(|s| s.len()).collect();
+            let scores = Tensor::row((0..pre.rows).map(|i| pre.data[i * 8]).collect::<Vec<_>>());
+            let alphas = softmax_segments(&scores, &lens);
+            assert_eq!(alphas.data, alpha_want, "softmax_segments t={threads}");
+            let ctx = segmented_attn_context(&alphas, &m, &segs);
+            assert_eq!(ctx.data, ctx_want, "segmented_attn_context t={threads}");
+        }
+        pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn blocked_matmul_handles_zero_blocks_and_tails() {
+        // Zeros placed to hit the all-nonzero block, the mixed block, and
+        // the scalar tail of the register-blocked k-loop.
+        let mut a = t(3, 11, 36);
+        for kk in [1usize, 2, 3, 9] {
+            a.data[11 + kk] = 0.0; // second row: zeros inside block + tail
+        }
+        let b = t(11, 7, 37);
+        let row = Tensor::row(a.data[11..22].to_vec());
+        assert_eq!(matmul(&a, &b).data, matmul_ref(&a, &b).data);
+        assert_eq!(matmul(&row, &b).data, matmul_ref(&row, &b).data);
     }
 
     #[test]

@@ -251,8 +251,9 @@ pub fn env_threads() -> Option<usize> {
 }
 
 /// Upper bound on threads the global pool supports. At least 4 so
-/// thread-scaling sweeps (1/2/4) run everywhere, capped at 16; a larger
-/// `NN_THREADS` raises it.
+/// thread-scaling sweeps (1/2/4) run everywhere; `NN_THREADS` raises it
+/// above the hardware parallelism, but the bound is hard-capped at 16 —
+/// settings beyond that silently run with 16 threads.
 fn capacity() -> usize {
     let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
     hw.max(env_threads().unwrap_or(0)).clamp(4, 16)

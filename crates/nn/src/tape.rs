@@ -60,6 +60,9 @@ pub enum Op {
     SoftmaxRows(NodeId),
     /// Row-wise log-softmax (stable).
     LogSoftmaxRows(NodeId),
+    /// Fused per-row layer norm `y = γ ⊙ (x − μ)/σ + β`:
+    /// `(x, gamma, beta, eps)`.
+    LayerNorm(NodeId, NodeId, NodeId, f32),
     /// Horizontal concatenation (same row count).
     ConcatCols(Vec<NodeId>),
     /// Columns `[start, start+len)`.
@@ -263,6 +266,17 @@ impl Tape {
     pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
         let t = kernels::log_softmax_rows(self.val(a));
         self.push(t, Op::LogSoftmaxRows(a))
+    }
+
+    // ----- layer norm -------------------------------------------------------
+
+    /// Fused per-row layer normalisation `y = γ ⊙ (x − μ)/σ + β`
+    /// (`gamma`/`beta` are `[1, C]`). The forward value is bit-identical
+    /// to the composed primitive route; the backward is the op's own
+    /// analytic gradient rather than nine chained adjoints.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
+        let t = kernels::layer_norm(self.val(x), self.val(gamma), self.val(beta), eps);
+        self.push(t, Op::LayerNorm(x, gamma, beta, eps))
     }
 
     // ----- shape ops ----------------------------------------------------------
@@ -588,6 +602,45 @@ impl Tape {
                         }
                     }
                     self.acc(a, &ga);
+                }
+                Op::LayerNorm(x, gamma, beta, eps) => {
+                    let tx = &self.nodes[x].value;
+                    let tg = &self.nodes[gamma].value;
+                    let (r, c) = tx.shape();
+                    let (mean, inv_std) = kernels::row_norm_stats(tx, eps);
+                    let inv_d = 1.0 / c as f32;
+                    let mut gx = vec![0.0f32; r * c];
+                    let mut ggamma = vec![0.0f32; c];
+                    let mut gbeta = vec![0.0f32; c];
+                    for row in 0..r {
+                        let m = mean.data[row];
+                        let istd = inv_std.data[row];
+                        let xr = &tx.data[row * c..(row + 1) * c];
+                        let gr = &g[row * c..(row + 1) * c];
+                        // x̂ = (x − μ)·invstd; p = g ⊙ γ. Then
+                        // dx = invstd · (p − mean(p) − x̂ · mean(p ⊙ x̂)),
+                        // dγ = Σ_rows g ⊙ x̂, dβ = Σ_rows g.
+                        let mut sum_p = 0.0f32;
+                        let mut sum_px = 0.0f32;
+                        for col in 0..c {
+                            let xh = (xr[col] - m) * istd;
+                            let p = gr[col] * tg.data[col];
+                            sum_p += p;
+                            sum_px += p * xh;
+                            ggamma[col] += gr[col] * xh;
+                            gbeta[col] += gr[col];
+                        }
+                        let mp = sum_p * inv_d;
+                        let mpx = sum_px * inv_d;
+                        for col in 0..c {
+                            let xh = (xr[col] - m) * istd;
+                            let p = gr[col] * tg.data[col];
+                            gx[row * c + col] = istd * (p - mp - xh * mpx);
+                        }
+                    }
+                    self.acc(x, &gx);
+                    self.acc(gamma, &ggamma);
+                    self.acc(beta, &gbeta);
                 }
                 Op::ConcatCols(parts) => {
                     let total = self.nodes[i].value.cols;

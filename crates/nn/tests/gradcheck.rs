@@ -369,6 +369,35 @@ fn grad_layer_norm_composite() {
 }
 
 #[test]
+fn grad_layer_norm_fused() {
+    // The fused op's own backward (x, gamma, and beta all receive exact
+    // analytic gradients).
+    check(
+        &[t(3, 6, 59), t_pos(1, 6, 60, 0.5, 1.5), t(1, 6, 61)],
+        |tp, ids| tp.layer_norm(ids[0], ids[1], ids[2], 1e-3),
+    );
+}
+
+#[test]
+fn fused_layer_norm_forward_matches_composite() {
+    // Same normalisation as grad_layer_norm_composite's composed graph,
+    // with unit gain and zero shift: values must agree.
+    let x = t(1, 6, 53);
+    let mut tp = Tape::new();
+    let xid = tp.leaf(x.clone());
+    let gamma = tp.leaf(Tensor::full(1, 6, 1.0));
+    let beta = tp.leaf(Tensor::zeros(1, 6));
+    let y = tp.layer_norm(xid, gamma, beta, 1e-3);
+    let v = tp.value(y);
+    let mean: f32 = x.data.iter().sum::<f32>() / 6.0;
+    let var: f32 = x.data.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / 6.0;
+    for (got, &xi) in v.data.iter().zip(&x.data) {
+        let want = (xi - mean) / (var + 1e-3).sqrt();
+        assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+    }
+}
+
+#[test]
 fn backward_requires_scalar_loss() {
     let mut tp = Tape::new();
     let x = tp.leaf(t(2, 2, 54));

@@ -160,6 +160,127 @@ proptest! {
             prop_assert!(s.data == inv.data, "inv_std not bit-identical @ t={}", threads);
         }
         pool::set_num_threads(1);
+
+        // Fused layer norm ≡ the composed primitive route, and the tape's
+        // fused op matches both, at every thread count.
+        pool::set_num_threads(1);
+        let gamma = tensor(&mut rng, 1, c);
+        let beta = tensor(&mut rng, 1, c);
+        let norm_ref = infer::add_rowvec(
+            &infer::mul_rowvec(&infer::mul_colvec(&centered, &inv), &gamma),
+            &beta,
+        );
+        let mut ln_tape = Tape::new();
+        let (lx, lg, lb) = (
+            ln_tape.leaf(a.clone()),
+            ln_tape.leaf(gamma.clone()),
+            ln_tape.leaf(beta.clone()),
+        );
+        let ln_node = ln_tape.layer_norm(lx, lg, lb, 1e-5);
+        prop_assert_eq!(&ln_tape.value(ln_node).data, &norm_ref.data);
+        assert_thread_invariant("layer_norm", &norm_ref, || {
+            kernels::layer_norm(&a, &gamma, &beta, 1e-5)
+        });
+    }
+
+    /// The fused mask+log-softmax epilogue ≡ dense mask build + `add` +
+    /// `log_softmax_rows`, over random sparse masks (absent rows, empty
+    /// entry lists, duplicate entries) at every thread count.
+    #[test]
+    fn masked_log_softmax_parity(r in 1usize..40, c in 1usize..96, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor(&mut rng, r, c);
+        let entries: Vec<Option<Vec<(usize, f32)>>> = (0..r)
+            .map(|_| {
+                rng.gen::<f32>().lt(&0.6).then(|| {
+                    let n = rng.gen_range(0usize..=5);
+                    (0..n)
+                        .map(|_| (rng.gen_range(0..c), rng.gen_range(-3.0f32..0.5)))
+                        .collect()
+                })
+            })
+            .collect();
+        let masks: Vec<Option<kernels::SparseLogMask>> = entries
+            .iter()
+            .map(|e| {
+                e.as_deref().map(|entries| kernels::SparseLogMask {
+                    default: -30.0,
+                    entries,
+                })
+            })
+            .collect();
+
+        pool::set_num_threads(1);
+        // Composed reference: dense mask rows built by overwrites.
+        let mut mask_dense = Tensor::zeros(r, c);
+        for (row, e) in entries.iter().enumerate() {
+            if let Some(e) = e {
+                let dense = &mut mask_dense.data[row * c..(row + 1) * c];
+                dense.fill(-30.0);
+                for &(col, lw) in e {
+                    dense[col] = lw;
+                }
+            }
+        }
+        let want = infer::log_softmax_rows(&infer::add(&a, &mask_dense));
+        assert_thread_invariant("masked_log_softmax_rows", &want, || {
+            kernels::masked_log_softmax_rows(&a, &masks)
+        });
+    }
+
+    /// The segmented decoder-fusion kernels (stacked attention
+    /// pre-activation, per-segment softmax, per-segment context product)
+    /// ≡ the per-member `infer` ops over random ragged segments (including
+    /// empty members), at every thread count.
+    #[test]
+    fn segmented_decoder_kernels_parity(nseg in 1usize..10, d in 1usize..24, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lens: Vec<usize> = (0..nseg).map(|_| rng.gen_range(0usize..12)).collect();
+        let total: usize = lens.iter().sum();
+        let mut segs = Vec::with_capacity(nseg);
+        let mut off = 0;
+        for &l in &lens {
+            segs.push(off..off + l);
+            off += l;
+        }
+        let keys = tensor(&mut rng, total, d);
+        let v = tensor(&mut rng, nseg, d);
+        let vatt = tensor(&mut rng, 1, d);
+
+        pool::set_num_threads(1);
+        // Per-member reference: each member's own add_rowvec → tanh →
+        // matmul_nt → softmax_rows → matmul chain (the sequential
+        // decoder's Eq. 14), stacked for comparison.
+        let mut pre_ref = Vec::new();
+        let mut alpha_ref = Vec::new();
+        let mut ctx_ref = Vec::new();
+        for (s, seg) in segs.iter().enumerate() {
+            let k_i = infer::select_rows(&keys, seg.start, seg.len());
+            let v_i = infer::select_rows(&v, s, 1);
+            let pre_i = infer::add_rowvec(&k_i, &v_i);
+            let t_i = infer::tanh(&pre_i);
+            let mu_i = infer::matmul_nt(&vatt, &t_i);
+            let al_i = infer::softmax_rows(&mu_i);
+            let ctx_i = infer::matmul(&al_i, &k_i);
+            pre_ref.extend_from_slice(&pre_i.data);
+            alpha_ref.extend_from_slice(&al_i.data);
+            ctx_ref.extend_from_slice(&ctx_i.data);
+        }
+        let pre_ref = Tensor::from_vec(total, d, pre_ref);
+        let alpha_ref = Tensor::from_vec(1, total, alpha_ref);
+        let ctx_ref = Tensor::from_vec(nseg, d, ctx_ref);
+
+        assert_thread_invariant("segments_add_rowvec", &pre_ref, || {
+            kernels::segments_add_rowvec(&keys, &v, &segs)
+        });
+        let t_all = infer::tanh(&pre_ref);
+        let mu_all = infer::matmul_nt(&vatt, &t_all);
+        assert_thread_invariant("softmax_segments", &alpha_ref, || {
+            kernels::softmax_segments(&mu_all, &lens)
+        });
+        assert_thread_invariant("segmented_attn_context", &ctx_ref, || {
+            kernels::segmented_attn_context(&alpha_ref, &keys, &segs)
+        });
     }
 
     /// CSR graph-attention ops on random ragged graphs (including isolated

@@ -6,14 +6,20 @@
 //! [`EngineConfig::max_delay`] (continuous-batching style: size bounds
 //! throughput overhead, the deadline bounds tail latency at low load).
 //!
-//! Each request inside a batch is recovered independently against the
-//! shared read-only [`ServingModel`], so batched results are bit-identical
-//! to sequential per-request inference regardless of batch composition,
-//! worker count, or arrival order — property-tested in this crate. The
-//! batching win is scheduling (one queue round-trip per batch, warm caches
-//! on the shared road embeddings), not cross-request math: RNTrajRec's
-//! GraphNorm makes cross-trajectory fusion change results, which an online
-//! service must never do.
+//! Each flushed batch is recovered through the **fused decode path**
+//! against the shared read-only [`ServingModel`]: encoders still run per
+//! member (RNTrajRec's GraphNorm makes cross-trajectory *encoder* fusion
+//! change results, which an online service must never do), but the decoder
+//! stacks the batch's same-step hidden states and runs one `[B, ·]` matmul
+//! per head per step instead of `B` separate `[1, ·]` products. Every
+//! fused kernel keeps the member's own per-element accumulation order, so
+//! batched results remain **bit-identical** to sequential per-request
+//! inference regardless of batch composition, worker count, or arrival
+//! order — property-tested in this crate and in
+//! `rntrajrec-models/tests/batch_decode_parity.rs`. Batching now wins
+//! twice: scheduling (one queue round-trip per batch) *and* per-step math
+//! (one pass over the `[d, |V|]` segment-head weights per step for the
+//! whole batch).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -308,26 +314,22 @@ fn take_batch(shared: &Shared) -> Option<Vec<Pending>> {
 fn worker_loop(shared: &Shared) {
     while let Some(batch) = take_batch(shared) {
         let batch_size = batch.len();
-        for pending in batch {
-            // Independent per-request inference against the shared
-            // read-only model: bit-identical to a sequential call. A
-            // panicking request (e.g. an input built against a different
-            // road network tripping a shape assert) must fail that request
-            // only — never take the worker thread, and with it the whole
-            // engine, down.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                shared.model.recover(&pending.input)
-            }));
+        // The whole flushed batch goes through the fused decode path:
+        // encoders run per member, decoder steps run as stacked [B, ·]
+        // products — bit-identical to per-request inference, so the batch
+        // composition is still unobservable in the results. A panicking
+        // request (e.g. an input built against a different road network
+        // tripping a shape assert) makes `recover_batch` fall back to
+        // per-member recovery internally, failing only that request —
+        // never the worker thread, and with it the whole engine.
+        let inputs: Vec<&SampleInput> = batch.iter().map(|p| &p.input).collect();
+        let results = shared.model.recover_batch(&inputs);
+        for (pending, result) in batch.iter().zip(results) {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             let (path, error) = match result {
                 Ok(path) => (path, None),
-                Err(payload) => {
+                Err(msg) => {
                     shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "inference panicked".to_string());
                     (Vec::new(), Some(msg))
                 }
             };

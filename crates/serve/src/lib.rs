@@ -15,10 +15,14 @@
 //!   the GPS encoder and decoder.
 //! * [`RecoveryEngine`] — a multi-threaded **micro-batching** scheduler:
 //!   requests queue up, a batch flushes on size ([`EngineConfig::max_batch`])
-//!   or deadline ([`EngineConfig::max_delay`]), workers drain batches
-//!   concurrently. Batched output is bit-identical to sequential
-//!   per-request inference (each request is computed independently; the
-//!   batch is a scheduling unit, not a numerical one).
+//!   or deadline ([`EngineConfig::max_delay`]), workers drain whole batches
+//!   through the **fused decode path** ([`ServingModel::recover_batch`]):
+//!   encoders run per member, decoder steps run as stacked `[B, ·]`
+//!   matmuls — one product per head per step for the whole batch instead
+//!   of one per member. Batched output is bit-identical to sequential
+//!   per-request inference (every fused kernel preserves the member's own
+//!   per-element accumulation order), so the fusion is pure performance,
+//!   never a numerical change.
 //!
 //! # Compute threading: workers × intra-op threads
 //!
@@ -257,6 +261,31 @@ mod tests {
         assert_eq!(stats.completed, 2);
     }
 
+    /// A corrupt member inside a *multi-request* batch must fail alone:
+    /// the fused pass panics, the fallback recovers every healthy member
+    /// with its exact sequential result.
+    #[test]
+    fn corrupt_member_fails_alone_inside_fused_batch() {
+        let (city, inputs) = fixture(4);
+        let model = serving(&city);
+        let mut bad = inputs[2].clone();
+        bad.subgraphs[0].nodes[0] = usize::MAX / 2;
+        let batch: Vec<&SampleInput> = vec![&inputs[0], &inputs[1], &bad, &inputs[3]];
+        let results = model.recover_batch(&batch);
+        assert_eq!(results.len(), 4);
+        for (i, (input, result)) in batch.iter().zip(&results).enumerate() {
+            if i == 2 {
+                assert!(result.is_err(), "corrupt member must error");
+            } else {
+                assert_eq!(
+                    result.as_ref().expect("healthy member"),
+                    &model.recover(input),
+                    "member {i} diverged in fallback"
+                );
+            }
+        }
+    }
+
     #[test]
     fn threads_per_worker_sets_intra_op_threads() {
         let (city, inputs) = fixture(1);
@@ -264,10 +293,10 @@ mod tests {
         let want = model.recover(&inputs[0]);
         // NN_THREADS is unset in the test environment unless the whole
         // suite runs under it — in that case the env var must win and
-        // this test asserts that instead.
-        let env_threads = std::env::var("NN_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok());
+        // this test asserts that instead. Use the pool's own parser so
+        // edge values (0, whitespace) are classified exactly as the
+        // engine classifies them.
+        let env_threads = rntrajrec_nn::pool::env_threads();
         let engine = RecoveryEngine::start(
             Arc::clone(&model),
             EngineConfig {

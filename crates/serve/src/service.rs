@@ -48,6 +48,15 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "inference panicked".to_string())
+}
+
 /// A model ready to serve: tape-free path validated at construction, road
 /// embeddings precomputed. Shared read-only across worker threads.
 pub struct ServingModel {
@@ -73,6 +82,36 @@ impl ServingModel {
         self.model
             .infer_predict(input, self.road.as_ref().map(|c| &c.x_road))
             .expect("infer path validated in ServingModel::new")
+    }
+
+    /// Recover a whole micro-batch through the **fused decoder**
+    /// ([`rntrajrec::EndToEnd::infer_predict_batch`]): encoders run per
+    /// member, decode steps run as stacked `[B, ·]` products — one matmul
+    /// per head per step instead of one per member — with output
+    /// bit-identical to per-member [`ServingModel::recover`].
+    ///
+    /// Panic isolation: a malformed member panics the fused pass, so on
+    /// panic the batch falls back to per-member recovery, each member
+    /// individually caught — the bad request fails alone (`Err` with the
+    /// panic message) and every healthy member still returns its exact
+    /// result.
+    pub fn recover_batch(&self, inputs: &[&SampleInput]) -> Vec<Result<Vec<(usize, f32)>, String>> {
+        let road = self.road.as_ref().map(|c| &c.x_road);
+        let fused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.model
+                .infer_predict_batch(inputs, road)
+                .expect("infer path validated in ServingModel::new")
+        }));
+        match fused {
+            Ok(paths) => paths.into_iter().map(Ok).collect(),
+            Err(_) => inputs
+                .iter()
+                .map(|input| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.recover(input)))
+                        .map_err(|payload| panic_message(&payload))
+                })
+                .collect(),
+        }
     }
 
     pub fn model(&self) -> &EndToEnd {
