@@ -1,0 +1,191 @@
+//! Bench-regression gate over `results/BENCH_serve.json`.
+//!
+//! Compares a freshly generated record against the committed baseline and
+//! fails (exit 1) when a load-bearing performance claim regressed:
+//!
+//! * **Deterministic counters** (decoder matmuls per step, the
+//!   sequential-vs-batched fusion ratio) are gated tightly — they cannot
+//!   be noisy, only broken.
+//! * **Wall-clock speedups** (tape vs tape-free, fused-decode speedup)
+//!   are gated loosely (shared CI runners are noisy) but still catch
+//!   gross regressions, and keep their absolute floors.
+//! * **Bit-identity flags** must stay `true` — those are correctness, not
+//!   performance.
+//!
+//! The committed baseline lives at `crates/bench/baselines/BENCH_serve.json`
+//! (`results/` is gitignored — regenerate the baseline by copying a fresh
+//! `SCALE=quick` record over it when a PR legitimately moves performance).
+//!
+//! ```bash
+//! SCALE=quick cargo run --release -p rntrajrec-bench --bin serve_bench
+//! cargo run --release -p rntrajrec-bench --bin check_bench -- \
+//!     crates/bench/baselines/BENCH_serve.json results/BENCH_serve.json
+//! ```
+
+use std::process::ExitCode;
+
+use serde::Value;
+
+/// Walk a dotted path through nested objects.
+fn lookup<'a>(v: &'a Value, path: &str) -> Option<&'a Value> {
+    path.split('.').try_fold(v, |v, key| v.get(key))
+}
+
+fn num(v: &Value, path: &str) -> Option<f64> {
+    lookup(v, path)?.as_f64()
+}
+
+struct Gate {
+    failures: u32,
+    checks: u32,
+}
+
+impl Gate {
+    /// One comparison: `fresh_value` from `path`, required to satisfy
+    /// `ok`, reported against the baseline's value at the same path.
+    fn check(
+        &mut self,
+        name: &str,
+        baseline: Option<f64>,
+        fresh: Option<f64>,
+        ok: impl Fn(f64, f64) -> bool,
+        rule: &str,
+    ) {
+        self.checks += 1;
+        match (baseline, fresh) {
+            (Some(b), Some(f)) => {
+                let pass = ok(b, f);
+                println!(
+                    "{} {name}: baseline {b:.4}, fresh {f:.4}  [{rule}]",
+                    if pass { "PASS" } else { "FAIL" },
+                );
+                if !pass {
+                    self.failures += 1;
+                }
+            }
+            _ => {
+                println!("FAIL {name}: missing (baseline {baseline:?}, fresh {fresh:?})  [{rule}]");
+                self.failures += 1;
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    // Default paths resolve from the workspace root (where CI runs) via
+    // the crate manifest, so the binary also works from crate dirs.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| format!("{root}/crates/bench/baselines/BENCH_serve.json"));
+    let fresh_path = args
+        .next()
+        .unwrap_or_else(|| format!("{root}/results/BENCH_serve.json"));
+
+    let read = |path: &str| -> Value {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    };
+    let baseline = read(&baseline_path);
+    let fresh = read(&fresh_path);
+    println!("=== bench regression gate ===");
+    println!("baseline: {baseline_path}");
+    println!("fresh:    {fresh_path}\n");
+
+    let mut gate = Gate {
+        failures: 0,
+        checks: 0,
+    };
+
+    // Deterministic: decoder matmuls per step after fusion. A tiny
+    // additive slack absorbs batch-composition rounding, nothing more.
+    let key = "city_scale.decoder_fusion.matmuls_per_decoder_step_batched";
+    gate.check(
+        key,
+        num(&baseline, key),
+        num(&fresh, key),
+        |b, f| f <= b + 0.5 && f <= 12.0,
+        "fresh <= baseline + 0.5 and <= 12",
+    );
+
+    // Deterministic: how many matmuls fusion eliminates per step
+    // (sequential / batched ratio must not shrink much).
+    let seq_key = "city_scale.decoder_fusion.matmuls_per_decoder_step_sequential";
+    let ratio = |v: &Value| {
+        let s = num(v, seq_key)?;
+        let b = num(v, key)?;
+        (b > 0.0).then_some(s / b)
+    };
+    gate.check(
+        "decoder fusion matmul ratio (sequential/batched)",
+        ratio(&baseline),
+        ratio(&fresh),
+        |b, f| f >= b * 0.9,
+        "fresh >= 0.9 x baseline",
+    );
+
+    // Wall clock, loose: fused decode speedup over sequential decode.
+    let key = "city_scale.decoder_fusion.speedup";
+    gate.check(
+        key,
+        num(&baseline, key),
+        num(&fresh, key),
+        |b, f| f >= (b * 0.5).min(0.9),
+        "fresh >= min(0.5 x baseline, 0.9)",
+    );
+
+    // Wall clock, loose: tape-free inference speedup over the tape path.
+    // serve_bench itself already hard-fails below 1.0.
+    gate.check(
+        "speedup (tape vs tape-free)",
+        num(&baseline, "speedup"),
+        num(&fresh, "speedup"),
+        |b, f| f >= 1.0 && f >= b * 0.4,
+        "fresh >= 1.0 and >= 0.4 x baseline",
+    );
+
+    // Correctness flags must never flip.
+    for key in [
+        "city_scale.decoder_fusion.bit_identical",
+        "http_roundtrip.bit_identical",
+    ] {
+        let flag = |v: &Value| lookup(v, key).and_then(Value::as_bool);
+        gate.checks += 1;
+        // The baseline may predate the section (first rollout of a new
+        // bench); the fresh record must carry it and it must be true.
+        match (flag(&baseline), flag(&fresh)) {
+            (Some(true) | None, Some(true)) => println!("PASS {key}: true"),
+            (b, f) => {
+                println!("FAIL {key}: baseline {b:?}, fresh {f:?}  [must be true]");
+                gate.failures += 1;
+            }
+        }
+    }
+
+    // Informational (not gated — pure network overhead depends on the
+    // runner's loopback stack).
+    if let (Some(b), Some(f)) = (
+        num(&baseline, "http_roundtrip.network_overhead_p50_ms"),
+        num(&fresh, "http_roundtrip.network_overhead_p50_ms"),
+    ) {
+        println!("INFO http_roundtrip.network_overhead_p50_ms: baseline {b:.3}, fresh {f:.3}");
+    }
+
+    println!(
+        "\n{}: {} checks, {} failed",
+        if gate.failures == 0 {
+            "OK"
+        } else {
+            "REGRESSED"
+        },
+        gate.checks,
+        gate.failures
+    );
+    if gate.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -20,12 +20,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rntrajrec::model::{EndToEnd, MethodSpec};
+use rntrajrec::wire::{RecoverRequest, RecoverResponse};
 use rntrajrec_bench::dump_json;
 use rntrajrec_models::{BatchMember, FeatureExtractor, SampleInput};
 use rntrajrec_nn::{kernels, pool};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
-use rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel};
-use rntrajrec_synth::{SimConfig, Simulator};
+use rntrajrec_serve::http::client;
+use rntrajrec_serve::{
+    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+};
+use rntrajrec_synth::{SimConfig, Simulator, TrajSample};
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
@@ -107,6 +111,7 @@ fn main() {
                     // Pin kernels to one thread: this sweep isolates
                     // worker/batch scaling from intra-op parallelism.
                     threads_per_worker: 1,
+                    queue_capacity: None,
                 },
             );
             let clients = 8usize;
@@ -321,6 +326,99 @@ fn main() {
         );
     }
 
+    // --- 4. HTTP round-trip: network-layer overhead vs in-process --------
+    // The same wire requests through (a) the in-process engine dispatch
+    // and (b) a real TCP socket + HTTP parse + JSON round-trip, with
+    // bit-identity asserted between the two. The spread is the cost of
+    // the network front-end itself.
+    let (http_reqs_n, http_reps) = if quick { (16, 1) } else { (64, 3) };
+    let http_city = SyntheticCity::generate(CityConfig::tiny());
+    let http_grid = http_city.net.grid(50.0);
+    let http_model = EndToEnd::build(&MethodSpec::RnTrajRec, &http_city.net, &http_grid, 16, 7);
+    let http_serving = Arc::new(ServingModel::new(http_model).expect("RNTrajRec serves"));
+    let mut http_sim = Simulator::new(&http_city.net, SimConfig::default());
+    let mut http_rng = StdRng::seed_from_u64(29);
+    let samples: Vec<TrajSample> = (0..http_reqs_n)
+        .map(|_| http_sim.sample(&mut http_rng, 8))
+        .collect();
+    let wire_reqs: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
+            serde_json::to_string(&req).expect("request serializes")
+        })
+        .collect();
+    let ctx = Arc::new(QueryContext::new(http_city.net, 50.0));
+    let http_engine = Arc::new(RecoveryEngine::start(
+        Arc::clone(&http_serving),
+        EngineConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            workers: 2,
+            threads_per_worker: 1,
+            queue_capacity: Some(256),
+        },
+    ));
+    let server = HttpServer::start(
+        Arc::clone(&http_engine),
+        Arc::clone(&ctx),
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..HttpConfig::default()
+        },
+        None,
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut inproc_ms: Vec<f64> = Vec::with_capacity(http_reps * http_reqs_n);
+    let mut http_ms: Vec<f64> = Vec::with_capacity(http_reps * http_reqs_n);
+    for rep in 0..http_reps {
+        for (i, body) in wire_reqs.iter().enumerate() {
+            let req = RecoverRequest::from_json(body).expect("round-trips");
+            let t = Instant::now();
+            let want = http_engine.recover(ctx.sample_input(&req)).path;
+            inproc_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+
+            let t = Instant::now();
+            let resp = client::post_json(addr, "/v1/recover", body).expect("http roundtrip");
+            http_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+            assert_eq!(resp.status, 200, "recover failed: {}", resp.body);
+            let parsed = RecoverResponse::from_json(&resp.body).expect("well-formed");
+            assert_eq!(
+                parsed.path(),
+                want,
+                "HTTP recovery diverged from in-process dispatch (rep {rep}, request {i})"
+            );
+        }
+    }
+    server.shutdown();
+    inproc_ms.sort_by(|a, b| a.total_cmp(b));
+    http_ms.sort_by(|a, b| a.total_cmp(b));
+    let inproc_p50 = percentile(&inproc_ms, 0.50);
+    let inproc_p99 = percentile(&inproc_ms, 0.99);
+    let http_p50 = percentile(&http_ms, 0.50);
+    let http_p99 = percentile(&http_ms, 0.99);
+    println!(
+        "\n--- HTTP round-trip ({} requests, closed loop) ---",
+        http_ms.len()
+    );
+    println!("in-process dispatch : p50 {inproc_p50:8.3} ms   p99 {inproc_p99:8.3} ms");
+    println!("HTTP (TCP + JSON)   : p50 {http_p50:8.3} ms   p99 {http_p99:8.3} ms");
+    println!(
+        "network overhead    : p50 {:+8.3} ms  (bit-identical results asserted)",
+        http_p50 - inproc_p50
+    );
+    let http_roundtrip = serde_json::json!({
+        "requests": http_ms.len(),
+        "inprocess_p50_ms": inproc_p50,
+        "inprocess_p99_ms": inproc_p99,
+        "http_p50_ms": http_p50,
+        "http_p99_ms": http_p99,
+        "network_overhead_p50_ms": http_p50 - inproc_p50,
+        "bit_identical": true,
+    });
+
     let decoder_baseline = serde_json::json!({
         "matmuls_per_request": matmuls_per_request,
         "decoder_steps_per_request": steps_per_request,
@@ -350,6 +448,7 @@ fn main() {
         "sweep": sweep,
         "cores": cores,
         "city_scale": city_scale,
+        "http_roundtrip": http_roundtrip,
     });
     dump_json("BENCH_serve", &json);
 

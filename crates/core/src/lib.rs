@@ -12,6 +12,9 @@
 //! * [`twostage`] — the Linear+HMM and DHTR+HMM two-stage baselines.
 //! * [`experiments`] — drivers regenerating every table and figure of the
 //!   paper's evaluation at configurable scale.
+//! * [`wire`] — the JSON wire format of the HTTP serving front-end
+//!   (`rntrajrec-serve`): recover request/response bodies and their
+//!   validation.
 //!
 //! # Quickstart
 //!
@@ -31,6 +34,7 @@ pub mod metrics;
 pub mod model;
 pub mod train;
 pub mod twostage;
+pub mod wire;
 
 pub use experiments::{ExperimentScale, Pipeline};
 pub use metrics::{EvalMetrics, MetricsAccumulator};

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use rntrajrec_geo::{BBox, GridSpec, XY};
 use rntrajrec_nn::{GraphCsr, Tensor};
 use rntrajrec_roadnet::{RTree, RoadNetwork, SegmentId};
-use rntrajrec_synth::TrajSample;
+use rntrajrec_synth::{MatchedTrajectory, RawTrajectory, TimeContext, TrajSample};
 
 /// The weighted sub-graph `Ĝ_τ,i = (V_τ,i, E_τ,i, W_τ,i)` around one GPS
 /// point (Section IV-C).
@@ -89,6 +89,15 @@ pub struct FeatureExtractor<'a> {
 
 impl<'a> FeatureExtractor<'a> {
     pub fn new(net: &'a RoadNetwork, rtree: &'a RTree, grid: GridSpec) -> Self {
+        Self::with_bbox(net, rtree, grid, net.bbox())
+    }
+
+    /// Like [`FeatureExtractor::new`] but reusing an already-computed
+    /// study-area bounding box — [`RoadNetwork::bbox`] scans every segment
+    /// geometry, which a per-request caller (the HTTP serving path) must
+    /// not repeat. `bbox` must be `net.bbox()`'s value for normalisation
+    /// to stay consistent.
+    pub fn with_bbox(net: &'a RoadNetwork, rtree: &'a RTree, grid: GridSpec, bbox: BBox) -> Self {
         Self {
             net,
             rtree,
@@ -97,7 +106,7 @@ impl<'a> FeatureExtractor<'a> {
             gamma_m: 30.0,
             beta_m: 15.0,
             mask_radius_m: 100.0,
-            bbox: net.bbox(),
+            bbox,
         }
     }
 
@@ -157,19 +166,61 @@ impl<'a> FeatureExtractor<'a> {
         }
     }
 
-    /// Full conversion of one sample.
+    /// Full conversion of one supervised sample.
     pub fn extract(&self, sample: &TrajSample) -> SampleInput {
-        let l_tau = sample.raw.len();
-        let l_rho = sample.target.len();
         let duration = sample.target.points.last().map_or(1.0, |p| p.t.max(1.0));
+        self.extract_inner(
+            &sample.raw,
+            sample.target.len(),
+            duration,
+            sample.time_context(),
+            Some(&sample.target),
+        )
+    }
+
+    /// Query-time conversion: a raw trajectory with **no ground truth** —
+    /// what an online request carries over the wire. Every
+    /// inference-relevant field (`base_feats`, `grid_flat`, sub-graphs,
+    /// `env`, constraint `masks`, `obs_step`, and the decode length) is
+    /// computed exactly as [`FeatureExtractor::extract`] computes it;
+    /// supervision-only fields (`target_segs`/`target_rates`,
+    /// `input_true_segs`, `target_xy_norm`, sub-graph `true_row`) are
+    /// filled with neutral values, which the tape-free inference path
+    /// never reads. The recovery window spans the raw trajectory
+    /// (`duration` = last raw timestamp), matching the simulator's
+    /// down-sampling convention of always keeping the final point.
+    ///
+    /// # Panics
+    /// Panics when `raw` is empty or `target_len` is zero — wire
+    /// validation rejects both before this is reached.
+    pub fn extract_query(
+        &self,
+        raw: &RawTrajectory,
+        target_len: usize,
+        time: TimeContext,
+    ) -> SampleInput {
+        assert!(!raw.is_empty(), "query trajectory must have points");
+        assert!(target_len >= 1, "target_len must be >= 1");
+        let duration = raw.points.last().map_or(1.0, |p| p.t.max(1.0));
+        self.extract_inner(raw, target_len, duration, time, None)
+    }
+
+    fn extract_inner(
+        &self,
+        raw: &RawTrajectory,
+        l_rho: usize,
+        duration: f64,
+        time: TimeContext,
+        truth: Option<&MatchedTrajectory>,
+    ) -> SampleInput {
+        let l_tau = raw.len();
         let width = self.bbox.width().max(1.0);
         let height = self.bbox.height().max(1.0);
 
         // Map each input point to its target step (timestamps align by
         // construction of the down-sampling).
         let eps = duration / (l_rho - 1).max(1) as f64;
-        let obs_step: Vec<usize> = sample
-            .raw
+        let obs_step: Vec<usize> = raw
             .points
             .iter()
             .map(|p| ((p.t / eps).round() as usize).min(l_rho - 1))
@@ -180,7 +231,7 @@ impl<'a> FeatureExtractor<'a> {
         let mut nearest_seg = Vec::with_capacity(l_tau);
         let mut subgraphs = Vec::with_capacity(l_tau);
         let mut input_true_segs = Vec::with_capacity(l_tau);
-        for (i, p) in sample.raw.points.iter().enumerate() {
+        for (i, p) in raw.points.iter().enumerate() {
             let cell = self.grid.cell_of(&p.xy);
             feats.set(i, 0, ((p.xy.x - self.bbox.min_x) / width) as f32);
             feats.set(i, 1, ((p.xy.y - self.bbox.min_y) / height) as f32);
@@ -194,25 +245,28 @@ impl<'a> FeatureExtractor<'a> {
                 .map(|h| h.seg.index())
                 .unwrap_or(0);
             nearest_seg.push(nearest);
-            let true_seg = sample.target.points[obs_step[i]].pos.seg;
-            input_true_segs.push(true_seg.index());
-            subgraphs.push(self.subgraph_at(&p.xy, Some(true_seg)));
+            let true_seg = truth.map(|t| t.points[obs_step[i]].pos.seg);
+            input_true_segs.push(true_seg.map_or(0, |s| s.index()));
+            subgraphs.push(self.subgraph_at(&p.xy, true_seg));
         }
 
-        // Supervision + constraint masks.
+        // Supervision (neutral zeros for query-time inputs) + constraint
+        // masks.
         let beta2 = (self.beta_m * self.beta_m) as f32;
-        let mut target_segs = Vec::with_capacity(l_rho);
-        let mut target_rates = Vec::with_capacity(l_rho);
+        let mut target_segs = vec![0usize; l_rho];
+        let mut target_rates = vec![0.0f32; l_rho];
         let mut target_xy_norm = Tensor::zeros(l_rho, 2);
         let mut masks: Vec<Option<Vec<(usize, f32)>>> = vec![None; l_rho];
-        for (j, mp) in sample.target.points.iter().enumerate() {
-            target_segs.push(mp.pos.seg.index());
-            target_rates.push(mp.pos.frac as f32);
-            let xy = mp.pos.xy(self.net);
-            target_xy_norm.set(j, 0, ((xy.x - self.bbox.min_x) / width) as f32);
-            target_xy_norm.set(j, 1, ((xy.y - self.bbox.min_y) / height) as f32);
+        if let Some(target) = truth {
+            for (j, mp) in target.points.iter().enumerate() {
+                target_segs[j] = mp.pos.seg.index();
+                target_rates[j] = mp.pos.frac as f32;
+                let xy = mp.pos.xy(self.net);
+                target_xy_norm.set(j, 0, ((xy.x - self.bbox.min_x) / width) as f32);
+                target_xy_norm.set(j, 1, ((xy.y - self.bbox.min_y) / height) as f32);
+            }
         }
-        for (i, p) in sample.raw.points.iter().enumerate() {
+        for (i, p) in raw.points.iter().enumerate() {
             let hits = self
                 .rtree
                 .within_radius(self.net, &p.xy, self.mask_radius_m);
@@ -234,7 +288,7 @@ impl<'a> FeatureExtractor<'a> {
             grid_flat,
             nearest_seg,
             subgraphs,
-            env: sample.time_context().features(),
+            env: time.features(),
             target_segs,
             target_rates,
             masks,
@@ -277,6 +331,37 @@ mod tests {
         assert_eq!(input.subgraphs.len(), s.raw.len());
         assert_eq!(input.masks.len(), s.target.len());
         assert_eq!(input.obs_step.len(), s.raw.len());
+    }
+
+    /// A query-time extraction from the same raw trajectory must agree
+    /// with the supervised extraction on every field inference reads —
+    /// this is what makes HTTP-served recovery bit-identical to the
+    /// in-process engine fed with supervised `SampleInput`s.
+    #[test]
+    fn extract_query_matches_extract_on_inference_fields() {
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let s = sample(&city, 3);
+        let supervised = fx.extract(&s);
+        let query = fx.extract_query(&s.raw, s.target.len(), s.time_context());
+
+        assert_eq!(query.base_feats.data, supervised.base_feats.data);
+        assert_eq!(query.grid_flat, supervised.grid_flat);
+        assert_eq!(query.nearest_seg, supervised.nearest_seg);
+        assert_eq!(query.env, supervised.env);
+        assert_eq!(query.masks, supervised.masks);
+        assert_eq!(query.obs_step, supervised.obs_step);
+        assert_eq!(query.target_len(), supervised.target_len());
+        assert_eq!(query.subgraphs.len(), supervised.subgraphs.len());
+        for (q, sgt) in query.subgraphs.iter().zip(&supervised.subgraphs) {
+            assert_eq!(q.nodes, sgt.nodes);
+            assert_eq!(q.weights, sgt.weights);
+            assert_eq!(q.csr.as_ref(), sgt.csr.as_ref());
+            assert_eq!(q.true_row, None, "query sub-graphs carry no truth");
+        }
+        // Supervision stays neutral.
+        assert!(query.target_segs.iter().all(|&s| s == 0));
+        assert!(query.target_rates.iter().all(|&r| r == 0.0));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! `serve_http` — the standalone HTTP serving front-end.
+//!
+//! Boots a synthetic city, builds an RNTrajRec model over it, starts the
+//! micro-batching [`RecoveryEngine`] and the HTTP/1.1 server, and serves
+//! until `SIGTERM`/`SIGINT`, then drains gracefully (listener stops
+//! accepting, in-flight requests and queued batches finish) and exits 0.
+//!
+//! ```bash
+//! cargo run --release -p rntrajrec-serve --bin serve_http -- --addr 127.0.0.1:8080
+//! # In another shell:
+//! curl -s localhost:8080/healthz
+//! curl -s localhost:8080/v1/example | curl -s -X POST --data-binary @- localhost:8080/v1/recover
+//! curl -s localhost:8080/metrics
+//! ```
+//!
+//! Weights are untrained (startup in milliseconds, latency identical to a
+//! trained model); recovery *quality* needs trained weights — see
+//! `examples/serve_city.rs` for the train-then-serve flow.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rntrajrec::model::{EndToEnd, MethodSpec};
+use rntrajrec::wire::RecoverRequest;
+use rntrajrec_roadnet::{CityConfig, SyntheticCity};
+use rntrajrec_serve::{
+    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+};
+use rntrajrec_synth::{SimConfig, Simulator};
+
+/// Set by the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    unsafe extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: a single relaxed store.
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    unsafe extern "C" {
+        /// C library `signal(2)`; always linked, no crate needed.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as unsafe extern "C" fn(i32);
+    unsafe {
+        signal(SIGTERM, handler as usize);
+        signal(SIGINT, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Args {
+    addr: String,
+    queue_capacity: Option<usize>,
+    deadline_ms: u64,
+    max_batch: usize,
+    max_delay_ms: u64,
+    workers: usize,
+    conn_workers: usize,
+    max_body_bytes: usize,
+    retry_after_secs: u64,
+    city_blocks: usize,
+    dim: usize,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            queue_capacity: Some(64),
+            deadline_ms: 5000,
+            max_batch: 8,
+            max_delay_ms: 2,
+            workers: 2,
+            conn_workers: 4,
+            max_body_bytes: 1 << 20,
+            retry_after_secs: 1,
+            city_blocks: 4,
+            dim: 16,
+            seed: 7,
+        }
+    }
+}
+
+const USAGE: &str = "serve_http — RNTrajRec HTTP serving front-end
+
+USAGE: serve_http [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+    --queue-capacity N|none admission bound on the engine queue (default 64;
+                            0 sheds every request, none = unbounded)
+    --deadline-ms N         per-request completion budget -> 503 (default 5000)
+    --max-batch N           micro-batch flush size (default 8)
+    --max-delay-ms N        micro-batch flush deadline (default 2)
+    --workers N             engine worker threads (default 2)
+    --conn-workers N        HTTP connection-handler threads (default 4)
+    --max-body-bytes N      request body cap -> 413 (default 1 MiB)
+    --retry-after-secs N    Retry-After value on 429/503 (default 1)
+    --city-blocks N         synthetic city size (default 4)
+    --dim N                 model hidden size (default 16)
+    --seed N                weight/simulator seed (default 7)
+    --help                  print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let parse_usize = |v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| format!("bad value for {flag}: {v}"))
+        };
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad value for {flag}: {v}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value,
+            "--queue-capacity" => {
+                args.queue_capacity = if value == "none" {
+                    None
+                } else {
+                    Some(parse_usize(&value)?)
+                }
+            }
+            "--deadline-ms" => args.deadline_ms = parse_u64(&value)?,
+            "--max-batch" => args.max_batch = parse_usize(&value)?.max(1),
+            "--max-delay-ms" => args.max_delay_ms = parse_u64(&value)?,
+            "--workers" => args.workers = parse_usize(&value)?.max(1),
+            "--conn-workers" => args.conn_workers = parse_usize(&value)?.max(1),
+            "--max-body-bytes" => args.max_body_bytes = parse_usize(&value)?,
+            "--retry-after-secs" => args.retry_after_secs = parse_u64(&value)?,
+            "--city-blocks" => args.city_blocks = parse_usize(&value)?.max(2),
+            "--dim" => args.dim = parse_usize(&value)?.max(4),
+            "--seed" => args.seed = parse_u64(&value)?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    install_signal_handlers();
+
+    eprintln!(
+        "building synthetic city ({0}x{0} blocks) + RNTrajRec(d={1}, seed={2})...",
+        args.city_blocks, args.dim, args.seed
+    );
+    let city = SyntheticCity::generate(CityConfig {
+        blocks_x: args.city_blocks,
+        blocks_y: args.city_blocks,
+        ..CityConfig::tiny()
+    });
+    let grid = city.net.grid(50.0);
+    let model = EndToEnd::build(
+        &MethodSpec::RnTrajRec,
+        &city.net,
+        &grid,
+        args.dim,
+        args.seed,
+    );
+    let serving = match ServingModel::new(model) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A valid example request body, served at GET /v1/example so smoke
+    // tests can POST a real trajectory without hand-built fixtures.
+    let example = {
+        let mut sim = Simulator::new(&city.net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let s = sim.sample(&mut rng, 8);
+        let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
+        serde_json::to_string(&req).expect("example serializes")
+    };
+
+    let ctx = Arc::new(QueryContext::new(city.net, 50.0));
+    let engine = Arc::new(RecoveryEngine::start(
+        serving,
+        EngineConfig {
+            max_batch: args.max_batch,
+            max_delay: Duration::from_millis(args.max_delay_ms),
+            workers: args.workers,
+            threads_per_worker: 0,
+            queue_capacity: args.queue_capacity,
+        },
+    ));
+
+    let server = match HttpServer::start(
+        Arc::clone(&engine),
+        ctx,
+        HttpConfig {
+            addr: args.addr.clone(),
+            connection_workers: args.conn_workers,
+            connection_backlog: 64,
+            deadline: Duration::from_millis(args.deadline_ms),
+            max_body_bytes: args.max_body_bytes,
+            retry_after_secs: args.retry_after_secs,
+            ..HttpConfig::default()
+        },
+        Some(example),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("listening on http://{}", server.local_addr());
+    println!(
+        "admission: queue_capacity={:?} deadline={}ms max_body={}B; engine: max_batch={} max_delay={}ms workers={}",
+        args.queue_capacity,
+        args.deadline_ms,
+        args.max_body_bytes,
+        args.max_batch,
+        args.max_delay_ms,
+        args.workers,
+    );
+
+    while !SHUTDOWN.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("signal received: draining (listener closed, in-flight batches finish)...");
+    server.shutdown();
+    // The server handle is gone, so this is the last engine reference:
+    // drain explicitly and report the post-drain counters (requests still
+    // queued at SIGTERM are served and must show in the totals).
+    let stats = match Arc::try_unwrap(engine) {
+        Ok(engine) => engine.drain(),
+        Err(engine) => engine.stats(),
+    };
+    eprintln!(
+        "drained: {} served / {} rejected / {} failed over {} batches (mean {:.2})",
+        stats.completed, stats.rejected, stats.failed, stats.batches, stats.mean_batch
+    );
+    ExitCode::SUCCESS
+}

@@ -22,7 +22,7 @@
 //! whole batch).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -49,6 +49,14 @@ pub struct EngineConfig {
     /// across requests, intra-op threads cut single-request latency —
     /// see the crate docs for the interaction.
     pub threads_per_worker: usize,
+    /// Admission bound on the waiting queue: [`RecoveryEngine::try_submit`]
+    /// rejects with [`EngineError::Overloaded`] once this many requests
+    /// are already waiting (requests being *executed* in a flushed batch
+    /// no longer count). `None` keeps the queue unbounded — the
+    /// pre-admission-control behaviour. `Some(0)` sheds every request
+    /// (useful for drain/maintenance modes and for deterministically
+    /// exercising the rejection path).
+    pub queue_capacity: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -61,9 +69,41 @@ impl Default for EngineConfig {
             // The default worker count already covers the cores; keep
             // kernels single-threaded per worker unless configured.
             threads_per_worker: if workers > 1 { 1 } else { 0 },
+            queue_capacity: None,
         }
     }
 }
+
+/// Typed submission failure: the engine refused a request rather than
+/// queueing it. Surfaced so callers (the HTTP layer maps this to `429
+/// Too Many Requests`) can shed load instead of growing the queue — and
+/// with it tail latency — without bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The waiting queue is at [`EngineConfig::queue_capacity`].
+    Overloaded {
+        /// Requests waiting when the submission was refused.
+        queue_depth: usize,
+        /// The configured bound.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "engine overloaded: {queue_depth} requests waiting (capacity {capacity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// One completed recovery.
 #[derive(Debug, Clone)]
@@ -83,6 +123,7 @@ pub struct Recovered {
 }
 
 /// Handle to an in-flight request.
+#[derive(Debug)]
 pub struct RecoveryHandle {
     id: u64,
     rx: mpsc::Receiver<Recovered>,
@@ -99,6 +140,21 @@ impl RecoveryHandle {
             .recv()
             .expect("recovery engine dropped before completing request")
     }
+
+    /// Block at most `timeout` for the result. On timeout the handle is
+    /// returned so the caller can keep waiting (or drop it — the engine
+    /// still executes the request, it just has nowhere to deliver the
+    /// result). The HTTP layer uses this for per-request deadline
+    /// budgets, mapping a timeout to `503`.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Recovered, RecoveryHandle> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("recovery engine dropped before completing request")
+            }
+        }
+    }
 }
 
 /// Aggregate engine counters (snapshot).
@@ -108,6 +164,9 @@ pub struct EngineStats {
     pub completed: u64,
     /// Requests whose inference panicked (reported via [`Recovered::error`]).
     pub failed: u64,
+    /// Submissions refused by admission control
+    /// ([`EngineError::Overloaded`]).
+    pub rejected: u64,
     pub batches: u64,
     /// Batches flushed because they reached `max_batch`.
     pub flushed_full: u64,
@@ -129,10 +188,12 @@ struct Counters {
     requests: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    rejected: AtomicU64,
     batches: AtomicU64,
     flushed_full: AtomicU64,
     flushed_deadline: AtomicU64,
     batched_requests: AtomicU64,
+    in_flight_batches: AtomicUsize,
 }
 
 struct Shared {
@@ -144,6 +205,7 @@ struct Shared {
     counters: Counters,
     max_batch: usize,
     max_delay: Duration,
+    queue_capacity: Option<usize>,
 }
 
 /// The multi-threaded online recovery engine.
@@ -175,6 +237,7 @@ impl RecoveryEngine {
             counters: Counters::default(),
             max_batch: config.max_batch,
             max_delay: config.max_delay,
+            queue_capacity: config.queue_capacity,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -193,24 +256,56 @@ impl RecoveryEngine {
     }
 
     /// Enqueue a request; returns immediately with a waitable handle.
+    ///
+    /// # Panics
+    /// Panics when a configured [`EngineConfig::queue_capacity`] is
+    /// saturated — admission-aware callers must use
+    /// [`RecoveryEngine::try_submit`] and shed load on
+    /// [`EngineError::Overloaded`]. With the default unbounded queue this
+    /// never panics.
     pub fn submit(&self, input: SampleInput) -> RecoveryHandle {
-        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .counters
-            .requests
-            .fetch_add(1, Ordering::Relaxed);
+        self.try_submit(input)
+            .expect("engine saturated: use try_submit with a bounded queue")
+    }
+
+    /// Enqueue a request if the waiting queue has room; returns
+    /// immediately with a waitable handle, or
+    /// [`EngineError::Overloaded`] when the queue is at
+    /// [`EngineConfig::queue_capacity`] — the typed load-shedding path
+    /// (never blocks, never drops silently).
+    pub fn try_submit(&self, input: SampleInput) -> Result<RecoveryHandle, EngineError> {
         let (tx, rx) = mpsc::channel();
-        {
+        let id = {
             let mut q = self.shared.queue.lock().unwrap();
+            if let Some(cap) = self.shared.queue_capacity {
+                if q.len() >= cap {
+                    let depth = q.len();
+                    drop(q);
+                    self.shared
+                        .counters
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(EngineError::Overloaded {
+                        queue_depth: depth,
+                        capacity: cap,
+                    });
+                }
+            }
+            let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .counters
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
             q.push_back(Pending {
                 id,
                 input,
                 enqueued: Instant::now(),
                 tx,
             });
-        }
+            id
+        };
         self.shared.cond.notify_one();
-        RecoveryHandle { id, rx }
+        Ok(RecoveryHandle { id, rx })
     }
 
     /// Convenience: submit and block for the result.
@@ -227,6 +322,7 @@ impl RecoveryEngine {
             requests: c.requests.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
             batches,
             flushed_full: c.flushed_full.load(Ordering::Relaxed),
             flushed_deadline: c.flushed_deadline.load(Ordering::Relaxed),
@@ -244,19 +340,52 @@ impl RecoveryEngine {
         self.intra_op
     }
 
+    /// Requests currently waiting in the queue (not yet flushed into a
+    /// batch). A live gauge for `/metrics` and capacity planning.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Micro-batches currently executing on worker threads.
+    pub fn in_flight_batches(&self) -> usize {
+        self.shared
+            .counters
+            .in_flight_batches
+            .load(Ordering::Relaxed)
+    }
+
+    /// The configured admission bound (`None`: unbounded).
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.shared.queue_capacity
+    }
+
     /// The served model (e.g. for direct single-request comparison).
     pub fn model(&self) -> &ServingModel {
         &self.shared.model
     }
-}
 
-impl Drop for RecoveryEngine {
-    fn drop(&mut self) {
+    /// Graceful stop with a final report: signals shutdown, lets workers
+    /// drain the remaining queue, joins them, and returns the counter
+    /// snapshot *after* the drain — so requests still queued at shutdown
+    /// are included. (Dropping the engine drains identically but offers
+    /// no post-drain stats.)
+    pub fn drain(mut self) -> EngineStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.cond.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+impl Drop for RecoveryEngine {
+    fn drop(&mut self) {
+        self.stop_and_join();
     }
 }
 
@@ -314,6 +443,10 @@ fn take_batch(shared: &Shared) -> Option<Vec<Pending>> {
 fn worker_loop(shared: &Shared) {
     while let Some(batch) = take_batch(shared) {
         let batch_size = batch.len();
+        shared
+            .counters
+            .in_flight_batches
+            .fetch_add(1, Ordering::Relaxed);
         // The whole flushed batch goes through the fused decode path:
         // encoders run per member, decoder steps run as stacked [B, ·]
         // products — bit-identical to per-request inference, so the batch
@@ -341,5 +474,9 @@ fn worker_loop(shared: &Shared) {
                 latency: pending.enqueued.elapsed(),
             });
         }
+        shared
+            .counters
+            .in_flight_batches
+            .fetch_sub(1, Ordering::Relaxed);
     }
 }

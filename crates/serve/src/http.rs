@@ -1,0 +1,973 @@
+//! Dependency-free HTTP/1.1 front-end over the micro-batching engine.
+//!
+//! The network layer the ROADMAP's serving milestone calls for: a
+//! [`TcpListener`] acceptor thread feeding a bounded connection queue, a
+//! small pool of connection workers speaking enough HTTP/1.1 (persistent
+//! connections, `Content-Length` bodies) for real clients, and the wire
+//! endpoints:
+//!
+//! * `POST /v1/recover` — a [`rntrajrec::wire::RecoverRequest`] JSON body
+//!   (raw GPS points + target length) is feature-extracted through the
+//!   shared [`QueryContext`] and dispatched into the [`RecoveryEngine`];
+//!   the response streams back the recovered `(segment, rate)` sequence,
+//!   **bit-identical** to in-process engine dispatch (integration-tested
+//!   in `tests/http_roundtrip.rs`).
+//! * `GET /healthz` — liveness + live queue gauges.
+//! * `GET /metrics` — Prometheus-style text: queue depth, in-flight
+//!   batches, admission-control shed counts, p50/p99 recover latency,
+//!   and the kernel-layer matmul counter.
+//! * `GET /v1/example` — an optional server-provided example request body
+//!   (lets smoke tests post a valid request without hand-built fixtures).
+//!
+//! # Admission control
+//!
+//! Three load-shedding gates, each explicit — a saturated server answers
+//! quickly rather than queueing without bound or dropping silently:
+//!
+//! 1. **Connection backlog** — accepted connections the workers have not
+//!    picked up yet are bounded ([`HttpConfig::connection_backlog`]);
+//!    beyond it the acceptor answers `503` + `Retry-After` and closes.
+//! 2. **Engine queue** — [`RecoveryEngine::try_submit`] against the
+//!    engine's bounded queue ([`EngineConfig::queue_capacity`]); an
+//!    [`EngineError::Overloaded`] maps to `429` + `Retry-After`.
+//! 3. **Deadline budget** — each request gets
+//!    [`HttpConfig::deadline`] from read-complete to answer; an engine
+//!    result that misses it maps to `503` + `Retry-After` (the engine
+//!    still finishes the work; only the delivery is abandoned).
+//!
+//! # Graceful drain
+//!
+//! [`HttpServer::shutdown`] stops the acceptor (no new connections),
+//! lets every connection worker finish its in-flight request, closes
+//! persistent connections at the next request boundary, and joins all
+//! threads. Engine workers drain their queue when the last engine handle
+//! drops — `serve_http` wires this to `SIGTERM`.
+//!
+//! [`EngineConfig::queue_capacity`]: crate::EngineConfig::queue_capacity
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rntrajrec::wire::{ErrorBody, RecoverRequest, RecoverResponse};
+use rntrajrec_nn::kernels;
+
+use crate::{EngineError, QueryContext, RecoveryEngine};
+
+/// Network-layer knobs.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port — see
+    /// [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Connection-handler threads. Size it at least as large as the
+    /// engine's `max_batch` if concurrent HTTP clients should be able to
+    /// fill a whole micro-batch.
+    pub connection_workers: usize,
+    /// Accepted-but-unhandled connections the acceptor may hold before
+    /// shedding with `503`.
+    pub connection_backlog: usize,
+    /// Per-request completion budget; an engine result missing it maps to
+    /// `503` + `Retry-After`.
+    pub deadline: Duration,
+    /// Request bodies larger than this are refused with `413`.
+    pub max_body_bytes: usize,
+    /// `Retry-After` header value (seconds) on `429`/`503` responses.
+    pub retry_after_secs: u64,
+    /// A connection that has started a request but not delivered all of
+    /// it within this budget gets `408` and is closed — a slow or stalled
+    /// client must not pin a connection worker (the pool is small).
+    pub request_read_timeout: Duration,
+    /// A persistent connection idle (no request in progress) this long is
+    /// closed; workers return to the pool.
+    pub idle_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            connection_workers: 4,
+            connection_backlog: 64,
+            deadline: Duration::from_secs(5),
+            max_body_bytes: 1 << 20,
+            retry_after_secs: 1,
+            request_read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Ring capacity of the latency sample backing the `/metrics` quantiles.
+const LATENCY_RING: usize = 1024;
+/// Header-section cap (request line + headers).
+const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Socket read poll interval: bounds shutdown/idle/stall responsiveness.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+#[derive(Default)]
+struct HttpCounters {
+    connections: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    shed_backlog: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    /// Completed `/v1/recover` latencies (ms), most recent `LATENCY_RING`.
+    latencies_ms: Mutex<VecDeque<f64>>,
+}
+
+impl HttpCounters {
+    fn record_status(&self, status: u16) {
+        let c = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_latency(&self, ms: f64) {
+        let mut ring = self.latencies_ms.lock().unwrap();
+        if ring.len() == LATENCY_RING {
+            ring.pop_front();
+        }
+        ring.push_back(ms);
+    }
+
+    fn latency_quantiles(&self) -> (f64, f64) {
+        let ring = self.latencies_ms.lock().unwrap();
+        if ring.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut sorted: Vec<f64> = ring.iter().copied().collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        (pick(0.50), pick(0.99))
+    }
+}
+
+struct ServerState {
+    engine: Arc<RecoveryEngine>,
+    ctx: Arc<QueryContext>,
+    deadline: Duration,
+    max_body_bytes: usize,
+    retry_after_secs: u64,
+    request_read_timeout: Duration,
+    idle_timeout: Duration,
+    counters: HttpCounters,
+    shutdown: AtomicBool,
+    example: Option<String>,
+}
+
+/// The running HTTP front-end. Dropping it (or calling
+/// [`HttpServer::shutdown`]) drains gracefully.
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind and start serving. The engine and query context must be built
+    /// over the same road network.
+    ///
+    /// `example` is an optional pre-serialized valid `/v1/recover` body
+    /// served at `GET /v1/example` (smoke tests post it back).
+    pub fn start(
+        engine: Arc<RecoveryEngine>,
+        ctx: Arc<QueryContext>,
+        config: HttpConfig,
+        example: Option<String>,
+    ) -> std::io::Result<Self> {
+        assert!(config.connection_workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine,
+            ctx,
+            deadline: config.deadline,
+            max_body_bytes: config.max_body_bytes,
+            retry_after_secs: config.retry_after_secs,
+            request_read_timeout: config.request_read_timeout,
+            idle_timeout: config.idle_timeout,
+            counters: HttpCounters::default(),
+            shutdown: AtomicBool::new(false),
+            example,
+        });
+
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.connection_backlog.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("rntrajrec-http-accept".to_string())
+                .spawn(move || acceptor_loop(&listener, &conn_tx, &state))
+                .expect("spawn http acceptor")
+        };
+
+        let workers = (0..config.connection_workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("rntrajrec-http-{i}"))
+                    .spawn(move || worker_loop(&conn_rx, &state))
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        Ok(Self {
+            local_addr,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, close
+    /// persistent connections at the next request boundary, join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    conn_tx: &mpsc::SyncSender<TcpStream>,
+    state: &ServerState,
+) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(mut stream)) => {
+                        // Backlog gate: answer fast and shed rather than
+                        // letting connections pile up unbounded.
+                        state.counters.shed_backlog.fetch_add(1, Ordering::Relaxed);
+                        state.counters.record_status(503);
+                        let _ = write_response(
+                            &mut stream,
+                            503,
+                            "Service Unavailable",
+                            "application/json",
+                            &ErrorBody::new(503, "connection backlog full").to_json(),
+                            false,
+                            &[("Retry-After", state.retry_after_secs.to_string())],
+                        );
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // conn_tx drops here; workers exit once the backlog is drained.
+}
+
+fn worker_loop(conn_rx: &Mutex<mpsc::Receiver<TcpStream>>, state: &ServerState) {
+    loop {
+        // Hold the lock only for the pop — connections are handled
+        // concurrently across workers.
+        let stream = match conn_rx.lock().unwrap().recv() {
+            Ok(s) => s,
+            Err(_) => return, // acceptor gone and backlog drained
+        };
+        handle_connection(stream, state);
+    }
+}
+
+/// One parsed request off the wire.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+enum ReadOutcome {
+    Request(Request),
+    /// Idle read timeout with nothing read: poll the shutdown flag and
+    /// keep the connection.
+    Idle,
+    /// Peer closed cleanly between requests.
+    Closed,
+    /// A started request stalled past the read budget: answer 408 and
+    /// close (a slow client must not pin a connection worker).
+    TimedOut,
+    /// Peer closed mid-request or sent garbage: answer 400 (if given a
+    /// reason) and close.
+    Malformed(&'static str),
+    /// `Content-Length` over the cap: answer 413 and close.
+    BodyTooLarge,
+    /// `Transfer-Encoding` present: answer 501 and close.
+    Unsupported,
+    /// Socket error: just close.
+    Broken,
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut idle_since = Instant::now();
+    loop {
+        match read_request(&mut stream, &mut buf, state) {
+            ReadOutcome::Request(req) => {
+                let keep = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+                let ok = dispatch(&mut stream, state, &req, keep);
+                if !ok || !keep {
+                    break;
+                }
+                idle_since = Instant::now();
+            }
+            ReadOutcome::Idle => {
+                // Drain closes idle persistent connections immediately;
+                // otherwise they are bounded by the idle budget so they
+                // cannot hold a pool slot forever.
+                if state.shutdown.load(Ordering::SeqCst)
+                    || idle_since.elapsed() >= state.idle_timeout
+                {
+                    break;
+                }
+            }
+            ReadOutcome::Closed => break,
+            ReadOutcome::TimedOut => {
+                state.counters.record_status(408);
+                let _ = write_response(
+                    &mut stream,
+                    408,
+                    "Request Timeout",
+                    "application/json",
+                    &ErrorBody::new(
+                        408,
+                        format!(
+                            "request not received within {:.0} ms",
+                            state.request_read_timeout.as_secs_f64() * 1000.0
+                        ),
+                    )
+                    .to_json(),
+                    false,
+                    &[],
+                );
+                break;
+            }
+            ReadOutcome::Malformed(reason) => {
+                state.counters.record_status(400);
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &ErrorBody::new(400, reason).to_json(),
+                    false,
+                    &[],
+                );
+                break;
+            }
+            ReadOutcome::BodyTooLarge => {
+                state.counters.record_status(413);
+                let _ = write_response(
+                    &mut stream,
+                    413,
+                    "Payload Too Large",
+                    "application/json",
+                    &ErrorBody::new(
+                        413,
+                        format!("request body exceeds {} bytes", state.max_body_bytes),
+                    )
+                    .to_json(),
+                    false,
+                    &[],
+                );
+                break;
+            }
+            ReadOutcome::Unsupported => {
+                state.counters.record_status(501);
+                let _ = write_response(
+                    &mut stream,
+                    501,
+                    "Not Implemented",
+                    "application/json",
+                    &ErrorBody::new(501, "transfer encodings are not supported").to_json(),
+                    false,
+                    &[],
+                );
+                break;
+            }
+            ReadOutcome::Broken => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Read one request. `buf` carries bytes already read past the previous
+/// request (pipelining / keep-alive).
+fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>, state: &ServerState) -> ReadOutcome {
+    // Stall budget for the whole request read. `Idle` returns reset it:
+    // it only starts counting once bytes begin arriving (within one
+    // `READ_TIMEOUT` poll tick).
+    let started = Instant::now();
+    let header_end = loop {
+        if let Some(pos) = find_crlf2(buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return ReadOutcome::Malformed("header section too large");
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-request")
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if buf.is_empty() {
+                    return ReadOutcome::Idle;
+                }
+                // Mid-request stall: keep waiting, bounded by the read
+                // budget, unless draining.
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return ReadOutcome::Broken;
+                }
+                if started.elapsed() >= state.request_read_timeout {
+                    return ReadOutcome::TimedOut;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Broken,
+        }
+    };
+
+    let head = match std::str::from_utf8(&buf[..header_end]) {
+        Ok(h) => h.to_string(),
+        Err(_) => return ReadOutcome::Malformed("non-UTF-8 header section"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed("malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed("unsupported HTTP version");
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1"; // 1.1 default; 1.0 must opt in
+    let mut expect_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return ReadOutcome::Malformed("invalid Content-Length"),
+            },
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => return ReadOutcome::Unsupported,
+            "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
+            _ => {}
+        }
+    }
+    if content_length > state.max_body_bytes {
+        return ReadOutcome::BodyTooLarge;
+    }
+    if expect_continue && content_length > 0 {
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Malformed("connection closed mid-body"),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return ReadOutcome::Broken;
+                }
+                if started.elapsed() >= state.request_read_timeout {
+                    return ReadOutcome::TimedOut;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Broken,
+        }
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    // Keep any pipelined bytes for the next request.
+    buf.drain(..body_start + content_length);
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+fn find_crlf2(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Route and answer one request. Returns `false` when the connection must
+/// close (write failure).
+fn dispatch(stream: &mut TcpStream, state: &ServerState, req: &Request, keep_alive: bool) -> bool {
+    let (status, reason, content_type, body, extra): (
+        u16,
+        &str,
+        &str,
+        String,
+        Vec<(&str, String)>,
+    ) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = serde_json::to_string(&serde_json::json!({
+                "status": "ok",
+                "queue_depth": state.engine.queue_depth(),
+                "in_flight_batches": state.engine.in_flight_batches(),
+                "draining": state.shutdown.load(Ordering::SeqCst),
+            }))
+            .expect("healthz serializes");
+            (200, "OK", "application/json", body, vec![])
+        }
+        ("GET", "/metrics") => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            render_metrics(state),
+            vec![],
+        ),
+        ("GET", "/v1/example") => match &state.example {
+            Some(body) => (200, "OK", "application/json", body.clone(), vec![]),
+            None => (
+                404,
+                "Not Found",
+                "application/json",
+                ErrorBody::new(404, "no example configured").to_json(),
+                vec![],
+            ),
+        },
+        ("POST", "/v1/recover") => recover(state, &req.body),
+        (_, "/healthz" | "/metrics" | "/v1/example") => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            ErrorBody::new(405, "use GET").to_json(),
+            vec![("Allow", "GET".to_string())],
+        ),
+        (_, "/v1/recover") => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            ErrorBody::new(405, "use POST").to_json(),
+            vec![("Allow", "POST".to_string())],
+        ),
+        _ => (
+            404,
+            "Not Found",
+            "application/json",
+            ErrorBody::new(404, format!("no route for {}", req.path)).to_json(),
+            vec![],
+        ),
+    };
+    state.counters.record_status(status);
+    let extra: Vec<(&str, String)> = extra;
+    write_response(
+        stream,
+        status,
+        reason,
+        content_type,
+        &body,
+        keep_alive,
+        &extra,
+    )
+    .is_ok()
+}
+
+/// The `/v1/recover` flow: parse → extract → admit → wait (with deadline)
+/// → answer.
+fn recover(
+    state: &ServerState,
+    body: &[u8],
+) -> (
+    u16,
+    &'static str,
+    &'static str,
+    String,
+    Vec<(&'static str, String)>,
+) {
+    let t0 = Instant::now();
+    let retry = vec![("Retry-After", state.retry_after_secs.to_string())];
+
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                400,
+                "Bad Request",
+                "application/json",
+                ErrorBody::new(400, "body is not UTF-8").to_json(),
+                vec![],
+            )
+        }
+    };
+    let request = match RecoverRequest::from_json(text) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                400,
+                "Bad Request",
+                "application/json",
+                ErrorBody::new(400, e.to_string()).to_json(),
+                vec![],
+            )
+        }
+    };
+
+    // Feature extraction runs caller-supplied coordinates through the
+    // spatial index; isolate any panic to this request, exactly like the
+    // engine isolates inference panics.
+    let ctx = Arc::clone(&state.ctx);
+    let input =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.sample_input(&request)))
+        {
+            Ok(input) => input,
+            Err(payload) => {
+                return (
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    ErrorBody::new(
+                        400,
+                        format!(
+                            "feature extraction failed: {}",
+                            crate::service::panic_message(&payload)
+                        ),
+                    )
+                    .to_json(),
+                    vec![],
+                )
+            }
+        };
+
+    // Admission gate 2: the engine's bounded queue.
+    let handle = match state.engine.try_submit(input) {
+        Ok(h) => h,
+        Err(EngineError::Overloaded {
+            queue_depth,
+            capacity,
+        }) => {
+            state.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+            return (
+                429,
+                "Too Many Requests",
+                "application/json",
+                ErrorBody::new(429, format!("engine queue full ({queue_depth}/{capacity})"))
+                    .to_json(),
+                retry,
+            );
+        }
+    };
+
+    // Admission gate 3: the deadline budget (parse + extraction time
+    // counts against it).
+    let budget = state.deadline.saturating_sub(t0.elapsed());
+    match handle.wait_timeout(budget) {
+        Err(_late) => {
+            state.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            (
+                503,
+                "Service Unavailable",
+                "application/json",
+                ErrorBody::new(
+                    503,
+                    format!(
+                        "deadline of {:.0} ms exceeded",
+                        state.deadline.as_secs_f64() * 1000.0
+                    ),
+                )
+                .to_json(),
+                retry,
+            )
+        }
+        Ok(recovered) => {
+            if let Some(err) = recovered.error {
+                return (
+                    500,
+                    "Internal Server Error",
+                    "application/json",
+                    ErrorBody::new(500, format!("inference failed: {err}")).to_json(),
+                    vec![],
+                );
+            }
+            let latency_ms = recovered.latency.as_secs_f64() * 1000.0;
+            state
+                .counters
+                .record_latency(t0.elapsed().as_secs_f64() * 1000.0);
+            let resp = RecoverResponse::from_path(
+                recovered.id,
+                &recovered.path,
+                recovered.batch_size,
+                latency_ms,
+            );
+            (
+                200,
+                "OK",
+                "application/json",
+                serde_json::to_string(&resp).expect("response serializes"),
+                vec![],
+            )
+        }
+    }
+}
+
+fn render_metrics(state: &ServerState) -> String {
+    let c = &state.counters;
+    let stats = state.engine.stats();
+    let (p50, p99) = c.latency_quantiles();
+    let mut out = String::with_capacity(1024);
+    let mut line = |name: &str, labels: &str, v: f64| {
+        out.push_str(name);
+        out.push_str(labels);
+        out.push(' ');
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            out.push_str(&format!("{}", v as i64));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    };
+    line(
+        "rntrajrec_http_connections_total",
+        "",
+        c.connections.load(Ordering::Relaxed) as f64,
+    );
+    line(
+        "rntrajrec_http_responses_total",
+        "{class=\"2xx\"}",
+        c.responses_2xx.load(Ordering::Relaxed) as f64,
+    );
+    line(
+        "rntrajrec_http_responses_total",
+        "{class=\"4xx\"}",
+        c.responses_4xx.load(Ordering::Relaxed) as f64,
+    );
+    line(
+        "rntrajrec_http_responses_total",
+        "{class=\"5xx\"}",
+        c.responses_5xx.load(Ordering::Relaxed) as f64,
+    );
+    line(
+        "rntrajrec_http_shed_total",
+        "{reason=\"backlog\"}",
+        c.shed_backlog.load(Ordering::Relaxed) as f64,
+    );
+    line(
+        "rntrajrec_http_shed_total",
+        "{reason=\"overload\"}",
+        c.shed_overload.load(Ordering::Relaxed) as f64,
+    );
+    line(
+        "rntrajrec_http_shed_total",
+        "{reason=\"deadline\"}",
+        c.shed_deadline.load(Ordering::Relaxed) as f64,
+    );
+    line(
+        "rntrajrec_http_recover_latency_ms",
+        "{quantile=\"0.5\"}",
+        p50,
+    );
+    line(
+        "rntrajrec_http_recover_latency_ms",
+        "{quantile=\"0.99\"}",
+        p99,
+    );
+    line(
+        "rntrajrec_engine_queue_depth",
+        "",
+        state.engine.queue_depth() as f64,
+    );
+    line(
+        "rntrajrec_engine_in_flight_batches",
+        "",
+        state.engine.in_flight_batches() as f64,
+    );
+    line("rntrajrec_engine_requests_total", "", stats.requests as f64);
+    line(
+        "rntrajrec_engine_completed_total",
+        "",
+        stats.completed as f64,
+    );
+    line("rntrajrec_engine_failed_total", "", stats.failed as f64);
+    line("rntrajrec_engine_rejected_total", "", stats.rejected as f64);
+    line("rntrajrec_engine_batches_total", "", stats.batches as f64);
+    line("rntrajrec_engine_mean_batch", "", stats.mean_batch);
+    line(
+        "rntrajrec_nn_matmul_invocations_total",
+        "",
+        kernels::matmul_invocations() as f64,
+    );
+    out
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A deliberately tiny blocking HTTP/1.1 client — one connection per
+/// request, `Connection: close` — for the integration tests, the
+/// benchmark's network-overhead measurement, and the example. Not a
+/// general client.
+pub mod client {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    /// A parsed response.
+    #[derive(Debug, Clone)]
+    pub struct HttpResponse {
+        pub status: u16,
+        pub headers: Vec<(String, String)>,
+        pub body: String,
+    }
+
+    impl HttpResponse {
+        /// Case-insensitive header lookup.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            self.headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// `GET` a path.
+    pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "GET", path, None)
+    }
+
+    /// `POST` a JSON body.
+    pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "POST", path, Some(body))
+    }
+
+    /// Issue one request on a fresh connection.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        stream.write_all(req.as_bytes())?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+
+    fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+        let err = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let header_end = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| err("no header terminator in response"))?;
+        let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| err("non-UTF-8 headers"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| err("empty response"))?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| err("malformed status line"))?;
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+            .collect();
+        let body =
+            String::from_utf8(raw[header_end + 4..].to_vec()).map_err(|_| err("non-UTF-8 body"))?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

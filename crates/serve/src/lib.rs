@@ -23,6 +23,16 @@
 //!   per-request inference (every fused kernel preserves the member's own
 //!   per-element accumulation order), so the fusion is pure performance,
 //!   never a numerical change.
+//! * [`http`] / [`HttpServer`] — the dependency-free HTTP/1.1 network
+//!   front-end (`POST /v1/recover`, `GET /healthz`, `GET /metrics`) with
+//!   **admission control**: a bounded engine queue
+//!   ([`EngineConfig::queue_capacity`] → typed [`EngineError::Overloaded`]
+//!   → `429` + `Retry-After`), per-request deadline budgets (→ `503`), a
+//!   bounded connection backlog, and graceful drain on shutdown. The
+//!   [`QueryContext`] turns wire requests (`rntrajrec::wire` — raw GPS
+//!   points, no ground truth) into model inputs; HTTP-served results are
+//!   **bit-identical** to in-process dispatch (`tests/http_roundtrip.rs`).
+//!   `serve_http` is the standalone binary.
 //!
 //! # Compute threading: workers × intra-op threads
 //!
@@ -68,10 +78,14 @@
 //! ```
 
 mod engine;
+pub mod http;
 mod service;
 
-pub use engine::{EngineConfig, EngineStats, Recovered, RecoveryEngine, RecoveryHandle};
-pub use service::{RoadEmbeddingCache, ServeError, ServingModel};
+pub use engine::{
+    EngineConfig, EngineError, EngineStats, Recovered, RecoveryEngine, RecoveryHandle,
+};
+pub use http::{HttpConfig, HttpServer};
+pub use service::{QueryContext, RoadEmbeddingCache, ServeError, ServingModel};
 
 #[cfg(test)]
 mod tests {
@@ -148,6 +162,7 @@ mod tests {
                 max_delay: Duration::from_millis(1),
                 workers: 4,
                 threads_per_worker: 0,
+                queue_capacity: None,
             },
         );
         let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
@@ -174,6 +189,7 @@ mod tests {
                 max_delay: Duration::from_millis(5),
                 workers: 1,
                 threads_per_worker: 0,
+                queue_capacity: None,
             },
         );
         let r = engine.recover(inputs[0].clone());
@@ -195,6 +211,7 @@ mod tests {
                 max_delay: Duration::from_secs(5),
                 workers: 1,
                 threads_per_worker: 0,
+                queue_capacity: None,
             },
         );
         let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
@@ -245,6 +262,7 @@ mod tests {
                 max_delay: Duration::from_millis(1),
                 workers: 1,
                 threads_per_worker: 0,
+                queue_capacity: None,
             },
         );
         let mut bad = inputs[0].clone();
@@ -304,6 +322,7 @@ mod tests {
                 max_delay: Duration::from_millis(1),
                 workers: 1,
                 threads_per_worker: 2,
+                queue_capacity: None,
             },
         );
         // Other tests may race on the process-global knob, so assert the
@@ -317,6 +336,68 @@ mod tests {
         let got = engine.recover(inputs[0].clone());
         assert_eq!(got.path, want);
         rntrajrec_nn::pool::set_num_threads(1);
+    }
+
+    /// Admission control: a bounded queue rejects with a typed
+    /// [`EngineError::Overloaded`] instead of queueing without bound (or
+    /// blocking). Capacity 0 makes the rejection deterministic.
+    #[test]
+    fn bounded_queue_rejects_with_typed_overload() {
+        let (city, inputs) = fixture(2);
+        let model = serving(&city);
+        let engine = RecoveryEngine::start(
+            Arc::clone(&model),
+            EngineConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                workers: 1,
+                threads_per_worker: 0,
+                queue_capacity: Some(0),
+            },
+        );
+        match engine.try_submit(inputs[0].clone()) {
+            Err(EngineError::Overloaded {
+                queue_depth,
+                capacity,
+            }) => {
+                assert_eq!(queue_depth, 0);
+                assert_eq!(capacity, 0);
+            }
+            Ok(_) => panic!("capacity-0 queue must reject"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.requests, 0, "rejected submissions are not requests");
+        assert_eq!(engine.queue_capacity(), Some(0));
+
+        // An unbounded engine still accepts, and the gauges read sanely.
+        let open = RecoveryEngine::start(Arc::clone(&model), EngineConfig::default());
+        let r = open.try_submit(inputs[1].clone()).expect("accepts").wait();
+        assert!(r.error.is_none());
+        assert_eq!(open.queue_depth(), 0);
+        assert_eq!(open.in_flight_batches(), 0);
+        assert_eq!(open.stats().rejected, 0);
+    }
+
+    #[test]
+    fn wait_timeout_returns_handle_then_result() {
+        let (city, inputs) = fixture(1);
+        let engine = RecoveryEngine::start(serving(&city), EngineConfig::default());
+        let handle = engine.submit(inputs[0].clone());
+        // A zero budget misses; the handle survives and still delivers.
+        let handle = match handle.wait_timeout(Duration::ZERO) {
+            Ok(r) => {
+                // Scheduler beat us to it — the result is already valid.
+                assert!(r.error.is_none());
+                return;
+            }
+            Err(h) => h,
+        };
+        let r = handle
+            .wait_timeout(Duration::from_secs(30))
+            .expect("completes");
+        assert!(r.error.is_none());
+        assert!(!r.path.is_empty());
     }
 
     #[test]

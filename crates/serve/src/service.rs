@@ -1,9 +1,14 @@
 //! The serving-side model wrapper: a trained [`EndToEnd`] model validated
-//! for tape-free inference, plus the precomputed road-embedding cache.
+//! for tape-free inference, plus the precomputed road-embedding cache and
+//! the [`QueryContext`] that turns wire requests into model inputs.
 
+use rntrajrec::wire::RecoverRequest;
 use rntrajrec::EndToEnd;
-use rntrajrec_models::SampleInput;
+use rntrajrec_geo::GridSpec;
+use rntrajrec_models::{FeatureExtractor, SampleInput};
 use rntrajrec_nn::Tensor;
+use rntrajrec_roadnet::{RTree, RoadNetwork};
+use rntrajrec_synth::TimeContext;
 
 /// Precomputed GridGNN road representation `X_road ∈ R^{|V|×d}`.
 ///
@@ -120,5 +125,58 @@ impl ServingModel {
 
     pub fn road_cache(&self) -> Option<&RoadEmbeddingCache> {
         self.road.as_ref()
+    }
+}
+
+/// Server-side feature extraction context: everything needed to turn a
+/// wire [`RecoverRequest`] (raw GPS points, no ground truth) into the
+/// [`SampleInput`] the engine consumes. Owns the road network, its
+/// spatial index, and the grid spec; shared read-only (`Arc`) across HTTP
+/// worker threads. Must be built over the **same road network and grid**
+/// as the served model — recovered segment indices are meaningless
+/// otherwise.
+pub struct QueryContext {
+    net: RoadNetwork,
+    rtree: RTree,
+    grid: GridSpec,
+    /// `net.bbox()` cached once — it scans every segment geometry, which
+    /// must not happen per request.
+    bbox: rntrajrec_geo::BBox,
+}
+
+impl QueryContext {
+    /// Index `net` and cover it with `cell_m`-metre grid cells (the paper
+    /// uses 50 m; pass the same value the model was built with).
+    pub fn new(net: RoadNetwork, cell_m: f64) -> Self {
+        let rtree = RTree::build(&net);
+        let grid = net.grid(cell_m);
+        let bbox = net.bbox();
+        Self {
+            net,
+            rtree,
+            grid,
+            bbox,
+        }
+    }
+
+    /// Convert a validated wire request into a model input via
+    /// [`FeatureExtractor::extract_query`]. The result is bit-identical
+    /// to what an in-process caller holding the same context would build
+    /// — the property behind HTTP ≡ in-process recovery.
+    pub fn sample_input(&self, req: &RecoverRequest) -> SampleInput {
+        let fx = FeatureExtractor::with_bbox(&self.net, &self.rtree, self.grid, self.bbox);
+        fx.extract_query(
+            &req.raw_trajectory(),
+            req.target_len,
+            TimeContext::from_epoch_s(req.depart_epoch_s),
+        )
+    }
+
+    pub fn net(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
     }
 }

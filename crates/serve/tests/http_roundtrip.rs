@@ -1,0 +1,381 @@
+//! End-to-end HTTP serving tests over real TCP sockets.
+//!
+//! The acceptance property: recovery over the wire is **bit-identical**
+//! to in-process engine dispatch — JSON, the socket, and the micro-batch
+//! composition must all be unobservable in the results. Plus the
+//! admission-control and robustness paths: malformed JSON → 400 without
+//! killing the worker, oversized body → 413, saturated queue → 429,
+//! blown deadline → 503, and concurrent clients actually sharing one
+//! fused micro-batch (asserted through the kernel matmul counter).
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rntrajrec::model::{EndToEnd, MethodSpec};
+use rntrajrec::wire::{RecoverRequest, RecoverResponse};
+use rntrajrec_nn::kernels;
+use rntrajrec_roadnet::{CityConfig, SyntheticCity};
+use rntrajrec_serve::http::client;
+use rntrajrec_serve::{
+    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+};
+use rntrajrec_synth::{SimConfig, Simulator, TrajSample};
+
+/// The kernel matmul counter is process-global; serialize the tests so
+/// deltas measured around one server's traffic are attributable to it.
+static SEQUENTIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SEQUENTIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Harness {
+    server: HttpServer,
+    engine: Arc<RecoveryEngine>,
+    ctx: Arc<QueryContext>,
+    samples: Vec<TrajSample>,
+}
+
+impl Harness {
+    fn addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    fn request_for(&self, i: usize) -> RecoverRequest {
+        let s = &self.samples[i];
+        RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s)
+    }
+
+    /// The in-process reference: the same wire request through the same
+    /// query context and engine, no network.
+    fn in_process(&self, req: &RecoverRequest) -> Vec<(usize, f32)> {
+        self.engine.recover(self.ctx.sample_input(req)).path
+    }
+}
+
+fn boot(engine_cfg: EngineConfig, http_cfg: HttpConfig, n_samples: usize) -> Harness {
+    let city = SyntheticCity::generate(CityConfig::tiny());
+    let grid = city.net.grid(50.0);
+    let model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
+    let serving = Arc::new(ServingModel::new(model).expect("RNTrajRec serves"));
+    let mut sim = Simulator::new(
+        &city.net,
+        SimConfig {
+            target_len: 9,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(23);
+    let samples: Vec<TrajSample> = (0..n_samples).map(|_| sim.sample(&mut rng, 8)).collect();
+    let ctx = Arc::new(QueryContext::new(city.net, 50.0));
+    let engine = Arc::new(RecoveryEngine::start(serving, engine_cfg));
+    let server = HttpServer::start(Arc::clone(&engine), Arc::clone(&ctx), http_cfg, None)
+        .expect("bind ephemeral port");
+    Harness {
+        server,
+        engine,
+        ctx,
+        samples,
+    }
+}
+
+fn quick_engine() -> EngineConfig {
+    EngineConfig {
+        max_batch: 4,
+        max_delay: Duration::from_millis(1),
+        workers: 2,
+        threads_per_worker: 0,
+        queue_capacity: None,
+    }
+}
+
+fn ephemeral_http() -> HttpConfig {
+    HttpConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..HttpConfig::default()
+    }
+}
+
+#[test]
+fn tcp_roundtrip_is_bitwise_identical_to_in_process() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 6);
+    for i in 0..h.samples.len() {
+        let req = h.request_for(i);
+        let want = h.in_process(&req);
+        let body = serde_json::to_string(&req).expect("request serializes");
+        let resp = client::post_json(h.addr(), "/v1/recover", &body).expect("http roundtrip");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let parsed = RecoverResponse::from_json(&resp.body).expect("well-formed response");
+        assert_eq!(parsed.segments.len(), req.target_len);
+        assert_eq!(
+            parsed.path(),
+            want,
+            "HTTP recovery diverged from in-process dispatch (request {i})"
+        );
+        for (wire, local) in parsed.rates.iter().zip(want.iter().map(|&(_, r)| r)) {
+            assert_eq!(wire.to_bits(), local.to_bits(), "rate bits corrupted");
+        }
+        assert!(parsed.batch_size >= 1);
+        assert!(parsed.latency_ms >= 0.0);
+    }
+}
+
+#[test]
+fn malformed_json_returns_400_without_killing_the_worker() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    for garbage in ["{not json", "[]", "{\"points\": 3}", ""] {
+        let resp = client::post_json(h.addr(), "/v1/recover", garbage).expect("connects");
+        assert_eq!(resp.status, 400, "{garbage:?} -> {}", resp.body);
+        assert!(
+            resp.body.contains("error"),
+            "error body missing: {}",
+            resp.body
+        );
+    }
+    // The pool survives: a valid request on a fresh connection still works.
+    let req = h.request_for(0);
+    let want = h.in_process(&req);
+    let body = serde_json::to_string(&req).unwrap();
+    let resp = client::post_json(h.addr(), "/v1/recover", &body).expect("still serving");
+    assert_eq!(resp.status, 200);
+    assert_eq!(RecoverResponse::from_json(&resp.body).unwrap().path(), want);
+}
+
+#[test]
+fn oversized_body_returns_413() {
+    let _g = lock();
+    let h = boot(
+        quick_engine(),
+        HttpConfig {
+            max_body_bytes: 512,
+            ..ephemeral_http()
+        },
+        0,
+    );
+    let big = format!("{{\"points\": [{}]}}", "[0,0,0],".repeat(200));
+    let resp = client::post_json(h.addr(), "/v1/recover", &big).expect("connects");
+    assert_eq!(resp.status, 413, "{}", resp.body);
+}
+
+#[test]
+fn saturated_queue_sheds_429_with_retry_after() {
+    let _g = lock();
+    let h = boot(
+        EngineConfig {
+            queue_capacity: Some(0), // shed everything: deterministic 429
+            ..quick_engine()
+        },
+        ephemeral_http(),
+        1,
+    );
+    let body = serde_json::to_string(&h.request_for(0)).unwrap();
+    let resp = client::post_json(h.addr(), "/v1/recover", &body).expect("connects");
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert!(
+        resp.header("Retry-After").is_some(),
+        "429 must carry Retry-After"
+    );
+    assert_eq!(h.engine.stats().rejected, 1);
+}
+
+#[test]
+fn blown_deadline_sheds_503_with_retry_after() {
+    let _g = lock();
+    let h = boot(
+        quick_engine(),
+        HttpConfig {
+            deadline: Duration::ZERO,
+            ..ephemeral_http()
+        },
+        1,
+    );
+    let body = serde_json::to_string(&h.request_for(0)).unwrap();
+    let resp = client::post_json(h.addr(), "/v1/recover", &body).expect("connects");
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(
+        resp.header("Retry-After").is_some(),
+        "503 must carry Retry-After"
+    );
+}
+
+/// Concurrent HTTP clients must land in one fused micro-batch: every
+/// response reports the full batch size, and the whole batched run costs
+/// fewer matmul invocations than the same requests served one by one
+/// (the decoder runs one stacked product per head per step instead of
+/// one per member).
+#[test]
+fn concurrent_clients_share_a_fused_batch() {
+    let _g = lock();
+    let clients = 4usize;
+    let h = boot(
+        EngineConfig {
+            max_batch: clients,
+            // Long flush deadline: the batch waits for all clients, so
+            // batching is deterministic rather than timing-dependent.
+            max_delay: Duration::from_secs(2),
+            workers: 1,
+            threads_per_worker: 0,
+            queue_capacity: None,
+        },
+        HttpConfig {
+            connection_workers: clients,
+            ..ephemeral_http()
+        },
+        clients,
+    );
+
+    // Reference: the same requests sequentially, one engine batch each
+    // (they flush alone only after max_delay, so use the model directly).
+    let reqs: Vec<RecoverRequest> = (0..clients).map(|i| h.request_for(i)).collect();
+    let inputs: Vec<_> = reqs.iter().map(|r| h.ctx.sample_input(r)).collect();
+    let before = kernels::matmul_invocations();
+    let sequential: Vec<Vec<(usize, f32)>> =
+        inputs.iter().map(|i| h.engine.model().recover(i)).collect();
+    let seq_matmuls = kernels::matmul_invocations() - before;
+
+    let before = kernels::matmul_invocations();
+    let results: Vec<(u16, RecoverResponse)> = std::thread::scope(|s| {
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|req| {
+                let addr = h.addr();
+                let body = serde_json::to_string(req).unwrap();
+                s.spawn(move || {
+                    let resp = client::post_json(addr, "/v1/recover", &body).expect("roundtrip");
+                    (
+                        resp.status,
+                        RecoverResponse::from_json(&resp.body).expect("parses"),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let batched_matmuls = kernels::matmul_invocations() - before;
+
+    for ((status, resp), want) in results.iter().zip(&sequential) {
+        assert_eq!(*status, 200);
+        assert_eq!(
+            resp.batch_size, clients,
+            "clients did not share one micro-batch"
+        );
+        assert_eq!(&resp.path(), want, "batched HTTP diverged from sequential");
+    }
+    assert!(
+        batched_matmuls < seq_matmuls,
+        "fused batch should cost fewer matmuls than sequential dispatch \
+         ({batched_matmuls} vs {seq_matmuls})"
+    );
+}
+
+/// A client that starts a request and stalls must get `408` and lose its
+/// connection — it must not pin a connection worker (the pool is small,
+/// so a handful of stalled clients would otherwise deny service while
+/// the engine sits idle).
+#[test]
+fn stalled_request_times_out_with_408_and_frees_the_worker() {
+    use std::io::{Read, Write};
+    let _g = lock();
+    let h = boot(
+        quick_engine(),
+        HttpConfig {
+            connection_workers: 1, // a single pinned worker would be fatal
+            request_read_timeout: Duration::from_millis(400),
+            ..ephemeral_http()
+        },
+        1,
+    );
+    let mut stalled = std::net::TcpStream::connect(h.addr()).expect("connect");
+    stalled
+        .write_all(b"POST /v1/recover HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+        .expect("partial request");
+    // Never send the body: the server must give up on its own.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut resp = String::new();
+    stalled.read_to_string(&mut resp).expect("server answers");
+    assert!(resp.starts_with("HTTP/1.1 408"), "got: {resp}");
+
+    // The lone worker is free again: a real request still succeeds.
+    let req = h.request_for(0);
+    let want = h.in_process(&req);
+    let body = serde_json::to_string(&req).unwrap();
+    let resp = client::post_json(h.addr(), "/v1/recover", &body).expect("still serving");
+    assert_eq!(resp.status, 200);
+    assert_eq!(RecoverResponse::from_json(&resp.body).unwrap().path(), want);
+}
+
+#[test]
+fn healthz_and_metrics_render() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    let body = serde_json::to_string(&h.request_for(0)).unwrap();
+    assert_eq!(
+        client::post_json(h.addr(), "/v1/recover", &body)
+            .unwrap()
+            .status,
+        200
+    );
+
+    let health = client::get(h.addr(), "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
+
+    let metrics = client::get(h.addr(), "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    for key in [
+        "rntrajrec_http_responses_total{class=\"2xx\"}",
+        "rntrajrec_http_shed_total{reason=\"overload\"}",
+        "rntrajrec_http_recover_latency_ms{quantile=\"0.99\"}",
+        "rntrajrec_engine_queue_depth",
+        "rntrajrec_engine_in_flight_batches",
+        "rntrajrec_nn_matmul_invocations_total",
+    ] {
+        assert!(
+            metrics.body.contains(key),
+            "missing {key} in:\n{}",
+            metrics.body
+        );
+    }
+
+    assert_eq!(client::get(h.addr(), "/nope").unwrap().status, 404);
+    assert_eq!(
+        client::request(h.addr(), "POST", "/metrics", Some(""))
+            .unwrap()
+            .status,
+        405
+    );
+}
+
+#[test]
+fn graceful_shutdown_stops_accepting_after_drain() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    let addr = h.addr();
+    // Serve one request, then drain.
+    let body = serde_json::to_string(&h.request_for(0)).unwrap();
+    assert_eq!(
+        client::post_json(addr, "/v1/recover", &body)
+            .unwrap()
+            .status,
+        200
+    );
+    let Harness { server, engine, .. } = h;
+    server.shutdown();
+    // The listener is gone: new connections are refused (or reset).
+    assert!(
+        client::get(addr, "/healthz").is_err(),
+        "listener must stop accepting after shutdown"
+    );
+    // The engine drains cleanly afterwards.
+    assert_eq!(engine.stats().completed, 1);
+    drop(engine);
+}

@@ -69,6 +69,7 @@ fn main() {
             max_delay: Duration::from_millis(2),
             workers: 4,
             threads_per_worker: 0,
+            queue_capacity: None,
         },
     );
 

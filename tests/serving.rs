@@ -85,6 +85,7 @@ fn engine_micro_batching_is_transparent_end_to_end() {
             max_delay: Duration::from_millis(1),
             workers: 3,
             threads_per_worker: 0,
+            queue_capacity: None,
         },
     );
     // Submit everything at once so batches actually form.

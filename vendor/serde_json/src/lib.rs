@@ -1,7 +1,308 @@
 //! Offline stand-in for `serde_json`: renders the vendored [`serde::Value`]
-//! tree as JSON text, plus the `json!` object/array macro.
+//! tree as JSON text, parses JSON text back into a [`Value`] tree
+//! ([`from_str`] / [`from_slice`]), plus the `json!` object/array macro.
 
 pub use serde::Value;
+
+/// Where and why parsing failed. `offset` is a byte index into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (rejects trailing non-whitespace).
+pub fn from_str(s: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Parse a complete JSON document from bytes (must be UTF-8).
+pub fn from_slice(bytes: &[u8]) -> Result<Value, ParseError> {
+    let s = std::str::from_utf8(bytes).map_err(|e| ParseError {
+        offset: e.valid_up_to(),
+        message: "invalid UTF-8".to_string(),
+    })?;
+    from_str(s)
+}
+
+/// Nesting guard: deeper documents are rejected rather than risking a
+/// stack overflow on hostile input (this parser feeds an HTTP endpoint).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("document nested too deeply"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect("null", Value::Null),
+            Some(b't') => self.expect("true", Value::Bool(true)),
+            Some(b'f') => self.expect("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '{'
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            // Last duplicate wins (matches the real serde_json default).
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key, value));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a low surrogate.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(ch) => out.push(ch),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a valid &str, so decode
+                    // the full character from the source slice.
+                    let start = self.pos - 1;
+                    let s = unsafe { std::str::from_utf8_unchecked(&self.bytes[start..]) };
+                    let ch = s.chars().next().expect("non-empty by construction");
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        // Integer part: a leading zero must stand alone (RFC 8259).
+        if self.peek() == Some(b'0') {
+            self.pos += 1;
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("leading zero in number"));
+            }
+        } else {
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral {
+            if neg {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| ParseError {
+                offset: start,
+                message: "invalid number".to_string(),
+            })
+    }
+}
 
 /// An insertion-ordered string-keyed object map (stand-in for
 /// `serde_json::Map<String, Value>`).
@@ -194,5 +495,111 @@ mod tests {
         let label = String::from("t");
         let v = json!({ "dataset": label, "rows": rows });
         assert_eq!(to_string(&v).unwrap(), r#"{"dataset":"t","rows":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-0.125").unwrap(), Value::Float(-0.125));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"a": [1, {"b": null}], "c": "x\ny", "d": {}}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("a").unwrap().index(0).unwrap().as_u64(), Some(1));
+        assert!(v
+            .get("a")
+            .unwrap()
+            .index(1)
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .is_null());
+        assert_eq!(v.get("d").unwrap().as_object(), Some(&[][..]));
+    }
+
+    #[test]
+    fn roundtrips_through_serializer() {
+        let v = json!({
+            "name": "τ trajectory \"quoted\"",
+            // Non-integral floats only: `1.0` renders as `1` and would
+            // (correctly) parse back as an integer variant.
+            "xs": vec![1.5f64, -2.5, 3e-4],
+            "n": 17usize,
+            "neg": -4i64,
+            "flag": false,
+        });
+        let parsed = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let parsed_pretty = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed_pretty, v);
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        assert_eq!(
+            from_str(r#""\u0041\u00e9\ud83d\ude00""#).unwrap(),
+            Value::String("Aé😀".into())
+        );
+        assert!(from_str(r#""\ud83d""#).is_err()); // unpaired surrogate
+        assert_eq!(from_str("\"né\"").unwrap(), Value::String("né".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "--1",
+            "\"\\x\"",
+            "\"unterminated",
+            "[1] garbage",
+            "{'a': 1}",
+            "\u{1}",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(from_str(&deep).is_err(), "depth guard must trip");
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = from_str(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.as_object().unwrap().len(), 1);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn from_slice_checks_utf8() {
+        assert_eq!(from_slice(b"[1,2]").unwrap(), from_str("[1,2]").unwrap());
+        assert!(from_slice(&[0x22, 0xff, 0x22]).is_err());
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        // The serving path relies on f32 rates surviving JSON exactly:
+        // f32 -> f64 is exact, the writer emits a shortest round-trippable
+        // f64, and the parser defers to the stdlib's correctly-rounded
+        // float parsing.
+        for &r in &[0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 0.999_999_94] {
+            let s = to_string(&r).unwrap();
+            let back = from_str(&s).unwrap().as_f64().unwrap() as f32;
+            assert_eq!(back.to_bits(), r.to_bits(), "rate {r} corrupted by JSON");
+        }
     }
 }
