@@ -136,6 +136,44 @@ fn main() -> ExitCode {
         "fresh >= min(0.5 x baseline, 0.9)",
     );
 
+    // Deterministic: stacked matmul invocations of the fused batched
+    // encoder. A small additive slack absorbs benign refactors (an extra
+    // head or projection), nothing like a per-member or per-point
+    // regression (those multiply the count by B or B·L).
+    let key = "city_scale.encoder_fusion.matmuls_per_batch_batched";
+    gate.check(
+        key,
+        num(&baseline, key),
+        num(&fresh, key),
+        |b, f| f <= b + 8.0,
+        "fresh <= baseline + 8",
+    );
+
+    // Deterministic: how many matmul launches encoder fusion eliminates
+    // (sequential / batched ratio must not shrink much).
+    let ratio = |v: &Value| {
+        let s = num(v, "city_scale.encoder_fusion.matmuls_per_batch_sequential")?;
+        let b = num(v, key)?;
+        (b > 0.0).then_some(s / b)
+    };
+    gate.check(
+        "encoder fusion matmul ratio (sequential/batched)",
+        ratio(&baseline),
+        ratio(&fresh),
+        |b, f| f >= b * 0.9,
+        "fresh >= 0.9 x baseline",
+    );
+
+    // Wall clock, loose: fused encode speedup over per-member encoding.
+    let key = "city_scale.encoder_fusion.speedup";
+    gate.check(
+        key,
+        num(&baseline, key),
+        num(&fresh, key),
+        |b, f| f >= (b * 0.5).min(0.9),
+        "fresh >= min(0.5 x baseline, 0.9)",
+    );
+
     // Wall clock, loose: tape-free inference speedup over the tape path.
     // serve_bench itself already hard-fails below 1.0.
     gate.check(
@@ -149,6 +187,7 @@ fn main() -> ExitCode {
     // Correctness flags must never flip.
     for key in [
         "city_scale.decoder_fusion.bit_identical",
+        "city_scale.encoder_fusion.bit_identical",
         "http_roundtrip.bit_identical",
     ] {
         let flag = |v: &Value| lookup(v, key).and_then(Value::as_bool);

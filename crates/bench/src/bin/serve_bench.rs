@@ -3,10 +3,13 @@
 //! per-trajectory latency of tape-free inference versus the tape-based
 //! `EndToEnd::predict`, a **city-scale intra-op thread sweep** (kernel
 //! parallelism via `NN_THREADS` / `rntrajrec_nn::pool`), and the
-//! decoder-step matmul counts **before and after decoder fusion** — the
-//! per-member sequential decode versus the batched path that stacks
-//! same-step states into one matmul per head — with the batched ≡
-//! sequential bit-identity asserted. Writes `results/BENCH_serve.json`.
+//! matmul-invocation counts **before and after batched fusion** of both
+//! halves of the model — the per-member sequential decode versus the
+//! batched path that stacks same-step states into one matmul per head
+//! (`city_scale.decoder_fusion`), and the per-member GPS-Former encoder
+//! pass versus the stacked batched encoder with segment-scoped GraphNorm
+//! (`city_scale.encoder_fusion`) — with batched ≡ sequential bit-identity
+//! asserted for both. Writes `results/BENCH_serve.json`.
 //!
 //! ```bash
 //! cargo run --release -p rntrajrec-bench --bin serve_bench          # full
@@ -262,6 +265,64 @@ fn main() {
         t.elapsed().as_secs_f64() * 1000.0 / (fusion_reps * big_inputs.len()) as f64;
     let fusion_speedup = seq_decode_ms / fused_decode_ms;
 
+    // 3c. Encoder fusion: the per-member GPS-Former pass versus one fused
+    // batched pass (`TrajEncoder::infer_batch`) — every Linear/attention
+    // projection one stacked matmul for the whole batch, GraphNorm
+    // statistics scoped per member so results stay bit-identical.
+    let big_refs: Vec<&SampleInput> = big_inputs.iter().collect();
+    let encode_seq = || -> Vec<_> {
+        big_refs
+            .iter()
+            .map(|input| {
+                big_model
+                    .encoder
+                    .infer_one(&big_model.store, input, Some(&road))
+                    .expect("infer path")
+            })
+            .collect()
+    };
+    let before = kernels::matmul_invocations();
+    let enc_sequential = encode_seq();
+    let enc_seq_matmuls = kernels::matmul_invocations() - before;
+    let before = kernels::matmul_invocations();
+    let enc_batched = big_model
+        .encoder
+        .infer_batch(&big_model.store, &big_refs, Some(&road))
+        .expect("infer path");
+    let enc_fused_matmuls = kernels::matmul_invocations() - before;
+    for (i, (got, want)) in enc_batched.iter().zip(&enc_sequential).enumerate() {
+        assert_eq!(
+            got.per_point.data, want.per_point.data,
+            "fused batched encoder diverged from per-member encoding (member {i})"
+        );
+        assert_eq!(got.traj.data, want.traj.data, "traj diverged (member {i})");
+    }
+    let enc_matmul_ratio = enc_seq_matmuls as f64 / enc_fused_matmuls.max(1) as f64;
+    assert!(
+        enc_matmul_ratio >= 4.0,
+        "encoder fusion should collapse per-member/per-point projections into \
+         stacked calls (got {enc_seq_matmuls} -> {enc_fused_matmuls})"
+    );
+
+    let t = Instant::now();
+    for _ in 0..fusion_reps {
+        std::hint::black_box(encode_seq());
+    }
+    let seq_encode_ms =
+        t.elapsed().as_secs_f64() * 1000.0 / (fusion_reps * big_inputs.len()) as f64;
+    let t = Instant::now();
+    for _ in 0..fusion_reps {
+        std::hint::black_box(
+            big_model
+                .encoder
+                .infer_batch(&big_model.store, &big_refs, Some(&road))
+                .expect("infer path"),
+        );
+    }
+    let fused_encode_ms =
+        t.elapsed().as_secs_f64() * 1000.0 / (fusion_reps * big_inputs.len()) as f64;
+    let enc_speedup = seq_encode_ms / fused_encode_ms;
+
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "\n--- city-scale intra-op thread sweep ({} segments, d={big_dim}, {cores} core(s)) ---",
@@ -272,6 +333,10 @@ fn main() {
     );
     println!(
         "decoder fusion (B={}): {seq_per_batch_step:.1} -> {fused_per_batch_step:.1} matmuls/decoder step; decode {seq_decode_ms:.3} -> {fused_decode_ms:.3} ms/request (x{fusion_speedup:.1})",
+        big_inputs.len()
+    );
+    println!(
+        "encoder fusion (B={}): {enc_seq_matmuls} -> {enc_fused_matmuls} matmuls/batch (x{enc_matmul_ratio:.1}); encode {seq_encode_ms:.3} -> {fused_encode_ms:.3} ms/request (x{enc_speedup:.1}, bit-identical asserted)",
         big_inputs.len()
     );
 
@@ -377,7 +442,9 @@ fn main() {
         for (i, body) in wire_reqs.iter().enumerate() {
             let req = RecoverRequest::from_json(body).expect("round-trips");
             let t = Instant::now();
-            let want = http_engine.recover(ctx.sample_input(&req)).path;
+            let want = http_engine
+                .recover(ctx.sample_input(&req).expect("valid request"))
+                .path;
             inproc_ms.push(t.elapsed().as_secs_f64() * 1000.0);
 
             let t = Instant::now();
@@ -433,12 +500,23 @@ fn main() {
         "speedup": fusion_speedup,
         "bit_identical": true,
     });
+    let encoder_fusion = serde_json::json!({
+        "batch": big_inputs.len(),
+        "matmuls_per_batch_sequential": enc_seq_matmuls,
+        "matmuls_per_batch_batched": enc_fused_matmuls,
+        "matmul_ratio": enc_matmul_ratio,
+        "sequential_encode_ms_per_request": seq_encode_ms,
+        "batched_encode_ms_per_request": fused_encode_ms,
+        "speedup": enc_speedup,
+        "bit_identical": true,
+    });
     let city_scale = serde_json::json!({
         "segments": big_city.net.num_segments(),
         "dim": big_dim,
         "intra_op_sweep": intra_sweep,
         "decoder_fusion_baseline": decoder_baseline,
         "decoder_fusion": decoder_fusion,
+        "encoder_fusion": encoder_fusion,
     });
     let json = serde_json::json!({
         "tape_predict_ms": tape_ms,

@@ -331,23 +331,23 @@ impl EndToEnd {
         )
     }
 
-    /// Tape-free **batched** greedy inference: encodes each input
-    /// independently (RNTrajRec's GraphNorm makes cross-trajectory
-    /// *encoder* fusion change results, which serving must never do), then
-    /// recovers the whole batch through the fused decoder
-    /// ([`Decoder::recover_batch_infer`]) — one stacked matmul per head
-    /// per decode step instead of one per member. Results are
-    /// bit-identical to calling [`EndToEnd::infer_predict`] per input.
+    /// Tape-free **batched** greedy inference, fused end to end: the
+    /// encoder runs one stacked pass over the whole batch
+    /// ([`rntrajrec_models::TrajEncoder::infer_batch`] — RNTrajRec stacks
+    /// every member's per-point rows into one matmul per projection while
+    /// GraphNorm statistics stay scoped per member via segmented kernels,
+    /// so cross-request batching cannot change results), then the fused
+    /// decoder ([`Decoder::recover_batch_infer`]) recovers all members in
+    /// lock-step — one stacked matmul per head per decode step instead of
+    /// one per member. Results are bit-identical to calling
+    /// [`EndToEnd::infer_predict`] per input, for any batch composition.
     /// Returns `None` when the encoder has no tape-free path.
     pub fn infer_predict_batch(
         &self,
         inputs: &[&SampleInput],
         road: Option<&Tensor>,
     ) -> Option<Vec<Vec<(usize, f32)>>> {
-        let encs = inputs
-            .iter()
-            .map(|input| self.encoder.infer_one(&self.store, input, road))
-            .collect::<Option<Vec<_>>>()?;
+        let encs = self.encoder.infer_batch(&self.store, inputs, road)?;
         let members: Vec<BatchMember> = encs
             .iter()
             .zip(inputs)

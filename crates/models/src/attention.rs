@@ -2,6 +2,8 @@
 //! positional encoding (Eq. 12) and the decoder's additive attention
 //! (Eq. 14).
 
+use std::ops::Range;
+
 use rand::rngs::StdRng;
 
 use crate::layers::Linear;
@@ -76,6 +78,30 @@ impl MultiHeadAttention {
             let scores = infer::scale(&infer::matmul_nt(&qh, &kh), scale);
             let alphas = infer::softmax_rows(&scores);
             heads.push(infer::matmul(&alphas, &vh));
+        }
+        let refs: Vec<&Tensor> = heads.iter().collect();
+        self.wo.infer(store, &infer::concat_cols(&refs))
+    }
+
+    /// Batched tape-free self-attention over a stack of trajectories:
+    /// `x` holds every member's rows concatenated, `segs` the (ordered,
+    /// disjoint) row range of each member. The q/k/v/output projections
+    /// run as **one** stacked matmul each, while the attention reduction
+    /// stays scoped to each member's own rows via
+    /// `infer::segmented_self_attention` — so every output row is
+    /// bit-identical to [`MultiHeadAttention::infer`] on the member alone.
+    pub fn infer_segments(&self, store: &ParamStore, x: &Tensor, segs: &[Range<usize>]) -> Tensor {
+        let q = self.wq.infer(store, x);
+        let k = self.wk.infer(store, x);
+        let v = self.wv.infer(store, x);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut heads = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = infer::select_cols(&q, h * dh, dh);
+            let kh = infer::select_cols(&k, h * dh, dh);
+            let vh = infer::select_cols(&v, h * dh, dh);
+            heads.push(infer::segmented_self_attention(&qh, &kh, &vh, segs, scale));
         }
         let refs: Vec<&Tensor> = heads.iter().collect();
         self.wo.infer(store, &infer::concat_cols(&refs))

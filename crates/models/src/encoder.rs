@@ -91,4 +91,25 @@ pub trait TrajEncoder: Send + Sync {
     ) -> Option<InferOutput> {
         None
     }
+
+    /// Tape-free **batched** inference over a whole micro-batch.
+    ///
+    /// The contract every implementation must honour: the output for each
+    /// member is **bit-identical** to [`TrajEncoder::infer_one`] on that
+    /// member alone — batch composition must be unobservable in the
+    /// results (the serving engine batches requests from unrelated
+    /// clients). The default runs members one by one; encoders with a
+    /// fused path (RNTrajRec stacks all members' rows per block and scopes
+    /// GraphNorm statistics per member) override it.
+    fn infer_batch(
+        &self,
+        store: &ParamStore,
+        samples: &[&SampleInput],
+        road: Option<&Tensor>,
+    ) -> Option<Vec<InferOutput>> {
+        samples
+            .iter()
+            .map(|s| self.infer_one(store, s, road))
+            .collect()
+    }
 }

@@ -70,6 +70,73 @@ impl SampleInput {
     }
 }
 
+/// Why a query-time extraction was refused ([`FeatureExtractor::extract_query`]).
+///
+/// These are the validation failures reachable from *network input* (the
+/// HTTP layer maps them to field-precise `400`s): they must be typed
+/// errors, never panics, because a panic on one request would take a
+/// serving worker down with it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The raw trajectory carries no points.
+    EmptyTrajectory,
+    /// `target_len` is zero — there is nothing to recover.
+    ZeroTargetLen,
+    /// A GPS point has a non-finite coordinate or timestamp (NaN / ±∞
+    /// survive in-process callers even though the wire format rejects
+    /// them): grid and sub-graph lookups are undefined on such points.
+    NonFinitePoint {
+        /// Index into the raw trajectory.
+        index: usize,
+    },
+    /// A GPS point lies farther than the sub-graph receptive field δ
+    /// outside the study area — no road segment could fall inside its
+    /// receptive field, so features would be meaningless (an antipodal
+    /// coordinate, a unit mix-up). Points *within* the margin are kept:
+    /// ordinary GPS noise at the map boundary still resolves.
+    OffSite {
+        /// Index into the raw trajectory.
+        index: usize,
+        /// Distance to the study area in metres.
+        dist_m: f64,
+        /// The accepted margin (δ) in metres.
+        margin_m: f64,
+    },
+}
+
+impl QueryError {
+    /// The wire-request field this error faults (for field-precise 400s).
+    pub fn field(&self) -> &'static str {
+        match self {
+            QueryError::ZeroTargetLen => "target_len",
+            _ => "points",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::EmptyTrajectory => write!(f, "at least one GPS point is required"),
+            QueryError::ZeroTargetLen => write!(f, "target_len must be >= 1"),
+            QueryError::NonFinitePoint { index } => {
+                write!(f, "point {index} has a non-finite coordinate or timestamp")
+            }
+            QueryError::OffSite {
+                index,
+                dist_m,
+                margin_m,
+            } => write!(
+                f,
+                "point {index} lies {dist_m:.0} m outside the study area \
+                 (max accepted: {margin_m:.0} m)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// Converts [`TrajSample`]s into [`SampleInput`]s for a fixed road network.
 pub struct FeatureExtractor<'a> {
     pub net: &'a RoadNetwork,
@@ -190,19 +257,40 @@ impl<'a> FeatureExtractor<'a> {
     /// (`duration` = last raw timestamp), matching the simulator's
     /// down-sampling convention of always keeping the final point.
     ///
-    /// # Panics
-    /// Panics when `raw` is empty or `target_len` is zero — wire
-    /// validation rejects both before this is reached.
+    /// # Errors
+    /// Network input reaches this function, so every invalid shape is a
+    /// typed [`QueryError`] (mapped to a field-precise `400` by the HTTP
+    /// layer), never a panic: empty trajectories, a zero `target_len`,
+    /// non-finite coordinates/timestamps, and points farther than the
+    /// receptive field δ ([`FeatureExtractor::delta_m`]) outside the study
+    /// area are all rejected up front.
     pub fn extract_query(
         &self,
         raw: &RawTrajectory,
         target_len: usize,
         time: TimeContext,
-    ) -> SampleInput {
-        assert!(!raw.is_empty(), "query trajectory must have points");
-        assert!(target_len >= 1, "target_len must be >= 1");
+    ) -> Result<SampleInput, QueryError> {
+        if raw.is_empty() {
+            return Err(QueryError::EmptyTrajectory);
+        }
+        if target_len == 0 {
+            return Err(QueryError::ZeroTargetLen);
+        }
+        let site = self.bbox.inflated(self.delta_m);
+        for (index, p) in raw.points.iter().enumerate() {
+            if !(p.xy.x.is_finite() && p.xy.y.is_finite() && p.t.is_finite()) {
+                return Err(QueryError::NonFinitePoint { index });
+            }
+            if !site.contains(&p.xy) {
+                return Err(QueryError::OffSite {
+                    index,
+                    dist_m: self.bbox.dist_to_point(&p.xy),
+                    margin_m: self.delta_m,
+                });
+            }
+        }
         let duration = raw.points.last().map_or(1.0, |p| p.t.max(1.0));
-        self.extract_inner(raw, target_len, duration, time, None)
+        Ok(self.extract_inner(raw, target_len, duration, time, None))
     }
 
     fn extract_inner(
@@ -343,7 +431,9 @@ mod tests {
         let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
         let s = sample(&city, 3);
         let supervised = fx.extract(&s);
-        let query = fx.extract_query(&s.raw, s.target.len(), s.time_context());
+        let query = fx
+            .extract_query(&s.raw, s.target.len(), s.time_context())
+            .expect("valid query");
 
         assert_eq!(query.base_feats.data, supervised.base_feats.data);
         assert_eq!(query.grid_flat, supervised.grid_flat);
@@ -362,6 +452,77 @@ mod tests {
         // Supervision stays neutral.
         assert!(query.target_segs.iter().all(|&s| s == 0));
         assert!(query.target_rates.iter().all(|&r| r == 0.0));
+    }
+
+    /// Every malformed query shape reachable from network input must come
+    /// back as a typed [`QueryError`] — these used to be `assert!`s, i.e.
+    /// panics a request body could trigger inside a serving worker.
+    #[test]
+    fn extract_query_rejects_invalid_input_without_panicking() {
+        use rntrajrec_synth::{RawPoint, RawTrajectory};
+        let (city, rtree) = setup();
+        let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
+        let mk = |points: Vec<(f64, f64, f64)>| RawTrajectory {
+            points: points
+                .into_iter()
+                .map(|(x, y, t)| RawPoint {
+                    xy: XY::new(x, y),
+                    t,
+                })
+                .collect(),
+        };
+        let ctx = TimeContext::from_epoch_s(0.0);
+        let inside = fx.bbox().center();
+
+        let empty = mk(vec![]);
+        assert_eq!(
+            fx.extract_query(&empty, 3, ctx).err(),
+            Some(QueryError::EmptyTrajectory)
+        );
+        let ok = mk(vec![(inside.x, inside.y, 0.0)]);
+        assert_eq!(
+            fx.extract_query(&ok, 0, ctx).err(),
+            Some(QueryError::ZeroTargetLen)
+        );
+        assert_eq!(QueryError::ZeroTargetLen.field(), "target_len");
+
+        for (x, y, t) in [
+            (f64::NAN, inside.y, 0.0),
+            (inside.x, f64::INFINITY, 0.0),
+            (inside.x, inside.y, f64::NEG_INFINITY),
+        ] {
+            let bad = mk(vec![(inside.x, inside.y, 0.0), (x, y, t)]);
+            assert_eq!(
+                fx.extract_query(&bad, 3, ctx).err(),
+                Some(QueryError::NonFinitePoint { index: 1 }),
+                "({x}, {y}, {t}) must be rejected as non-finite"
+            );
+        }
+
+        // An antipodal-scale coordinate: finite but nowhere near the map.
+        let far = mk(vec![(inside.x, inside.y, 0.0), (2.0e7, -2.0e7, 10.0)]);
+        match fx.extract_query(&far, 3, ctx) {
+            Err(QueryError::OffSite {
+                index, margin_m, ..
+            }) => {
+                assert_eq!(index, 1);
+                assert_eq!(margin_m, fx.delta_m);
+            }
+            other => panic!("expected OffSite, got {other:?}"),
+        }
+        assert_eq!(
+            QueryError::NonFinitePoint { index: 1 }.field(),
+            "points",
+            "point errors must fault the points field"
+        );
+
+        // Boundary noise within δ of the study area still extracts.
+        let edge = mk(vec![(
+            fx.bbox().min_x - fx.delta_m * 0.5,
+            fx.bbox().min_y,
+            0.0,
+        )]);
+        assert!(fx.extract_query(&edge, 2, ctx).is_ok());
     }
 
     #[test]

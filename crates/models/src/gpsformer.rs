@@ -13,13 +13,16 @@
 //! (spatial), connected by graph readout (Eq. 13). The final sub-graph
 //! features drive the graph-classification loss `L_enc` (Eq. 18).
 
+use std::ops::Range;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 
 use crate::attention::PositionalEncoding;
 use crate::encoder::{BatchEncoderOutput, EncoderOutput, InferOutput, TrajEncoder};
 use crate::features::SampleInput;
 use crate::gridgnn::{GridGnn, GridGnnConfig};
-use crate::grl::{GraphRefinementLayer, GrlConfig};
+use crate::grl::{GraphRefinementLayer, GrlBatchLayout, GrlConfig};
 use crate::layers::Linear;
 use crate::transformer::TransformerEncoderLayer;
 use rntrajrec_geo::GridSpec;
@@ -175,6 +178,122 @@ impl RnTrajRecEncoder {
             .traj_head
             .infer(store, &infer::concat_cols(&[&mean, &env]));
         InferOutput { per_point: h, traj }
+    }
+
+    /// Fused batched twin of [`RnTrajRecEncoder::infer_sample`]: encode a
+    /// whole micro-batch in one pass, with every member's per-point rows
+    /// stacked into a single matrix per block. Each Linear / attention
+    /// projection (input projection, q/k/v/output, FFNs, gated fusion,
+    /// GAT transforms, trajectory head) runs as **one** stacked matmul for
+    /// the whole batch instead of one call per member (or per point, for
+    /// the GRL) — while every reduction whose scope defines the result
+    /// stays per member: self-attention rows via
+    /// `infer::segmented_self_attention`, graph readout via
+    /// `infer::segmented_mean_rows`, the GAT pass via a block-diagonal CSR
+    /// union, and GraphNorm statistics (the reason naive cross-request
+    /// fusion would change results — Eq. 8–9 are *batch* statistics) via
+    /// `infer::segmented_norm_stats` scoped to each member's own
+    /// sub-graphs.
+    ///
+    /// Because every fused kernel keeps the member's own accumulation
+    /// order, the outputs are **bit-identical** to [`infer_sample`] for
+    /// every member regardless of batch composition — the invariant an
+    /// online service must never break, pinned by the encoder-parity
+    /// proptest in `tests/batch_decode_parity.rs` and asserted in
+    /// `serve_bench`.
+    ///
+    /// [`infer_sample`]: RnTrajRecEncoder::infer_sample
+    pub fn infer_batch(
+        &self,
+        store: &ParamStore,
+        samples: &[&SampleInput],
+        xroad: &Tensor,
+    ) -> Vec<InferOutput> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        // Stacked layout: members' points concatenated in order, each
+        // point owning its sub-graph's row range of the z stack.
+        let members_graphs: Vec<Vec<(usize, Arc<rntrajrec_nn::GraphCsr>)>> = samples
+            .iter()
+            .map(|s| {
+                s.subgraphs
+                    .iter()
+                    .map(|sg| (sg.nodes.len(), Arc::clone(&sg.csr)))
+                    .collect()
+            })
+            .collect();
+        let layout = GrlBatchLayout::new(&members_graphs);
+        // Member row ranges of the [ΣL, d] per-point stack.
+        let mut traj_segs: Vec<Range<usize>> = Vec::with_capacity(samples.len());
+        let mut off = 0usize;
+        for s in samples {
+            traj_segs.push(off..off + s.input_len());
+            off += s.input_len();
+        }
+
+        // Z⁽⁰⁾ and pooled inputs Ĥ⁽⁰⁾ (Eq. 6): one gather and one
+        // segmented weighted mean for every point of every member.
+        let all_nodes: Vec<usize> = samples
+            .iter()
+            .flat_map(|s| s.subgraphs.iter().flat_map(|sg| sg.nodes.iter().copied()))
+            .collect();
+        let all_weights: Vec<f32> = samples
+            .iter()
+            .flat_map(|s| s.subgraphs.iter().flat_map(|sg| sg.weights.iter().copied()))
+            .collect();
+        let mut zs = infer::gather_rows(xroad, &all_nodes);
+        let gp = infer::segmented_weighted_mean_rows(&zs, &all_weights, &layout.point_segs);
+        let extras: Vec<Tensor> = samples
+            .iter()
+            .map(|s| select_columns(&s.base_feats, &[2, 3, 4]))
+            .collect();
+        let extra_refs: Vec<&Tensor> = extras.iter().collect();
+        let extra = infer::concat_rows(&extra_refs);
+        let cat = infer::concat_cols(&[&gp, &extra]);
+        let h0 = self.input_proj.infer(store, &cat);
+        // Positional encodings restart per member (Eq. 12).
+        let pes: Vec<Tensor> = samples
+            .iter()
+            .map(|s| self.pe.table(s.input_len()))
+            .collect();
+        let pe_refs: Vec<&Tensor> = pes.iter().collect();
+        let mut h = infer::add(&h0, &infer::concat_rows(&pe_refs));
+
+        // N GPSFormer blocks (Eq. 13), the whole batch per block.
+        for (te, grl) in &self.blocks {
+            let tr = te.infer_segments(store, &h, &traj_segs);
+            match grl {
+                Some(grl) => {
+                    let refined = grl.infer_batch(store, &tr, &zs, &layout);
+                    h = infer::segmented_mean_rows(&refined, &layout.point_segs);
+                    zs = refined;
+                }
+                None => h = tr,
+            }
+        }
+
+        // Trajectory-level vectors: member-scoped mean pool + environment,
+        // one stacked trajectory-head matmul.
+        let mean = infer::segmented_mean_rows(&h, &traj_segs);
+        let envs: Vec<Tensor> = samples
+            .iter()
+            .map(|s| Tensor::row(s.env.to_vec()))
+            .collect();
+        let env_refs: Vec<&Tensor> = envs.iter().collect();
+        let env = infer::concat_rows(&env_refs);
+        let traj_all = self
+            .traj_head
+            .infer(store, &infer::concat_cols(&[&mean, &env]));
+
+        traj_segs
+            .iter()
+            .enumerate()
+            .map(|(i, seg)| InferOutput {
+                per_point: infer::select_rows(&h, seg.start, seg.len()),
+                traj: infer::select_rows(&traj_all, i, 1),
+            })
+            .collect()
     }
 }
 
@@ -334,6 +453,23 @@ impl TrajEncoder for RnTrajRecEncoder {
         };
         Some(self.infer_sample(store, sample, xroad))
     }
+
+    fn infer_batch(
+        &self,
+        store: &ParamStore,
+        samples: &[&SampleInput],
+        road: Option<&Tensor>,
+    ) -> Option<Vec<InferOutput>> {
+        let owned;
+        let xroad = match road {
+            Some(t) => t,
+            None => {
+                owned = self.gridgnn.infer(store);
+                &owned
+            }
+        };
+        Some(RnTrajRecEncoder::infer_batch(self, store, samples, xroad))
+    }
 }
 
 /// Copy selected columns of a constant tensor (feature slicing outside the
@@ -457,6 +593,67 @@ mod tests {
             );
             assert_eq!(fast.traj.data, tj.data, "traj infer not bit-identical");
         }
+    }
+
+    #[test]
+    fn infer_batch_matches_infer_sample_bitwise() {
+        let (city, rtree) = build();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let grid = city.net.grid(50.0);
+        // Exercise every ablation the batch path must honour: full model,
+        // w/o GF (fusion FFN), w/o GAT (forward FFN), w/o GN (LayerNorm).
+        for (gf, gat, gn) in [
+            (true, true, true),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            let mut cfg = RnTrajRecConfig::small(16);
+            cfg.grl.gated_fusion = gf;
+            cfg.grl.gat = gat;
+            cfg.grl.graph_norm = gn;
+            let enc = RnTrajRecEncoder::new(&mut store, &mut rng, &city.net, &grid, cfg);
+            let ins = inputs(&city, &rtree, 3);
+            let refs: Vec<&SampleInput> = ins.iter().collect();
+            let xroad = enc.gridgnn.infer(&store);
+            let batch = enc.infer_batch(&store, &refs, &xroad);
+            assert_eq!(batch.len(), refs.len());
+            for (i, (got, sample)) in batch.iter().zip(&ins).enumerate() {
+                let want = enc.infer_sample(&store, sample, &xroad);
+                assert_eq!(
+                    got.per_point.data, want.per_point.data,
+                    "variant {gf}/{gat}/{gn}: member {i} per-point diverged"
+                );
+                assert_eq!(
+                    got.traj.data, want.traj.data,
+                    "variant {gf}/{gat}/{gn}: member {i} traj diverged"
+                );
+            }
+            store = ParamStore::new();
+        }
+    }
+
+    #[test]
+    fn infer_batch_empty_and_singleton() {
+        let (city, rtree) = build();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let grid = city.net.grid(50.0);
+        let enc = RnTrajRecEncoder::new(
+            &mut store,
+            &mut rng,
+            &city.net,
+            &grid,
+            RnTrajRecConfig::small(16),
+        );
+        let xroad = enc.gridgnn.infer(&store);
+        assert!(enc.infer_batch(&store, &[], &xroad).is_empty());
+        let ins = inputs(&city, &rtree, 1);
+        let one = enc.infer_batch(&store, &[&ins[0]], &xroad);
+        let want = enc.infer_sample(&store, &ins[0], &xroad);
+        assert_eq!(one[0].per_point.data, want.per_point.data);
+        assert_eq!(one[0].traj.data, want.traj.data);
     }
 
     #[test]

@@ -1,6 +1,16 @@
 //! Graph Refinement Layer (Section IV-D): gated fusion + graph forward +
 //! graph normalisation, with ablation switches for Table V.
+//!
+//! Besides the per-sample tape-free `infer` twins, every sub-module has a
+//! **batched** twin operating on one stacked `[Σn, d]` feature matrix for
+//! a whole micro-batch of trajectories: projections run as single stacked
+//! matmuls, the GAT pass runs over a block-diagonal CSR union of every
+//! point's sub-graph, and GraphNorm's statistics stay **scoped per
+//! member** through `infer::segmented_norm_stats` — so batched refinement
+//! is bit-identical to refining each trajectory alone, the invariant the
+//! serving engine's batching contract rests on.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -60,6 +70,34 @@ impl GatedFusion {
         let inv_gate = infer::add_const(&infer::scale(&gate, -1.0), 1.0);
         let keep_z = infer::mul(&inv_gate, z);
         infer::add(&take_tr, &keep_z)
+    }
+
+    /// Batched tape-free fusion over a whole stack: `tr_points` holds one
+    /// `[1, d]` transformer row per point (`[P, d]`), `z` the stacked
+    /// sub-graph features `[Σn, d]`, and `row_to_point[r]` the owning
+    /// point of stacked row `r`. Both weight projections run as **one**
+    /// matmul each (`W_z1` over the `P` point rows, then broadcast by a
+    /// pure row-gather — matmul rows are independent, so projecting before
+    /// repeating is bit-identical to repeating before projecting); the
+    /// gate arithmetic is element-wise, so every row matches
+    /// [`GatedFusion::infer`] on the point's own sub-graph exactly.
+    pub fn infer_batch(
+        &self,
+        store: &ParamStore,
+        tr_points: &Tensor,
+        z: &Tensor,
+        row_to_point: &[usize],
+    ) -> Tensor {
+        let tr_rep = infer::gather_rows(tr_points, row_to_point);
+        let a = infer::gather_rows(
+            &infer::matmul(tr_points, store.value(self.wz1)),
+            row_to_point,
+        );
+        let b = infer::matmul(z, store.value(self.wz2));
+        let s = infer::add_rowvec(&infer::add(&a, &b), store.value(self.bz));
+        // Fused σ(s)⊙tr + (1−σ(s))⊙z epilogue: one pass over the stack
+        // instead of five (bit-identical to the composed chain).
+        infer::gated_blend(&s, &tr_rep, z)
     }
 }
 
@@ -148,6 +186,38 @@ impl GraphNorm {
         }
         res
     }
+
+    /// Batched tape-free GraphNorm over a stacked micro-batch, statistics
+    /// **scoped per member**: `stacked` is `[Σn, d]`, `graph_segs[g]` the
+    /// row range of sub-graph `g`, `members[m]` the range of graph indices
+    /// owned by member `m`, and `row_to_member[r]` the owning member of
+    /// stacked row `r`. `infer::segmented_norm_stats` computes each
+    /// member's `μ`/`1/σ` exactly as [`GraphNorm::infer`] would over that
+    /// member's graphs alone; the normalise-and-affine chain
+    /// (`(x + (−μ))·invσ·γ + β`, one rounding per step) then runs
+    /// element-wise over the whole stack — so batched output rows are
+    /// bit-identical to the per-member call regardless of what else
+    /// shares the batch.
+    pub fn infer_segments(
+        &self,
+        store: &ParamStore,
+        stacked: &Tensor,
+        graph_segs: &[Range<usize>],
+        members: &[Range<usize>],
+        row_to_member: &[usize],
+    ) -> Tensor {
+        let (mu, inv) = infer::segmented_norm_stats(stacked, graph_segs, members, self.eps);
+        // Fused normalise-and-affine pass (one traversal; bit-identical to
+        // the broadcast-and-compose route).
+        infer::segmented_norm_apply(
+            stacked,
+            &mu,
+            &inv,
+            row_to_member,
+            store.value(self.gamma),
+            store.value(self.beta),
+        )
+    }
 }
 
 /// Which normaliser a GRL sub-layer uses (Table V `w/o GN`).
@@ -169,6 +239,22 @@ impl Norm {
         match self {
             Norm::Graph(gn) => gn.infer(store, zs),
             Norm::Layer(ln) => zs.iter().map(|z| ln.infer(store, z)).collect(),
+        }
+    }
+
+    /// Batched twin over a stacked micro-batch: GraphNorm scopes its
+    /// statistics per member; LayerNorm is row-local, so the stacked call
+    /// is already exact.
+    fn infer_batch(&self, store: &ParamStore, stacked: &Tensor, layout: &GrlBatchLayout) -> Tensor {
+        match self {
+            Norm::Graph(gn) => gn.infer_segments(
+                store,
+                stacked,
+                &layout.point_segs,
+                &layout.members,
+                &layout.row_to_member,
+            ),
+            Norm::Layer(ln) => ln.infer(store, stacked),
         }
     }
 }
@@ -198,6 +284,67 @@ impl GrlConfig {
             gat: true,
             graph_norm: true,
         }
+    }
+}
+
+/// Row/graph layout of a fused GRL micro-batch: one stacked `[Σn, d]`
+/// feature matrix holding every member's per-point sub-graphs in order.
+/// Built once per batch (shapes never change across GPSFormer blocks) and
+/// shared by every [`GraphRefinementLayer::infer_batch`] call.
+pub struct GrlBatchLayout {
+    /// Row range of each point's sub-graph in the stack (one per point,
+    /// members' points concatenated in order).
+    pub point_segs: Vec<Range<usize>>,
+    /// For each member, its range of point indices into `point_segs` —
+    /// the scope of that member's GraphNorm statistics.
+    pub members: Vec<Range<usize>>,
+    /// Stacked row → owning point index (broadcast gathers).
+    pub row_to_point: Vec<usize>,
+    /// Stacked row → owning member index (normalisation broadcasts).
+    pub row_to_member: Vec<usize>,
+    /// Block-diagonal union of every point's sub-graph adjacency: the GAT
+    /// pass runs once over the union, and because every CSR kernel reduces
+    /// per destination-node segment, union results equal per-graph results
+    /// bit-for-bit.
+    pub union_csr: Arc<GraphCsr>,
+}
+
+impl GrlBatchLayout {
+    /// Assemble the layout from each member's per-point sub-graphs
+    /// (`members_graphs[m]` lists member `m`'s `(rows, csr)` per point, in
+    /// point order).
+    pub fn new(members_graphs: &[Vec<(usize, Arc<GraphCsr>)>]) -> Self {
+        let mut point_segs = Vec::new();
+        let mut members = Vec::new();
+        let mut row_to_point = Vec::new();
+        let mut row_to_member = Vec::new();
+        let mut csrs: Vec<Arc<GraphCsr>> = Vec::new();
+        let mut row = 0usize;
+        for (m, graphs) in members_graphs.iter().enumerate() {
+            let first_point = point_segs.len();
+            for &(rows, ref csr) in graphs {
+                let point = point_segs.len();
+                point_segs.push(row..row + rows);
+                row_to_point.extend(std::iter::repeat_n(point, rows));
+                row_to_member.extend(std::iter::repeat_n(m, rows));
+                csrs.push(Arc::clone(csr));
+                row += rows;
+            }
+            members.push(first_point..point_segs.len());
+        }
+        let union_csr = Arc::new(GraphCsr::block_diagonal(csrs.iter().map(Arc::as_ref)));
+        Self {
+            point_segs,
+            members,
+            row_to_point,
+            row_to_member,
+            union_csr,
+        }
+    }
+
+    /// Total stacked rows `Σn`.
+    pub fn total_rows(&self) -> usize {
+        self.row_to_point.len()
     }
 }
 
@@ -380,6 +527,50 @@ impl GraphRefinementLayer {
             })
             .collect();
         self.norm2.infer(store, &refined)
+    }
+
+    /// Batched tape-free twin of [`GraphRefinementLayer::infer`] over one
+    /// stacked `[Σn, d]` matrix: `tr_points` carries each point's `[1, d]`
+    /// transformer row (`[P, d]`), `z` the stacked sub-graph features,
+    /// `layout` the member/point scoping. Gated fusion and the FFN
+    /// variants run as stacked matmuls, the GAT pass runs once over the
+    /// block-diagonal CSR union, and both norms scope their statistics per
+    /// member — every output row bit-identical to refining the member
+    /// alone (the encoder-parity proptest pins this end to end).
+    pub fn infer_batch(
+        &self,
+        store: &ParamStore,
+        tr_points: &Tensor,
+        z: &Tensor,
+        layout: &GrlBatchLayout,
+    ) -> Tensor {
+        assert_eq!(tr_points.rows, layout.point_segs.len());
+        assert_eq!(z.rows, layout.total_rows());
+        // Sub-layer 1: Norm(z + Fusion(tr, z)).
+        let f = match (&self.fusion, &self.fusion_ffn) {
+            (Some(gf), _) => gf.infer_batch(store, tr_points, z, &layout.row_to_point),
+            (None, Some(ffn)) => {
+                let tr_rep = infer::gather_rows(tr_points, &layout.row_to_point);
+                let cat = infer::concat_cols(&[&tr_rep, z]);
+                infer::relu(&ffn.infer(store, &cat))
+            }
+            _ => unreachable!(),
+        };
+        let fused = infer::add(z, &f);
+        let x = self.norm1.infer_batch(store, &fused, layout);
+
+        // Sub-layer 2: Norm(x + GraphForward(x)).
+        let f = if let Some(ffn) = &self.forward_ffn {
+            ffn.infer(store, &x)
+        } else {
+            let mut h = x.clone();
+            for gat in &self.gats {
+                h = gat.infer(store, &h, &layout.union_csr);
+            }
+            h
+        };
+        let refined = infer::add(&x, &f);
+        self.norm2.infer_batch(store, &refined, layout)
     }
 }
 

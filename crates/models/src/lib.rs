@@ -41,11 +41,11 @@ pub use baselines::{
 };
 pub use decoder::{BatchMember, Decoder, DecoderConfig, DecoderRun};
 pub use encoder::{BatchEncoderOutput, EncoderOutput, InferOutput, TrajEncoder};
-pub use features::{FeatureExtractor, SampleInput, SubGraph};
+pub use features::{FeatureExtractor, QueryError, SampleInput, SubGraph};
 pub use gpsformer::{RnTrajRecConfig, RnTrajRecEncoder};
 pub use graph_layers::{GatLayer, GcnLayer, GinLayer};
 pub use gridgnn::{GnnBackbone, GridGnn, GridGnnConfig};
-pub use grl::{GatedFusion, GraphNorm, GraphRefinementLayer, GrlConfig};
+pub use grl::{GatedFusion, GraphNorm, GraphRefinementLayer, GrlBatchLayout, GrlConfig};
 pub use layers::{FeedForward, LayerNorm, Linear};
 pub use rnn::{BiLstm, GruCell, LstmCell};
 pub use transformer::TransformerEncoderLayer;

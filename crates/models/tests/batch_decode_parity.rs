@@ -1,12 +1,14 @@
-//! Property suite for the fused batched decoder.
+//! Property suite for the fused batched decoder **and** encoder.
 //!
-//! The contract: [`Decoder::recover_batch_infer`] over an arbitrary
-//! micro-batch — ragged target lengths, repeated members, any batch size,
-//! any intra-op thread count — is **bit-identical** to running
-//! [`Decoder::infer_run`] on each member alone. The batched path stacks
-//! same-step states into `[B, d]` matrices and runs one matmul per head
-//! per step; every fused kernel keeps each member's per-element
-//! accumulation order, which is exactly what this suite pins down.
+//! The contract: [`Decoder::recover_batch_infer`] and
+//! [`RnTrajRecEncoder::infer_batch`] over an arbitrary micro-batch —
+//! ragged lengths, repeated members, any batch size, any intra-op thread
+//! count — are **bit-identical** to running [`Decoder::infer_run`] /
+//! [`RnTrajRecEncoder::infer_sample`] on each member alone. The batched
+//! paths stack members' rows into one matrix per projection while every
+//! member-scoped reduction (attention rows, graph readout, GraphNorm
+//! statistics) keeps each member's own accumulation order; that is exactly
+//! what this suite pins down.
 
 use std::sync::OnceLock;
 
@@ -14,10 +16,13 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rntrajrec_models::{BatchMember, Decoder, DecoderConfig, FeatureExtractor, SampleInput};
+use rntrajrec_models::{
+    BatchMember, Decoder, DecoderConfig, FeatureExtractor, RnTrajRecConfig, RnTrajRecEncoder,
+    SampleInput,
+};
 use rntrajrec_nn::{pool, ParamStore, Tensor};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
-use rntrajrec_synth::{SimConfig, Simulator};
+use rntrajrec_synth::{RawPoint, RawTrajectory, SimConfig, Simulator, TimeContext};
 
 struct Fixture {
     store: ParamStore,
@@ -155,4 +160,131 @@ fn empty_batch_is_noop() {
     let fix = fixture();
     let batched = fix.decoder.recover_batch_infer(&fix.store, &[]);
     assert!(batched.is_empty());
+}
+
+// ===== fused batched encoder ================================================
+
+struct EncoderFixture {
+    store: ParamStore,
+    encoder: RnTrajRecEncoder,
+    xroad: Tensor,
+    /// Sample pool with ragged input lengths, including a single-point
+    /// trajectory (the degenerate sub-graph/attention case).
+    samples: Vec<SampleInput>,
+}
+
+const ENC_POOL: usize = 5;
+
+fn encoder_fixture() -> &'static EncoderFixture {
+    static FIX: OnceLock<EncoderFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let city = SyntheticCity::generate(CityConfig::tiny());
+        let rtree = RTree::build(&city.net);
+        let grid = city.net.grid(50.0);
+        let fx = FeatureExtractor::new(&city.net, &rtree, grid);
+        let mut rng = StdRng::seed_from_u64(57);
+        let mut samples: Vec<SampleInput> = [(4usize, 3usize), (9, 8), (6, 5), (11, 10)]
+            .iter()
+            .map(|&(target_len, raw_len)| {
+                let mut sim = Simulator::new(
+                    &city.net,
+                    SimConfig {
+                        target_len,
+                        ..Default::default()
+                    },
+                );
+                fx.extract(&sim.sample(&mut rng, raw_len))
+            })
+            .collect();
+        // Single-point member through the query path (no ground truth):
+        // one GPS point, one sub-graph, attention over a single row.
+        let p = fx.bbox().center();
+        let single = RawTrajectory {
+            points: vec![RawPoint { xy: p, t: 0.0 }],
+        };
+        samples.push(
+            fx.extract_query(&single, 3, TimeContext::from_epoch_s(3600.0))
+                .expect("single-point query extracts"),
+        );
+        assert_eq!(samples.len(), ENC_POOL);
+
+        let mut store = ParamStore::new();
+        let encoder = RnTrajRecEncoder::new(
+            &mut store,
+            &mut rng,
+            &city.net,
+            &grid,
+            RnTrajRecConfig::small(16),
+        );
+        let xroad = encoder.gridgnn.infer(&store);
+        EncoderFixture {
+            store,
+            encoder,
+            xroad,
+            samples,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary ragged batches (any composition, with repeats, including
+    /// the single-point member) encoded in one fused pass equal the
+    /// per-member [`RnTrajRecEncoder::infer_sample`] bit-for-bit, at 1 and
+    /// 4 intra-op kernel threads — GraphNorm statistics must stay scoped
+    /// to each member's own sub-graphs no matter what shares the batch.
+    #[test]
+    fn fused_encoder_equals_per_member(
+        batch_size in 1usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks: Vec<usize> = (0..batch_size)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..ENC_POOL))
+            .collect();
+        let fix = encoder_fixture();
+        pool::set_num_threads(1);
+        let sequential: Vec<_> = picks
+            .iter()
+            .map(|&p| fix.encoder.infer_sample(&fix.store, &fix.samples[p], &fix.xroad))
+            .collect();
+        for threads in [1usize, 4] {
+            pool::set_num_threads(threads);
+            let batch: Vec<&SampleInput> = picks.iter().map(|&p| &fix.samples[p]).collect();
+            let batched = fix.encoder.infer_batch(&fix.store, &batch, &fix.xroad);
+            pool::set_num_threads(1);
+            for (i, (got, want)) in batched.iter().zip(&sequential).enumerate() {
+                prop_assert!(
+                    got.per_point.data == want.per_point.data,
+                    "member {i} per-point diverged at {threads} threads"
+                );
+                prop_assert!(
+                    got.traj.data == want.traj.data,
+                    "member {i} traj diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// `B = 1` and the single-point member: the stacked matrices degenerate to
+/// the member's own rows and a one-node attention/readout scope.
+#[test]
+fn singleton_and_single_point_encoder_batches() {
+    let fix = encoder_fixture();
+    pool::set_num_threads(1);
+    for p in 0..ENC_POOL {
+        let batched = fix
+            .encoder
+            .infer_batch(&fix.store, &[&fix.samples[p]], &fix.xroad);
+        let want = fix
+            .encoder
+            .infer_sample(&fix.store, &fix.samples[p], &fix.xroad);
+        assert_eq!(
+            batched[0].per_point.data, want.per_point.data,
+            "member {p} diverged at B=1"
+        );
+        assert_eq!(batched[0].traj.data, want.traj.data);
+    }
 }

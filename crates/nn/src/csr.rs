@@ -55,6 +55,29 @@ impl GraphCsr {
     pub fn neighbors(&self, i: usize) -> &[usize] {
         &self.targets[self.segment(i)]
     }
+
+    /// Block-diagonal union of several graphs: nodes are renumbered by the
+    /// running node offset of their block, edges stay within their block,
+    /// and both node order and each node's neighbour order are preserved.
+    /// Segment-local kernels (`edge_scores`, `segmented_softmax`,
+    /// `neighbor_sum`) therefore compute, for every node of the union, the
+    /// exact values they would compute on the node's own block — the basis
+    /// of the batched encoder's fused GAT pass.
+    pub fn block_diagonal<'a>(parts: impl IntoIterator<Item = &'a GraphCsr>) -> Self {
+        let mut offsets = vec![0usize];
+        let mut targets = Vec::new();
+        let mut node_off = 0usize;
+        for part in parts {
+            for i in 0..part.num_nodes() {
+                for e in part.segment(i) {
+                    targets.push(node_off + part.target(e));
+                }
+                offsets.push(targets.len());
+            }
+            node_off += part.num_nodes();
+        }
+        Self { offsets, targets }
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +115,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_neighbors() {
         let _ = GraphCsr::from_neighbor_lists(&[vec![5]], false);
+    }
+
+    #[test]
+    fn block_diagonal_offsets_nodes_per_block() {
+        let a = GraphCsr::from_neighbor_lists(&[vec![1], vec![0]], true);
+        let b = GraphCsr::from_neighbor_lists(&[vec![]], true);
+        let c = GraphCsr::from_neighbor_lists(&[vec![1, 2], vec![], vec![0]], false);
+        let u = GraphCsr::block_diagonal([&a, &b, &c]);
+        assert_eq!(u.num_nodes(), a.num_nodes() + b.num_nodes() + c.num_nodes());
+        assert_eq!(u.num_edges(), a.num_edges() + b.num_edges() + c.num_edges());
+        // Block a at node offset 0, b at 2, c at 3; neighbour order kept.
+        assert_eq!(u.neighbors(0), &[1, 0]);
+        assert_eq!(u.neighbors(1), &[0, 1]);
+        assert_eq!(u.neighbors(2), &[2]);
+        assert_eq!(u.neighbors(3), &[4, 5]);
+        assert_eq!(u.neighbors(4), &[] as &[usize]);
+        assert_eq!(u.neighbors(5), &[3]);
+    }
+
+    #[test]
+    fn block_diagonal_of_nothing_is_empty() {
+        let u = GraphCsr::block_diagonal([]);
+        assert_eq!(u.num_nodes(), 0);
+        assert_eq!(u.num_edges(), 0);
     }
 }

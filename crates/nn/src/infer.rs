@@ -140,6 +140,65 @@ pub fn segmented_attn_context(alphas: &Tensor, feats: &Tensor, segs: &[Range<usi
     kernels::segmented_attn_context(alphas, feats, segs)
 }
 
+// ----- segmented encoder-fusion ops -------------------------------------------
+
+/// Per-segment column means (batched graph readout / trajectory pooling);
+/// each output row bit-identical to `mean_rows` on the segment alone.
+pub fn segmented_mean_rows(a: &Tensor, segs: &[Range<usize>]) -> Tensor {
+    kernels::segmented_mean_rows(a, segs)
+}
+
+/// Per-segment weighted means with raw weights concatenated in segment
+/// order (batched Eq. 6 pooling); bit-identical to per-segment
+/// `weighted_mean_rows` under `normalized_weights`.
+pub fn segmented_weighted_mean_rows(a: &Tensor, weights: &[f32], segs: &[Range<usize>]) -> Tensor {
+    kernels::segmented_weighted_mean_rows(a, weights, segs)
+}
+
+/// GraphNorm statistics (Eq. 8–9) scoped per member of a stacked batch:
+/// `(μ, 1/√(var+eps))`, each `[M, C]`, bit-identical per member to the
+/// statistics over that member's graphs alone.
+pub fn segmented_norm_stats(
+    a: &Tensor,
+    graph_segs: &[Range<usize>],
+    members: &[Range<usize>],
+    eps: f32,
+) -> (Tensor, Tensor) {
+    kernels::segmented_norm_stats(a, graph_segs, members, eps)
+}
+
+/// Fused gated blend `σ(s)⊙a + (1−σ(s))⊙b` (Eq. 7 epilogue);
+/// bit-identical to the composed five-op route.
+pub fn gated_blend(s: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
+    kernels::gated_blend(s, a, b)
+}
+
+/// Fused normalise-and-affine GraphNorm epilogue with per-row member
+/// statistics; bit-identical to the composed broadcast route.
+pub fn segmented_norm_apply(
+    x: &Tensor,
+    mu: &Tensor,
+    inv_std: &Tensor,
+    seg_of: &[usize],
+    gamma: &Tensor,
+    beta: &Tensor,
+) -> Tensor {
+    kernels::segmented_norm_apply(x, mu, inv_std, seg_of, gamma, beta)
+}
+
+/// Per-segment scaled dot-product self-attention over ordered disjoint row
+/// segments (batched GPSFormer temporal attention); bit-identical per
+/// segment to the composed matmul_nt → scale → softmax → matmul route.
+pub fn segmented_self_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    segs: &[Range<usize>],
+    scale: f32,
+) -> Tensor {
+    kernels::segmented_self_attention(q, k, v, segs, scale)
+}
+
 // ----- shape ops ------------------------------------------------------------
 
 pub fn concat_cols(parts: &[&Tensor]) -> Tensor {

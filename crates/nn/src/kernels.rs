@@ -882,6 +882,329 @@ pub fn segmented_attn_context(alphas: &Tensor, feats: &Tensor, segs: &[Range<usi
     out
 }
 
+// ----- segmented encoder-fusion ops ------------------------------------------
+//
+// The batched GPS-Former encoder stacks every batch member's per-point rows
+// into one matrix per block so each Linear projection runs as a single
+// `[ΣL, d]` matmul. What cannot be naively stacked is anything whose
+// *reduction scope* is per member or per sub-graph: self-attention rows,
+// graph readout means, and — crucially — GraphNorm's batch statistics
+// (PAPER.md Eq. 10–13), which at serving time must cover exactly one
+// request's sub-graphs or batching would change results. These kernels run
+// those member-scoped reductions over the whole stack in one launch, each
+// segment computed with exactly the per-member op sequence's accumulation
+// order, so the stacked result is bit-identical to B separate calls.
+
+/// Per-segment column means: output row `s` is [`mean_rows`] of
+/// `a[segs[s], :]` — the batched encoder's graph readout (Eq. 13) and
+/// trajectory-level pooling, one launch for every sub-graph / member.
+/// Rows accumulate in ascending order and the `1/n` scaling matches
+/// [`mean_rows`] exactly, so each output row is bit-identical to the
+/// per-segment call; parallel over segment ranges (one output row per
+/// segment). Segments may be arbitrary in-range row windows.
+pub fn segmented_mean_rows(a: &Tensor, segs: &[Range<usize>]) -> Tensor {
+    let c = a.cols;
+    let offsets = segment_offsets(segs, a.rows);
+    let covered = offsets[segs.len()];
+    let mut out = Tensor::zeros(segs.len(), c);
+    let min_rows = (MIN_ROW_WORK * segs.len())
+        .checked_div(covered * c)
+        .map_or(usize::MAX, |m| m.max(1));
+    par_row_chunks(&mut out.data, c, segs.len(), min_rows, |srange, dst| {
+        for (ri, s) in srange.enumerate() {
+            let orow = &mut dst[ri * c..(ri + 1) * c];
+            for i in segs[s].clone() {
+                let row = &a.data[i * c..(i + 1) * c];
+                for (o, &x) in orow.iter_mut().zip(row) {
+                    *o += x;
+                }
+            }
+            let inv = 1.0 / segs[s].len() as f32;
+            orow.iter_mut().for_each(|x| *x *= inv);
+        }
+    });
+    out
+}
+
+/// Per-segment weighted column means with raw positive weights,
+/// concatenated in segment order (`weights.len()` = Σ segment lengths):
+/// output row `s` is [`weighted_mean_rows`] of `a[segs[s], :]` under
+/// [`normalized_weights`] of its weight slice — the batched Eq. 6 pooling.
+/// Normalisation (ascending-order sum, per-weight division) and the
+/// weighted accumulation match the per-segment route exactly, so each
+/// output row is bit-identical; parallel over segment ranges.
+pub fn segmented_weighted_mean_rows(a: &Tensor, weights: &[f32], segs: &[Range<usize>]) -> Tensor {
+    let c = a.cols;
+    let offsets = segment_offsets(segs, a.rows);
+    let covered = offsets[segs.len()];
+    assert_eq!(
+        weights.len(),
+        covered,
+        "segmented_weighted_mean_rows: weight count must match segment rows"
+    );
+    // Validate every segment's weights up front (the per-segment route
+    // asserts in `normalized_weights`), keeping panics out of pool chunks.
+    for (s, seg) in segs.iter().enumerate() {
+        let total: f32 = weights[offsets[s]..offsets[s] + seg.len()].iter().sum();
+        assert!(total > 0.0, "weights must not all be zero (segment {s})");
+    }
+    let mut out = Tensor::zeros(segs.len(), c);
+    let min_rows = (MIN_ROW_WORK * segs.len())
+        .checked_div(covered * c)
+        .map_or(usize::MAX, |m| m.max(1));
+    par_row_chunks(&mut out.data, c, segs.len(), min_rows, |srange, dst| {
+        for (ri, s) in srange.enumerate() {
+            let orow = &mut dst[ri * c..(ri + 1) * c];
+            let wseg = &weights[offsets[s]..offsets[s] + segs[s].len()];
+            let total: f32 = wseg.iter().sum();
+            for (i, &w) in segs[s].clone().zip(wseg) {
+                let norm = w / total;
+                let row = &a.data[i * c..(i + 1) * c];
+                for (o, &x) in orow.iter_mut().zip(row) {
+                    *o += norm * x;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// GraphNorm statistics (Eq. 8–9) scoped per member of a stacked batch.
+///
+/// `a` is the `[Σn, C]` stack of every member's sub-graph features,
+/// `graph_segs[g]` the row range of sub-graph `g`, and `members[m]` the
+/// range of *graph indices* belonging to member `m`. For each member the
+/// kernel computes exactly what `GraphNorm` computes over that member's
+/// graphs alone: `μ_m` = mean of the per-graph mean-pooled rows (graph
+/// means accumulated in graph order), and `inv_m` = `1/√(var + eps)` with
+/// the variance of all the member's node rows around `μ_m` (`x + (−μ)`
+/// centering, ascending-row accumulation, `Σ·(1/N)`, `+eps`,
+/// `max(0)·sqrt`, reciprocal — the per-member op chain, one rounding per
+/// step). Returns `(mu, inv_std)`, each `[M, C]`, bit-identical per row
+/// to the member's own statistics; parallel over member ranges.
+pub fn segmented_norm_stats(
+    a: &Tensor,
+    graph_segs: &[Range<usize>],
+    members: &[Range<usize>],
+    eps: f32,
+) -> (Tensor, Tensor) {
+    let c = a.cols;
+    let offsets = segment_offsets(graph_segs, a.rows);
+    for m in members {
+        assert!(
+            m.start <= m.end && m.end <= graph_segs.len(),
+            "member {m:?} out of {} graphs",
+            graph_segs.len()
+        );
+    }
+    let mut mu = Tensor::zeros(members.len(), c);
+    let mut inv_std = Tensor::zeros(members.len(), c);
+    let pm = SendPtr(mu.data.as_mut_ptr());
+    let ps = SendPtr(inv_std.data.as_mut_ptr());
+    let covered = offsets[graph_segs.len()];
+    let min_members = (MIN_ROW_WORK * members.len())
+        .checked_div(2 * covered * c)
+        .map_or(usize::MAX, |m| m.max(1));
+    pool::for_each_chunk(members.len(), min_members, move |mrange| {
+        let mut mean_acc = vec![0.0f32; c];
+        let mut graph_sum = vec![0.0f32; c];
+        let mut sq = vec![0.0f32; c];
+        for m in mrange {
+            let gs = &graph_segs[members[m].clone()];
+            // Eq. (8): per-graph mean pooling, then the mean of the means.
+            mean_acc.fill(0.0);
+            for seg in gs {
+                graph_sum.fill(0.0);
+                for i in seg.clone() {
+                    let row = &a.data[i * c..(i + 1) * c];
+                    for (o, &x) in graph_sum.iter_mut().zip(row) {
+                        *o += x;
+                    }
+                }
+                let inv = 1.0 / seg.len() as f32;
+                for (acc, &s) in mean_acc.iter_mut().zip(&graph_sum) {
+                    *acc += s * inv;
+                }
+            }
+            let ginv = 1.0 / gs.len() as f32;
+            mean_acc.iter_mut().for_each(|x| *x *= ginv);
+            // Eq. (9): variance of every node row around μ_m.
+            sq.fill(0.0);
+            let mut nrows = 0usize;
+            for seg in gs {
+                for i in seg.clone() {
+                    let row = &a.data[i * c..(i + 1) * c];
+                    for (o, (&x, &mu_k)) in sq.iter_mut().zip(row.iter().zip(&mean_acc)) {
+                        let d = x + (-mu_k); // scale(μ, −1): −x ≡ x·(−1) bitwise
+                        *o += d * d;
+                    }
+                }
+                nrows += seg.len();
+            }
+            let ninv = 1.0 / nrows as f32;
+            for (k, (&mv, &sv)) in mean_acc.iter().zip(&sq).enumerate() {
+                let var = sv * ninv + eps;
+                // SAFETY: member rows are disjoint across chunks.
+                unsafe {
+                    *pm.get().add(m * c + k) = mv;
+                    *ps.get().add(m * c + k) = 1.0 / var.max(0.0).sqrt();
+                }
+            }
+        }
+    });
+    (mu, inv_std)
+}
+
+/// Fused gated blend `σ(s) ⊙ a + (1 − σ(s)) ⊙ b` (the GRL's Eq. 7
+/// epilogue): one pass instead of the five-op composed chain (sigmoid,
+/// two Hadamard products, scale + add-const, add), with no intermediate
+/// tensors. Per element the arithmetic is exactly the composed route's —
+/// `g = 1/(1+e^{−s})`, `g·a`, `g·(−1)+1`, `(…)·b`, sum — one rounding per
+/// step, so results are bit-identical to it; parallel over flat element
+/// ranges.
+pub fn gated_blend(s: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(s.shape(), a.shape(), "gated_blend: shape mismatch");
+    assert_eq!(s.shape(), b.shape(), "gated_blend: shape mismatch");
+    let mut out = Tensor::zeros(s.rows, s.cols);
+    par_row_chunks(
+        &mut out.data,
+        1,
+        s.data.len(),
+        MIN_MAP_ELEMS,
+        |range, dst| {
+            for (((d, &sv), &av), &bv) in dst
+                .iter_mut()
+                .zip(&s.data[range.clone()])
+                .zip(&a.data[range.clone()])
+                .zip(&b.data[range])
+            {
+                let g = 1.0 / (1.0 + (-sv).exp());
+                let take_a = g * av;
+                let inv = (-g) + 1.0; // scale(g, −1) + 1: −x ≡ x·(−1) bitwise
+                let keep_b = inv * bv;
+                *d = take_a + keep_b;
+            }
+        },
+    );
+    out
+}
+
+/// Fused normalise-and-affine epilogue of the segment-scoped GraphNorm:
+/// `out[r] = ((x[r] + (−μ[seg_of[r]])) ⊙ invσ[seg_of[r]]) ⊙ γ + β` in one
+/// pass, instead of materialising the broadcast `−μ`/`invσ` row-gathers
+/// and running four full-matrix traversals. `mu`/`inv_std` are the
+/// `[M, C]` outputs of [`segmented_norm_stats`]; `seg_of[r]` names row
+/// `r`'s member. Per element the chain (`μ·(−1)`, add, two products, add)
+/// matches the composed route exactly, so results are bit-identical;
+/// parallel over row ranges.
+pub fn segmented_norm_apply(
+    x: &Tensor,
+    mu: &Tensor,
+    inv_std: &Tensor,
+    seg_of: &[usize],
+    gamma: &Tensor,
+    beta: &Tensor,
+) -> Tensor {
+    let (r, c) = x.shape();
+    assert_eq!(seg_of.len(), r, "segmented_norm_apply: one member per row");
+    assert_eq!(mu.shape(), inv_std.shape(), "segmented_norm_apply: stats");
+    assert_eq!(mu.cols, c, "segmented_norm_apply: stat width");
+    assert_eq!((gamma.rows, gamma.cols), (1, c), "gamma must be [1,C]");
+    assert_eq!((beta.rows, beta.cols), (1, c), "beta must be [1,C]");
+    for &m in seg_of {
+        assert!(m < mu.rows, "segmented_norm_apply: member {m} out of range");
+    }
+    let mut out = Tensor::zeros(r, c);
+    let min_rows = (MIN_MAP_ELEMS / c.max(1)).max(1);
+    par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+        for (ri, i) in rows.enumerate() {
+            let m = seg_of[i];
+            let murow = &mu.data[m * c..(m + 1) * c];
+            let invrow = &inv_std.data[m * c..(m + 1) * c];
+            let src = &x.data[i * c..(i + 1) * c];
+            let drow = &mut dst[ri * c..(ri + 1) * c];
+            for (k, (d, &xv)) in drow.iter_mut().zip(src).enumerate() {
+                let centered = xv + (-murow[k]); // scale(μ, −1): −x ≡ x·(−1) bitwise
+                let norm = centered * invrow[k];
+                *d = norm * gamma.data[k] + beta.data[k];
+            }
+        }
+    });
+    out
+}
+
+/// Per-segment scaled dot-product self-attention: for every row `i` of
+/// segment `s`, output row `i` is `softmax(scale · q_i · K_sᵀ) · V_s` with
+/// keys/values restricted to the segment's own rows — the batched
+/// GPSFormer's temporal attention (Eq. 10), every member in one launch.
+/// Per row the operation chain is exactly the per-member route's
+/// ([`matmul_nt`] dots in ascending feature order, [`scale`],
+/// [`softmax_rows`], [`matmul`]'s ascending-index zero-skip accumulation),
+/// so each output row is bit-identical to the member's own attention;
+/// parallel over segment ranges (segments own disjoint output rows).
+pub fn segmented_self_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    segs: &[Range<usize>],
+    scale: f32,
+) -> Tensor {
+    let (n, c) = q.shape();
+    assert_eq!(k.shape(), (n, c), "segmented_self_attention: k shape");
+    assert_eq!(v.shape(), (n, c), "segmented_self_attention: v shape");
+    // Segments own their output rows, so they must be ordered and disjoint
+    // (the pool writes them from different chunks).
+    let mut prev_end = 0usize;
+    for seg in segs {
+        assert!(
+            prev_end <= seg.start && seg.start <= seg.end && seg.end <= n,
+            "segments must be ordered, disjoint, and within {n} rows (got {seg:?})"
+        );
+        prev_end = seg.end;
+    }
+    let mut out = Tensor::zeros(n, c);
+    let ptr = SendPtr(out.data.as_mut_ptr());
+    let work: usize = segs.iter().map(|s| s.len() * s.len() * c).sum();
+    let min_segs = (MIN_MATMUL_WORK * segs.len())
+        .checked_div(work)
+        .map_or(usize::MAX, |m| m.max(1));
+    pool::for_each_chunk(segs.len(), min_segs, move |srange| {
+        let mut scores: Vec<f32> = Vec::new();
+        for s in srange {
+            let seg = segs[s].clone();
+            let len = seg.len();
+            scores.resize(len, 0.0);
+            for i in seg.clone() {
+                // Scores row (matmul_nt + scale): ascending-feature dots.
+                let qrow = &q.data[i * c..(i + 1) * c];
+                for (slot, j) in scores.iter_mut().zip(seg.clone()) {
+                    let krow = &k.data[j * c..(j + 1) * c];
+                    let mut dot = 0.0f32;
+                    for kk in 0..c {
+                        dot += qrow[kk] * krow[kk];
+                    }
+                    *slot = dot * scale;
+                }
+                softmax_in_place(&mut scores);
+                // Context row (matmul): ascending keys, zero weights skipped.
+                // SAFETY: each output row belongs to exactly one segment and
+                // segments never overlap across chunks.
+                let orow = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(i * c), c) };
+                for (&alpha, j) in scores.iter().zip(seg.clone()) {
+                    if alpha == 0.0 {
+                        continue;
+                    }
+                    let vrow = &v.data[j * c..(j + 1) * c];
+                    for (o, &fv) in orow.iter_mut().zip(vrow) {
+                        *o += alpha * fv;
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
 // ----- CSR graph-attention gather/scatter ------------------------------------
 
 /// Node ranges sized so each chunk holds roughly `min_work` scalar
@@ -1221,6 +1544,131 @@ mod tests {
             assert_eq!(ctx.data, ctx_want, "segmented_attn_context t={threads}");
         }
         pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn segmented_encoder_ops_match_per_member_route() {
+        // Two members: member 0 owns graphs of 3+2 rows, member 1 a single
+        // 4-row graph; plus the degenerate single-row graph case.
+        let stack = t(10, 6, 40);
+        let graph_segs = [0usize..3, 3..5, 5..9, 9..10];
+        let members = [0usize..2, 2..4];
+        let eps = 1e-5;
+        let weights: Vec<f32> = (0..10).map(|i| 0.1 + 0.13 * i as f32).collect();
+
+        // Per-member reference built from the existing primitive kernels —
+        // the exact op chain GraphNorm / the readout run per member.
+        let mut mu_want = Vec::new();
+        let mut inv_want = Vec::new();
+        for member in &members {
+            let gs = &graph_segs[member.clone()];
+            let means: Vec<Tensor> = gs
+                .iter()
+                .map(|g| mean_rows(&select_rows(&stack, g.start, g.len())))
+                .collect();
+            let mean_refs: Vec<&Tensor> = means.iter().collect();
+            let mu = mean_rows(&concat_rows(&mean_refs));
+            let rows: Vec<Tensor> = gs
+                .iter()
+                .map(|g| select_rows(&stack, g.start, g.len()))
+                .collect();
+            let row_refs: Vec<&Tensor> = rows.iter().collect();
+            let big = concat_rows(&row_refs);
+            let centered = add_rowvec(&big, &scale(&mu, -1.0));
+            let var = add_const(&mean_rows(&mul(&centered, &centered)), eps);
+            let inv = recip(&sqrt(&var));
+            mu_want.extend_from_slice(&mu.data);
+            inv_want.extend_from_slice(&inv.data);
+        }
+        let mut mean_want = Vec::new();
+        let mut wmean_want = Vec::new();
+        for g in &graph_segs {
+            let rows = select_rows(&stack, g.start, g.len());
+            mean_want.extend_from_slice(&mean_rows(&rows).data);
+            let norm = normalized_weights(g.len(), &weights[g.start..g.end]);
+            wmean_want.extend_from_slice(&weighted_mean_rows(&rows, &norm).data);
+        }
+
+        // Self-attention reference: per member, the composed
+        // matmul_nt → scale → softmax_rows → matmul route.
+        let (q, k, v) = (t(10, 6, 41), t(10, 6, 42), t(10, 6, 43));
+        let attn_segs = [0usize..5, 5..6, 6..10];
+        let att_scale = 0.5f32;
+        let mut attn_want = Vec::new();
+        for seg in &attn_segs {
+            let qs = select_rows(&q, seg.start, seg.len());
+            let ks = select_rows(&k, seg.start, seg.len());
+            let vs = select_rows(&v, seg.start, seg.len());
+            let alphas = softmax_rows(&scale(&matmul_nt(&qs, &ks), att_scale));
+            attn_want.extend_from_slice(&matmul(&alphas, &vs).data);
+        }
+
+        let before = pool::num_threads();
+        for threads in [1, 2, 4] {
+            pool::set_num_threads(threads);
+            let (mu, inv) = segmented_norm_stats(&stack, &graph_segs, &members, eps);
+            assert_eq!(mu.data, mu_want, "segmented_norm_stats mu t={threads}");
+            assert_eq!(inv.data, inv_want, "segmented_norm_stats inv t={threads}");
+            let means = segmented_mean_rows(&stack, &graph_segs);
+            assert_eq!(means.data, mean_want, "segmented_mean_rows t={threads}");
+            let wmeans = segmented_weighted_mean_rows(&stack, &weights, &graph_segs);
+            assert_eq!(
+                wmeans.data, wmean_want,
+                "segmented_weighted_mean_rows t={threads}"
+            );
+            let attn = segmented_self_attention(&q, &k, &v, &attn_segs, att_scale);
+            assert_eq!(attn.data, attn_want, "segmented_self_attention t={threads}");
+        }
+        pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn fused_elementwise_epilogues_match_composed_routes() {
+        // gated_blend ≡ sigmoid → mul → scale/add_const → mul → add.
+        let s = t(9, 7, 50);
+        let a = t(9, 7, 51);
+        let b = t(9, 7, 52);
+        let gate = sigmoid(&s);
+        let take_a = mul(&gate, &a);
+        let inv = add_const(&scale(&gate, -1.0), 1.0);
+        let blend_want = add(&take_a, &mul(&inv, &b));
+
+        // segmented_norm_apply ≡ scale(-1) → gather → add → gather → mul
+        // → mul_rowvec → add_rowvec.
+        let x = t(8, 5, 53);
+        let mu = t(3, 5, 54);
+        let istd = t(3, 5, 55);
+        let gamma = t(1, 5, 56);
+        let beta = t(1, 5, 57);
+        let seg_of = [0usize, 0, 1, 1, 1, 2, 2, 0];
+        let neg_mu = gather_rows(&scale(&mu, -1.0), &seg_of);
+        let centered = add(&x, &neg_mu);
+        let norm = mul(&centered, &gather_rows(&istd, &seg_of));
+        let apply_want = add_rowvec(&mul_rowvec(&norm, &gamma), &beta);
+
+        let before = pool::num_threads();
+        for threads in [1, 2, 4] {
+            pool::set_num_threads(threads);
+            assert_eq!(
+                gated_blend(&s, &a, &b).data,
+                blend_want.data,
+                "gated_blend t={threads}"
+            );
+            assert_eq!(
+                segmented_norm_apply(&x, &mu, &istd, &seg_of, &gamma, &beta).data,
+                apply_want.data,
+                "segmented_norm_apply t={threads}"
+            );
+        }
+        pool::set_num_threads(before);
+    }
+
+    #[test]
+    fn segmented_self_attention_rejects_overlapping_segments() {
+        let x = t(4, 3, 44);
+        let r =
+            std::panic::catch_unwind(|| segmented_self_attention(&x, &x, &x, &[0..3, 2..4], 1.0));
+        assert!(r.is_err(), "overlapping segments must be rejected");
     }
 
     #[test]

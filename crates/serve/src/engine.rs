@@ -6,20 +6,22 @@
 //! [`EngineConfig::max_delay`] (continuous-batching style: size bounds
 //! throughput overhead, the deadline bounds tail latency at low load).
 //!
-//! Each flushed batch is recovered through the **fused decode path**
-//! against the shared read-only [`ServingModel`]: encoders still run per
-//! member (RNTrajRec's GraphNorm makes cross-trajectory *encoder* fusion
-//! change results, which an online service must never do), but the decoder
-//! stacks the batch's same-step hidden states and runs one `[B, ·]` matmul
-//! per head per step instead of `B` separate `[1, ·]` products. Every
-//! fused kernel keeps the member's own per-element accumulation order, so
-//! batched results remain **bit-identical** to sequential per-request
-//! inference regardless of batch composition, worker count, or arrival
-//! order — property-tested in this crate and in
-//! `rntrajrec-models/tests/batch_decode_parity.rs`. Batching now wins
-//! twice: scheduling (one queue round-trip per batch) *and* per-step math
-//! (one pass over the `[d, |V|]` segment-head weights per step for the
-//! whole batch).
+//! Each flushed batch is recovered through the **fully fused inference
+//! path** against the shared read-only [`ServingModel`]: one stacked
+//! encoder pass for the whole batch (every Linear/attention projection is
+//! a single `[ΣL, d]` matmul; RNTrajRec's GraphNorm — whose *batch*
+//! statistics are why naive cross-request fusion would change results —
+//! keeps its statistics scoped per member through segmented kernels), then
+//! the fused decoder runs one `[B, ·]` matmul per head per step instead of
+//! `B` separate `[1, ·]` products. Every fused kernel keeps the member's
+//! own per-element accumulation order, so batched results remain
+//! **bit-identical** to sequential per-request inference regardless of
+//! batch composition, worker count, or arrival order — property-tested in
+//! this crate and in `rntrajrec-models/tests/batch_decode_parity.rs`.
+//! Batching wins three times: scheduling (one queue round-trip per batch),
+//! encoder math (one stacked pass instead of a full GPS-Former pass per
+//! member), and decoder math (one pass over the `[d, |V|]` segment-head
+//! weights per step for the whole batch).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -447,10 +449,11 @@ fn worker_loop(shared: &Shared) {
             .counters
             .in_flight_batches
             .fetch_add(1, Ordering::Relaxed);
-        // The whole flushed batch goes through the fused decode path:
-        // encoders run per member, decoder steps run as stacked [B, ·]
-        // products — bit-identical to per-request inference, so the batch
-        // composition is still unobservable in the results. A panicking
+        // The whole flushed batch goes through the fused inference path:
+        // one stacked encoder pass (GraphNorm statistics per member) and
+        // stacked [B, ·] decoder steps — bit-identical to per-request
+        // inference, so the batch composition is still unobservable in
+        // the results. A panicking
         // request (e.g. an input built against a different road network
         // tripping a shape assert) makes `recover_batch` fall back to
         // per-member recovery internally, failing only that request —

@@ -140,6 +140,15 @@ impl HttpCounters {
         ring.push_back(ms);
     }
 
+    /// Ceil-based nearest-rank quantiles (rank `⌈p·n⌉`, 1-indexed). The
+    /// previous `round((n-1)·p)` estimator disagreed with nearest rank
+    /// inconsistently across ring sizes: p99 on a 67-sample ring picked
+    /// rank 66 (under-reporting the tail) while small rings (8/10/50)
+    /// happened to pick the max, and p50 on even-length rings rounded
+    /// half away from zero to rank `n/2 + 1` instead of `n/2`.
+    /// Ceil-based nearest rank always returns the smallest sample
+    /// covering the requested fraction, for any ring length (pinned by
+    /// the `quantile` unit tests).
     fn latency_quantiles(&self) -> (f64, f64) {
         let ring = self.latencies_ms.lock().unwrap();
         if ring.is_empty() {
@@ -147,7 +156,10 @@ impl HttpCounters {
         }
         let mut sorted: Vec<f64> = ring.iter().copied().collect();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        let pick = |p: f64| {
+            let rank = (sorted.len() as f64 * p).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
         (pick(0.50), pick(0.99))
     }
 }
@@ -674,14 +686,24 @@ fn recover(
         }
     };
 
-    // Feature extraction runs caller-supplied coordinates through the
-    // spatial index; isolate any panic to this request, exactly like the
-    // engine isolates inference panics.
+    // Feature extraction validates caller-supplied coordinates up front
+    // (typed `QueryError`s → field-precise 400s); the catch_unwind is a
+    // last-resort backstop so no future panic path can take the
+    // connection worker down with one request.
     let ctx = Arc::clone(&state.ctx);
     let input =
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.sample_input(&request)))
         {
-            Ok(input) => input,
+            Ok(Ok(input)) => input,
+            Ok(Err(e)) => {
+                return (
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    ErrorBody::new(400, format!("invalid field '{}': {e}", e.field())).to_json(),
+                    vec![],
+                )
+            }
             Err(payload) => {
                 return (
                     400,
@@ -884,6 +906,59 @@ fn write_response(
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::HttpCounters;
+
+    fn quantiles_of(samples: &[f64]) -> (f64, f64) {
+        let c = HttpCounters::default();
+        for &s in samples {
+            c.record_latency(s);
+        }
+        c.latency_quantiles()
+    }
+
+    /// Ceil-based nearest rank over rings with known contents: rank
+    /// `⌈p·n⌉` (1-indexed), consistent across ring sizes. The old
+    /// `round((n-1)·p)` estimator diverged from nearest rank depending
+    /// on the ring length: at p99 a 67-sample ring picked rank 66
+    /// (`round(66·0.99) = 65`, under-reporting the tail) while 8-, 10-
+    /// and 50-sample rings picked the max; at p50 every even-length ring
+    /// rounded half away from zero to rank `n/2 + 1` (e.g. rank 6 of
+    /// 10).
+    #[test]
+    fn quantiles_use_ceil_nearest_rank() {
+        // Ring of 50: 1.0..=50.0. p99 rank = ceil(49.5) = 50 → 50.0;
+        // p50 rank = ceil(25.0) = 25 → 25.0.
+        let ring50: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        assert_eq!(quantiles_of(&ring50), (25.0, 50.0));
+
+        // Ring of 10: p99 rank = ceil(9.9) = 10 → 10.0; p50 rank =
+        // ceil(5.0) = 5 → 5.0 (the old estimator returned 6.0 here).
+        let ring10: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(quantiles_of(&ring10), (5.0, 10.0));
+
+        // Ring of 8: p99 rank = ceil(7.92) = 8 → 8.0; p50 rank = 4.
+        let ring8: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        assert_eq!(quantiles_of(&ring8), (4.0, 8.0));
+
+        // Ring of 67: p99 rank = ceil(66.33) = 67 → 67.0 — the case the
+        // old estimator under-reported (rank 66 → 66.0); p50 rank = 34.
+        let ring67: Vec<f64> = (1..=67).map(|i| i as f64).collect();
+        assert_eq!(quantiles_of(&ring67), (34.0, 67.0));
+
+        // Singleton and empty edge cases.
+        assert_eq!(quantiles_of(&[7.25]), (7.25, 7.25));
+        assert_eq!(quantiles_of(&[]), (0.0, 0.0));
+
+        // Order of arrival must not matter (the ring is sorted on read).
+        let mut shuffled = ring10.clone();
+        shuffled.reverse();
+        shuffled.swap(2, 7);
+        assert_eq!(quantiles_of(&shuffled), (5.0, 10.0));
+    }
 }
 
 /// A deliberately tiny blocking HTTP/1.1 client — one connection per

@@ -5,7 +5,7 @@
 use rntrajrec::wire::RecoverRequest;
 use rntrajrec::EndToEnd;
 use rntrajrec_geo::GridSpec;
-use rntrajrec_models::{FeatureExtractor, SampleInput};
+use rntrajrec_models::{FeatureExtractor, QueryError, SampleInput};
 use rntrajrec_nn::Tensor;
 use rntrajrec_roadnet::{RTree, RoadNetwork};
 use rntrajrec_synth::TimeContext;
@@ -89,11 +89,13 @@ impl ServingModel {
             .expect("infer path validated in ServingModel::new")
     }
 
-    /// Recover a whole micro-batch through the **fused decoder**
-    /// ([`rntrajrec::EndToEnd::infer_predict_batch`]): encoders run per
-    /// member, decode steps run as stacked `[B, ·]` products — one matmul
-    /// per head per step instead of one per member — with output
-    /// bit-identical to per-member [`ServingModel::recover`].
+    /// Recover a whole micro-batch through the **fused encoder + decoder**
+    /// ([`rntrajrec::EndToEnd::infer_predict_batch`]): one stacked encoder
+    /// pass for the whole batch (GraphNorm statistics stay scoped per
+    /// member, so batching cannot change results) and decode steps as
+    /// stacked `[B, ·]` products — one matmul per projection / head
+    /// instead of one per member — with output bit-identical to
+    /// per-member [`ServingModel::recover`].
     ///
     /// Panic isolation: a malformed member panics the fused pass, so on
     /// panic the batch falls back to per-member recovery, each member
@@ -163,7 +165,13 @@ impl QueryContext {
     /// [`FeatureExtractor::extract_query`]. The result is bit-identical
     /// to what an in-process caller holding the same context would build
     /// — the property behind HTTP ≡ in-process recovery.
-    pub fn sample_input(&self, req: &RecoverRequest) -> SampleInput {
+    ///
+    /// # Errors
+    /// A [`QueryError`] for request shapes feature extraction refuses
+    /// (empty trajectory, zero target, non-finite or far-off-site
+    /// coordinates) — the HTTP layer maps these to field-precise `400`s;
+    /// they must never panic a connection worker.
+    pub fn sample_input(&self, req: &RecoverRequest) -> Result<SampleInput, QueryError> {
         let fx = FeatureExtractor::with_bbox(&self.net, &self.rtree, self.grid, self.bbox);
         fx.extract_query(
             &req.raw_trajectory(),

@@ -51,7 +51,9 @@ impl Harness {
     /// The in-process reference: the same wire request through the same
     /// query context and engine, no network.
     fn in_process(&self, req: &RecoverRequest) -> Vec<(usize, f32)> {
-        self.engine.recover(self.ctx.sample_input(req)).path
+        self.engine
+            .recover(self.ctx.sample_input(req).expect("valid request"))
+            .path
     }
 }
 
@@ -145,6 +147,61 @@ fn malformed_json_returns_400_without_killing_the_worker() {
     assert_eq!(RecoverResponse::from_json(&resp.body).unwrap().path(), want);
 }
 
+/// GPS points that pass JSON parsing but are garbage for the road network
+/// — NaN / ±∞ coordinates and antipodal-scale positions far outside the
+/// study area — must come back as field-precise `400`s, never panic a
+/// connection worker. The antipodal cases exercise the typed
+/// `QueryError` path in `FeatureExtractor::extract_query` (formerly an
+/// `assert!`-able region reachable from network input); the non-finite
+/// cases pin the wire/parse guards in front of it.
+#[test]
+fn invalid_gps_points_return_400_and_workers_survive() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    let cases: &[(&str, &str)] = &[
+        // Antipodal-scale coordinates: finite, valid JSON, rejected by
+        // feature extraction's study-area margin.
+        (
+            r#"{"points": [[20000000, -20000000, 0]], "target_len": 3}"#,
+            "points",
+        ),
+        // A valid point followed by a far-off-site one: the error names
+        // the offending point index.
+        (
+            r#"{"points": [[100.0, 100.0, 0], [-1e7, 3e7, 5]], "target_len": 3}"#,
+            "point 1",
+        ),
+        // NaN is not valid JSON: rejected at parse time.
+        (r#"{"points": [[NaN, 0, 0]], "target_len": 3}"#, "body"),
+        // An overflowing exponent parses to +inf: rejected as non-finite.
+        (r#"{"points": [[1e999, 0, 0]], "target_len": 3}"#, "points"),
+        (r#"{"points": [[0, -1e999, 0]], "target_len": 3}"#, "points"),
+    ];
+    for &(body, field) in cases {
+        let resp = client::post_json(h.addr(), "/v1/recover", body).expect("connects");
+        assert_eq!(
+            resp.status, 400,
+            "{body:?} -> {} {}",
+            resp.status, resp.body
+        );
+        assert!(
+            resp.body.contains(field),
+            "{body:?}: error {:?} should name {field:?}",
+            resp.body
+        );
+        // The worker pool survives every rejection: a valid request on a
+        // fresh connection still round-trips bit-identically.
+        let req = h.request_for(0);
+        let want = h.in_process(&req);
+        let ok_body = serde_json::to_string(&req).unwrap();
+        let resp = client::post_json(h.addr(), "/v1/recover", &ok_body).expect("still serving");
+        assert_eq!(resp.status, 200, "pool damaged after {body:?}");
+        assert_eq!(RecoverResponse::from_json(&resp.body).unwrap().path(), want);
+    }
+    // No worker death shows up as engine failures either.
+    assert_eq!(h.engine.stats().failed, 0);
+}
+
 #[test]
 fn oversized_body_returns_413() {
     let _g = lock();
@@ -231,7 +288,10 @@ fn concurrent_clients_share_a_fused_batch() {
     // Reference: the same requests sequentially, one engine batch each
     // (they flush alone only after max_delay, so use the model directly).
     let reqs: Vec<RecoverRequest> = (0..clients).map(|i| h.request_for(i)).collect();
-    let inputs: Vec<_> = reqs.iter().map(|r| h.ctx.sample_input(r)).collect();
+    let inputs: Vec<_> = reqs
+        .iter()
+        .map(|r| h.ctx.sample_input(r).expect("valid request"))
+        .collect();
     let before = kernels::matmul_invocations();
     let sequential: Vec<Vec<(usize, f32)>> =
         inputs.iter().map(|i| h.engine.model().recover(i)).collect();

@@ -71,7 +71,9 @@ fn main() {
 
         // The wire adds nothing and loses nothing: bit-identical to
         // dispatching the same request in-process.
-        let in_process = engine.recover(ctx.sample_input(&req)).path;
+        let in_process = engine
+            .recover(ctx.sample_input(&req).expect("valid request"))
+            .path;
         assert_eq!(parsed.path(), in_process, "HTTP diverged from in-process");
 
         println!(
