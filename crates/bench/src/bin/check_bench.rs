@@ -184,6 +184,23 @@ fn main() -> ExitCode {
         "fresh >= 1.0 and >= 0.4 x baseline",
     );
 
+    // Absolute bar: span recording must stay effectively free on the
+    // batched serving path. The threshold is absolute (≤ 2%), not
+    // baseline-relative — the baseline may be negative noise.
+    {
+        let key = "city_scale.tracing.overhead_pct";
+        gate.checks += 1;
+        match (num(&baseline, key), num(&fresh, key)) {
+            (b, Some(f)) if f <= 2.0 => {
+                println!("PASS {key}: baseline {b:?}, fresh {f:.3}  [fresh <= 2.0]")
+            }
+            (b, f) => {
+                println!("FAIL {key}: baseline {b:?}, fresh {f:?}  [fresh <= 2.0]");
+                gate.failures += 1;
+            }
+        }
+    }
+
     // Correctness flags must never flip.
     for key in [
         "city_scale.decoder_fusion.bit_identical",

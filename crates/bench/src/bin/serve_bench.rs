@@ -9,7 +9,9 @@
 //! (`city_scale.decoder_fusion`), and the per-member GPS-Former encoder
 //! pass versus the stacked batched encoder with segment-scoped GraphNorm
 //! (`city_scale.encoder_fusion`) — with batched ≡ sequential bit-identity
-//! asserted for both. Writes `results/BENCH_serve.json`.
+//! asserted for both — plus the **span-recorder overhead** on the traced
+//! batched path (`city_scale.tracing`, gated ≤ 2% in `check_bench`).
+//! Writes `results/BENCH_serve.json`.
 //!
 //! ```bash
 //! cargo run --release -p rntrajrec-bench --bin serve_bench          # full
@@ -218,9 +220,9 @@ fn main() {
         })
         .collect();
 
-    let before = kernels::matmul_invocations();
+    let prof = kernels::profile_scope("decoder_sequential");
     let sequential = decode_seq();
-    let seq_matmuls = kernels::matmul_invocations() - before;
+    let seq_matmuls = prof.finish().matmuls;
     let decoder_steps: usize = big_inputs.iter().map(|i| i.target_len()).sum();
     // Lock-step depth of the fused decode: the longest member.
     let batch_steps = big_inputs.iter().map(|i| i.target_len()).max().unwrap_or(0);
@@ -230,11 +232,11 @@ fn main() {
 
     // 3b. Fused batched decode: one stacked matmul per head per step for
     // the whole micro-batch, bit-identical to the sequential loop.
-    let before = kernels::matmul_invocations();
+    let prof = kernels::profile_scope("decoder_batched");
     let batched = big_model
         .decoder
         .recover_batch_infer(&big_model.store, &members);
-    let fused_matmuls = kernels::matmul_invocations() - before;
+    let fused_matmuls = prof.finish().matmuls;
     assert_eq!(
         batched, sequential,
         "fused batched decode diverged from sequential recovery"
@@ -281,15 +283,15 @@ fn main() {
             })
             .collect()
     };
-    let before = kernels::matmul_invocations();
+    let prof = kernels::profile_scope("encoder_sequential");
     let enc_sequential = encode_seq();
-    let enc_seq_matmuls = kernels::matmul_invocations() - before;
-    let before = kernels::matmul_invocations();
+    let enc_seq_matmuls = prof.finish().matmuls;
+    let prof = kernels::profile_scope("encoder_batched");
     let enc_batched = big_model
         .encoder
         .infer_batch(&big_model.store, &big_refs, Some(&road))
         .expect("infer path");
-    let enc_fused_matmuls = kernels::matmul_invocations() - before;
+    let enc_fused_matmuls = prof.finish().matmuls;
     for (i, (got, want)) in enc_batched.iter().zip(&enc_sequential).enumerate() {
         assert_eq!(
             got.per_point.data, want.per_point.data,
@@ -390,6 +392,123 @@ fn main() {
             "(note: only {cores} core(s) visible — thread-scaling numbers are not meaningful here)"
         );
     }
+
+    // --- 3c'. Tracing overhead on the batched city-scale path -----------
+    // The observability acceptance bar: span recording enabled vs disabled
+    // on the fused batched recovery. Trials alternate the two settings and
+    // take the minimum of each (robust to scheduler noise on shared CI
+    // hosts); the gate in `check_bench` is overhead ≤ 2%.
+    // The gated number is the recorder's *marginal cost per batch*
+    // relative to batch time: count the spans and kernel events one
+    // traced batch records, microbenchmark the per-operation recorder
+    // cost in tight loops (stable to a few percent of microseconds even
+    // on a noisy runner), and divide by the batch wall time. A direct
+    // enabled-vs-disabled A/B of ~20ms windows cannot resolve a 2% gate
+    // on a shared 1-core runner — adjacent-window noise alone spans
+    // several percent and preemption spikes reach +30% — so the A/B
+    // numbers below are reported for context, not gated.
+    let overhead_trials = if quick { 8 } else { 16 };
+    let batch_refs: Vec<&SampleInput> = big_inputs.iter().collect();
+    let _ = std::hint::black_box(big_serving.recover_batch(&batch_refs)); // warm
+
+    // 1) Recorder operations per traced batch.
+    rntrajrec_obs::clear();
+    rntrajrec_obs::set_enabled(true);
+    let prof = kernels::profile_scope("tracing_overhead_count");
+    std::hint::black_box(big_serving.recover_batch(&batch_refs));
+    let batch_kernels = prof.finish();
+    rntrajrec_obs::set_enabled(false);
+    let spans_per_batch = rntrajrec_obs::drain().len() as u64;
+    let events_per_batch = batch_kernels.matmuls;
+
+    // 2) Per-operation recorder cost (min of repeated tight loops; every
+    // probe span is a root, so each close also pays a store flush —
+    // an overestimate of the nested-span common case, which is fine on
+    // the conservative side of a <2% gate).
+    rntrajrec_obs::set_enabled(true);
+    let probe_reps: u32 = 20_000;
+    let span_ns = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            for i in 0..probe_reps {
+                let _ =
+                    std::hint::black_box(rntrajrec_obs::span_indexed("tracing_overhead_probe", i));
+            }
+            rntrajrec_obs::clear();
+            t.elapsed().as_nanos() as f64 / probe_reps as f64
+        })
+        .fold(f64::INFINITY, f64::min);
+    let event_ns = (0..3)
+        .map(|_| {
+            let outer = rntrajrec_obs::span("tracing_overhead_probe_outer");
+            let t = Instant::now();
+            for _ in 0..probe_reps {
+                rntrajrec_obs::kernel_event(1, 1024);
+            }
+            let ns = t.elapsed().as_nanos() as f64 / probe_reps as f64;
+            drop(outer);
+            rntrajrec_obs::clear();
+            ns
+        })
+        .fold(f64::INFINITY, f64::min);
+    rntrajrec_obs::set_enabled(false);
+
+    // 3) Context: direct A/B windows (informational only, see above).
+    let measure = |on: bool| {
+        rntrajrec_obs::set_enabled(on);
+        let t = Instant::now();
+        std::hint::black_box(big_serving.recover_batch(&batch_refs));
+        let ms = t.elapsed().as_secs_f64() * 1000.0;
+        rntrajrec_obs::set_enabled(false);
+        if on {
+            rntrajrec_obs::clear();
+        }
+        ms
+    };
+    let mut disabled_ms = Vec::with_capacity(overhead_trials);
+    let mut enabled_ms = Vec::with_capacity(overhead_trials);
+    for trial in 0..overhead_trials {
+        if trial % 2 == 0 {
+            disabled_ms.push(measure(false));
+            enabled_ms.push(measure(true));
+        } else {
+            enabled_ms.push(measure(true));
+            disabled_ms.push(measure(false));
+        }
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let n = xs.len();
+        if n.is_multiple_of(2) {
+            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+        } else {
+            xs[n / 2]
+        }
+    };
+    let disabled_med = median(&mut disabled_ms);
+    let enabled_med = median(&mut enabled_ms);
+
+    let recorder_ns_per_batch =
+        spans_per_batch as f64 * span_ns + events_per_batch as f64 * event_ns;
+    let tracing_overhead_pct = recorder_ns_per_batch / (disabled_med * 1e6) * 100.0;
+    println!(
+        "tracing overhead (B={}): {spans_per_batch} spans x {span_ns:.0} ns + {events_per_batch} \
+         kernel events x {event_ns:.0} ns = {:.1} us/batch over {disabled_med:.3} ms \
+         ({tracing_overhead_pct:.3}%); A/B medians {disabled_med:.3} ms off / {enabled_med:.3} ms on",
+        batch_refs.len(),
+        recorder_ns_per_batch / 1000.0,
+    );
+    let tracing = serde_json::json!({
+        "batch": batch_refs.len(),
+        "spans_per_batch": spans_per_batch,
+        "kernel_events_per_batch": events_per_batch,
+        "span_ns": span_ns,
+        "kernel_event_ns": event_ns,
+        "recorder_us_per_batch": recorder_ns_per_batch / 1000.0,
+        "disabled_ms": disabled_med,
+        "enabled_ms": enabled_med,
+        "overhead_pct": tracing_overhead_pct,
+    });
 
     // --- 4. HTTP round-trip: network-layer overhead vs in-process --------
     // The same wire requests through (a) the in-process engine dispatch
@@ -517,6 +636,7 @@ fn main() {
         "decoder_fusion_baseline": decoder_baseline,
         "decoder_fusion": decoder_fusion,
         "encoder_fusion": encoder_fusion,
+        "tracing": tracing,
     });
     let json = serde_json::json!({
         "tape_predict_ms": tape_ms,

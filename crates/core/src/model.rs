@@ -347,7 +347,19 @@ impl EndToEnd {
         inputs: &[&SampleInput],
         road: Option<&Tensor>,
     ) -> Option<Vec<Vec<(usize, f32)>>> {
-        let encs = self.encoder.infer_batch(&self.store, inputs, road)?;
+        use std::sync::{Arc, OnceLock};
+        static ENCODER_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+        static DECODER_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+
+        let enc_started = std::time::Instant::now();
+        let encs = {
+            let _span = rntrajrec_obs::span("encoder.fused");
+            self.encoder.infer_batch(&self.store, inputs, road)?
+        };
+        ENCODER_SECONDS
+            .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("encoder"))
+            .observe_duration(enc_started.elapsed());
+
         let members: Vec<BatchMember> = encs
             .iter()
             .zip(inputs)
@@ -357,7 +369,16 @@ impl EndToEnd {
                 sample,
             })
             .collect();
-        Some(self.decoder.recover_batch_infer(&self.store, &members))
+
+        let dec_started = std::time::Instant::now();
+        let paths = {
+            let _span = rntrajrec_obs::span("decoder.fused");
+            self.decoder.recover_batch_infer(&self.store, &members)
+        };
+        DECODER_SECONDS
+            .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("decoder"))
+            .observe_duration(dec_started.elapsed());
+        Some(paths)
     }
 }
 

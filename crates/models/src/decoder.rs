@@ -341,6 +341,9 @@ impl Decoder {
         let mut j = 0;
         while !active.is_empty() {
             let b = active.len();
+            // One observability span per lock-step decode step (rendered
+            // `decoder.step[j]`); no-op unless tracing is enabled.
+            let _step_span = rntrajrec_obs::span_indexed("decoder.step", j as u32);
             // Eq. (14): additive attention, all members in lock-step — one
             // stacked query projection, one stacked score product, then
             // the per-member softmax/context over ragged segments.

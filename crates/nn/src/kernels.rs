@@ -25,8 +25,10 @@
 
 #![deny(missing_docs)]
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::{pool, GraphCsr, Tensor};
 
@@ -46,11 +48,87 @@ const MIN_COPY_ELEMS: usize = 32 * 1024;
 static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Monotone process-wide counter of matmul-family kernel invocations.
-/// Benchmarks take deltas around a measured section (e.g. `serve_bench`
-/// counts decoder-step matmuls before and after the batched decoder
-/// fusion: ~9·B per step sequential vs. ~one per head per step fused).
+/// Exported on `/metrics`; for benchmark accounting use [`profile_scope`]
+/// instead — a global delta is racy the moment any other thread computes.
 pub fn matmul_invocations() -> u64 {
     MATMUL_CALLS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Per-thread `(invocations, flop estimate)` totals for the matmul
+    /// family, the basis of [`profile_scope`] deltas.
+    static KERNEL_TOTALS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// One matmul-family invocation entered on this thread: bump the global
+/// counter, the thread-local totals, and (when tracing is enabled) the
+/// innermost open observability span. `flops` is the `2·R·K·C`
+/// multiply-add estimate. Runs on the *caller* thread before any work is
+/// handed to the pool, so scoped accounting is exact.
+#[inline]
+fn note_matmul(flops: u64) {
+    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
+    let _ = KERNEL_TOTALS.try_with(|t| {
+        let (m, f) = t.get();
+        t.set((m + 1, f + flops));
+    });
+    rntrajrec_obs::kernel_event(1, flops);
+}
+
+/// What a [`profile_scope`] measured: matmul invocations, their FLOP
+/// estimate, and wall time between open and [`ProfileScope::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// The tag the scope was opened with.
+    pub tag: &'static str,
+    /// Matmul-family invocations issued from this thread in the scope.
+    pub matmuls: u64,
+    /// Estimated floating-point operations (`2·R·K·C` per invocation).
+    pub flops: u64,
+    /// Wall-clock time the scope was open.
+    pub wall: Duration,
+}
+
+/// Scoped kernel profiler; see [`profile_scope`].
+#[must_use = "call finish() to read the measured profile"]
+pub struct ProfileScope {
+    tag: &'static str,
+    started: Instant,
+    at_open: (u64, u64),
+    /// Keeps the section visible as a span (with its kernel counts) when
+    /// tracing is enabled; a no-op otherwise.
+    _span: rntrajrec_obs::SpanGuard,
+}
+
+/// Open a profiling scope that attributes matmul count, FLOP estimate,
+/// and wall time to the code it encloses. Deltas come from *thread-local*
+/// totals, so concurrent work on other threads cannot pollute the
+/// measurement (the race the old global-counter reset dance had); the
+/// invocations counted are those issued from the calling thread, which is
+/// exact for the serving stack where kernels are entered on the caller
+/// and only inner chunks fan out to the pool. When tracing is enabled the
+/// scope also records an observability span named `tag`.
+pub fn profile_scope(tag: &'static str) -> ProfileScope {
+    ProfileScope {
+        tag,
+        started: Instant::now(),
+        at_open: KERNEL_TOTALS.with(Cell::get),
+        _span: rntrajrec_obs::span(tag),
+    }
+}
+
+impl ProfileScope {
+    /// Close the scope and return what it measured.
+    pub fn finish(self) -> KernelProfile {
+        let (m0, f0) = self.at_open;
+        let (m1, f1) = KERNEL_TOTALS.with(Cell::get);
+        KernelProfile {
+            tag: self.tag,
+            matmuls: m1 - m0,
+            flops: f1 - f0,
+            wall: self.started.elapsed(),
+        }
+    }
 }
 
 /// Raw mutable output pointer shared across pool chunks. Sound because
@@ -156,8 +234,8 @@ fn matmul_axpy(arow: &[f32], b: &[f32], stride: usize, col0: usize, orow: &mut [
 /// ascending over `k`, identical in every partitioning and block size.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols, b.rows, "matmul: inner dimension mismatch");
-    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
     let (r, k, c) = (a.rows, a.cols, b.cols);
+    note_matmul(2 * (r * k * c) as u64);
     let mut out = Tensor::zeros(r, c);
     if r == 1 {
         par_row_chunks(
@@ -184,8 +262,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// parallel over output rows (columns when `R == 1`).
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols, b.cols, "matmul_nt: inner dimension mismatch");
-    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
     let (r, k, c) = (a.rows, a.cols, b.rows);
+    note_matmul(2 * (r * k * c) as u64);
     let mut out = Tensor::zeros(r, c);
     let dot = |arow: &[f32], j: usize| -> f32 {
         let brow = &b.data[j * k..(j + 1) * k];
@@ -226,8 +304,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// are skipped, matching [`matmul`]'s accumulation exactly.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rows, b.rows, "matmul_tn: inner dimension mismatch");
-    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
     let (k, r, c) = (a.rows, a.cols, b.cols);
+    note_matmul(2 * (k * r * c) as u64);
     let mut out = Tensor::zeros(r, c);
     if r == 1 {
         let ptr = SendPtr(out.data.as_mut_ptr());

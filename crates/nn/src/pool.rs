@@ -37,7 +37,7 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -128,6 +128,7 @@ impl ThreadPool {
     pub fn run<F: Fn(Range<usize>) + Sync>(&self, threads: usize, items: usize, f: F) {
         let threads = threads.min(self.max_threads()).min(items.max(1)).max(1);
         if threads <= 1 {
+            INLINE_SMALL.fetch_add(1, Ordering::Relaxed);
             f(0..items);
             return;
         }
@@ -146,9 +147,11 @@ impl ThreadPool {
             let mut st = self.shared.state.lock().unwrap();
             if st.job.is_some() || st.remaining > 0 {
                 drop(st);
+                INLINE_BUSY.fetch_add(1, Ordering::Relaxed);
                 f(0..items); // busy: run inline, never queue (deadlock-free)
                 return;
             }
+            PARALLEL_JOBS.fetch_add(1, Ordering::Relaxed);
             st.seq += 1;
             st.remaining = threads - 1;
             st.worker_panicked = false;
@@ -298,15 +301,45 @@ pub fn for_each_chunk<F: Fn(Range<usize>) + Sync>(items: usize, min_items_per_ch
     // `items / 2 < min` ⇔ `items < 2 * min` without the overflow a huge
     // `min` sentinel (e.g. "never parallelise" = usize::MAX) would hit.
     if t <= 1 || items / 2 < min {
+        INLINE_SMALL.fetch_add(1, Ordering::Relaxed);
         f(0..items);
         return;
     }
     let chunks = t.min(items / min).max(1);
     if chunks <= 1 {
+        INLINE_SMALL.fetch_add(1, Ordering::Relaxed);
         f(0..items);
         return;
     }
     global().run(chunks, items, f);
+}
+
+/// How parallel regions were dispatched since process start. A high
+/// `inline_busy` share means concurrent serving workers are contending
+/// for the single-job pool; a high `inline_small` share means workloads
+/// are below the parallelism thresholds. Exported on `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Regions fanned out across pool workers.
+    pub parallel_jobs: u64,
+    /// Regions run inline because the pool was busy with another job.
+    pub inline_busy: u64,
+    /// Regions run inline because the workload was too small (or the
+    /// thread setting is 1).
+    pub inline_small: u64,
+}
+
+static PARALLEL_JOBS: AtomicU64 = AtomicU64::new(0);
+static INLINE_BUSY: AtomicU64 = AtomicU64::new(0);
+static INLINE_SMALL: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the process-wide [`PoolStats`] dispatch counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        parallel_jobs: PARALLEL_JOBS.load(Ordering::Relaxed),
+        inline_busy: INLINE_BUSY.load(Ordering::Relaxed),
+        inline_small: INLINE_SMALL.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]

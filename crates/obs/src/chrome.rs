@@ -1,0 +1,95 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders [`SpanRecord`]s as the trace-event format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): complete
+//! (`"ph": "X"`) events with microsecond timestamps, plus metadata
+//! events naming processes and threads.
+//!
+//! Lanes: **pid = request id**, so each request gets its own process
+//! group in the viewer and a span shared by a fused batch (e.g.
+//! `encoder.fused`) appears once under every member request. **tid** is
+//! the recording thread's synthetic id, so within a request you can see
+//! which phases ran on the HTTP worker vs. the engine worker. Spans
+//! outside any request are grouped under pid 0.
+
+use crate::span::{thread_names, SpanRecord};
+use serde_json::{json, Value};
+
+/// Render `spans` as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    let mut lanes: Vec<(u64, u64)> = Vec::new(); // (pid, tid) pairs seen
+    let mut pids: Vec<u64> = Vec::new();
+    for span in spans {
+        let name = match span.index {
+            Some(i) => format!("{}[{i}]", span.name),
+            None => span.name.to_string(),
+        };
+        let ts_us = span.start_ns as f64 / 1_000.0;
+        let dur_us = span.dur_ns() as f64 / 1_000.0;
+        let span_pids: &[u64] = if span.requests.is_empty() {
+            &[0]
+        } else {
+            &span.requests
+        };
+        for &pid in span_pids {
+            if !pids.contains(&pid) {
+                pids.push(pid);
+            }
+            if !lanes.contains(&(pid, span.thread)) {
+                lanes.push((pid, span.thread));
+            }
+            events.push(json!({
+                "name": name.clone(),
+                "cat": "serve",
+                "ph": "X",
+                "ts": ts_us,
+                "dur": dur_us,
+                "pid": pid,
+                "tid": span.thread,
+                "args": json!({
+                    "span": span.id,
+                    "parent": span.parent,
+                    "matmuls": span.matmuls,
+                    "flops": span.flops,
+                    "shared_by": span.requests.len().max(1),
+                }),
+            }));
+        }
+    }
+    let names = thread_names();
+    for &pid in &pids {
+        let label = if pid == 0 {
+            "untraced".to_string()
+        } else {
+            format!("request {pid}")
+        };
+        events.push(json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0u64,
+            "args": json!({ "name": label }),
+        }));
+    }
+    for &(pid, tid) in &lanes {
+        let label = names
+            .iter()
+            .find(|(id, _)| *id == tid)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        events.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": json!({ "name": label }),
+        }));
+    }
+    let doc = json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    });
+    serde_json::to_string(&doc).expect("trace JSON renders")
+}

@@ -1,0 +1,60 @@
+//! Dependency-free observability for the RNTrajRec serving stack.
+//!
+//! Four pieces, each usable on its own:
+//!
+//! * [`span`] / [`request_scope`] / [`record`] — a lock-light structured
+//!   span recorder. Threads push spans onto a thread-local stack and batch
+//!   completed [`SpanRecord`]s into a thread-local buffer; buffers flush
+//!   into one bounded global store only when a root span closes (or the
+//!   buffer fills), so the hot path takes no lock. When tracing is
+//!   disabled ([`set_enabled`]`(false)`, the default) every entry point is
+//!   a single relaxed atomic load and **zero allocation**.
+//! * [`metrics`] — Prometheus histograms (atomic buckets, lock-free
+//!   observe) with a process-wide registry and text-format rendering.
+//!   Histograms are always on; they do not depend on the tracing flag.
+//! * [`chrome`] — render stored spans as Chrome trace-event JSON that
+//!   loads directly in `chrome://tracing` or Perfetto. One process lane
+//!   per request id, so a fused batch shows the same kernel spans under
+//!   every member request.
+//! * [`promlint`] — a Prometheus text-exposition lint used by tests and
+//!   CI to validate everything `/metrics` serves.
+//!
+//! ## Span model
+//!
+//! A request's life is a tree keyed by a [`RequestId`] minted at HTTP
+//! accept ([`next_request_id`]):
+//!
+//! ```text
+//! request
+//! ├── http.read
+//! ├── parse
+//! ├── queue.wait
+//! ├── batch.assemble        (shared: carries every member's request id)
+//! ├── encoder.fused         (shared)
+//! ├── decoder.fused         (shared)
+//! │   ├── decoder.step[0]
+//! │   └── decoder.step[i]
+//! ├── serialize
+//! └── http.write
+//! ```
+//!
+//! Engine workers wrap a fused batch in [`request_scope`] so every span
+//! they open (and every kernel event, see [`kernel_event`]) is attributed
+//! to all member requests. Cross-thread phases whose endpoints live on
+//! different threads (queue wait spans the submitting HTTP worker and the
+//! engine worker) are recorded with explicit timestamps via [`record`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod promlint;
+mod span;
+
+pub use chrome::chrome_trace;
+pub use span::{
+    clear, completed_requests, drain, dropped_spans, enabled, instant_ns, kernel_event,
+    next_request_id, now_ns, record, request_scope, set_capacity, set_enabled, span, span_indexed,
+    stored_spans, RequestId, RequestScope, SpanGuard, SpanRecord, ROOT_SPAN,
+};

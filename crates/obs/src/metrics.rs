@@ -1,0 +1,243 @@
+//! Prometheus histograms with a process-wide registry.
+//!
+//! [`Histogram::observe`] is lock-free (atomic bucket counters, a CAS
+//! loop for the sum) and histograms are **always on** — unlike spans
+//! they do not depend on the tracing flag, because a histogram bump is a
+//! handful of atomics and serving dashboards need them unconditionally.
+//!
+//! Families registered here render in exposition format via [`render`]
+//! (with `# HELP`/`# TYPE` headers, cumulative `_bucket{le=...}` lines,
+//! `_sum` and `_count`); the serve crate appends this to `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Default buckets for phase latencies, in seconds (100 µs – 10 s).
+pub const DURATION_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+/// Buckets for micro-batch sizes (members per fused batch).
+pub const BATCH_SIZE_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Buckets for batch occupancy (`batch_size / max_batch`, in (0, 1]).
+pub const OCCUPANCY_BUCKETS: &[f64] = &[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+/// A fixed-bucket histogram. Buckets store *non-cumulative* counts
+/// internally (one atomic add per observe) and render cumulatively.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending upper bounds; one extra internal bucket catches
+    /// observations above the last bound (`+Inf`).
+    upper: Box<[f64]>,
+    counts: Box<[AtomicU64]>,
+    /// Sum of observed values, stored as f64 bits (CAS loop).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(upper: &[f64]) -> Self {
+        assert!(!upper.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            upper.windows(2).all(|w| w[0] < w[1]),
+            "histogram buckets must be strictly increasing"
+        );
+        let counts = (0..upper.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            upper: upper.into(),
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .upper
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.upper.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Record a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Render this histogram's sample lines (cumulative buckets, `_sum`,
+    /// `_count`). `extra_label` is emitted before `le` on bucket lines.
+    /// The `+Inf` bucket and `_count` come from one snapshot, so they
+    /// are always equal even under concurrent observes.
+    fn render_into(&self, out: &mut String, name: &str, extra_label: Option<(&str, &str)>) {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let label_prefix = match extra_label {
+            Some((k, v)) => format!("{k}=\"{}\",", escape_label(v)),
+            None => String::new(),
+        };
+        let mut cumulative = 0u64;
+        for (i, bound) in self.upper.iter().enumerate() {
+            cumulative += snapshot[i];
+            out.push_str(&format!(
+                "{name}_bucket{{{label_prefix}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += snapshot[self.upper.len()];
+        out.push_str(&format!(
+            "{name}_bucket{{{label_prefix}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        let series_suffix = match extra_label {
+            Some((k, v)) => format!("{{{k}=\"{}\"}}", escape_label(v)),
+            None => String::new(),
+        };
+        out.push_str(&format!("{name}_sum{series_suffix} {}\n", self.sum()));
+        out.push_str(&format!("{name}_count{series_suffix} {cumulative}\n"));
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One registered series: its `(label name, label value)` pair
+/// (`None` = unlabelled) and the histogram behind it.
+type Series = (Option<(&'static str, String)>, Arc<Histogram>);
+
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    series: Vec<Series>,
+}
+
+fn registry() -> &'static Mutex<Vec<Family>> {
+    static REG: OnceLock<Mutex<Vec<Family>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Get or create the unlabelled histogram `name`. Buckets and help text
+/// are fixed by the first caller; later calls reuse the existing series.
+pub fn histogram(name: &'static str, help: &'static str, buckets: &[f64]) -> Arc<Histogram> {
+    series(name, help, None, buckets)
+}
+
+/// Get or create the series of histogram family `name` with label
+/// `label_name="label_value"` (e.g. `phase="encoder"`).
+pub fn labeled_histogram(
+    name: &'static str,
+    help: &'static str,
+    label_name: &'static str,
+    label_value: &str,
+    buckets: &[f64],
+) -> Arc<Histogram> {
+    series(name, help, Some((label_name, label_value)), buckets)
+}
+
+fn series(
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, &str)>,
+    buckets: &[f64],
+) -> Arc<Histogram> {
+    let mut reg = registry().lock().unwrap();
+    let family = match reg.iter_mut().find(|f| f.name == name) {
+        Some(f) => f,
+        None => {
+            reg.push(Family {
+                name,
+                help,
+                series: Vec::new(),
+            });
+            reg.last_mut().expect("just pushed")
+        }
+    };
+    let wanted = label.map(|(k, v)| (k, v.to_string()));
+    if let Some((_, h)) = family.series.iter().find(|(l, _)| *l == wanted) {
+        return Arc::clone(h);
+    }
+    let h = Arc::new(Histogram::new(buckets));
+    family.series.push((wanted, Arc::clone(&h)));
+    Arc::clone(&h)
+}
+
+/// The per-phase latency series `rntrajrec_phase_seconds{phase=...}`
+/// (shared buckets, seconds). Call sites cache the returned `Arc`.
+pub fn phase_seconds(phase: &'static str) -> Arc<Histogram> {
+    labeled_histogram(
+        "rntrajrec_phase_seconds",
+        "Time spent per request-lifecycle phase, in seconds.",
+        "phase",
+        phase,
+        DURATION_BUCKETS,
+    )
+}
+
+/// The fused micro-batch size histogram `rntrajrec_batch_size`.
+pub fn batch_size() -> Arc<Histogram> {
+    histogram(
+        "rntrajrec_batch_size",
+        "Members per fused micro-batch.",
+        BATCH_SIZE_BUCKETS,
+    )
+}
+
+/// The batch occupancy histogram `rntrajrec_batch_occupancy`
+/// (`batch_size / max_batch`).
+pub fn batch_occupancy() -> Arc<Histogram> {
+    histogram(
+        "rntrajrec_batch_occupancy",
+        "Fused batch size as a fraction of the configured max batch.",
+        OCCUPANCY_BUCKETS,
+    )
+}
+
+/// Render every registered histogram family in Prometheus text
+/// exposition format (`# HELP`, `# TYPE histogram`, samples).
+pub fn render() -> String {
+    let mut out = String::new();
+    render_into(&mut out);
+    out
+}
+
+/// [`render`], appending to an existing buffer.
+pub fn render_into(out: &mut String) {
+    let reg = registry().lock().unwrap();
+    for family in reg.iter() {
+        out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+        out.push_str(&format!("# TYPE {} histogram\n", family.name));
+        for (label, h) in &family.series {
+            let extra = label.as_ref().map(|(k, v)| (*k, v.as_str()));
+            h.render_into(out, family.name, extra);
+        }
+    }
+}

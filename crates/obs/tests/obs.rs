@@ -1,0 +1,271 @@
+//! Observability crate tests. The span store, tracing flag, and metrics
+//! registry are process-global, so every test that touches them runs
+//! under one mutex.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use rntrajrec_obs as obs;
+
+static SEQUENTIAL: Mutex<()> = Mutex::new(());
+
+/// Serialize tests and reset global tracing state.
+fn tracing_test() -> MutexGuard<'static, ()> {
+    let guard = SEQUENTIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    obs::set_enabled(true);
+    obs::set_capacity(1 << 16);
+    obs::clear();
+    guard
+}
+
+#[test]
+fn disabled_recorder_stores_nothing() {
+    let _guard = tracing_test();
+    obs::set_enabled(false);
+    {
+        let _root = obs::span("request");
+        let _child = obs::span("encoder.fused");
+        obs::kernel_event(3, 300);
+        obs::record("queue.wait", &[1], 0, 10);
+    }
+    assert_eq!(obs::stored_spans(), 0);
+}
+
+#[test]
+fn span_tree_has_expected_nesting_and_non_overlapping_children() {
+    let _guard = tracing_test();
+    let req = obs::next_request_id();
+    {
+        let _scope = obs::request_scope(&[req]);
+        let _root = obs::span("request");
+        {
+            let _enc = obs::span("encoder.fused");
+            obs::kernel_event(2, 512);
+        }
+        {
+            let _dec = obs::span("decoder.fused");
+            for i in 0..3u32 {
+                let _step = obs::span_indexed("decoder.step", i);
+                obs::kernel_event(1, 64);
+            }
+        }
+    }
+    let spans = obs::completed_requests(1);
+    assert_eq!(spans.len(), 6, "request + encoder + decoder + 3 steps");
+    let root = spans.iter().find(|s| s.name == obs::ROOT_SPAN).unwrap();
+    assert_eq!(root.parent, 0);
+    assert_eq!(root.requests, vec![req]);
+
+    // encoder.fused and decoder.fused nest directly under the root and
+    // do not overlap each other.
+    let enc = spans.iter().find(|s| s.name == "encoder.fused").unwrap();
+    let dec = spans.iter().find(|s| s.name == "decoder.fused").unwrap();
+    for child in [enc, dec] {
+        assert_eq!(child.parent, root.id);
+        assert!(child.start_ns >= root.start_ns && child.end_ns <= root.end_ns);
+    }
+    assert!(enc.end_ns <= dec.start_ns, "siblings must not overlap");
+
+    // Steps nest under decoder.fused, carry indices 0..3 in order, and
+    // are pairwise non-overlapping inside the parent interval.
+    let mut steps: Vec<_> = spans.iter().filter(|s| s.name == "decoder.step").collect();
+    steps.sort_by_key(|s| s.index);
+    assert_eq!(steps.len(), 3);
+    for (i, step) in steps.iter().enumerate() {
+        assert_eq!(step.parent, dec.id);
+        assert_eq!(step.index, Some(i as u32));
+        assert!(step.start_ns >= dec.start_ns && step.end_ns <= dec.end_ns);
+        if i > 0 {
+            assert!(
+                steps[i - 1].end_ns <= step.start_ns,
+                "steps must not overlap"
+            );
+        }
+    }
+
+    // Kernel events attribute to the innermost open span only.
+    assert_eq!(enc.matmuls, 2);
+    assert_eq!(enc.flops, 512);
+    assert_eq!(dec.matmuls, 0, "parent must not double-count child kernels");
+    assert!(steps.iter().all(|s| s.matmuls == 1 && s.flops == 64));
+    assert_eq!(root.matmuls, 0);
+}
+
+#[test]
+fn explicit_record_and_request_completion_gating() {
+    let _guard = tracing_test();
+    let first = obs::next_request_id();
+    let second = obs::next_request_id();
+    obs::record("queue.wait", &[first], 100, 200);
+    // No root span yet -> not a completed request.
+    assert!(obs::completed_requests(8).is_empty());
+    obs::record(obs::ROOT_SPAN, &[first], 0, 300);
+    obs::record("queue.wait", &[second], 400, 450);
+    let spans = obs::completed_requests(8);
+    assert_eq!(spans.len(), 2, "second request has no root yet");
+    assert!(spans.iter().all(|s| s.requests == vec![first]));
+    let wait = spans.iter().find(|s| s.name == "queue.wait").unwrap();
+    assert_eq!((wait.start_ns, wait.end_ns), (100, 200));
+}
+
+#[test]
+fn batch_spans_are_shared_across_member_requests() {
+    let _guard = tracing_test();
+    let a = obs::next_request_id();
+    let b = obs::next_request_id();
+    {
+        let _scope = obs::request_scope(&[a, b]);
+        let _batch = obs::span("batch.assemble");
+    }
+    obs::record(obs::ROOT_SPAN, &[a], 0, 10);
+    let spans = obs::completed_requests(1);
+    let batch = spans.iter().find(|s| s.name == "batch.assemble").unwrap();
+    assert_eq!(batch.requests, vec![a, b]);
+}
+
+#[test]
+fn store_capacity_evicts_oldest_and_counts_drops() {
+    let _guard = tracing_test();
+    obs::set_capacity(4);
+    for i in 0..10u64 {
+        obs::record("queue.wait", &[i + 1], i, i + 1);
+    }
+    assert_eq!(obs::stored_spans(), 4);
+    assert_eq!(obs::dropped_spans(), 6);
+    let spans = obs::drain();
+    assert_eq!(spans.len(), 4);
+    assert!(
+        spans.iter().all(|s| s.start_ns >= 6),
+        "oldest evicted first"
+    );
+    assert_eq!(obs::stored_spans(), 0);
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_one_lane_per_request() {
+    let _guard = tracing_test();
+    let a = obs::next_request_id();
+    let b = obs::next_request_id();
+    {
+        let _scope = obs::request_scope(&[a, b]);
+        let _enc = obs::span("encoder.fused");
+        obs::kernel_event(5, 1000);
+    }
+    obs::record(obs::ROOT_SPAN, &[a], 0, 50);
+    obs::record(obs::ROOT_SPAN, &[b], 0, 60);
+    let json = obs::chrome::chrome_trace(&obs::completed_requests(2));
+    let doc = serde_json::from_str(&json).expect("chrome trace parses");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    // encoder.fused appears once per member request lane.
+    let enc: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("encoder.fused"))
+        .collect();
+    assert_eq!(enc.len(), 2);
+    let pids: Vec<u64> = enc
+        .iter()
+        .map(|e| e.get("pid").unwrap().as_u64().unwrap())
+        .collect();
+    assert!(pids.contains(&a) && pids.contains(&b));
+    for e in &enc {
+        let args = e.get("args").unwrap();
+        assert_eq!(args.get("matmuls").unwrap().as_u64(), Some(5));
+        assert_eq!(args.get("flops").unwrap().as_u64(), Some(1000));
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+    }
+    // Metadata names each request's process lane.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(|p| p.as_str()) == Some("M")
+            && e.get("name").and_then(|n| n.as_str()) == Some("process_name")
+    }));
+}
+
+#[test]
+fn histograms_render_cleanly_and_pass_the_lint() {
+    let _guard = tracing_test();
+    let phase = obs::metrics::phase_seconds("obs_test_phase");
+    phase.observe_duration(Duration::from_micros(150));
+    phase.observe(0.002);
+    phase.observe(99.0); // above every bound -> +Inf bucket
+    let sizes = obs::metrics::batch_size();
+    sizes.observe(3.0);
+    assert_eq!(phase.count(), 3);
+    assert!((phase.sum() - (0.00015 + 0.002 + 99.0)).abs() < 1e-9);
+
+    let text = obs::metrics::render();
+    assert!(text.contains("# TYPE rntrajrec_phase_seconds histogram"));
+    assert!(text.contains("phase=\"obs_test_phase\""));
+    assert!(text.contains("le=\"+Inf\""));
+    let errors = obs::promlint::lint(&text);
+    assert!(errors.is_empty(), "lint findings: {errors:?}");
+}
+
+#[test]
+fn lint_rejects_malformed_documents() {
+    // TYPE after first sample.
+    let errs = obs::promlint::lint("foo 1\n# TYPE foo counter\n");
+    assert!(
+        errs.iter().any(|e| e.contains("after first sample")),
+        "{errs:?}"
+    );
+
+    // Missing TYPE entirely.
+    let errs = obs::promlint::lint("bar{x=\"1\"} 2\n");
+    assert!(errs.iter().any(|e| e.contains("no TYPE")), "{errs:?}");
+
+    // Duplicate series.
+    let errs = obs::promlint::lint("# TYPE foo counter\nfoo{a=\"1\"} 1\nfoo{a=\"1\"} 2\n");
+    assert!(
+        errs.iter().any(|e| e.contains("duplicate series")),
+        "{errs:?}"
+    );
+
+    // Histogram: non-monotone buckets.
+    let errs = obs::promlint::lint(
+        "# TYPE h histogram\n\
+         h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+         h_sum 1\nh_count 5\n",
+    );
+    assert!(
+        errs.iter().any(|e| e.contains("not cumulative")),
+        "{errs:?}"
+    );
+
+    // Histogram: missing +Inf.
+    let errs =
+        obs::promlint::lint("# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n");
+    assert!(errs.iter().any(|e| e.contains("+Inf")), "{errs:?}");
+
+    // Histogram: _count disagrees with +Inf bucket.
+    let errs = obs::promlint::lint(
+        "# TYPE h histogram\n\
+         h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+    );
+    assert!(errs.iter().any(|e| e.contains("!= +Inf")), "{errs:?}");
+
+    // Unparseable value.
+    let errs = obs::promlint::lint("# TYPE foo counter\nfoo nope\n");
+    assert!(
+        errs.iter().any(|e| e.contains("unparseable value")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn clean_document_with_gauges_counters_and_summary_passes() {
+    let text = "\
+# HELP rntrajrec_http_responses_total responses by class
+# TYPE rntrajrec_http_responses_total counter
+rntrajrec_http_responses_total{class=\"2xx\"} 10
+rntrajrec_http_responses_total{class=\"4xx\"} 2
+# TYPE rntrajrec_engine_queue_depth gauge
+rntrajrec_engine_queue_depth 0
+# TYPE rntrajrec_http_recover_latency_ms summary
+rntrajrec_http_recover_latency_ms{quantile=\"0.5\"} 1.25
+rntrajrec_http_recover_latency_ms{quantile=\"0.99\"} 4
+";
+    let errors = obs::promlint::lint(text);
+    assert!(errors.is_empty(), "lint findings: {errors:?}");
+}

@@ -1,0 +1,19 @@
+use std::process::Command;
+
+fn main() {
+    // Bake the short git revision into the binary for
+    // `rntrajrec_build_info`. Outside a git checkout (e.g. a source
+    // tarball) fall back to "unknown" rather than failing the build.
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=RNTRAJREC_GIT_SHA={sha}");
+    // Re-run when HEAD moves so the sha stays honest in dev builds.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -1,0 +1,56 @@
+//! `prom_lint` — lint a Prometheus text-format exposition document.
+//!
+//! Reads the document from the file given as the first argument (or
+//! stdin when absent or `-`), runs [`rntrajrec_obs::promlint::lint`],
+//! prints one problem per line, and exits non-zero when any problem is
+//! found. Used by CI to gate the live `/metrics` output:
+//!
+//! ```bash
+//! curl -s localhost:8080/metrics | cargo run -p rntrajrec-serve --bin prom_lint
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let text = match arg.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error: failed to read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+        Some("--help") | Some("-h") => {
+            println!(
+                "usage: prom_lint [FILE|-]  (lints Prometheus text format; - or no arg = stdin)"
+            );
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: failed to read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let problems = rntrajrec_obs::promlint::lint(&text);
+    if problems.is_empty() {
+        let samples = text
+            .lines()
+            .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
+            .count();
+        eprintln!("ok: {samples} samples, no problems");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            println!("{p}");
+        }
+        eprintln!("{} problem(s) found", problems.len());
+        ExitCode::FAILURE
+    }
+}

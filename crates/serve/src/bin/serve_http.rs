@@ -70,6 +70,9 @@ struct Args {
     city_blocks: usize,
     dim: usize,
     seed: u64,
+    latency_ring: usize,
+    trace: bool,
+    trace_out: Option<String>,
 }
 
 impl Default for Args {
@@ -87,6 +90,9 @@ impl Default for Args {
             city_blocks: 4,
             dim: 16,
             seed: 7,
+            latency_ring: 1024,
+            trace: true,
+            trace_out: None,
         }
     }
 }
@@ -109,6 +115,9 @@ OPTIONS:
     --city-blocks N         synthetic city size (default 4)
     --dim N                 model hidden size (default 16)
     --seed N                weight/simulator seed (default 7)
+    --latency-ring N        samples kept for p50/p99 latency quantiles (default 1024)
+    --no-trace              disable request-lifecycle span recording (on by default)
+    --trace-out PATH        dump a Chrome trace-event JSON of recorded spans on exit
     --help                  print this help
 ";
 
@@ -119,6 +128,12 @@ fn parse_args() -> Result<Args, String> {
         if flag == "--help" || flag == "-h" {
             print!("{USAGE}");
             std::process::exit(0);
+        }
+        // Flags that take no value must short-circuit before the value
+        // fetch below.
+        if flag == "--no-trace" {
+            args.trace = false;
+            continue;
         }
         let value = it
             .next()
@@ -150,6 +165,8 @@ fn parse_args() -> Result<Args, String> {
             "--city-blocks" => args.city_blocks = parse_usize(&value)?.max(2),
             "--dim" => args.dim = parse_usize(&value)?.max(4),
             "--seed" => args.seed = parse_u64(&value)?,
+            "--latency-ring" => args.latency_ring = parse_usize(&value)?.max(1),
+            "--trace-out" => args.trace_out = Some(value),
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -165,6 +182,7 @@ fn main() -> ExitCode {
         }
     };
     install_signal_handlers();
+    rntrajrec_obs::set_enabled(args.trace);
 
     eprintln!(
         "building synthetic city ({0}x{0} blocks) + RNTrajRec(d={1}, seed={2})...",
@@ -223,6 +241,7 @@ fn main() -> ExitCode {
             deadline: Duration::from_millis(args.deadline_ms),
             max_body_bytes: args.max_body_bytes,
             retry_after_secs: args.retry_after_secs,
+            latency_ring: args.latency_ring,
             ..HttpConfig::default()
         },
         Some(example),
@@ -262,5 +281,16 @@ fn main() -> ExitCode {
         "drained: {} served / {} rejected / {} failed over {} batches (mean {:.2})",
         stats.completed, stats.rejected, stats.failed, stats.batches, stats.mean_batch
     );
+
+    if let Some(path) = &args.trace_out {
+        let trace = rntrajrec_obs::chrome_trace(&rntrajrec_obs::drain());
+        match std::fs::write(path, &trace) {
+            Ok(()) => eprintln!("trace written to {path} ({} bytes)", trace.len()),
+            Err(e) => {
+                eprintln!("error: failed to write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -120,8 +120,14 @@ pub struct Recovered {
     pub error: Option<String>,
     /// Size of the micro-batch this request was served in.
     pub batch_size: usize,
-    /// Submit-to-completion latency.
+    /// Submit-to-completion latency
+    /// (≈ [`Recovered::queue_wait`] + [`Recovered::compute`] + delivery).
     pub latency: Duration,
+    /// Time spent waiting in the queue: submit → batch flush.
+    pub queue_wait: Duration,
+    /// Time spent in fused inference: batch flush → results ready.
+    /// Shared by the whole batch (one fused pass serves every member).
+    pub compute: Duration,
 }
 
 /// Handle to an in-flight request.
@@ -176,10 +182,17 @@ pub struct EngineStats {
     pub flushed_deadline: u64,
     /// Mean requests per batch.
     pub mean_batch: f64,
+    /// Mean per-request queue wait (submit → batch flush), milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Mean per-request compute (batch flush → results ready), ms.
+    pub mean_compute_ms: f64,
 }
 
 struct Pending {
     id: u64,
+    /// Observability request id (present when the submitter traced the
+    /// request, or tracing was enabled at submit).
+    trace: Option<rntrajrec_obs::RequestId>,
     input: SampleInput,
     enqueued: Instant,
     tx: mpsc::Sender<Recovered>,
@@ -196,6 +209,10 @@ struct Counters {
     flushed_deadline: AtomicU64,
     batched_requests: AtomicU64,
     in_flight_batches: AtomicUsize,
+    /// Σ queue wait across completed requests, nanoseconds.
+    queue_wait_ns: AtomicU64,
+    /// Σ compute across completed requests, nanoseconds.
+    compute_ns: AtomicU64,
 }
 
 struct Shared {
@@ -276,6 +293,22 @@ impl RecoveryEngine {
     /// [`EngineConfig::queue_capacity`] — the typed load-shedding path
     /// (never blocks, never drops silently).
     pub fn try_submit(&self, input: SampleInput) -> Result<RecoveryHandle, EngineError> {
+        // When tracing is on, untraced submitters still get a request id
+        // so engine-side spans (queue.wait, batch.assemble, the fused
+        // passes) are attributable; there is just no HTTP-side tree.
+        let trace = rntrajrec_obs::enabled().then(rntrajrec_obs::next_request_id);
+        self.try_submit_traced(input, trace)
+    }
+
+    /// [`RecoveryEngine::try_submit`] with an explicit observability
+    /// request id ([`rntrajrec_obs::next_request_id`]), minted by the
+    /// caller at the protocol edge (the HTTP layer mints at accept) so
+    /// queue/batch/kernel spans join the caller's span tree.
+    pub fn try_submit_traced(
+        &self,
+        input: SampleInput,
+        trace: Option<rntrajrec_obs::RequestId>,
+    ) -> Result<RecoveryHandle, EngineError> {
         let (tx, rx) = mpsc::channel();
         let id = {
             let mut q = self.shared.queue.lock().unwrap();
@@ -300,6 +333,7 @@ impl RecoveryEngine {
                 .fetch_add(1, Ordering::Relaxed);
             q.push_back(Pending {
                 id,
+                trace,
                 input,
                 enqueued: Instant::now(),
                 tx,
@@ -320,9 +354,10 @@ impl RecoveryEngine {
         let c = &self.shared.counters;
         let batches = c.batches.load(Ordering::Relaxed);
         let batched = c.batched_requests.load(Ordering::Relaxed);
+        let completed = c.completed.load(Ordering::Relaxed);
         EngineStats {
             requests: c.requests.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
+            completed,
             failed: c.failed.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
             batches,
@@ -332,6 +367,16 @@ impl RecoveryEngine {
                 0.0
             } else {
                 batched as f64 / batches as f64
+            },
+            mean_queue_wait_ms: if completed == 0 {
+                0.0
+            } else {
+                c.queue_wait_ns.load(Ordering::Relaxed) as f64 / completed as f64 / 1e6
+            },
+            mean_compute_ms: if completed == 0 {
+                0.0
+            } else {
+                c.compute_ns.load(Ordering::Relaxed) as f64 / completed as f64 / 1e6
             },
         }
     }
@@ -391,8 +436,10 @@ impl Drop for RecoveryEngine {
     }
 }
 
-/// Pop one micro-batch (blocking) or `None` on shutdown with an empty queue.
-fn take_batch(shared: &Shared) -> Option<Vec<Pending>> {
+/// Pop one micro-batch (blocking) or `None` on shutdown with an empty
+/// queue. Returns the flush instant alongside the batch — the boundary
+/// between every member's queue-wait and the batch's compute.
+fn take_batch(shared: &Shared) -> Option<(Vec<Pending>, Instant)> {
     let mut q = shared.queue.lock().unwrap();
     let full = loop {
         if q.len() >= shared.max_batch {
@@ -439,12 +486,44 @@ fn take_batch(shared: &Shared) -> Option<Vec<Pending>> {
         .counters
         .batched_requests
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
-    Some(batch)
+    let taken = Instant::now();
+    if rntrajrec_obs::enabled() {
+        // Per-member queue.wait spans (endpoints measured across threads:
+        // submit on the HTTP worker, flush here) and one batch.assemble
+        // span covering oldest-enqueue → flush for all traced members.
+        let taken_ns = rntrajrec_obs::instant_ns(taken);
+        let mut members: Vec<rntrajrec_obs::RequestId> = Vec::new();
+        let mut oldest_ns = taken_ns;
+        for p in &batch {
+            if let Some(req) = p.trace {
+                let enq_ns = rntrajrec_obs::instant_ns(p.enqueued);
+                rntrajrec_obs::record("queue.wait", &[req], enq_ns, taken_ns);
+                oldest_ns = oldest_ns.min(enq_ns);
+                members.push(req);
+            }
+        }
+        if !members.is_empty() {
+            rntrajrec_obs::record("batch.assemble", &members, oldest_ns, taken_ns);
+        }
+    }
+    Some((batch, taken))
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(batch) = take_batch(shared) {
+    use std::sync::OnceLock;
+    static QUEUE_WAIT_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+    static COMPUTE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+    static BATCH_SIZE: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+    static BATCH_OCCUPANCY: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+
+    while let Some((batch, taken)) = take_batch(shared) {
         let batch_size = batch.len();
+        BATCH_SIZE
+            .get_or_init(rntrajrec_obs::metrics::batch_size)
+            .observe(batch_size as f64);
+        BATCH_OCCUPANCY
+            .get_or_init(rntrajrec_obs::metrics::batch_occupancy)
+            .observe(batch_size as f64 / shared.max_batch as f64);
         shared
             .counters
             .in_flight_batches
@@ -459,7 +538,35 @@ fn worker_loop(shared: &Shared) {
         // per-member recovery internally, failing only that request —
         // never the worker thread, and with it the whole engine.
         let inputs: Vec<&SampleInput> = batch.iter().map(|p| &p.input).collect();
-        let results = shared.model.recover_batch(&inputs);
+        let results = {
+            // Attribute every span and kernel event of the fused pass to
+            // all traced members. The scope must drop (flushing this
+            // thread's span buffer to the global store) *before* results
+            // are delivered below, so a client that answers immediately
+            // already sees its batch spans in `/debug/trace`.
+            let members: Vec<rntrajrec_obs::RequestId> =
+                batch.iter().filter_map(|p| p.trace).collect();
+            let _scope = rntrajrec_obs::request_scope(&members);
+            shared.model.recover_batch(&inputs)
+        };
+        let done = Instant::now();
+        let compute = done.saturating_duration_since(taken);
+        shared.counters.compute_ns.fetch_add(
+            compute.as_nanos() as u64 * batch_size as u64,
+            Ordering::Relaxed,
+        );
+        COMPUTE_SECONDS
+            .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("compute"))
+            .observe_duration(compute);
+        let queue_wait_hist =
+            QUEUE_WAIT_SECONDS.get_or_init(|| rntrajrec_obs::metrics::phase_seconds("queue_wait"));
+        // Decrement before delivering: a client unblocked by `send` below
+        // must observe the gauge already back at zero (compute is over;
+        // only delivery remains).
+        shared
+            .counters
+            .in_flight_batches
+            .fetch_sub(1, Ordering::Relaxed);
         for (pending, result) in batch.iter().zip(results) {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             let (path, error) = match result {
@@ -469,17 +576,21 @@ fn worker_loop(shared: &Shared) {
                     (Vec::new(), Some(msg))
                 }
             };
+            let queue_wait = taken.saturating_duration_since(pending.enqueued);
+            shared
+                .counters
+                .queue_wait_ns
+                .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+            queue_wait_hist.observe_duration(queue_wait);
             let _ = pending.tx.send(Recovered {
                 id: pending.id,
                 path,
                 error,
                 batch_size,
                 latency: pending.enqueued.elapsed(),
+                queue_wait,
+                compute,
             });
         }
-        shared
-            .counters
-            .in_flight_batches
-            .fetch_sub(1, Ordering::Relaxed);
     }
 }

@@ -13,11 +13,30 @@
 //!   **bit-identical** to in-process engine dispatch (integration-tested
 //!   in `tests/http_roundtrip.rs`).
 //! * `GET /healthz` — liveness + live queue gauges.
-//! * `GET /metrics` — Prometheus-style text: queue depth, in-flight
-//!   batches, admission-control shed counts, p50/p99 recover latency,
-//!   and the kernel-layer matmul counter.
+//! * `GET /metrics` — Prometheus text format (passes
+//!   `rntrajrec_obs::promlint`): queue depth, in-flight batches,
+//!   admission-control shed counts, p50/p99 recover latency, build
+//!   info + uptime, thread-pool dispatch counters, the kernel-layer
+//!   matmul counter, and real histogram buckets per phase (queue wait,
+//!   encoder, decoder, serialize, end-to-end) plus batch size/occupancy.
+//! * `GET /debug/trace?last=N` — Chrome trace-event JSON (load it in
+//!   `chrome://tracing` or Perfetto) for the last `N` completed traced
+//!   requests: one process lane per request, spans from socket read to
+//!   kernel with per-span matmul counts.
 //! * `GET /v1/example` — an optional server-provided example request body
 //!   (lets smoke tests post a valid request without hand-built fixtures).
+//!
+//! # Request tracing
+//!
+//! When tracing is enabled (`rntrajrec_obs::set_enabled`, on by default
+//! in `serve_http`), each `POST /v1/recover` is minted a request id at
+//! accept and its lifecycle recorded as a span tree:
+//! `http.read → parse → queue.wait → batch.assemble →
+//! encoder.fused → decoder.step[i] → serialize → http.write` under one
+//! `request` root. Spans produced by the engine worker for a fused batch
+//! carry *all* member request ids. The root span is recorded after the
+//! response bytes are written, so a request visible in `/debug/trace` is
+//! always complete.
 //!
 //! # Admission control
 //!
@@ -85,6 +104,11 @@ pub struct HttpConfig {
     /// A persistent connection idle (no request in progress) this long is
     /// closed; workers return to the pool.
     pub idle_timeout: Duration,
+    /// Ring capacity of the latency sample backing the `/metrics`
+    /// quantile gauges (`serve_http --latency-ring`). A bigger ring
+    /// makes p99 steadier under sustained load; a smaller one tracks
+    /// recent behaviour faster.
+    pub latency_ring: usize,
 }
 
 impl Default for HttpConfig {
@@ -98,18 +122,15 @@ impl Default for HttpConfig {
             retry_after_secs: 1,
             request_read_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
+            latency_ring: 1024,
         }
     }
 }
-
-/// Ring capacity of the latency sample backing the `/metrics` quantiles.
-const LATENCY_RING: usize = 1024;
 /// Header-section cap (request line + headers).
 const MAX_HEADER_BYTES: usize = 8 * 1024;
 /// Socket read poll interval: bounds shutdown/idle/stall responsiveness.
 const READ_TIMEOUT: Duration = Duration::from_millis(250);
 
-#[derive(Default)]
 struct HttpCounters {
     connections: AtomicU64,
     responses_2xx: AtomicU64,
@@ -118,11 +139,33 @@ struct HttpCounters {
     shed_backlog: AtomicU64,
     shed_overload: AtomicU64,
     shed_deadline: AtomicU64,
-    /// Completed `/v1/recover` latencies (ms), most recent `LATENCY_RING`.
+    /// Ring capacity for `latencies_ms` ([`HttpConfig::latency_ring`]).
+    latency_ring: usize,
+    /// Completed `/v1/recover` latencies (ms), most recent `latency_ring`.
     latencies_ms: Mutex<VecDeque<f64>>,
 }
 
+impl Default for HttpCounters {
+    fn default() -> Self {
+        Self::new(HttpConfig::default().latency_ring)
+    }
+}
+
 impl HttpCounters {
+    fn new(latency_ring: usize) -> Self {
+        Self {
+            connections: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            shed_backlog: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            latency_ring: latency_ring.max(1),
+            latencies_ms: Mutex::new(VecDeque::new()),
+        }
+    }
+
     fn record_status(&self, status: u16) {
         let c = match status {
             200..=299 => &self.responses_2xx,
@@ -134,7 +177,7 @@ impl HttpCounters {
 
     fn record_latency(&self, ms: f64) {
         let mut ring = self.latencies_ms.lock().unwrap();
-        if ring.len() == LATENCY_RING {
+        if ring.len() >= self.latency_ring {
             ring.pop_front();
         }
         ring.push_back(ms);
@@ -175,6 +218,18 @@ struct ServerState {
     counters: HttpCounters,
     shutdown: AtomicBool,
     example: Option<String>,
+    /// Server start, backing `rntrajrec_uptime_seconds`.
+    started: Instant,
+}
+
+/// Timing captured at the socket for one traced `/v1/recover` request:
+/// the request id (minted when the request finished arriving) and the
+/// read-phase endpoints, recorded as `http.read` once the response is
+/// written.
+struct TraceCtx {
+    id: rntrajrec_obs::RequestId,
+    read_start_ns: u64,
+    read_end_ns: u64,
 }
 
 /// The running HTTP front-end. Dropping it (or calling
@@ -210,9 +265,10 @@ impl HttpServer {
             retry_after_secs: config.retry_after_secs,
             request_read_timeout: config.request_read_timeout,
             idle_timeout: config.idle_timeout,
-            counters: HttpCounters::default(),
+            counters: HttpCounters::new(config.latency_ring),
             shutdown: AtomicBool::new(false),
             example,
+            started: Instant::now(),
         });
 
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.connection_backlog.max(1));
@@ -360,10 +416,24 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let mut buf: Vec<u8> = Vec::new();
     let mut idle_since = Instant::now();
     loop {
+        // Read-phase start for the span: the call below returns `Idle`
+        // (resetting this) until bytes begin arriving, so the span start
+        // precedes the first byte by at most one poll tick.
+        let read_started = Instant::now();
         match read_request(&mut stream, &mut buf, state) {
             ReadOutcome::Request(req) => {
+                // Request id minted at the HTTP edge: recover requests
+                // get a trace context carrying the read-phase endpoints.
+                let trace = (rntrajrec_obs::enabled()
+                    && req.method == "POST"
+                    && route_of(&req.path) == "/v1/recover")
+                    .then(|| TraceCtx {
+                        id: rntrajrec_obs::next_request_id(),
+                        read_start_ns: rntrajrec_obs::instant_ns(read_started),
+                        read_end_ns: rntrajrec_obs::now_ns(),
+                    });
                 let keep = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
-                let ok = dispatch(&mut stream, state, &req, keep);
+                let ok = dispatch(&mut stream, state, &req, keep, trace);
                 if !ok || !keep {
                     break;
                 }
@@ -572,16 +642,39 @@ fn find_crlf2(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// The route part of a request target (everything before `?`).
+fn route_of(path: &str) -> &str {
+    path.split('?').next().unwrap_or(path)
+}
+
+/// `usize` query parameter lookup (`?last=16`) on a request target.
+fn query_usize(path: &str, key: &str) -> Option<usize> {
+    let (_, query) = path.split_once('?')?;
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.parse::<usize>().ok()).flatten()
+    })
+}
+
 /// Route and answer one request. Returns `false` when the connection must
 /// close (write failure).
-fn dispatch(stream: &mut TcpStream, state: &ServerState, req: &Request, keep_alive: bool) -> bool {
+fn dispatch(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    req: &Request,
+    keep_alive: bool,
+    trace: Option<TraceCtx>,
+) -> bool {
+    use std::sync::OnceLock;
+    static E2E_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+
     let (status, reason, content_type, body, extra): (
         u16,
         &str,
         &str,
         String,
         Vec<(&str, String)>,
-    ) = match (req.method.as_str(), req.path.as_str()) {
+    ) = match (req.method.as_str(), route_of(&req.path)) {
         ("GET", "/healthz") => {
             let body = serde_json::to_string(&serde_json::json!({
                 "status": "ok",
@@ -609,7 +702,34 @@ fn dispatch(stream: &mut TcpStream, state: &ServerState, req: &Request, keep_ali
                 vec![],
             ),
         },
-        ("POST", "/v1/recover") => recover(state, &req.body),
+        ("POST", "/v1/recover") => {
+            let started = Instant::now();
+            let answer = recover(state, &req.body, trace.as_ref());
+            E2E_SECONDS
+                .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("e2e"))
+                .observe_duration(started.elapsed());
+            answer
+        }
+        ("GET", "/debug/trace") => {
+            // Chrome trace-event JSON for the last N completed requests
+            // (default 16) — load in chrome://tracing or Perfetto.
+            let last = query_usize(&req.path, "last").unwrap_or(16);
+            let spans = rntrajrec_obs::completed_requests(last);
+            (
+                200,
+                "OK",
+                "application/json",
+                rntrajrec_obs::chrome::chrome_trace(&spans),
+                vec![],
+            )
+        }
+        (_, "/debug/trace") => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            ErrorBody::new(405, "use GET").to_json(),
+            vec![("Allow", "GET".to_string())],
+        ),
         (_, "/healthz" | "/metrics" | "/v1/example") => (
             405,
             "Method Not Allowed",
@@ -634,7 +754,8 @@ fn dispatch(stream: &mut TcpStream, state: &ServerState, req: &Request, keep_ali
     };
     state.counters.record_status(status);
     let extra: Vec<(&str, String)> = extra;
-    write_response(
+    let write_start_ns = trace.as_ref().map(|_| rntrajrec_obs::now_ns());
+    let ok = write_response(
         stream,
         status,
         reason,
@@ -643,7 +764,18 @@ fn dispatch(stream: &mut TcpStream, state: &ServerState, req: &Request, keep_ali
         keep_alive,
         &extra,
     )
-    .is_ok()
+    .is_ok();
+    if let (Some(t), Some(write_start_ns)) = (&trace, write_start_ns) {
+        // The engine flushed its batch spans before delivering the
+        // result, and `recover`'s request scope flushed the HTTP-side
+        // phases — recording the root last means a request visible in
+        // `/debug/trace` always has its full tree in the store.
+        let end_ns = rntrajrec_obs::now_ns();
+        rntrajrec_obs::record("http.read", &[t.id], t.read_start_ns, t.read_end_ns);
+        rntrajrec_obs::record("http.write", &[t.id], write_start_ns, end_ns);
+        rntrajrec_obs::record(rntrajrec_obs::ROOT_SPAN, &[t.id], t.read_start_ns, end_ns);
+    }
+    ok
 }
 
 /// The `/v1/recover` flow: parse → extract → admit → wait (with deadline)
@@ -651,6 +783,7 @@ fn dispatch(stream: &mut TcpStream, state: &ServerState, req: &Request, keep_ali
 fn recover(
     state: &ServerState,
     body: &[u8],
+    trace: Option<&TraceCtx>,
 ) -> (
     u16,
     &'static str,
@@ -658,8 +791,16 @@ fn recover(
     String,
     Vec<(&'static str, String)>,
 ) {
+    use std::sync::OnceLock;
+    static SERIALIZE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+
     let t0 = Instant::now();
     let retry = vec![("Retry-After", state.retry_after_secs.to_string())];
+    // Attribute HTTP-side spans (parse, serialize) to this request; the
+    // scope drop at function exit flushes them to the global store before
+    // `dispatch` records the root span.
+    let _req_scope = trace.map(|t| rntrajrec_obs::request_scope(&[t.id]));
+    let parse_span = rntrajrec_obs::span("parse");
 
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
@@ -721,9 +862,10 @@ fn recover(
                 )
             }
         };
+    drop(parse_span);
 
     // Admission gate 2: the engine's bounded queue.
-    let handle = match state.engine.try_submit(input) {
+    let handle = match state.engine.try_submit_traced(input, trace.map(|t| t.id)) {
         Ok(h) => h,
         Err(EngineError::Overloaded {
             queue_depth,
@@ -776,29 +918,36 @@ fn recover(
             state
                 .counters
                 .record_latency(t0.elapsed().as_secs_f64() * 1000.0);
-            let resp = RecoverResponse::from_path(
-                recovered.id,
-                &recovered.path,
-                recovered.batch_size,
-                latency_ms,
-            );
-            (
-                200,
-                "OK",
-                "application/json",
-                serde_json::to_string(&resp).expect("response serializes"),
-                vec![],
-            )
+            let serialize_started = Instant::now();
+            let body = {
+                let _span = rntrajrec_obs::span("serialize");
+                let resp = RecoverResponse::from_path(
+                    recovered.id,
+                    &recovered.path,
+                    recovered.batch_size,
+                    latency_ms,
+                );
+                serde_json::to_string(&resp).expect("response serializes")
+            };
+            SERIALIZE_SECONDS
+                .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("serialize"))
+                .observe_duration(serialize_started.elapsed());
+            (200, "OK", "application/json", body, vec![])
         }
     }
 }
 
+/// Short git revision baked in by `build.rs`, or "unknown" outside a
+/// git checkout.
+const GIT_SHA: &str = env!("RNTRAJREC_GIT_SHA");
+
 fn render_metrics(state: &ServerState) -> String {
     let c = &state.counters;
     let stats = state.engine.stats();
+    let pool = rntrajrec_nn::pool::stats();
     let (p50, p99) = c.latency_quantiles();
-    let mut out = String::with_capacity(1024);
-    let mut line = |name: &str, labels: &str, v: f64| {
+    let mut out = String::with_capacity(4096);
+    let line = |out: &mut String, name: &str, labels: &str, v: f64| {
         out.push_str(name);
         out.push_str(labels);
         out.push(' ');
@@ -809,76 +958,305 @@ fn render_metrics(state: &ServerState) -> String {
         }
         out.push('\n');
     };
+    let header = |out: &mut String, name: &str, help: &str, kind: &str| {
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(help);
+        out.push_str("\n# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+    };
+
+    header(
+        &mut out,
+        "rntrajrec_build_info",
+        "Build metadata; the value is always 1.",
+        "gauge",
+    );
+    out.push_str(&format!(
+        "rntrajrec_build_info{{version=\"{}\",git_sha=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION"),
+        GIT_SHA,
+    ));
+    header(
+        &mut out,
+        "rntrajrec_uptime_seconds",
+        "Seconds since the HTTP server started accepting connections.",
+        "gauge",
+    );
     line(
+        &mut out,
+        "rntrajrec_uptime_seconds",
+        "",
+        state.started.elapsed().as_secs_f64(),
+    );
+
+    header(
+        &mut out,
+        "rntrajrec_http_connections_total",
+        "TCP connections accepted.",
+        "counter",
+    );
+    line(
+        &mut out,
         "rntrajrec_http_connections_total",
         "",
         c.connections.load(Ordering::Relaxed) as f64,
     );
+    header(
+        &mut out,
+        "rntrajrec_http_responses_total",
+        "HTTP responses by status class.",
+        "counter",
+    );
     line(
+        &mut out,
         "rntrajrec_http_responses_total",
         "{class=\"2xx\"}",
         c.responses_2xx.load(Ordering::Relaxed) as f64,
     );
     line(
+        &mut out,
         "rntrajrec_http_responses_total",
         "{class=\"4xx\"}",
         c.responses_4xx.load(Ordering::Relaxed) as f64,
     );
     line(
+        &mut out,
         "rntrajrec_http_responses_total",
         "{class=\"5xx\"}",
         c.responses_5xx.load(Ordering::Relaxed) as f64,
     );
+    header(
+        &mut out,
+        "rntrajrec_http_shed_total",
+        "Requests shed by admission control, by reason.",
+        "counter",
+    );
     line(
+        &mut out,
         "rntrajrec_http_shed_total",
         "{reason=\"backlog\"}",
         c.shed_backlog.load(Ordering::Relaxed) as f64,
     );
     line(
+        &mut out,
         "rntrajrec_http_shed_total",
         "{reason=\"overload\"}",
         c.shed_overload.load(Ordering::Relaxed) as f64,
     );
     line(
+        &mut out,
         "rntrajrec_http_shed_total",
         "{reason=\"deadline\"}",
         c.shed_deadline.load(Ordering::Relaxed) as f64,
     );
+    header(
+        &mut out,
+        "rntrajrec_http_recover_latency_ms",
+        "End-to-end /v1/recover latency quantiles over a sliding window.",
+        "summary",
+    );
     line(
+        &mut out,
         "rntrajrec_http_recover_latency_ms",
         "{quantile=\"0.5\"}",
         p50,
     );
     line(
+        &mut out,
         "rntrajrec_http_recover_latency_ms",
         "{quantile=\"0.99\"}",
         p99,
     );
+
+    header(
+        &mut out,
+        "rntrajrec_engine_queue_depth",
+        "Requests waiting in the micro-batching queue.",
+        "gauge",
+    );
     line(
+        &mut out,
         "rntrajrec_engine_queue_depth",
         "",
         state.engine.queue_depth() as f64,
     );
+    header(
+        &mut out,
+        "rntrajrec_engine_in_flight_batches",
+        "Batches currently being recovered.",
+        "gauge",
+    );
     line(
+        &mut out,
         "rntrajrec_engine_in_flight_batches",
         "",
         state.engine.in_flight_batches() as f64,
     );
-    line("rntrajrec_engine_requests_total", "", stats.requests as f64);
+    header(
+        &mut out,
+        "rntrajrec_engine_requests_total",
+        "Requests accepted by the engine.",
+        "counter",
+    );
     line(
+        &mut out,
+        "rntrajrec_engine_requests_total",
+        "",
+        stats.requests as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_completed_total",
+        "Requests recovered successfully.",
+        "counter",
+    );
+    line(
+        &mut out,
         "rntrajrec_engine_completed_total",
         "",
         stats.completed as f64,
     );
-    line("rntrajrec_engine_failed_total", "", stats.failed as f64);
-    line("rntrajrec_engine_rejected_total", "", stats.rejected as f64);
-    line("rntrajrec_engine_batches_total", "", stats.batches as f64);
-    line("rntrajrec_engine_mean_batch", "", stats.mean_batch);
+    header(
+        &mut out,
+        "rntrajrec_engine_failed_total",
+        "Requests that failed during recovery.",
+        "counter",
+    );
     line(
+        &mut out,
+        "rntrajrec_engine_failed_total",
+        "",
+        stats.failed as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_rejected_total",
+        "Requests rejected at submit time (queue full or shutdown).",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_rejected_total",
+        "",
+        stats.rejected as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_batches_total",
+        "Batches flushed by the micro-batcher.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_batches_total",
+        "",
+        stats.batches as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_mean_batch",
+        "Mean batch size since start.",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_mean_batch",
+        "",
+        stats.mean_batch,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_mean_queue_wait_ms",
+        "Mean time a completed request spent queued before its batch flushed.",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_mean_queue_wait_ms",
+        "",
+        stats.mean_queue_wait_ms,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_mean_compute_ms",
+        "Mean batch compute time attributed to completed requests.",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_mean_compute_ms",
+        "",
+        stats.mean_compute_ms,
+    );
+
+    header(
+        &mut out,
+        "rntrajrec_nn_matmul_invocations_total",
+        "Matmul kernel invocations across all threads.",
+        "counter",
+    );
+    line(
+        &mut out,
         "rntrajrec_nn_matmul_invocations_total",
         "",
         kernels::matmul_invocations() as f64,
     );
+    header(
+        &mut out,
+        "rntrajrec_nn_pool_jobs_total",
+        "Thread-pool dispatch decisions by mode.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_nn_pool_jobs_total",
+        "{mode=\"parallel\"}",
+        pool.parallel_jobs as f64,
+    );
+    line(
+        &mut out,
+        "rntrajrec_nn_pool_jobs_total",
+        "{mode=\"inline_busy\"}",
+        pool.inline_busy as f64,
+    );
+    line(
+        &mut out,
+        "rntrajrec_nn_pool_jobs_total",
+        "{mode=\"inline_small\"}",
+        pool.inline_small as f64,
+    );
+
+    header(
+        &mut out,
+        "rntrajrec_trace_spans_stored",
+        "Spans currently buffered in the trace ring.",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_trace_spans_stored",
+        "",
+        rntrajrec_obs::stored_spans() as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_trace_spans_dropped_total",
+        "Spans evicted from the trace ring before being read.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_trace_spans_dropped_total",
+        "",
+        rntrajrec_obs::dropped_spans() as f64,
+    );
+
+    rntrajrec_obs::metrics::render_into(&mut out);
     out
 }
 

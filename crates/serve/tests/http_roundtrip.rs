@@ -287,17 +287,28 @@ fn concurrent_clients_share_a_fused_batch() {
 
     // Reference: the same requests sequentially, one engine batch each
     // (they flush alone only after max_delay, so use the model directly).
+    // `profile_scope` counts matmuls invoked from this thread only — the
+    // sequential reference runs inline, so the count is attributable
+    // without the old global reset dance.
     let reqs: Vec<RecoverRequest> = (0..clients).map(|i| h.request_for(i)).collect();
     let inputs: Vec<_> = reqs
         .iter()
         .map(|r| h.ctx.sample_input(r).expect("valid request"))
         .collect();
-    let before = kernels::matmul_invocations();
+    let prof = kernels::profile_scope("sequential_reference");
     let sequential: Vec<Vec<(usize, f32)>> =
         inputs.iter().map(|i| h.engine.model().recover(i)).collect();
-    let seq_matmuls = kernels::matmul_invocations() - before;
+    let seq = prof.finish();
+    assert!(
+        seq.matmuls > 0 && seq.flops > 0,
+        "profile scope saw no work"
+    );
 
-    let before = kernels::matmul_invocations();
+    // Batched side: the matmuls happen on the engine worker thread, so
+    // count them through the span recorder — every kernel event lands on
+    // exactly one (innermost) span, so summing span matmuls is exact.
+    rntrajrec_obs::clear();
+    rntrajrec_obs::set_enabled(true);
     let results: Vec<(u16, RecoverResponse)> = std::thread::scope(|s| {
         let handles: Vec<_> = reqs
             .iter()
@@ -318,7 +329,12 @@ fn concurrent_clients_share_a_fused_batch() {
             .map(|h| h.join().expect("client"))
             .collect()
     });
-    let batched_matmuls = kernels::matmul_invocations() - before;
+    rntrajrec_obs::set_enabled(false);
+    // Compute-side spans are flushed before each Recovered is delivered,
+    // so once every client has joined the store holds all batch work.
+    let spans = rntrajrec_obs::drain();
+    let batched_matmuls: u64 = spans.iter().map(|s| s.matmuls).sum();
+    assert!(batched_matmuls > 0, "span recorder saw no kernel work");
 
     for ((status, resp), want) in results.iter().zip(&sequential) {
         assert_eq!(*status, 200);
@@ -329,9 +345,10 @@ fn concurrent_clients_share_a_fused_batch() {
         assert_eq!(&resp.path(), want, "batched HTTP diverged from sequential");
     }
     assert!(
-        batched_matmuls < seq_matmuls,
+        batched_matmuls < seq.matmuls,
         "fused batch should cost fewer matmuls than sequential dispatch \
-         ({batched_matmuls} vs {seq_matmuls})"
+         ({batched_matmuls} vs {})",
+        seq.matmuls
     );
 }
 
@@ -438,4 +455,143 @@ fn graceful_shutdown_stops_accepting_after_drain() {
     // The engine drains cleanly afterwards.
     assert_eq!(engine.stats().completed, 1);
     drop(engine);
+}
+
+/// One traced POST must yield a complete Chrome-trace span tree at
+/// `GET /debug/trace`: the root `request` span plus every lifecycle
+/// phase from socket read to kernel, with matmul counts attached to the
+/// compute spans.
+#[test]
+fn debug_trace_exposes_the_request_span_tree() {
+    let _g = lock();
+    rntrajrec_obs::clear();
+    rntrajrec_obs::set_enabled(true);
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    let body = serde_json::to_string(&h.request_for(0)).unwrap();
+    assert_eq!(
+        client::post_json(h.addr(), "/v1/recover", &body)
+            .unwrap()
+            .status,
+        200
+    );
+
+    // The root span is recorded after the response bytes hit the socket,
+    // so the client can observe its own 200 slightly before the trace is
+    // complete — poll briefly.
+    let mut trace = String::new();
+    for _ in 0..100 {
+        let resp = client::get(h.addr(), "/debug/trace?last=4").expect("trace endpoint");
+        assert_eq!(resp.status, 200);
+        if resp.body.contains("\"request\"") {
+            trace = resp.body;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    rntrajrec_obs::set_enabled(false);
+
+    let doc = serde_json::from_str(&trace).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has no events");
+    for phase in [
+        "\"request\"",
+        "http.read",
+        "parse",
+        "queue.wait",
+        "batch.assemble",
+        "encoder.fused",
+        "decoder.step[0]",
+        "serialize",
+        "http.write",
+    ] {
+        assert!(trace.contains(phase), "span {phase} missing in:\n{trace}");
+    }
+    // Kernel attribution: at least one compute span carries matmuls.
+    let max_matmuls = events
+        .iter()
+        .filter_map(|e| e.get("args").and_then(|a| a.get("matmuls")))
+        .filter_map(|v| v.as_u64())
+        .max()
+        .unwrap_or(0);
+    assert!(max_matmuls > 0, "no span carries a matmul count:\n{trace}");
+    // Bad query strings answer 400-class, never panic the worker.
+    assert_eq!(
+        client::get(h.addr(), "/debug/trace?last=zillion")
+            .unwrap()
+            .status,
+        200,
+        "unparseable last= falls back to the default"
+    );
+    rntrajrec_obs::clear();
+}
+
+/// `/metrics` must stay a valid Prometheus text document while request
+/// traffic and scrapes race: no duplicate series, TYPE before samples,
+/// monotone cumulative histogram buckets with `+Inf == _count`.
+#[test]
+fn metrics_lint_passes_under_concurrent_load() {
+    let _g = lock();
+    rntrajrec_obs::set_enabled(true);
+    let clients = 4usize;
+    let h = boot(
+        quick_engine(),
+        HttpConfig {
+            connection_workers: clients + 1,
+            ..ephemeral_http()
+        },
+        clients,
+    );
+
+    let scraped: Vec<String> = std::thread::scope(|s| {
+        for i in 0..clients {
+            let addr = h.addr();
+            let body = serde_json::to_string(&h.request_for(i)).unwrap();
+            s.spawn(move || {
+                for _ in 0..3 {
+                    let resp = client::post_json(addr, "/v1/recover", &body).expect("roundtrip");
+                    assert_eq!(resp.status, 200);
+                }
+            });
+        }
+        // Scrape while the posts are in flight.
+        (0..6)
+            .map(|_| {
+                let resp = client::get(h.addr(), "/metrics").expect("metrics");
+                assert_eq!(resp.status, 200);
+                std::thread::sleep(Duration::from_millis(5));
+                resp.body
+            })
+            .collect()
+    });
+    rntrajrec_obs::set_enabled(false);
+
+    for (i, doc) in scraped.iter().enumerate() {
+        let problems = rntrajrec_obs::promlint::lint(doc);
+        assert!(
+            problems.is_empty(),
+            "scrape {i} failed the lint: {problems:?}\n{doc}"
+        );
+    }
+    // The final scrape has seen traffic: the phase histograms exist.
+    let last = scraped.last().unwrap();
+    for family in [
+        "rntrajrec_build_info{",
+        "rntrajrec_uptime_seconds",
+        "rntrajrec_engine_mean_queue_wait_ms",
+        "rntrajrec_engine_mean_compute_ms",
+        "rntrajrec_nn_pool_jobs_total{mode=\"parallel\"}",
+        "rntrajrec_phase_seconds_bucket{phase=\"encoder\"",
+        "rntrajrec_phase_seconds_bucket{phase=\"decoder\"",
+        "rntrajrec_phase_seconds_bucket{phase=\"queue_wait\"",
+        "rntrajrec_phase_seconds_bucket{phase=\"serialize\"",
+        "rntrajrec_phase_seconds_bucket{phase=\"e2e\"",
+        "rntrajrec_batch_size_bucket",
+        "rntrajrec_batch_occupancy_bucket",
+    ] {
+        assert!(last.contains(family), "missing {family} in:\n{last}");
+    }
+    rntrajrec_obs::clear();
 }
