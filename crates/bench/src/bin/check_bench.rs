@@ -184,6 +184,64 @@ fn main() -> ExitCode {
         "fresh >= 1.0 and >= 0.4 x baseline",
     );
 
+    // Deterministic: the masked-column sparse segment head must keep its
+    // algorithmic FLOP reduction over the dense `[B,d]x[d,|V|]` head.
+    // The 3x floor is the acceptance bar; the baseline-relative term
+    // catches mask-coverage regressions that stay above the floor.
+    let key = "city_scale.segment_head.flop_reduction";
+    gate.check(
+        key,
+        num(&baseline, key),
+        num(&fresh, key),
+        |b, f| f >= 3.0 && f >= b * 0.8,
+        "fresh >= 3.0 and >= 0.8 x baseline",
+    );
+
+    // Absolute bar: AVX2+FMA may legitimately re-round (fused multiply
+    // -add), but cross-backend drift on the city-scale score matmul must
+    // stay within a small ULP budget. Skipped (informational) when the
+    // runner lacks AVX2+FMA — the field is null there.
+    {
+        let key = "city_scale.segment_head.backends.max_ulp_vs_scalar";
+        match lookup(&fresh, key) {
+            Some(v) if v.is_null() => {
+                println!("INFO {key}: runner lacks AVX2+FMA — ULP gate skipped")
+            }
+            v => {
+                gate.checks += 1;
+                match v.and_then(Value::as_f64) {
+                    Some(f) if f <= 256.0 => {
+                        println!("PASS {key}: fresh {f:.0}  [fresh <= 256]")
+                    }
+                    f => {
+                        println!("FAIL {key}: fresh {f:?}  [fresh <= 256]");
+                        gate.failures += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Absolute bars: int8 segment-head accuracy drift on recovery outputs
+    // (the quantized path trades bit-identity for throughput; the trade
+    // must stay small end-to-end).
+    let key = "city_scale.segment_head.quant.segment_agreement";
+    gate.check(
+        key,
+        num(&baseline, key),
+        num(&fresh, key),
+        |_, f| f >= 0.95,
+        "fresh >= 0.95",
+    );
+    let key = "city_scale.segment_head.quant.max_rate_drift";
+    gate.check(
+        key,
+        num(&baseline, key),
+        num(&fresh, key),
+        |_, f| f <= 0.05,
+        "fresh <= 0.05",
+    );
+
     // Absolute bar: span recording must stay effectively free on the
     // batched serving path. The threshold is absolute (≤ 2%), not
     // baseline-relative — the baseline may be negative noise.
@@ -205,6 +263,7 @@ fn main() -> ExitCode {
     for key in [
         "city_scale.decoder_fusion.bit_identical",
         "city_scale.encoder_fusion.bit_identical",
+        "city_scale.segment_head.bit_identical",
         "http_roundtrip.bit_identical",
     ] {
         let flag = |v: &Value| lookup(v, key).and_then(Value::as_bool);

@@ -9,8 +9,13 @@
 //! (`city_scale.decoder_fusion`), and the per-member GPS-Former encoder
 //! pass versus the stacked batched encoder with segment-scoped GraphNorm
 //! (`city_scale.encoder_fusion`) — with batched ≡ sequential bit-identity
-//! asserted for both — plus the **span-recorder overhead** on the traced
-//! batched path (`city_scale.tracing`, gated ≤ 2% in `check_bench`).
+//! asserted for both — plus the **segment-head study**
+//! (`city_scale.segment_head`): masked-column sparse head FLOPs versus the
+//! dense head (bit-identical recovery asserted, ≥3× fewer head FLOPs gated
+//! in `check_bench`), the scalar vs AVX2 kernel-backend wall and ULP
+//! drift, and the int8-quantized head's end-to-end recovery drift — and
+//! the **span-recorder overhead** on the traced batched path
+//! (`city_scale.tracing`, gated ≤ 2% in `check_bench`).
 //! Writes `results/BENCH_serve.json`.
 //!
 //! ```bash
@@ -27,8 +32,9 @@ use rand::SeedableRng;
 use rntrajrec::model::{EndToEnd, MethodSpec};
 use rntrajrec::wire::{RecoverRequest, RecoverResponse};
 use rntrajrec_bench::dump_json;
-use rntrajrec_models::{BatchMember, FeatureExtractor, SampleInput};
-use rntrajrec_nn::{kernels, pool};
+use rntrajrec_models::{BatchMember, FeatureExtractor, SampleInput, SegmentHead};
+use rntrajrec_nn::kernels::backend::{self, Backend};
+use rntrajrec_nn::{infer, kernels, pool};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
 use rntrajrec_serve::http::client;
 use rntrajrec_serve::{
@@ -342,6 +348,186 @@ fn main() {
         big_inputs.len()
     );
 
+    // 3d. Segment head: masked-column sparse head vs the dense head, the
+    // scalar/AVX2 kernel backends, and the int8-quantized head — all over
+    // the same fused batched decode at city scale.
+    //
+    // FLOP attribution is exact: the two decodes share every non-head
+    // kernel call bit-for-bit (outputs are asserted identical), so the
+    // profiled FLOP difference is exactly the head FLOPs the sparse path
+    // skips. The dense head is one `[B_t,d]x[d,|V|]` matmul per lock-step
+    // step, `2·d·|V|` FLOPs per (member, step) in total.
+    let n_segments = big_city.net.num_segments();
+    let member_steps: u64 = big_inputs.iter().map(|i| i.target_len() as u64).sum();
+    let prof = kernels::profile_scope("segment_head_dense");
+    let dense_paths =
+        big_model
+            .decoder
+            .recover_batch_infer_with(&big_model.store, &members, SegmentHead::Dense);
+    let dense_prof = prof.finish();
+    let prof = kernels::profile_scope("segment_head_sparse");
+    let sparse_paths =
+        big_model
+            .decoder
+            .recover_batch_infer_with(&big_model.store, &members, SegmentHead::Sparse);
+    let sparse_prof = prof.finish();
+    assert_eq!(
+        dense_paths, sparse_paths,
+        "sparse segment head changed recovery output"
+    );
+    let head_dense_flops = 2 * big_dim as u64 * n_segments as u64 * member_steps;
+    assert!(
+        dense_prof.flops >= sparse_prof.flops
+            && dense_prof.flops - sparse_prof.flops <= head_dense_flops,
+        "FLOP attribution inconsistent: dense decode {} vs sparse decode {} (head <= {head_dense_flops})",
+        dense_prof.flops,
+        sparse_prof.flops
+    );
+    let head_sparse_flops = head_dense_flops - (dense_prof.flops - sparse_prof.flops);
+    let head_flop_reduction = head_dense_flops as f64 / head_sparse_flops.max(1) as f64;
+    let skip_ratio = 1.0 - head_sparse_flops as f64 / head_dense_flops as f64;
+    println!(
+        "segment head (B={}, |V|={n_segments}): dense {head_dense_flops} -> sparse {head_sparse_flops} head FLOPs \
+         over {member_steps} member-steps (x{head_flop_reduction:.1} fewer, {:.1}% of columns skipped, bit-identical recovery asserted)",
+        big_inputs.len(),
+        skip_ratio * 100.0
+    );
+
+    // Backend sweep over the sparse-head batched decode: wall per decode
+    // and profiled FLOPs/step per backend (identical by construction —
+    // backends change instruction selection, not the work counted).
+    let avx2_supported = backend::is_supported(Backend::Avx2Fma);
+    let decode_sparse = || {
+        big_model
+            .decoder
+            .recover_batch_infer_with(&big_model.store, &members, SegmentHead::Sparse)
+    };
+    let time_backend = |bk: Backend| {
+        backend::with_backend(bk, || {
+            std::hint::black_box(decode_sparse()); // warm
+            let prof = kernels::profile_scope("segment_head_backend");
+            for _ in 0..fusion_reps {
+                std::hint::black_box(decode_sparse());
+            }
+            let p = prof.finish();
+            (
+                p.wall.as_secs_f64() * 1000.0 / fusion_reps as f64,
+                p.flops as f64 / fusion_reps as f64 / member_steps.max(1) as f64,
+            )
+        })
+    };
+    let (scalar_ms, scalar_flops_per_step) = time_backend(Backend::Scalar);
+    let avx2 = avx2_supported.then(|| time_backend(Backend::Avx2Fma));
+
+    // Cross-backend numeric drift on a representative city-scale matmul
+    // (`[B,d]·[|V|,d]^T` scores against the road embedding): max ULP
+    // distance, ignoring cancellation-dominated elements that agree
+    // within 1e-4 absolute.
+    let max_ulp = avx2_supported.then(|| {
+        let trajs: Vec<&rntrajrec_nn::Tensor> = members.iter().map(|m| m.traj).collect();
+        let h0 = infer::concat_rows(&trajs);
+        let scores = |bk| backend::with_backend(bk, || infer::matmul_nt(&h0, &road));
+        let want = scores(Backend::Scalar);
+        let got = scores(Backend::Avx2Fma);
+        let key = |x: f32| {
+            let b = x.to_bits() as i32;
+            if b < 0 {
+                i64::from(i32::MIN) - i64::from(b)
+            } else {
+                i64::from(b)
+            }
+        };
+        want.data
+            .iter()
+            .zip(&got.data)
+            .filter(|(w, g)| (*w - *g).abs() > 1e-4)
+            .map(|(&w, &g)| key(w).abs_diff(key(g)))
+            .max()
+            .unwrap_or(0)
+    });
+    match (avx2, max_ulp) {
+        (Some((avx2_ms, _)), Some(ulp)) => println!(
+            "segment head backends: scalar {scalar_ms:.3} ms/decode, avx2 {avx2_ms:.3} ms/decode \
+             (x{:.2}); max cross-backend ULP {ulp} on [B,d]x[|V|,d]^T scores",
+            scalar_ms / avx2_ms
+        ),
+        _ => println!(
+            "segment head backends: scalar {scalar_ms:.3} ms/decode; AVX2+FMA not supported on \
+             this host — backend comparison skipped"
+        ),
+    }
+
+    // Int8 head: per-channel weight quantization, i32 accumulation,
+    // dequantized epilogue. Drift is measured end-to-end on recovery
+    // outputs against the f32 sparse head.
+    let q = big_model.decoder.quantized_segment_head(&big_model.store);
+    let prof = kernels::profile_scope("segment_head_quant");
+    let quant_paths = big_model.decoder.recover_batch_infer_with(
+        &big_model.store,
+        &members,
+        SegmentHead::Quantized(&q),
+    );
+    let quant_prof = prof.finish();
+    let t = Instant::now();
+    for _ in 0..fusion_reps {
+        std::hint::black_box(big_model.decoder.recover_batch_infer_with(
+            &big_model.store,
+            &members,
+            SegmentHead::Quantized(&q),
+        ));
+    }
+    let quant_ms = t.elapsed().as_secs_f64() * 1000.0 / fusion_reps as f64;
+    let total_positions: usize = sparse_paths.iter().map(Vec::len).sum();
+    let mut seg_agree = 0usize;
+    let mut max_rate_drift = 0.0f64;
+    for (qp, fp) in quant_paths.iter().zip(&sparse_paths) {
+        assert_eq!(qp.len(), fp.len(), "quantized head changed path length");
+        for ((qs, qr), (fs, fr)) in qp.iter().zip(fp) {
+            if qs == fs {
+                seg_agree += 1;
+            }
+            max_rate_drift = max_rate_drift.max((f64::from(*qr) - f64::from(*fr)).abs());
+        }
+    }
+    let segment_agreement = seg_agree as f64 / total_positions.max(1) as f64;
+    println!(
+        "segment head int8: {quant_ms:.3} ms/decode, segment agreement {:.1}% over {total_positions} \
+         positions, max rate drift {max_rate_drift:.4}",
+        segment_agreement * 100.0
+    );
+
+    let segment_head_backends = serde_json::json!({
+        "active_default": backend::active_name(),
+        "avx2_supported": avx2_supported,
+        "scalar_decode_ms": scalar_ms,
+        "scalar_flops_per_step": scalar_flops_per_step,
+        "avx2_decode_ms": avx2.map(|(ms, _)| ms),
+        "avx2_flops_per_step": avx2.map(|(_, f)| f),
+        "scalar_vs_avx2_speedup": avx2.map(|(ms, _)| scalar_ms / ms),
+        "max_ulp_vs_scalar": max_ulp,
+    });
+    let segment_head_quant = serde_json::json!({
+        "decode_ms": quant_ms,
+        "flops": quant_prof.flops,
+        "segment_agreement": segment_agreement,
+        "max_rate_drift": max_rate_drift,
+        "positions": total_positions,
+    });
+    let segment_head = serde_json::json!({
+        "batch": big_inputs.len(),
+        "segments": n_segments,
+        "member_steps": member_steps,
+        "head_dense_flops": head_dense_flops,
+        "head_sparse_flops": head_sparse_flops,
+        "flop_reduction": head_flop_reduction,
+        "masked_col_skip_ratio": skip_ratio,
+        "flops_per_step_dense": head_dense_flops as f64 / member_steps.max(1) as f64,
+        "flops_per_step_sparse": head_sparse_flops as f64 / member_steps.max(1) as f64,
+        "bit_identical": true,
+        "backends": segment_head_backends,
+        "quant": segment_head_quant,
+    });
+
     // 3b. Single-request recovery latency at 1/2/4 intra-op threads.
     let big_serving = Arc::new(ServingModel::new(big_model).expect("RNTrajRec serves"));
     println!(
@@ -636,6 +822,7 @@ fn main() {
         "decoder_fusion_baseline": decoder_baseline,
         "decoder_fusion": decoder_fusion,
         "encoder_fusion": encoder_fusion,
+        "segment_head": segment_head,
         "tracing": tracing,
     });
     let json = serde_json::json!({

@@ -6,8 +6,8 @@ use rand::SeedableRng;
 use rntrajrec_geo::GridSpec;
 use rntrajrec_models::{
     BatchMember, Decoder, DecoderConfig, GnnBackbone, GtsEncoder, MTrajRecEncoder, NeuTrajEncoder,
-    RnTrajRecConfig, RnTrajRecEncoder, SampleInput, T2vecEncoder, T3sEncoder, TrajEncoder,
-    TransformerBaseline,
+    RnTrajRecConfig, RnTrajRecEncoder, SampleInput, SegmentHead, T2vecEncoder, T3sEncoder,
+    TrajEncoder, TransformerBaseline,
 };
 use rntrajrec_nn::{NodeId, ParamStore, Tape, Tensor};
 use rntrajrec_roadnet::RoadNetwork;
@@ -324,10 +324,21 @@ impl EndToEnd {
         input: &SampleInput,
         road: Option<&Tensor>,
     ) -> Option<Vec<(usize, f32)>> {
+        self.infer_predict_with(input, road, SegmentHead::Sparse)
+    }
+
+    /// [`EndToEnd::infer_predict`] with an explicit decoder
+    /// [`SegmentHead`] (dense reference, sparse default, or quantized).
+    pub fn infer_predict_with(
+        &self,
+        input: &SampleInput,
+        road: Option<&Tensor>,
+        head: SegmentHead<'_>,
+    ) -> Option<Vec<(usize, f32)>> {
         let enc = self.encoder.infer_one(&self.store, input, road)?;
         Some(
             self.decoder
-                .infer_run(&self.store, &enc.per_point, &enc.traj, input),
+                .infer_run_with(&self.store, &enc.per_point, &enc.traj, input, head),
         )
     }
 
@@ -346,6 +357,17 @@ impl EndToEnd {
         &self,
         inputs: &[&SampleInput],
         road: Option<&Tensor>,
+    ) -> Option<Vec<Vec<(usize, f32)>>> {
+        self.infer_predict_batch_with(inputs, road, SegmentHead::Sparse)
+    }
+
+    /// [`EndToEnd::infer_predict_batch`] with an explicit decoder
+    /// [`SegmentHead`].
+    pub fn infer_predict_batch_with(
+        &self,
+        inputs: &[&SampleInput],
+        road: Option<&Tensor>,
+        head: SegmentHead<'_>,
     ) -> Option<Vec<Vec<(usize, f32)>>> {
         use std::sync::{Arc, OnceLock};
         static ENCODER_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
@@ -373,7 +395,8 @@ impl EndToEnd {
         let dec_started = std::time::Instant::now();
         let paths = {
             let _span = rntrajrec_obs::span("decoder.fused");
-            self.decoder.recover_batch_infer(&self.store, &members)
+            self.decoder
+                .recover_batch_infer_with(&self.store, &members, head)
         };
         DECODER_SECONDS
             .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("decoder"))

@@ -14,6 +14,7 @@ use crate::encoder::EncoderOutput;
 use crate::features::SampleInput;
 
 use crate::rnn::GruCell;
+use rntrajrec_nn::quant::QuantizedLinear;
 use rntrajrec_nn::{infer, Init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// Log-weight assigned to segments outside the constraint mask
@@ -23,6 +24,32 @@ const MASKED_OUT_LOGW: f32 = -30.0;
 /// One member's per-step sparse mask log-weights (`None` for unmasked
 /// steps), precomputed once per batched decode.
 type StepLogMasks = Vec<Option<Vec<(usize, f32)>>>;
+
+/// Which implementation computes the Eq. 16 road-segment head on the
+/// tape-free decode paths.
+///
+/// `Sparse` is the default: the constraint mask already enumerates the
+/// allowed segments, so [`infer::masked_matmul_cols`] computes only those
+/// columns of the `[B,d]×[d,|V|]` product (an algorithmic FLOP reduction
+/// proportional to the mask's skip ratio) and normalises over them alone.
+/// Recovery outputs (argmax segment + rate) match the dense route —
+/// pinned in `batch_decode_parity.rs` and gated in `check_bench` — while
+/// masked-out columns become exact `-∞` log-probabilities instead of the
+/// soft `exp(-30)` leakage. `Dense` keeps the historical full-matmul
+/// route (reference + unmasked workloads); `Quantized` runs the sparse
+/// route over int8 per-channel weights ([`QuantizedLinear`]), trading a
+/// bounded accuracy drift (gated in `check_bench`) for a smaller, faster
+/// weight matrix.
+#[derive(Clone, Copy)]
+pub enum SegmentHead<'a> {
+    /// Dense `[B,d]×[d,|V|]` matmul + fused soft-mask log-softmax.
+    Dense,
+    /// Mask-allowed columns only, fused with the allowed-column
+    /// log-softmax (the serving default).
+    Sparse,
+    /// Sparse-aware int8 head over pre-quantized weights.
+    Quantized(&'a QuantizedLinear),
+}
 
 /// Decoder configuration.
 #[derive(Debug, Clone)]
@@ -116,6 +143,13 @@ impl Decoder {
             ),
             _ => None,
         }
+    }
+
+    /// Quantize this decoder's segment-head weights to int8 for
+    /// [`SegmentHead::Quantized`]; done once at model load, not per
+    /// request.
+    pub fn quantized_segment_head(&self, store: &ParamStore) -> QuantizedLinear {
+        QuantizedLinear::from_weights(store.value(self.w_id))
     }
 
     /// Decode all `l_ρ` steps. With `teacher_forcing` the ground-truth
@@ -225,6 +259,20 @@ impl Decoder {
         traj: &Tensor,
         sample: &SampleInput,
     ) -> Vec<(usize, f32)> {
+        self.infer_run_with(store, per_point, traj, sample, SegmentHead::Sparse)
+    }
+
+    /// [`Decoder::infer_run`] with an explicit [`SegmentHead`] variant
+    /// (benchmarks and parity tests compare routes; serving may select
+    /// the quantized head).
+    pub fn infer_run_with(
+        &self,
+        store: &ParamStore,
+        per_point: &Tensor,
+        traj: &Tensor,
+        sample: &SampleInput,
+        head: SegmentHead<'_>,
+    ) -> Vec<(usize, f32)> {
         let l_rho = sample.target_len();
         let seg_table = store.value(self.seg_emb);
         let w_id = store.value(self.w_id);
@@ -243,16 +291,22 @@ impl Decoder {
             let input = infer::concat_cols(&[&x_prev, &r_prev, &a]);
             h = self.gru.infer_step(store, &input, &h);
 
-            // Road-segment head with constraint mask (Eq. 16): one fused
-            // mask-add + log-softmax kernel, no dense mask row or
-            // intermediate tensors.
-            let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
+            // Road-segment head with constraint mask (Eq. 16): sparse by
+            // default — only the mask-allowed columns of `[1,d]×[d,|V|]`
+            // are computed, fused with the allowed-column log-softmax.
             let logw = self.mask_logw_entries(&sample.masks[j]);
             let mask = logw.as_deref().map(|entries| infer::SparseLogMask {
                 default: MASKED_OUT_LOGW,
                 entries,
             });
-            let logp = infer::masked_log_softmax_rows(&logits, &[mask]);
+            let logp = match head {
+                SegmentHead::Dense => {
+                    let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
+                    infer::masked_log_softmax_rows(&logits, &[mask])
+                }
+                SegmentHead::Sparse => infer::masked_matmul_cols(&h, w_id, b_id, &[mask]),
+                SegmentHead::Quantized(q) => q.forward_masked(&h, b_id, &[mask]),
+            };
             let pred = logp.argmax_row(0);
 
             let x_j = infer::gather_rows(seg_table, &[pred]);
@@ -287,6 +341,17 @@ impl Decoder {
         &self,
         store: &ParamStore,
         members: &[BatchMember<'_>],
+    ) -> Vec<Vec<(usize, f32)>> {
+        self.recover_batch_infer_with(store, members, SegmentHead::Sparse)
+    }
+
+    /// [`Decoder::recover_batch_infer`] with an explicit [`SegmentHead`]
+    /// variant.
+    pub fn recover_batch_infer_with(
+        &self,
+        store: &ParamStore,
+        members: &[BatchMember<'_>],
+        head: SegmentHead<'_>,
     ) -> Vec<Vec<(usize, f32)>> {
         let n = members.len();
         let mut out: Vec<Vec<(usize, f32)>> = members
@@ -360,9 +425,8 @@ impl Decoder {
             let input = infer::concat_cols(&[&x_prev, &r_prev, &a]);
             h = self.gru.infer_step(store, &input, &h);
 
-            // Eq. (16): one `[B,d]×[d,|V|]` segment head, then the fused
-            // per-row mask + log-softmax epilogue.
-            let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
+            // Eq. (16): one stacked segment head — sparse by default,
+            // computing only each row's mask-allowed columns.
             let masks: Vec<Option<infer::SparseLogMask>> = active
                 .iter()
                 .map(|&i| {
@@ -372,7 +436,14 @@ impl Decoder {
                     })
                 })
                 .collect();
-            let logp = infer::masked_log_softmax_rows(&logits, &masks);
+            let logp = match head {
+                SegmentHead::Dense => {
+                    let logits = infer::add_rowvec(&infer::matmul(&h, w_id), b_id);
+                    infer::masked_log_softmax_rows(&logits, &masks)
+                }
+                SegmentHead::Sparse => infer::masked_matmul_cols(&h, w_id, b_id, &masks),
+                SegmentHead::Quantized(q) => q.forward_masked(&h, b_id, &masks),
+            };
             let preds: Vec<usize> = (0..b).map(|r| logp.argmax_row(r)).collect();
             let x_j = infer::gather_rows(seg_table, &preds);
 

@@ -46,9 +46,13 @@ pub struct SampleInput {
     pub target_segs: Vec<usize>,
     /// Ground-truth moving ratio per target step.
     pub target_rates: Vec<f32>,
-    /// Constraint mask per target step (Section V): `Some` sparse
-    /// `(segment, weight)` list for observed steps, `None` (all-ones) for
-    /// missing steps.
+    /// Constraint mask per target step (Section V): a `Some` sparse
+    /// `(segment, weight)` list of the segments within the mask radius of
+    /// the step's GPS position — observed points directly, missing steps
+    /// via linear interpolation between the surrounding observed points
+    /// (with the radius widened by half the gap chord). `None` (all-ones)
+    /// when the neighbourhood is empty or the step precedes/follows every
+    /// observed point.
     pub masks: Vec<Option<Vec<(usize, f32)>>>,
     /// Target step index of each raw input point.
     pub obs_step: Vec<usize>,
@@ -354,21 +358,52 @@ impl<'a> FeatureExtractor<'a> {
                 target_xy_norm.set(j, 1, ((xy.y - self.bbox.min_y) / height) as f32);
             }
         }
-        for (i, p) in raw.points.iter().enumerate() {
-            let hits = self
-                .rtree
-                .within_radius(self.net, &p.xy, self.mask_radius_m);
+        let mask_at = |xy: &XY, radius_m: f64| -> Option<Vec<(usize, f32)>> {
+            let hits = self.rtree.within_radius(self.net, xy, radius_m);
             if hits.is_empty() {
-                continue; // keep all-ones mask rather than forbidding everything
+                return None; // keep all-ones mask rather than forbidding everything
             }
-            let entries: Vec<(usize, f32)> = hits
-                .iter()
-                .map(|h| {
-                    let d = h.projection.dist as f32;
-                    (h.seg.index(), (-(d * d) / beta2).exp().max(1e-6))
-                })
-                .collect();
-            masks[obs_step[i]] = Some(entries);
+            Some(
+                hits.iter()
+                    .map(|h| {
+                        let d = h.projection.dist as f32;
+                        (h.seg.index(), (-(d * d) / beta2).exp().max(1e-6))
+                    })
+                    .collect(),
+            )
+        };
+        for (i, p) in raw.points.iter().enumerate() {
+            if let Some(entries) = mask_at(&p.xy, self.mask_radius_m) {
+                masks[obs_step[i]] = Some(entries);
+            }
+        }
+        // Missing steps (Section V): the constraint mask is centred on the
+        // GPS position linearly interpolated between the surrounding
+        // observed points. The interpolated point can sit off the true
+        // path by up to roughly half the gap chord, so the search radius
+        // widens with the gap; an empty neighbourhood stays all-ones.
+        let observed: Vec<(usize, XY)> = {
+            let mut at: Vec<Option<XY>> = vec![None; l_rho];
+            for (i, p) in raw.points.iter().enumerate() {
+                at[obs_step[i]] = Some(p.xy);
+            }
+            at.iter()
+                .enumerate()
+                .filter_map(|(j, o)| o.map(|xy| (j, xy)))
+                .collect()
+        };
+        for w in observed.windows(2) {
+            let ((j0, a), (j1, b)) = (w[0], w[1]);
+            if j1 <= j0 + 1 {
+                continue;
+            }
+            let radius = self.mask_radius_m + 0.5 * a.dist(&b);
+            for (j, m) in masks.iter_mut().enumerate().take(j1).skip(j0 + 1) {
+                if m.is_none() {
+                    let frac = (j - j0) as f64 / (j1 - j0) as f64;
+                    *m = mask_at(&a.lerp(&b, frac), radius);
+                }
+            }
         }
 
         SampleInput {
@@ -583,18 +618,43 @@ mod tests {
     }
 
     #[test]
-    fn masks_set_only_on_observed_steps() {
+    fn masks_cover_observed_and_interpolated_steps() {
         let (city, rtree) = setup();
         let fx = FeatureExtractor::new(&city.net, &rtree, city.net.grid(50.0));
         let s = sample(&city, 3);
         let input = fx.extract(&s);
         let observed: std::collections::HashSet<usize> = input.obs_step.iter().copied().collect();
+        let first = *input.obs_step.iter().min().unwrap();
+        let last = *input.obs_step.iter().max().unwrap();
+        let mut constrained_missing = 0usize;
+        let mut missing = 0usize;
         for (j, m) in input.masks.iter().enumerate() {
             if observed.contains(&j) {
                 assert!(m.is_some(), "observed step {j} missing mask");
+            } else if j < first || j > last {
+                // No surrounding observations to interpolate between.
+                assert!(m.is_none(), "step {j} outside the observed span");
             } else {
-                assert!(m.is_none(), "unobserved step {j} must be unconstrained");
+                missing += 1;
+                constrained_missing += m.is_some() as usize;
             }
+        }
+        // Interpolated masks cover the gaps (Section V): the simulator's
+        // GPS points sit well inside the study area, so the widened-radius
+        // neighbourhood is essentially never empty.
+        assert!(
+            missing == 0 || constrained_missing * 2 > missing,
+            "only {constrained_missing}/{missing} missing steps constrained"
+        );
+        // The masked sparse head relies on masks staying sparse: a mask
+        // must not simply enumerate the whole vocabulary.
+        for m in input.masks.iter().flatten() {
+            assert!(
+                m.len() < city.net.num_segments(),
+                "constraint mask is dense ({} of {} segments)",
+                m.len(),
+                city.net.num_segments()
+            );
         }
     }
 

@@ -8,7 +8,12 @@
 //! paths stack members' rows into one matrix per projection while every
 //! member-scoped reduction (attention rows, graph readout, GraphNorm
 //! statistics) keeps each member's own accumulation order; that is exactly
-//! what this suite pins down.
+//! what this suite pins down — under every available kernel backend
+//! (scalar, and AVX2+FMA when the host supports it), since each backend
+//! must be deterministic within itself for any batch composition. The
+//! suite also pins the decoder's segment-head variants: sparse recovery
+//! ≡ dense recovery, and the int8 head stays mask-valid and
+//! thread-invariant.
 
 use std::sync::OnceLock;
 
@@ -18,11 +23,24 @@ use rand::SeedableRng;
 
 use rntrajrec_models::{
     BatchMember, Decoder, DecoderConfig, FeatureExtractor, RnTrajRecConfig, RnTrajRecEncoder,
-    SampleInput,
+    SampleInput, SegmentHead,
 };
+use rntrajrec_nn::kernels::backend::{self, Backend};
 use rntrajrec_nn::{pool, ParamStore, Tensor};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
 use rntrajrec_synth::{RawPoint, RawTrajectory, SimConfig, Simulator, TimeContext};
+
+/// Every backend the host can execute (scalar always; AVX2 when
+/// supported, with a visible notice when the sweep is narrowed).
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    if backend::is_supported(Backend::Avx2Fma) {
+        v.push(Backend::Avx2Fma);
+    } else {
+        eprintln!("NOTICE: host lacks AVX2+FMA; backend sweep covers scalar only");
+    }
+    v
+}
 
 struct Fixture {
     store: ParamStore,
@@ -102,7 +120,9 @@ proptest! {
 
     /// Arbitrary ragged batches (any composition, with repeats) decoded in
     /// one fused pass equal the per-member sequential decode bit-for-bit,
-    /// at 1 and 4 intra-op kernel threads.
+    /// at 1 and 4 intra-op kernel threads, under every available backend
+    /// (the AVX2 kernels accumulate without zero-skip precisely so that
+    /// batch composition cannot change any member's bits).
     #[test]
     fn fused_batch_equals_sequential(
         batch_size in 1usize..9,
@@ -113,16 +133,90 @@ proptest! {
             .map(|_| rand::Rng::gen_range(&mut rng, 0..POOL))
             .collect();
         let fix = fixture();
-        pool::set_num_threads(1);
-        let sequential: Vec<Vec<(usize, f32)>> =
-            picks.iter().map(|&p| fix.sequential(p)).collect();
-        for threads in [1usize, 4] {
-            pool::set_num_threads(threads);
-            let batch: Vec<BatchMember> = picks.iter().map(|&p| fix.member(p)).collect();
-            let batched = fix.decoder.recover_batch_infer(&fix.store, &batch);
-            pool::set_num_threads(1);
-            prop_assert!(batched == sequential, "diverged at {} threads", threads);
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                let sequential: Vec<Vec<(usize, f32)>> =
+                    picks.iter().map(|&p| fix.sequential(p)).collect();
+                for threads in [1usize, 4] {
+                    pool::set_num_threads(threads);
+                    let batch: Vec<BatchMember> = picks.iter().map(|&p| fix.member(p)).collect();
+                    let batched = fix.decoder.recover_batch_infer(&fix.store, &batch);
+                    pool::set_num_threads(1);
+                    assert!(
+                        batched == sequential,
+                        "diverged at {threads} threads under {}",
+                        bk.name()
+                    );
+                }
+            });
         }
+    }
+}
+
+/// The sparse segment head must not change what the decoder *recovers*:
+/// per backend, the dense and sparse routes produce identical `(segment,
+/// rate)` paths (the log-prob normaliser differs by design — outputs do
+/// not). This is the acceptance contract for `masked_matmul_cols`.
+#[test]
+fn sparse_head_recovery_matches_dense() {
+    let fix = fixture();
+    let batch: Vec<BatchMember> = (0..POOL).map(|p| fix.member(p)).collect();
+    for bk in backends() {
+        backend::with_backend(bk, || {
+            pool::set_num_threads(1);
+            let dense =
+                fix.decoder
+                    .recover_batch_infer_with(&fix.store, &batch, SegmentHead::Dense);
+            let sparse =
+                fix.decoder
+                    .recover_batch_infer_with(&fix.store, &batch, SegmentHead::Sparse);
+            assert_eq!(dense, sparse, "recovery diverged under {}", bk.name());
+        });
+    }
+}
+
+/// The int8 head: recovery stays valid (mask respected, rates in range)
+/// and — because the quantized accumulation is exact integer arithmetic —
+/// the whole decode is thread-invariant within each backend.
+#[test]
+fn quantized_head_recovery_is_valid_and_thread_invariant() {
+    let fix = fixture();
+    let q = fix.decoder.quantized_segment_head(&fix.store);
+    let batch: Vec<BatchMember> = (0..POOL).map(|p| fix.member(p)).collect();
+    for bk in backends() {
+        backend::with_backend(bk, || {
+            pool::set_num_threads(1);
+            let base = fix.decoder.recover_batch_infer_with(
+                &fix.store,
+                &batch,
+                SegmentHead::Quantized(&q),
+            );
+            for (m, path) in batch.iter().zip(&base) {
+                assert_eq!(path.len(), m.sample.target_len());
+                for (j, &(seg, rate)) in path.iter().enumerate() {
+                    assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range");
+                    if let Some(entries) = &m.sample.masks[j] {
+                        if !entries.is_empty() {
+                            assert!(
+                                entries.iter().any(|&(s, _)| s == seg),
+                                "step {j}: quantized prediction {seg} escaped the mask"
+                            );
+                        }
+                    }
+                }
+            }
+            for threads in [4usize, 2] {
+                pool::set_num_threads(threads);
+                let again = fix.decoder.recover_batch_infer_with(
+                    &fix.store,
+                    &batch,
+                    SegmentHead::Quantized(&q),
+                );
+                assert_eq!(again, base, "t={threads} under {}", bk.name());
+            }
+            pool::set_num_threads(1);
+        });
     }
 }
 
@@ -244,26 +338,32 @@ proptest! {
             .map(|_| rand::Rng::gen_range(&mut rng, 0..ENC_POOL))
             .collect();
         let fix = encoder_fixture();
-        pool::set_num_threads(1);
-        let sequential: Vec<_> = picks
-            .iter()
-            .map(|&p| fix.encoder.infer_sample(&fix.store, &fix.samples[p], &fix.xroad))
-            .collect();
-        for threads in [1usize, 4] {
-            pool::set_num_threads(threads);
-            let batch: Vec<&SampleInput> = picks.iter().map(|&p| &fix.samples[p]).collect();
-            let batched = fix.encoder.infer_batch(&fix.store, &batch, &fix.xroad);
-            pool::set_num_threads(1);
-            for (i, (got, want)) in batched.iter().zip(&sequential).enumerate() {
-                prop_assert!(
-                    got.per_point.data == want.per_point.data,
-                    "member {i} per-point diverged at {threads} threads"
-                );
-                prop_assert!(
-                    got.traj.data == want.traj.data,
-                    "member {i} traj diverged at {threads} threads"
-                );
-            }
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                let sequential: Vec<_> = picks
+                    .iter()
+                    .map(|&p| fix.encoder.infer_sample(&fix.store, &fix.samples[p], &fix.xroad))
+                    .collect();
+                for threads in [1usize, 4] {
+                    pool::set_num_threads(threads);
+                    let batch: Vec<&SampleInput> = picks.iter().map(|&p| &fix.samples[p]).collect();
+                    let batched = fix.encoder.infer_batch(&fix.store, &batch, &fix.xroad);
+                    pool::set_num_threads(1);
+                    for (i, (got, want)) in batched.iter().zip(&sequential).enumerate() {
+                        assert!(
+                            got.per_point.data == want.per_point.data,
+                            "member {i} per-point diverged at {threads} threads under {}",
+                            bk.name()
+                        );
+                        assert!(
+                            got.traj.data == want.traj.data,
+                            "member {i} traj diverged at {threads} threads under {}",
+                            bk.name()
+                        );
+                    }
+                }
+            });
         }
     }
 }

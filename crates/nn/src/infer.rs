@@ -113,6 +113,20 @@ pub fn masked_log_softmax_rows(a: &Tensor, masks: &[Option<SparseLogMask<'_>>]) 
     kernels::masked_log_softmax_rows(a, masks)
 }
 
+/// Sparse segment head: compute only the mask-allowed columns of
+/// `a×b + bias`, fused with the allowed-column log-softmax. Masked-out
+/// columns are exact `-∞`; per-column logits match the dense route
+/// bitwise, and rows without a usable mask fall back to the dense route
+/// bit-identically.
+pub fn masked_matmul_cols(
+    a: &Tensor,
+    b: &Tensor,
+    bias: &Tensor,
+    masks: &[Option<SparseLogMask<'_>>],
+) -> Tensor {
+    kernels::masked_matmul_cols(a, b, bias, masks)
+}
+
 // ----- layer norm -------------------------------------------------------------
 
 /// Fused layer normalisation `y = γ ⊙ (x − μ)/σ + β` per row;

@@ -22,8 +22,23 @@
 //! thread count** — the property the serving stack's "batched ≡
 //! sequential" contract is built on, and what the `kernel_parity` proptest
 //! suite pins down.
+//!
+//! # Backends
+//!
+//! The hot inner loops dispatch between the scalar reference path and an
+//! AVX2+FMA path (see [`backend`]). Each public kernel reads the backend
+//! **once at entry on the caller thread** and captures it into its pool
+//! closures, so a single invocation never mixes backends across chunks
+//! and [`backend::with_backend`] pins reliably even though inner chunks
+//! run on pool workers. Both backends satisfy the thread-count
+//! determinism contract above; they differ from *each other* only by
+//! FMA/partial-lane rounding in the matmul family and norm statistics
+//! (the softmax family is bit-identical across backends — see
+//! `backend`'s module docs for the full contract).
 
 #![deny(missing_docs)]
+
+pub mod backend;
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -63,10 +78,13 @@ thread_local! {
 /// One matmul-family invocation entered on this thread: bump the global
 /// counter, the thread-local totals, and (when tracing is enabled) the
 /// innermost open observability span. `flops` is the `2·R·K·C`
-/// multiply-add estimate. Runs on the *caller* thread before any work is
-/// handed to the pool, so scoped accounting is exact.
+/// multiply-add estimate — sparsity-aware kernels
+/// ([`masked_matmul_cols`], the quantized head) pass `2·K·(computed
+/// columns)` so attribution reflects work actually done, not the dense
+/// shape. Runs on the *caller* thread before any work is handed to the
+/// pool, so scoped accounting is exact.
 #[inline]
-fn note_matmul(flops: u64) {
+pub(crate) fn note_matmul(flops: u64) {
     MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
     let _ = KERNEL_TOTALS.try_with(|t| {
         let (m, f) = t.get();
@@ -149,7 +167,7 @@ impl SendPtr {
 /// Run `f` over disjoint chunks of `rows` output rows; each call receives
 /// the row range and the matching mutable row-major slice of `out`
 /// (`width` elements per row).
-fn par_row_chunks<F>(out: &mut [f32], width: usize, rows: usize, min_rows: usize, f: F)
+pub(crate) fn par_row_chunks<F>(out: &mut [f32], width: usize, rows: usize, min_rows: usize, f: F)
 where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
@@ -178,7 +196,26 @@ where
 ///
 /// `stride` is the row stride of `b`; `col0` the first output column (used
 /// by the `[1, C]` path, which partitions output columns across the pool).
-fn matmul_axpy(arow: &[f32], b: &[f32], stride: usize, col0: usize, orow: &mut [f32]) {
+///
+/// `bk` is the backend captured at the calling kernel's entry; on the
+/// AVX2 path every element is a chain of fused multiply-adds in ascending
+/// `k` with no zero-skip (see [`backend`]), equally partition-invariant.
+pub(crate) fn matmul_axpy(
+    bk: backend::Backend,
+    arow: &[f32],
+    b: &[f32],
+    stride: usize,
+    col0: usize,
+    orow: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if bk == backend::Backend::Avx2Fma {
+        // SAFETY: `Avx2Fma` only ever becomes active after runtime
+        // feature detection (see `backend::is_supported`).
+        unsafe { backend::matmul_axpy(arow, b, stride, col0, orow) };
+        return;
+    }
+    let _ = bk;
     let k = arow.len();
     let w = orow.len();
     let mut kk = 0;
@@ -236,6 +273,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols, b.rows, "matmul: inner dimension mismatch");
     let (r, k, c) = (a.rows, a.cols, b.cols);
     note_matmul(2 * (r * k * c) as u64);
+    let bk = backend::active();
     let mut out = Tensor::zeros(r, c);
     if r == 1 {
         par_row_chunks(
@@ -243,7 +281,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             1,
             c,
             (MIN_MATMUL_WORK / k.max(1)).max(1),
-            |cols, dst| matmul_axpy(&a.data, &b.data, c, cols.start, dst),
+            |cols, dst| matmul_axpy(bk, &a.data, &b.data, c, cols.start, dst),
         );
     } else {
         let min_rows = (MIN_MATMUL_WORK / (k * c).max(1)).max(1);
@@ -251,7 +289,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             for (ri, i) in rows.enumerate() {
                 let arow = &a.data[i * k..(i + 1) * k];
                 let orow = &mut dst[ri * c..(ri + 1) * c];
-                matmul_axpy(arow, &b.data, c, 0, orow);
+                matmul_axpy(bk, arow, &b.data, c, 0, orow);
             }
         });
     }
@@ -264,9 +302,16 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols, b.cols, "matmul_nt: inner dimension mismatch");
     let (r, k, c) = (a.rows, a.cols, b.rows);
     note_matmul(2 * (r * k * c) as u64);
+    let bk = backend::active();
     let mut out = Tensor::zeros(r, c);
-    let dot = |arow: &[f32], j: usize| -> f32 {
+    let dot = move |arow: &[f32], j: usize| -> f32 {
         let brow = &b.data[j * k..(j + 1) * k];
+        #[cfg(target_arch = "x86_64")]
+        if bk == backend::Backend::Avx2Fma {
+            // SAFETY: `Avx2Fma` is only active after runtime detection.
+            return unsafe { backend::dot(&arow[..k], brow) };
+        }
+        let _ = bk;
         let mut s = 0.0;
         for kk in 0..k {
             s += arow[kk] * brow[kk];
@@ -306,19 +351,32 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rows, b.rows, "matmul_tn: inner dimension mismatch");
     let (k, r, c) = (a.rows, a.cols, b.cols);
     note_matmul(2 * (k * r * c) as u64);
+    let bk = backend::active();
     let mut out = Tensor::zeros(r, c);
     if r == 1 {
         let ptr = SendPtr(out.data.as_mut_ptr());
         pool::for_each_chunk(c, (MIN_MATMUL_WORK / k.max(1)).max(1), move |cols| {
+            // SAFETY: column ranges are disjoint across chunks.
+            let dst =
+                unsafe { std::slice::from_raw_parts_mut(ptr.get().add(cols.start), cols.len()) };
+            #[cfg(target_arch = "x86_64")]
+            if bk == backend::Backend::Avx2Fma {
+                for kk in 0..k {
+                    let brow = &b.data[kk * c..(kk + 1) * c];
+                    // SAFETY: `Avx2Fma` is only active after detection.
+                    unsafe { backend::axpy(a.data[kk], &brow[cols.clone()], dst) };
+                }
+                return;
+            }
+            let _ = bk;
             for kk in 0..k {
                 let av = a.data[kk];
                 if av == 0.0 {
                     continue;
                 }
                 let brow = &b.data[kk * c..(kk + 1) * c];
-                for j in cols.clone() {
-                    // SAFETY: column ranges are disjoint across chunks.
-                    unsafe { *ptr.get().add(j) += av * brow[j] };
+                for (o, &bv) in dst.iter_mut().zip(&brow[cols.clone()]) {
+                    *o += av * bv;
                 }
             }
         });
@@ -331,10 +389,16 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
                 let brow = &b.data[kk * c..(kk + 1) * c];
                 for ri in 0..nrows {
                     let av = a.data[kk * r + rows_start + ri];
+                    let orow = &mut dst[ri * c..(ri + 1) * c];
+                    #[cfg(target_arch = "x86_64")]
+                    if bk == backend::Backend::Avx2Fma {
+                        // SAFETY: `Avx2Fma` is only active after detection.
+                        unsafe { backend::axpy(av, brow, orow) };
+                        continue;
+                    }
                     if av == 0.0 {
                         continue;
                     }
-                    let orow = &mut dst[ri * c..(ri + 1) * c];
                     for (o, &bv) in orow.iter_mut().zip(brow) {
                         *o += av * bv;
                     }
@@ -516,6 +580,29 @@ pub fn recip(a: &Tensor) -> Tensor {
 
 /// Numerically stable in-place softmax over one contiguous slice.
 pub fn softmax_in_place(row: &mut [f32]) {
+    softmax_in_place_bk(backend::active(), row);
+}
+
+/// [`softmax_in_place`] with the backend captured at the calling kernel's
+/// entry. The AVX2 path vectorises the max scan and the normalise pass
+/// but keeps the scalar `exp` + ascending sum, so both backends produce
+/// **bit-identical** softmax output (max is order-insensitive for
+/// non-NaN data, and element-wise multiply rounds identically).
+pub(crate) fn softmax_in_place_bk(bk: backend::Backend, row: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if bk == backend::Backend::Avx2Fma {
+        // SAFETY: `Avx2Fma` is only active after runtime detection.
+        let max = unsafe { backend::vmax(row) };
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        unsafe { backend::scale_in_place(row, inv) };
+        return;
+    }
+    let _ = bk;
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0;
     for x in row.iter_mut() {
@@ -526,6 +613,35 @@ pub fn softmax_in_place(row: &mut [f32]) {
     row.iter_mut().for_each(|x| *x *= inv);
 }
 
+/// Stable log-softmax epilogue over one contiguous slice: max scan,
+/// ascending `Σ exp(x − max)`, `ln + max`, subtract. Shared by
+/// [`log_softmax_rows`], [`masked_log_softmax_rows`], and the sparse /
+/// quantized segment heads; the AVX2 path vectorises only the max scan
+/// and the subtract pass (`x − lse ≡ x + (−lse)` exactly), so output is
+/// bit-identical across backends.
+pub(crate) fn log_softmax_slice(bk: backend::Backend, row: &mut [f32]) {
+    let max = row_max(bk, row);
+    let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+    #[cfg(target_arch = "x86_64")]
+    if bk == backend::Backend::Avx2Fma {
+        // SAFETY: `Avx2Fma` is only active after runtime detection.
+        unsafe { backend::add_in_place(row, -lse) };
+        return;
+    }
+    row.iter_mut().for_each(|x| *x -= lse);
+}
+
+/// Max over a slice, backend-dispatched (identical bits either way).
+fn row_max(bk: backend::Backend, row: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if bk == backend::Backend::Avx2Fma {
+        // SAFETY: `Avx2Fma` is only active after runtime detection.
+        return unsafe { backend::vmax(row) };
+    }
+    let _ = bk;
+    row.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+}
+
 /// Row-wise softmax; parallel over row ranges (each row is one
 /// self-contained reduction, so partitioning never reorders a sum).
 pub fn softmax_rows(a: &Tensor) -> Tensor {
@@ -534,10 +650,11 @@ pub fn softmax_rows(a: &Tensor) -> Tensor {
     if c == 0 {
         return t;
     }
+    let bk = backend::active();
     let min_rows = (MIN_ROW_WORK / c).max(1);
     par_row_chunks(&mut t.data, c, r, min_rows, |_, dst| {
         for row in dst.chunks_exact_mut(c) {
-            softmax_in_place(row);
+            softmax_in_place_bk(bk, row);
         }
     });
     t
@@ -550,12 +667,11 @@ pub fn log_softmax_rows(a: &Tensor) -> Tensor {
     if c == 0 {
         return t;
     }
+    let bk = backend::active();
     let min_rows = (MIN_ROW_WORK / c).max(1);
     par_row_chunks(&mut t.data, c, r, min_rows, |_, dst| {
         for row in dst.chunks_exact_mut(c) {
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-            row.iter_mut().for_each(|x| *x -= lse);
+            log_softmax_slice(bk, row);
         }
     });
     t
@@ -577,8 +693,8 @@ pub struct SparseLogMask<'a> {
 /// Fused constraint-mask add + row-wise stable log-softmax (the decoder's
 /// Eq. 16 epilogue): one kernel instead of the mask build, `add`, and
 /// `log_softmax_rows` sequence, with no intermediate tensors. Rows with a
-/// mask compute `log_softmax(x + mask)`; rows with `None` fuse the copy
-/// and max scan into a single traversal. The per-element arithmetic
+/// mask compute `log_softmax(x + mask)`; rows with `None` are a plain
+/// copy + log-softmax. The per-element arithmetic
 /// (`x + m`, max fold, `Σ exp(x − max)`, `ln + max`, subtract) is exactly
 /// the composed route's, so results are bit-identical to
 /// `log_softmax_rows(add(x, mask))` — parallel over row ranges.
@@ -589,20 +705,15 @@ pub fn masked_log_softmax_rows(a: &Tensor, masks: &[Option<SparseLogMask<'_>>]) 
     if c == 0 {
         return out;
     }
+    let bk = backend::active();
     let min_rows = (MIN_ROW_WORK / c).max(1);
     par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
         for (ri, i) in rows.enumerate() {
             let src = &a.data[i * c..(i + 1) * c];
             let row = &mut dst[ri * c..(ri + 1) * c];
-            let max = match masks[i] {
+            match masks[i] {
                 None => {
-                    // Copy + max scan in one traversal.
-                    let mut m = f32::NEG_INFINITY;
-                    for (o, &x) in row.iter_mut().zip(src) {
-                        *o = x;
-                        m = m.max(x);
-                    }
-                    m
+                    row.copy_from_slice(src);
                 }
                 Some(mask) => {
                     for (o, &x) in row.iter_mut().zip(src) {
@@ -611,26 +722,178 @@ pub fn masked_log_softmax_rows(a: &Tensor, masks: &[Option<SparseLogMask<'_>>]) 
                     for &(col, lw) in mask.entries {
                         row[col] = src[col] + lw;
                     }
-                    row.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
                 }
-            };
-            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-            row.iter_mut().for_each(|x| *x -= lse);
+            }
+            log_softmax_slice(bk, row);
+        }
+    });
+    out
+}
+
+/// Is entry `p` of `entries` overridden by a later entry naming the same
+/// column? (A dense mask built by overwrites keeps the *last* write.)
+#[inline]
+pub(crate) fn entry_is_overridden(entries: &[(usize, f32)], p: usize) -> bool {
+    let col = entries[p].0;
+    entries[p + 1..].iter().any(|&(q, _)| q == col)
+}
+
+/// Strided column dot `Σ_k arow[k] · b[k·stride + col]` with exactly the
+/// per-element chain of the dense matmul under `bk` (scalar: ascending
+/// `k`, zero entries of `arow` skipped; AVX2: ascending-`k` FMA, no
+/// skip), so each computed logit is bit-identical to the dense head's.
+#[inline]
+fn col_dot(bk: backend::Backend, arow: &[f32], b: &[f32], stride: usize, col: usize) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if bk == backend::Backend::Avx2Fma {
+        // SAFETY: `Avx2Fma` is only active after runtime detection.
+        return unsafe { backend::dot_col(arow, b, stride, col) };
+    }
+    let _ = bk;
+    let mut acc = 0.0f32;
+    for (kk, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        acc += av * b[kk * stride + col];
+    }
+    acc
+}
+
+/// The sparse-aware decoder segment head (Eq. 15–16 fused): for each row
+/// `i` of `a[R,K]`, compute `log_softmax(a_i · B + bias + mask_i)` —
+/// but for rows whose constraint mask names allowed columns, compute
+/// **only those columns** and normalise over them alone; every other
+/// column is an exact zero probability (`-∞` log-probability). This
+/// replaces the dense `[R,K]×[K,C]` matmul + `add_rowvec` +
+/// [`masked_log_softmax_rows`] sequence with work proportional to the
+/// mask support instead of `C = |V|`.
+///
+/// Per computed column the logit arithmetic is exactly the dense route's
+/// (`(dot + bias) + log-weight`, see [`col_dot`]), and duplicate mask
+/// entries resolve last-write-wins like a dense build by overwrites.
+/// What differs from the soft dense route *by design* is the normaliser:
+/// the dense route's log-sum-exp includes the `e^{x + default}` leakage
+/// of every masked-out column, while this kernel treats masked-out
+/// columns as true zeros — the sharper reading of the paper's constraint
+/// mask. Equivalently: the output is bit-identical to the dense route
+/// run with a *hard* mask (`-∞` on masked-out columns), which
+/// `kernel_parity.rs` proptest-pins for the scalar backend.
+/// The decoder's recovery outputs (argmax + rate head) are pinned equal
+/// to the dense route's in `serve_bench`/`check_bench` and the
+/// `batch_decode_parity` suite.
+///
+/// Rows with `None` masks or an empty entry list fall back to the full
+/// dense computation, bit-identical to the composed route. FLOP
+/// attribution ([`note_matmul`]) counts `2·K·(columns actually
+/// computed)`, not the dense `2·R·K·C`.
+pub fn masked_matmul_cols(
+    a: &Tensor,
+    b: &Tensor,
+    bias: &Tensor,
+    masks: &[Option<SparseLogMask<'_>>],
+) -> Tensor {
+    assert_eq!(a.cols, b.rows, "masked_matmul_cols: inner dimension");
+    let (r, k, c) = (a.rows, a.cols, b.cols);
+    assert_eq!(
+        (bias.rows, bias.cols),
+        (1, c),
+        "masked_matmul_cols: bias must be [1,C]"
+    );
+    assert_eq!(masks.len(), r, "masked_matmul_cols: one mask per row");
+    // Validate mask columns and count the columns actually computed, up
+    // front on the caller thread: exact FLOP attribution and no panics
+    // inside pool chunks.
+    let mut computed = 0u64;
+    for mask in masks {
+        match mask {
+            Some(m) if !m.entries.is_empty() => {
+                for (p, &(col, _)) in m.entries.iter().enumerate() {
+                    assert!(col < c, "masked_matmul_cols: column {col} out of {c}");
+                    if !entry_is_overridden(m.entries, p) {
+                        computed += 1;
+                    }
+                }
+            }
+            _ => computed += c as u64,
+        }
+    }
+    note_matmul(2 * k as u64 * computed);
+    let bk = backend::active();
+    let mut out = Tensor::zeros(r, c);
+    if c == 0 {
+        return out;
+    }
+    let min_rows = (MIN_MATMUL_WORK / (k * c).max(1)).max(1);
+    par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
+        let mut scratch: Vec<f32> = Vec::new();
+        let mut cols: Vec<(usize, f32)> = Vec::new();
+        for (ri, i) in rows.enumerate() {
+            let arow = &a.data[i * k..(i + 1) * k];
+            let row = &mut dst[ri * c..(ri + 1) * c];
+            match masks[i] {
+                Some(mask) if !mask.entries.is_empty() => {
+                    // Sparse path: effective entries (last write wins),
+                    // in ascending column order — the canonical order
+                    // makes the packed log-sum-exp below identical to a
+                    // dense route sweeping the full row with masked-out
+                    // columns at exact `-∞` (adding `e^{-∞} = 0` terms
+                    // never perturbs the sum).
+                    cols.clear();
+                    for (p, &(col, lw)) in mask.entries.iter().enumerate() {
+                        if !entry_is_overridden(mask.entries, p) {
+                            cols.push((col, lw));
+                        }
+                    }
+                    cols.sort_unstable_by_key(|&(col, _)| col);
+                    scratch.clear();
+                    for &(col, lw) in &cols {
+                        scratch.push(col_dot(bk, arow, &b.data, c, col) + bias.data[col] + lw);
+                    }
+                    log_softmax_slice(bk, &mut scratch);
+                    row.fill(f32::NEG_INFINITY);
+                    for (&(col, _), &x) in cols.iter().zip(&scratch) {
+                        row[col] = x;
+                    }
+                }
+                mask => {
+                    // Dense fallback: the exact composed-route chain
+                    // (matmul row, + bias, + default, log-softmax).
+                    matmul_axpy(bk, arow, &b.data, c, 0, row);
+                    match mask {
+                        Some(m) => {
+                            for (o, &bv) in row.iter_mut().zip(&bias.data) {
+                                *o = (*o + bv) + m.default;
+                            }
+                        }
+                        None => {
+                            for (o, &bv) in row.iter_mut().zip(&bias.data) {
+                                *o += bv;
+                            }
+                        }
+                    }
+                    log_softmax_slice(bk, row);
+                }
+            }
         }
     });
     out
 }
 
 /// Per-row layer-norm statistics: `(mean, 1/sqrt(var + eps))`, each
-/// `[R,1]`; parallel over row ranges. Follows the exact accumulation
-/// order of the composed tape/infer layer-norm route (ascending-index
-/// sums, `Σ·(1/d)`, `x + (-μ)` centering), so the fused statistics are
-/// bit-identical to the op-by-op computation.
+/// `[R,1]`; parallel over row ranges. On the scalar backend this follows
+/// the exact accumulation order of the composed tape/infer layer-norm
+/// route (ascending-index sums, `Σ·(1/d)`, `x + (-μ)` centering), so the
+/// fused statistics are bit-identical to the op-by-op computation; the
+/// AVX2 backend uses partial-lane sums and fused square-accumulate,
+/// deterministic at any thread count but within the backend ULP budget
+/// of scalar.
 pub fn row_norm_stats(a: &Tensor, eps: f32) -> (Tensor, Tensor) {
     let (r, c) = a.shape();
     assert!(c > 0, "row_norm_stats: empty rows");
     let mut mean = Tensor::zeros(r, 1);
     let mut inv_std = Tensor::zeros(r, 1);
+    let bk = backend::active();
     let pm = SendPtr(mean.data.as_mut_ptr());
     let ps = SendPtr(inv_std.data.as_mut_ptr());
     let min_rows = (MIN_ROW_WORK / c).max(1);
@@ -638,17 +901,11 @@ pub fn row_norm_stats(a: &Tensor, eps: f32) -> (Tensor, Tensor) {
     pool::for_each_chunk(r, min_rows, move |rows| {
         for i in rows {
             let row = &a.data[i * c..(i + 1) * c];
-            let mut sum = 0.0f32;
-            for &x in row {
-                sum += x;
-            }
-            let mu = sum * inv_d;
+            // Row sum: the AVX2 partial-lane sum rounds differently from
+            // the scalar ascending fold — part of the backend ULP budget.
+            let mu = row_sum(bk, row) * inv_d;
             let neg_mu = -mu;
-            let mut sq = 0.0f32;
-            for &x in row {
-                let d = x + neg_mu;
-                sq += d * d;
-            }
+            let sq = row_sumsq(bk, row, neg_mu);
             let var = sq * inv_d + eps;
             // SAFETY: row ranges are disjoint across chunks.
             unsafe {
@@ -660,12 +917,49 @@ pub fn row_norm_stats(a: &Tensor, eps: f32) -> (Tensor, Tensor) {
     (mean, inv_std)
 }
 
+/// Slice sum under `bk`: scalar = ascending fold (the historical
+/// accumulation, bit for bit); AVX2 = 8 partial lanes + tail.
+#[inline]
+fn row_sum(bk: backend::Backend, row: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if bk == backend::Backend::Avx2Fma {
+        // SAFETY: `Avx2Fma` is only active after runtime detection.
+        return unsafe { backend::vsum(row) };
+    }
+    let _ = bk;
+    let mut sum = 0.0f32;
+    for &x in row {
+        sum += x;
+    }
+    sum
+}
+
+/// Sum of squared deviations `Σ (x + (−μ))²` under `bk` (scalar:
+/// ascending, one rounding per step; AVX2: fused square-accumulate).
+#[inline]
+fn row_sumsq(bk: backend::Backend, row: &[f32], neg_mu: f32) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if bk == backend::Backend::Avx2Fma {
+        // SAFETY: `Avx2Fma` is only active after runtime detection.
+        return unsafe { backend::vsumsq(row, neg_mu) };
+    }
+    let _ = bk;
+    let mut sq = 0.0f32;
+    for &x in row {
+        let d = x + neg_mu;
+        sq += d * d;
+    }
+    sq
+}
+
 /// Fused layer normalisation `y = γ ⊙ (x − μ)/σ + β` over each row:
 /// [`row_norm_stats`] plus a single normalise-and-affine pass, replacing
 /// the nine-op composed route (two matmuls with a ones column, scales,
 /// centre, square, sqrt, recip, broadcasts). Per element the arithmetic is
 /// `((x + (−μ)) · inv_std) · γ + β` — the composed route's exact operation
-/// chain — so results are bit-identical to it; parallel over row ranges.
+/// chain — so on the scalar backend results are bit-identical to it
+/// (under AVX2 the statistics carry that backend's reduction rounding);
+/// parallel over row ranges.
 pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
     let (r, c) = x.shape();
     assert_eq!(
@@ -679,6 +973,7 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
         "layer_norm: beta must be [1,C]"
     );
     let (mean, inv_std) = row_norm_stats(x, eps);
+    let bk = backend::active();
     let mut out = Tensor::zeros(r, c);
     let min_rows = (MIN_MAP_ELEMS / c.max(1)).max(1);
     par_row_chunks(&mut out.data, c, r, min_rows, |rows, dst| {
@@ -687,6 +982,15 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
             let inv = inv_std.data[i];
             let src = &x.data[i * c..(i + 1) * c];
             let drow = &mut dst[ri * c..(ri + 1) * c];
+            #[cfg(target_arch = "x86_64")]
+            if bk == backend::Backend::Avx2Fma {
+                // SAFETY: `Avx2Fma` is only active after detection. The
+                // vector epilogue keeps the scalar operation chain (no
+                // fusing), so it matches the scalar loop bit for bit.
+                unsafe { backend::norm_affine(src, neg_mu, inv, &gamma.data, &beta.data, drow) };
+                continue;
+            }
+            let _ = bk;
             for ((d, &xv), (&g, &b)) in drow
                 .iter_mut()
                 .zip(src)
@@ -907,6 +1211,7 @@ pub fn softmax_segments(a: &Tensor, lens: &[usize]) -> Tensor {
         offsets.push(acc);
         acc += l;
     }
+    let bk = backend::active();
     let ptr = SendPtr(t.data.as_mut_ptr());
     let min_segs = min_segments_for(lens.len(), 4 * total);
     pool::for_each_chunk(lens.len(), min_segs, move |srange| {
@@ -915,7 +1220,7 @@ pub fn softmax_segments(a: &Tensor, lens: &[usize]) -> Tensor {
                 // SAFETY: chunks of distinct segments never overlap.
                 let row =
                     unsafe { std::slice::from_raw_parts_mut(ptr.get().add(offsets[s]), lens[s]) };
-                softmax_in_place(row);
+                softmax_in_place_bk(bk, row);
             }
         }
     });
@@ -938,6 +1243,7 @@ pub fn segmented_attn_context(alphas: &Tensor, feats: &Tensor, segs: &[Range<usi
         offsets[segs.len()],
         "segmented_attn_context: weight count must match segment rows"
     );
+    let bk = backend::active();
     let mut out = Tensor::zeros(segs.len(), c);
     let min_rows = (MIN_MATMUL_WORK * segs.len())
         .checked_div(alphas.len() * c)
@@ -947,10 +1253,16 @@ pub fn segmented_attn_context(alphas: &Tensor, feats: &Tensor, segs: &[Range<usi
             let orow = &mut dst[ri * c..(ri + 1) * c];
             for (ak, i) in (offsets[s]..).zip(segs[s].clone()) {
                 let av = alphas.data[ak];
+                let frow = &feats.data[i * c..(i + 1) * c];
+                #[cfg(target_arch = "x86_64")]
+                if bk == backend::Backend::Avx2Fma {
+                    // SAFETY: `Avx2Fma` is only active after detection.
+                    unsafe { backend::axpy(av, frow, orow) };
+                    continue;
+                }
                 if av == 0.0 {
                     continue;
                 }
-                let frow = &feats.data[i * c..(i + 1) * c];
                 for (o, &fv) in orow.iter_mut().zip(frow) {
                     *o += av * fv;
                 }
@@ -1240,6 +1552,7 @@ pub fn segmented_self_attention(
         );
         prev_end = seg.end;
     }
+    let bk = backend::active();
     let mut out = Tensor::zeros(n, c);
     let ptr = SendPtr(out.data.as_mut_ptr());
     let work: usize = segs.iter().map(|s| s.len() * s.len() * c).sum();
@@ -1257,22 +1570,36 @@ pub fn segmented_self_attention(
                 let qrow = &q.data[i * c..(i + 1) * c];
                 for (slot, j) in scores.iter_mut().zip(seg.clone()) {
                     let krow = &k.data[j * c..(j + 1) * c];
+                    #[cfg(target_arch = "x86_64")]
+                    if bk == backend::Backend::Avx2Fma {
+                        // SAFETY: `Avx2Fma` is only active after detection.
+                        *slot = unsafe { backend::dot(qrow, krow) } * scale;
+                        continue;
+                    }
                     let mut dot = 0.0f32;
                     for kk in 0..c {
                         dot += qrow[kk] * krow[kk];
                     }
                     *slot = dot * scale;
                 }
-                softmax_in_place(&mut scores);
-                // Context row (matmul): ascending keys, zero weights skipped.
+                softmax_in_place_bk(bk, &mut scores);
+                // Context row (matmul's accumulation under the same
+                // backend: ascending keys; the scalar path skips zero
+                // weights, the AVX2 path FMA-accumulates all of them).
                 // SAFETY: each output row belongs to exactly one segment and
                 // segments never overlap across chunks.
                 let orow = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(i * c), c) };
                 for (&alpha, j) in scores.iter().zip(seg.clone()) {
+                    let vrow = &v.data[j * c..(j + 1) * c];
+                    #[cfg(target_arch = "x86_64")]
+                    if bk == backend::Backend::Avx2Fma {
+                        // SAFETY: `Avx2Fma` is only active after detection.
+                        unsafe { backend::axpy(alpha, vrow, orow) };
+                        continue;
+                    }
                     if alpha == 0.0 {
                         continue;
                     }
-                    let vrow = &v.data[j * c..(j + 1) * c];
                     for (o, &fv) in orow.iter_mut().zip(vrow) {
                         *o += alpha * fv;
                     }
@@ -1334,6 +1661,7 @@ pub fn segmented_softmax(scores: &Tensor, csr: &GraphCsr) -> Tensor {
         "segmented_softmax: [E,1]"
     );
     let mut t = scores.clone();
+    let bk = backend::active();
     let ptr = SendPtr(t.data.as_mut_ptr());
     pool::for_each_chunk(csr.num_nodes(), min_nodes_for(csr, 4), move |nodes| {
         for i in nodes {
@@ -1342,7 +1670,7 @@ pub fn segmented_softmax(scores: &Tensor, csr: &GraphCsr) -> Tensor {
                 // SAFETY: segments of distinct nodes never overlap.
                 let row =
                     unsafe { std::slice::from_raw_parts_mut(ptr.get().add(seg.start), seg.len()) };
-                softmax_in_place(row);
+                softmax_in_place_bk(bk, row);
             }
         }
     });
@@ -1413,69 +1741,79 @@ mod tests {
 
     #[test]
     fn matmul_family_matches_reference_at_every_thread_count() {
-        // Big enough that the pool actually engages at > 1 thread.
-        let a = t(70, 40, 1);
-        let b = t(40, 60, 2);
-        let row = t(1, 40, 3);
-        let want = matmul_ref(&a, &b);
-        let want_row = matmul_ref(&row, &b);
-        let before = pool::num_threads();
-        for threads in [1, 2, 4] {
-            pool::set_num_threads(threads);
-            assert_eq!(matmul(&a, &b).data, want.data, "t={threads}");
-            assert_eq!(matmul(&row, &b).data, want_row.data, "row t={threads}");
-        }
-        pool::set_num_threads(before);
+        // The reference is the scalar accumulation order, so pin the
+        // scalar backend (thread-locally; other tests are unaffected).
+        backend::with_backend(backend::Backend::Scalar, || {
+            // Big enough that the pool actually engages at > 1 thread.
+            let a = t(70, 40, 1);
+            let b = t(40, 60, 2);
+            let row = t(1, 40, 3);
+            let want = matmul_ref(&a, &b);
+            let want_row = matmul_ref(&row, &b);
+            let before = pool::num_threads();
+            for threads in [1, 2, 4] {
+                pool::set_num_threads(threads);
+                assert_eq!(matmul(&a, &b).data, want.data, "t={threads}");
+                assert_eq!(matmul(&row, &b).data, want_row.data, "row t={threads}");
+            }
+            pool::set_num_threads(before);
+        });
     }
 
     #[test]
     fn matmul_tn_is_transposed_matmul() {
-        let a = t(30, 20, 4); // interpreted as [K=30, R=20]
-        let b = t(30, 25, 5);
-        let got = matmul_tn(&a, &b);
-        // Materialise the transpose and compare against the reference.
-        let mut at = Tensor::zeros(20, 30);
-        for i in 0..30 {
-            for j in 0..20 {
-                at.data[j * 30 + i] = a.data[i * 20 + j];
+        backend::with_backend(backend::Backend::Scalar, || {
+            let a = t(30, 20, 4); // interpreted as [K=30, R=20]
+            let b = t(30, 25, 5);
+            let got = matmul_tn(&a, &b);
+            // Materialise the transpose and compare against the reference.
+            let mut at = Tensor::zeros(20, 30);
+            for i in 0..30 {
+                for j in 0..20 {
+                    at.data[j * 30 + i] = a.data[i * 20 + j];
+                }
             }
-        }
-        assert_eq!(got.data, matmul_ref(&at, &b).data);
+            assert_eq!(got.data, matmul_ref(&at, &b).data);
+        });
     }
 
     #[test]
     fn matmul_nt_is_dot_of_rows() {
-        let a = t(6, 9, 6);
-        let b = t(7, 9, 7);
-        let got = matmul_nt(&a, &b);
-        for i in 0..6 {
-            for j in 0..7 {
-                let mut s = 0.0f32;
-                for kk in 0..9 {
-                    s += a.data[i * 9 + kk] * b.data[j * 9 + kk];
+        backend::with_backend(backend::Backend::Scalar, || {
+            let a = t(6, 9, 6);
+            let b = t(7, 9, 7);
+            let got = matmul_nt(&a, &b);
+            for i in 0..6 {
+                for j in 0..7 {
+                    let mut s = 0.0f32;
+                    for kk in 0..9 {
+                        s += a.data[i * 9 + kk] * b.data[j * 9 + kk];
+                    }
+                    assert_eq!(got.data[i * 7 + j], s);
                 }
-                assert_eq!(got.data[i * 7 + j], s);
             }
-        }
+        });
     }
 
     #[test]
     fn row_norm_stats_matches_composed_route() {
-        let x = t(5, 16, 8);
-        let eps = 1e-5;
-        let (mean, inv_std) = row_norm_stats(&x, eps);
-        // The composed route: Σ via matmul with a ones column, scale 1/d,
-        // centre via x + (-μ), square, Σ, scale, + eps, sqrt, recip.
-        let ones = Tensor::full(16, 1, 1.0);
-        let mu = scale(&matmul(&x, &ones), 1.0 / 16.0);
-        let centered = add_colvec(&x, &scale(&mu, -1.0));
-        let var = add_const(
-            &scale(&matmul(&mul(&centered, &centered), &ones), 1.0 / 16.0),
-            eps,
-        );
-        let inv = recip(&sqrt(&var));
-        assert_eq!(mean.data, mu.data, "means not bit-identical");
-        assert_eq!(inv_std.data, inv.data, "inv-std not bit-identical");
+        backend::with_backend(backend::Backend::Scalar, || {
+            let x = t(5, 16, 8);
+            let eps = 1e-5;
+            let (mean, inv_std) = row_norm_stats(&x, eps);
+            // The composed route: Σ via matmul with a ones column, scale 1/d,
+            // centre via x + (-μ), square, Σ, scale, + eps, sqrt, recip.
+            let ones = Tensor::full(16, 1, 1.0);
+            let mu = scale(&matmul(&x, &ones), 1.0 / 16.0);
+            let centered = add_colvec(&x, &scale(&mu, -1.0));
+            let var = add_const(
+                &scale(&matmul(&mul(&centered, &centered), &ones), 1.0 / 16.0),
+                eps,
+            );
+            let inv = recip(&sqrt(&var));
+            assert_eq!(mean.data, mu.data, "means not bit-identical");
+            assert_eq!(inv_std.data, inv.data, "inv-std not bit-identical");
+        });
     }
 
     #[test]
@@ -1561,28 +1899,30 @@ mod tests {
 
     #[test]
     fn layer_norm_matches_composed_route() {
-        let x = t(5, 16, 31);
-        let gamma = t(1, 16, 32);
-        let beta = t(1, 16, 33);
-        let eps = 1e-5;
-        // The composed route the tape/infer LayerNorm layer used to run.
-        let ones = Tensor::full(16, 1, 1.0);
-        let mu = scale(&matmul(&x, &ones), 1.0 / 16.0);
-        let centered = add_colvec(&x, &scale(&mu, -1.0));
-        let var = add_const(
-            &scale(&matmul(&mul(&centered, &centered), &ones), 1.0 / 16.0),
-            eps,
-        );
-        let inv = recip(&sqrt(&var));
-        let norm = mul_colvec(&centered, &inv);
-        let want = add_rowvec(&mul_rowvec(&norm, &gamma), &beta);
-        let before = pool::num_threads();
-        for threads in [1, 2, 4] {
-            pool::set_num_threads(threads);
-            let got = layer_norm(&x, &gamma, &beta, eps);
-            assert_eq!(got.data, want.data, "t={threads}: not bit-identical");
-        }
-        pool::set_num_threads(before);
+        backend::with_backend(backend::Backend::Scalar, || {
+            let x = t(5, 16, 31);
+            let gamma = t(1, 16, 32);
+            let beta = t(1, 16, 33);
+            let eps = 1e-5;
+            // The composed route the tape/infer LayerNorm layer used to run.
+            let ones = Tensor::full(16, 1, 1.0);
+            let mu = scale(&matmul(&x, &ones), 1.0 / 16.0);
+            let centered = add_colvec(&x, &scale(&mu, -1.0));
+            let var = add_const(
+                &scale(&matmul(&mul(&centered, &centered), &ones), 1.0 / 16.0),
+                eps,
+            );
+            let inv = recip(&sqrt(&var));
+            let norm = mul_colvec(&centered, &inv);
+            let want = add_rowvec(&mul_rowvec(&norm, &gamma), &beta);
+            let before = pool::num_threads();
+            for threads in [1, 2, 4] {
+                pool::set_num_threads(threads);
+                let got = layer_norm(&x, &gamma, &beta, eps);
+                assert_eq!(got.data, want.data, "t={threads}: not bit-identical");
+            }
+            pool::set_num_threads(before);
+        });
     }
 
     #[test]
@@ -1751,16 +2091,18 @@ mod tests {
 
     #[test]
     fn blocked_matmul_handles_zero_blocks_and_tails() {
-        // Zeros placed to hit the all-nonzero block, the mixed block, and
-        // the scalar tail of the register-blocked k-loop.
-        let mut a = t(3, 11, 36);
-        for kk in [1usize, 2, 3, 9] {
-            a.data[11 + kk] = 0.0; // second row: zeros inside block + tail
-        }
-        let b = t(11, 7, 37);
-        let row = Tensor::row(a.data[11..22].to_vec());
-        assert_eq!(matmul(&a, &b).data, matmul_ref(&a, &b).data);
-        assert_eq!(matmul(&row, &b).data, matmul_ref(&row, &b).data);
+        backend::with_backend(backend::Backend::Scalar, || {
+            // Zeros placed to hit the all-nonzero block, the mixed block,
+            // and the scalar tail of the register-blocked k-loop.
+            let mut a = t(3, 11, 36);
+            for kk in [1usize, 2, 3, 9] {
+                a.data[11 + kk] = 0.0; // second row: zeros inside block + tail
+            }
+            let b = t(11, 7, 37);
+            let row = Tensor::row(a.data[11..22].to_vec());
+            assert_eq!(matmul(&a, &b).data, matmul_ref(&a, &b).data);
+            assert_eq!(matmul(&row, &b).data, matmul_ref(&row, &b).data);
+        });
     }
 
     #[test]
@@ -1771,5 +2113,244 @@ mod tests {
         let ok = gather_rows(&table, &[3, 0]);
         assert_eq!(ok.row_slice(0), table.row_slice(3));
         assert_eq!(ok.row_slice(1), table.row_slice(0));
+    }
+
+    /// Build the sparse head's reference per masked row: gather the dense
+    /// logits at the effective (last-write-wins) entries in kept order,
+    /// log-softmax over that slice alone, scatter into a `-∞` row.
+    fn sparse_head_row_ref(dense_logits: &[f32], entries: &[(usize, f32)], c: usize) -> Vec<f32> {
+        let mut kept: Vec<(usize, f32)> = Vec::new();
+        for (p, &(col, lw)) in entries.iter().enumerate() {
+            if !entry_is_overridden(entries, p) {
+                kept.push((col, lw));
+            }
+        }
+        kept.sort_unstable_by_key(|&(col, _)| col);
+        let (kept_cols, vals): (Vec<usize>, Vec<f32>) = kept
+            .into_iter()
+            .map(|(col, lw)| (col, dense_logits[col] + lw))
+            .unzip();
+        let lsm = log_softmax_rows(&Tensor::row(vals));
+        let mut row = vec![f32::NEG_INFINITY; c];
+        for (col, &v) in kept_cols.into_iter().zip(&lsm.data) {
+            row[col] = v;
+        }
+        row
+    }
+
+    #[test]
+    fn masked_matmul_cols_matches_gathered_dense_route() {
+        backend::with_backend(backend::Backend::Scalar, || {
+            let a = t(4, 10, 70);
+            let b = t(10, 12, 71);
+            let bias = t(1, 12, 72);
+            // Row 0: no mask (dense fallback); row 1: sparse with a
+            // duplicate column (later wins); row 2: empty entries (dense
+            // fallback with default); row 3: single allowed column.
+            let e1 = [(3usize, -0.5f32), (7, 0.25), (3, 0.1), (11, -1.0)];
+            let e3 = [(0usize, 0.5f32)];
+            let masks = [
+                None,
+                Some(SparseLogMask {
+                    default: -30.0,
+                    entries: &e1,
+                }),
+                Some(SparseLogMask {
+                    default: -2.0,
+                    entries: &[],
+                }),
+                Some(SparseLogMask {
+                    default: -30.0,
+                    entries: &e3,
+                }),
+            ];
+            // Dense composed route for the fallback rows and raw logits.
+            let logits = add_rowvec(&matmul(&a, &b), &bias);
+            let dense = masked_log_softmax_rows(&logits, &masks);
+            let mut want = Tensor::zeros(4, 12);
+            want.data[0..12].copy_from_slice(&dense.data[0..12]);
+            want.data[12..24].copy_from_slice(&sparse_head_row_ref(&logits.data[12..24], &e1, 12));
+            want.data[24..36].copy_from_slice(&dense.data[24..36]);
+            want.data[36..48].copy_from_slice(&sparse_head_row_ref(&logits.data[36..48], &e3, 12));
+
+            // Exact FLOP attribution: 3 effective + 12 + 12 + 1 columns.
+            let scope = profile_scope("test.masked_matmul_cols");
+            let got = masked_matmul_cols(&a, &b, &bias, &masks);
+            let prof = scope.finish();
+            assert_eq!(prof.matmuls, 1);
+            assert_eq!(prof.flops, 2 * 10 * (3 + 12 + 12 + 1));
+            assert_eq!(got.data, want.data, "sparse head not bit-identical");
+
+            let before = pool::num_threads();
+            for threads in [1, 2, 4] {
+                pool::set_num_threads(threads);
+                assert_eq!(
+                    masked_matmul_cols(&a, &b, &bias, &masks).data,
+                    want.data,
+                    "t={threads}"
+                );
+            }
+            pool::set_num_threads(before);
+        });
+    }
+
+    /// Signed ULP distance (0 when bit-identical; ±0 count as equal).
+    fn ulps(x: f32, y: f32) -> u64 {
+        fn key(v: f32) -> i64 {
+            let b = v.to_bits() as i32;
+            if b < 0 {
+                i64::from(i32::MIN) - i64::from(b)
+            } else {
+                i64::from(b)
+            }
+        }
+        key(x).abs_diff(key(y))
+    }
+
+    /// Max ULP distance, ignoring elements that agree within `abs_tol`:
+    /// a near-zero dot product (catastrophic cancellation of O(1) terms)
+    /// makes raw ULP distance meaningless, so tiny absolute differences
+    /// get an escape hatch while O(1) values face the full ULP budget.
+    fn max_ulps_tol(a: &[f32], b: &[f32], abs_tol: f32) -> u64 {
+        a.iter()
+            .zip(b)
+            .filter(|(&x, &y)| (x - y).abs() > abs_tol)
+            .map(|(&x, &y)| ulps(x, y))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn max_ulps(a: &[f32], b: &[f32]) -> u64 {
+        max_ulps_tol(a, b, 0.0)
+    }
+
+    #[test]
+    fn avx2_backend_is_thread_deterministic_within_ulp_of_scalar() {
+        use backend::Backend;
+        if !backend::is_supported(Backend::Avx2Fma) {
+            eprintln!("skipping: CPU lacks AVX2+FMA");
+            return;
+        }
+        let a = t(70, 40, 80);
+        let b = t(40, 60, 81);
+        let row = t(1, 40, 82);
+        let bt = t(50, 40, 83);
+        let gamma = t(1, 60, 84);
+        let beta = t(1, 60, 85);
+        let scalar = backend::with_backend(Backend::Scalar, || {
+            (
+                matmul(&a, &b),
+                matmul(&row, &b),
+                matmul_nt(&a, &bt),
+                matmul_tn(&a, &t(70, 33, 86)),
+                row_norm_stats(&a, 1e-5),
+                layer_norm(&b, &gamma, &beta, 1e-5),
+            )
+        });
+        let before = pool::num_threads();
+        pool::set_num_threads(1);
+        let base = backend::with_backend(Backend::Avx2Fma, || {
+            (
+                matmul(&a, &b),
+                matmul(&row, &b),
+                matmul_nt(&a, &bt),
+                matmul_tn(&a, &t(70, 33, 86)),
+                row_norm_stats(&a, 1e-5),
+                layer_norm(&b, &gamma, &beta, 1e-5),
+            )
+        });
+        // Bit-identical under AVX2 at any thread count.
+        for threads in [2, 4] {
+            pool::set_num_threads(threads);
+            let again = backend::with_backend(Backend::Avx2Fma, || {
+                (
+                    matmul(&a, &b),
+                    matmul(&row, &b),
+                    matmul_nt(&a, &bt),
+                    matmul_tn(&a, &t(70, 33, 86)),
+                    row_norm_stats(&a, 1e-5),
+                    layer_norm(&b, &gamma, &beta, 1e-5),
+                )
+            });
+            assert_eq!(base.0.data, again.0.data, "matmul t={threads}");
+            assert_eq!(base.1.data, again.1.data, "matmul row t={threads}");
+            assert_eq!(base.2.data, again.2.data, "matmul_nt t={threads}");
+            assert_eq!(base.3.data, again.3.data, "matmul_tn t={threads}");
+            assert_eq!(base.4 .0.data, again.4 .0.data, "stats mu t={threads}");
+            assert_eq!(base.4 .1.data, again.4 .1.data, "stats inv t={threads}");
+            assert_eq!(base.5.data, again.5.data, "layer_norm t={threads}");
+        }
+        pool::set_num_threads(before);
+        // Within an explicit ULP budget of the scalar reference. Matmul
+        // outputs get an absolute escape hatch for cancellation-heavy
+        // dots (a k≈40 sum of O(1) terms landing near zero has no
+        // meaningful ULP distance); 1e-4 is ~10× the worst-case FMA
+        // re-rounding bound for these shapes.
+        const BUDGET: u64 = 256;
+        const CANCEL: f32 = 1e-4;
+        assert!(
+            max_ulps_tol(&scalar.0.data, &base.0.data, CANCEL) <= BUDGET,
+            "matmul ulp"
+        );
+        assert!(
+            max_ulps_tol(&scalar.1.data, &base.1.data, CANCEL) <= BUDGET,
+            "row ulp"
+        );
+        assert!(
+            max_ulps_tol(&scalar.2.data, &base.2.data, CANCEL) <= BUDGET,
+            "nt ulp"
+        );
+        assert!(
+            max_ulps_tol(&scalar.3.data, &base.3.data, CANCEL) <= BUDGET,
+            "tn ulp"
+        );
+        assert!(
+            max_ulps(&scalar.4 .1.data, &base.4 .1.data) <= BUDGET,
+            "inv_std ulp"
+        );
+        assert!(
+            max_ulps_tol(&scalar.5.data, &base.5.data, CANCEL) <= BUDGET,
+            "ln ulp"
+        );
+    }
+
+    #[test]
+    fn softmax_family_is_bit_identical_across_backends() {
+        use backend::Backend;
+        if !backend::is_supported(Backend::Avx2Fma) {
+            eprintln!("skipping: CPU lacks AVX2+FMA");
+            return;
+        }
+        let x = t(9, 33, 90);
+        let e = [(3usize, -0.5f32), (17, 0.25)];
+        let masks: Vec<Option<SparseLogMask<'_>>> = (0..9)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Some(SparseLogMask {
+                        default: -30.0,
+                        entries: &e,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let scalar = backend::with_backend(Backend::Scalar, || {
+            (
+                softmax_rows(&x),
+                log_softmax_rows(&x),
+                masked_log_softmax_rows(&x, &masks),
+            )
+        });
+        let avx2 = backend::with_backend(Backend::Avx2Fma, || {
+            (
+                softmax_rows(&x),
+                log_softmax_rows(&x),
+                masked_log_softmax_rows(&x, &masks),
+            )
+        });
+        assert_eq!(scalar.0.data, avx2.0.data, "softmax_rows");
+        assert_eq!(scalar.1.data, avx2.1.data, "log_softmax_rows");
+        assert_eq!(scalar.2.data, avx2.2.data, "masked_log_softmax_rows");
     }
 }

@@ -1,0 +1,576 @@
+//! Runtime-dispatched SIMD kernel backends.
+//!
+//! Every hot inner loop in [`crate::kernels`] has two implementations:
+//! the **scalar** reference (the exact code the crate has always run —
+//! ascending-index accumulation, zero-skip in the matmul family, one
+//! rounding per product) and an **AVX2+FMA** path written with
+//! `core::arch::x86_64` intrinsics. Which one runs is a process-wide
+//! setting resolved once from the `NN_BACKEND` environment variable
+//! (`scalar` | `avx2` | `auto`, default `auto`) gated by
+//! `is_x86_feature_detected!`; requesting `avx2` on hardware without it
+//! falls back to scalar with a visible warning.
+//!
+//! # Determinism contract (per backend)
+//!
+//! * **Scalar** is bit-identical to the pre-backend kernels at any thread
+//!   count — nothing about its arithmetic changed.
+//! * **Avx2Fma** is *also* bit-identical at any thread count and for any
+//!   batch composition: every matmul-family output element is computed as
+//!   a chain of fused multiply-adds in ascending `k` (vector lanes and
+//!   `f32::mul_add` tails round identically), independent of how the pool
+//!   partitions the output. What changes versus scalar is the *rounding*
+//!   — FMA fuses the multiply and add into one rounding step, and
+//!   whole-slice reductions (dots, norm sums) use 8 partial lanes — so
+//!   scalar vs AVX2 outputs differ within a small ULP budget, gated
+//!   explicitly in `check_bench`. The softmax / log-softmax family keeps
+//!   its scalar `exp` loop and ascending sums, so it is bit-identical
+//!   *across* backends.
+//!
+//! Kernels read the backend **once at entry on the caller thread** and
+//! capture it into their pool closures, so one kernel invocation never
+//! mixes backends across chunks. Tests pin a backend without races via
+//! the thread-local [`with_backend`].
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A kernel backend. `Scalar` is the reference; `Avx2Fma` requires
+/// runtime-detected AVX2 + FMA support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The portable reference path (bit-identical to the historical
+    /// kernels).
+    Scalar,
+    /// `core::arch::x86_64` AVX2 + FMA inner loops.
+    Avx2Fma,
+}
+
+impl Backend {
+    /// Stable lowercase name (used by `NN_BACKEND`, `/metrics`, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2Fma => "avx2",
+        }
+    }
+}
+
+/// Does the running CPU support the given backend?
+pub fn is_supported(b: Backend) -> bool {
+    match b {
+        Backend::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => false,
+    }
+}
+
+/// Global backend: 0 = uninitialised, 1 = scalar, 2 = avx2.
+static GLOBAL: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`with_backend`]; 0 = none.
+    static OVERRIDE: std::cell::Cell<u8> = const { std::cell::Cell::new(0) };
+}
+
+fn encode(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Avx2Fma => 2,
+    }
+}
+
+fn decode(v: u8) -> Option<Backend> {
+    match v {
+        1 => Some(Backend::Scalar),
+        2 => Some(Backend::Avx2Fma),
+        _ => None,
+    }
+}
+
+/// The `NN_BACKEND` environment override, when set to a recognised value
+/// (`scalar`, `avx2`, or `auto`; `auto`/unset means "detect"). Single
+/// source of truth for the variable's parsing.
+pub fn env_backend() -> Option<Backend> {
+    match std::env::var("NN_BACKEND")
+        .ok()?
+        .trim()
+        .to_lowercase()
+        .as_str()
+    {
+        "scalar" => Some(Backend::Scalar),
+        "avx2" | "avx2fma" => Some(Backend::Avx2Fma),
+        _ => None,
+    }
+}
+
+fn resolve_default() -> Backend {
+    match env_backend() {
+        Some(Backend::Avx2Fma) if !is_supported(Backend::Avx2Fma) => {
+            eprintln!(
+                "rntrajrec-nn: NN_BACKEND=avx2 requested but the CPU lacks \
+                 AVX2+FMA; falling back to the scalar backend"
+            );
+            Backend::Scalar
+        }
+        Some(b) => b,
+        None if is_supported(Backend::Avx2Fma) => Backend::Avx2Fma,
+        None => Backend::Scalar,
+    }
+}
+
+/// The backend kernels on this thread will use: the [`with_backend`]
+/// override when inside one, otherwise the process-wide setting
+/// (initialised from `NN_BACKEND` + feature detection on first use).
+pub fn active() -> Backend {
+    if let Some(b) = OVERRIDE.with(|o| decode(o.get())) {
+        return b;
+    }
+    if let Some(b) = decode(GLOBAL.load(Ordering::Relaxed)) {
+        return b;
+    }
+    let b = resolve_default();
+    // First initialiser wins; a racing `set_active` is preserved.
+    let _ = GLOBAL.compare_exchange(0, encode(b), Ordering::Relaxed, Ordering::Relaxed);
+    decode(GLOBAL.load(Ordering::Relaxed)).unwrap_or(Backend::Scalar)
+}
+
+/// Name of the active backend (for logs / `/metrics`).
+pub fn active_name() -> &'static str {
+    active().name()
+}
+
+/// Set the process-wide backend; an unsupported request degrades to
+/// [`Backend::Scalar`]. Returns the effective backend. Purely a
+/// performance/rounding knob — every backend is deterministic at any
+/// thread count.
+pub fn set_active(b: Backend) -> Backend {
+    let eff = if is_supported(b) { b } else { Backend::Scalar };
+    GLOBAL.store(encode(eff), Ordering::Relaxed);
+    eff
+}
+
+/// Run `f` with this thread's kernels pinned to `b` (degrading to scalar
+/// when unsupported), restoring the previous setting afterwards — even on
+/// panic. The override is thread-local, so concurrent tests pinning
+/// different backends never race; pool worker chunks inherit the caller's
+/// choice because kernels read the backend once at entry.
+pub fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let eff = if is_supported(b) { b } else { Backend::Scalar };
+    let _restore = OVERRIDE.with(|o| {
+        let prev = o.get();
+        o.set(encode(eff));
+        Restore(prev)
+    });
+    f()
+}
+
+// ----- AVX2 + FMA inner loops -------------------------------------------------
+//
+// Safety note shared by every function below: callers must guarantee AVX2
+// and FMA are available (enforced by dispatching on `active()`, which only
+// yields `Avx2Fma` after `is_x86_feature_detected!`). All loads/stores are
+// unaligned (`loadu`/`storeu`), so slice alignment is irrelevant.
+//
+// Determinism note: per output element the arithmetic chain depends only
+// on the slice lengths, never on where a pool chunk starts — vector-lane
+// FMA and the `f32::mul_add` tails round identically, so an element
+// landing in a vector body in one partitioning and in a tail in another
+// still produces the same bits.
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// Horizontal sum of the 8 lanes, fixed reduction tree:
+    /// `(lo + hi)` 4-lane, then pairwise.
+    #[inline]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s4 = _mm_add_ps(lo, hi);
+        let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+        let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0b01));
+        _mm_cvtss_f32(s1)
+    }
+
+    /// Horizontal max of the 8 lanes.
+    #[inline]
+    unsafe fn hmax(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let m4 = _mm_max_ps(lo, hi);
+        let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+        let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 0b01));
+        _mm_cvtss_f32(m1)
+    }
+
+    /// `acc[j] = fma(a, x[j], acc[j])` — one fused rounding per element.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(a: f32, x: &[f32], acc: &mut [f32]) {
+        debug_assert_eq!(x.len(), acc.len());
+        let n = acc.len();
+        let av = _mm256_set1_ps(a);
+        let mut j = 0;
+        while j + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(j));
+            let ov = _mm256_loadu_ps(acc.as_ptr().add(j));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(j), _mm256_fmadd_ps(av, xv, ov));
+            j += 8;
+        }
+        while j < n {
+            *acc.get_unchecked_mut(j) = a.mul_add(*x.get_unchecked(j), *acc.get_unchecked(j));
+            j += 1;
+        }
+    }
+
+    /// The AVX2 twin of the scalar `matmul_axpy` inner kernel:
+    /// `orow[j] = Σ_k fma(arow[k], b[k, col0 + j], ·)` in ascending `k`,
+    /// 4-blocked over `k` for cache reuse of `orow`. No zero-skip — with
+    /// FMA a zero weight contributes exactly nothing, and skipping would
+    /// make the chain data-dependent for no gain.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_axpy(
+        arow: &[f32],
+        b: &[f32],
+        stride: usize,
+        col0: usize,
+        orow: &mut [f32],
+    ) {
+        let k = arow.len();
+        let w = orow.len();
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let a0 = _mm256_set1_ps(arow[kk]);
+            let a1 = _mm256_set1_ps(arow[kk + 1]);
+            let a2 = _mm256_set1_ps(arow[kk + 2]);
+            let a3 = _mm256_set1_ps(arow[kk + 3]);
+            let base = kk * stride + col0;
+            let b0 = b.as_ptr().add(base);
+            let b1 = b.as_ptr().add(base + stride);
+            let b2 = b.as_ptr().add(base + 2 * stride);
+            let b3 = b.as_ptr().add(base + 3 * stride);
+            let mut j = 0;
+            while j + 8 <= w {
+                let mut o = _mm256_loadu_ps(orow.as_ptr().add(j));
+                o = _mm256_fmadd_ps(a0, _mm256_loadu_ps(b0.add(j)), o);
+                o = _mm256_fmadd_ps(a1, _mm256_loadu_ps(b1.add(j)), o);
+                o = _mm256_fmadd_ps(a2, _mm256_loadu_ps(b2.add(j)), o);
+                o = _mm256_fmadd_ps(a3, _mm256_loadu_ps(b3.add(j)), o);
+                _mm256_storeu_ps(orow.as_mut_ptr().add(j), o);
+                j += 8;
+            }
+            while j < w {
+                let mut o = *orow.get_unchecked(j);
+                o = arow[kk].mul_add(*b.get_unchecked(base + j), o);
+                o = arow[kk + 1].mul_add(*b.get_unchecked(base + stride + j), o);
+                o = arow[kk + 2].mul_add(*b.get_unchecked(base + 2 * stride + j), o);
+                o = arow[kk + 3].mul_add(*b.get_unchecked(base + 3 * stride + j), o);
+                *orow.get_unchecked_mut(j) = o;
+                j += 1;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let base = kk * stride + col0;
+            axpy(arow[kk], &b[base..base + w], orow);
+            kk += 1;
+        }
+    }
+
+    /// Dot product: 8 partial FMA lanes over the body, a fixed horizontal
+    /// reduction, then `mul_add` over the tail — the chain depends only on
+    /// the slice length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            acc = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+                acc,
+            );
+            i += 8;
+        }
+        let mut s = hsum(acc);
+        while i < n {
+            s = a.get_unchecked(i).mul_add(*b.get_unchecked(i), s);
+            i += 1;
+        }
+        s
+    }
+
+    /// Strided column dot `Σ_k arow[k] · b[k·stride + col]` with the same
+    /// per-element FMA chain as the dense AVX2 matmul (ascending `k`, no
+    /// zero-skip), so a sparse-head logit equals the dense-head logit bit
+    /// for bit under this backend.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_col(arow: &[f32], b: &[f32], stride: usize, col: usize) -> f32 {
+        let mut acc = 0.0f32;
+        let mut idx = col;
+        for &av in arow {
+            acc = av.mul_add(*b.get_unchecked(idx), acc);
+            idx += stride;
+        }
+        acc
+    }
+
+    /// Max over a slice. Max is order-insensitive for non-NaN inputs, so
+    /// this equals the scalar fold bit-for-bit on real data.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn vmax(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mut m = f32::NEG_INFINITY;
+        let mut i = 0;
+        if n >= 8 {
+            let mut mv = _mm256_loadu_ps(x.as_ptr());
+            i = 8;
+            while i + 8 <= n {
+                mv = _mm256_max_ps(mv, _mm256_loadu_ps(x.as_ptr().add(i)));
+                i += 8;
+            }
+            m = hmax(mv);
+        }
+        while i < n {
+            m = m.max(*x.get_unchecked(i));
+            i += 1;
+        }
+        m
+    }
+
+    /// Sum over a slice: 8 partial lanes + horizontal + scalar tail.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn vsum(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(x.as_ptr().add(i)));
+            i += 8;
+        }
+        let mut s = hsum(acc);
+        while i < n {
+            s += *x.get_unchecked(i);
+            i += 1;
+        }
+        s
+    }
+
+    /// Sum of squared deviations `Σ (x[i] + neg_mu)²` with fused
+    /// square-accumulate lanes.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn vsumsq(x: &[f32], neg_mu: f32) -> f32 {
+        let n = x.len();
+        let nm = _mm256_set1_ps(neg_mu);
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_add_ps(_mm256_loadu_ps(x.as_ptr().add(i)), nm);
+            acc = _mm256_fmadd_ps(d, d, acc);
+            i += 8;
+        }
+        let mut s = hsum(acc);
+        while i < n {
+            let d = *x.get_unchecked(i) + neg_mu;
+            s = d.mul_add(d, s);
+            i += 1;
+        }
+        s
+    }
+
+    /// `x[i] *= c` in place (element-wise multiply rounds identically to
+    /// the scalar loop).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn scale_in_place(x: &mut [f32], c: f32) {
+        let n = x.len();
+        let cv = _mm256_set1_ps(c);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr().add(i)), cv);
+            _mm256_storeu_ps(x.as_mut_ptr().add(i), v);
+            i += 8;
+        }
+        while i < n {
+            *x.get_unchecked_mut(i) *= c;
+            i += 1;
+        }
+    }
+
+    /// `x[i] += c` in place.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn add_in_place(x: &mut [f32], c: f32) {
+        let n = x.len();
+        let cv = _mm256_set1_ps(c);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_add_ps(_mm256_loadu_ps(x.as_ptr().add(i)), cv);
+            _mm256_storeu_ps(x.as_mut_ptr().add(i), v);
+            i += 8;
+        }
+        while i < n {
+            *x.get_unchecked_mut(i) += c;
+            i += 1;
+        }
+    }
+
+    /// The layer-norm affine epilogue
+    /// `dst[j] = ((src[j] + neg_mu) * inv) * gamma[j] + beta[j]`, with the
+    /// exact (non-fused) operation chain of the scalar loop so results are
+    /// bit-identical to it.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn norm_affine(
+        src: &[f32],
+        neg_mu: f32,
+        inv: f32,
+        gamma: &[f32],
+        beta: &[f32],
+        dst: &mut [f32],
+    ) {
+        let n = dst.len();
+        let nm = _mm256_set1_ps(neg_mu);
+        let iv = _mm256_set1_ps(inv);
+        let mut j = 0;
+        while j + 8 <= n {
+            let x = _mm256_add_ps(_mm256_loadu_ps(src.as_ptr().add(j)), nm);
+            let norm = _mm256_mul_ps(x, iv);
+            let g = _mm256_mul_ps(norm, _mm256_loadu_ps(gamma.as_ptr().add(j)));
+            let y = _mm256_add_ps(g, _mm256_loadu_ps(beta.as_ptr().add(j)));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), y);
+            j += 8;
+        }
+        while j < n {
+            *dst.get_unchecked_mut(j) = ((src.get_unchecked(j) + neg_mu) * inv)
+                * gamma.get_unchecked(j)
+                + beta.get_unchecked(j);
+            j += 1;
+        }
+    }
+
+    /// Exact int8 dot with i32 accumulation: sign-extend 16 lanes at a
+    /// time to i16 and `madd` into 8 i32 accumulators. Integer arithmetic
+    /// is exact, so this equals the scalar i32 loop bit-for-bit.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= n {
+            let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i));
+            let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+            i += 16;
+        }
+        let lo = _mm256_castsi256_si128(acc);
+        let hi = _mm256_extracti128_si256(acc, 1);
+        let s4 = _mm_add_epi32(lo, hi);
+        let s2 = _mm_add_epi32(s4, _mm_shuffle_epi32(s4, 0b0100_1110));
+        let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0b1011_0001));
+        let mut s = _mm_cvtsi128_si32(s1);
+        while i < n {
+            s += (*a.get_unchecked(i) as i32) * (*b.get_unchecked(i) as i32);
+            i += 1;
+        }
+        s
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use avx2::{
+    add_in_place, axpy, dot, dot_col, dot_i8, matmul_axpy, norm_affine, scale_in_place, vmax, vsum,
+    vsumsq,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_names_round_trip() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+        assert_eq!(Backend::Avx2Fma.name(), "avx2");
+        assert!(is_supported(Backend::Scalar));
+    }
+
+    #[test]
+    fn with_backend_restores_on_exit_and_panic() {
+        let base = active();
+        with_backend(Backend::Scalar, || {
+            assert_eq!(active(), Backend::Scalar);
+        });
+        assert_eq!(active(), base);
+        let r = std::panic::catch_unwind(|| {
+            with_backend(Backend::Scalar, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert_eq!(active(), base);
+    }
+
+    #[test]
+    fn unsupported_request_degrades_to_scalar() {
+        // On machines without AVX2 the pin degrades; on machines with it
+        // the pin holds. Either way the call must not panic and must
+        // yield a supported backend.
+        with_backend(Backend::Avx2Fma, || {
+            assert!(is_supported(active()));
+        });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_primitives_match_scalar_semantics() {
+        if !is_supported(Backend::Avx2Fma) {
+            eprintln!("skipping: CPU lacks AVX2+FMA");
+            return;
+        }
+        let x: Vec<f32> = (0..37).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..37).map(|i| (i as f32 * 0.11).cos()).collect();
+        // Exact-by-design primitives.
+        unsafe {
+            let m = vmax(&x);
+            assert_eq!(m, x.iter().cloned().fold(f32::NEG_INFINITY, f32::max));
+            let mut sx = x.clone();
+            scale_in_place(&mut sx, 1.7);
+            let want: Vec<f32> = x.iter().map(|&v| v * 1.7).collect();
+            assert_eq!(sx, want);
+            let mut ax = x.clone();
+            add_in_place(&mut ax, -0.3);
+            let want: Vec<f32> = x.iter().map(|&v| v + -0.3).collect();
+            assert_eq!(ax, want);
+            // Reductions: within a loose tolerance of the scalar order.
+            let d = dot(&x, &y);
+            let want: f32 = x.iter().zip(&y).map(|(&a, &b)| a * b).sum();
+            assert!(
+                (d - want).abs() <= 1e-4 * want.abs().max(1.0),
+                "{d} vs {want}"
+            );
+            let s = vsum(&x);
+            let want: f32 = x.iter().sum();
+            assert!((s - want).abs() <= 1e-4 * want.abs().max(1.0));
+            let q = vsumsq(&x, -0.5);
+            let want: f32 = x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum();
+            assert!((q - want).abs() <= 1e-4 * want.abs().max(1.0));
+        }
+        // Integer dot is exact.
+        let a: Vec<i8> = (0..53).map(|i| ((i * 7) % 255 - 127) as i8).collect();
+        let b: Vec<i8> = (0..53).map(|i| ((i * 13) % 255 - 127) as i8).collect();
+        let want: i32 = a.iter().zip(&b).map(|(&p, &q)| p as i32 * q as i32).sum();
+        unsafe {
+            assert_eq!(dot_i8(&a, &b), want);
+        }
+    }
+}

@@ -35,6 +35,10 @@
 //! * [`infer`] — tape-free forward-only twins of every op above: the same
 //!   [`kernels`] bodies applied directly to [`Tensor`]s with no graph
 //!   bookkeeping, for the online-serving hot path (`rntrajrec-serve`).
+//! * [`kernels::backend`] — runtime-dispatched SIMD backend selection
+//!   (`NN_BACKEND` env: scalar reference vs AVX2+FMA inner loops).
+//! * [`quant`] — int8 per-channel weight quantization for the decoder
+//!   segment head ([`quant::QuantizedLinear`]).
 
 mod csr;
 pub mod infer;
@@ -42,6 +46,7 @@ pub mod kernels;
 mod optim;
 mod param;
 pub mod pool;
+pub mod quant;
 mod tape;
 mod tensor;
 

@@ -6,22 +6,46 @@
 //! per operation and the pool partitions only ever split disjoint output
 //! ranges without reordering any accumulation.
 //!
+//! Since the SIMD backend split the sweep is two-dimensional: every case
+//! runs under each available backend (`Scalar` always; `Avx2Fma` when the
+//! host supports it) × `NN_THREADS ∈ {1, 2, 4}`. Within one backend
+//! results are pinned bit-identical across thread counts and across the
+//! tape/infer/kernels routes; the composed layer-norm-statistics route is
+//! additionally pinned bit-identical to the fused kernel **on the scalar
+//! backend** (the historical contract — under AVX2 the fused statistics
+//! use partial-lane sums and are covered by the `check_bench` ULP gate
+//! instead). The sparse segment head (`masked_matmul_cols`) is pinned
+//! bit-identical to the dense matmul → hard-mask → log-softmax route.
+//!
 //! Each case draws random shapes (large enough that the pool actually
 //! engages), random contents, and — for the CSR graph ops — random ragged
-//! adjacency including isolated nodes, then pins
-//! `tape ≡ infer ≡ kernels@{1,2,4} threads` exactly.
+//! adjacency including isolated nodes.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
+use rntrajrec_nn::kernels::backend::{self, Backend};
 use rntrajrec_nn::{infer, kernels, pool, GraphCsr, ParamStore, Tape, Tensor};
 
 /// A labelled parity case: (name, tape reference, tape-free recompute).
 type ParityCase<'a> = (&'a str, &'a Tensor, Box<dyn Fn() -> Tensor + 'a>);
 
 const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Every backend the host can execute: scalar always, AVX2+FMA when
+/// supported (with a visible notice when it is not, so a CI log shows
+/// the sweep was narrowed rather than silently passing).
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    if backend::is_supported(Backend::Avx2Fma) {
+        v.push(Backend::Avx2Fma);
+    } else {
+        eprintln!("NOTICE: host lacks AVX2+FMA; backend sweep covers scalar only");
+    }
+    v
+}
 
 fn tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
     // Mix in exact zeros so the matmul zero-skip path is exercised.
@@ -71,7 +95,9 @@ fn assert_thread_invariant(label: &str, reference: &Tensor, f: impl Fn() -> Tens
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Matmul family: tape forward ≡ infer ≡ kernels at 1/2/4 threads.
+    /// Matmul family: tape forward ≡ infer ≡ kernels at 1/2/4 threads,
+    /// under every available backend (scalar and AVX2 each deterministic
+    /// within themselves).
     #[test]
     fn matmul_family_parity(r in 1usize..96, k in 1usize..64, c in 1usize..96, seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -80,22 +106,27 @@ proptest! {
         let bt = tensor(&mut rng, c, k);
         let at = tensor(&mut rng, k, r);
 
-        pool::set_num_threads(1);
-        let mut tape = Tape::new();
-        let na = tape.leaf(a.clone());
-        let nb = tape.leaf(b.clone());
-        let nbt = tape.leaf(bt.clone());
-        let mm_node = tape.matmul(na, nb);
-        let nt_node = tape.matmul_nt(na, nbt);
-        let mm = tape.value(mm_node).clone();
-        let nt = tape.value(nt_node).clone();
-        let tn = kernels::matmul_tn(&at, &b);
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                let name = bk.name();
+                pool::set_num_threads(1);
+                let mut tape = Tape::new();
+                let na = tape.leaf(a.clone());
+                let nb = tape.leaf(b.clone());
+                let nbt = tape.leaf(bt.clone());
+                let mm_node = tape.matmul(na, nb);
+                let nt_node = tape.matmul_nt(na, nbt);
+                let mm = tape.value(mm_node).clone();
+                let nt = tape.value(nt_node).clone();
+                let tn = kernels::matmul_tn(&at, &b);
 
-        prop_assert_eq!(&infer::matmul(&a, &b).data, &mm.data);
-        prop_assert_eq!(&infer::matmul_nt(&a, &bt).data, &nt.data);
-        assert_thread_invariant("matmul", &mm, || kernels::matmul(&a, &b));
-        assert_thread_invariant("matmul_nt", &nt, || kernels::matmul_nt(&a, &bt));
-        assert_thread_invariant("matmul_tn", &tn, || kernels::matmul_tn(&at, &b));
+                assert_eq!(infer::matmul(&a, &b).data, mm.data, "{name}: matmul infer≡tape");
+                assert_eq!(infer::matmul_nt(&a, &bt).data, nt.data, "{name}: nt infer≡tape");
+                assert_thread_invariant("matmul", &mm, || kernels::matmul(&a, &b));
+                assert_thread_invariant("matmul_nt", &nt, || kernels::matmul_nt(&a, &bt));
+                assert_thread_invariant("matmul_tn", &tn, || kernels::matmul_tn(&at, &b));
+            });
+        }
     }
 
     /// Element-wise maps, broadcasts, softmax, gathers and layer-norm
@@ -107,85 +138,118 @@ proptest! {
         let b = tensor(&mut rng, r, c);
         let v = tensor(&mut rng, 1, c);
         let cv = tensor(&mut rng, r, 1);
-        let idx: Vec<usize> = (0..2 * r).map(|i| (i * 7) % r).collect();
-
-        pool::set_num_threads(1);
-        let mut tape = Tape::new();
-        let na = tape.leaf(a.clone());
-        let nb = tape.leaf(b.clone());
-        let nv = tape.leaf(v.clone());
-        let ncv = tape.leaf(cv.clone());
-        let n_add = tape.add(na, nb);
-        let n_mul = tape.mul(na, nb);
-        let n_sig = tape.sigmoid(na);
-        let n_tanh = tape.tanh(na);
-        let n_lrelu = tape.leaky_relu(na, 0.2);
-        let n_arow = tape.add_rowvec(na, nv);
-        let n_mcol = tape.mul_colvec(na, ncv);
-        let n_smax = tape.softmax_rows(na);
-        let n_lsmax = tape.log_softmax_rows(na);
-        let n_gather = tape.gather_rows(na, &idx);
-
-        let cases: Vec<ParityCase> = vec![
-            ("add", tape.value(n_add), Box::new(|| infer::add(&a, &b))),
-            ("mul", tape.value(n_mul), Box::new(|| infer::mul(&a, &b))),
-            ("sigmoid", tape.value(n_sig), Box::new(|| infer::sigmoid(&a))),
-            ("tanh", tape.value(n_tanh), Box::new(|| infer::tanh(&a))),
-            ("leaky_relu", tape.value(n_lrelu), Box::new(|| infer::leaky_relu(&a, 0.2))),
-            ("add_rowvec", tape.value(n_arow), Box::new(|| infer::add_rowvec(&a, &v))),
-            ("mul_colvec", tape.value(n_mcol), Box::new(|| infer::mul_colvec(&a, &cv))),
-            ("softmax_rows", tape.value(n_smax), Box::new(|| infer::softmax_rows(&a))),
-            ("log_softmax_rows", tape.value(n_lsmax), Box::new(|| infer::log_softmax_rows(&a))),
-            ("gather_rows", tape.value(n_gather), Box::new(|| infer::gather_rows(&a, &idx))),
-        ];
-        for (label, reference, f) in &cases {
-            assert_thread_invariant(label, reference, f);
-        }
-
-        // Layer-norm statistics: the fused kernel must match the composed
-        // op-by-op route bit-for-bit, at every thread count.
-        pool::set_num_threads(1);
-        let ones = Tensor::full(c, 1, 1.0);
-        let mu = infer::scale(&infer::matmul(&a, &ones), 1.0 / c as f32);
-        let centered = infer::add_colvec(&a, &infer::scale(&mu, -1.0));
-        let var = infer::add_const(
-            &infer::scale(&infer::matmul(&infer::mul(&centered, &centered), &ones), 1.0 / c as f32),
-            1e-5,
-        );
-        let inv = infer::recip(&infer::sqrt(&var));
-        for threads in THREAD_SWEEP {
-            pool::set_num_threads(threads);
-            let (m, s) = kernels::row_norm_stats(&a, 1e-5);
-            prop_assert!(m.data == mu.data, "mean not bit-identical @ t={}", threads);
-            prop_assert!(s.data == inv.data, "inv_std not bit-identical @ t={}", threads);
-        }
-        pool::set_num_threads(1);
-
-        // Fused layer norm ≡ the composed primitive route, and the tape's
-        // fused op matches both, at every thread count.
-        pool::set_num_threads(1);
         let gamma = tensor(&mut rng, 1, c);
         let beta = tensor(&mut rng, 1, c);
-        let norm_ref = infer::add_rowvec(
-            &infer::mul_rowvec(&infer::mul_colvec(&centered, &inv), &gamma),
-            &beta,
-        );
-        let mut ln_tape = Tape::new();
-        let (lx, lg, lb) = (
-            ln_tape.leaf(a.clone()),
-            ln_tape.leaf(gamma.clone()),
-            ln_tape.leaf(beta.clone()),
-        );
-        let ln_node = ln_tape.layer_norm(lx, lg, lb, 1e-5);
-        prop_assert_eq!(&ln_tape.value(ln_node).data, &norm_ref.data);
-        assert_thread_invariant("layer_norm", &norm_ref, || {
-            kernels::layer_norm(&a, &gamma, &beta, 1e-5)
-        });
+        let idx: Vec<usize> = (0..2 * r).map(|i| (i * 7) % r).collect();
+
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                let mut tape = Tape::new();
+                let na = tape.leaf(a.clone());
+                let nb = tape.leaf(b.clone());
+                let nv = tape.leaf(v.clone());
+                let ncv = tape.leaf(cv.clone());
+                let n_add = tape.add(na, nb);
+                let n_mul = tape.mul(na, nb);
+                let n_sig = tape.sigmoid(na);
+                let n_tanh = tape.tanh(na);
+                let n_lrelu = tape.leaky_relu(na, 0.2);
+                let n_arow = tape.add_rowvec(na, nv);
+                let n_mcol = tape.mul_colvec(na, ncv);
+                let n_smax = tape.softmax_rows(na);
+                let n_lsmax = tape.log_softmax_rows(na);
+                let n_gather = tape.gather_rows(na, &idx);
+
+                let cases: Vec<ParityCase> = vec![
+                    ("add", tape.value(n_add), Box::new(|| infer::add(&a, &b))),
+                    ("mul", tape.value(n_mul), Box::new(|| infer::mul(&a, &b))),
+                    ("sigmoid", tape.value(n_sig), Box::new(|| infer::sigmoid(&a))),
+                    ("tanh", tape.value(n_tanh), Box::new(|| infer::tanh(&a))),
+                    ("leaky_relu", tape.value(n_lrelu), Box::new(|| infer::leaky_relu(&a, 0.2))),
+                    ("add_rowvec", tape.value(n_arow), Box::new(|| infer::add_rowvec(&a, &v))),
+                    ("mul_colvec", tape.value(n_mcol), Box::new(|| infer::mul_colvec(&a, &cv))),
+                    ("softmax_rows", tape.value(n_smax), Box::new(|| infer::softmax_rows(&a))),
+                    ("log_softmax_rows", tape.value(n_lsmax), Box::new(|| infer::log_softmax_rows(&a))),
+                    ("gather_rows", tape.value(n_gather), Box::new(|| infer::gather_rows(&a, &idx))),
+                ];
+                for (label, reference, f) in &cases {
+                    assert_thread_invariant(label, reference, f);
+                }
+
+                match bk {
+                    Backend::Scalar => {
+                        // Layer-norm statistics: on the scalar backend the
+                        // fused kernel must match the composed op-by-op
+                        // route bit-for-bit, at every thread count.
+                        pool::set_num_threads(1);
+                        let ones = Tensor::full(c, 1, 1.0);
+                        let mu = infer::scale(&infer::matmul(&a, &ones), 1.0 / c as f32);
+                        let centered = infer::add_colvec(&a, &infer::scale(&mu, -1.0));
+                        let var = infer::add_const(
+                            &infer::scale(
+                                &infer::matmul(&infer::mul(&centered, &centered), &ones),
+                                1.0 / c as f32,
+                            ),
+                            1e-5,
+                        );
+                        let inv = infer::recip(&infer::sqrt(&var));
+                        for threads in THREAD_SWEEP {
+                            pool::set_num_threads(threads);
+                            let (m, s) = kernels::row_norm_stats(&a, 1e-5);
+                            assert_eq!(m.data, mu.data, "mean not bit-identical @ t={threads}");
+                            assert_eq!(s.data, inv.data, "inv_std not bit-identical @ t={threads}");
+                        }
+                        pool::set_num_threads(1);
+
+                        // Fused layer norm ≡ the composed primitive route,
+                        // and the tape's fused op matches both.
+                        let norm_ref = infer::add_rowvec(
+                            &infer::mul_rowvec(&infer::mul_colvec(&centered, &inv), &gamma),
+                            &beta,
+                        );
+                        let mut ln_tape = Tape::new();
+                        let (lx, lg, lb) = (
+                            ln_tape.leaf(a.clone()),
+                            ln_tape.leaf(gamma.clone()),
+                            ln_tape.leaf(beta.clone()),
+                        );
+                        let ln_node = ln_tape.layer_norm(lx, lg, lb, 1e-5);
+                        assert_eq!(ln_tape.value(ln_node).data, norm_ref.data);
+                        assert_thread_invariant("layer_norm", &norm_ref, || {
+                            kernels::layer_norm(&a, &gamma, &beta, 1e-5)
+                        });
+                    }
+                    Backend::Avx2Fma => {
+                        // Under AVX2 the fused statistics use partial-lane
+                        // sums (the composed route's rounding differs; the
+                        // cross-backend drift is gated in `check_bench`),
+                        // but the kernel must still be self-deterministic
+                        // at any thread count.
+                        pool::set_num_threads(1);
+                        let (m1, s1) = kernels::row_norm_stats(&a, 1e-5);
+                        let ln1 = kernels::layer_norm(&a, &gamma, &beta, 1e-5);
+                        for threads in THREAD_SWEEP {
+                            pool::set_num_threads(threads);
+                            let (m, s) = kernels::row_norm_stats(&a, 1e-5);
+                            assert_eq!(m.data, m1.data, "avx2 mean drift @ t={threads}");
+                            assert_eq!(s.data, s1.data, "avx2 inv_std drift @ t={threads}");
+                            assert_eq!(
+                                kernels::layer_norm(&a, &gamma, &beta, 1e-5).data,
+                                ln1.data,
+                                "avx2 layer_norm drift @ t={threads}"
+                            );
+                        }
+                        pool::set_num_threads(1);
+                    }
+                }
+            });
+        }
     }
 
     /// The fused mask+log-softmax epilogue ≡ dense mask build + `add` +
     /// `log_softmax_rows`, over random sparse masks (absent rows, empty
-    /// entry lists, duplicate entries) at every thread count.
+    /// entry lists, duplicate entries) at every thread count × backend.
     #[test]
     fn masked_log_softmax_parity(r in 1usize..40, c in 1usize..96, seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -210,7 +274,6 @@ proptest! {
             })
             .collect();
 
-        pool::set_num_threads(1);
         // Composed reference: dense mask rows built by overwrites.
         let mut mask_dense = Tensor::zeros(r, c);
         for (row, e) in entries.iter().enumerate() {
@@ -222,16 +285,78 @@ proptest! {
                 }
             }
         }
-        let want = infer::log_softmax_rows(&infer::add(&a, &mask_dense));
-        assert_thread_invariant("masked_log_softmax_rows", &want, || {
-            kernels::masked_log_softmax_rows(&a, &masks)
-        });
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                let want = infer::log_softmax_rows(&infer::add(&a, &mask_dense));
+                assert_thread_invariant("masked_log_softmax_rows", &want, || {
+                    kernels::masked_log_softmax_rows(&a, &masks)
+                });
+            });
+        }
+    }
+
+    /// The sparse segment head ≡ the dense route under a *hard* mask
+    /// (`-∞` on masked-out columns): matmul → `add_rowvec` → add mask →
+    /// `log_softmax_rows`, bit-identical at every thread count × backend
+    /// (the scalar leg is the pinned reference contract; AVX2 holds too
+    /// because the per-column chains match the dense kernel's).
+    #[test]
+    fn masked_matmul_cols_equals_hard_masked_dense_route(
+        r in 1usize..24, k in 1usize..32, c in 1usize..96, seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor(&mut rng, r, k);
+        let w = tensor(&mut rng, k, c);
+        let bias = tensor(&mut rng, 1, c);
+        let entries: Vec<Option<Vec<(usize, f32)>>> = (0..r)
+            .map(|_| {
+                rng.gen::<f32>().lt(&0.7).then(|| {
+                    let n = rng.gen_range(0usize..=6);
+                    (0..n)
+                        .map(|_| (rng.gen_range(0..c), rng.gen_range(-3.0f32..0.5)))
+                        .collect()
+                })
+            })
+            .collect();
+        let masks: Vec<Option<kernels::SparseLogMask>> = entries
+            .iter()
+            .map(|e| {
+                e.as_deref().map(|entries| kernels::SparseLogMask {
+                    default: -2.0,
+                    entries,
+                })
+            })
+            .collect();
+
+        // Hard dense mask: -∞ outside the allowed set for sparse rows,
+        // the soft default for empty-entry rows, 0 for maskless rows.
+        let mut mask_dense = Tensor::zeros(r, c);
+        for (row, e) in entries.iter().enumerate() {
+            if let Some(e) = e {
+                let dense = &mut mask_dense.data[row * c..(row + 1) * c];
+                dense.fill(if e.is_empty() { -2.0 } else { f32::NEG_INFINITY });
+                for &(col, lw) in e {
+                    dense[col] = lw;
+                }
+            }
+        }
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                let logits = infer::add_rowvec(&infer::matmul(&a, &w), &bias);
+                let want = infer::log_softmax_rows(&infer::add(&logits, &mask_dense));
+                assert_thread_invariant("masked_matmul_cols", &want, || {
+                    kernels::masked_matmul_cols(&a, &w, &bias, &masks)
+                });
+            });
+        }
     }
 
     /// The segmented decoder-fusion kernels (stacked attention
     /// pre-activation, per-segment softmax, per-segment context product)
     /// ≡ the per-member `infer` ops over random ragged segments (including
-    /// empty members), at every thread count.
+    /// empty members), at every thread count × backend.
     #[test]
     fn segmented_decoder_kernels_parity(nseg in 1usize..10, d in 1usize..24, seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -247,40 +372,44 @@ proptest! {
         let v = tensor(&mut rng, nseg, d);
         let vatt = tensor(&mut rng, 1, d);
 
-        pool::set_num_threads(1);
-        // Per-member reference: each member's own add_rowvec → tanh →
-        // matmul_nt → softmax_rows → matmul chain (the sequential
-        // decoder's Eq. 14), stacked for comparison.
-        let mut pre_ref = Vec::new();
-        let mut alpha_ref = Vec::new();
-        let mut ctx_ref = Vec::new();
-        for (s, seg) in segs.iter().enumerate() {
-            let k_i = infer::select_rows(&keys, seg.start, seg.len());
-            let v_i = infer::select_rows(&v, s, 1);
-            let pre_i = infer::add_rowvec(&k_i, &v_i);
-            let t_i = infer::tanh(&pre_i);
-            let mu_i = infer::matmul_nt(&vatt, &t_i);
-            let al_i = infer::softmax_rows(&mu_i);
-            let ctx_i = infer::matmul(&al_i, &k_i);
-            pre_ref.extend_from_slice(&pre_i.data);
-            alpha_ref.extend_from_slice(&al_i.data);
-            ctx_ref.extend_from_slice(&ctx_i.data);
-        }
-        let pre_ref = Tensor::from_vec(total, d, pre_ref);
-        let alpha_ref = Tensor::from_vec(1, total, alpha_ref);
-        let ctx_ref = Tensor::from_vec(nseg, d, ctx_ref);
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                // Per-member reference: each member's own add_rowvec → tanh →
+                // matmul_nt → softmax_rows → matmul chain (the sequential
+                // decoder's Eq. 14), stacked for comparison.
+                let mut pre_ref = Vec::new();
+                let mut alpha_ref = Vec::new();
+                let mut ctx_ref = Vec::new();
+                for (s, seg) in segs.iter().enumerate() {
+                    let k_i = infer::select_rows(&keys, seg.start, seg.len());
+                    let v_i = infer::select_rows(&v, s, 1);
+                    let pre_i = infer::add_rowvec(&k_i, &v_i);
+                    let t_i = infer::tanh(&pre_i);
+                    let mu_i = infer::matmul_nt(&vatt, &t_i);
+                    let al_i = infer::softmax_rows(&mu_i);
+                    let ctx_i = infer::matmul(&al_i, &k_i);
+                    pre_ref.extend_from_slice(&pre_i.data);
+                    alpha_ref.extend_from_slice(&al_i.data);
+                    ctx_ref.extend_from_slice(&ctx_i.data);
+                }
+                let pre_ref = Tensor::from_vec(total, d, pre_ref);
+                let alpha_ref = Tensor::from_vec(1, total, alpha_ref);
+                let ctx_ref = Tensor::from_vec(nseg, d, ctx_ref);
 
-        assert_thread_invariant("segments_add_rowvec", &pre_ref, || {
-            kernels::segments_add_rowvec(&keys, &v, &segs)
-        });
-        let t_all = infer::tanh(&pre_ref);
-        let mu_all = infer::matmul_nt(&vatt, &t_all);
-        assert_thread_invariant("softmax_segments", &alpha_ref, || {
-            kernels::softmax_segments(&mu_all, &lens)
-        });
-        assert_thread_invariant("segmented_attn_context", &ctx_ref, || {
-            kernels::segmented_attn_context(&alpha_ref, &keys, &segs)
-        });
+                assert_thread_invariant("segments_add_rowvec", &pre_ref, || {
+                    kernels::segments_add_rowvec(&keys, &v, &segs)
+                });
+                let t_all = infer::tanh(&pre_ref);
+                let mu_all = infer::matmul_nt(&vatt, &t_all);
+                assert_thread_invariant("softmax_segments", &alpha_ref, || {
+                    kernels::softmax_segments(&mu_all, &lens)
+                });
+                assert_thread_invariant("segmented_attn_context", &ctx_ref, || {
+                    kernels::segmented_attn_context(&alpha_ref, &keys, &segs)
+                });
+            });
+        }
     }
 
     /// CSR graph-attention ops on random ragged graphs (including isolated
@@ -293,60 +422,69 @@ proptest! {
         let dst = tensor(&mut rng, n, 1);
         let feats = tensor(&mut rng, n, d);
 
-        pool::set_num_threads(1);
-        let mut tape = Tape::new();
-        let ns = tape.leaf(src.clone());
-        let nd = tape.leaf(dst.clone());
-        let nf = tape.leaf(feats.clone());
-        let scores_n = tape.edge_scores(ns, nd, &csr);
-        let alphas_n = tape.segmented_softmax(scores_n, &csr);
-        let agg_n = tape.neighbor_sum(alphas_n, nf, &csr);
-        let scores = tape.value(scores_n).clone();
-        let alphas = tape.value(alphas_n).clone();
-        let agg = tape.value(agg_n).clone();
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                let name = bk.name();
+                pool::set_num_threads(1);
+                let mut tape = Tape::new();
+                let ns = tape.leaf(src.clone());
+                let nd = tape.leaf(dst.clone());
+                let nf = tape.leaf(feats.clone());
+                let scores_n = tape.edge_scores(ns, nd, &csr);
+                let alphas_n = tape.segmented_softmax(scores_n, &csr);
+                let agg_n = tape.neighbor_sum(alphas_n, nf, &csr);
+                let scores = tape.value(scores_n).clone();
+                let alphas = tape.value(alphas_n).clone();
+                let agg = tape.value(agg_n).clone();
 
-        prop_assert_eq!(&infer::edge_scores(&src, &dst, &csr).data, &scores.data);
-        prop_assert_eq!(&infer::segmented_softmax(&scores, &csr).data, &alphas.data);
-        prop_assert_eq!(&infer::neighbor_sum(&alphas, &feats, &csr).data, &agg.data);
+                assert_eq!(infer::edge_scores(&src, &dst, &csr).data, scores.data, "{name}");
+                assert_eq!(infer::segmented_softmax(&scores, &csr).data, alphas.data, "{name}");
+                assert_eq!(infer::neighbor_sum(&alphas, &feats, &csr).data, agg.data, "{name}");
 
-        assert_thread_invariant("edge_scores", &scores, || kernels::edge_scores(&src, &dst, &csr));
-        assert_thread_invariant("segmented_softmax", &alphas, || {
-            kernels::segmented_softmax(&scores, &csr)
-        });
-        assert_thread_invariant("neighbor_sum", &agg, || {
-            kernels::neighbor_sum(&alphas, &feats, &csr)
-        });
+                assert_thread_invariant("edge_scores", &scores, || kernels::edge_scores(&src, &dst, &csr));
+                assert_thread_invariant("segmented_softmax", &alphas, || {
+                    kernels::segmented_softmax(&scores, &csr)
+                });
+                assert_thread_invariant("neighbor_sum", &agg, || {
+                    kernels::neighbor_sum(&alphas, &feats, &csr)
+                });
+            });
+        }
     }
 
     /// Training parity: a full tape forward + backward produces identical
     /// input-side gradients at every thread count (the backward matmuls
-    /// route through the same kernels).
+    /// route through the same kernels), under every backend.
     #[test]
     fn backward_gradients_thread_invariant(r in 2usize..48, k in 2usize..32, c in 2usize..48, seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = tensor(&mut rng, r, k);
         let b = tensor(&mut rng, k, c);
-        let mut reference: Option<(Vec<f32>, Vec<f32>)> = None;
-        for threads in THREAD_SWEEP {
-            pool::set_num_threads(threads);
-            let mut tape = Tape::new();
-            let na = tape.leaf(a.clone());
-            let nb = tape.leaf(b.clone());
-            let y = tape.matmul(na, nb);
-            let y = tape.tanh(y);
-            let loss = tape.mean_all(y);
-            let mut store = ParamStore::new();
-            tape.backward(loss, &mut store);
-            let ga = tape.grad(na).unwrap().to_vec();
-            let gb = tape.grad(nb).unwrap().to_vec();
-            match &reference {
-                None => reference = Some((ga, gb)),
-                Some((ra, rb)) => {
-                    prop_assert!(ra == &ga, "grad A diverged @ t={}", threads);
-                    prop_assert!(rb == &gb, "grad B diverged @ t={}", threads);
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                let mut reference: Option<(Vec<f32>, Vec<f32>)> = None;
+                for threads in THREAD_SWEEP {
+                    pool::set_num_threads(threads);
+                    let mut tape = Tape::new();
+                    let na = tape.leaf(a.clone());
+                    let nb = tape.leaf(b.clone());
+                    let y = tape.matmul(na, nb);
+                    let y = tape.tanh(y);
+                    let loss = tape.mean_all(y);
+                    let mut store = ParamStore::new();
+                    tape.backward(loss, &mut store);
+                    let ga = tape.grad(na).unwrap().to_vec();
+                    let gb = tape.grad(nb).unwrap().to_vec();
+                    match &reference {
+                        None => reference = Some((ga, gb)),
+                        Some((ra, rb)) => {
+                            assert_eq!(ra, &ga, "grad A diverged @ t={threads}");
+                            assert_eq!(rb, &gb, "grad B diverged @ t={threads}");
+                        }
+                    }
                 }
-            }
+                pool::set_num_threads(1);
+            });
         }
-        pool::set_num_threads(1);
     }
 }

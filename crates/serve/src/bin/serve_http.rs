@@ -208,6 +208,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    println!(
+        "kernels: backend={} (NN_BACKEND={}) segment_head={}",
+        rntrajrec_nn::kernels::backend::active_name(),
+        std::env::var("NN_BACKEND").unwrap_or_else(|_| "auto".to_string()),
+        serving.head_name(),
+    );
 
     // A valid example request body, served at GET /v1/example so smoke
     // tests can POST a real trajectory without hand-built fixtures.

@@ -186,6 +186,11 @@ pub struct EngineStats {
     pub mean_queue_wait_ms: f64,
     /// Mean per-request compute (batch flush → results ready), ms.
     pub mean_compute_ms: f64,
+    /// Active kernel backend (`rntrajrec_nn::kernels::backend::active_name`):
+    /// `"scalar"` or `"avx2"`.
+    pub kernel_backend: String,
+    /// Decoder segment head the served model runs: `"sparse"` or `"int8"`.
+    pub segment_head: String,
 }
 
 struct Pending {
@@ -378,6 +383,8 @@ impl RecoveryEngine {
             } else {
                 c.compute_ns.load(Ordering::Relaxed) as f64 / completed as f64 / 1e6
             },
+            kernel_backend: rntrajrec_nn::kernels::backend::active_name().to_string(),
+            segment_head: self.shared.model.head_name().to_string(),
         }
     }
 

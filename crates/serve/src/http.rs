@@ -983,6 +983,26 @@ fn render_metrics(state: &ServerState) -> String {
     ));
     header(
         &mut out,
+        "rntrajrec_kernel_backend",
+        "Active nn kernel backend (NN_BACKEND / CPU feature detection); the value is always 1.",
+        "gauge",
+    );
+    out.push_str(&format!(
+        "rntrajrec_kernel_backend{{backend=\"{}\"}} 1\n",
+        stats.kernel_backend,
+    ));
+    header(
+        &mut out,
+        "rntrajrec_segment_head",
+        "Decoder segment head the served model runs (sparse f32 or int8); the value is always 1.",
+        "gauge",
+    );
+    out.push_str(&format!(
+        "rntrajrec_segment_head{{head=\"{}\"}} 1\n",
+        stats.segment_head,
+    ));
+    header(
+        &mut out,
         "rntrajrec_uptime_seconds",
         "Seconds since the HTTP server started accepting connections.",
         "gauge",

@@ -5,7 +5,8 @@
 use rntrajrec::wire::RecoverRequest;
 use rntrajrec::EndToEnd;
 use rntrajrec_geo::GridSpec;
-use rntrajrec_models::{FeatureExtractor, QueryError, SampleInput};
+use rntrajrec_models::{FeatureExtractor, QueryError, SampleInput, SegmentHead};
+use rntrajrec_nn::quant::QuantizedLinear;
 use rntrajrec_nn::Tensor;
 use rntrajrec_roadnet::{RTree, RoadNetwork};
 use rntrajrec_synth::TimeContext;
@@ -62,30 +63,70 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "inference panicked".to_string())
 }
 
+/// Should serving quantize the decoder's segment head to int8?
+/// (`NN_QUANT_HEAD=1|true|int8`; anything else — including unset — keeps
+/// the f32 sparse head.)
+pub fn quant_head_env() -> bool {
+    matches!(
+        std::env::var("NN_QUANT_HEAD").as_deref(),
+        Ok("1") | Ok("true") | Ok("int8")
+    )
+}
+
 /// A model ready to serve: tape-free path validated at construction, road
-/// embeddings precomputed. Shared read-only across worker threads.
+/// embeddings precomputed, and the decoder's segment head optionally
+/// pre-quantized to int8 (`NN_QUANT_HEAD` env). Shared read-only across
+/// worker threads.
 pub struct ServingModel {
     model: EndToEnd,
     road: Option<RoadEmbeddingCache>,
+    /// Int8 segment head, built once at load when requested.
+    quant: Option<QuantizedLinear>,
 }
 
 impl ServingModel {
-    /// Wrap a trained model. Fails fast (rather than at first request)
-    /// when the encoder cannot run without a tape.
+    /// Wrap a trained model, honouring the `NN_QUANT_HEAD` env knob.
+    /// Fails fast (rather than at first request) when the encoder cannot
+    /// run without a tape.
     pub fn new(model: EndToEnd) -> Result<Self, ServeError> {
+        Self::with_quantized_head(model, quant_head_env())
+    }
+
+    /// Wrap a trained model with an explicit head choice: `quantized`
+    /// pre-quantizes the decoder's `[d,|V|]` segment-head weights to
+    /// per-channel int8 ([`QuantizedLinear`]), otherwise the f32
+    /// sparse head serves.
+    pub fn with_quantized_head(model: EndToEnd, quantized: bool) -> Result<Self, ServeError> {
         if !model.supports_infer() {
             return Err(ServeError::NoInferPath {
                 encoder: model.name.clone(),
             });
         }
         let road = RoadEmbeddingCache::build(&model);
-        Ok(Self { model, road })
+        let quant = quantized.then(|| model.decoder.quantized_segment_head(&model.store));
+        Ok(Self { model, road, quant })
+    }
+
+    /// The decoder segment head this model serves with.
+    pub fn head(&self) -> SegmentHead<'_> {
+        match &self.quant {
+            Some(q) => SegmentHead::Quantized(q),
+            None => SegmentHead::Sparse,
+        }
+    }
+
+    /// Short name of the active segment head, for logs and `/metrics`.
+    pub fn head_name(&self) -> &'static str {
+        match self.quant {
+            Some(_) => "int8",
+            None => "sparse",
+        }
     }
 
     /// Recover one trajectory on the tape-free hot path.
     pub fn recover(&self, input: &SampleInput) -> Vec<(usize, f32)> {
         self.model
-            .infer_predict(input, self.road.as_ref().map(|c| &c.x_road))
+            .infer_predict_with(input, self.road.as_ref().map(|c| &c.x_road), self.head())
             .expect("infer path validated in ServingModel::new")
     }
 
@@ -106,7 +147,7 @@ impl ServingModel {
         let road = self.road.as_ref().map(|c| &c.x_road);
         let fused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.model
-                .infer_predict_batch(inputs, road)
+                .infer_predict_batch_with(inputs, road, self.head())
                 .expect("infer path validated in ServingModel::new")
         }));
         match fused {

@@ -415,6 +415,8 @@ fn healthz_and_metrics_render() {
         "rntrajrec_engine_queue_depth",
         "rntrajrec_engine_in_flight_batches",
         "rntrajrec_nn_matmul_invocations_total",
+        "rntrajrec_kernel_backend{backend=\"",
+        "rntrajrec_segment_head{head=\"",
     ] {
         assert!(
             metrics.body.contains(key),
