@@ -259,6 +259,24 @@ fn main() -> ExitCode {
         }
     }
 
+    // Same absolute bar for the chaos fault points: disarmed injection
+    // must stay invisible on the batched serving path. The baseline may
+    // predate the section (first rollout), so only the fresh record is
+    // required to carry it.
+    {
+        let key = "city_scale.chaos.overhead_pct";
+        gate.checks += 1;
+        match (num(&baseline, key), num(&fresh, key)) {
+            (b, Some(f)) if f <= 2.0 => {
+                println!("PASS {key}: baseline {b:?}, fresh {f:.3}  [fresh <= 2.0]")
+            }
+            (b, f) => {
+                println!("FAIL {key}: baseline {b:?}, fresh {f:?}  [fresh <= 2.0]");
+                gate.failures += 1;
+            }
+        }
+    }
+
     // Correctness flags must never flip.
     for key in [
         "city_scale.decoder_fusion.bit_identical",

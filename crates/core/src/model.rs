@@ -104,6 +104,11 @@ impl MethodSpec {
     }
 }
 
+/// Per-member recovered `(segment, rate)` paths plus a per-member
+/// "cancelled mid-decode" flag, as returned by
+/// [`EndToEnd::infer_predict_batch_ctl`].
+pub type BatchDecodeOutcome = (Vec<Vec<(usize, f32)>>, Vec<bool>);
+
 /// An encoder + the shared decoder + its parameters and loss weights.
 pub struct EndToEnd {
     pub store: ParamStore,
@@ -369,6 +374,25 @@ impl EndToEnd {
         road: Option<&Tensor>,
         head: SegmentHead<'_>,
     ) -> Option<Vec<Vec<(usize, f32)>>> {
+        self.infer_predict_batch_ctl(inputs, road, head, &mut |_, _| false)
+            .map(|(paths, _)| paths)
+    }
+
+    /// [`EndToEnd::infer_predict_batch_with`] with **mid-decode
+    /// cancellation**: `cancel(member, step)` is consulted before each
+    /// lock-step decode step, and members it cuts are retired through the
+    /// decoder's state-compaction path
+    /// ([`Decoder::recover_batch_infer_ctl`]) — survivors stay
+    /// bit-identical to an uncancelled run. The serving engine uses this
+    /// to stop decoding for requests whose deadline expired inside a
+    /// fused batch. Returns per-member paths plus a cancelled flag.
+    pub fn infer_predict_batch_ctl(
+        &self,
+        inputs: &[&SampleInput],
+        road: Option<&Tensor>,
+        head: SegmentHead<'_>,
+        cancel: &mut dyn FnMut(usize, usize) -> bool,
+    ) -> Option<BatchDecodeOutcome> {
         use std::sync::{Arc, OnceLock};
         static ENCODER_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
         static DECODER_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
@@ -393,15 +417,15 @@ impl EndToEnd {
             .collect();
 
         let dec_started = std::time::Instant::now();
-        let paths = {
+        let decoded = {
             let _span = rntrajrec_obs::span("decoder.fused");
             self.decoder
-                .recover_batch_infer_with(&self.store, &members, head)
+                .recover_batch_infer_ctl(&self.store, &members, head, cancel)
         };
         DECODER_SECONDS
             .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("decoder"))
             .observe_duration(dec_started.elapsed());
-        Some(paths)
+        Some(decoded)
     }
 }
 

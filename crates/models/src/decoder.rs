@@ -353,7 +353,31 @@ impl Decoder {
         members: &[BatchMember<'_>],
         head: SegmentHead<'_>,
     ) -> Vec<Vec<(usize, f32)>> {
+        self.recover_batch_infer_ctl(store, members, head, &mut |_, _| false)
+            .0
+    }
+
+    /// [`Decoder::recover_batch_infer_with`] with **mid-decode
+    /// cancellation**: before each lock-step `j`, `cancel(member, j)` is
+    /// asked whether that member should stop decoding (the serving engine
+    /// passes a deadline check; tests pass arbitrary step predicates).
+    /// Cancelled members are retired through the *same* `gather_rows`
+    /// compaction that retires finished members, so every surviving row
+    /// keeps its exact value and survivors stay **bit-identical** to an
+    /// uncancelled run — property-tested in `tests/batch_decode_parity.rs`.
+    ///
+    /// Returns the per-member outputs (a cancelled member holds the prefix
+    /// decoded before its cut, itself bit-identical to the uncancelled
+    /// run's prefix) and a per-member cancelled flag.
+    pub fn recover_batch_infer_ctl(
+        &self,
+        store: &ParamStore,
+        members: &[BatchMember<'_>],
+        head: SegmentHead<'_>,
+        cancel: &mut dyn FnMut(usize, usize) -> bool,
+    ) -> (Vec<Vec<(usize, f32)>>, Vec<bool>) {
         let n = members.len();
+        let mut cancelled = vec![false; n];
         let mut out: Vec<Vec<(usize, f32)>> = members
             .iter()
             .map(|m| Vec::with_capacity(m.sample.target_len()))
@@ -362,7 +386,7 @@ impl Decoder {
             .filter(|&i| members[i].sample.target_len() > 0)
             .collect();
         if active.is_empty() {
-            return out;
+            return (out, cancelled);
         }
         let seg_table = store.value(self.seg_emb);
         let w_id = store.value(self.w_id);
@@ -405,6 +429,27 @@ impl Decoder {
 
         let mut j = 0;
         while !active.is_empty() {
+            // Cancellation gate (deadline propagation): members whose
+            // budget expired are retired *before* the step runs, through
+            // the same gather_rows compaction that retires finished
+            // members below — a pure row copy, so surviving rows keep
+            // their exact values and decode on bit-identically.
+            let cut: Vec<bool> = active.iter().map(|&i| cancel(i, j)).collect();
+            if cut.iter().any(|&c| c) {
+                let keep: Vec<usize> = (0..active.len()).filter(|&s| !cut[s]).collect();
+                for (s, &i) in active.iter().enumerate() {
+                    if cut[s] {
+                        cancelled[i] = true;
+                    }
+                }
+                h = infer::gather_rows(&h, &keep);
+                x_prev = infer::gather_rows(&x_prev, &keep);
+                r_prev = infer::gather_rows(&r_prev, &keep);
+                active = keep.iter().map(|&s| active[s]).collect();
+                if active.is_empty() {
+                    break;
+                }
+            }
             let b = active.len();
             // One observability span per lock-step decode step (rendered
             // `decoder.step[j]`); no-op unless tracing is enabled.
@@ -471,7 +516,7 @@ impl Decoder {
                 active = keep.iter().map(|&s| active[s]).collect();
             }
         }
-        out
+        (out, cancelled)
     }
 }
 

@@ -152,6 +152,72 @@ proptest! {
             });
         }
     }
+
+    /// Mid-decode cancellation (the deadline-propagation path): cancelling
+    /// an arbitrary subset of members at arbitrary steps retires them
+    /// through the state-compaction path, and every survivor stays
+    /// **bit-identical** to the sequential (uncancelled) decode — and each
+    /// cancelled member's truncated output is bit-identical to the
+    /// uncancelled run's prefix. Swept over backends and 1/4 intra-op
+    /// threads like the main parity property.
+    #[test]
+    fn cancelled_members_leave_survivors_bit_identical(
+        batch_size in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks: Vec<usize> = (0..batch_size)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..POOL))
+            .collect();
+        // Per member: None = never cancel; Some(j) = cancel before step j
+        // (j = 0 cancels before any step runs).
+        let cuts: Vec<Option<usize>> = picks
+            .iter()
+            .map(|_| {
+                if rand::Rng::gen_bool(&mut rng, 0.5) {
+                    Some(rand::Rng::gen_range(&mut rng, 0..13usize))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let fix = fixture();
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                let sequential: Vec<Vec<(usize, f32)>> =
+                    picks.iter().map(|&p| fix.sequential(p)).collect();
+                for threads in [1usize, 4] {
+                    pool::set_num_threads(threads);
+                    let batch: Vec<BatchMember> = picks.iter().map(|&p| fix.member(p)).collect();
+                    let (out, cancelled) = fix.decoder.recover_batch_infer_ctl(
+                        &fix.store,
+                        &batch,
+                        SegmentHead::Sparse,
+                        &mut |i, j| cuts[i].is_some_and(|c| j >= c),
+                    );
+                    pool::set_num_threads(1);
+                    for (i, path) in out.iter().enumerate() {
+                        let target = batch[i].sample.target_len();
+                        let want_len = cuts[i].map_or(target, |c| c.min(target));
+                        let should_cancel = cuts[i].is_some_and(|c| c < target);
+                        assert_eq!(
+                            cancelled[i], should_cancel,
+                            "member {i} cancelled flag at {threads} threads under {}",
+                            bk.name()
+                        );
+                        assert_eq!(path.len(), want_len, "member {i} output length");
+                        assert!(
+                            path[..] == sequential[i][..want_len],
+                            "member {i} diverged from the uncancelled prefix at \
+                             {threads} threads under {}",
+                            bk.name()
+                        );
+                    }
+                }
+            });
+        }
+    }
 }
 
 /// The sparse segment head must not change what the decoder *recovers*:

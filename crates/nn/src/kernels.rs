@@ -85,6 +85,11 @@ thread_local! {
 /// pool, so scoped accounting is exact.
 #[inline]
 pub(crate) fn note_matmul(flops: u64) {
+    // Fault point at the kernel-dispatch chokepoint: an injected panic
+    // unwinds the caller (exercising batch fallback / worker supervision),
+    // an injected delay models a stalled kernel (exercising the engine
+    // watchdog). One relaxed load when chaos is disarmed.
+    rntrajrec_chaos::point_infallible("kernel.dispatch");
     MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
     let _ = KERNEL_TOTALS.try_with(|t| {
         let (m, f) = t.get();

@@ -28,7 +28,8 @@ use rntrajrec::model::{EndToEnd, MethodSpec};
 use rntrajrec::wire::RecoverRequest;
 use rntrajrec_roadnet::{CityConfig, SyntheticCity};
 use rntrajrec_serve::{
-    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+    BrownoutConfig, EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine,
+    ServingModel,
 };
 use rntrajrec_synth::{SimConfig, Simulator};
 
@@ -73,6 +74,8 @@ struct Args {
     latency_ring: usize,
     trace: bool,
     trace_out: Option<String>,
+    batch_timeout_ms: Option<u64>,
+    brownout: bool,
 }
 
 impl Default for Args {
@@ -93,6 +96,8 @@ impl Default for Args {
             latency_ring: 1024,
             trace: true,
             trace_out: None,
+            batch_timeout_ms: Some(30_000),
+            brownout: true,
         }
     }
 }
@@ -118,7 +123,18 @@ OPTIONS:
     --latency-ring N        samples kept for p50/p99 latency quantiles (default 1024)
     --no-trace              disable request-lifecycle span recording (on by default)
     --trace-out PATH        dump a Chrome trace-event JSON of recorded spans on exit
+    --batch-timeout-ms N|none  watchdog budget per batch -> affected members 503
+                            (default 30000; none disables the watchdog)
+    --no-brownout           disable the load-watermark degradation ladder
     --help                  print this help
+
+ENVIRONMENT:
+    CHAOS_FAULTS            deterministic fault injection spec, e.g.
+                            'engine.worker=panic@0.01;http.write=delay:50@0.1'
+                            (points: http.accept http.read http.parse
+                            engine.submit engine.batch engine.worker
+                            kernel.dispatch http.write)
+    CHAOS_SEED              RNG seed for exact fault replay (default 0)
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -133,6 +149,10 @@ fn parse_args() -> Result<Args, String> {
         // fetch below.
         if flag == "--no-trace" {
             args.trace = false;
+            continue;
+        }
+        if flag == "--no-brownout" {
+            args.brownout = false;
             continue;
         }
         let value = it
@@ -167,6 +187,13 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse_u64(&value)?,
             "--latency-ring" => args.latency_ring = parse_usize(&value)?.max(1),
             "--trace-out" => args.trace_out = Some(value),
+            "--batch-timeout-ms" => {
+                args.batch_timeout_ms = if value == "none" {
+                    None
+                } else {
+                    Some(parse_u64(&value)?.max(1))
+                }
+            }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -183,6 +210,21 @@ fn main() -> ExitCode {
     };
     install_signal_handlers();
     rntrajrec_obs::set_enabled(args.trace);
+
+    // Deterministic fault injection, armed from the environment only —
+    // never by default. One relaxed atomic load per point when disarmed.
+    match rntrajrec_chaos::configure_from_env() {
+        Ok(true) => eprintln!(
+            "CHAOS ARMED: seed={} spec={:?} — faults will be injected deliberately",
+            rntrajrec_chaos::seed(),
+            std::env::var("CHAOS_FAULTS").unwrap_or_default(),
+        ),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: bad CHAOS_FAULTS: {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     eprintln!(
         "building synthetic city ({0}x{0} blocks) + RNTrajRec(d={1}, seed={2})...",
@@ -234,6 +276,12 @@ fn main() -> ExitCode {
             workers: args.workers,
             threads_per_worker: 0,
             queue_capacity: args.queue_capacity,
+            batch_timeout: args.batch_timeout_ms.map(Duration::from_millis),
+            brownout: args.brownout.then(|| match args.queue_capacity {
+                Some(cap) => BrownoutConfig::for_queue_capacity(cap),
+                None => BrownoutConfig::default(),
+            }),
+            ..EngineConfig::default()
         },
     ));
 
@@ -268,6 +316,14 @@ fn main() -> ExitCode {
         args.max_batch,
         args.max_delay_ms,
         args.workers,
+    );
+    println!(
+        "resilience: supervised workers, watchdog={} brownout={}",
+        match args.batch_timeout_ms {
+            Some(ms) => format!("{ms}ms"),
+            None => "off".to_string(),
+        },
+        if args.brownout { "on" } else { "off" },
     );
 
     while !SHUTDOWN.load(Ordering::Relaxed) {

@@ -18,20 +18,46 @@
 //! **bit-identical** to sequential per-request inference regardless of
 //! batch composition, worker count, or arrival order — property-tested in
 //! this crate and in `rntrajrec-models/tests/batch_decode_parity.rs`.
-//! Batching wins three times: scheduling (one queue round-trip per batch),
-//! encoder math (one stacked pass instead of a full GPS-Former pass per
-//! member), and decoder math (one pass over the `[d, |V|]` segment-head
-//! weights per step for the whole batch).
+//!
+//! # Self-healing
+//!
+//! The engine is supervised. A dedicated supervisor thread:
+//!
+//! - **restarts crashed workers** with capped exponential backoff (a
+//!   panic that escapes the per-batch isolation — e.g. an injected
+//!   `engine.worker` chaos fault — kills only that thread; its in-flight
+//!   batch is failed with typed errors and a replacement spawns),
+//! - **watches for hung batches**: when [`EngineConfig::batch_timeout`]
+//!   is set, a batch computing past the budget has its members failed
+//!   with typed timeout errors (the HTTP layer maps these to `503`)
+//!   instead of wedging their clients forever,
+//! - **drives brownout degradation**: a [`BrownoutController`] watching
+//!   queue depth and queue-wait p99 steps through degraded modes —
+//!   quantized segment head, shrunk batching window, full shed — and the
+//!   supervisor applies the active level to the live batching knobs,
+//! - samples the **drain rate** (completions/sec) that the HTTP layer
+//!   turns into adaptive `Retry-After` values.
+//!
+//! Deadlines propagate *into* the decode loop: a submission may carry an
+//! absolute deadline, and members whose deadline expires mid-decode are
+//! cancelled out of the fused batch through the decoder's
+//! state-compaction path (survivors bit-identical), reported with
+//! [`Recovered::timed_out`].
+//!
+//! Chaos fault points ([`rntrajrec_chaos`]): `engine.submit` (admission),
+//! `engine.batch` (batch assembly), `engine.worker` (per batch, outside
+//! panic isolation — the supervision test surface).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rntrajrec_models::SampleInput;
 
-use crate::ServingModel;
+use crate::brownout::{mode_name, BrownoutConfig, BrownoutController};
+use crate::{BatchOptions, MemberError, ServingModel};
 
 /// Micro-batching knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +85,23 @@ pub struct EngineConfig {
     /// (useful for drain/maintenance modes and for deterministically
     /// exercising the rejection path).
     pub queue_capacity: Option<usize>,
+    /// Watchdog budget for one batch's fused compute: a batch still
+    /// running after this long has its members failed with typed timeout
+    /// errors (`503` at the HTTP layer) so a stalled kernel cannot wedge
+    /// clients forever. `None` disables the watchdog.
+    pub batch_timeout: Option<Duration>,
+    /// Brownout degradation watermarks; `None` disables the controller
+    /// (the ladder can still be forced via
+    /// [`RecoveryEngine::set_brownout_override`]).
+    pub brownout: Option<BrownoutConfig>,
+    /// Supervisor cadence: worker reaping, watchdog scans, drain-rate
+    /// sampling, and brownout ticks all run at this interval.
+    pub supervise_every: Duration,
+    /// Base delay before respawning a crashed worker; doubles per
+    /// consecutive crash (a worker that stays up 5 s resets the streak).
+    pub restart_backoff: Duration,
+    /// Ceiling on the respawn delay.
+    pub restart_backoff_cap: Duration,
 }
 
 impl Default for EngineConfig {
@@ -72,14 +115,23 @@ impl Default for EngineConfig {
             // kernels single-threaded per worker unless configured.
             threads_per_worker: if workers > 1 { 1 } else { 0 },
             queue_capacity: None,
+            batch_timeout: None,
+            brownout: None,
+            supervise_every: Duration::from_millis(10),
+            restart_backoff: Duration::from_millis(10),
+            restart_backoff_cap: Duration::from_secs(2),
         }
     }
 }
 
+/// A worker that stayed up this long has its crash streak (and with it
+/// the exponential backoff) reset.
+const RESTART_RESET_UPTIME: Duration = Duration::from_secs(5);
+
 /// Typed submission failure: the engine refused a request rather than
-/// queueing it. Surfaced so callers (the HTTP layer maps this to `429
-/// Too Many Requests`) can shed load instead of growing the queue — and
-/// with it tail latency — without bound.
+/// queueing it. Surfaced so callers (the HTTP layer maps these to `429`/
+/// `503`) can shed load instead of growing the queue — and with it tail
+/// latency — without bound.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// The waiting queue is at [`EngineConfig::queue_capacity`].
@@ -88,6 +140,15 @@ pub enum EngineError {
         queue_depth: usize,
         /// The configured bound.
         capacity: usize,
+    },
+    /// The brownout ladder is at its `shed` level: the engine is
+    /// protecting itself and refuses new work until pressure drops.
+    Brownout,
+    /// A chaos fault point injected an admission error
+    /// (`engine.submit`); only occurs with faults armed.
+    FaultInjected {
+        /// The fault point that fired.
+        point: &'static str,
     },
 }
 
@@ -101,6 +162,12 @@ impl std::fmt::Display for EngineError {
                 f,
                 "engine overloaded: {queue_depth} requests waiting (capacity {capacity})"
             ),
+            EngineError::Brownout => {
+                write!(f, "engine shedding load: brownout ladder at 'shed'")
+            }
+            EngineError::FaultInjected { point } => {
+                write!(f, "chaos: injected error at {point}")
+            }
         }
     }
 }
@@ -115,9 +182,13 @@ pub struct Recovered {
     /// Predicted `(segment, moving-rate)` per target step. Empty when
     /// [`Recovered::error`] is set.
     pub path: Vec<(usize, f32)>,
-    /// `Some(panic message)` if inference failed for this request (a
-    /// malformed input, say); the engine itself stays up.
+    /// `Some(message)` if recovery failed for this request (a malformed
+    /// input, a crashed worker, a timeout); the engine itself stays up.
     pub error: Option<String>,
+    /// The failure was a *time* failure — the request's deadline expired
+    /// mid-decode, or the watchdog killed its hung batch. The HTTP layer
+    /// maps these to `503` (retryable) rather than `500`.
+    pub timed_out: bool,
     /// Size of the micro-batch this request was served in.
     pub batch_size: usize,
     /// Submit-to-completion latency
@@ -170,10 +241,12 @@ impl RecoveryHandle {
 pub struct EngineStats {
     pub requests: u64,
     pub completed: u64,
-    /// Requests whose inference panicked (reported via [`Recovered::error`]).
+    /// Requests that completed with an error ([`Recovered::error`]):
+    /// inference panics, worker crashes, watchdog timeouts, mid-decode
+    /// deadline cancellations.
     pub failed: u64,
     /// Submissions refused by admission control
-    /// ([`EngineError::Overloaded`]).
+    /// ([`EngineError::Overloaded`] or [`EngineError::Brownout`]).
     pub rejected: u64,
     pub batches: u64,
     /// Batches flushed because they reached `max_batch`.
@@ -186,6 +259,23 @@ pub struct EngineStats {
     pub mean_queue_wait_ms: f64,
     /// Mean per-request compute (batch flush → results ready), ms.
     pub mean_compute_ms: f64,
+    /// Crashed workers respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Hung batches killed by the watchdog (each fails its members).
+    pub watchdog_timeouts: u64,
+    /// Members cancelled mid-decode because their deadline expired.
+    pub deadline_cancelled: u64,
+    /// Brownout ladder transitions since start.
+    pub brownout_shifts: u64,
+    /// Active brownout mode name (`normal`, `degraded_head`,
+    /// `shrink_batch`, `shed`).
+    pub brownout_mode: String,
+    /// Recent completion rate (requests/sec) sampled by the supervisor;
+    /// the numerator of adaptive `Retry-After`.
+    pub drain_rate_per_sec: f64,
+    /// Recent queue-wait p99 (ms) — the latency watermark the brownout
+    /// controller watches.
+    pub queue_wait_p99_ms: f64,
     /// Active kernel backend (`rntrajrec_nn::kernels::backend::active_name`):
     /// `"scalar"` or `"avx2"`.
     pub kernel_backend: String,
@@ -200,6 +290,9 @@ struct Pending {
     trace: Option<rntrajrec_obs::RequestId>,
     input: SampleInput,
     enqueued: Instant,
+    /// Absolute deadline: past this instant the request is cancelled out
+    /// of its decode batch rather than computed to completion.
+    deadline: Option<Instant>,
     tx: mpsc::Sender<Recovered>,
 }
 
@@ -214,10 +307,31 @@ struct Counters {
     flushed_deadline: AtomicU64,
     batched_requests: AtomicU64,
     in_flight_batches: AtomicUsize,
+    worker_restarts: AtomicU64,
+    watchdog_timeouts: AtomicU64,
+    deadline_cancelled: AtomicU64,
+    brownout_shifts: AtomicU64,
     /// Σ queue wait across completed requests, nanoseconds.
     queue_wait_ns: AtomicU64,
     /// Σ compute across completed requests, nanoseconds.
     compute_ns: AtomicU64,
+}
+
+/// What the supervisor needs to fail a worker's in-flight batch on its
+/// behalf: per-member delivery channels, cloned at registration.
+struct InFlight {
+    started: Instant,
+    batch_size: usize,
+    members: Vec<(u64, Instant, mpsc::Sender<Recovered>)>,
+}
+
+/// One worker's claim slot. The worker registers its batch here before
+/// computing and claims it back before delivering; the supervisor
+/// (watchdog / crash reaper) can take it instead, in which case exactly
+/// one side delivers.
+#[derive(Default)]
+struct WorkerSlot {
+    inflight: Mutex<Option<InFlight>>,
 }
 
 struct Shared {
@@ -227,21 +341,111 @@ struct Shared {
     shutdown: AtomicBool,
     next_id: AtomicU64,
     counters: Counters,
-    max_batch: usize,
-    max_delay: Duration,
+    /// Configured batching knobs (the brownout baseline).
+    base_max_batch: usize,
+    base_max_delay: Duration,
+    /// *Effective* batching knobs — what `take_batch` reads; the brownout
+    /// controller shrinks these under pressure.
+    max_batch: AtomicUsize,
+    max_delay_ns: AtomicU64,
     queue_capacity: Option<usize>,
+    batch_timeout: Option<Duration>,
+    /// Active brownout ladder level (0..=3).
+    brownout_level: AtomicU8,
+    /// Manual ladder override (ops/maintenance knob and test hook);
+    /// `AUTO_LEVEL` defers to the controller.
+    brownout_override: AtomicU8,
+    /// Recent queue-wait samples (ms), ring-buffered for the p99 the
+    /// brownout controller watches.
+    queue_wait_ring: Mutex<VecDeque<f64>>,
+    /// f64 bits: completions/sec over the supervisor's sample window.
+    drain_rate_bits: AtomicU64,
+    /// f64 bits: queue-wait p99 ms over the ring.
+    queue_wait_p99_bits: AtomicU64,
+    supervise_every: Duration,
+    restart_backoff: Duration,
+    restart_backoff_cap: Duration,
+}
+
+const AUTO_LEVEL: u8 = u8::MAX;
+const QUEUE_WAIT_RING_CAP: usize = 512;
+/// Drain-rate window: this many supervisor ticks of (time, completed)
+/// samples.
+const DRAIN_SAMPLES: usize = 100;
+
+impl Shared {
+    fn level(&self) -> u8 {
+        self.brownout_level.load(Ordering::Relaxed)
+    }
+
+    /// Apply a brownout ladder level to the live batching knobs.
+    /// Idempotent per level; wakes batch assemblers so a shrunk
+    /// `max_delay` takes effect immediately.
+    fn apply_level(&self, level: u8) {
+        let prev = self.brownout_level.swap(level, Ordering::Relaxed);
+        if prev == level {
+            return;
+        }
+        self.counters
+            .brownout_shifts
+            .fetch_add(1, Ordering::Relaxed);
+        let (mb, md) = if level >= 2 {
+            (
+                (self.base_max_batch / 2).max(1),
+                self.base_max_delay.as_nanos() as u64 / 4,
+            )
+        } else {
+            (self.base_max_batch, self.base_max_delay.as_nanos() as u64)
+        };
+        self.max_batch.store(mb, Ordering::Relaxed);
+        self.max_delay_ns.store(md, Ordering::Relaxed);
+        self.cond.notify_all();
+    }
+
+    /// Fail a worker's in-flight batch with a typed error, if one is
+    /// registered. Returns whether there was one. Exactly-once delivery:
+    /// whoever takes the `InFlight` out of the slot owns delivery.
+    fn fail_inflight(&self, slot: &WorkerSlot, reason: &str, timed_out: bool) -> bool {
+        let taken = slot
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        let Some(flight) = taken else {
+            return false;
+        };
+        let compute = flight.started.elapsed();
+        for (id, enqueued, tx) in &flight.members {
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Recovered {
+                id: *id,
+                path: Vec::new(),
+                error: Some(reason.to_string()),
+                timed_out,
+                batch_size: flight.batch_size,
+                latency: enqueued.elapsed(),
+                queue_wait: flight.started.saturating_duration_since(*enqueued),
+                compute,
+            });
+        }
+        true
+    }
 }
 
 /// The multi-threaded online recovery engine.
 pub struct RecoveryEngine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// The supervisor owns the worker handles; joining it joins them.
+    supervisor: Option<JoinHandle<()>>,
     /// Intra-op threads applied at start (`None`: process default kept).
     intra_op: Option<usize>,
 }
 
 impl RecoveryEngine {
-    /// Start `config.workers` threads over a shared model.
+    /// Start `config.workers` threads over a shared model, plus the
+    /// supervisor thread that restarts crashed workers, runs the batch
+    /// watchdog, and drives brownout degradation.
     ///
     /// Also applies the intra-op kernel thread setting: `NN_THREADS` when
     /// set in the environment, else [`EngineConfig::threads_per_worker`]
@@ -259,22 +463,45 @@ impl RecoveryEngine {
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             counters: Counters::default(),
-            max_batch: config.max_batch,
-            max_delay: config.max_delay,
+            base_max_batch: config.max_batch,
+            base_max_delay: config.max_delay,
+            max_batch: AtomicUsize::new(config.max_batch),
+            max_delay_ns: AtomicU64::new(config.max_delay.as_nanos() as u64),
             queue_capacity: config.queue_capacity,
+            batch_timeout: config.batch_timeout,
+            brownout_level: AtomicU8::new(0),
+            brownout_override: AtomicU8::new(AUTO_LEVEL),
+            queue_wait_ring: Mutex::new(VecDeque::with_capacity(QUEUE_WAIT_RING_CAP)),
+            drain_rate_bits: AtomicU64::new(0f64.to_bits()),
+            queue_wait_p99_bits: AtomicU64::new(0f64.to_bits()),
+            supervise_every: config.supervise_every,
+            restart_backoff: config.restart_backoff,
+            restart_backoff_cap: config.restart_backoff_cap,
         });
-        let workers = (0..config.workers)
+        let workers: Vec<WorkerState> = (0..config.workers)
             .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rntrajrec-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serve worker")
+                let slot = Arc::new(WorkerSlot::default());
+                WorkerState {
+                    index: i,
+                    handle: Some(spawn_worker(&shared, &slot, i)),
+                    slot,
+                    spawned: Instant::now(),
+                    crashes: 0,
+                    respawn_at: None,
+                }
             })
             .collect();
+        let controller = config.brownout.map(BrownoutController::new);
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rntrajrec-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, workers, controller))
+                .expect("spawn engine supervisor")
+        };
         Self {
             shared,
-            workers,
+            supervisor: Some(supervisor),
             intra_op,
         }
     }
@@ -302,7 +529,7 @@ impl RecoveryEngine {
         // so engine-side spans (queue.wait, batch.assemble, the fused
         // passes) are attributable; there is just no HTTP-side tree.
         let trace = rntrajrec_obs::enabled().then(rntrajrec_obs::next_request_id);
-        self.try_submit_traced(input, trace)
+        self.try_submit_with(input, trace, None)
     }
 
     /// [`RecoveryEngine::try_submit`] with an explicit observability
@@ -314,6 +541,29 @@ impl RecoveryEngine {
         input: SampleInput,
         trace: Option<rntrajrec_obs::RequestId>,
     ) -> Result<RecoveryHandle, EngineError> {
+        self.try_submit_with(input, trace, None)
+    }
+
+    /// Full-control submission: optional trace id and an optional
+    /// **absolute deadline**. A request whose deadline passes while it is
+    /// decoding inside a fused batch is cancelled through the decoder's
+    /// state-compaction path (survivors bit-identical) and completes with
+    /// a typed timeout ([`Recovered::timed_out`]).
+    pub fn try_submit_with(
+        &self,
+        input: SampleInput,
+        trace: Option<rntrajrec_obs::RequestId>,
+        deadline: Option<Instant>,
+    ) -> Result<RecoveryHandle, EngineError> {
+        rntrajrec_chaos::point("engine.submit")
+            .map_err(|f| EngineError::FaultInjected { point: f.point })?;
+        if self.shared.level() >= 3 {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Brownout);
+        }
         let (tx, rx) = mpsc::channel();
         let id = {
             let mut q = self.shared.queue.lock().unwrap();
@@ -341,6 +591,7 @@ impl RecoveryEngine {
                 trace,
                 input,
                 enqueued: Instant::now(),
+                deadline,
                 tx,
             });
             id
@@ -383,6 +634,13 @@ impl RecoveryEngine {
             } else {
                 c.compute_ns.load(Ordering::Relaxed) as f64 / completed as f64 / 1e6
             },
+            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+            watchdog_timeouts: c.watchdog_timeouts.load(Ordering::Relaxed),
+            deadline_cancelled: c.deadline_cancelled.load(Ordering::Relaxed),
+            brownout_shifts: c.brownout_shifts.load(Ordering::Relaxed),
+            brownout_mode: mode_name(self.shared.level()).to_string(),
+            drain_rate_per_sec: self.drain_rate_per_sec(),
+            queue_wait_p99_ms: self.queue_wait_p99_ms(),
             kernel_backend: rntrajrec_nn::kernels::backend::active_name().to_string(),
             segment_head: self.shared.model.head_name().to_string(),
         }
@@ -413,16 +671,50 @@ impl RecoveryEngine {
         self.shared.queue_capacity
     }
 
+    /// Active brownout ladder level (0 = normal … 3 = shed).
+    pub fn brownout_level(&self) -> u8 {
+        self.shared.level()
+    }
+
+    /// Active brownout mode name, as exported on `/metrics`.
+    pub fn brownout_mode(&self) -> &'static str {
+        mode_name(self.shared.level())
+    }
+
+    /// Force the brownout ladder to a level (ops/maintenance knob:
+    /// `Some(3)` drains by shedding all new work; also the deterministic
+    /// test hook). `None` returns control to the load-watermark
+    /// controller. Applies immediately.
+    pub fn set_brownout_override(&self, level: Option<u8>) {
+        let v = level.map_or(AUTO_LEVEL, |l| l.min(3));
+        self.shared.brownout_override.store(v, Ordering::Relaxed);
+        if v != AUTO_LEVEL {
+            self.shared.apply_level(v);
+        }
+    }
+
+    /// Recent completion rate (requests/sec), sampled by the supervisor
+    /// over its tick window. The denominator of adaptive `Retry-After`.
+    pub fn drain_rate_per_sec(&self) -> f64 {
+        f64::from_bits(self.shared.drain_rate_bits.load(Ordering::Relaxed))
+    }
+
+    /// Recent queue-wait p99 (ms), over the last
+    /// [`QUEUE_WAIT_RING_CAP`]-request window.
+    pub fn queue_wait_p99_ms(&self) -> f64 {
+        f64::from_bits(self.shared.queue_wait_p99_bits.load(Ordering::Relaxed))
+    }
+
     /// The served model (e.g. for direct single-request comparison).
     pub fn model(&self) -> &ServingModel {
         &self.shared.model
     }
 
     /// Graceful stop with a final report: signals shutdown, lets workers
-    /// drain the remaining queue, joins them, and returns the counter
-    /// snapshot *after* the drain — so requests still queued at shutdown
-    /// are included. (Dropping the engine drains identically but offers
-    /// no post-drain stats.)
+    /// drain the remaining queue, joins them (via the supervisor), and
+    /// returns the counter snapshot *after* the drain — so requests still
+    /// queued at shutdown are included. (Dropping the engine drains
+    /// identically but offers no post-drain stats.)
     pub fn drain(mut self) -> EngineStats {
         self.stop_and_join();
         self.stats()
@@ -431,8 +723,8 @@ impl RecoveryEngine {
     fn stop_and_join(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.cond.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
         }
     }
 }
@@ -443,23 +735,202 @@ impl Drop for RecoveryEngine {
     }
 }
 
+struct WorkerState {
+    index: usize,
+    handle: Option<JoinHandle<()>>,
+    slot: Arc<WorkerSlot>,
+    spawned: Instant,
+    /// Consecutive crashes (reset after [`RESTART_RESET_UPTIME`] uptime).
+    crashes: u32,
+    respawn_at: Option<Instant>,
+}
+
+fn spawn_worker(shared: &Arc<Shared>, slot: &Arc<WorkerSlot>, index: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let slot = Arc::clone(slot);
+    std::thread::Builder::new()
+        .name(format!("rntrajrec-serve-{index}"))
+        .spawn(move || worker_loop(&shared, &slot))
+        .expect("spawn serve worker")
+}
+
+/// The supervisor: reaps and respawns crashed workers (capped exponential
+/// backoff), fails hung batches past [`EngineConfig::batch_timeout`],
+/// samples the drain rate, and drives the brownout ladder. Exits — after
+/// joining every worker — once shutdown is signalled and the workers have
+/// drained the queue.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    mut workers: Vec<WorkerState>,
+    mut controller: Option<BrownoutController>,
+) {
+    let mut drain_samples: VecDeque<(Instant, u64)> = VecDeque::with_capacity(DRAIN_SAMPLES);
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+
+        // (1) Reap crashed workers; respawn with capped exponential
+        // backoff (immediately during drain — queued requests still need
+        // a worker).
+        for w in workers.iter_mut() {
+            if w.handle.as_ref().is_some_and(|h| h.is_finished()) {
+                let crashed = w.handle.take().unwrap().join().is_err();
+                if crashed {
+                    // The crash may have orphaned a registered batch and
+                    // its in-flight gauge increment.
+                    if shared.fail_inflight(
+                        &w.slot,
+                        "worker crashed mid-batch; failed by supervisor",
+                        false,
+                    ) {
+                        shared
+                            .counters
+                            .in_flight_batches
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }
+                    w.crashes = if w.spawned.elapsed() >= RESTART_RESET_UPTIME {
+                        1
+                    } else {
+                        w.crashes + 1
+                    };
+                    let exp = w.crashes.saturating_sub(1).min(16);
+                    let backoff = shared
+                        .restart_backoff
+                        .saturating_mul(1u32 << exp)
+                        .min(shared.restart_backoff_cap);
+                    w.respawn_at = Some(Instant::now() + backoff);
+                }
+            }
+            if w.handle.is_none() && w.respawn_at.is_some() {
+                let due = w.respawn_at.is_some_and(|at| Instant::now() >= at);
+                if due || draining {
+                    w.respawn_at = None;
+                    w.spawned = Instant::now();
+                    w.handle = Some(spawn_worker(shared, &w.slot, w.index));
+                    shared
+                        .counters
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // (2) Watchdog: fail batches computing past the budget. Only the
+        // affected requests get errors (typed, 503 at the HTTP layer);
+        // the queue and the other workers keep flowing. The worker is
+        // *not* killed — if it was merely slow it will find its claim
+        // slot empty and skip delivery.
+        if let Some(timeout) = shared.batch_timeout {
+            for w in &workers {
+                let hung = w
+                    .slot
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_ref()
+                    .is_some_and(|f| f.started.elapsed() >= timeout);
+                if hung
+                    && shared.fail_inflight(
+                        &w.slot,
+                        &format!(
+                            "watchdog: batch exceeded {} ms compute budget",
+                            timeout.as_millis()
+                        ),
+                        true,
+                    )
+                {
+                    shared
+                        .counters
+                        .watchdog_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // (3) Drain rate: completions/sec over the sample window.
+        let completed = shared.counters.completed.load(Ordering::Relaxed);
+        drain_samples.push_back((Instant::now(), completed));
+        while drain_samples.len() > DRAIN_SAMPLES {
+            drain_samples.pop_front();
+        }
+        if let (Some(&(t0, c0)), Some(&(t1, c1))) = (drain_samples.front(), drain_samples.back()) {
+            let dt = t1.saturating_duration_since(t0).as_secs_f64();
+            let rate = if dt > 0.0 { (c1 - c0) as f64 / dt } else { 0.0 };
+            shared
+                .drain_rate_bits
+                .store(rate.to_bits(), Ordering::Relaxed);
+        }
+
+        // (4) Brownout: p99 over the queue-wait ring, then one controller
+        // tick; a manual override preempts the controller.
+        let p99 = {
+            let ring = shared
+                .queue_wait_ring
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            queue_wait_p99(&ring)
+        };
+        shared
+            .queue_wait_p99_bits
+            .store(p99.to_bits(), Ordering::Relaxed);
+        let overridden = shared.brownout_override.load(Ordering::Relaxed);
+        let level = if overridden != AUTO_LEVEL {
+            overridden
+        } else if let Some(ctl) = controller.as_mut() {
+            let depth = shared.queue.lock().unwrap().len();
+            ctl.observe(depth, p99)
+        } else {
+            0
+        };
+        shared.apply_level(level);
+
+        // (5) Exit once shutdown is signalled and every worker has
+        // drained and exited (a dead-and-unrespawned worker is respawned
+        // above during drain, so `handle: None` here means clean exit).
+        if draining
+            && workers
+                .iter()
+                .all(|w| w.handle.is_none() && w.respawn_at.is_none())
+        {
+            break;
+        }
+        std::thread::sleep(shared.supervise_every);
+    }
+}
+
+/// Ceil nearest-rank p99 over the ring (0 when empty).
+fn queue_wait_p99(ring: &VecDeque<f64>) -> f64 {
+    if ring.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = ring.iter().copied().collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((0.99 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
 /// Pop one micro-batch (blocking) or `None` on shutdown with an empty
 /// queue. Returns the flush instant alongside the batch — the boundary
 /// between every member's queue-wait and the batch's compute.
 fn take_batch(shared: &Shared) -> Option<(Vec<Pending>, Instant)> {
+    // Fault point *before* the queue lock: an injected panic here loses
+    // no requests (the queue is untouched) and must not poison the
+    // mutex; a delay models slow batch assembly.
+    rntrajrec_chaos::point_infallible("engine.batch");
     let mut q = shared.queue.lock().unwrap();
     let full = loop {
-        if q.len() >= shared.max_batch {
+        let max_batch = shared.max_batch.load(Ordering::Relaxed);
+        let max_delay = Duration::from_nanos(shared.max_delay_ns.load(Ordering::Relaxed));
+        if q.len() >= max_batch {
             break true; // flush on size
         }
         let draining = shared.shutdown.load(Ordering::SeqCst);
         match q.front() {
             Some(oldest) => {
                 let age = oldest.enqueued.elapsed();
-                if draining || age >= shared.max_delay {
+                if draining || age >= max_delay {
                     break false; // flush on deadline (or shutdown drain)
                 }
-                let (guard, _) = shared.cond.wait_timeout(q, shared.max_delay - age).unwrap();
+                let (guard, _) = shared.cond.wait_timeout(q, max_delay - age).unwrap();
                 q = guard;
             }
             None => {
@@ -470,7 +941,8 @@ fn take_batch(shared: &Shared) -> Option<(Vec<Pending>, Instant)> {
             }
         }
     };
-    let take = q.len().min(shared.max_batch);
+    let max_batch = shared.max_batch.load(Ordering::Relaxed);
+    let take = q.len().min(max_batch);
     let batch: Vec<Pending> = q.drain(..take).collect();
     let leftovers = !q.is_empty();
     drop(q);
@@ -480,7 +952,7 @@ fn take_batch(shared: &Shared) -> Option<(Vec<Pending>, Instant)> {
         // behind this batch's inference.
         shared.cond.notify_one();
     }
-    if batch.len() == shared.max_batch && full {
+    if batch.len() == max_batch && full {
         shared.counters.flushed_full.fetch_add(1, Ordering::Relaxed);
     } else {
         shared
@@ -516,7 +988,7 @@ fn take_batch(shared: &Shared) -> Option<(Vec<Pending>, Instant)> {
     Some((batch, taken))
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, slot: &WorkerSlot) {
     use std::sync::OnceLock;
     static QUEUE_WAIT_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
     static COMPUTE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
@@ -530,21 +1002,51 @@ fn worker_loop(shared: &Shared) {
             .observe(batch_size as f64);
         BATCH_OCCUPANCY
             .get_or_init(rntrajrec_obs::metrics::batch_occupancy)
-            .observe(batch_size as f64 / shared.max_batch as f64);
+            .observe(batch_size as f64 / shared.base_max_batch as f64);
         shared
             .counters
             .in_flight_batches
             .fetch_add(1, Ordering::Relaxed);
+        // Register the batch in the claim slot *before* any fallible work:
+        // from here on, if this thread dies or stalls, the supervisor can
+        // fail exactly these members on its behalf.
+        *slot.inflight.lock().unwrap_or_else(|e| e.into_inner()) = Some(InFlight {
+            started: Instant::now(),
+            batch_size,
+            members: batch
+                .iter()
+                .map(|p| (p.id, p.enqueued, p.tx.clone()))
+                .collect(),
+        });
+        // The `engine.worker` fault point sits *outside* the per-batch
+        // panic isolation on purpose: an injected panic kills this worker
+        // thread — the supervision path under test. An injected delay
+        // stalls the registered batch — the watchdog path. An injected
+        // error fails the batch with typed errors.
+        if let Err(fault) = rntrajrec_chaos::point("engine.worker") {
+            if shared.fail_inflight(slot, &fault.to_string(), false) {
+                shared
+                    .counters
+                    .in_flight_batches
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            continue;
+        }
         // The whole flushed batch goes through the fused inference path:
         // one stacked encoder pass (GraphNorm statistics per member) and
         // stacked [B, ·] decoder steps — bit-identical to per-request
         // inference, so the batch composition is still unobservable in
-        // the results. A panicking
-        // request (e.g. an input built against a different road network
-        // tripping a shape assert) makes `recover_batch` fall back to
-        // per-member recovery internally, failing only that request —
-        // never the worker thread, and with it the whole engine.
+        // the results. A panicking request (e.g. an input built against a
+        // different road network tripping a shape assert) makes the
+        // fused pass fall back to per-member recovery internally, failing
+        // only that request — never the worker thread, and with it the
+        // whole engine. Deadlines ride into the decode loop; the brownout
+        // level picks the degraded head.
         let inputs: Vec<&SampleInput> = batch.iter().map(|p| &p.input).collect();
+        let opts = BatchOptions {
+            deadlines: batch.iter().map(|p| p.deadline).collect(),
+            degraded_head: shared.level() >= 1,
+        };
         let results = {
             // Attribute every span and kernel event of the fused pass to
             // all traced members. The scope must drop (flushing this
@@ -554,10 +1056,29 @@ fn worker_loop(shared: &Shared) {
             let members: Vec<rntrajrec_obs::RequestId> =
                 batch.iter().filter_map(|p| p.trace).collect();
             let _scope = rntrajrec_obs::request_scope(&members);
-            shared.model.recover_batch(&inputs)
+            shared.model.recover_batch_opts(&inputs, &opts)
         };
         let done = Instant::now();
         let compute = done.saturating_duration_since(taken);
+        // Decrement before delivering: a client unblocked by `send` below
+        // must observe the gauge already back at zero (compute is over;
+        // only delivery remains).
+        shared
+            .counters
+            .in_flight_batches
+            .fetch_sub(1, Ordering::Relaxed);
+        // Claim the batch back. If the watchdog failed it while we were
+        // computing, delivery (and its counters) already happened — drop
+        // our results on the floor and move on.
+        if slot
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .is_none()
+        {
+            continue;
+        }
         shared.counters.compute_ns.fetch_add(
             compute.as_nanos() as u64 * batch_size as u64,
             Ordering::Relaxed,
@@ -567,20 +1088,26 @@ fn worker_loop(shared: &Shared) {
             .observe_duration(compute);
         let queue_wait_hist =
             QUEUE_WAIT_SECONDS.get_or_init(|| rntrajrec_obs::metrics::phase_seconds("queue_wait"));
-        // Decrement before delivering: a client unblocked by `send` below
-        // must observe the gauge already back at zero (compute is over;
-        // only delivery remains).
-        shared
-            .counters
-            .in_flight_batches
-            .fetch_sub(1, Ordering::Relaxed);
+        let mut wait_samples: Vec<f64> = Vec::with_capacity(batch_size);
         for (pending, result) in batch.iter().zip(results) {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-            let (path, error) = match result {
-                Ok(path) => (path, None),
-                Err(msg) => {
+            let (path, error, timed_out) = match result {
+                Ok(path) => (path, None, false),
+                Err(MemberError::DeadlineExceeded) => {
                     shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    (Vec::new(), Some(msg))
+                    shared
+                        .counters
+                        .deadline_cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                    (
+                        Vec::new(),
+                        Some(MemberError::DeadlineExceeded.to_string()),
+                        true,
+                    )
+                }
+                Err(MemberError::Failed(msg)) => {
+                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    (Vec::new(), Some(msg), false)
                 }
             };
             let queue_wait = taken.saturating_duration_since(pending.enqueued);
@@ -589,15 +1116,28 @@ fn worker_loop(shared: &Shared) {
                 .queue_wait_ns
                 .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
             queue_wait_hist.observe_duration(queue_wait);
+            wait_samples.push(queue_wait.as_secs_f64() * 1e3);
             let _ = pending.tx.send(Recovered {
                 id: pending.id,
                 path,
                 error,
+                timed_out,
                 batch_size,
                 latency: pending.enqueued.elapsed(),
                 queue_wait,
                 compute,
             });
+        }
+        // Feed the brownout controller's latency watermark.
+        let mut ring = shared
+            .queue_wait_ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for w in wait_samples {
+            if ring.len() == QUEUE_WAIT_RING_CAP {
+                ring.pop_front();
+            }
+            ring.push_back(w);
         }
     }
 }

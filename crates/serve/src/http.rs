@@ -207,6 +207,31 @@ impl HttpCounters {
     }
 }
 
+/// Adaptive `Retry-After` hint: how long until the queue ahead of a
+/// retrying client has drained, at the engine's observed completion
+/// rate.
+///
+/// `ceil(queue_depth / drain_rate)`, clamped to `[1, 60]` seconds. When
+/// the engine has no drain-rate estimate yet (no completions in the
+/// sample window, rate ≤ 0, or not finite), falls back to the
+/// configured static value — a cold server should not tell clients to
+/// wait a minute. Pinned by the `retry_after` unit tests.
+fn adaptive_retry_after(queue_depth: usize, drain_rate_per_sec: f64, fallback_secs: u64) -> u64 {
+    if !drain_rate_per_sec.is_finite() || drain_rate_per_sec <= 0.0 {
+        return fallback_secs.clamp(1, 60);
+    }
+    let secs = (queue_depth as f64 / drain_rate_per_sec).ceil();
+    (secs as u64).clamp(1, 60)
+}
+
+fn retry_after_value(state: &ServerState) -> u64 {
+    adaptive_retry_after(
+        state.engine.queue_depth(),
+        state.engine.drain_rate_per_sec(),
+        state.retry_after_secs,
+    )
+}
+
 struct ServerState {
     engine: Arc<RecoveryEngine>,
     ctx: Arc<QueryContext>,
@@ -339,6 +364,13 @@ fn acceptor_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                // Chaos: an accept-time fault closes the connection
+                // before it reaches the worker pool (a delay stalls the
+                // acceptor — downstream of it, the backlog gate sheds).
+                if rntrajrec_chaos::point("http.accept").is_err() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
                 match conn_tx.try_send(stream) {
                     Ok(()) => {}
                     Err(mpsc::TrySendError::Full(mut stream)) => {
@@ -353,7 +385,7 @@ fn acceptor_loop(
                             "application/json",
                             &ErrorBody::new(503, "connection backlog full").to_json(),
                             false,
-                            &[("Retry-After", state.retry_after_secs.to_string())],
+                            &[("Retry-After", retry_after_value(state).to_string())],
                         );
                         let _ = stream.shutdown(Shutdown::Both);
                     }
@@ -420,6 +452,11 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
         // (resetting this) until bytes begin arriving, so the span start
         // precedes the first byte by at most one poll tick.
         let read_started = Instant::now();
+        // Chaos: a read-phase fault drops the connection mid-read (the
+        // client sees a reset, exactly like a real socket failure).
+        if rntrajrec_chaos::point("http.read").is_err() {
+            break;
+        }
         match read_request(&mut stream, &mut buf, state) {
             ReadOutcome::Request(req) => {
                 // Request id minted at the HTTP edge: recover requests
@@ -755,16 +792,19 @@ fn dispatch(
     state.counters.record_status(status);
     let extra: Vec<(&str, String)> = extra;
     let write_start_ns = trace.as_ref().map(|_| rntrajrec_obs::now_ns());
-    let ok = write_response(
-        stream,
-        status,
-        reason,
-        content_type,
-        &body,
-        keep_alive,
-        &extra,
-    )
-    .is_ok();
+    // Chaos: a write-phase fault drops the connection with the response
+    // unsent — the client-side retry policy is what recovers from this.
+    let ok = rntrajrec_chaos::point("http.write").is_ok()
+        && write_response(
+            stream,
+            status,
+            reason,
+            content_type,
+            &body,
+            keep_alive,
+            &extra,
+        )
+        .is_ok();
     if let (Some(t), Some(write_start_ns)) = (&trace, write_start_ns) {
         // The engine flushed its batch spans before delivering the
         // result, and `recover`'s request scope flushed the HTTP-side
@@ -795,7 +835,19 @@ fn recover(
     static SERIALIZE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
 
     let t0 = Instant::now();
-    let retry = vec![("Retry-After", state.retry_after_secs.to_string())];
+    let retry = vec![("Retry-After", retry_after_value(state).to_string())];
+
+    // Chaos: a fault here simulates the parse stage falling over. The
+    // client still gets a typed JSON error (never a hang).
+    if let Err(fault) = rntrajrec_chaos::point("http.parse") {
+        return (
+            400,
+            "Bad Request",
+            "application/json",
+            ErrorBody::new(400, fault.to_string()).to_json(),
+            vec![],
+        );
+    }
     // Attribute HTTP-side spans (parse, serialize) to this request; the
     // scope drop at function exit flushes them to the global store before
     // `dispatch` records the root span.
@@ -864,8 +916,14 @@ fn recover(
         };
     drop(parse_span);
 
-    // Admission gate 2: the engine's bounded queue.
-    let handle = match state.engine.try_submit_traced(input, trace.map(|t| t.id)) {
+    // Admission gate 2: the engine's bounded queue, with the remaining
+    // deadline budget propagated so the engine can cancel this member
+    // mid-decode instead of finishing work nobody will read.
+    let deadline = Some(t0 + state.deadline);
+    let handle = match state
+        .engine
+        .try_submit_with(input, trace.map(|t| t.id), deadline)
+    {
         Ok(h) => h,
         Err(EngineError::Overloaded {
             queue_depth,
@@ -878,6 +936,25 @@ fn recover(
                 "application/json",
                 ErrorBody::new(429, format!("engine queue full ({queue_depth}/{capacity})"))
                     .to_json(),
+                retry,
+            );
+        }
+        Err(e @ EngineError::Brownout) => {
+            state.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+            return (
+                503,
+                "Service Unavailable",
+                "application/json",
+                ErrorBody::new(503, e.to_string()).to_json(),
+                retry,
+            );
+        }
+        Err(e @ EngineError::FaultInjected { .. }) => {
+            return (
+                503,
+                "Service Unavailable",
+                "application/json",
+                ErrorBody::new(503, e.to_string()).to_json(),
                 retry,
             );
         }
@@ -906,6 +983,18 @@ fn recover(
         }
         Ok(recovered) => {
             if let Some(err) = recovered.error {
+                // Deadline/watchdog cancellations are a load condition
+                // (retryable), not a server bug: 503 + Retry-After.
+                if recovered.timed_out {
+                    state.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                    return (
+                        503,
+                        "Service Unavailable",
+                        "application/json",
+                        ErrorBody::new(503, format!("recovery cancelled: {err}")).to_json(),
+                        retry,
+                    );
+                }
                 return (
                     500,
                     "Internal Server Error",
@@ -1213,6 +1302,100 @@ fn render_metrics(state: &ServerState) -> String {
         "",
         stats.mean_compute_ms,
     );
+    header(
+        &mut out,
+        "rntrajrec_engine_queue_wait_p99_ms",
+        "p99 queue wait over a sliding window of completed requests.",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_queue_wait_p99_ms",
+        "",
+        stats.queue_wait_p99_ms,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_drain_rate_per_sec",
+        "Observed request completion rate over the supervisor's sample window.",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_drain_rate_per_sec",
+        "",
+        stats.drain_rate_per_sec,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_worker_restarts_total",
+        "Crashed engine workers respawned by the supervisor.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_worker_restarts_total",
+        "",
+        stats.worker_restarts as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_watchdog_timeouts_total",
+        "Batches failed by the watchdog for exceeding the compute budget.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_watchdog_timeouts_total",
+        "",
+        stats.watchdog_timeouts as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_deadline_cancelled_total",
+        "Batch members cancelled mid-decode for an expired deadline.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_deadline_cancelled_total",
+        "",
+        stats.deadline_cancelled as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_brownout_level",
+        "Active brownout ladder level (0 normal … 3 shed).",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_brownout_level",
+        "",
+        state.engine.brownout_level() as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_brownout_mode",
+        "Active brownout degradation mode; the value is always 1.",
+        "gauge",
+    );
+    out.push_str(&format!(
+        "rntrajrec_engine_brownout_mode{{mode=\"{}\"}} 1\n",
+        stats.brownout_mode,
+    ));
+    header(
+        &mut out,
+        "rntrajrec_engine_brownout_shifts_total",
+        "Brownout ladder transitions since start.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_brownout_shifts_total",
+        "",
+        stats.brownout_shifts as f64,
+    );
 
     header(
         &mut out,
@@ -1276,6 +1459,34 @@ fn render_metrics(state: &ServerState) -> String {
         rntrajrec_obs::dropped_spans() as f64,
     );
 
+    header(
+        &mut out,
+        "rntrajrec_chaos_enabled",
+        "1 when deterministic fault injection is armed (CHAOS_FAULTS).",
+        "gauge",
+    );
+    line(
+        &mut out,
+        "rntrajrec_chaos_enabled",
+        "",
+        if rntrajrec_chaos::enabled() { 1.0 } else { 0.0 },
+    );
+    let chaos_points = rntrajrec_chaos::snapshot();
+    if !chaos_points.is_empty() {
+        header(
+            &mut out,
+            "rntrajrec_chaos_injected_total",
+            "Faults actually injected, per configured point.",
+            "counter",
+        );
+        for p in &chaos_points {
+            out.push_str(&format!(
+                "rntrajrec_chaos_injected_total{{point=\"{}\",kind=\"{}\"}} {}\n",
+                p.point, p.kind, p.fired,
+            ));
+        }
+    }
+
     rntrajrec_obs::metrics::render_into(&mut out);
     out
 }
@@ -1308,7 +1519,70 @@ fn write_response(
 
 #[cfg(test)]
 mod tests {
-    use super::HttpCounters;
+    use super::{adaptive_retry_after, HttpCounters};
+    use std::time::Duration;
+
+    /// `ceil(depth / drain)` clamped to `[1, 60]`; fallback when the
+    /// engine has no drain estimate yet.
+    #[test]
+    fn retry_after_formula() {
+        // 10 queued, draining 4/s → ceil(2.5) = 3 s.
+        assert_eq!(adaptive_retry_after(10, 4.0, 1), 3);
+        // Exact division: 8/4 → 2 s.
+        assert_eq!(adaptive_retry_after(8, 4.0, 1), 2);
+        // Empty queue → floor of 1 s, never 0 (or the header is noise).
+        assert_eq!(adaptive_retry_after(0, 4.0, 1), 1);
+        // Deep queue, slow drain → capped at 60 s.
+        assert_eq!(adaptive_retry_after(1000, 0.5, 1), 60);
+        // No drain estimate (cold server / stalled): use the fallback…
+        assert_eq!(adaptive_retry_after(50, 0.0, 2), 2);
+        assert_eq!(adaptive_retry_after(50, -1.0, 2), 2);
+        assert_eq!(adaptive_retry_after(50, f64::NAN, 2), 2);
+        // …and the fallback is clamped into the same band.
+        assert_eq!(adaptive_retry_after(50, 0.0, 0), 1);
+        assert_eq!(adaptive_retry_after(50, 0.0, 600), 60);
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential_with_bounded_jitter() {
+        let p = super::client::RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(1),
+            seed: 42,
+        };
+        for attempt in 0..8 {
+            let nominal = Duration::from_millis(100 * (1 << attempt)).min(Duration::from_secs(1));
+            let d = p.backoff(attempt);
+            assert!(
+                d >= nominal.mul_f64(0.5) && d < nominal,
+                "attempt {attempt}: {d:?} outside [{:?}, {nominal:?})",
+                nominal.mul_f64(0.5),
+            );
+        }
+        // Deterministic for a seed; different across seeds.
+        assert_eq!(p.backoff(3), p.backoff(3));
+        let q = super::client::RetryPolicy {
+            seed: 43,
+            ..p.clone()
+        };
+        assert_ne!(p.backoff(3), q.backoff(3));
+    }
+
+    #[test]
+    fn retry_after_hint_floors_the_backoff() {
+        let p = super::client::RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(5),
+            seed: 7,
+        };
+        // Server hint above the jittered backoff wins…
+        assert_eq!(p.delay(0, Some(2)), Duration::from_secs(2));
+        // …but a tiny hint cannot pull the backoff down.
+        assert!(p.delay(5, Some(0)) >= Duration::from_millis(160));
+        assert_eq!(p.delay(1, None), p.backoff(1));
+    }
 
     fn quantiles_of(samples: &[f64]) -> (f64, f64) {
         let c = HttpCounters::default();
@@ -1394,6 +1668,109 @@ pub mod client {
     /// `POST` a JSON body.
     pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
         request(addr, "POST", path, Some(body))
+    }
+
+    /// Retry policy for [`request_with_retry`]: capped exponential
+    /// backoff with deterministic jitter, honoring `Retry-After`.
+    ///
+    /// Attempt `k` (0-based) sleeps `min(cap, base × 2^k)` scaled by a
+    /// jitter factor in `[0.5, 1.0)` derived from `splitmix64(seed ^ k)`
+    /// — deterministic for a given seed, so test runs replay exactly,
+    /// while distinct seeds (one per client) decorrelate retry storms.
+    /// A `429`/`503` response carrying `Retry-After: N` sleeps
+    /// `max(N seconds, backoff)` instead: the server's hint is a floor,
+    /// never a reason to hammer it sooner.
+    #[derive(Debug, Clone)]
+    pub struct RetryPolicy {
+        /// Retries after the first attempt (total attempts = `1 + max_retries`).
+        pub max_retries: u32,
+        /// First backoff step.
+        pub base: Duration,
+        /// Backoff ceiling.
+        pub cap: Duration,
+        /// Jitter seed; vary it per client.
+        pub seed: u64,
+    }
+
+    impl Default for RetryPolicy {
+        fn default() -> Self {
+            Self {
+                max_retries: 4,
+                base: Duration::from_millis(50),
+                cap: Duration::from_secs(2),
+                seed: 0,
+            }
+        }
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    impl RetryPolicy {
+        /// Jittered backoff before retry `attempt` (0-based), ignoring
+        /// any `Retry-After` hint. Pinned by the `retry_backoff` tests.
+        pub fn backoff(&self, attempt: u32) -> Duration {
+            let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+            let capped = exp.min(self.cap);
+            // 53 high bits → uniform f64 in [0, 1), then into [0.5, 1.0).
+            let unit =
+                (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+            capped.mul_f64(0.5 + 0.5 * unit)
+        }
+
+        /// The sleep before retry `attempt`, honoring a server
+        /// `Retry-After` (seconds) as a floor on the jittered backoff.
+        pub fn delay(&self, attempt: u32, retry_after_secs: Option<u64>) -> Duration {
+            let backoff = self.backoff(attempt);
+            match retry_after_secs {
+                Some(secs) => backoff.max(Duration::from_secs(secs)),
+                None => backoff,
+            }
+        }
+    }
+
+    /// Whether a response status is worth retrying (the server said
+    /// "come back later", not "your request is wrong").
+    pub fn retryable_status(status: u16) -> bool {
+        status == 429 || status == 503
+    }
+
+    /// Issue a request, retrying connect/transport errors and
+    /// `429`/`503` responses per `policy`. Returns the first
+    /// non-retryable response, the last retryable one once attempts are
+    /// exhausted, or the last transport error.
+    pub fn request_with_retry(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<HttpResponse> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = request(addr, method, path, body);
+            let retry_after = match &outcome {
+                Ok(resp) if retryable_status(resp.status) => Some(
+                    resp.header("Retry-After")
+                        .and_then(|v| v.trim().parse::<u64>().ok()),
+                ),
+                Ok(resp) => return Ok(resp.clone()),
+                Err(_) => Some(None),
+            };
+            if attempt >= policy.max_retries {
+                return outcome;
+            }
+            // Tests and the bench drive sub-second loops; a literal
+            // multi-second Retry-After sleep would stall them, so the
+            // honored floor is capped at the policy ceiling.
+            let hint = retry_after.flatten();
+            std::thread::sleep(policy.delay(attempt, hint).min(policy.cap));
+            attempt += 1;
+        }
     }
 
     /// Issue one request on a fresh connection.

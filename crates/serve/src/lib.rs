@@ -77,15 +77,19 @@
 //! println!("{} segments in {:?}", recovered.path.len(), recovered.latency);
 //! ```
 
+pub mod brownout;
 mod engine;
 pub mod http;
 mod service;
 
+pub use brownout::{BrownoutConfig, BrownoutController};
 pub use engine::{
     EngineConfig, EngineError, EngineStats, Recovered, RecoveryEngine, RecoveryHandle,
 };
 pub use http::{HttpConfig, HttpServer};
-pub use service::{QueryContext, RoadEmbeddingCache, ServeError, ServingModel};
+pub use service::{
+    BatchOptions, MemberError, QueryContext, RoadEmbeddingCache, ServeError, ServingModel,
+};
 
 #[cfg(test)]
 mod tests {
@@ -163,6 +167,7 @@ mod tests {
                 workers: 4,
                 threads_per_worker: 0,
                 queue_capacity: None,
+                ..EngineConfig::default()
             },
         );
         let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
@@ -190,6 +195,7 @@ mod tests {
                 workers: 1,
                 threads_per_worker: 0,
                 queue_capacity: None,
+                ..EngineConfig::default()
             },
         );
         let r = engine.recover(inputs[0].clone());
@@ -212,6 +218,7 @@ mod tests {
                 workers: 1,
                 threads_per_worker: 0,
                 queue_capacity: None,
+                ..EngineConfig::default()
             },
         );
         let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
@@ -263,6 +270,7 @@ mod tests {
                 workers: 1,
                 threads_per_worker: 0,
                 queue_capacity: None,
+                ..EngineConfig::default()
             },
         );
         let mut bad = inputs[0].clone();
@@ -323,6 +331,7 @@ mod tests {
                 workers: 1,
                 threads_per_worker: 2,
                 queue_capacity: None,
+                ..EngineConfig::default()
             },
         );
         // Other tests may race on the process-global knob, so assert the
@@ -353,6 +362,7 @@ mod tests {
                 workers: 1,
                 threads_per_worker: 0,
                 queue_capacity: Some(0),
+                ..EngineConfig::default()
             },
         );
         match engine.try_submit(inputs[0].clone()) {
@@ -364,6 +374,7 @@ mod tests {
                 assert_eq!(capacity, 0);
             }
             Ok(_) => panic!("capacity-0 queue must reject"),
+            Err(e) => panic!("expected Overloaded, got {e}"),
         }
         let stats = engine.stats();
         assert_eq!(stats.rejected, 1);

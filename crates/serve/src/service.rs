@@ -73,15 +73,59 @@ pub fn quant_head_env() -> bool {
     )
 }
 
+/// Per-batch serving options for [`ServingModel::recover_batch_opts`]:
+/// the engine's deadline and brownout decisions, carried into the fused
+/// pass.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Per-member absolute deadlines (parallel to the input slice; empty
+    /// = no deadlines). A member whose deadline passes mid-decode is
+    /// cancelled through the decoder's state-compaction path — survivors
+    /// stay bit-identical — and reported as
+    /// [`MemberError::DeadlineExceeded`].
+    pub deadlines: Vec<Option<std::time::Instant>>,
+    /// Brownout override: serve this batch with the int8 quantized head
+    /// regardless of the configured default (falls back to the sparse
+    /// head if quantization was impossible).
+    pub degraded_head: bool,
+}
+
+/// Why one batch member failed to produce a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberError {
+    /// Inference panicked for this member (malformed input, injected
+    /// fault); the engine itself stays up.
+    Failed(String),
+    /// The member's deadline expired mid-decode and it was cancelled out
+    /// of the fused batch.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for MemberError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemberError::Failed(msg) => write!(f, "{msg}"),
+            MemberError::DeadlineExceeded => write!(f, "deadline exceeded mid-decode"),
+        }
+    }
+}
+
+impl std::error::Error for MemberError {}
+
 /// A model ready to serve: tape-free path validated at construction, road
-/// embeddings precomputed, and the decoder's segment head optionally
-/// pre-quantized to int8 (`NN_QUANT_HEAD` env). Shared read-only across
-/// worker threads.
+/// embeddings precomputed, and the decoder's segment head pre-quantized
+/// to int8 — served by default under `NN_QUANT_HEAD`, and otherwise held
+/// ready as the brownout degraded head. Shared read-only across worker
+/// threads.
 pub struct ServingModel {
     model: EndToEnd,
     road: Option<RoadEmbeddingCache>,
-    /// Int8 segment head, built once at load when requested.
-    quant: Option<QuantizedLinear>,
+    /// Int8 segment head, built once at load. Always present so the
+    /// brownout controller can switch to it under pressure without a
+    /// load-time decision.
+    quant: QuantizedLinear,
+    /// Serve the int8 head by default (vs only in brownout).
+    default_int8: bool,
 }
 
 impl ServingModel {
@@ -103,23 +147,36 @@ impl ServingModel {
             });
         }
         let road = RoadEmbeddingCache::build(&model);
-        let quant = quantized.then(|| model.decoder.quantized_segment_head(&model.store));
-        Ok(Self { model, road, quant })
+        let quant = model.decoder.quantized_segment_head(&model.store);
+        Ok(Self {
+            model,
+            road,
+            quant,
+            default_int8: quantized,
+        })
     }
 
-    /// The decoder segment head this model serves with.
+    /// The decoder segment head this model serves with by default.
     pub fn head(&self) -> SegmentHead<'_> {
-        match &self.quant {
-            Some(q) => SegmentHead::Quantized(q),
-            None => SegmentHead::Sparse,
+        if self.default_int8 {
+            SegmentHead::Quantized(&self.quant)
+        } else {
+            SegmentHead::Sparse
         }
     }
 
-    /// Short name of the active segment head, for logs and `/metrics`.
+    /// The degraded (brownout) segment head: always the int8 quantized
+    /// head — cheapest per step, pre-built at load.
+    pub fn degraded_head(&self) -> SegmentHead<'_> {
+        SegmentHead::Quantized(&self.quant)
+    }
+
+    /// Short name of the default segment head, for logs and `/metrics`.
     pub fn head_name(&self) -> &'static str {
-        match self.quant {
-            Some(_) => "int8",
-            None => "sparse",
+        if self.default_int8 {
+            "int8"
+        } else {
+            "sparse"
         }
     }
 
@@ -144,19 +201,68 @@ impl ServingModel {
     /// panic message) and every healthy member still returns its exact
     /// result.
     pub fn recover_batch(&self, inputs: &[&SampleInput]) -> Vec<Result<Vec<(usize, f32)>, String>> {
+        self.recover_batch_opts(inputs, &BatchOptions::default())
+            .into_iter()
+            .map(|r| r.map_err(|e| e.to_string()))
+            .collect()
+    }
+
+    /// [`ServingModel::recover_batch`] with per-batch [`BatchOptions`]:
+    /// deadline propagation into the decode loop and the brownout head
+    /// override. Same fused pass, same panic-isolation fallback; members
+    /// cancelled mid-decode report [`MemberError::DeadlineExceeded`].
+    pub fn recover_batch_opts(
+        &self,
+        inputs: &[&SampleInput],
+        opts: &BatchOptions,
+    ) -> Vec<Result<Vec<(usize, f32)>, MemberError>> {
         let road = self.road.as_ref().map(|c| &c.x_road);
+        let head = if opts.degraded_head {
+            self.degraded_head()
+        } else {
+            self.head()
+        };
+        let expired = |i: usize| {
+            opts.deadlines
+                .get(i)
+                .copied()
+                .flatten()
+                .is_some_and(|d| std::time::Instant::now() >= d)
+        };
         let fused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.model
-                .infer_predict_batch_with(inputs, road, self.head())
+                .infer_predict_batch_ctl(inputs, road, head, &mut |i, _step| expired(i))
                 .expect("infer path validated in ServingModel::new")
         }));
         match fused {
-            Ok(paths) => paths.into_iter().map(Ok).collect(),
+            Ok((paths, cancelled)) => paths
+                .into_iter()
+                .zip(cancelled)
+                .map(|(path, cut)| {
+                    if cut {
+                        Err(MemberError::DeadlineExceeded)
+                    } else {
+                        Ok(path)
+                    }
+                })
+                .collect(),
             Err(_) => inputs
                 .iter()
-                .map(|input| {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.recover(input)))
-                        .map_err(|payload| panic_message(&payload))
+                .enumerate()
+                .map(|(i, input)| {
+                    // Per-member fallback after a fused-pass panic. The
+                    // sequential path has no step-level cancel hook, so
+                    // the deadline is enforced at member granularity:
+                    // already-expired members fail without decoding.
+                    if expired(i) {
+                        return Err(MemberError::DeadlineExceeded);
+                    }
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.model
+                            .infer_predict_with(input, road, head)
+                            .expect("infer path validated in ServingModel::new")
+                    }))
+                    .map_err(|payload| MemberError::Failed(panic_message(&payload)))
                 })
                 .collect(),
         }

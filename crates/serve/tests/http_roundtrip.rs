@@ -90,6 +90,7 @@ fn quick_engine() -> EngineConfig {
         workers: 2,
         threads_per_worker: 0,
         queue_capacity: None,
+        ..EngineConfig::default()
     }
 }
 
@@ -277,6 +278,7 @@ fn concurrent_clients_share_a_fused_batch() {
             workers: 1,
             threads_per_worker: 0,
             queue_capacity: None,
+            ..EngineConfig::default()
         },
         HttpConfig {
             connection_workers: clients,

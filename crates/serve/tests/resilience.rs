@@ -1,0 +1,482 @@
+//! Fault-injection and self-healing tests: the engine and HTTP layer
+//! under deterministic chaos.
+//!
+//! Each test arms `rntrajrec_chaos` with a seeded spec, drives traffic,
+//! and asserts the failure is (a) contained — typed errors, never hangs
+//! or wedged queues — and (b) healed — crashed workers respawn, hung
+//! batches are failed by the watchdog, expired members are cancelled
+//! mid-decode, shed load is refused with a retryable status.
+//!
+//! Chaos state is process-global, so the tests serialize on a mutex and
+//! disarm before releasing it.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rntrajrec::model::{EndToEnd, MethodSpec};
+use rntrajrec::wire::RecoverRequest;
+use rntrajrec_models::{FeatureExtractor, SampleInput};
+use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
+use rntrajrec_serve::http::client;
+use rntrajrec_serve::{
+    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+};
+use rntrajrec_synth::{SimConfig, Simulator, TrajSample};
+
+static SEQUENTIAL: Mutex<()> = Mutex::new(());
+
+/// Serialize tests (chaos config is process-global) and guarantee the
+/// process is disarmed when the guard drops, pass or fail.
+struct ChaosGuard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+impl ChaosGuard {
+    fn arm(spec: &str, seed: u64) -> Self {
+        let g = SEQUENTIAL.lock().unwrap_or_else(|e| e.into_inner());
+        rntrajrec_chaos::configure(spec, seed).expect("valid chaos spec");
+        ChaosGuard(g)
+    }
+
+    fn unarmed() -> Self {
+        let g = SEQUENTIAL.lock().unwrap_or_else(|e| e.into_inner());
+        rntrajrec_chaos::disarm();
+        ChaosGuard(g)
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        rntrajrec_chaos::disarm();
+    }
+}
+
+fn fixture(n: usize) -> (SyntheticCity, Vec<SampleInput>, Vec<TrajSample>) {
+    let city = SyntheticCity::generate(CityConfig::tiny());
+    let rtree = RTree::build(&city.net);
+    let grid = city.net.grid(50.0);
+    let fx = FeatureExtractor::new(&city.net, &rtree, grid);
+    let mut sim = Simulator::new(
+        &city.net,
+        SimConfig {
+            target_len: 9,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let samples: Vec<TrajSample> = (0..n).map(|_| sim.sample(&mut rng, 8)).collect();
+    let inputs = samples.iter().map(|s| fx.extract(s)).collect();
+    (city, inputs, samples)
+}
+
+fn serving(city: &SyntheticCity) -> Arc<ServingModel> {
+    let grid = city.net.grid(50.0);
+    let model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 7);
+    Arc::new(ServingModel::new(model).expect("RNTrajRec serves"))
+}
+
+fn engine_cfg(workers: usize) -> EngineConfig {
+    EngineConfig {
+        max_batch: 4,
+        max_delay: Duration::from_millis(1),
+        workers,
+        threads_per_worker: 0,
+        queue_capacity: None,
+        supervise_every: Duration::from_millis(2),
+        restart_backoff: Duration::from_millis(2),
+        ..EngineConfig::default()
+    }
+}
+
+/// Poll `f` until it returns true or the budget expires.
+fn eventually(budget: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < budget {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    f()
+}
+
+#[test]
+fn supervisor_restarts_a_crashed_worker_and_fails_only_its_batch() {
+    let _c = ChaosGuard::arm("engine.worker=panic@1x1", 0);
+    let (city, inputs, _) = fixture(3);
+    let engine = RecoveryEngine::start(serving(&city), engine_cfg(1));
+
+    // First batch: the (only) worker panics mid-batch. The supervisor
+    // must fail exactly its members with a typed error — not hang them.
+    let r = engine
+        .try_submit(inputs[0].clone())
+        .expect("accepts")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("crashed batch must be failed, not hung");
+    let err = r.error.expect("member of a crashed batch fails");
+    assert!(
+        err.contains("worker crashed"),
+        "typed crash error, got: {err}"
+    );
+    assert!(!r.timed_out, "a crash is not a timeout");
+
+    // The supervisor respawns the worker (capped backoff) and service
+    // resumes on the same engine.
+    assert!(
+        eventually(Duration::from_secs(10), || engine.stats().worker_restarts
+            >= 1),
+        "supervisor never recorded a restart"
+    );
+    let r = engine
+        .try_submit(inputs[1].clone())
+        .expect("accepts after restart")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("restarted worker must serve");
+    assert!(
+        r.error.is_none(),
+        "post-restart request failed: {:?}",
+        r.error
+    );
+    assert!(!r.path.is_empty());
+
+    let stats = engine.stats();
+    assert_eq!(stats.failed, 1);
+    assert!(stats.completed >= 1);
+}
+
+#[test]
+fn watchdog_fails_hung_batches_without_wedging_the_queue() {
+    // One injected 2 s stall inside the kernel dispatch; the watchdog
+    // budget is 50 ms, so the hung batch's members must come back as
+    // typed timeouts long before the stall clears. Armed only once the
+    // engine is up — model build also dispatches kernels and would
+    // otherwise consume the x1-limited fault.
+    let _c = ChaosGuard::unarmed();
+    let (city, inputs, _) = fixture(2);
+    let engine = RecoveryEngine::start(
+        serving(&city),
+        EngineConfig {
+            batch_timeout: Some(Duration::from_millis(50)),
+            ..engine_cfg(2)
+        },
+    );
+    rntrajrec_chaos::configure("kernel.dispatch=delay:2000@1x1", 0).unwrap();
+
+    let t0 = Instant::now();
+    let r = engine
+        .try_submit(inputs[0].clone())
+        .expect("accepts")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("hung batch must be failed by the watchdog, not block");
+    assert!(
+        t0.elapsed() < Duration::from_millis(1500),
+        "watchdog must answer before the injected stall clears ({:?})",
+        t0.elapsed()
+    );
+    let err = r.error.expect("watchdog-failed member carries an error");
+    assert!(err.contains("watchdog"), "typed watchdog error, got: {err}");
+    assert!(r.timed_out, "watchdog failures are time failures (503)");
+    assert!(eventually(Duration::from_secs(5), || {
+        engine.stats().watchdog_timeouts >= 1
+    }));
+
+    // The fault was x1-limited: the queue is not wedged — the second
+    // worker (or the first, once its stall clears) keeps serving.
+    let r = engine
+        .try_submit(inputs[1].clone())
+        .expect("accepts")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("engine serves after a watchdog kill");
+    assert!(r.error.is_none(), "follow-up failed: {:?}", r.error);
+}
+
+#[test]
+fn expired_deadlines_cancel_members_mid_decode() {
+    let _c = ChaosGuard::unarmed();
+    let (city, inputs, _) = fixture(2);
+    let engine = RecoveryEngine::start(serving(&city), engine_cfg(1));
+
+    // An already-expired deadline: the member is cancelled through the
+    // decoder's compaction path and completes with a typed timeout.
+    let r = engine
+        .try_submit_with(inputs[0].clone(), None, Some(Instant::now()))
+        .expect("accepts")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("expired member completes with an error, never hangs");
+    let err = r.error.expect("expired member fails");
+    assert!(err.contains("deadline"), "typed deadline error, got: {err}");
+    assert!(r.timed_out);
+    assert!(r.path.is_empty());
+
+    // A generous deadline is untouched.
+    let r = engine
+        .try_submit_with(
+            inputs[1].clone(),
+            None,
+            Some(Instant::now() + Duration::from_secs(60)),
+        )
+        .expect("accepts")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("unexpired member completes");
+    assert!(r.error.is_none(), "unexpired member failed: {:?}", r.error);
+    assert!(!r.path.is_empty());
+    assert!(eventually(Duration::from_secs(5), || {
+        engine.stats().deadline_cancelled >= 1
+    }));
+}
+
+#[test]
+fn mixed_deadline_batch_leaves_survivors_bit_identical() {
+    let _c = ChaosGuard::unarmed();
+    let (city, inputs, _) = fixture(4);
+    let model = serving(&city);
+
+    // Reference: each input recovered alone, no deadlines.
+    let reference = RecoveryEngine::start(Arc::clone(&model), engine_cfg(1));
+    let want: Vec<Vec<(usize, f32)>> = inputs
+        .iter()
+        .map(|i| {
+            let r = reference.recover(i.clone());
+            assert!(r.error.is_none());
+            r.path
+        })
+        .collect();
+    drop(reference);
+
+    // One fused batch where members 1 and 3 are pre-expired: they are
+    // compacted out at step 0 and the survivors' rows must be bitwise
+    // what they were without the cancelled neighbours.
+    let engine = RecoveryEngine::start(
+        model,
+        EngineConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(200),
+            ..engine_cfg(1)
+        },
+    );
+    let handles: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let deadline = if i % 2 == 1 {
+                Some(Instant::now() - Duration::from_millis(1))
+            } else {
+                Some(Instant::now() + Duration::from_secs(60))
+            };
+            engine
+                .try_submit_with(input.clone(), None, deadline)
+                .expect("accepts")
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h
+            .wait_timeout(Duration::from_secs(10))
+            .expect("no member of a mixed batch may hang");
+        if i % 2 == 1 {
+            assert!(r.timed_out, "expired member {i} must time out");
+        } else {
+            assert!(r.error.is_none(), "survivor {i} failed: {:?}", r.error);
+            assert_eq!(r.path, want[i], "survivor {i} not bit-identical");
+        }
+    }
+}
+
+#[test]
+fn brownout_override_walks_the_ladder() {
+    let _c = ChaosGuard::unarmed();
+    let (city, inputs, _) = fixture(2);
+    let engine = RecoveryEngine::start(serving(&city), engine_cfg(1));
+    assert_eq!(engine.brownout_mode(), "normal");
+
+    // Forced shed: submissions are refused with the typed brownout error.
+    engine.set_brownout_override(Some(3));
+    assert_eq!(engine.brownout_mode(), "shed");
+    match engine.try_submit(inputs[0].clone()) {
+        Err(rntrajrec_serve::EngineError::Brownout) => {}
+        other => panic!("shed level must refuse submissions, got {other:?}"),
+    }
+    assert!(engine.stats().rejected >= 1);
+
+    // Degraded head: requests are served (by the int8 head).
+    engine.set_brownout_override(Some(1));
+    assert_eq!(engine.brownout_mode(), "degraded_head");
+    let r = engine
+        .try_submit(inputs[0].clone())
+        .expect("degraded mode serves")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("degraded mode completes");
+    assert!(r.error.is_none(), "degraded request failed: {:?}", r.error);
+    assert!(!r.path.is_empty());
+
+    // Back to auto: the controller sees an idle engine and recovers.
+    engine.set_brownout_override(None);
+    assert!(
+        eventually(Duration::from_secs(10), || engine.brownout_mode()
+            == "normal"),
+        "idle engine must settle back to normal, stuck at {}",
+        engine.brownout_mode()
+    );
+    let r = engine
+        .try_submit(inputs[1].clone())
+        .expect("accepts")
+        .wait();
+    assert!(r.error.is_none());
+    assert!(engine.stats().brownout_shifts >= 2);
+}
+
+#[test]
+fn http_write_fault_is_recovered_by_client_retry() {
+    // Drop exactly one response on the floor at the write point: the
+    // client's first attempt dies on a closed socket, the jittered
+    // retry succeeds, and the payload is the normal recovery.
+    let _c = ChaosGuard::arm("http.write=error@1x1", 0);
+    let (city, _, samples) = fixture(1);
+    let ctx = Arc::new(QueryContext::new(city.net.clone(), 50.0));
+    let engine = Arc::new(RecoveryEngine::start(serving(&city), engine_cfg(1)));
+    let server = HttpServer::start(
+        Arc::clone(&engine),
+        ctx,
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..HttpConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+
+    let s = &samples[0];
+    let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
+    let body = serde_json::to_string(&req).expect("serializes");
+    let policy = client::RetryPolicy {
+        max_retries: 3,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(100),
+        seed: 1,
+    };
+    let resp = client::request_with_retry(
+        server.local_addr(),
+        "POST",
+        "/v1/recover",
+        Some(&body),
+        &policy,
+    )
+    .expect("retry must absorb the single write fault");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+    let snap = rntrajrec_chaos::snapshot();
+    let write = snap.iter().find(|p| p.point == "http.write").unwrap();
+    assert_eq!(write.fired, 1, "exactly one injected write fault");
+    server.shutdown();
+}
+
+#[test]
+fn submit_fault_maps_to_typed_503_with_retry_after() {
+    let _c = ChaosGuard::arm("engine.submit=error@1x1", 0);
+    let (city, _, samples) = fixture(1);
+    let ctx = Arc::new(QueryContext::new(city.net.clone(), 50.0));
+    let engine = Arc::new(RecoveryEngine::start(serving(&city), engine_cfg(1)));
+    let server = HttpServer::start(
+        Arc::clone(&engine),
+        ctx,
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..HttpConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+
+    let s = &samples[0];
+    let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
+    let body = serde_json::to_string(&req).expect("serializes");
+
+    // Injected submit fault → typed 503 naming the point, with a
+    // Retry-After the client policy can honor…
+    let resp = client::post_json(server.local_addr(), "/v1/recover", &body).expect("http");
+    assert_eq!(resp.status, 503, "body: {}", resp.body);
+    assert!(resp.body.contains("engine.submit"), "body: {}", resp.body);
+    let retry_after = resp
+        .header("Retry-After")
+        .expect("503 carries Retry-After")
+        .parse::<u64>()
+        .expect("integral seconds");
+    assert!((1..=60).contains(&retry_after));
+
+    // …and the x1 limit means the retry itself succeeds.
+    let resp = client::post_json(server.local_addr(), "/v1/recover", &body).expect("http");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn chaos_and_resilience_metrics_are_exported() {
+    let _c = ChaosGuard::arm("engine.worker=panic@1x1", 7);
+    let (city, _, samples) = fixture(1);
+    let ctx = Arc::new(QueryContext::new(city.net.clone(), 50.0));
+    let engine = Arc::new(RecoveryEngine::start(serving(&city), engine_cfg(1)));
+    let server = HttpServer::start(
+        Arc::clone(&engine),
+        ctx,
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..HttpConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+
+    let s = &samples[0];
+    let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
+    let body = serde_json::to_string(&req).expect("serializes");
+    // First request rides the crashing batch → 503 (timed out or failed
+    // by supervisor → 500/503 depending on classification; crash is 500).
+    let resp = client::post_json(server.local_addr(), "/v1/recover", &body).expect("http");
+    assert_eq!(resp.status, 500, "body: {}", resp.body);
+    assert!(
+        eventually(Duration::from_secs(10), || engine.stats().worker_restarts
+            >= 1),
+        "restart not observed"
+    );
+
+    let metrics = client::get(server.local_addr(), "/metrics")
+        .expect("metrics")
+        .body;
+    for needle in [
+        "rntrajrec_engine_worker_restarts_total",
+        "rntrajrec_engine_watchdog_timeouts_total",
+        "rntrajrec_engine_deadline_cancelled_total",
+        "rntrajrec_engine_brownout_mode{mode=\"normal\"} 1",
+        "rntrajrec_engine_brownout_level",
+        "rntrajrec_engine_drain_rate_per_sec",
+        "rntrajrec_chaos_enabled 1",
+        "rntrajrec_chaos_injected_total{point=\"engine.worker\",kind=\"panic\"} 1",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+    let restarts_line = metrics
+        .lines()
+        .find(|l| l.starts_with("rntrajrec_engine_worker_restarts_total"))
+        .unwrap();
+    let restarts: u64 = restarts_line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(restarts >= 1, "restart counter must be visible on /metrics");
+
+    // The exposition stays promlint-clean with every new series.
+    let findings = rntrajrec_obs::promlint::lint(&metrics);
+    assert!(findings.is_empty(), "promlint findings: {findings:?}");
+    server.shutdown();
+}
+
+#[test]
+fn chaos_off_points_are_transparent() {
+    let _c = ChaosGuard::unarmed();
+    // Disarmed fault points must be invisible: same results, no errors.
+    let (city, inputs, _) = fixture(2);
+    let engine = RecoveryEngine::start(serving(&city), engine_cfg(1));
+    for input in &inputs {
+        let r = engine.recover(input.clone());
+        assert!(r.error.is_none());
+        assert!(!r.path.is_empty());
+    }
+    assert!(rntrajrec_chaos::snapshot().is_empty());
+    assert!(!rntrajrec_chaos::enabled());
+}

@@ -43,6 +43,7 @@ fn main() {
             workers: 2,
             threads_per_worker: 0,
             queue_capacity: Some(64),
+            ..EngineConfig::default()
         },
     ));
     let server = HttpServer::start(

@@ -70,6 +70,7 @@ fn main() {
             workers: 4,
             threads_per_worker: 0,
             queue_capacity: None,
+            ..EngineConfig::default()
         },
     );
 

@@ -86,6 +86,7 @@ fn engine_micro_batching_is_transparent_end_to_end() {
             workers: 3,
             threads_per_worker: 0,
             queue_capacity: None,
+            ..EngineConfig::default()
         },
     );
     // Submit everything at once so batches actually form.
