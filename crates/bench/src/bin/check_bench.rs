@@ -277,12 +277,36 @@ fn main() -> ExitCode {
         }
     }
 
+    // Continuous batching's latency claim: under bursty open-loop load,
+    // the p99 time-to-first-step of the streamed path must beat the
+    // closed-batch engine's full-response p99 on the same arrival
+    // schedule. Both numbers come from the fresh record (same runner,
+    // same run), so the comparison is noise-robust; the baseline may
+    // predate the section (first rollout).
+    {
+        let ttfs_key = "open_loop_bursty.stream_ttfs_p99_ms";
+        let closed_key = "open_loop_bursty.closed_total_p99_ms";
+        gate.checks += 1;
+        match (num(&fresh, ttfs_key), num(&fresh, closed_key)) {
+            (Some(t), Some(c)) if t < c => println!(
+                "PASS {ttfs_key}: fresh {t:.3} < closed-batch p99 {c:.3}  [TTFS p99 < closed p99]"
+            ),
+            (t, c) => {
+                println!(
+                    "FAIL {ttfs_key}: fresh {t:?} vs closed-batch p99 {c:?}  [TTFS p99 < closed p99]"
+                );
+                gate.failures += 1;
+            }
+        }
+    }
+
     // Correctness flags must never flip.
     for key in [
         "city_scale.decoder_fusion.bit_identical",
         "city_scale.encoder_fusion.bit_identical",
         "city_scale.segment_head.bit_identical",
         "http_roundtrip.bit_identical",
+        "open_loop_bursty.bit_identical",
     ] {
         let flag = |v: &Value| lookup(v, key).and_then(Value::as_bool);
         gate.checks += 1;

@@ -15,8 +15,12 @@
 //! in `check_bench`), the scalar vs AVX2 kernel-backend wall and ULP
 //! drift, and the int8-quantized head's end-to-end recovery drift — and
 //! the **span-recorder overhead** on the traced batched path
-//! (`city_scale.tracing`, gated ≤ 2% in `check_bench`).
-//! Writes `results/BENCH_serve.json`.
+//! (`city_scale.tracing`, gated ≤ 2% in `check_bench`) — and the
+//! **open-loop bursty streaming load** (`open_loop_bursty`): seeded
+//! compound-Poisson bursts against `POST /v2/recover/stream`, measuring
+//! time-to-first-step under continuous batching versus the closed-batch
+//! full-response latency (p99 TTFS < closed-batch p99 gated in
+//! `check_bench`). Writes `results/BENCH_serve.json`.
 //!
 //! ```bash
 //! cargo run --release -p rntrajrec-bench --bin serve_bench          # full
@@ -27,10 +31,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use rntrajrec::model::{EndToEnd, MethodSpec};
-use rntrajrec::wire::{RecoverRequest, RecoverResponse};
+use rntrajrec::wire::{v2, RecoverRequest, RecoverResponse};
 use rntrajrec_bench::dump_json;
 use rntrajrec_models::{BatchMember, FeatureExtractor, SampleInput, SegmentHead};
 use rntrajrec_nn::kernels::backend::{self, Backend};
@@ -837,6 +841,253 @@ fn main() {
         "bit_identical": true,
     });
 
+    // --- 5. Open-loop bursty streaming load: time-to-first-step ----------
+    // Compound-Poisson bursts (an exponential gap, then 1..=burst_max
+    // requests with a few ms of intra-burst jitter) against the
+    // city-scale model. Within a burst the arrivals are open loop —
+    // clients fire on the seeded schedule and do NOT wait for earlier
+    // completions — so followers land while the leader's batch is
+    // decoding: the mid-decode admission window. Every streaming client
+    // opens `POST /v2/recover/stream` and timestamps its first chunk —
+    // time-to-first-step (TTFS). Each burst replays on the identical
+    // schedule against a closed-batch engine (`continuous: false`,
+    // buffered `POST /v2/recover`), where nothing arrives before the
+    // full response. The replays run back to back per burst, with a
+    // drain barrier in between, so CPU-contention spikes on a shared CI
+    // core land on both engines symmetrically instead of on whichever
+    // engine a free-running schedule happened to hit. `check_bench`
+    // gates streamed p99 TTFS under bursts below the closed-batch
+    // full-response p99 — the latency claim continuous batching exists
+    // to make.
+    let (burst_count, burst_max) = if quick {
+        (20usize, 4usize)
+    } else {
+        (48usize, 4usize)
+    };
+    let mut load_rng = StdRng::seed_from_u64(71);
+    // (pre-burst idle gap, per-member arrival offsets within the burst)
+    let bursts: Vec<(Duration, Vec<Duration>)> = (0..burst_count)
+        .map(|_| {
+            let u: f64 = load_rng.gen_range(f64::EPSILON..1.0);
+            let gap = Duration::from_secs_f64(-u.ln() / 50.0);
+            let k = load_rng.gen_range(1..=burst_max);
+            let mut offsets = vec![Duration::ZERO];
+            for _ in 1..k {
+                offsets.push(Duration::from_secs_f64(load_rng.gen_range(0.001..0.008)));
+            }
+            (gap, offsets)
+        })
+        .collect();
+    let n_load: usize = bursts.iter().map(|(_, o)| o.len()).sum();
+    // Much longer trajectories than the fusion study (256 decode steps vs
+    // 33): the decode phase is the admission window, and it is also what
+    // a closed-batch newcomer has to sit out in full — with a sub-ms
+    // decode, burst followers land between batches and both engines
+    // behave identically.
+    let load_samples: Vec<TrajSample> = {
+        let mut load_sim = Simulator::new(
+            &big_city.net,
+            SimConfig {
+                target_len: 256,
+                ..SimConfig::default()
+            },
+        );
+        let mut sample_rng = StdRng::seed_from_u64(43);
+        (0..16)
+            .map(|_| load_sim.sample(&mut sample_rng, 8))
+            .collect()
+    };
+    let load_reqs: Vec<String> = load_samples
+        .iter()
+        .map(|s| {
+            let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
+            serde_json::to_string(&req).expect("request serializes")
+        })
+        .collect();
+    let load_ctx = Arc::new(QueryContext::new(big_city.net, 50.0));
+    // Expected per-request paths: the engines are deterministic, so
+    // concurrent admission (mid-decode or not) must not change answers.
+    let want_paths: Vec<Vec<(usize, f32)>> = load_reqs
+        .iter()
+        .map(|body| {
+            let req = RecoverRequest::from_json(body).expect("round-trips");
+            big_serving.recover(&load_ctx.sample_input(&req).expect("valid request"))
+        })
+        .collect();
+
+    // One worker on purpose: a burst's followers then contend with the
+    // leader's running batch instead of draining to an idle worker — the
+    // closed engine makes them sit out the whole decode, the continuous
+    // one splices them in between steps. max_batch is comfortably above
+    // the largest burst so admission never hits the room ceiling.
+    let load_engine = |continuous: bool| {
+        Arc::new(RecoveryEngine::start(
+            Arc::clone(&big_serving),
+            EngineConfig {
+                max_batch: 16,
+                max_delay: Duration::from_millis(2),
+                workers: 1,
+                threads_per_worker: 1,
+                queue_capacity: None,
+                continuous,
+                ..EngineConfig::default()
+            },
+        ))
+    };
+    let start_server = |engine: &Arc<RecoveryEngine>| {
+        HttpServer::start(
+            Arc::clone(engine),
+            Arc::clone(&load_ctx),
+            HttpConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..HttpConfig::default()
+            },
+            None,
+        )
+        .expect("bind ephemeral port")
+    };
+    let stream_engine = load_engine(true);
+    let closed_engine = load_engine(false);
+    let stream_server = start_server(&stream_engine);
+    let closed_server = start_server(&closed_engine);
+
+    let mut stream_ttfs: Vec<f64> = Vec::with_capacity(n_load);
+    let mut stream_total: Vec<f64> = Vec::with_capacity(n_load);
+    let mut closed_total: Vec<f64> = Vec::with_capacity(n_load);
+    for (e, (gap, offsets)) in bursts.iter().enumerate() {
+        std::thread::sleep(*gap);
+        for streaming in [true, false] {
+            let addr = if streaming {
+                stream_server.local_addr()
+            } else {
+                closed_server.local_addr()
+            };
+            let burst_start = Instant::now();
+            let results: Vec<(Option<f64>, f64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = offsets
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &off)| {
+                        let i = (e * burst_max + j) % load_reqs.len();
+                        let body = &load_reqs[i];
+                        let want = &want_paths[i];
+                        s.spawn(move || {
+                            if let Some(wait) = off.checked_sub(burst_start.elapsed()) {
+                                std::thread::sleep(wait);
+                            }
+                            let sent = Instant::now();
+                            if streaming {
+                                let mut first = None;
+                                let mut events = Vec::new();
+                                let resp =
+                                    client::post_stream(addr, "/v2/recover/stream", body, |line| {
+                                        if first.is_none() {
+                                            first = Some(sent.elapsed());
+                                        }
+                                        events.push(
+                                            v2::Event::from_json(line).expect("well-formed event"),
+                                        );
+                                    })
+                                    .expect("stream roundtrip");
+                                let total = sent.elapsed();
+                                assert_eq!(resp.status, 200, "stream refused: {}", resp.body);
+                                let (last, steps) = events.split_last().expect("terminal event");
+                                let v2::Event::Summary(sum) = last else {
+                                    panic!("stream ended without summary (request {i}): {last:?}");
+                                };
+                                assert!(
+                                    steps.iter().all(|ev| !ev.is_terminal()),
+                                    "terminal event mid-stream (request {i})"
+                                );
+                                let got: Vec<(usize, f32)> = sum
+                                    .segments
+                                    .iter()
+                                    .copied()
+                                    .zip(sum.rates.iter().copied())
+                                    .collect();
+                                assert_eq!(&got, want, "streamed recovery diverged (request {i})");
+                                (
+                                    first.map(|d| d.as_secs_f64() * 1000.0),
+                                    total.as_secs_f64() * 1000.0,
+                                )
+                            } else {
+                                let resp = client::request(addr, "POST", "/v2/recover", Some(body))
+                                    .expect("http roundtrip");
+                                let total = sent.elapsed();
+                                assert_eq!(resp.status, 200, "recover failed: {}", resp.body);
+                                let parsed =
+                                    RecoverResponse::from_json(&resp.body).expect("well-formed");
+                                assert_eq!(
+                                    &parsed.path(),
+                                    want,
+                                    "closed-batch recovery diverged (request {i})"
+                                );
+                                (None, total.as_secs_f64() * 1000.0)
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("load client"))
+                    .collect()
+            });
+            for (ttfs, total) in results {
+                if streaming {
+                    if let Some(t) = ttfs {
+                        stream_ttfs.push(t);
+                    }
+                    stream_total.push(total);
+                } else {
+                    closed_total.push(total);
+                }
+            }
+        }
+    }
+    stream_server.shutdown();
+    closed_server.shutdown();
+    let admitted = stream_engine.stats().admitted;
+    stream_ttfs.sort_by(|a, b| a.total_cmp(b));
+    stream_total.sort_by(|a, b| a.total_cmp(b));
+    closed_total.sort_by(|a, b| a.total_cmp(b));
+
+    let ttfs_p50 = percentile(&stream_ttfs, 0.50);
+    let ttfs_p99 = percentile(&stream_ttfs, 0.99);
+    let stream_total_p50 = percentile(&stream_total, 0.50);
+    let stream_total_p99 = percentile(&stream_total, 0.99);
+    let closed_p50 = percentile(&closed_total, 0.50);
+    let closed_p99 = percentile(&closed_total, 0.99);
+    println!(
+        "\n--- open-loop bursty streaming load ({n_load} requests over {burst_count} bursts, \
+         paired replay) ---"
+    );
+    println!(
+        "streamed (continuous): TTFS p50 {ttfs_p50:8.3} ms  p99 {ttfs_p99:8.3} ms; \
+         total p50 {stream_total_p50:8.3} ms  p99 {stream_total_p99:8.3} ms  \
+         ({admitted} mid-decode admissions)"
+    );
+    println!(
+        "closed batch         : full response p50 {closed_p50:8.3} ms  p99 {closed_p99:8.3} ms"
+    );
+    println!(
+        "p99 TTFS / closed-batch p99: {:.2}x (bit-identical results asserted on both sides)",
+        ttfs_p99 / closed_p99.max(1e-9)
+    );
+    let open_loop_bursty = serde_json::json!({
+        "requests": n_load,
+        "bursts": burst_count,
+        "burst_max": burst_max,
+        "mid_decode_admissions": admitted,
+        "stream_ttfs_p50_ms": ttfs_p50,
+        "stream_ttfs_p99_ms": ttfs_p99,
+        "stream_total_p50_ms": stream_total_p50,
+        "stream_total_p99_ms": stream_total_p99,
+        "closed_total_p50_ms": closed_p50,
+        "closed_total_p99_ms": closed_p99,
+        "ttfs_p99_vs_closed_p99": ttfs_p99 / closed_p99.max(1e-9),
+        "bit_identical": true,
+    });
+
     let decoder_baseline = serde_json::json!({
         "matmuls_per_request": matmuls_per_request,
         "decoder_steps_per_request": steps_per_request,
@@ -862,7 +1113,7 @@ fn main() {
         "bit_identical": true,
     });
     let city_scale = serde_json::json!({
-        "segments": big_city.net.num_segments(),
+        "segments": n_segments,
         "dim": big_dim,
         "intra_op_sweep": intra_sweep,
         "decoder_fusion_baseline": decoder_baseline,
@@ -881,6 +1132,7 @@ fn main() {
         "cores": cores,
         "city_scale": city_scale,
         "http_roundtrip": http_roundtrip,
+        "open_loop_bursty": open_loop_bursty,
     });
     dump_json("BENCH_serve", &json);
 

@@ -5,9 +5,9 @@ use rand::SeedableRng;
 
 use rntrajrec_geo::GridSpec;
 use rntrajrec_models::{
-    BatchMember, Decoder, DecoderConfig, GnnBackbone, GtsEncoder, MTrajRecEncoder, NeuTrajEncoder,
-    RnTrajRecConfig, RnTrajRecEncoder, SampleInput, SegmentHead, T2vecEncoder, T3sEncoder,
-    TrajEncoder, TransformerBaseline,
+    BatchMember, DecodeHooks, Decoder, DecoderConfig, GnnBackbone, GrownMember, GtsEncoder,
+    MTrajRecEncoder, NeuTrajEncoder, RnTrajRecConfig, RnTrajRecEncoder, SampleInput, SegmentHead,
+    StepOut, T2vecEncoder, T3sEncoder, TrajEncoder, TransformerBaseline,
 };
 use rntrajrec_nn::{NodeId, ParamStore, Tape, Tensor};
 use rntrajrec_roadnet::RoadNetwork;
@@ -427,6 +427,120 @@ impl EndToEnd {
             .observe_duration(dec_started.elapsed());
         Some(decoded)
     }
+
+    /// The continuous-batching / streaming variant of
+    /// [`EndToEnd::infer_predict_batch_ctl`]: between decode ticks the
+    /// `admit` hook may hand over freshly dequeued requests — their
+    /// encoder pass runs *now* (fused across co-arrivals, or solo) and
+    /// the results are spliced into the live `[B, d]` decode stack
+    /// ([`Decoder::recover_batch_infer_stream`]). Every decoded step is
+    /// delivered through `on_step` as it is produced.
+    ///
+    /// Incumbent members are bit-identical to a closed batch whether or
+    /// not anyone is admitted, and an admitted member is bit-identical
+    /// to the closed batch it would have led — the same invariant the
+    /// fused kernels already guarantee for arbitrary batch composition.
+    ///
+    /// Returns outcomes indexed with the initial members first, then
+    /// admitted members in admission order. `None` when the encoder has
+    /// no tape-free path (then nothing was consumed from `admit`).
+    pub fn infer_predict_batch_stream(
+        &self,
+        inputs: &[&SampleInput],
+        road: Option<&Tensor>,
+        head: SegmentHead<'_>,
+        ctl: &mut StreamCtl<'_>,
+    ) -> Option<BatchDecodeOutcome> {
+        use std::sync::{Arc, OnceLock};
+        static ENCODER_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+        static DECODER_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+
+        if !self.encoder.has_infer() {
+            return None;
+        }
+        let enc_started = std::time::Instant::now();
+        let encs = {
+            let _span = rntrajrec_obs::span("encoder.fused");
+            self.encoder.infer_batch(&self.store, inputs, road)?
+        };
+        ENCODER_SECONDS
+            .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("encoder"))
+            .observe_duration(enc_started.elapsed());
+
+        let members: Vec<BatchMember> = encs
+            .iter()
+            .zip(inputs)
+            .map(|(enc, &sample)| BatchMember {
+                per_point: &enc.per_point,
+                traj: &enc.traj,
+                sample,
+            })
+            .collect();
+
+        let mut admissions: u32 = 0;
+        let mut admit = |live: usize| -> Vec<GrownMember> {
+            let newcomers = (ctl.admit)(live);
+            if newcomers.is_empty() {
+                return Vec::new();
+            }
+            // The newcomer's encoder pass, fused across co-arrivals. One
+            // span per admission event (rendered `decoder.admit[k]`).
+            let _span = rntrajrec_obs::span_indexed("decoder.admit", admissions);
+            admissions += 1;
+            let started = std::time::Instant::now();
+            let refs: Vec<&SampleInput> = newcomers.iter().collect();
+            let encs = self
+                .encoder
+                .infer_batch(&self.store, &refs, road)
+                .expect("encoder infer path validated at model load");
+            ENCODER_SECONDS
+                .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("encoder"))
+                .observe_duration(started.elapsed());
+            encs.into_iter()
+                .zip(&newcomers)
+                .map(|(enc, sample)| GrownMember {
+                    per_point: enc.per_point,
+                    traj: enc.traj,
+                    target_len: sample.target_len(),
+                    masks: sample.masks.clone(),
+                })
+                .collect()
+        };
+
+        let dec_started = std::time::Instant::now();
+        let decoded = {
+            let _span = rntrajrec_obs::span("decoder.fused");
+            self.decoder.recover_batch_infer_stream(
+                &self.store,
+                &members,
+                head,
+                &mut DecodeHooks {
+                    cancel: ctl.cancel,
+                    admit: &mut admit,
+                    on_step: ctl.on_step,
+                },
+            )
+        };
+        DECODER_SECONDS
+            .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("decoder"))
+            .observe_duration(dec_started.elapsed());
+        Some(decoded)
+    }
+}
+
+/// Control hooks for [`EndToEnd::infer_predict_batch_stream`]: the
+/// model-level twin of [`rntrajrec_models::DecodeHooks`], except `admit`
+/// hands over raw [`SampleInput`]s — the model runs their encoder pass
+/// before splicing them into the decode.
+pub struct StreamCtl<'h> {
+    /// `cancel(member, step)` — retire the member before its step runs.
+    pub cancel: &'h mut dyn FnMut(usize, usize) -> bool,
+    /// Called between decode ticks with the live batch size; returned
+    /// requests are encoded and admitted, becoming members
+    /// `n, n+1, ...` in admission order.
+    pub admit: &'h mut dyn FnMut(usize) -> Vec<SampleInput>,
+    /// Observes every decoded step in production order.
+    pub on_step: &'h mut dyn FnMut(StepOut),
 }
 
 #[cfg(test)]

@@ -266,6 +266,327 @@ impl ErrorBody {
     }
 }
 
+/// Version 2 of the wire protocol: the same recovery payload plus an
+/// explicit `options` object (deadline, streaming, head selection), and
+/// the chunked-stream event types for `POST /v2/recover/stream`.
+///
+/// `/v1` is frozen: v1 types above serve it unchanged, byte-for-byte
+/// (pinned by a parity test in the HTTP round-trip suite).
+pub mod v2 {
+    use super::{invalid, RecoverRequest, Value, WireError};
+    use rntrajrec_synth::RawTrajectory;
+    use serde::Serialize;
+
+    /// Per-request options (`options` object in a v2 request body). All
+    /// fields optional on the wire; defaults are the v1 semantics.
+    #[derive(Debug, Clone, PartialEq, Serialize)]
+    pub struct RecoverOptions {
+        /// Soft deadline for the whole recovery, milliseconds from
+        /// receipt. Expiring mid-decode cancels the request out of its
+        /// fused batch (v1 signals this via the `X-Deadline-Ms` header;
+        /// v2 carries it in-body).
+        pub deadline_ms: Option<u64>,
+        /// Stream per-step events (`/v2/recover/stream` implies this).
+        pub stream: bool,
+        /// Segment-head preference: `"default"`, `"sparse"`, or
+        /// `"int8"`. Advisory — decode batches are fused, so the server
+        /// picks one head per batch (brownout may force `int8`); unknown
+        /// values are a `400`.
+        pub head: String,
+    }
+
+    impl Default for RecoverOptions {
+        fn default() -> Self {
+            Self {
+                deadline_ms: None,
+                stream: false,
+                head: "default".to_string(),
+            }
+        }
+    }
+
+    impl RecoverOptions {
+        /// Parse from the (optional) `options` field of a v2 body.
+        pub fn from_value(v: Option<&Value>) -> Result<Self, WireError> {
+            let mut opts = Self::default();
+            let Some(v) = v else { return Ok(opts) };
+            if v.as_object().is_none() {
+                return Err(invalid("options", "expected an object"));
+            }
+            if let Some(d) = v.get("deadline_ms") {
+                if !d.is_null() {
+                    let ms = d.as_u64().filter(|&ms| ms > 0).ok_or_else(|| {
+                        invalid("options.deadline_ms", "expected a positive integer")
+                    })?;
+                    opts.deadline_ms = Some(ms);
+                }
+            }
+            if let Some(s) = v.get("stream") {
+                opts.stream = s
+                    .as_bool()
+                    .ok_or_else(|| invalid("options.stream", "expected a boolean"))?;
+            }
+            if let Some(h) = v.get("head") {
+                let head = h
+                    .as_str()
+                    .ok_or_else(|| invalid("options.head", "expected a string"))?;
+                if !matches!(head, "default" | "sparse" | "int8") {
+                    return Err(invalid(
+                        "options.head",
+                        format!("unknown head '{head}' (expected default|sparse|int8)"),
+                    ));
+                }
+                opts.head = head.to_string();
+            }
+            Ok(opts)
+        }
+    }
+
+    /// `POST /v2/recover` / `POST /v2/recover/stream` body: the v1
+    /// payload fields plus [`RecoverOptions`].
+    #[derive(Debug, Clone, PartialEq, Serialize)]
+    pub struct RecoverRequestV2 {
+        pub points: Vec<[f64; 3]>,
+        pub target_len: usize,
+        pub depart_epoch_s: f64,
+        pub options: RecoverOptions,
+    }
+
+    impl RecoverRequestV2 {
+        pub fn from_value(v: &Value) -> Result<Self, WireError> {
+            let base = RecoverRequest::from_value(v)?;
+            let options = RecoverOptions::from_value(v.get("options"))?;
+            Ok(Self {
+                points: base.points,
+                target_len: base.target_len,
+                depart_epoch_s: base.depart_epoch_s,
+                options,
+            })
+        }
+
+        pub fn from_json(body: &str) -> Result<Self, WireError> {
+            let v = serde_json::from_str(body).map_err(|e| invalid("body", e.to_string()))?;
+            Self::from_value(&v)
+        }
+
+        pub fn from_raw(
+            raw: &RawTrajectory,
+            target_len: usize,
+            depart_epoch_s: f64,
+            options: RecoverOptions,
+        ) -> Self {
+            let base = RecoverRequest::from_raw(raw, target_len, depart_epoch_s);
+            Self {
+                points: base.points,
+                target_len: base.target_len,
+                depart_epoch_s: base.depart_epoch_s,
+                options,
+            }
+        }
+
+        /// The v1 view of the payload (feature extraction is shared).
+        pub fn base(&self) -> RecoverRequest {
+            RecoverRequest {
+                points: self.points.clone(),
+                target_len: self.target_len,
+                depart_epoch_s: self.depart_epoch_s,
+            }
+        }
+    }
+
+    /// One streamed decode step: a chunk on `/v2/recover/stream` holds
+    /// exactly one of these as a JSON line (`event: "step"`).
+    #[derive(Debug, Clone, PartialEq, Serialize)]
+    pub struct StepEvent {
+        /// Always `"step"`.
+        pub event: String,
+        /// Engine submission id.
+        pub id: u64,
+        /// 0-based step index; strictly monotonic within a stream.
+        pub step: usize,
+        /// Predicted road segment for this step.
+        pub segment: usize,
+        /// Predicted moving rate for this step.
+        pub rate: f32,
+        /// Log-probability of the chosen segment under the masked head.
+        pub logprob: f32,
+    }
+
+    impl StepEvent {
+        pub fn new(id: u64, step: usize, segment: usize, rate: f32, logprob: f32) -> Self {
+            Self {
+                event: "step".to_string(),
+                id,
+                step,
+                segment,
+                rate,
+                logprob,
+            }
+        }
+    }
+
+    /// Terminal success event (`event: "summary"`): the full recovered
+    /// path (including steps already streamed) and request accounting —
+    /// exactly one terminal event (summary *or* error) ends a stream.
+    #[derive(Debug, Clone, PartialEq, Serialize)]
+    pub struct SummaryEvent {
+        /// Always `"summary"`.
+        pub event: String,
+        pub id: u64,
+        pub segments: Vec<usize>,
+        pub rates: Vec<f32>,
+        pub batch_size: usize,
+        pub latency_ms: f64,
+    }
+
+    impl SummaryEvent {
+        /// Build the terminal summary from the buffered (v1-shaped)
+        /// response, so streamed and un-streamed answers agree field
+        /// for field.
+        pub fn from_response(resp: &super::RecoverResponse) -> Self {
+            Self {
+                event: "summary".to_string(),
+                id: resp.id,
+                segments: resp.segments.clone(),
+                rates: resp.rates.clone(),
+                batch_size: resp.batch_size,
+                latency_ms: resp.latency_ms,
+            }
+        }
+    }
+
+    /// Terminal failure event (`event: "error"`).
+    #[derive(Debug, Clone, PartialEq, Serialize)]
+    pub struct ErrorEvent {
+        /// Always `"error"`.
+        pub event: String,
+        pub error: String,
+        /// The HTTP status this failure would have carried un-streamed
+        /// (the stream itself is already committed to `200`).
+        pub code: u16,
+        /// The failure was a time failure (deadline / watchdog) — safe
+        /// to retry.
+        pub timed_out: bool,
+    }
+
+    impl ErrorEvent {
+        pub fn new(error: String, code: u16, timed_out: bool) -> Self {
+            Self {
+                event: "error".to_string(),
+                error,
+                code,
+                timed_out,
+            }
+        }
+    }
+
+    /// A parsed stream event (client side).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Event {
+        Step(StepEvent),
+        Summary(SummaryEvent),
+        Error(ErrorEvent),
+    }
+
+    impl Event {
+        /// Parse one stream chunk (a JSON line).
+        pub fn from_json(line: &str) -> Result<Self, WireError> {
+            let v = serde_json::from_str(line).map_err(|e| invalid("body", e.to_string()))?;
+            let kind = v
+                .get("event")
+                .and_then(Value::as_str)
+                .ok_or(WireError::Missing("event"))?;
+            match kind {
+                "step" => Ok(Event::Step(StepEvent {
+                    event: kind.to_string(),
+                    id: v
+                        .get("id")
+                        .and_then(Value::as_u64)
+                        .ok_or(WireError::Missing("id"))?,
+                    step: v
+                        .get("step")
+                        .and_then(Value::as_u64)
+                        .ok_or(WireError::Missing("step"))? as usize,
+                    segment: v
+                        .get("segment")
+                        .and_then(Value::as_u64)
+                        .ok_or(WireError::Missing("segment"))?
+                        as usize,
+                    rate: v
+                        .get("rate")
+                        .and_then(Value::as_f64)
+                        .ok_or(WireError::Missing("rate"))? as f32,
+                    logprob: v
+                        .get("logprob")
+                        .and_then(Value::as_f64)
+                        .ok_or(WireError::Missing("logprob"))? as f32,
+                })),
+                "summary" => {
+                    let segments = v
+                        .get("segments")
+                        .and_then(Value::as_array)
+                        .ok_or(WireError::Missing("segments"))?
+                        .iter()
+                        .map(|s| {
+                            s.as_u64()
+                                .map(|u| u as usize)
+                                .ok_or_else(|| invalid("segments", "expected integers"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let rates = v
+                        .get("rates")
+                        .and_then(Value::as_array)
+                        .ok_or(WireError::Missing("rates"))?
+                        .iter()
+                        .map(|r| {
+                            r.as_f64()
+                                .map(|f| f as f32)
+                                .ok_or_else(|| invalid("rates", "expected numbers"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Event::Summary(SummaryEvent {
+                        event: kind.to_string(),
+                        id: v
+                            .get("id")
+                            .and_then(Value::as_u64)
+                            .ok_or(WireError::Missing("id"))?,
+                        segments,
+                        rates,
+                        batch_size: v
+                            .get("batch_size")
+                            .and_then(Value::as_u64)
+                            .ok_or(WireError::Missing("batch_size"))?
+                            as usize,
+                        latency_ms: v
+                            .get("latency_ms")
+                            .and_then(Value::as_f64)
+                            .ok_or(WireError::Missing("latency_ms"))?,
+                    }))
+                }
+                "error" => Ok(Event::Error(ErrorEvent {
+                    event: kind.to_string(),
+                    error: v
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .ok_or(WireError::Missing("error"))?
+                        .to_string(),
+                    code: v
+                        .get("code")
+                        .and_then(Value::as_u64)
+                        .ok_or(WireError::Missing("code"))? as u16,
+                    timed_out: v.get("timed_out").and_then(Value::as_bool).unwrap_or(false),
+                })),
+                other => Err(invalid("event", format!("unknown event kind '{other}'"))),
+            }
+        }
+
+        /// `true` for the stream-ending events (summary / error).
+        pub fn is_terminal(&self) -> bool {
+            !matches!(self, Event::Step(_))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +668,91 @@ mod tests {
         let e = ErrorBody::new(429, "engine queue full");
         let s = e.to_json();
         assert!(s.contains("429") && s.contains("engine queue full"));
+    }
+
+    #[test]
+    fn v2_request_defaults_match_v1_semantics() {
+        let req = v2::RecoverRequestV2::from_json(&sample_json()).expect("valid without options");
+        assert_eq!(req.options, v2::RecoverOptions::default());
+        assert_eq!(
+            req.base(),
+            RecoverRequest::from_json(&sample_json()).unwrap()
+        );
+    }
+
+    #[test]
+    fn v2_options_parse_and_roundtrip() {
+        let body = r#"{"points": [[0, 0, 0]], "target_len": 3,
+            "options": {"deadline_ms": 250, "stream": true, "head": "int8"}}"#;
+        let req = v2::RecoverRequestV2::from_json(body).expect("valid");
+        assert_eq!(req.options.deadline_ms, Some(250));
+        assert!(req.options.stream);
+        assert_eq!(req.options.head, "int8");
+        let json = serde_json::to_string(&req).expect("serializes");
+        assert_eq!(
+            v2::RecoverRequestV2::from_json(&json).expect("reparses"),
+            req
+        );
+    }
+
+    #[test]
+    fn v2_rejects_bad_options() {
+        for (body, field) in [
+            (
+                r#"{"points": [[0,0,0]], "target_len": 1, "options": 7}"#,
+                "options",
+            ),
+            (
+                r#"{"points": [[0,0,0]], "target_len": 1, "options": {"deadline_ms": 0}}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"points": [[0,0,0]], "target_len": 1, "options": {"stream": 1}}"#,
+                "stream",
+            ),
+            (
+                r#"{"points": [[0,0,0]], "target_len": 1, "options": {"head": "fp8"}}"#,
+                "head",
+            ),
+        ] {
+            let err = v2::RecoverRequestV2::from_json(body).expect_err(body);
+            let msg = err.to_string();
+            assert!(msg.contains(field), "error {msg:?} should name {field:?}");
+        }
+    }
+
+    #[test]
+    fn v2_stream_events_roundtrip() {
+        let step = v2::StepEvent::new(4, 2, 17, 0.75, -0.25);
+        let line = serde_json::to_string(&step).expect("serializes");
+        let parsed = v2::Event::from_json(&line).expect("parses");
+        assert_eq!(parsed, v2::Event::Step(step));
+        assert!(!parsed.is_terminal());
+
+        let summary = v2::SummaryEvent {
+            event: "summary".to_string(),
+            id: 4,
+            segments: vec![17, 3],
+            rates: vec![0.75, 0.5],
+            batch_size: 2,
+            latency_ms: 1.5,
+        };
+        let line = serde_json::to_string(&summary).expect("serializes");
+        let parsed = v2::Event::from_json(&line).expect("parses");
+        assert_eq!(parsed, v2::Event::Summary(summary));
+        assert!(parsed.is_terminal());
+
+        let error = v2::ErrorEvent {
+            event: "error".to_string(),
+            error: "deadline exceeded mid-decode".to_string(),
+            code: 503,
+            timed_out: true,
+        };
+        let line = serde_json::to_string(&error).expect("serializes");
+        let parsed = v2::Event::from_json(&line).expect("parses");
+        assert_eq!(parsed, v2::Event::Error(error));
+        assert!(parsed.is_terminal());
+
+        assert!(v2::Event::from_json(r#"{"event": "snack"}"#).is_err());
     }
 }

@@ -71,6 +71,52 @@ pub struct BatchMember<'a> {
     pub sample: &'a SampleInput,
 }
 
+/// A member admitted into a live decode mid-flight (continuous
+/// batching): its encoder pass ran *during* the decode, so the decode
+/// owns its tensors — unlike [`BatchMember`], which borrows from a batch
+/// assembled before the decode started.
+pub struct GrownMember {
+    /// `[l_τ, d]` per-point encoder states (decoder attention keys).
+    pub per_point: Tensor,
+    /// `[1, d]` trajectory-level state (initial decoder hidden state).
+    pub traj: Tensor,
+    /// Number of decode steps this member wants.
+    pub target_len: usize,
+    /// Per-step constraint masks (same layout as `SampleInput::masks`).
+    pub masks: Vec<Option<Vec<(usize, f32)>>>,
+}
+
+/// One decoded step of one member, streamed out of
+/// [`Decoder::recover_batch_infer_stream`] as it is produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOut {
+    /// Member index: initial members first (batch order), then grown
+    /// members in admission order.
+    pub member: usize,
+    /// The member's own step index (0-based; a grown member's step 0 may
+    /// run at any global tick).
+    pub step: usize,
+    /// Predicted road segment (Eq. 16 argmax).
+    pub segment: usize,
+    /// Predicted moving ratio (Eq. 17).
+    pub rate: f32,
+    /// Log-probability of the predicted segment under the (masked) head.
+    pub logprob: f32,
+}
+
+/// Control hooks for [`Decoder::recover_batch_infer_stream`].
+pub struct DecodeHooks<'h> {
+    /// `cancel(member, step)` — asked before each of the member's steps
+    /// whether it should retire (deadline / dropped-handle propagation).
+    pub cancel: &'h mut dyn FnMut(usize, usize) -> bool,
+    /// Called between decode steps with the live batch size; returned
+    /// members are spliced into the stacked state and decode from their
+    /// own step 0. Return an empty vec to keep the batch closed.
+    pub admit: &'h mut dyn FnMut(usize) -> Vec<GrownMember>,
+    /// Observes every decoded step in production order (streaming sink).
+    pub on_step: &'h mut dyn FnMut(StepOut),
+}
+
 /// The result of decoding one trajectory.
 pub struct DecoderRun {
     /// Per-step log-probabilities over segments `[1, |V|]` (post-mask).
@@ -376,18 +422,59 @@ impl Decoder {
         head: SegmentHead<'_>,
         cancel: &mut dyn FnMut(usize, usize) -> bool,
     ) -> (Vec<Vec<(usize, f32)>>, Vec<bool>) {
+        let mut admit = |_: usize| Vec::new();
+        let mut on_step = |_: StepOut| {};
+        self.recover_batch_infer_stream(
+            store,
+            members,
+            head,
+            &mut DecodeHooks {
+                cancel,
+                admit: &mut admit,
+                on_step: &mut on_step,
+            },
+        )
+    }
+
+    /// The general fused decode loop: **continuous batching** plus
+    /// **streamed steps**. Between lock-step decode ticks the `admit`
+    /// hook may splice new members into the live `[B, d]` stack — their
+    /// attention keys and key projections append as fresh rows (matmul
+    /// and every other kernel here is row/member-segment-scoped, so
+    /// incumbents' rows are untouched bit-for-bit and the newcomer's
+    /// rows are exactly its solo products), their hidden state starts
+    /// from `traj` / `start_emb` / rate 0 just as a closed batch would —
+    /// and every produced `(segment, rate, logprob)` is handed to
+    /// `on_step` in production order.
+    ///
+    /// Each member advances its **own** step counter: a grown member's
+    /// step 0 runs at whatever global tick it was admitted. Because no
+    /// kernel mixes rows across members, incumbents decode bit-identically
+    /// whether or not anyone joins — property-tested in
+    /// `tests/batch_decode_parity.rs` alongside the cancellation path.
+    ///
+    /// Returns per-member outputs and cancelled flags, indexed with the
+    /// initial members first and grown members after, in admission order.
+    pub fn recover_batch_infer_stream(
+        &self,
+        store: &ParamStore,
+        members: &[BatchMember<'_>],
+        head: SegmentHead<'_>,
+        hooks: &mut DecodeHooks<'_>,
+    ) -> (Vec<Vec<(usize, f32)>>, Vec<bool>) {
+        let d = self.config.dim;
         let n = members.len();
         let mut cancelled = vec![false; n];
         let mut out: Vec<Vec<(usize, f32)>> = members
             .iter()
             .map(|m| Vec::with_capacity(m.sample.target_len()))
             .collect();
-        let mut active: Vec<usize> = (0..n)
-            .filter(|&i| members[i].sample.target_len() > 0)
-            .collect();
-        if active.is_empty() {
-            return (out, cancelled);
-        }
+        let mut target_lens: Vec<usize> = members.iter().map(|m| m.sample.target_len()).collect();
+        // Per-member step cursor: equals the global tick for initial
+        // members, but a grown member admitted at tick t is at step 0.
+        let mut steps: Vec<usize> = vec![0; n];
+        let mut active: Vec<usize> = (0..n).filter(|&i| target_lens[i] > 0).collect();
+
         let seg_table = store.value(self.seg_emb);
         let w_id = store.value(self.w_id);
         let b_id = store.value(self.b_id);
@@ -400,16 +487,21 @@ impl Decoder {
         // projection `W_h·H_traj` (one matmul for the whole batch — the
         // sequential path recomputes it every step), per-member row ranges
         // into both stacks, and the sparse mask log-weights per step.
+        // All grow by appended rows when a member is admitted mid-decode.
         let keys: Vec<&Tensor> = members.iter().map(|m| m.per_point).collect();
-        let keys_all = infer::concat_rows(&keys);
-        let hk_all = infer::matmul(&keys_all, wh);
+        let mut keys_all = if keys.is_empty() {
+            Tensor::zeros(0, d)
+        } else {
+            infer::concat_rows(&keys)
+        };
+        let mut hk_all = infer::matmul(&keys_all, wh);
         let mut ranges: Vec<Range<usize>> = Vec::with_capacity(n);
         let mut off = 0;
         for m in members {
             ranges.push(off..off + m.per_point.rows);
             off += m.per_point.rows;
         }
-        let logw: Vec<StepLogMasks> = members
+        let mut logw: Vec<StepLogMasks> = members
             .iter()
             .map(|m| {
                 m.sample
@@ -423,18 +515,58 @@ impl Decoder {
         // Stacked decoder state over the active members (rows in `active`
         // order).
         let trajs: Vec<&Tensor> = active.iter().map(|&i| members[i].traj).collect();
-        let mut h = infer::concat_rows(&trajs);
+        let mut h = if trajs.is_empty() {
+            Tensor::zeros(0, d)
+        } else {
+            infer::concat_rows(&trajs)
+        };
         let mut x_prev = infer::repeat_rows(store.value(self.start_emb), active.len());
         let mut r_prev = Tensor::zeros(active.len(), 1);
 
-        let mut j = 0;
-        while !active.is_empty() {
-            // Cancellation gate (deadline propagation): members whose
-            // budget expired are retired *before* the step runs, through
-            // the same gather_rows compaction that retires finished
-            // members below — a pure row copy, so surviving rows keep
-            // their exact values and decode on bit-identically.
-            let cut: Vec<bool> = active.iter().map(|&i| cancel(i, j)).collect();
+        let mut tick: u32 = 0;
+        loop {
+            // Admission gate (continuous batching): splice newcomers into
+            // the live stack before the next lock-step tick. A fresh
+            // member's state rows are byte-for-byte what a closed batch
+            // would have initialised, and the appended key rows/projection
+            // are its solo `W_h·keys` product (matmul is row-scoped).
+            for g in (hooks.admit)(active.len()) {
+                let i = target_lens.len();
+                target_lens.push(g.target_len);
+                logw.push(
+                    g.masks
+                        .iter()
+                        .map(|mk| self.mask_logw_entries(mk))
+                        .collect(),
+                );
+                steps.push(0);
+                out.push(Vec::with_capacity(g.target_len));
+                cancelled.push(false);
+                if g.target_len == 0 {
+                    ranges.push(0..0);
+                    continue;
+                }
+                let hk_new = infer::matmul(&g.per_point, wh);
+                ranges.push(keys_all.rows..keys_all.rows + g.per_point.rows);
+                keys_all = infer::concat_rows(&[&keys_all, &g.per_point]);
+                hk_all = infer::concat_rows(&[&hk_all, &hk_new]);
+                h = infer::concat_rows(&[&h, &g.traj]);
+                x_prev = infer::concat_rows(&[&x_prev, store.value(self.start_emb)]);
+                r_prev = infer::concat_rows(&[&r_prev, &Tensor::zeros(1, 1)]);
+                active.push(i);
+            }
+            if active.is_empty() {
+                break;
+            }
+            // Cancellation gate (deadline / dropped-handle propagation):
+            // members whose budget expired are retired *before* the step
+            // runs, through the same gather_rows compaction that retires
+            // finished members below — a pure row copy, so surviving rows
+            // keep their exact values and decode on bit-identically.
+            let cut: Vec<bool> = active
+                .iter()
+                .map(|&i| (hooks.cancel)(i, steps[i]))
+                .collect();
             if cut.iter().any(|&c| c) {
                 let keep: Vec<usize> = (0..active.len()).filter(|&s| !cut[s]).collect();
                 for (s, &i) in active.iter().enumerate() {
@@ -447,13 +579,13 @@ impl Decoder {
                 r_prev = infer::gather_rows(&r_prev, &keep);
                 active = keep.iter().map(|&s| active[s]).collect();
                 if active.is_empty() {
-                    break;
+                    continue; // the admit hook may still have members to run
                 }
             }
             let b = active.len();
-            // One observability span per lock-step decode step (rendered
-            // `decoder.step[j]`); no-op unless tracing is enabled.
-            let _step_span = rntrajrec_obs::span_indexed("decoder.step", j as u32);
+            // One observability span per lock-step decode tick (rendered
+            // `decoder.step[t]`); no-op unless tracing is enabled.
+            let _step_span = rntrajrec_obs::span_indexed("decoder.step", tick);
             // Eq. (14): additive attention, all members in lock-step — one
             // stacked query projection, one stacked score product, then
             // the per-member softmax/context over ragged segments.
@@ -475,10 +607,12 @@ impl Decoder {
             let masks: Vec<Option<infer::SparseLogMask>> = active
                 .iter()
                 .map(|&i| {
-                    logw[i][j].as_deref().map(|entries| infer::SparseLogMask {
-                        default: MASKED_OUT_LOGW,
-                        entries,
-                    })
+                    logw[i][steps[i]]
+                        .as_deref()
+                        .map(|entries| infer::SparseLogMask {
+                            default: MASKED_OUT_LOGW,
+                            entries,
+                        })
                 })
                 .collect();
             let logp = match head {
@@ -498,17 +632,27 @@ impl Decoder {
 
             for (s, &i) in active.iter().enumerate() {
                 out[i].push((preds[s], rate.data[s]));
+                (hooks.on_step)(StepOut {
+                    member: i,
+                    step: steps[i],
+                    segment: preds[s],
+                    rate: rate.data[s],
+                    logprob: logp.data[s * logp.cols + preds[s]],
+                });
             }
             x_prev = x_j;
             r_prev = rate;
-            j += 1;
+            for &i in &active {
+                steps[i] += 1;
+            }
+            tick += 1;
 
             // Retire finished members, compacting the stacked state rows
             // (the batch shrinks; remaining rows keep their exact values —
             // gather_rows is a pure row copy).
-            if active.iter().any(|&i| members[i].sample.target_len() <= j) {
+            if active.iter().any(|&i| target_lens[i] <= steps[i]) {
                 let keep: Vec<usize> = (0..b)
-                    .filter(|&s| members[active[s]].sample.target_len() > j)
+                    .filter(|&s| target_lens[active[s]] > steps[active[s]])
                     .collect();
                 h = infer::gather_rows(&h, &keep);
                 x_prev = infer::gather_rows(&x_prev, &keep);

@@ -39,7 +39,9 @@ pub use baselines::{
     DhtrSeq2Seq, GtsEncoder, MTrajRecEncoder, NeuTrajEncoder, T2vecEncoder, T3sEncoder,
     TransformerBaseline,
 };
-pub use decoder::{BatchMember, Decoder, DecoderConfig, DecoderRun, SegmentHead};
+pub use decoder::{
+    BatchMember, DecodeHooks, Decoder, DecoderConfig, DecoderRun, GrownMember, SegmentHead, StepOut,
+};
 pub use encoder::{BatchEncoderOutput, EncoderOutput, InferOutput, TrajEncoder};
 pub use features::{FeatureExtractor, QueryError, SampleInput, SubGraph};
 pub use gpsformer::{RnTrajRecConfig, RnTrajRecEncoder};

@@ -218,6 +218,137 @@ proptest! {
             });
         }
     }
+
+    /// Continuous batching: members admitted into a live decode at
+    /// arbitrary ticks — possibly on the incumbents' final step, or after
+    /// every incumbent has already retired — combined with arbitrary
+    /// mid-decode cancellations of incumbents (grow-then-shrink on the
+    /// same tick included). Incumbents must stay **bit-identical** to the
+    /// closed-batch decode, and every admitted member must be
+    /// bit-identical to its solo sequential decode, under every backend
+    /// at 1 and 4 intra-op threads. The streamed `on_step` events must
+    /// reproduce each member's output exactly, in per-member step order.
+    #[test]
+    fn admitted_members_leave_incumbents_bit_identical(
+        batch_size in 1usize..6,
+        grown_count in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        use rntrajrec_models::{DecodeHooks, GrownMember, StepOut};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks: Vec<usize> = (0..batch_size)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..POOL))
+            .collect();
+        let cuts: Vec<Option<usize>> = picks
+            .iter()
+            .map(|_| {
+                if rand::Rng::gen_bool(&mut rng, 0.3) {
+                    Some(rand::Rng::gen_range(&mut rng, 0..13usize))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        // (admission tick, pool index) per newcomer. A tick past the
+        // incumbents' lifetime means the newcomer never joins — the hook
+        // is only polled while the session runs — and the test accounts
+        // for exactly the members that did.
+        let grown: Vec<(usize, usize)> = (0..grown_count)
+            .map(|_| {
+                (
+                    rand::Rng::gen_range(&mut rng, 0..13usize),
+                    rand::Rng::gen_range(&mut rng, 0..POOL),
+                )
+            })
+            .collect();
+        let fix = fixture();
+        for bk in backends() {
+            backend::with_backend(bk, || {
+                pool::set_num_threads(1);
+                let sequential: Vec<Vec<(usize, f32)>> =
+                    (0..POOL).map(|p| fix.sequential(p)).collect();
+                for threads in [1usize, 4] {
+                    pool::set_num_threads(threads);
+                    let batch: Vec<BatchMember> = picks.iter().map(|&p| fix.member(p)).collect();
+                    let n = batch.len();
+                    let mut tick = 0usize;
+                    let mut joined: Vec<bool> = vec![false; grown.len()];
+                    let mut admitted: Vec<usize> = Vec::new();
+                    let mut events: Vec<StepOut> = Vec::new();
+                    let mut cancel = |i: usize, j: usize| {
+                        i < n && cuts[i].is_some_and(|c| j >= c)
+                    };
+                    let mut admit = |_live: usize| -> Vec<GrownMember> {
+                        let mut v = Vec::new();
+                        for (g, &(at, p)) in grown.iter().enumerate() {
+                            if !joined[g] && tick >= at {
+                                joined[g] = true;
+                                admitted.push(p);
+                                let (per_point, traj, sample) = &fix.members[p];
+                                v.push(GrownMember {
+                                    per_point: per_point.clone(),
+                                    traj: traj.clone(),
+                                    target_len: sample.target_len(),
+                                    masks: sample.masks.clone(),
+                                });
+                            }
+                        }
+                        tick += 1;
+                        v
+                    };
+                    let mut on_step = |s: StepOut| events.push(s);
+                    let (out, cancelled) = fix.decoder.recover_batch_infer_stream(
+                        &fix.store,
+                        &batch,
+                        SegmentHead::Sparse,
+                        &mut DecodeHooks {
+                            cancel: &mut cancel,
+                            admit: &mut admit,
+                            on_step: &mut on_step,
+                        },
+                    );
+                    pool::set_num_threads(1);
+                    assert_eq!(out.len(), n + admitted.len());
+                    // Incumbents: the cancellation contract, bit-exact.
+                    for i in 0..n {
+                        let target = batch[i].sample.target_len();
+                        let want_len = cuts[i].map_or(target, |c| c.min(target));
+                        assert_eq!(out[i].len(), want_len, "incumbent {} length", i);
+                        assert!(
+                            out[i][..] == sequential[picks[i]][..want_len],
+                            "incumbent {} diverged at {} threads under {}",
+                            i, threads, bk.name()
+                        );
+                        assert_eq!(
+                            cancelled[i],
+                            cuts[i].is_some_and(|c| c < target),
+                            "incumbent {} cancelled flag", i
+                        );
+                    }
+                    // Admitted members: bit-identical to their solo runs.
+                    for (k, &p) in admitted.iter().enumerate() {
+                        assert!(
+                            out[n + k][..] == sequential[p][..],
+                            "admitted member {} diverged at {} threads under {}",
+                            k, threads, bk.name()
+                        );
+                        assert!(!cancelled[n + k], "admitted member {} cut", k);
+                    }
+                    // The stream reproduces every output in step order.
+                    let mut replayed: Vec<Vec<(usize, f32)>> = vec![Vec::new(); out.len()];
+                    for e in &events {
+                        assert_eq!(
+                            e.step, replayed[e.member].len(),
+                            "member {} streamed out of order", e.member
+                        );
+                        replayed[e.member].push((e.segment, e.rate));
+                    }
+                    assert_eq!(&replayed, &out, "streamed events diverged from outputs");
+                }
+            });
+        }
+    }
 }
 
 /// The sparse segment head must not change what the decoder *recovers*:

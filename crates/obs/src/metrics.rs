@@ -211,6 +211,18 @@ pub fn batch_size() -> Arc<Histogram> {
     )
 }
 
+/// The streaming-serving latency KPI
+/// `rntrajrec_time_to_first_step_seconds`: submit → first decoded step
+/// delivered (what continuous batching optimises, vs. full-response
+/// latency for closed batches).
+pub fn time_to_first_step() -> Arc<Histogram> {
+    histogram(
+        "rntrajrec_time_to_first_step_seconds",
+        "Submit-to-first-decoded-step latency, in seconds.",
+        DURATION_BUCKETS,
+    )
+}
+
 /// The batch occupancy histogram `rntrajrec_batch_occupancy`
 /// (`batch_size / max_batch`).
 pub fn batch_occupancy() -> Arc<Histogram> {

@@ -77,7 +77,7 @@ pub struct EngineConfig {
     /// across requests, intra-op threads cut single-request latency —
     /// see the crate docs for the interaction.
     pub threads_per_worker: usize,
-    /// Admission bound on the waiting queue: [`RecoveryEngine::try_submit`]
+    /// Admission bound on the waiting queue: [`RecoveryEngine::submit`]
     /// rejects with [`EngineError::Overloaded`] once this many requests
     /// are already waiting (requests being *executed* in a flushed batch
     /// no longer count). `None` keeps the queue unbounded — the
@@ -94,6 +94,15 @@ pub struct EngineConfig {
     /// (the ladder can still be forced via
     /// [`RecoveryEngine::set_brownout_override`]).
     pub brownout: Option<BrownoutConfig>,
+    /// Continuous batching: workers check the queue **between decode
+    /// steps** and splice newcomers into the live fused batch (their
+    /// encoder pass runs fused with co-arrivals), instead of making them
+    /// wait for the next flush. Incumbent members stay bit-identical to
+    /// a closed batch (every fused kernel is member-scoped). Admission
+    /// respects the effective `max_batch` and is refused at brownout
+    /// level ≥ 2 (`shrink_batch`). `false` restores closed batches —
+    /// the pre-continuous behaviour and the bench baseline.
+    pub continuous: bool,
     /// Supervisor cadence: worker reaping, watchdog scans, drain-rate
     /// sampling, and brownout ticks all run at this interval.
     pub supervise_every: Duration,
@@ -120,8 +129,78 @@ impl Default for EngineConfig {
             supervise_every: Duration::from_millis(10),
             restart_backoff: Duration::from_millis(10),
             restart_backoff_cap: Duration::from_secs(2),
+            continuous: true,
         }
     }
+}
+
+/// Per-submission options for [`RecoveryEngine::submit`] — the one
+/// submission entry point. Build with the fluent setters:
+///
+/// ```ignore
+/// let handle = engine.submit(
+///     input,
+///     SubmitOptions::new()
+///         .deadline(Instant::now() + Duration::from_millis(200))
+///         .stream(),
+/// )?;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Absolute deadline: past this instant the request is cancelled out
+    /// of its decode batch (mid-decode, through the state-compaction
+    /// path; survivors bit-identical) and completes with
+    /// [`Recovered::timed_out`].
+    pub deadline: Option<Instant>,
+    /// Observability request id ([`rntrajrec_obs::next_request_id`]),
+    /// minted by the caller at the protocol edge so engine spans join the
+    /// caller's span tree. When `None` and tracing is enabled, the engine
+    /// mints one so its spans stay attributable.
+    pub trace: Option<rntrajrec_obs::RequestId>,
+    /// Queue position: [`Priority::High`] jumps the waiting line (and is
+    /// therefore also first in line for mid-decode admission).
+    pub priority: Priority,
+    /// Open a streaming sink: the handle's [`RecoveryHandle::steps`] /
+    /// [`RecoveryHandle::next_step`] yield one [`StepUpdate`] per decoded
+    /// step, before the terminal [`Recovered`].
+    pub stream: bool,
+}
+
+impl SubmitOptions {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn trace(mut self, trace: Option<rntrajrec_obs::RequestId>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn stream(mut self) -> Self {
+        self.stream = true;
+        self
+    }
+}
+
+/// Queue priority for a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// FIFO order (the default).
+    #[default]
+    Normal,
+    /// Front of the waiting queue: flushed (or admitted mid-decode)
+    /// before any waiting `Normal` request.
+    High,
 }
 
 /// A worker that stayed up this long has its crash streak (and with it
@@ -201,11 +280,54 @@ pub struct Recovered {
     pub compute: Duration,
 }
 
+/// One decoded step of an in-flight streamed recovery, delivered through
+/// [`RecoveryHandle::steps`] / [`RecoveryHandle::next_step`] as the fused
+/// decoder produces it (requires [`SubmitOptions::stream`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepUpdate {
+    /// Submission id (matches [`RecoveryHandle::id`]).
+    pub id: u64,
+    /// 0-based step index within this request's recovery; strictly
+    /// monotonic per request.
+    pub step: usize,
+    /// Predicted road segment for this step.
+    pub segment: usize,
+    /// Predicted moving rate for this step.
+    pub rate: f32,
+    /// Log-probability of the chosen segment under the masked head.
+    pub logprob: f32,
+}
+
+/// Outcome of one bounded wait for the next streamed step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepWait {
+    /// A decoded step arrived.
+    Step(StepUpdate),
+    /// The stream is over (or the submission was not streaming): no more
+    /// steps will arrive; the terminal [`Recovered`] is ready or imminent
+    /// — collect it with [`RecoveryHandle::poll`] / [`RecoveryHandle::wait`].
+    Finished,
+    /// Nothing arrived within the timeout; the request is still decoding.
+    TimedOut,
+}
+
 /// Handle to an in-flight request.
+///
+/// **Dropping the handle cancels the request**: an abandoned member still
+/// queued is failed at admission, and one already decoding inside a fused
+/// batch is cancelled between steps through the same state-compaction
+/// path deadlines use (survivors bit-identical) — the engine does not
+/// decode results nobody will read.
 #[derive(Debug)]
 pub struct RecoveryHandle {
     id: u64,
     rx: mpsc::Receiver<Recovered>,
+    /// Step sink (present when submitted with [`SubmitOptions::stream`]).
+    steps: Option<mpsc::Receiver<StepUpdate>>,
+    /// Result cached by a successful [`RecoveryHandle::poll`].
+    done: Option<Recovered>,
+    /// Shared with the engine; set on drop to request cancellation.
+    abandoned: Arc<AtomicBool>,
 }
 
 impl RecoveryHandle {
@@ -213,19 +335,45 @@ impl RecoveryHandle {
         self.id
     }
 
-    /// Block until the recovery completes.
-    pub fn wait(self) -> Recovered {
+    /// Non-blocking, non-consuming completion check: `Some` once the
+    /// terminal result is in, caching it so later `poll`/`wait` calls
+    /// return the same result without touching the channel.
+    pub fn poll(&mut self) -> Option<&Recovered> {
+        if self.done.is_none() {
+            match self.rx.try_recv() {
+                Ok(r) => self.done = Some(r),
+                Err(mpsc::TryRecvError::Empty) => {}
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("recovery engine dropped before completing request")
+                }
+            }
+        }
+        self.done.as_ref()
+    }
+
+    /// Block until the recovery completes (a trivial wrapper over the
+    /// polling machinery: cached result or one blocking receive).
+    pub fn wait(mut self) -> Recovered {
+        if let Some(r) = self.done.take() {
+            return r;
+        }
         self.rx
             .recv()
             .expect("recovery engine dropped before completing request")
     }
 
     /// Block at most `timeout` for the result. On timeout the handle is
-    /// returned so the caller can keep waiting (or drop it — the engine
-    /// still executes the request, it just has nowhere to deliver the
-    /// result). The HTTP layer uses this for per-request deadline
-    /// budgets, mapping a timeout to `503`.
-    pub fn wait_timeout(self, timeout: Duration) -> Result<Recovered, RecoveryHandle> {
+    /// returned so the caller can keep waiting — or drop it, which
+    /// cancels the request mid-decode (see the type docs). The HTTP
+    /// layer uses this for per-request deadline budgets, mapping a
+    /// timeout to `503`.
+    // The Err variant IS the handle, returned to the caller on purpose;
+    // boxing it would push an allocation onto every deadline miss.
+    #[allow(clippy::result_large_err)]
+    pub fn wait_timeout(mut self, timeout: Duration) -> Result<Recovered, RecoveryHandle> {
+        if let Some(r) = self.done.take() {
+            return Ok(r);
+        }
         match self.rx.recv_timeout(timeout) {
             Ok(r) => Ok(r),
             Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
@@ -233,6 +381,52 @@ impl RecoveryHandle {
                 panic!("recovery engine dropped before completing request")
             }
         }
+    }
+
+    /// Wait at most `timeout` for the next streamed step. Returns
+    /// [`StepWait::Finished`] immediately for non-streaming submissions.
+    pub fn next_step(&self, timeout: Duration) -> StepWait {
+        let Some(rx) = &self.steps else {
+            return StepWait::Finished;
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(s) => StepWait::Step(s),
+            Err(mpsc::RecvTimeoutError::Timeout) => StepWait::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => StepWait::Finished,
+        }
+    }
+
+    /// Blocking iterator over the streamed steps; ends when the decode
+    /// finishes (empty for non-streaming submissions). Steps per request
+    /// arrive in strictly increasing `step` order.
+    pub fn steps(&self) -> Steps<'_> {
+        Steps {
+            rx: self.steps.as_ref(),
+        }
+    }
+}
+
+impl Drop for RecoveryHandle {
+    fn drop(&mut self) {
+        // Request mid-decode cancellation for whoever stops listening —
+        // the same flag-check the decode loop's cancel gate uses for
+        // deadlines. Harmless after completion (nothing reads it).
+        self.abandoned.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Blocking step iterator for a streamed recovery
+/// (see [`RecoveryHandle::steps`]).
+#[derive(Debug)]
+pub struct Steps<'a> {
+    rx: Option<&'a mpsc::Receiver<StepUpdate>>,
+}
+
+impl Iterator for Steps<'_> {
+    type Item = StepUpdate;
+
+    fn next(&mut self) -> Option<StepUpdate> {
+        self.rx.and_then(|rx| rx.recv().ok())
     }
 }
 
@@ -265,6 +459,12 @@ pub struct EngineStats {
     pub watchdog_timeouts: u64,
     /// Members cancelled mid-decode because their deadline expired.
     pub deadline_cancelled: u64,
+    /// Requests spliced into an already-decoding batch between steps
+    /// (continuous batching) instead of waiting for the next flush.
+    pub admitted: u64,
+    /// Requests cancelled because their [`RecoveryHandle`] was dropped
+    /// before completion.
+    pub abandoned_cancelled: u64,
     /// Brownout ladder transitions since start.
     pub brownout_shifts: u64,
     /// Active brownout mode name (`normal`, `degraded_head`,
@@ -294,6 +494,11 @@ struct Pending {
     /// of its decode batch rather than computed to completion.
     deadline: Option<Instant>,
     tx: mpsc::Sender<Recovered>,
+    /// Per-step sink for streaming submissions.
+    step_tx: Option<mpsc::Sender<StepUpdate>>,
+    /// Set by [`RecoveryHandle`]'s drop; the decode loop's cancel gate
+    /// (and the admission gate) treat it like an expired deadline.
+    abandoned: Arc<AtomicBool>,
 }
 
 #[derive(Default)]
@@ -310,6 +515,8 @@ struct Counters {
     worker_restarts: AtomicU64,
     watchdog_timeouts: AtomicU64,
     deadline_cancelled: AtomicU64,
+    admitted: AtomicU64,
+    abandoned_cancelled: AtomicU64,
     brownout_shifts: AtomicU64,
     /// Σ queue wait across completed requests, nanoseconds.
     queue_wait_ns: AtomicU64,
@@ -350,6 +557,8 @@ struct Shared {
     max_delay_ns: AtomicU64,
     queue_capacity: Option<usize>,
     batch_timeout: Option<Duration>,
+    /// Mid-decode admission enabled ([`EngineConfig::continuous`]).
+    continuous: bool,
     /// Active brownout ladder level (0..=3).
     brownout_level: AtomicU8,
     /// Manual ladder override (ops/maintenance knob and test hook);
@@ -469,6 +678,7 @@ impl RecoveryEngine {
             max_delay_ns: AtomicU64::new(config.max_delay.as_nanos() as u64),
             queue_capacity: config.queue_capacity,
             batch_timeout: config.batch_timeout,
+            continuous: config.continuous,
             brownout_level: AtomicU8::new(0),
             brownout_override: AtomicU8::new(AUTO_LEVEL),
             queue_wait_ring: Mutex::new(VecDeque::with_capacity(QUEUE_WAIT_RING_CAP)),
@@ -506,54 +716,24 @@ impl RecoveryEngine {
         }
     }
 
-    /// Enqueue a request; returns immediately with a waitable handle.
-    ///
-    /// # Panics
-    /// Panics when a configured [`EngineConfig::queue_capacity`] is
-    /// saturated — admission-aware callers must use
-    /// [`RecoveryEngine::try_submit`] and shed load on
-    /// [`EngineError::Overloaded`]. With the default unbounded queue this
-    /// never panics.
-    pub fn submit(&self, input: SampleInput) -> RecoveryHandle {
-        self.try_submit(input)
-            .expect("engine saturated: use try_submit with a bounded queue")
-    }
-
-    /// Enqueue a request if the waiting queue has room; returns
-    /// immediately with a waitable handle, or
+    /// Enqueue a request; returns immediately with a waitable handle, or
     /// [`EngineError::Overloaded`] when the queue is at
     /// [`EngineConfig::queue_capacity`] — the typed load-shedding path
-    /// (never blocks, never drops silently).
-    pub fn try_submit(&self, input: SampleInput) -> Result<RecoveryHandle, EngineError> {
-        // When tracing is on, untraced submitters still get a request id
-        // so engine-side spans (queue.wait, batch.assemble, the fused
-        // passes) are attributable; there is just no HTTP-side tree.
-        let trace = rntrajrec_obs::enabled().then(rntrajrec_obs::next_request_id);
-        self.try_submit_with(input, trace, None)
-    }
-
-    /// [`RecoveryEngine::try_submit`] with an explicit observability
-    /// request id ([`rntrajrec_obs::next_request_id`]), minted by the
-    /// caller at the protocol edge (the HTTP layer mints at accept) so
-    /// queue/batch/kernel spans join the caller's span tree.
-    pub fn try_submit_traced(
+    /// (never blocks, never drops silently). Everything per-submission —
+    /// deadline, trace id, priority, streaming — rides in
+    /// [`SubmitOptions`]; `SubmitOptions::default()` is a plain FIFO
+    /// submission.
+    ///
+    /// A request whose deadline passes while it is decoding inside a
+    /// fused batch is cancelled through the decoder's state-compaction
+    /// path (survivors bit-identical) and completes with a typed timeout
+    /// ([`Recovered::timed_out`]). With [`SubmitOptions::stream`], each
+    /// decoded step is delivered through the handle before the terminal
+    /// result.
+    pub fn submit(
         &self,
         input: SampleInput,
-        trace: Option<rntrajrec_obs::RequestId>,
-    ) -> Result<RecoveryHandle, EngineError> {
-        self.try_submit_with(input, trace, None)
-    }
-
-    /// Full-control submission: optional trace id and an optional
-    /// **absolute deadline**. A request whose deadline passes while it is
-    /// decoding inside a fused batch is cancelled through the decoder's
-    /// state-compaction path (survivors bit-identical) and completes with
-    /// a typed timeout ([`Recovered::timed_out`]).
-    pub fn try_submit_with(
-        &self,
-        input: SampleInput,
-        trace: Option<rntrajrec_obs::RequestId>,
-        deadline: Option<Instant>,
+        opts: SubmitOptions,
     ) -> Result<RecoveryHandle, EngineError> {
         rntrajrec_chaos::point("engine.submit")
             .map_err(|f| EngineError::FaultInjected { point: f.point })?;
@@ -564,7 +744,20 @@ impl RecoveryEngine {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(EngineError::Brownout);
         }
+        // When tracing is on, untraced submitters still get a request id
+        // so engine-side spans (queue.wait, batch.assemble, the fused
+        // passes) are attributable; there is just no HTTP-side tree.
+        let trace = opts
+            .trace
+            .or_else(|| rntrajrec_obs::enabled().then(rntrajrec_obs::next_request_id));
         let (tx, rx) = mpsc::channel();
+        let (step_tx, step_rx) = if opts.stream {
+            let (s_tx, s_rx) = mpsc::channel();
+            (Some(s_tx), Some(s_rx))
+        } else {
+            (None, None)
+        };
+        let abandoned = Arc::new(AtomicBool::new(false));
         let id = {
             let mut q = self.shared.queue.lock().unwrap();
             if let Some(cap) = self.shared.queue_capacity {
@@ -586,23 +779,75 @@ impl RecoveryEngine {
                 .counters
                 .requests
                 .fetch_add(1, Ordering::Relaxed);
-            q.push_back(Pending {
+            let pending = Pending {
                 id,
                 trace,
                 input,
                 enqueued: Instant::now(),
-                deadline,
+                deadline: opts.deadline,
                 tx,
-            });
+                step_tx,
+                abandoned: Arc::clone(&abandoned),
+            };
+            match opts.priority {
+                Priority::Normal => q.push_back(pending),
+                Priority::High => q.push_front(pending),
+            }
             id
         };
         self.shared.cond.notify_one();
-        Ok(RecoveryHandle { id, rx })
+        Ok(RecoveryHandle {
+            id,
+            rx,
+            steps: step_rx,
+            done: None,
+            abandoned,
+        })
+    }
+
+    /// Deprecated shim for [`RecoveryEngine::submit`].
+    #[deprecated(note = "use submit(input, SubmitOptions::default())")]
+    pub fn try_submit(&self, input: SampleInput) -> Result<RecoveryHandle, EngineError> {
+        self.submit(input, SubmitOptions::default())
+    }
+
+    /// Deprecated shim for [`RecoveryEngine::submit`] with
+    /// [`SubmitOptions::trace`].
+    #[deprecated(note = "use submit(input, SubmitOptions::new().trace(trace))")]
+    pub fn try_submit_traced(
+        &self,
+        input: SampleInput,
+        trace: Option<rntrajrec_obs::RequestId>,
+    ) -> Result<RecoveryHandle, EngineError> {
+        self.submit(input, SubmitOptions::new().trace(trace))
+    }
+
+    /// Deprecated shim for [`RecoveryEngine::submit`] with
+    /// [`SubmitOptions::trace`] and [`SubmitOptions::deadline`].
+    #[deprecated(note = "use submit(input, SubmitOptions) with trace/deadline setters")]
+    pub fn try_submit_with(
+        &self,
+        input: SampleInput,
+        trace: Option<rntrajrec_obs::RequestId>,
+        deadline: Option<Instant>,
+    ) -> Result<RecoveryHandle, EngineError> {
+        let mut opts = SubmitOptions::new().trace(trace);
+        opts.deadline = deadline;
+        self.submit(input, opts)
     }
 
     /// Convenience: submit and block for the result.
+    ///
+    /// # Panics
+    /// Panics when a configured [`EngineConfig::queue_capacity`] is
+    /// saturated — admission-aware callers must use
+    /// [`RecoveryEngine::submit`] and shed load on
+    /// [`EngineError::Overloaded`]. With the default unbounded queue this
+    /// never panics.
     pub fn recover(&self, input: SampleInput) -> Recovered {
-        self.submit(input).wait()
+        self.submit(input, SubmitOptions::default())
+            .expect("engine saturated: use submit with a bounded queue")
+            .wait()
     }
 
     /// Snapshot of the engine counters.
@@ -637,6 +882,8 @@ impl RecoveryEngine {
             worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
             watchdog_timeouts: c.watchdog_timeouts.load(Ordering::Relaxed),
             deadline_cancelled: c.deadline_cancelled.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            abandoned_cancelled: c.abandoned_cancelled.load(Ordering::Relaxed),
             brownout_shifts: c.brownout_shifts.load(Ordering::Relaxed),
             brownout_mode: mode_name(self.shared.level()).to_string(),
             drain_rate_per_sec: self.drain_rate_per_sec(),
@@ -988,156 +1235,397 @@ fn take_batch(shared: &Shared) -> Option<(Vec<Pending>, Instant)> {
     Some((batch, taken))
 }
 
+/// One live member of a decode session — a flushed request, or one
+/// admitted mid-decode (continuous batching).
+struct SessionMember {
+    id: u64,
+    trace: Option<rntrajrec_obs::RequestId>,
+    enqueued: Instant,
+    /// Queue-wait / compute boundary: the flush instant for flushed
+    /// members, the admission instant for admitted ones.
+    taken: Instant,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<Recovered>,
+    step_tx: Option<mpsc::Sender<StepUpdate>>,
+    abandoned: Arc<AtomicBool>,
+    /// Why the cancel gate cut this member (when it did).
+    cut: Option<CutReason>,
+    /// Owned input, retained for the panic fallback — `Some` only for
+    /// admitted members (flushed members' inputs live in the session's
+    /// stable input vector, which the fused pass borrows).
+    input: Option<SampleInput>,
+}
+
+#[derive(Clone, Copy)]
+enum CutReason {
+    Deadline,
+    Abandoned,
+}
+
 fn worker_loop(shared: &Shared, slot: &WorkerSlot) {
+    while let Some((batch, taken)) = take_batch(shared) {
+        run_session(shared, slot, batch, taken);
+    }
+}
+
+/// Run one decode session: the flushed batch, plus any members admitted
+/// mid-decode through the continuous-batching gate. The session ends when
+/// every member has finished, been cancelled, or been admitted-and-
+/// finished — only then does the worker return to `take_batch`.
+fn run_session(shared: &Shared, slot: &WorkerSlot, batch: Vec<Pending>, taken: Instant) {
+    use std::cell::RefCell;
     use std::sync::OnceLock;
     static QUEUE_WAIT_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
     static COMPUTE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
     static BATCH_SIZE: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
     static BATCH_OCCUPANCY: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+    static TTFS_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+    let ttfs_hist = TTFS_SECONDS.get_or_init(rntrajrec_obs::metrics::time_to_first_step);
 
-    while let Some((batch, taken)) = take_batch(shared) {
-        let batch_size = batch.len();
-        BATCH_SIZE
-            .get_or_init(rntrajrec_obs::metrics::batch_size)
-            .observe(batch_size as f64);
-        BATCH_OCCUPANCY
-            .get_or_init(rntrajrec_obs::metrics::batch_occupancy)
-            .observe(batch_size as f64 / shared.base_max_batch as f64);
-        shared
-            .counters
-            .in_flight_batches
-            .fetch_add(1, Ordering::Relaxed);
-        // Register the batch in the claim slot *before* any fallible work:
-        // from here on, if this thread dies or stalls, the supervisor can
-        // fail exactly these members on its behalf.
-        *slot.inflight.lock().unwrap_or_else(|e| e.into_inner()) = Some(InFlight {
-            started: Instant::now(),
-            batch_size,
-            members: batch
-                .iter()
-                .map(|p| (p.id, p.enqueued, p.tx.clone()))
-                .collect(),
+    let batch_size = batch.len();
+    BATCH_SIZE
+        .get_or_init(rntrajrec_obs::metrics::batch_size)
+        .observe(batch_size as f64);
+    BATCH_OCCUPANCY
+        .get_or_init(rntrajrec_obs::metrics::batch_occupancy)
+        .observe(batch_size as f64 / shared.base_max_batch as f64);
+    shared
+        .counters
+        .in_flight_batches
+        .fetch_add(1, Ordering::Relaxed);
+
+    // Flushed members' inputs live here, stable for the whole session,
+    // so the fused pass can borrow them while the member roster grows.
+    let mut initial_inputs: Vec<SampleInput> = Vec::with_capacity(batch_size);
+    let mut members: Vec<SessionMember> = Vec::with_capacity(batch_size);
+    for p in batch {
+        initial_inputs.push(p.input);
+        members.push(SessionMember {
+            id: p.id,
+            trace: p.trace,
+            enqueued: p.enqueued,
+            taken,
+            deadline: p.deadline,
+            tx: p.tx,
+            step_tx: p.step_tx,
+            abandoned: p.abandoned,
+            cut: None,
+            input: None,
         });
-        // The `engine.worker` fault point sits *outside* the per-batch
-        // panic isolation on purpose: an injected panic kills this worker
-        // thread — the supervision path under test. An injected delay
-        // stalls the registered batch — the watchdog path. An injected
-        // error fails the batch with typed errors.
-        if let Err(fault) = rntrajrec_chaos::point("engine.worker") {
-            if shared.fail_inflight(slot, &fault.to_string(), false) {
-                shared
-                    .counters
-                    .in_flight_batches
-                    .fetch_sub(1, Ordering::Relaxed);
+    }
+    // Register the batch in the claim slot *before* any fallible work:
+    // from here on, if this thread dies or stalls, the supervisor can
+    // fail exactly these members on its behalf. Admitted members are
+    // appended to the registration as they join.
+    *slot.inflight.lock().unwrap_or_else(|e| e.into_inner()) = Some(InFlight {
+        started: Instant::now(),
+        batch_size,
+        members: members
+            .iter()
+            .map(|m| (m.id, m.enqueued, m.tx.clone()))
+            .collect(),
+    });
+    // The `engine.worker` fault point sits *outside* the per-batch
+    // panic isolation on purpose: an injected panic kills this worker
+    // thread — the supervision path under test. An injected delay
+    // stalls the registered batch — the watchdog path. An injected
+    // error fails the batch with typed errors.
+    if let Err(fault) = rntrajrec_chaos::point("engine.worker") {
+        if shared.fail_inflight(slot, &fault.to_string(), false) {
+            shared
+                .counters
+                .in_flight_batches
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+        return;
+    }
+    let traces: Vec<rntrajrec_obs::RequestId> = members.iter().filter_map(|m| m.trace).collect();
+    let degraded_head = shared.level() >= 1;
+    let session = RefCell::new(members);
+
+    // Cancel gate, called by the decode loop before each member's step:
+    // an expired deadline or an abandoned handle retires the member
+    // through the state-compaction path (survivors bit-identical).
+    let mut cancel = |i: usize, _step: usize| -> bool {
+        let mut s = session.borrow_mut();
+        let m = &mut s[i];
+        if m.abandoned.load(Ordering::Relaxed) {
+            m.cut = Some(CutReason::Abandoned);
+            return true;
+        }
+        if m.deadline.is_some_and(|d| Instant::now() >= d) {
+            m.cut = Some(CutReason::Deadline);
+            return true;
+        }
+        false
+    };
+
+    // Admission gate, called by the decode loop between steps with the
+    // live batch size: splice waiting requests into the running session
+    // while there is room. Newcomers whose deadline already expired (or
+    // whose handle is already gone) fail immediately without costing an
+    // encoder pass.
+    let mut admit = |live: usize| -> Vec<SampleInput> {
+        if !shared.continuous || shared.level() >= 2 {
+            return Vec::new();
+        }
+        let room = shared
+            .max_batch
+            .load(Ordering::Relaxed)
+            .saturating_sub(live);
+        if room == 0 {
+            return Vec::new();
+        }
+        // Claim-slot guard: if the watchdog already failed this session,
+        // delivery responsibility is gone — stop growing it.
+        let mut flight_guard = slot.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(flight) = flight_guard.as_mut() else {
+            return Vec::new();
+        };
+        let newcomers: Vec<Pending> = {
+            let mut q = shared.queue.lock().unwrap();
+            if q.is_empty() {
+                return Vec::new();
             }
-            continue;
-        }
-        // The whole flushed batch goes through the fused inference path:
-        // one stacked encoder pass (GraphNorm statistics per member) and
-        // stacked [B, ·] decoder steps — bit-identical to per-request
-        // inference, so the batch composition is still unobservable in
-        // the results. A panicking request (e.g. an input built against a
-        // different road network tripping a shape assert) makes the
-        // fused pass fall back to per-member recovery internally, failing
-        // only that request — never the worker thread, and with it the
-        // whole engine. Deadlines ride into the decode loop; the brownout
-        // level picks the degraded head.
-        let inputs: Vec<&SampleInput> = batch.iter().map(|p| &p.input).collect();
-        let opts = BatchOptions {
-            deadlines: batch.iter().map(|p| p.deadline).collect(),
-            degraded_head: shared.level() >= 1,
+            let take = q.len().min(room);
+            q.drain(..take).collect()
         };
-        let results = {
-            // Attribute every span and kernel event of the fused pass to
-            // all traced members. The scope must drop (flushing this
-            // thread's span buffer to the global store) *before* results
-            // are delivered below, so a client that answers immediately
-            // already sees its batch spans in `/debug/trace`.
-            let members: Vec<rntrajrec_obs::RequestId> =
-                batch.iter().filter_map(|p| p.trace).collect();
-            let _scope = rntrajrec_obs::request_scope(&members);
-            shared.model.recover_batch_opts(&inputs, &opts)
-        };
-        let done = Instant::now();
-        let compute = done.saturating_duration_since(taken);
-        // Decrement before delivering: a client unblocked by `send` below
-        // must observe the gauge already back at zero (compute is over;
-        // only delivery remains).
-        shared
-            .counters
-            .in_flight_batches
-            .fetch_sub(1, Ordering::Relaxed);
-        // Claim the batch back. If the watchdog failed it while we were
-        // computing, delivery (and its counters) already happened — drop
-        // our results on the floor and move on.
-        if slot
-            .inflight
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-            .is_none()
-        {
-            continue;
-        }
-        shared.counters.compute_ns.fetch_add(
-            compute.as_nanos() as u64 * batch_size as u64,
-            Ordering::Relaxed,
-        );
-        COMPUTE_SECONDS
-            .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("compute"))
-            .observe_duration(compute);
-        let queue_wait_hist =
-            QUEUE_WAIT_SECONDS.get_or_init(|| rntrajrec_obs::metrics::phase_seconds("queue_wait"));
-        let mut wait_samples: Vec<f64> = Vec::with_capacity(batch_size);
-        for (pending, result) in batch.iter().zip(results) {
-            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-            let (path, error, timed_out) = match result {
-                Ok(path) => (path, None, false),
-                Err(MemberError::DeadlineExceeded) => {
-                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let now_ns = rntrajrec_obs::enabled().then(|| rntrajrec_obs::instant_ns(now));
+        let mut fresh = Vec::with_capacity(newcomers.len());
+        let mut s = session.borrow_mut();
+        for p in newcomers {
+            if p.deadline.is_some_and(|d| now >= d) || p.abandoned.load(Ordering::Relaxed) {
+                let timed_out = !p.abandoned.load(Ordering::Relaxed);
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let error = if timed_out {
                     shared
                         .counters
                         .deadline_cancelled
                         .fetch_add(1, Ordering::Relaxed);
-                    (
-                        Vec::new(),
-                        Some(MemberError::DeadlineExceeded.to_string()),
-                        true,
-                    )
-                }
-                Err(MemberError::Failed(msg)) => {
-                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    (Vec::new(), Some(msg), false)
-                }
-            };
-            let queue_wait = taken.saturating_duration_since(pending.enqueued);
+                    MemberError::DeadlineExceeded.to_string()
+                } else {
+                    shared
+                        .counters
+                        .abandoned_cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                    "request abandoned before decoding started".to_string()
+                };
+                let _ = p.tx.send(Recovered {
+                    id: p.id,
+                    path: Vec::new(),
+                    error: Some(error),
+                    timed_out,
+                    batch_size: s.len(),
+                    latency: p.enqueued.elapsed(),
+                    queue_wait: now.saturating_duration_since(p.enqueued),
+                    compute: Duration::ZERO,
+                });
+                continue;
+            }
+            shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
             shared
                 .counters
-                .queue_wait_ns
-                .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
-            queue_wait_hist.observe_duration(queue_wait);
-            wait_samples.push(queue_wait.as_secs_f64() * 1e3);
-            let _ = pending.tx.send(Recovered {
-                id: pending.id,
-                path,
-                error,
-                timed_out,
-                batch_size,
-                latency: pending.enqueued.elapsed(),
-                queue_wait,
-                compute,
+                .batched_requests
+                .fetch_add(1, Ordering::Relaxed);
+            if let (Some(now_ns), Some(req)) = (now_ns, p.trace) {
+                let enq_ns = rntrajrec_obs::instant_ns(p.enqueued);
+                rntrajrec_obs::record("queue.wait", &[req], enq_ns, now_ns);
+            }
+            flight.members.push((p.id, p.enqueued, p.tx.clone()));
+            fresh.push(p.input.clone());
+            s.push(SessionMember {
+                id: p.id,
+                trace: p.trace,
+                enqueued: p.enqueued,
+                taken: now,
+                deadline: p.deadline,
+                tx: p.tx,
+                step_tx: p.step_tx,
+                abandoned: p.abandoned,
+                cut: None,
+                input: Some(p.input),
             });
         }
-        // Feed the brownout controller's latency watermark.
-        let mut ring = shared
-            .queue_wait_ring
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        for w in wait_samples {
-            if ring.len() == QUEUE_WAIT_RING_CAP {
-                ring.pop_front();
-            }
-            ring.push_back(w);
+        if !fresh.is_empty() {
+            // Admission is progress: restart the watchdog budget so a
+            // long-lived continuously-fed session is not mistaken for a
+            // hung batch. A genuinely stalled kernel stops reaching this
+            // gate, so the watchdog still fires for it.
+            flight.started = Instant::now();
+            flight.batch_size = s.len();
         }
+        fresh
+    };
+
+    // Per-step tap: time-to-first-step on a member's first decoded step,
+    // then fan out to its streaming sink (if any).
+    let mut on_step = |su: rntrajrec_models::StepOut| {
+        let s = session.borrow();
+        let m = &s[su.member];
+        if su.step == 0 {
+            ttfs_hist.observe(m.enqueued.elapsed().as_secs_f64());
+        }
+        if let Some(step_tx) = &m.step_tx {
+            let _ = step_tx.send(StepUpdate {
+                id: m.id,
+                step: su.step,
+                segment: su.segment,
+                rate: su.rate,
+                logprob: su.logprob,
+            });
+        }
+    };
+
+    // The session goes through the fused inference path: one stacked
+    // encoder pass (GraphNorm statistics per member), stacked [B, ·]
+    // decoder steps, and — under continuous batching — admissions fused
+    // per arrival wave. Results stay bit-identical to per-request
+    // inference regardless of batch composition *or admission timing*.
+    let input_refs: Vec<&SampleInput> = initial_inputs.iter().collect();
+    let outcome = {
+        // Attribute every span and kernel event of the fused pass to
+        // all traced members. The scope must drop (flushing this
+        // thread's span buffer to the global store) *before* results
+        // are delivered below, so a client that answers immediately
+        // already sees its batch spans in `/debug/trace`.
+        let _scope = rntrajrec_obs::request_scope(&traces);
+        shared.model.recover_batch_stream(
+            &input_refs,
+            degraded_head,
+            &mut rntrajrec::StreamCtl {
+                cancel: &mut cancel,
+                admit: &mut admit,
+                on_step: &mut on_step,
+            },
+        )
+    };
+    let done = Instant::now();
+    let compute = done.saturating_duration_since(taken);
+    // Decrement before delivering: a client unblocked by `send` below
+    // must observe the gauge already back at zero (compute is over;
+    // only delivery remains).
+    shared
+        .counters
+        .in_flight_batches
+        .fetch_sub(1, Ordering::Relaxed);
+    // Claim the session back. If the watchdog failed it while we were
+    // computing, delivery (and its counters) already happened — drop
+    // our results on the floor and move on.
+    if slot
+        .inflight
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .is_none()
+    {
+        return;
+    }
+    COMPUTE_SECONDS
+        .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("compute"))
+        .observe_duration(compute);
+    let queue_wait_hist =
+        QUEUE_WAIT_SECONDS.get_or_init(|| rntrajrec_obs::metrics::phase_seconds("queue_wait"));
+
+    let members = session.into_inner();
+    let final_size = members.len();
+    // Per-member results: the streamed outcome, or — if the fused pass
+    // panicked (e.g. an input built against a different road network
+    // tripping a shape assert) — a closed-batch re-run over the whole
+    // session, whose internal per-member fallback fails only the bad
+    // member, never the worker thread.
+    let results: Vec<Result<Vec<(usize, f32)>, MemberError>> = match outcome {
+        Ok((paths, cancelled)) => paths
+            .into_iter()
+            .zip(cancelled)
+            .zip(&members)
+            .map(|((path, cut), m)| {
+                if cut {
+                    match m.cut {
+                        Some(CutReason::Abandoned) => Err(MemberError::Failed(
+                            "request abandoned; cancelled mid-decode".to_string(),
+                        )),
+                        _ => Err(MemberError::DeadlineExceeded),
+                    }
+                } else {
+                    Ok(path)
+                }
+            })
+            .collect(),
+        Err(_panic) => {
+            let all_inputs: Vec<&SampleInput> = members
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.input.as_ref().unwrap_or_else(|| &initial_inputs[i]))
+                .collect();
+            let opts = BatchOptions {
+                deadlines: members.iter().map(|m| m.deadline).collect(),
+                degraded_head,
+            };
+            shared.model.recover_batch_opts(&all_inputs, &opts)
+        }
+    };
+    let mut wait_samples: Vec<f64> = Vec::with_capacity(final_size);
+    for (m, result) in members.iter().zip(results) {
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let (path, error, timed_out) = match result {
+            Ok(path) => (path, None, false),
+            Err(MemberError::DeadlineExceeded) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .deadline_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                (
+                    Vec::new(),
+                    Some(MemberError::DeadlineExceeded.to_string()),
+                    true,
+                )
+            }
+            Err(MemberError::Failed(msg)) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                if matches!(m.cut, Some(CutReason::Abandoned)) {
+                    shared
+                        .counters
+                        .abandoned_cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                (Vec::new(), Some(msg), false)
+            }
+        };
+        let queue_wait = m.taken.saturating_duration_since(m.enqueued);
+        let member_compute = done.saturating_duration_since(m.taken);
+        shared
+            .counters
+            .queue_wait_ns
+            .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+        shared
+            .counters
+            .compute_ns
+            .fetch_add(member_compute.as_nanos() as u64, Ordering::Relaxed);
+        queue_wait_hist.observe_duration(queue_wait);
+        wait_samples.push(queue_wait.as_secs_f64() * 1e3);
+        let _ = m.tx.send(Recovered {
+            id: m.id,
+            path,
+            error,
+            timed_out,
+            batch_size: final_size,
+            latency: m.enqueued.elapsed(),
+            queue_wait,
+            compute: member_compute,
+        });
+    }
+    // Feed the brownout controller's latency watermark.
+    let mut ring = shared
+        .queue_wait_ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    for w in wait_samples {
+        if ring.len() == QUEUE_WAIT_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(w);
     }
 }

@@ -46,7 +46,7 @@
 //! 1. **Connection backlog** — accepted connections the workers have not
 //!    picked up yet are bounded ([`HttpConfig::connection_backlog`]);
 //!    beyond it the acceptor answers `503` + `Retry-After` and closes.
-//! 2. **Engine queue** — [`RecoveryEngine::try_submit`] against the
+//! 2. **Engine queue** — [`RecoveryEngine::submit`] against the
 //!    engine's bounded queue ([`EngineConfig::queue_capacity`]); an
 //!    [`EngineError::Overloaded`] maps to `429` + `Retry-After`.
 //! 3. **Deadline budget** — each request gets
@@ -72,10 +72,11 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rntrajrec::wire::{ErrorBody, RecoverRequest, RecoverResponse};
+use rntrajrec::wire::{v2, ErrorBody, RecoverRequest, RecoverResponse};
+use rntrajrec_models::SampleInput;
 use rntrajrec_nn::kernels;
 
-use crate::{EngineError, QueryContext, RecoveryEngine};
+use crate::{EngineError, QueryContext, RecoveryEngine, RecoveryHandle, StepWait, SubmitOptions};
 
 /// Network-layer knobs.
 #[derive(Debug, Clone)]
@@ -463,12 +464,15 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
                 // get a trace context carrying the read-phase endpoints.
                 let trace = (rntrajrec_obs::enabled()
                     && req.method == "POST"
-                    && route_of(&req.path) == "/v1/recover")
-                    .then(|| TraceCtx {
-                        id: rntrajrec_obs::next_request_id(),
-                        read_start_ns: rntrajrec_obs::instant_ns(read_started),
-                        read_end_ns: rntrajrec_obs::now_ns(),
-                    });
+                    && matches!(
+                        route_of(&req.path),
+                        "/v1/recover" | "/v2/recover" | "/v2/recover/stream"
+                    ))
+                .then(|| TraceCtx {
+                    id: rntrajrec_obs::next_request_id(),
+                    read_start_ns: rntrajrec_obs::instant_ns(read_started),
+                    read_end_ns: rntrajrec_obs::now_ns(),
+                });
                 let keep = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
                 let ok = dispatch(&mut stream, state, &req, keep, trace);
                 if !ok || !keep {
@@ -705,6 +709,17 @@ fn dispatch(
     use std::sync::OnceLock;
     static E2E_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
 
+    // The streaming route writes its own chunked response incrementally,
+    // so it cannot go through the buffered (status, body) path below.
+    if req.method == "POST" && route_of(&req.path) == "/v2/recover/stream" {
+        let started = Instant::now();
+        let ok = recover_stream(stream, state, req, keep_alive, trace);
+        E2E_SECONDS
+            .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("e2e"))
+            .observe_duration(started.elapsed());
+        return ok;
+    }
+
     let (status, reason, content_type, body, extra): (
         u16,
         &str,
@@ -747,6 +762,14 @@ fn dispatch(
                 .observe_duration(started.elapsed());
             answer
         }
+        ("POST", "/v2/recover") => {
+            let started = Instant::now();
+            let answer = recover_v2(state, &req.body, trace.as_ref());
+            E2E_SECONDS
+                .get_or_init(|| rntrajrec_obs::metrics::phase_seconds("e2e"))
+                .observe_duration(started.elapsed());
+            answer
+        }
         ("GET", "/debug/trace") => {
             // Chrome trace-event JSON for the last N completed requests
             // (default 16) — load in chrome://tracing or Perfetto.
@@ -774,7 +797,7 @@ fn dispatch(
             ErrorBody::new(405, "use GET").to_json(),
             vec![("Allow", "GET".to_string())],
         ),
-        (_, "/v1/recover") => (
+        (_, "/v1/recover" | "/v2/recover" | "/v2/recover/stream") => (
             405,
             "Method Not Allowed",
             "application/json",
@@ -818,152 +841,114 @@ fn dispatch(
     ok
 }
 
-/// The `/v1/recover` flow: parse → extract → admit → wait (with deadline)
-/// → answer.
-fn recover(
-    state: &ServerState,
-    body: &[u8],
-    trace: Option<&TraceCtx>,
-) -> (
+/// A buffered answer: status, reason, content type, body, extra headers.
+type Answer = (
     u16,
     &'static str,
     &'static str,
     String,
     Vec<(&'static str, String)>,
-) {
-    use std::sync::OnceLock;
-    static SERIALIZE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+);
 
-    let t0 = Instant::now();
-    let retry = vec![("Retry-After", retry_after_value(state).to_string())];
+fn bad_request(msg: impl Into<String>) -> Answer {
+    (
+        400,
+        "Bad Request",
+        "application/json",
+        ErrorBody::new(400, msg.into()).to_json(),
+        vec![],
+    )
+}
 
-    // Chaos: a fault here simulates the parse stage falling over. The
-    // client still gets a typed JSON error (never a hang).
-    if let Err(fault) = rntrajrec_chaos::point("http.parse") {
-        return (
-            400,
-            "Bad Request",
-            "application/json",
-            ErrorBody::new(400, fault.to_string()).to_json(),
-            vec![],
-        );
+/// Per-request decode budget for the v2 API: the client may *shorten*
+/// the server's configured deadline with `options.deadline_ms`, never
+/// extend it past the operator-set bound.
+fn effective_budget(state: &ServerState, deadline_ms: Option<u64>) -> Duration {
+    match deadline_ms {
+        Some(ms) => state.deadline.min(Duration::from_millis(ms)),
+        None => state.deadline,
     }
-    // Attribute HTTP-side spans (parse, serialize) to this request; the
-    // scope drop at function exit flushes them to the global store before
-    // `dispatch` records the root span.
-    let _req_scope = trace.map(|t| rntrajrec_obs::request_scope(&[t.id]));
-    let parse_span = rntrajrec_obs::span("parse");
+}
 
-    let text = match std::str::from_utf8(body) {
-        Ok(t) => t,
-        Err(_) => {
-            return (
-                400,
-                "Bad Request",
-                "application/json",
-                ErrorBody::new(400, "body is not UTF-8").to_json(),
-                vec![],
-            )
-        }
-    };
-    let request = match RecoverRequest::from_json(text) {
-        Ok(r) => r,
-        Err(e) => {
-            return (
-                400,
-                "Bad Request",
-                "application/json",
-                ErrorBody::new(400, e.to_string()).to_json(),
-                vec![],
-            )
-        }
-    };
-
-    // Feature extraction validates caller-supplied coordinates up front
-    // (typed `QueryError`s → field-precise 400s); the catch_unwind is a
-    // last-resort backstop so no future panic path can take the
-    // connection worker down with one request.
+/// Feature extraction shared by all recover routes. Validates
+/// caller-supplied coordinates up front (typed `QueryError`s →
+/// field-precise 400s); the catch_unwind is a last-resort backstop so no
+/// future panic path can take the connection worker down with one
+/// request.
+fn extract_input(state: &ServerState, request: &RecoverRequest) -> Result<SampleInput, Answer> {
     let ctx = Arc::clone(&state.ctx);
-    let input =
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.sample_input(&request)))
-        {
-            Ok(Ok(input)) => input,
-            Ok(Err(e)) => {
-                return (
-                    400,
-                    "Bad Request",
-                    "application/json",
-                    ErrorBody::new(400, format!("invalid field '{}': {e}", e.field())).to_json(),
-                    vec![],
-                )
-            }
-            Err(payload) => {
-                return (
-                    400,
-                    "Bad Request",
-                    "application/json",
-                    ErrorBody::new(
-                        400,
-                        format!(
-                            "feature extraction failed: {}",
-                            crate::service::panic_message(&payload)
-                        ),
-                    )
-                    .to_json(),
-                    vec![],
-                )
-            }
-        };
-    drop(parse_span);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.sample_input(request))) {
+        Ok(Ok(input)) => Ok(input),
+        Ok(Err(e)) => Err(bad_request(format!("invalid field '{}': {e}", e.field()))),
+        Err(payload) => Err(bad_request(format!(
+            "feature extraction failed: {}",
+            crate::service::panic_message(&payload)
+        ))),
+    }
+}
 
-    // Admission gate 2: the engine's bounded queue, with the remaining
-    // deadline budget propagated so the engine can cancel this member
-    // mid-decode instead of finishing work nobody will read.
-    let deadline = Some(t0 + state.deadline);
-    let handle = match state
-        .engine
-        .try_submit_with(input, trace.map(|t| t.id), deadline)
-    {
-        Ok(h) => h,
+/// Engine admission shared by all recover routes (gate 2: the bounded
+/// queue). The deadline is propagated so the engine can cancel this
+/// member mid-decode instead of finishing work nobody will read.
+fn submit_to_engine(
+    state: &ServerState,
+    input: SampleInput,
+    opts: SubmitOptions,
+) -> Result<RecoveryHandle, Answer> {
+    let retry = vec![("Retry-After", retry_after_value(state).to_string())];
+    match state.engine.submit(input, opts) {
+        Ok(h) => Ok(h),
         Err(EngineError::Overloaded {
             queue_depth,
             capacity,
         }) => {
             state.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
-            return (
+            Err((
                 429,
                 "Too Many Requests",
                 "application/json",
                 ErrorBody::new(429, format!("engine queue full ({queue_depth}/{capacity})"))
                     .to_json(),
                 retry,
-            );
+            ))
         }
         Err(e @ EngineError::Brownout) => {
             state.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
-            return (
+            Err((
                 503,
                 "Service Unavailable",
                 "application/json",
                 ErrorBody::new(503, e.to_string()).to_json(),
                 retry,
-            );
+            ))
         }
-        Err(e @ EngineError::FaultInjected { .. }) => {
-            return (
-                503,
-                "Service Unavailable",
-                "application/json",
-                ErrorBody::new(503, e.to_string()).to_json(),
-                retry,
-            );
-        }
-    };
+        Err(e @ EngineError::FaultInjected { .. }) => Err((
+            503,
+            "Service Unavailable",
+            "application/json",
+            ErrorBody::new(503, e.to_string()).to_json(),
+            retry,
+        )),
+    }
+}
 
-    // Admission gate 3: the deadline budget (parse + extraction time
-    // counts against it).
-    let budget = state.deadline.saturating_sub(t0.elapsed());
-    match handle.wait_timeout(budget) {
+/// Admission gate 3 plus the answer: wait out the deadline budget
+/// (parse + extraction time counts against it) and serialize the result.
+fn wait_and_answer(
+    state: &ServerState,
+    handle: RecoveryHandle,
+    t0: Instant,
+    budget: Duration,
+) -> Answer {
+    use std::sync::OnceLock;
+    static SERIALIZE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
+
+    let retry = vec![("Retry-After", retry_after_value(state).to_string())];
+    let remaining = budget.saturating_sub(t0.elapsed());
+    match handle.wait_timeout(remaining) {
+        // Dropping the late handle here flags the member as abandoned, so
+        // the engine cancels it at the next decode step instead of
+        // finishing a response nobody will read.
         Err(_late) => {
             state.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
             (
@@ -974,7 +959,7 @@ fn recover(
                     503,
                     format!(
                         "deadline of {:.0} ms exceeded",
-                        state.deadline.as_secs_f64() * 1000.0
+                        budget.as_secs_f64() * 1000.0
                     ),
                 )
                 .to_json(),
@@ -1024,6 +1009,254 @@ fn recover(
             (200, "OK", "application/json", body, vec![])
         }
     }
+}
+
+/// The `/v1/recover` flow: parse → extract → admit → wait (with deadline)
+/// → answer.
+fn recover(state: &ServerState, body: &[u8], trace: Option<&TraceCtx>) -> Answer {
+    let t0 = Instant::now();
+
+    // Chaos: a fault here simulates the parse stage falling over. The
+    // client still gets a typed JSON error (never a hang).
+    if let Err(fault) = rntrajrec_chaos::point("http.parse") {
+        return bad_request(fault.to_string());
+    }
+    // Attribute HTTP-side spans (parse, serialize) to this request; the
+    // scope drop at function exit flushes them to the global store before
+    // `dispatch` records the root span.
+    let _req_scope = trace.map(|t| rntrajrec_obs::request_scope(&[t.id]));
+    let parse_span = rntrajrec_obs::span("parse");
+
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad_request("body is not UTF-8"),
+    };
+    let request = match RecoverRequest::from_json(text) {
+        Ok(r) => r,
+        Err(e) => return bad_request(e.to_string()),
+    };
+    let input = match extract_input(state, &request) {
+        Ok(input) => input,
+        Err(answer) => return answer,
+    };
+    drop(parse_span);
+
+    let opts = SubmitOptions::new()
+        .deadline(t0 + state.deadline)
+        .trace(trace.map(|t| t.id));
+    let handle = match submit_to_engine(state, input, opts) {
+        Ok(h) => h,
+        Err(answer) => return answer,
+    };
+    wait_and_answer(state, handle, t0, state.deadline)
+}
+
+/// The `/v2/recover` flow: same as v1 plus an explicit `options` object
+/// (client-shortened deadline, advisory head selection). Streaming is
+/// its own route — `options.stream: true` here is a usage error.
+fn recover_v2(state: &ServerState, body: &[u8], trace: Option<&TraceCtx>) -> Answer {
+    let t0 = Instant::now();
+
+    if let Err(fault) = rntrajrec_chaos::point("http.parse") {
+        return bad_request(fault.to_string());
+    }
+    let _req_scope = trace.map(|t| rntrajrec_obs::request_scope(&[t.id]));
+    let parse_span = rntrajrec_obs::span("parse");
+
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad_request("body is not UTF-8"),
+    };
+    let request = match v2::RecoverRequestV2::from_json(text) {
+        Ok(r) => r,
+        Err(e) => return bad_request(e.to_string()),
+    };
+    if request.options.stream {
+        return bad_request("options.stream is only valid on POST /v2/recover/stream");
+    }
+    let input = match extract_input(state, &request.base()) {
+        Ok(input) => input,
+        Err(answer) => return answer,
+    };
+    drop(parse_span);
+
+    let budget = effective_budget(state, request.options.deadline_ms);
+    let opts = SubmitOptions::new()
+        .deadline(t0 + budget)
+        .trace(trace.map(|t| t.id));
+    let handle = match submit_to_engine(state, input, opts) {
+        Ok(h) => h,
+        Err(answer) => return answer,
+    };
+    wait_and_answer(state, handle, t0, budget)
+}
+
+/// Write one chunk of an HTTP/1.1 chunked response: one JSON event line.
+/// Each chunk passes the `http.write` chaos point so fault injection can
+/// sever a stream mid-flight, like a real broken socket.
+fn write_chunk(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    if rntrajrec_chaos::point("http.write").is_err() {
+        return Err(std::io::Error::other("chaos: stream write fault"));
+    }
+    let mut frame = format!("{:x}\r\n", line.len() + 1);
+    frame.push_str(line);
+    frame.push_str("\n\r\n");
+    stream.write_all(frame.as_bytes())?;
+    stream.flush()
+}
+
+/// The `/v2/recover/stream` flow. Everything up to admission can still
+/// fail with an ordinary buffered JSON error response; once the chunked
+/// header is on the wire the contract becomes: zero or more `step`
+/// events, then **exactly one** terminal `summary` or `error` event,
+/// then the zero-length chunk. Returns `false` when the connection must
+/// close (write failure mid-stream).
+fn recover_stream(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    req: &Request,
+    keep_alive: bool,
+    trace: Option<TraceCtx>,
+) -> bool {
+    let t0 = Instant::now();
+
+    // Fallible prologue: parse → extract → admit, all before the first
+    // response byte. An `Err` here is a plain (un-chunked) answer.
+    let prologue: Result<(RecoveryHandle, Duration), Answer> = (|| {
+        if let Err(fault) = rntrajrec_chaos::point("http.parse") {
+            return Err(bad_request(fault.to_string()));
+        }
+        let _req_scope = trace
+            .as_ref()
+            .map(|t| rntrajrec_obs::request_scope(&[t.id]));
+        let parse_span = rntrajrec_obs::span("parse");
+        let text = std::str::from_utf8(&req.body).map_err(|_| bad_request("body is not UTF-8"))?;
+        let request =
+            v2::RecoverRequestV2::from_json(text).map_err(|e| bad_request(e.to_string()))?;
+        let input = extract_input(state, &request.base())?;
+        drop(parse_span);
+        let budget = effective_budget(state, request.options.deadline_ms);
+        let opts = SubmitOptions::new()
+            .deadline(t0 + budget)
+            .trace(trace.as_ref().map(|t| t.id))
+            .stream();
+        let handle = submit_to_engine(state, input, opts)?;
+        Ok((handle, budget))
+    })();
+
+    let write_start_ns = trace.as_ref().map(|_| rntrajrec_obs::now_ns());
+    let ok = match prologue {
+        Err((status, reason, content_type, body, extra)) => {
+            state.counters.record_status(status);
+            rntrajrec_chaos::point("http.write").is_ok()
+                && write_response(
+                    stream,
+                    status,
+                    reason,
+                    content_type,
+                    &body,
+                    keep_alive,
+                    &extra,
+                )
+                .is_ok()
+        }
+        Ok((handle, budget)) => {
+            state.counters.record_status(200);
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                 Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                if keep_alive { "keep-alive" } else { "close" }
+            );
+            let mut ok = rntrajrec_chaos::point("http.write").is_ok()
+                && stream.write_all(head.as_bytes()).is_ok();
+            let mut deadline_hit = false;
+            while ok {
+                let remaining = budget.saturating_sub(t0.elapsed());
+                match handle.next_step(remaining.max(Duration::from_millis(1))) {
+                    StepWait::Step(s) => {
+                        let ev = v2::StepEvent::new(s.id, s.step, s.segment, s.rate, s.logprob);
+                        let line = serde_json::to_string(&ev).expect("step event serializes");
+                        ok = write_chunk(stream, &line).is_ok();
+                    }
+                    StepWait::Finished => break,
+                    StepWait::TimedOut => {
+                        if t0.elapsed() >= budget {
+                            deadline_hit = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                // Terminal event: the engine's verdict if it arrives in
+                // budget (+ a small grace for channel delivery), else a
+                // deadline error. Dropping an unconsumed handle flags the
+                // member abandoned so the engine cancels it mid-decode.
+                let grace = budget
+                    .saturating_sub(t0.elapsed())
+                    .max(Duration::from_millis(5));
+                let terminal = if deadline_hit {
+                    Err(())
+                } else {
+                    handle.wait_timeout(grace).map_err(|_| ())
+                };
+                let line = match terminal {
+                    Err(()) => {
+                        state.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                        let ev = v2::ErrorEvent::new(
+                            format!(
+                                "deadline of {:.0} ms exceeded",
+                                budget.as_secs_f64() * 1000.0
+                            ),
+                            503,
+                            true,
+                        );
+                        serde_json::to_string(&ev).expect("error event serializes")
+                    }
+                    Ok(recovered) => match recovered.error {
+                        Some(err) => {
+                            let (code, timed_out) = if recovered.timed_out {
+                                state.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                                (503, true)
+                            } else {
+                                (500, false)
+                            };
+                            let ev = v2::ErrorEvent::new(
+                                format!("recovery failed: {err}"),
+                                code,
+                                timed_out,
+                            );
+                            serde_json::to_string(&ev).expect("error event serializes")
+                        }
+                        None => {
+                            state
+                                .counters
+                                .record_latency(t0.elapsed().as_secs_f64() * 1000.0);
+                            let resp = RecoverResponse::from_path(
+                                recovered.id,
+                                &recovered.path,
+                                recovered.batch_size,
+                                recovered.latency.as_secs_f64() * 1000.0,
+                            );
+                            let ev = v2::SummaryEvent::from_response(&resp);
+                            serde_json::to_string(&ev).expect("summary event serializes")
+                        }
+                    },
+                };
+                ok = write_chunk(stream, &line).is_ok()
+                    && stream.write_all(b"0\r\n\r\n").is_ok()
+                    && stream.flush().is_ok();
+            }
+            ok
+        }
+    };
+    if let (Some(t), Some(write_start_ns)) = (&trace, write_start_ns) {
+        let end_ns = rntrajrec_obs::now_ns();
+        rntrajrec_obs::record("http.read", &[t.id], t.read_start_ns, t.read_end_ns);
+        rntrajrec_obs::record("http.write", &[t.id], write_start_ns, end_ns);
+        rntrajrec_obs::record(rntrajrec_obs::ROOT_SPAN, &[t.id], t.read_start_ns, end_ns);
+    }
+    ok
 }
 
 /// Short git revision baked in by `build.rs`, or "unknown" outside a
@@ -1364,6 +1597,30 @@ fn render_metrics(state: &ServerState) -> String {
     );
     header(
         &mut out,
+        "rntrajrec_engine_admitted_total",
+        "Members admitted into an already-running decode batch.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_admitted_total",
+        "",
+        stats.admitted as f64,
+    );
+    header(
+        &mut out,
+        "rntrajrec_engine_abandoned_cancelled_total",
+        "Batch members cancelled because their handle was dropped.",
+        "counter",
+    );
+    line(
+        &mut out,
+        "rntrajrec_engine_abandoned_cancelled_total",
+        "",
+        stats.abandoned_cancelled as f64,
+    );
+    header(
+        &mut out,
         "rntrajrec_engine_brownout_level",
         "Active brownout ladder level (0 normal … 3 shed).",
         "gauge",
@@ -1670,6 +1927,110 @@ pub mod client {
         request(addr, "POST", path, Some(body))
     }
 
+    /// `POST` to a streaming route (`/v2/recover/stream`), invoking
+    /// `on_line` for each NDJSON event line **as it arrives** — before
+    /// the stream completes — so callers can timestamp the first step.
+    /// The returned body is the de-chunked NDJSON text; non-chunked
+    /// (error) responses return as-is without calling `on_line`.
+    pub fn post_stream(
+        addr: SocketAddr,
+        path: &str,
+        body: &str,
+        mut on_line: impl FnMut(&str),
+    ) -> std::io::Result<HttpResponse> {
+        let err = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let req = format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        stream.write_all(req.as_bytes())?;
+
+        let mut buf: Vec<u8> = Vec::new();
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            if read_more(&mut stream, &mut buf)? == 0 {
+                return Err(err("connection closed before response headers"));
+            }
+        };
+        let (status, headers) = parse_head(&buf[..header_end])?;
+        let chunked = headers.iter().any(|(n, v)| {
+            n.eq_ignore_ascii_case("transfer-encoding")
+                && v.to_ascii_lowercase().contains("chunked")
+        });
+        let mut rest: Vec<u8> = buf.split_off(header_end + 4);
+        if !chunked {
+            while read_more(&mut stream, &mut rest)? != 0 {}
+            let body = String::from_utf8(rest).map_err(|_| err("non-UTF-8 body"))?;
+            return Ok(HttpResponse {
+                status,
+                headers,
+                body,
+            });
+        }
+        let mut body_out = String::new();
+        let mut pending = String::new();
+        loop {
+            let size_end = loop {
+                if let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") {
+                    break pos;
+                }
+                if read_more(&mut stream, &mut rest)? == 0 {
+                    return Err(err("connection closed mid chunk-size line"));
+                }
+            };
+            let size_str = std::str::from_utf8(&rest[..size_end])
+                .map_err(|_| err("non-UTF-8 chunk-size line"))?;
+            let size =
+                usize::from_str_radix(size_str.split(';').next().unwrap_or_default().trim(), 16)
+                    .map_err(|_| err("malformed chunk size"))?;
+            rest.drain(..size_end + 2);
+            if size == 0 {
+                break;
+            }
+            while rest.len() < size + 2 {
+                if read_more(&mut stream, &mut rest)? == 0 {
+                    return Err(err("connection closed mid chunk"));
+                }
+            }
+            pending
+                .push_str(std::str::from_utf8(&rest[..size]).map_err(|_| err("non-UTF-8 chunk"))?);
+            rest.drain(..size + 2);
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                let line = line.trim_end();
+                if !line.is_empty() {
+                    on_line(line);
+                    body_out.push_str(line);
+                    body_out.push('\n');
+                }
+            }
+        }
+        Ok(HttpResponse {
+            status,
+            headers,
+            body: body_out,
+        })
+    }
+
+    fn read_more(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        let mut tmp = [0u8; 4096];
+        loop {
+            match stream.read(&mut tmp) {
+                Ok(n) => {
+                    buf.extend_from_slice(&tmp[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Retry policy for [`request_with_retry`]: capped exponential
     /// backoff with deterministic jitter, honoring `Retry-After`.
     ///
@@ -1794,13 +2155,9 @@ pub mod client {
         parse_response(&raw)
     }
 
-    fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    fn parse_head(head: &[u8]) -> std::io::Result<(u16, Vec<(String, String)>)> {
         let err = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-        let header_end = raw
-            .windows(4)
-            .position(|w| w == b"\r\n\r\n")
-            .ok_or_else(|| err("no header terminator in response"))?;
-        let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| err("non-UTF-8 headers"))?;
+        let head = std::str::from_utf8(head).map_err(|_| err("non-UTF-8 headers"))?;
         let mut lines = head.split("\r\n");
         let status_line = lines.next().ok_or_else(|| err("empty response"))?;
         let status = status_line
@@ -1812,8 +2169,52 @@ pub mod client {
             .filter_map(|l| l.split_once(':'))
             .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
             .collect();
-        let body =
-            String::from_utf8(raw[header_end + 4..].to_vec()).map_err(|_| err("non-UTF-8 body"))?;
+        Ok((status, headers))
+    }
+
+    /// Decode an HTTP/1.1 chunked body captured in full.
+    fn decode_chunked(mut raw: &[u8]) -> std::io::Result<Vec<u8>> {
+        let err = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut out = Vec::new();
+        loop {
+            let size_end = raw
+                .windows(2)
+                .position(|w| w == b"\r\n")
+                .ok_or_else(|| err("truncated chunk-size line"))?;
+            let size_str =
+                std::str::from_utf8(&raw[..size_end]).map_err(|_| err("non-UTF-8 chunk size"))?;
+            let size =
+                usize::from_str_radix(size_str.split(';').next().unwrap_or_default().trim(), 16)
+                    .map_err(|_| err("malformed chunk size"))?;
+            raw = &raw[size_end + 2..];
+            if size == 0 {
+                return Ok(out);
+            }
+            if raw.len() < size + 2 {
+                return Err(err("truncated chunk"));
+            }
+            out.extend_from_slice(&raw[..size]);
+            raw = &raw[size + 2..];
+        }
+    }
+
+    fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+        let err = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let header_end = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| err("no header terminator in response"))?;
+        let (status, headers) = parse_head(&raw[..header_end])?;
+        let chunked = headers.iter().any(|(n, v): &(String, String)| {
+            n.eq_ignore_ascii_case("transfer-encoding")
+                && v.to_ascii_lowercase().contains("chunked")
+        });
+        let body_bytes = if chunked {
+            decode_chunked(&raw[header_end + 4..])?
+        } else {
+            raw[header_end + 4..].to_vec()
+        };
+        let body = String::from_utf8(body_bytes).map_err(|_| err("non-UTF-8 body"))?;
         Ok(HttpResponse {
             status,
             headers,

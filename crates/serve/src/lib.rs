@@ -84,7 +84,8 @@ mod service;
 
 pub use brownout::{BrownoutConfig, BrownoutController};
 pub use engine::{
-    EngineConfig, EngineError, EngineStats, Recovered, RecoveryEngine, RecoveryHandle,
+    EngineConfig, EngineError, EngineStats, Priority, Recovered, RecoveryEngine, RecoveryHandle,
+    StepUpdate, StepWait, Steps, SubmitOptions,
 };
 pub use http::{HttpConfig, HttpServer};
 pub use service::{
@@ -170,7 +171,14 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|i| {
+                engine
+                    .submit(i.clone(), SubmitOptions::default())
+                    .expect("unbounded queue accepts")
+            })
+            .collect();
         for (handle, want) in handles.into_iter().zip(&sequential) {
             let got = handle.wait();
             assert_eq!(&got.path, want, "batched result diverged from sequential");
@@ -221,7 +229,14 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let handles: Vec<_> = inputs.iter().map(|i| engine.submit(i.clone())).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|i| {
+                engine
+                    .submit(i.clone(), SubmitOptions::default())
+                    .expect("unbounded queue accepts")
+            })
+            .collect();
         for h in handles {
             let r = h.wait();
             assert!(!r.path.is_empty());
@@ -365,7 +380,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        match engine.try_submit(inputs[0].clone()) {
+        match engine.submit(inputs[0].clone(), SubmitOptions::default()) {
             Err(EngineError::Overloaded {
                 queue_depth,
                 capacity,
@@ -383,7 +398,10 @@ mod tests {
 
         // An unbounded engine still accepts, and the gauges read sanely.
         let open = RecoveryEngine::start(Arc::clone(&model), EngineConfig::default());
-        let r = open.try_submit(inputs[1].clone()).expect("accepts").wait();
+        let r = open
+            .submit(inputs[1].clone(), SubmitOptions::default())
+            .expect("accepts")
+            .wait();
         assert!(r.error.is_none());
         assert_eq!(open.queue_depth(), 0);
         assert_eq!(open.in_flight_batches(), 0);
@@ -394,7 +412,9 @@ mod tests {
     fn wait_timeout_returns_handle_then_result() {
         let (city, inputs) = fixture(1);
         let engine = RecoveryEngine::start(serving(&city), EngineConfig::default());
-        let handle = engine.submit(inputs[0].clone());
+        let handle = engine
+            .submit(inputs[0].clone(), SubmitOptions::default())
+            .expect("unbounded queue accepts");
         // A zero budget misses; the handle survives and still delivers.
         let handle = match handle.wait_timeout(Duration::ZERO) {
             Ok(r) => {

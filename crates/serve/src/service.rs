@@ -11,6 +11,9 @@ use rntrajrec_nn::Tensor;
 use rntrajrec_roadnet::{RTree, RoadNetwork};
 use rntrajrec_synth::TimeContext;
 
+/// A recovered trajectory: one `(segment id, moving rate)` per ϵρ step.
+pub type RecoveredPath = Vec<(usize, f32)>;
+
 /// Precomputed GridGNN road representation `X_road ∈ R^{|V|×d}`.
 ///
 /// The paper notes the road-network representation is input-independent
@@ -181,7 +184,7 @@ impl ServingModel {
     }
 
     /// Recover one trajectory on the tape-free hot path.
-    pub fn recover(&self, input: &SampleInput) -> Vec<(usize, f32)> {
+    pub fn recover(&self, input: &SampleInput) -> RecoveredPath {
         self.model
             .infer_predict_with(input, self.road.as_ref().map(|c| &c.x_road), self.head())
             .expect("infer path validated in ServingModel::new")
@@ -200,7 +203,7 @@ impl ServingModel {
     /// individually caught — the bad request fails alone (`Err` with the
     /// panic message) and every healthy member still returns its exact
     /// result.
-    pub fn recover_batch(&self, inputs: &[&SampleInput]) -> Vec<Result<Vec<(usize, f32)>, String>> {
+    pub fn recover_batch(&self, inputs: &[&SampleInput]) -> Vec<Result<RecoveredPath, String>> {
         self.recover_batch_opts(inputs, &BatchOptions::default())
             .into_iter()
             .map(|r| r.map_err(|e| e.to_string()))
@@ -215,7 +218,7 @@ impl ServingModel {
         &self,
         inputs: &[&SampleInput],
         opts: &BatchOptions,
-    ) -> Vec<Result<Vec<(usize, f32)>, MemberError>> {
+    ) -> Vec<Result<RecoveredPath, MemberError>> {
         let road = self.road.as_ref().map(|c| &c.x_road);
         let head = if opts.degraded_head {
             self.degraded_head()
@@ -266,6 +269,40 @@ impl ServingModel {
                 })
                 .collect(),
         }
+    }
+
+    /// The continuous-batching / streaming sibling of
+    /// [`ServingModel::recover_batch_opts`]
+    /// ([`rntrajrec::EndToEnd::infer_predict_batch_stream`]): the
+    /// caller's [`rntrajrec::StreamCtl`] hooks drive mid-decode
+    /// cancellation, mid-decode **admission** of new requests (their
+    /// encoder pass runs fused with co-arrivals and splices into the
+    /// live decode stack), and per-step streaming. Incumbents stay
+    /// bit-identical to a closed batch whether or not anyone joins.
+    ///
+    /// Unlike the closed-batch path there is no per-member fallback
+    /// here: a panic in the fused pass returns `Err(message)` and the
+    /// caller (the engine) re-runs the collected session through
+    /// [`ServingModel::recover_batch_opts`], which isolates the bad
+    /// member.
+    pub fn recover_batch_stream(
+        &self,
+        inputs: &[&SampleInput],
+        degraded_head: bool,
+        ctl: &mut rntrajrec::StreamCtl<'_>,
+    ) -> Result<(Vec<RecoveredPath>, Vec<bool>), String> {
+        let road = self.road.as_ref().map(|c| &c.x_road);
+        let head = if degraded_head {
+            self.degraded_head()
+        } else {
+            self.head()
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.model
+                .infer_predict_batch_stream(inputs, road, head, ctl)
+                .expect("infer path validated in ServingModel::new")
+        }))
+        .map_err(|payload| panic_message(&payload))
     }
 
     pub fn model(&self) -> &EndToEnd {

@@ -599,3 +599,248 @@ fn metrics_lint_passes_under_concurrent_load() {
     }
     rntrajrec_obs::clear();
 }
+
+// ===== v2 API and streamed decode steps =====================================
+
+use rntrajrec::wire::v2;
+
+/// Satellite contract for the v2 rollout: `/v1/recover` is versioned and
+/// frozen. The response body must keep its exact wire shape — key order,
+/// key names, no additions — and `/v2/recover` with default options must
+/// recover the identical path.
+#[test]
+fn v1_body_is_byte_stable_and_v2_defaults_match_it() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    let req = h.request_for(0);
+    let want = h.in_process(&req);
+    let body = serde_json::to_string(&req).expect("request serializes");
+
+    let r1 = client::post_json(h.addr(), "/v1/recover", &body).expect("v1 roundtrip");
+    assert_eq!(r1.status, 200, "body: {}", r1.body);
+    let parsed = RecoverResponse::from_json(&r1.body).expect("well-formed v1 response");
+    assert_eq!(parsed.path(), want);
+    // Byte-for-byte pin: the body is exactly the serde serialization of
+    // the typed response — field order and formatting included — and the
+    // key sequence is the frozen v1 layout.
+    assert_eq!(
+        r1.body,
+        serde_json::to_string(&parsed).expect("response reserializes"),
+        "v1 body must be the exact typed serialization"
+    );
+    let key_order = [
+        "\"id\":",
+        "\"segments\":",
+        "\"rates\":",
+        "\"batch_size\":",
+        "\"latency_ms\":",
+    ];
+    let mut at = 0;
+    for key in key_order {
+        let pos = r1.body[at..]
+            .find(key)
+            .unwrap_or_else(|| panic!("v1 body lost or reordered {key}: {}", r1.body));
+        at += pos;
+    }
+
+    // v2 with an explicit empty options object and with options omitted:
+    // both recover the same bits as v1.
+    let v2_req = v2::RecoverRequestV2::from_raw(
+        &h.samples[0].raw,
+        h.samples[0].target.len(),
+        h.samples[0].depart_epoch_s,
+        v2::RecoverOptions::default(),
+    );
+    let v2_body = serde_json::to_string(&v2_req).expect("v2 request serializes");
+    let r2 = client::post_json(h.addr(), "/v2/recover", &v2_body).expect("v2 roundtrip");
+    assert_eq!(r2.status, 200, "body: {}", r2.body);
+    let parsed2 = RecoverResponse::from_json(&r2.body).expect("well-formed v2 response");
+    assert_eq!(parsed2.path(), want, "v2 defaults diverged from v1");
+
+    let r3 = client::post_json(h.addr(), "/v2/recover", &body).expect("v2 without options");
+    assert_eq!(r3.status, 200, "body: {}", r3.body);
+    assert_eq!(
+        RecoverResponse::from_json(&r3.body).expect("parses").path(),
+        want,
+        "v2 with omitted options diverged from v1"
+    );
+}
+
+/// The streaming route: chunked transfer encoding, one `step` event per
+/// decode step with strictly sequential indices, then **exactly one**
+/// terminal `summary` whose path is bit-identical to the unary answer.
+#[test]
+fn v2_stream_emits_steps_then_exactly_one_terminal_summary() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    let req = h.request_for(0);
+    let want = h.in_process(&req);
+    let body = serde_json::to_string(&req).expect("request serializes");
+
+    let mut live_lines = 0usize;
+    let resp = client::post_stream(h.addr(), "/v2/recover/stream", &body, |_| live_lines += 1)
+        .expect("stream roundtrip");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(
+        resp.header("Transfer-Encoding")
+            .map(str::to_ascii_lowercase),
+        Some("chunked".to_string())
+    );
+    let events: Vec<v2::Event> = resp
+        .body
+        .lines()
+        .map(|l| v2::Event::from_json(l).expect("well-formed event line"))
+        .collect();
+    assert_eq!(live_lines, events.len(), "on_line saw every event");
+    assert!(!events.is_empty());
+    let (terminal, steps) = events.split_last().expect("nonempty");
+    let mut streamed = Vec::new();
+    for (i, ev) in steps.iter().enumerate() {
+        match ev {
+            v2::Event::Step(s) => {
+                assert_eq!(s.step, i, "step indices must be sequential");
+                streamed.push((s.segment, s.rate));
+            }
+            other => panic!("non-terminal event {i} is not a step: {other:?}"),
+        }
+    }
+    match terminal {
+        v2::Event::Summary(s) => {
+            let path: Vec<(usize, f32)> = s
+                .segments
+                .iter()
+                .copied()
+                .zip(s.rates.iter().copied())
+                .collect();
+            assert_eq!(path, want, "streamed summary diverged from unary recovery");
+            assert_eq!(
+                streamed[..],
+                want[..],
+                "streamed steps diverged from the path"
+            );
+        }
+        other => panic!("terminal event is not a summary: {other:?}"),
+    }
+}
+
+/// v2 input validation: malformed options are field-precise 400s, the
+/// unary route refuses `options.stream`, and the stream route only
+/// accepts POST.
+#[test]
+fn v2_validation_rejects_bad_options() {
+    let _g = lock();
+    let h = boot(quick_engine(), ephemeral_http(), 1);
+    let req = h.request_for(0);
+    let base = serde_json::to_string(&req).expect("request serializes");
+    let with_options = |opts: &str| {
+        let mut s = base.clone();
+        s.truncate(s.len() - 1);
+        format!("{s},\"options\":{opts}}}")
+    };
+
+    let r = client::post_json(
+        h.addr(),
+        "/v2/recover",
+        &with_options("{\"head\":\"float16\"}"),
+    )
+    .expect("responds");
+    assert_eq!(r.status, 400, "unknown head must 400: {}", r.body);
+    assert!(
+        r.body.contains("options.head"),
+        "field-precise error: {}",
+        r.body
+    );
+
+    let r = client::post_json(
+        h.addr(),
+        "/v2/recover",
+        &with_options("{\"deadline_ms\":0}"),
+    )
+    .expect("responds");
+    assert_eq!(r.status, 400, "zero deadline must 400: {}", r.body);
+
+    let r = client::post_json(h.addr(), "/v2/recover", &with_options("{\"stream\":true}"))
+        .expect("responds");
+    assert_eq!(
+        r.status, 400,
+        "stream on the unary route must 400: {}",
+        r.body
+    );
+    assert!(
+        r.body.contains("/v2/recover/stream"),
+        "points at the stream route: {}",
+        r.body
+    );
+
+    let r = client::get(h.addr(), "/v2/recover/stream").expect("responds");
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("Allow"), Some("POST"));
+}
+
+/// A client-shortened v2 deadline that cannot be met streams a clean
+/// terminal `error` event (`timed_out`, retryable) — never a truncated
+/// or hung stream — and the new continuous-batching serving metrics are
+/// exported.
+#[test]
+fn v2_stream_deadline_yields_terminal_error_event() {
+    let _g = lock();
+    let h = boot(
+        EngineConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(40),
+            workers: 1,
+            threads_per_worker: 0,
+            queue_capacity: None,
+            ..EngineConfig::default()
+        },
+        ephemeral_http(),
+        1,
+    );
+    let req = h.request_for(0);
+    let body = serde_json::to_string(&req).expect("request serializes");
+    // 1 ms budget against a 40 ms batching delay: the deadline expires
+    // before (or while) the decode runs, whichever way the race falls.
+    let v2_body = {
+        let mut s = body.clone();
+        s.truncate(s.len() - 1);
+        format!("{s},\"options\":{{\"deadline_ms\":1}}}}")
+    };
+    let resp = client::post_stream(h.addr(), "/v2/recover/stream", &v2_body, |_| {})
+        .expect("stream roundtrip");
+    assert_eq!(resp.status, 200, "stream is committed before the deadline");
+    let events: Vec<v2::Event> = resp
+        .body
+        .lines()
+        .map(|l| v2::Event::from_json(l).expect("well-formed event line"))
+        .collect();
+    let (terminal, steps) = events.split_last().expect("at least the terminal event");
+    for ev in steps {
+        assert!(
+            matches!(ev, v2::Event::Step(_)),
+            "non-terminal must be steps"
+        );
+    }
+    match terminal {
+        v2::Event::Error(e) => {
+            assert!(e.timed_out, "deadline failures are time failures");
+            assert_eq!(e.code, 503, "would-be status is 503: {}", e.error);
+        }
+        v2::Event::Summary(_) => {
+            // The tiny fixture occasionally finishes inside 1 ms; the
+            // contract still holds: exactly one terminal event.
+        }
+        v2::Event::Step(_) => panic!("stream ended without a terminal event"),
+    }
+
+    let metrics = client::get(h.addr(), "/metrics").expect("metrics");
+    for needle in [
+        "rntrajrec_time_to_first_step_seconds",
+        "rntrajrec_engine_admitted_total",
+        "rntrajrec_engine_abandoned_cancelled_total",
+    ] {
+        assert!(
+            metrics.body.contains(needle),
+            "metrics must export {needle}"
+        );
+    }
+}

@@ -21,7 +21,7 @@ use rntrajrec_models::{FeatureExtractor, SampleInput};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
 use rntrajrec_serve::http::client;
 use rntrajrec_serve::{
-    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel, SubmitOptions,
 };
 use rntrajrec_synth::{SimConfig, Simulator, TrajSample};
 
@@ -109,7 +109,7 @@ fn supervisor_restarts_a_crashed_worker_and_fails_only_its_batch() {
     // First batch: the (only) worker panics mid-batch. The supervisor
     // must fail exactly its members with a typed error — not hang them.
     let r = engine
-        .try_submit(inputs[0].clone())
+        .submit(inputs[0].clone(), SubmitOptions::default())
         .expect("accepts")
         .wait_timeout(Duration::from_secs(10))
         .expect("crashed batch must be failed, not hung");
@@ -128,7 +128,7 @@ fn supervisor_restarts_a_crashed_worker_and_fails_only_its_batch() {
         "supervisor never recorded a restart"
     );
     let r = engine
-        .try_submit(inputs[1].clone())
+        .submit(inputs[1].clone(), SubmitOptions::default())
         .expect("accepts after restart")
         .wait_timeout(Duration::from_secs(10))
         .expect("restarted worker must serve");
@@ -164,7 +164,7 @@ fn watchdog_fails_hung_batches_without_wedging_the_queue() {
 
     let t0 = Instant::now();
     let r = engine
-        .try_submit(inputs[0].clone())
+        .submit(inputs[0].clone(), SubmitOptions::default())
         .expect("accepts")
         .wait_timeout(Duration::from_secs(10))
         .expect("hung batch must be failed by the watchdog, not block");
@@ -183,7 +183,7 @@ fn watchdog_fails_hung_batches_without_wedging_the_queue() {
     // The fault was x1-limited: the queue is not wedged — the second
     // worker (or the first, once its stall clears) keeps serving.
     let r = engine
-        .try_submit(inputs[1].clone())
+        .submit(inputs[1].clone(), SubmitOptions::default())
         .expect("accepts")
         .wait_timeout(Duration::from_secs(10))
         .expect("engine serves after a watchdog kill");
@@ -199,7 +199,10 @@ fn expired_deadlines_cancel_members_mid_decode() {
     // An already-expired deadline: the member is cancelled through the
     // decoder's compaction path and completes with a typed timeout.
     let r = engine
-        .try_submit_with(inputs[0].clone(), None, Some(Instant::now()))
+        .submit(
+            inputs[0].clone(),
+            SubmitOptions::new().deadline(Instant::now()),
+        )
         .expect("accepts")
         .wait_timeout(Duration::from_secs(10))
         .expect("expired member completes with an error, never hangs");
@@ -210,10 +213,9 @@ fn expired_deadlines_cancel_members_mid_decode() {
 
     // A generous deadline is untouched.
     let r = engine
-        .try_submit_with(
+        .submit(
             inputs[1].clone(),
-            None,
-            Some(Instant::now() + Duration::from_secs(60)),
+            SubmitOptions::new().deadline(Instant::now() + Duration::from_secs(60)),
         )
         .expect("accepts")
         .wait_timeout(Duration::from_secs(10))
@@ -263,9 +265,9 @@ fn mixed_deadline_batch_leaves_survivors_bit_identical() {
             } else {
                 Some(Instant::now() + Duration::from_secs(60))
             };
-            engine
-                .try_submit_with(input.clone(), None, deadline)
-                .expect("accepts")
+            let mut opts = SubmitOptions::new();
+            opts.deadline = deadline;
+            engine.submit(input.clone(), opts).expect("accepts")
         })
         .collect();
     for (i, h) in handles.into_iter().enumerate() {
@@ -291,7 +293,7 @@ fn brownout_override_walks_the_ladder() {
     // Forced shed: submissions are refused with the typed brownout error.
     engine.set_brownout_override(Some(3));
     assert_eq!(engine.brownout_mode(), "shed");
-    match engine.try_submit(inputs[0].clone()) {
+    match engine.submit(inputs[0].clone(), SubmitOptions::default()) {
         Err(rntrajrec_serve::EngineError::Brownout) => {}
         other => panic!("shed level must refuse submissions, got {other:?}"),
     }
@@ -301,7 +303,7 @@ fn brownout_override_walks_the_ladder() {
     engine.set_brownout_override(Some(1));
     assert_eq!(engine.brownout_mode(), "degraded_head");
     let r = engine
-        .try_submit(inputs[0].clone())
+        .submit(inputs[0].clone(), SubmitOptions::default())
         .expect("degraded mode serves")
         .wait_timeout(Duration::from_secs(10))
         .expect("degraded mode completes");
@@ -317,7 +319,7 @@ fn brownout_override_walks_the_ladder() {
         engine.brownout_mode()
     );
     let r = engine
-        .try_submit(inputs[1].clone())
+        .submit(inputs[1].clone(), SubmitOptions::default())
         .expect("accepts")
         .wait();
     assert!(r.error.is_none());

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use rntrajrec_suite::rntrajrec::experiments::{ExperimentScale, Pipeline};
 use rntrajrec_suite::rntrajrec::model::{EndToEnd, MethodSpec};
 use rntrajrec_suite::rntrajrec::train::{TrainConfig, Trainer};
-use rntrajrec_suite::rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel};
+use rntrajrec_suite::rntrajrec_serve::{EngineConfig, RecoveryEngine, ServingModel, SubmitOptions};
 use rntrajrec_suite::rntrajrec_synth::DatasetConfig;
 
 fn trained_pipeline() -> (Pipeline, EndToEnd) {
@@ -93,7 +93,11 @@ fn engine_micro_batching_is_transparent_end_to_end() {
     let handles: Vec<_> = pipeline
         .test_inputs
         .iter()
-        .map(|i| engine.submit(i.clone()))
+        .map(|i| {
+            engine
+                .submit(i.clone(), SubmitOptions::new())
+                .expect("unbounded queue accepts every submission")
+        })
         .collect();
     for (h, want) in handles.into_iter().zip(&sequential) {
         assert_eq!(
