@@ -1,0 +1,18 @@
+use std::process::Command;
+
+fn main() {
+    // Bake the short git revision into packed artifacts so a serving
+    // process can report exactly which tree produced the weights it is
+    // holding. Outside a git checkout fall back to "unknown".
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=RNTRAJREC_GIT_SHA={sha}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

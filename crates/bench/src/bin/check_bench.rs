@@ -300,6 +300,47 @@ fn main() -> ExitCode {
         }
     }
 
+    // Two-shard isolation: correctness-shaped gates (a 1-core runner
+    // makes wall clock meaningless here). Both shards must finish their
+    // concurrent run with zero engine-level failures, the beta shard
+    // must have survived two hot swaps mid-traffic, and the cross-shard
+    // p99 ratio only catches one shard starving the other outright. The
+    // baseline may predate the section (first rollout), so only the
+    // fresh record is required to carry it.
+    {
+        for (key, bound, rule) in [
+            ("two_shard.alpha_failed", 0.0, "fresh == 0"),
+            ("two_shard.beta_failed", 0.0, "fresh == 0"),
+        ] {
+            gate.checks += 1;
+            match num(&fresh, key) {
+                Some(f) if f == bound => println!("PASS {key}: fresh {f:.0}  [{rule}]"),
+                f => {
+                    println!("FAIL {key}: fresh {f:?}  [{rule}]");
+                    gate.failures += 1;
+                }
+            }
+        }
+        let key = "two_shard.reloads_under_load";
+        gate.checks += 1;
+        match num(&fresh, key) {
+            Some(f) if f >= 2.0 => println!("PASS {key}: fresh {f:.0}  [fresh >= 2]"),
+            f => {
+                println!("FAIL {key}: fresh {f:?}  [fresh >= 2]");
+                gate.failures += 1;
+            }
+        }
+        let key = "two_shard.cross_shard_p99_ratio";
+        gate.checks += 1;
+        match num(&fresh, key) {
+            Some(f) if f <= 50.0 => println!("PASS {key}: fresh {f:.2}  [fresh <= 50]"),
+            f => {
+                println!("FAIL {key}: fresh {f:?}  [fresh <= 50]");
+                gate.failures += 1;
+            }
+        }
+    }
+
     // Correctness flags must never flip.
     for key in [
         "city_scale.decoder_fusion.bit_identical",
@@ -307,6 +348,7 @@ fn main() -> ExitCode {
         "city_scale.segment_head.bit_identical",
         "http_roundtrip.bit_identical",
         "open_loop_bursty.bit_identical",
+        "two_shard.bit_identical",
     ] {
         let flag = |v: &Value| lookup(v, key).and_then(Value::as_bool);
         gate.checks += 1;

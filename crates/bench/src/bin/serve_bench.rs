@@ -20,7 +20,11 @@
 //! compound-Poisson bursts against `POST /v2/recover/stream`, measuring
 //! time-to-first-step under continuous batching versus the closed-batch
 //! full-response latency (p99 TTFS < closed-batch p99 gated in
-//! `check_bench`). Writes `results/BENCH_serve.json`.
+//! `check_bench`) — and the **two-shard isolation study** (`two_shard`):
+//! concurrent traffic against a two-city [`ShardRouter`] while the beta
+//! shard's model is hot-swapped twice from a packed artifact, gated on
+//! zero failed/invalid responses and a loose cross-shard p99 ratio in
+//! `check_bench`. Writes `results/BENCH_serve.json`.
 //!
 //! ```bash
 //! cargo run --release -p rntrajrec-bench --bin serve_bench          # full
@@ -42,7 +46,8 @@ use rntrajrec_nn::{infer, kernels, pool};
 use rntrajrec_roadnet::{CityConfig, RTree, SyntheticCity};
 use rntrajrec_serve::http::client;
 use rntrajrec_serve::{
-    EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+    CityShard, EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine, ServingModel,
+    ShardRouter,
 };
 use rntrajrec_synth::{SimConfig, Simulator, TrajSample};
 
@@ -1088,6 +1093,181 @@ fn main() {
         "bit_identical": true,
     });
 
+    // --- 6. Two-shard isolation + hot reload under load ------------------
+    // A router owning two city shards (beta = alpha's grid translated
+    // 50 km east, so the bounding boxes are disjoint): concurrent
+    // closed-loop traffic against both, with the beta shard's model
+    // hot-swapped twice from a packed artifact mid-run. On a 1-core
+    // runner the gate is correctness-shaped, not wall-clock-shaped:
+    // every response 200 + bit-identical to in-process dispatch on its
+    // own shard (reloads included — the artifact packs the same
+    // config/seed, so answers stay checkable across the swap), and a
+    // very loose cross-shard p99 ratio that only catches one shard
+    // starving the other outright.
+    let (shard_reqs_per_client, shard_clients) = if quick { (8usize, 2usize) } else { (24, 2) };
+    let alpha_city = SyntheticCity::generate(CityConfig::tiny());
+    let beta_cfg = CityConfig {
+        origin_x: 50_000.0,
+        ..CityConfig::tiny()
+    };
+    let beta_city = SyntheticCity::generate(beta_cfg.clone());
+    let build_shard = |name: &str, city: SyntheticCity, seed: u64| {
+        let grid = city.net.grid(50.0);
+        let model = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, seed);
+        let serving = Arc::new(ServingModel::new(model).expect("RNTrajRec serves"));
+        let mut sim = Simulator::new(&city.net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(101));
+        let reqs: Vec<String> = (0..8)
+            .map(|_| {
+                let s = sim.sample(&mut rng, 8);
+                let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
+                serde_json::to_string(&req).expect("request serializes")
+            })
+            .collect();
+        let ctx = Arc::new(QueryContext::new(city.net, 50.0));
+        let engine = Arc::new(RecoveryEngine::start(
+            Arc::clone(&serving),
+            EngineConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(1),
+                workers: 1,
+                threads_per_worker: 1,
+                queue_capacity: None,
+                ..EngineConfig::default()
+            },
+        ));
+        let want: Vec<Vec<(usize, f32)>> = reqs
+            .iter()
+            .map(|body| {
+                let req = RecoverRequest::from_json(body).expect("round-trips");
+                engine
+                    .recover(ctx.sample_input(&req).expect("valid request"))
+                    .path
+            })
+            .collect();
+        (CityShard::new(name, engine, ctx, None), reqs, want)
+    };
+    let (alpha_shard, alpha_reqs, alpha_want) = build_shard("alpha", alpha_city, 7);
+    let (beta_shard, beta_reqs, beta_want) = build_shard("beta", beta_city, 7);
+    let shard_router = Arc::new(ShardRouter::new(vec![alpha_shard, beta_shard]));
+    let shard_server = HttpServer::start_router(
+        Arc::clone(&shard_router),
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let shard_addr = shard_server.local_addr();
+
+    // The beta reload artifact: identical config/seed, bumped version.
+    let beta_artifact = rntrajrec_artifact::pack_fresh("beta", "bench-v2", &beta_cfg, 50.0, 16, 7);
+    let beta_artifact_path =
+        std::env::temp_dir().join(format!("rntrajrec_bench_{}_beta.rnta", std::process::id()));
+    beta_artifact
+        .write_to(&beta_artifact_path)
+        .expect("write beta artifact");
+
+    let shard_traffic = |reqs: &[String], want: &[Vec<(usize, f32)>]| -> Vec<f64> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shard_clients)
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut ms = Vec::with_capacity(shard_reqs_per_client);
+                        for k in 0..shard_reqs_per_client {
+                            let i = (c + k) % reqs.len();
+                            let t = Instant::now();
+                            let resp =
+                                client::request(shard_addr, "POST", "/v1/recover", Some(&reqs[i]))
+                                    .expect("http roundtrip");
+                            ms.push(t.elapsed().as_secs_f64() * 1000.0);
+                            assert_eq!(resp.status, 200, "sharded recover failed: {}", resp.body);
+                            let parsed =
+                                RecoverResponse::from_json(&resp.body).expect("well-formed");
+                            assert_eq!(
+                                parsed.path(),
+                                want[i],
+                                "sharded recovery diverged from in-process dispatch"
+                            );
+                        }
+                        ms
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard client"))
+                .collect()
+        })
+    };
+    // Both shards under concurrent load, with two hot swaps of beta's
+    // model mid-traffic from the reload thread.
+    let (mut alpha_ms, mut beta_ms, reloads_done) = std::thread::scope(|s| {
+        let alpha = s.spawn(|| shard_traffic(&alpha_reqs, &alpha_want));
+        let beta = s.spawn(|| shard_traffic(&beta_reqs, &beta_want));
+        let reloader = s.spawn(|| {
+            let mut done = 0u64;
+            for _ in 0..2 {
+                std::thread::sleep(Duration::from_millis(10));
+                let body = format!(
+                    "{{\"city\":\"beta\",\"path\":\"{}\"}}",
+                    beta_artifact_path.display()
+                );
+                let resp = client::request(shard_addr, "POST", "/admin/reload", Some(&body))
+                    .expect("reload roundtrip");
+                assert_eq!(resp.status, 200, "hot reload refused: {}", resp.body);
+                done += 1;
+            }
+            done
+        });
+        (
+            alpha.join().expect("alpha traffic"),
+            beta.join().expect("beta traffic"),
+            reloader.join().expect("reloader"),
+        )
+    });
+    std::fs::remove_file(&beta_artifact_path).ok();
+    let (alpha_failed, beta_failed) = {
+        let stats = |name: &str| {
+            shard_router
+                .by_name(name)
+                .expect("shard exists")
+                .engine()
+                .stats()
+        };
+        (stats("alpha").failed, stats("beta").failed)
+    };
+    shard_server.shutdown();
+    alpha_ms.sort_by(|a, b| a.total_cmp(b));
+    beta_ms.sort_by(|a, b| a.total_cmp(b));
+    let alpha_p50 = percentile(&alpha_ms, 0.50);
+    let alpha_p99 = percentile(&alpha_ms, 0.99);
+    let beta_p50 = percentile(&beta_ms, 0.50);
+    let beta_p99 = percentile(&beta_ms, 0.99);
+    let shard_p99_ratio = beta_p99.max(alpha_p99) / beta_p99.min(alpha_p99).max(1e-9);
+    println!(
+        "\n--- two-shard isolation ({} requests/shard, 2 hot swaps of beta mid-run) ---",
+        alpha_ms.len()
+    );
+    println!("alpha: p50 {alpha_p50:8.3} ms  p99 {alpha_p99:8.3} ms  ({alpha_failed} failed)");
+    println!("beta : p50 {beta_p50:8.3} ms  p99 {beta_p99:8.3} ms  ({beta_failed} failed)");
+    println!(
+        "cross-shard p99 ratio {shard_p99_ratio:.2}x; {reloads_done} reloads, zero invalid \
+         responses (bit-identical per shard asserted)"
+    );
+    let two_shard = serde_json::json!({
+        "requests_per_shard": alpha_ms.len(),
+        "reloads_under_load": reloads_done,
+        "alpha_p50_ms": alpha_p50,
+        "alpha_p99_ms": alpha_p99,
+        "beta_p50_ms": beta_p50,
+        "beta_p99_ms": beta_p99,
+        "cross_shard_p99_ratio": shard_p99_ratio,
+        "alpha_failed": alpha_failed,
+        "beta_failed": beta_failed,
+        "bit_identical": true,
+    });
+
     let decoder_baseline = serde_json::json!({
         "matmuls_per_request": matmuls_per_request,
         "decoder_steps_per_request": steps_per_request,
@@ -1133,6 +1313,7 @@ fn main() {
         "city_scale": city_scale,
         "http_roundtrip": http_roundtrip,
         "open_loop_bursty": open_loop_bursty,
+        "two_shard": two_shard,
     });
     dump_json("BENCH_serve", &json);
 

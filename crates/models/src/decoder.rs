@@ -526,34 +526,54 @@ impl Decoder {
         let mut tick: u32 = 0;
         loop {
             // Admission gate (continuous batching): splice newcomers into
-            // the live stack before the next lock-step tick. A fresh
+            // the live stack before the next lock-step tick. The whole
+            // arrival wave is fused — one stacked `W_h·keys` matmul over
+            // every newcomer's rows and one concat round per state tensor,
+            // instead of one matmul and four concats per newcomer. A fresh
             // member's state rows are byte-for-byte what a closed batch
-            // would have initialised, and the appended key rows/projection
-            // are its solo `W_h·keys` product (matmul is row-scoped).
-            for g in (hooks.admit)(active.len()) {
-                let i = target_lens.len();
-                target_lens.push(g.target_len);
-                logw.push(
-                    g.masks
-                        .iter()
-                        .map(|mk| self.mask_logw_entries(mk))
-                        .collect(),
-                );
-                steps.push(0);
-                out.push(Vec::with_capacity(g.target_len));
-                cancelled.push(false);
-                if g.target_len == 0 {
-                    ranges.push(0..0);
-                    continue;
+            // would have initialised: matmul and row concatenation are
+            // row-scoped, so stacking the wave changes nothing.
+            let wave = (hooks.admit)(active.len());
+            if !wave.is_empty() {
+                let mut key_off = keys_all.rows;
+                let mut new_keys: Vec<&Tensor> = Vec::with_capacity(wave.len());
+                let mut new_trajs: Vec<&Tensor> = Vec::with_capacity(wave.len());
+                for g in &wave {
+                    let i = target_lens.len();
+                    target_lens.push(g.target_len);
+                    logw.push(
+                        g.masks
+                            .iter()
+                            .map(|mk| self.mask_logw_entries(mk))
+                            .collect(),
+                    );
+                    steps.push(0);
+                    out.push(Vec::with_capacity(g.target_len));
+                    cancelled.push(false);
+                    if g.target_len == 0 {
+                        ranges.push(0..0);
+                        continue;
+                    }
+                    ranges.push(key_off..key_off + g.per_point.rows);
+                    key_off += g.per_point.rows;
+                    new_keys.push(&g.per_point);
+                    new_trajs.push(&g.traj);
+                    active.push(i);
                 }
-                let hk_new = infer::matmul(&g.per_point, wh);
-                ranges.push(keys_all.rows..keys_all.rows + g.per_point.rows);
-                keys_all = infer::concat_rows(&[&keys_all, &g.per_point]);
-                hk_all = infer::concat_rows(&[&hk_all, &hk_new]);
-                h = infer::concat_rows(&[&h, &g.traj]);
-                x_prev = infer::concat_rows(&[&x_prev, store.value(self.start_emb)]);
-                r_prev = infer::concat_rows(&[&r_prev, &Tensor::zeros(1, 1)]);
-                active.push(i);
+                if !new_keys.is_empty() {
+                    let stacked_keys = infer::concat_rows(&new_keys);
+                    let hk_new = infer::matmul(&stacked_keys, wh);
+                    let stacked_trajs = infer::concat_rows(&new_trajs);
+                    let grown = new_keys.len();
+                    keys_all = infer::concat_rows(&[&keys_all, &stacked_keys]);
+                    hk_all = infer::concat_rows(&[&hk_all, &hk_new]);
+                    h = infer::concat_rows(&[&h, &stacked_trajs]);
+                    x_prev = infer::concat_rows(&[
+                        &x_prev,
+                        &infer::repeat_rows(store.value(self.start_emb), grown),
+                    ]);
+                    r_prev = infer::concat_rows(&[&r_prev, &Tensor::zeros(grown, 1)]);
+                }
             }
             if active.is_empty() {
                 break;

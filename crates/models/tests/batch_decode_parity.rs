@@ -223,15 +223,20 @@ proptest! {
     /// arbitrary ticks — possibly on the incumbents' final step, or after
     /// every incumbent has already retired — combined with arbitrary
     /// mid-decode cancellations of incumbents (grow-then-shrink on the
-    /// same tick included). Incumbents must stay **bit-identical** to the
-    /// closed-batch decode, and every admitted member must be
-    /// bit-identical to its solo sequential decode, under every backend
-    /// at 1 and 4 intra-op threads. The streamed `on_step` events must
-    /// reproduce each member's output exactly, in per-member step order.
+    /// same tick included). Admissions arrive in **waves**: every wave
+    /// past the first carries 1–3 newcomers landing on the *same* tick,
+    /// exercising the fused multi-newcomer splice (one stacked `W_h·keys`
+    /// matmul and one concat round per wave) and not just the
+    /// single-newcomer degenerate case. Incumbents must stay
+    /// **bit-identical** to the closed-batch decode, and every admitted
+    /// member must be bit-identical to its solo sequential decode, under
+    /// every backend at 1 and 4 intra-op threads. The streamed `on_step`
+    /// events must reproduce each member's output exactly, in per-member
+    /// step order.
     #[test]
     fn admitted_members_leave_incumbents_bit_identical(
         batch_size in 1usize..6,
-        grown_count in 1usize..4,
+        wave_count in 1usize..4,
         seed in 0u64..1_000_000,
     ) {
         use rntrajrec_models::{DecodeHooks, GrownMember, StepOut};
@@ -250,16 +255,25 @@ proptest! {
                 }
             })
             .collect();
-        // (admission tick, pool index) per newcomer. A tick past the
-        // incumbents' lifetime means the newcomer never joins — the hook
-        // is only polled while the session runs — and the test accounts
-        // for exactly the members that did.
-        let grown: Vec<(usize, usize)> = (0..grown_count)
-            .map(|_| {
-                (
-                    rand::Rng::gen_range(&mut rng, 0..13usize),
-                    rand::Rng::gen_range(&mut rng, 0..POOL),
-                )
+        // (admission tick, pool index) per newcomer, generated in waves:
+        // newcomers within a wave share the admission tick, so the hook
+        // returns them together and the fused wave splice is exercised.
+        // A tick past the incumbents' lifetime means the wave never joins
+        // — the hook is only polled while the session runs — and the test
+        // accounts for exactly the members that did.
+        let grown: Vec<(usize, usize)> = (0..wave_count)
+            .flat_map(|w| {
+                let at = rand::Rng::gen_range(&mut rng, 0..13usize);
+                // The first wave may be a single newcomer (the old
+                // degenerate shape); later waves always carry several.
+                let size = if w == 0 {
+                    rand::Rng::gen_range(&mut rng, 1..4usize)
+                } else {
+                    rand::Rng::gen_range(&mut rng, 2..4usize)
+                };
+                (0..size)
+                    .map(|_| (at, rand::Rng::gen_range(&mut rng, 0..POOL)))
+                    .collect::<Vec<_>>()
             })
             .collect();
         let fix = fixture();

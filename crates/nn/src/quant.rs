@@ -77,6 +77,36 @@ impl QuantizedLinear {
         Self { k, c, qt, scales }
     }
 
+    /// The raw quantized representation `(k, c, qt, scales)`: channel-major
+    /// `[C, K]` int8 weights and per-channel scales. The artifact format
+    /// serializes the head through this so a packed model reproduces the
+    /// exact integers of the in-process quantization.
+    pub fn to_parts(&self) -> (usize, usize, &[i8], &[f32]) {
+        (self.k, self.c, &self.qt, &self.scales)
+    }
+
+    /// Rebuild a head from its raw parts (the inverse of
+    /// [`QuantizedLinear::to_parts`]). Shapes are validated; the values
+    /// are taken as-is, so a round trip is bit-exact.
+    pub fn from_parts(k: usize, c: usize, qt: Vec<i8>, scales: Vec<f32>) -> Result<Self, String> {
+        if qt.len() != k * c {
+            return Err(format!(
+                "quantized head: {} int8 weights for shape [{c}, {k}]",
+                qt.len()
+            ));
+        }
+        if scales.len() != c {
+            return Err(format!(
+                "quantized head: {} scales for {c} channels",
+                scales.len()
+            ));
+        }
+        if scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err("quantized head: scales must be finite and positive".to_string());
+        }
+        Ok(Self { k, c, qt, scales })
+    }
+
     /// Input features (the head's hidden dimension `d`).
     pub fn in_features(&self) -> usize {
         self.k
@@ -230,6 +260,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parts_round_trip_is_bit_exact_and_validated() {
+        let w = t(16, 10, 8);
+        let q = QuantizedLinear::from_weights(&w);
+        let (k, c, qt, scales) = q.to_parts();
+        let back = QuantizedLinear::from_parts(k, c, qt.to_vec(), scales.to_vec()).expect("valid");
+        assert_eq!(back.qt, q.qt);
+        assert_eq!(
+            back.scales.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            q.scales.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        let a = t(2, 16, 9);
+        let bias = t(1, 10, 10);
+        let masks = [None, None];
+        assert_eq!(
+            back.forward_masked(&a, &bias, &masks).data,
+            q.forward_masked(&a, &bias, &masks).data,
+            "round-tripped head must be bit-identical"
+        );
+        assert!(QuantizedLinear::from_parts(16, 10, vec![0; 3], vec![1.0; 10]).is_err());
+        assert!(QuantizedLinear::from_parts(2, 2, vec![0; 4], vec![1.0, 0.0]).is_err());
+        assert!(QuantizedLinear::from_parts(2, 2, vec![0; 4], vec![1.0; 3]).is_err());
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub struct CityConfig {
     pub diagonal: bool,
     /// RNG seed (block sizes, one-way choices, minor level mixing).
     pub seed: u64,
+    /// Planar offset of the city's south-west corner (m). Defaults to the
+    /// frame origin; give distinct cities distinct origins so their
+    /// bounding boxes are disjoint (shard routing resolves requests by
+    /// bbox, so two cities must not overlap in the shared planar frame).
+    pub origin_x: f64,
+    /// See [`CityConfig::origin_x`].
+    pub origin_y: f64,
 }
 
 impl Default for CityConfig {
@@ -67,6 +74,8 @@ impl Default for CityConfig {
             ramp_every: 3,
             diagonal: true,
             seed: 7,
+            origin_x: 0.0,
+            origin_y: 0.0,
         }
     }
 }
@@ -104,19 +113,26 @@ impl SyntheticCity {
         assert!(config.block_min_m > 0.0 && config.block_max_m >= config.block_min_m);
         let mut rng = StdRng::seed_from_u64(config.seed);
 
-        // Variable-pitch grid lines.
-        let xs = cumulative(
+        // Variable-pitch grid lines, translated to the city's origin
+        // (adding 0.0 is exact, so the default origin changes nothing).
+        let xs: Vec<f64> = cumulative(
             &mut rng,
             config.blocks_x + 1,
             config.block_min_m,
             config.block_max_m,
-        );
-        let ys = cumulative(
+        )
+        .into_iter()
+        .map(|x| x + config.origin_x)
+        .collect();
+        let ys: Vec<f64> = cumulative(
             &mut rng,
             config.blocks_y + 1,
             config.block_min_m,
             config.block_max_m,
-        );
+        )
+        .into_iter()
+        .map(|y| y + config.origin_y)
+        .collect();
 
         let mut b = RoadNetworkBuilder::new();
         let elevated_row = config.blocks_y / 2;
@@ -376,6 +392,28 @@ mod tests {
             assert_eq!(x.geometry.points(), y.geometry.points());
             assert_eq!(x.level, y.level);
         }
+    }
+
+    #[test]
+    fn origin_translates_geometry_exactly() {
+        let base = SyntheticCity::generate(CityConfig::tiny());
+        let moved = SyntheticCity::generate(CityConfig {
+            origin_x: 50_000.0,
+            origin_y: -7_500.0,
+            ..CityConfig::tiny()
+        });
+        assert_eq!(base.net.num_segments(), moved.net.num_segments());
+        for (a, b) in base.net.segments().iter().zip(moved.net.segments()) {
+            assert_eq!(a.level, b.level);
+            for (p, q) in a.geometry.points().iter().zip(b.geometry.points()) {
+                assert_eq!(p.x + 50_000.0, q.x);
+                assert_eq!(p.y - 7_500.0, q.y);
+            }
+        }
+        assert!(
+            is_strongly_connected(&moved.net),
+            "translation must not change topology"
+        );
     }
 
     #[test]

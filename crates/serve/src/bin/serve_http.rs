@@ -1,9 +1,20 @@
 //! `serve_http` — the standalone HTTP serving front-end.
 //!
-//! Boots a synthetic city, builds an RNTrajRec model over it, starts the
-//! micro-batching [`RecoveryEngine`] and the HTTP/1.1 server, and serves
-//! until `SIGTERM`/`SIGINT`, then drains gracefully (listener stops
-//! accepting, in-flight requests and queued batches finish) and exits 0.
+//! Boots one or more city shards, starts a micro-batching
+//! [`RecoveryEngine`] per shard plus the HTTP/1.1 server over a
+//! [`ShardRouter`], and serves until `SIGTERM`/`SIGINT`, then drains
+//! gracefully (listener stops accepting, in-flight requests and queued
+//! batches finish) and exits 0.
+//!
+//! Two boot modes:
+//!
+//! * default — generate one synthetic city in-process and serve it as
+//!   the single shard `"default"` (the pre-shard behaviour, unchanged);
+//! * `--artifact PATH` (repeatable) — load each versioned model
+//!   artifact (see `rntrajrec-artifact` / the `pack_city` tool) as a
+//!   city shard; requests route by bounding box, and `SIGHUP` rescans
+//!   every artifact path for a zero-downtime reload (as does
+//!   `POST /admin/reload` per shard).
 //!
 //! ```bash
 //! cargo run --release -p rntrajrec-serve --bin serve_http -- --addr 127.0.0.1:8080
@@ -17,6 +28,7 @@
 //! trained model); recovery *quality* needs trained weights — see
 //! `examples/serve_city.rs` for the train-then-serve flow.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,32 +38,41 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rntrajrec::model::{EndToEnd, MethodSpec};
 use rntrajrec::wire::RecoverRequest;
-use rntrajrec_roadnet::{CityConfig, SyntheticCity};
+use rntrajrec_artifact::Artifact;
+use rntrajrec_roadnet::{CityConfig, RoadNetwork, SyntheticCity};
 use rntrajrec_serve::{
-    BrownoutConfig, EngineConfig, HttpConfig, HttpServer, QueryContext, RecoveryEngine,
-    ServingModel,
+    quant_head_env, BrownoutConfig, CityShard, EngineConfig, HttpConfig, HttpServer, QueryContext,
+    RecoveryEngine, ServingModel, ShardRouter,
 };
 use rntrajrec_synth::{SimConfig, Simulator};
 
 /// Set by the signal handler; polled by the main loop.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Set by `SIGHUP`; the main loop rescans every shard's artifact path.
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 fn install_signal_handlers() {
-    unsafe extern "C" fn on_signal(_sig: i32) {
+    unsafe extern "C" fn on_signal(sig: i32) {
         // Async-signal-safe: a single relaxed store.
-        SHUTDOWN.store(true, Ordering::Relaxed);
+        if sig == 1 {
+            RELOAD.store(true, Ordering::Relaxed);
+        } else {
+            SHUTDOWN.store(true, Ordering::Relaxed);
+        }
     }
     unsafe extern "C" {
         /// C library `signal(2)`; always linked, no crate needed.
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let handler = on_signal as unsafe extern "C" fn(i32);
     unsafe {
         signal(SIGTERM, handler as usize);
         signal(SIGINT, handler as usize);
+        signal(SIGHUP, handler as usize);
     }
 }
 
@@ -76,6 +97,9 @@ struct Args {
     trace_out: Option<String>,
     batch_timeout_ms: Option<u64>,
     brownout: bool,
+    /// City shards to load from packed artifacts; empty = one in-process
+    /// synthetic city.
+    artifacts: Vec<String>,
 }
 
 impl Default for Args {
@@ -98,6 +122,7 @@ impl Default for Args {
             trace_out: None,
             batch_timeout_ms: Some(30_000),
             brownout: true,
+            artifacts: Vec::new(),
         }
     }
 }
@@ -117,7 +142,9 @@ OPTIONS:
     --conn-workers N        HTTP connection-handler threads (default 4)
     --max-body-bytes N      request body cap -> 413 (default 1 MiB)
     --retry-after-secs N    Retry-After value on 429/503 (default 1)
-    --city-blocks N         synthetic city size (default 4)
+    --artifact PATH         load a packed city artifact as a shard (repeatable;
+                            requests route by bounding box, SIGHUP reloads all)
+    --city-blocks N         synthetic city size when no --artifact given (default 4)
     --dim N                 model hidden size (default 16)
     --seed N                weight/simulator seed (default 7)
     --latency-ring N        samples kept for p50/p99 latency quantiles (default 1024)
@@ -182,6 +209,7 @@ fn parse_args() -> Result<Args, String> {
             "--conn-workers" => args.conn_workers = parse_usize(&value)?.max(1),
             "--max-body-bytes" => args.max_body_bytes = parse_usize(&value)?,
             "--retry-after-secs" => args.retry_after_secs = parse_u64(&value)?,
+            "--artifact" => args.artifacts.push(value),
             "--city-blocks" => args.city_blocks = parse_usize(&value)?.max(2),
             "--dim" => args.dim = parse_usize(&value)?.max(4),
             "--seed" => args.seed = parse_u64(&value)?,
@@ -226,68 +254,132 @@ fn main() -> ExitCode {
         }
     }
 
-    eprintln!(
-        "building synthetic city ({0}x{0} blocks) + RNTrajRec(d={1}, seed={2})...",
-        args.city_blocks, args.dim, args.seed
-    );
-    let city = SyntheticCity::generate(CityConfig {
-        blocks_x: args.city_blocks,
-        blocks_y: args.city_blocks,
-        ..CityConfig::tiny()
-    });
-    let grid = city.net.grid(50.0);
-    let model = EndToEnd::build(
-        &MethodSpec::RnTrajRec,
-        &city.net,
-        &grid,
-        args.dim,
-        args.seed,
-    );
-    let serving = match ServingModel::new(model) {
-        Ok(s) => Arc::new(s),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+    let engine_config = EngineConfig {
+        max_batch: args.max_batch,
+        max_delay: Duration::from_millis(args.max_delay_ms),
+        workers: args.workers,
+        threads_per_worker: 0,
+        queue_capacity: args.queue_capacity,
+        batch_timeout: args.batch_timeout_ms.map(Duration::from_millis),
+        brownout: args.brownout.then(|| match args.queue_capacity {
+            Some(cap) => BrownoutConfig::for_queue_capacity(cap),
+            None => BrownoutConfig::default(),
+        }),
+        ..EngineConfig::default()
     };
-    println!(
-        "kernels: backend={} (NN_BACKEND={}) segment_head={}",
-        rntrajrec_nn::kernels::backend::active_name(),
-        std::env::var("NN_BACKEND").unwrap_or_else(|_| "auto".to_string()),
-        serving.head_name(),
-    );
 
-    // A valid example request body, served at GET /v1/example so smoke
-    // tests can POST a real trajectory without hand-built fixtures.
-    let example = {
-        let mut sim = Simulator::new(&city.net, SimConfig::default());
-        let mut rng = StdRng::seed_from_u64(args.seed);
+    // A valid example request body per shard, served at GET /v1/example
+    // so smoke tests can POST a real trajectory without hand-built
+    // fixtures.
+    let make_example = |net: &RoadNetwork, seed: u64| {
+        let mut sim = Simulator::new(net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
         let s = sim.sample(&mut rng, 8);
         let req = RecoverRequest::from_raw(&s.raw, s.target.len(), s.depart_epoch_s);
         serde_json::to_string(&req).expect("example serializes")
     };
 
-    let ctx = Arc::new(QueryContext::new(city.net, 50.0));
-    let engine = Arc::new(RecoveryEngine::start(
-        serving,
-        EngineConfig {
-            max_batch: args.max_batch,
-            max_delay: Duration::from_millis(args.max_delay_ms),
-            workers: args.workers,
-            threads_per_worker: 0,
-            queue_capacity: args.queue_capacity,
-            batch_timeout: args.batch_timeout_ms.map(Duration::from_millis),
-            brownout: args.brownout.then(|| match args.queue_capacity {
-                Some(cap) => BrownoutConfig::for_queue_capacity(cap),
-                None => BrownoutConfig::default(),
-            }),
-            ..EngineConfig::default()
-        },
-    ));
+    let mut shards: Vec<CityShard> = Vec::new();
+    if args.artifacts.is_empty() {
+        // Pre-shard boot: one in-process synthetic city named "default".
+        eprintln!(
+            "building synthetic city ({0}x{0} blocks) + RNTrajRec(d={1}, seed={2})...",
+            args.city_blocks, args.dim, args.seed
+        );
+        let city = SyntheticCity::generate(CityConfig {
+            blocks_x: args.city_blocks,
+            blocks_y: args.city_blocks,
+            ..CityConfig::tiny()
+        });
+        let grid = city.net.grid(50.0);
+        let model = EndToEnd::build(
+            &MethodSpec::RnTrajRec,
+            &city.net,
+            &grid,
+            args.dim,
+            args.seed,
+        );
+        let serving = match ServingModel::new(model) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let example = make_example(&city.net, args.seed);
+        let ctx = Arc::new(QueryContext::new(city.net, 50.0));
+        let engine = Arc::new(RecoveryEngine::start(serving, engine_config.clone()));
+        shards.push(CityShard::new("default", engine, ctx, Some(example)));
+    } else {
+        for path in &args.artifacts {
+            let artifact = match Artifact::read_from(Path::new(path)) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: cannot load artifact {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let loaded = match artifact.instantiate() {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: cannot instantiate artifact {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            eprintln!(
+                "loaded shard '{}' from {path}: model_version={} git_sha={} ({} segments)",
+                artifact.meta.city,
+                artifact.meta.model_version,
+                artifact.meta.git_sha,
+                loaded.city.net.num_segments(),
+            );
+            let serving = match ServingModel::from_parts(
+                loaded.model,
+                loaded.x_road,
+                loaded.quant,
+                quant_head_env(),
+            ) {
+                Ok(s) => Arc::new(s),
+                Err(e) => {
+                    eprintln!("error: artifact {path} cannot serve: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let example = make_example(&loaded.city.net, args.seed);
+            let ctx = Arc::new(QueryContext::new(loaded.city.net, artifact.meta.cell_m));
+            let engine = Arc::new(RecoveryEngine::start(serving, engine_config.clone()));
+            let shard = CityShard::new(artifact.meta.city.clone(), engine, ctx, Some(example));
+            shard.set_artifact_provenance(
+                artifact.meta.model_version.clone(),
+                artifact.meta.git_sha.clone(),
+                Some(PathBuf::from(path)),
+            );
+            shards.push(shard);
+        }
+    }
+    println!(
+        "kernels: backend={} (NN_BACKEND={}) segment_head={}",
+        rntrajrec_nn::kernels::backend::active_name(),
+        std::env::var("NN_BACKEND").unwrap_or_else(|_| "auto".to_string()),
+        if quant_head_env() { "int8" } else { "sparse" },
+    );
 
-    let server = match HttpServer::start(
-        Arc::clone(&engine),
-        ctx,
+    let router = Arc::new(ShardRouter::new(shards));
+    for shard in router.shards() {
+        let b = shard.bbox();
+        println!(
+            "shard '{}': bbox [{:.0}, {:.0}] x [{:.0}, {:.0}] m, model_version={}",
+            shard.name(),
+            b.min_x,
+            b.max_x,
+            b.min_y,
+            b.max_y,
+            shard.info().model_version,
+        );
+    }
+
+    let server = match HttpServer::start_router(
+        Arc::clone(&router),
         HttpConfig {
             addr: args.addr.clone(),
             connection_workers: args.conn_workers,
@@ -298,7 +390,6 @@ fn main() -> ExitCode {
             latency_ring: args.latency_ring,
             ..HttpConfig::default()
         },
-        Some(example),
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -327,21 +418,61 @@ fn main() -> ExitCode {
     );
 
     while !SHUTDOWN.load(Ordering::Relaxed) {
+        if RELOAD.swap(false, Ordering::Relaxed) {
+            // SIGHUP: re-read every shard that was booted from an artifact.
+            // A failed reload leaves that shard's old model serving.
+            for shard in router.shards() {
+                let Some(path) = shard.info().artifact_path else {
+                    eprintln!(
+                        "reload: shard '{}' has no artifact path, skipping",
+                        shard.name()
+                    );
+                    continue;
+                };
+                match shard.reload_from_artifact(&path) {
+                    Ok(r) => eprintln!(
+                        "reload: shard '{}' now model_version={} git_sha={} (reload #{})",
+                        r.city, r.model_version, r.git_sha, r.reloads
+                    ),
+                    Err(e) => eprintln!(
+                        "reload: shard '{}' refused ({e}); old model still serving",
+                        shard.name()
+                    ),
+                }
+            }
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
 
     eprintln!("signal received: draining (listener closed, in-flight batches finish)...");
     server.shutdown();
-    // The server handle is gone, so this is the last engine reference:
-    // drain explicitly and report the post-drain counters (requests still
-    // queued at SIGTERM are served and must show in the totals).
-    let stats = match Arc::try_unwrap(engine) {
-        Ok(engine) => engine.drain(),
-        Err(engine) => engine.stats(),
+    // The server handle is gone, so this is the last router reference:
+    // drain each shard's engine explicitly and report the post-drain
+    // counters (requests still queued at SIGTERM are served and must show
+    // in the totals).
+    let shards = match Arc::try_unwrap(router) {
+        Ok(router) => router.into_shards(),
+        Err(_) => Vec::new(),
     };
+    let mut total = (0u64, 0u64, 0u64, 0u64);
+    for shard in shards {
+        let name = shard.name().to_string();
+        let stats = match Arc::try_unwrap(shard.into_engine()) {
+            Ok(engine) => engine.drain(),
+            Err(engine) => engine.stats(),
+        };
+        eprintln!(
+            "drained '{}': {} served / {} rejected / {} failed over {} batches (mean {:.2})",
+            name, stats.completed, stats.rejected, stats.failed, stats.batches, stats.mean_batch
+        );
+        total.0 += stats.completed;
+        total.1 += stats.rejected;
+        total.2 += stats.failed;
+        total.3 += stats.batches;
+    }
     eprintln!(
-        "drained: {} served / {} rejected / {} failed over {} batches (mean {:.2})",
-        stats.completed, stats.rejected, stats.failed, stats.batches, stats.mean_batch
+        "drained: {} served / {} rejected / {} failed over {} batches",
+        total.0, total.1, total.2, total.3
     );
 
     if let Some(path) = &args.trace_out {

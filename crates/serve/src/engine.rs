@@ -103,6 +103,13 @@ pub struct EngineConfig {
     /// level ≥ 2 (`shrink_batch`). `false` restores closed batches —
     /// the pre-continuous behaviour and the bench baseline.
     pub continuous: bool,
+    /// Bound on each streaming submission's step-event queue. A consumer
+    /// that falls this many undelivered [`StepUpdate`]s behind the decode
+    /// loop is degraded to summary-only — its step sink is closed (the
+    /// terminal [`Recovered`] still arrives) and
+    /// [`EngineStats::stream_lagged`] counts it — instead of buffering
+    /// without bound inside the engine.
+    pub stream_queue: usize,
     /// Supervisor cadence: worker reaping, watchdog scans, drain-rate
     /// sampling, and brownout ticks all run at this interval.
     pub supervise_every: Duration,
@@ -126,6 +133,7 @@ impl Default for EngineConfig {
             queue_capacity: None,
             batch_timeout: None,
             brownout: None,
+            stream_queue: 256,
             supervise_every: Duration::from_millis(10),
             restart_backoff: Duration::from_millis(10),
             restart_backoff_cap: Duration::from_secs(2),
@@ -467,6 +475,13 @@ pub struct EngineStats {
     pub abandoned_cancelled: u64,
     /// Brownout ladder transitions since start.
     pub brownout_shifts: u64,
+    /// Streaming consumers degraded to summary-only because they fell
+    /// more than [`EngineConfig::stream_queue`] undelivered steps behind
+    /// the decode loop (the terminal result still arrives).
+    pub stream_lagged: u64,
+    /// Models hot-swapped into the live engine
+    /// ([`RecoveryEngine::swap_model`]).
+    pub model_swaps: u64,
     /// Active brownout mode name (`normal`, `degraded_head`,
     /// `shrink_batch`, `shed`).
     pub brownout_mode: String,
@@ -494,8 +509,9 @@ struct Pending {
     /// of its decode batch rather than computed to completion.
     deadline: Option<Instant>,
     tx: mpsc::Sender<Recovered>,
-    /// Per-step sink for streaming submissions.
-    step_tx: Option<mpsc::Sender<StepUpdate>>,
+    /// Per-step sink for streaming submissions (bounded; a full queue
+    /// degrades the member to summary-only instead of blocking decode).
+    step_tx: Option<mpsc::SyncSender<StepUpdate>>,
     /// Set by [`RecoveryHandle`]'s drop; the decode loop's cancel gate
     /// (and the admission gate) treat it like an expired deadline.
     abandoned: Arc<AtomicBool>,
@@ -518,6 +534,11 @@ struct Counters {
     admitted: AtomicU64,
     abandoned_cancelled: AtomicU64,
     brownout_shifts: AtomicU64,
+    /// Streaming consumers degraded to summary-only because their step
+    /// queue filled ([`EngineConfig::stream_queue`]).
+    stream_lagged: AtomicU64,
+    /// Models installed over a live engine ([`RecoveryEngine::swap_model`]).
+    model_swaps: AtomicU64,
     /// Σ queue wait across completed requests, nanoseconds.
     queue_wait_ns: AtomicU64,
     /// Σ compute across completed requests, nanoseconds.
@@ -541,8 +562,42 @@ struct WorkerSlot {
     inflight: Mutex<Option<InFlight>>,
 }
 
+/// Hot-swappable model slot: the engine's one indirection between "a
+/// worker is about to run a batch" and "which weights it runs on".
+///
+/// Workers read the slot **once per decode session**, at batch assembly —
+/// so a swap takes effect on the next batch, while in-flight batches
+/// finish on the weights they started with (their `Arc` keeps the old
+/// model alive; no drain, no pause). Zero-downtime reload is this slot
+/// plus the artifact loader above it.
+pub struct ModelSlot {
+    inner: Mutex<Arc<ServingModel>>,
+}
+
+impl ModelSlot {
+    fn new(model: Arc<ServingModel>) -> Self {
+        Self {
+            inner: Mutex::new(model),
+        }
+    }
+
+    /// The model new batches will run on.
+    pub fn current(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Install `model` for all future batches; returns the one it
+    /// replaced (which in-flight batches may still be running on).
+    fn swap(&self, model: Arc<ServingModel>) -> Arc<ServingModel> {
+        std::mem::replace(
+            &mut *self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            model,
+        )
+    }
+}
+
 struct Shared {
-    model: Arc<ServingModel>,
+    model: ModelSlot,
     queue: Mutex<VecDeque<Pending>>,
     cond: Condvar,
     shutdown: AtomicBool,
@@ -557,6 +612,9 @@ struct Shared {
     max_delay_ns: AtomicU64,
     queue_capacity: Option<usize>,
     batch_timeout: Option<Duration>,
+    /// Step-event queue bound per streaming submission
+    /// ([`EngineConfig::stream_queue`]).
+    stream_queue: usize,
     /// Mid-decode admission enabled ([`EngineConfig::continuous`]).
     continuous: bool,
     /// Active brownout ladder level (0..=3).
@@ -666,7 +724,7 @@ impl RecoveryEngine {
         let intra_op = rntrajrec_nn::pool::env_threads().unwrap_or(config.threads_per_worker);
         let intra_op = (intra_op > 0).then(|| rntrajrec_nn::pool::set_num_threads(intra_op));
         let shared = Arc::new(Shared {
-            model,
+            model: ModelSlot::new(model),
             queue: Mutex::new(VecDeque::new()),
             cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -678,6 +736,7 @@ impl RecoveryEngine {
             max_delay_ns: AtomicU64::new(config.max_delay.as_nanos() as u64),
             queue_capacity: config.queue_capacity,
             batch_timeout: config.batch_timeout,
+            stream_queue: config.stream_queue.max(1),
             continuous: config.continuous,
             brownout_level: AtomicU8::new(0),
             brownout_override: AtomicU8::new(AUTO_LEVEL),
@@ -752,7 +811,11 @@ impl RecoveryEngine {
             .or_else(|| rntrajrec_obs::enabled().then(rntrajrec_obs::next_request_id));
         let (tx, rx) = mpsc::channel();
         let (step_tx, step_rx) = if opts.stream {
-            let (s_tx, s_rx) = mpsc::channel();
+            // Bounded: a consumer that stops draining steps fills this
+            // and is degraded to summary-only (see the decode-loop tap),
+            // so one slow stream cannot grow engine memory or stall the
+            // fused batch.
+            let (s_tx, s_rx) = mpsc::sync_channel(self.shared.stream_queue);
             (Some(s_tx), Some(s_rx))
         } else {
             (None, None)
@@ -805,37 +868,6 @@ impl RecoveryEngine {
         })
     }
 
-    /// Deprecated shim for [`RecoveryEngine::submit`].
-    #[deprecated(note = "use submit(input, SubmitOptions::default())")]
-    pub fn try_submit(&self, input: SampleInput) -> Result<RecoveryHandle, EngineError> {
-        self.submit(input, SubmitOptions::default())
-    }
-
-    /// Deprecated shim for [`RecoveryEngine::submit`] with
-    /// [`SubmitOptions::trace`].
-    #[deprecated(note = "use submit(input, SubmitOptions::new().trace(trace))")]
-    pub fn try_submit_traced(
-        &self,
-        input: SampleInput,
-        trace: Option<rntrajrec_obs::RequestId>,
-    ) -> Result<RecoveryHandle, EngineError> {
-        self.submit(input, SubmitOptions::new().trace(trace))
-    }
-
-    /// Deprecated shim for [`RecoveryEngine::submit`] with
-    /// [`SubmitOptions::trace`] and [`SubmitOptions::deadline`].
-    #[deprecated(note = "use submit(input, SubmitOptions) with trace/deadline setters")]
-    pub fn try_submit_with(
-        &self,
-        input: SampleInput,
-        trace: Option<rntrajrec_obs::RequestId>,
-        deadline: Option<Instant>,
-    ) -> Result<RecoveryHandle, EngineError> {
-        let mut opts = SubmitOptions::new().trace(trace);
-        opts.deadline = deadline;
-        self.submit(input, opts)
-    }
-
     /// Convenience: submit and block for the result.
     ///
     /// # Panics
@@ -885,11 +917,13 @@ impl RecoveryEngine {
             admitted: c.admitted.load(Ordering::Relaxed),
             abandoned_cancelled: c.abandoned_cancelled.load(Ordering::Relaxed),
             brownout_shifts: c.brownout_shifts.load(Ordering::Relaxed),
+            stream_lagged: c.stream_lagged.load(Ordering::Relaxed),
+            model_swaps: c.model_swaps.load(Ordering::Relaxed),
             brownout_mode: mode_name(self.shared.level()).to_string(),
             drain_rate_per_sec: self.drain_rate_per_sec(),
             queue_wait_p99_ms: self.queue_wait_p99_ms(),
             kernel_backend: rntrajrec_nn::kernels::backend::active_name().to_string(),
-            segment_head: self.shared.model.head_name().to_string(),
+            segment_head: self.shared.model.current().head_name().to_string(),
         }
     }
 
@@ -952,9 +986,25 @@ impl RecoveryEngine {
         f64::from_bits(self.shared.queue_wait_p99_bits.load(Ordering::Relaxed))
     }
 
-    /// The served model (e.g. for direct single-request comparison).
-    pub fn model(&self) -> &ServingModel {
-        &self.shared.model
+    /// The model new batches will run on (e.g. for direct single-request
+    /// comparison). In-flight batches may still be on a previously
+    /// swapped-out model.
+    pub fn model(&self) -> Arc<ServingModel> {
+        self.shared.model.current()
+    }
+
+    /// Zero-downtime hot swap: install `model` for all batches assembled
+    /// from now on and return the model it replaced. In-flight batches
+    /// finish on the weights they started with (their cloned `Arc` keeps
+    /// the old model alive) — nothing is drained, paused, or failed; the
+    /// queue, counters, brownout state, and streams all carry over.
+    pub fn swap_model(&self, model: Arc<ServingModel>) -> Arc<ServingModel> {
+        let old = self.shared.model.swap(model);
+        self.shared
+            .counters
+            .model_swaps
+            .fetch_add(1, Ordering::Relaxed);
+        old
     }
 
     /// Graceful stop with a final report: signals shutdown, lets workers
@@ -1246,7 +1296,7 @@ struct SessionMember {
     taken: Instant,
     deadline: Option<Instant>,
     tx: mpsc::Sender<Recovered>,
-    step_tx: Option<mpsc::Sender<StepUpdate>>,
+    step_tx: Option<mpsc::SyncSender<StepUpdate>>,
     abandoned: Arc<AtomicBool>,
     /// Why the cancel gate cut this member (when it did).
     cut: Option<CutReason>,
@@ -1341,6 +1391,12 @@ fn run_session(shared: &Shared, slot: &WorkerSlot, batch: Vec<Pending>, taken: I
     }
     let traces: Vec<rntrajrec_obs::RequestId> = members.iter().filter_map(|m| m.trace).collect();
     let degraded_head = shared.level() >= 1;
+    // Read the hot-swap slot exactly once per session: every pass this
+    // session runs — the fused stream, mid-decode admissions, and the
+    // panic fallback — uses these weights, even if an operator installs
+    // a new model mid-decode. The Arc keeps a swapped-out model alive
+    // until its last in-flight session finishes.
+    let model = shared.model.current();
     let session = RefCell::new(members);
 
     // Cancel gate, called by the decode loop before each member's step:
@@ -1460,21 +1516,38 @@ fn run_session(shared: &Shared, slot: &WorkerSlot, batch: Vec<Pending>, taken: I
     };
 
     // Per-step tap: time-to-first-step on a member's first decoded step,
-    // then fan out to its streaming sink (if any).
+    // then fan out to its streaming sink (if any). The sink is bounded:
+    // a consumer that has fallen `stream_queue` undelivered steps behind
+    // is degraded to summary-only — its sink is closed here (ending its
+    // step stream; the terminal result still arrives) rather than letting
+    // one slow reader block the whole fused batch or buffer unboundedly.
     let mut on_step = |su: rntrajrec_models::StepOut| {
-        let s = session.borrow();
-        let m = &s[su.member];
+        let mut s = session.borrow_mut();
+        let m = &mut s[su.member];
         if su.step == 0 {
             ttfs_hist.observe(m.enqueued.elapsed().as_secs_f64());
         }
         if let Some(step_tx) = &m.step_tx {
-            let _ = step_tx.send(StepUpdate {
+            let update = StepUpdate {
                 id: m.id,
                 step: su.step,
                 segment: su.segment,
                 rate: su.rate,
                 logprob: su.logprob,
-            });
+            };
+            match step_tx.try_send(update) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(_)) => {
+                    shared
+                        .counters
+                        .stream_lagged
+                        .fetch_add(1, Ordering::Relaxed);
+                    m.step_tx = None;
+                }
+                // Receiver already gone (handle dropped its step iterator
+                // or the connection died): stop producing for it.
+                Err(mpsc::TrySendError::Disconnected(_)) => m.step_tx = None,
+            }
         }
     };
 
@@ -1491,7 +1564,7 @@ fn run_session(shared: &Shared, slot: &WorkerSlot, batch: Vec<Pending>, taken: I
         // are delivered below, so a client that answers immediately
         // already sees its batch spans in `/debug/trace`.
         let _scope = rntrajrec_obs::request_scope(&traces);
-        shared.model.recover_batch_stream(
+        model.recover_batch_stream(
             &input_refs,
             degraded_head,
             &mut rntrajrec::StreamCtl {
@@ -1563,7 +1636,7 @@ fn run_session(shared: &Shared, slot: &WorkerSlot, batch: Vec<Pending>, taken: I
                 deadlines: members.iter().map(|m| m.deadline).collect(),
                 degraded_head,
             };
-            shared.model.recover_batch_opts(&all_inputs, &opts)
+            model.recover_batch_opts(&all_inputs, &opts)
         }
     };
     let mut wait_samples: Vec<f64> = Vec::with_capacity(final_size);

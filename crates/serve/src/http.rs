@@ -24,7 +24,18 @@
 //!   requests: one process lane per request, spans from socket read to
 //!   kernel with per-span matmul counts.
 //! * `GET /v1/example` — an optional server-provided example request body
-//!   (lets smoke tests post a valid request without hand-built fixtures).
+//!   (lets smoke tests post a valid request without hand-built fixtures);
+//!   `?city=NAME` selects a shard on multi-city servers.
+//! * `POST /admin/reload` — `{"city": "...", "path": "..."}` hot-swaps one
+//!   shard's model from a versioned artifact with zero downtime (see
+//!   [`crate::shard`]); a corrupt or mismatched artifact is refused with
+//!   the old model still serving.
+//!
+//! Every recover route resolves its request to a [`CityShard`] first: a
+//! single-shard server routes unconditionally (byte-for-byte the
+//! pre-shard behaviour), a multi-city server answers `404` for
+//! trajectories outside every shard and `422` for trajectories that
+//! straddle two.
 //!
 //! # Request tracing
 //!
@@ -76,6 +87,7 @@ use rntrajrec::wire::{v2, ErrorBody, RecoverRequest, RecoverResponse};
 use rntrajrec_models::SampleInput;
 use rntrajrec_nn::kernels;
 
+use crate::shard::{CityShard, RouteError, ShardRouter};
 use crate::{EngineError, QueryContext, RecoveryEngine, RecoveryHandle, StepWait, SubmitOptions};
 
 /// Network-layer knobs.
@@ -225,17 +237,31 @@ fn adaptive_retry_after(queue_depth: usize, drain_rate_per_sec: f64, fallback_se
     (secs as u64).clamp(1, 60)
 }
 
-fn retry_after_value(state: &ServerState) -> u64 {
+/// Per-shard `Retry-After`: the hint reflects the queue the retrying
+/// client would actually land in.
+fn retry_after_for(state: &ServerState, shard: &CityShard) -> u64 {
     adaptive_retry_after(
-        state.engine.queue_depth(),
-        state.engine.drain_rate_per_sec(),
+        shard.engine().queue_depth(),
+        shard.engine().drain_rate_per_sec(),
         state.retry_after_secs,
     )
 }
 
+/// `Retry-After` when no shard has been resolved yet (connection-backlog
+/// sheds): the worst shard's hint, so a retrying client never comes back
+/// before the busiest queue could have drained.
+fn retry_after_value(state: &ServerState) -> u64 {
+    state
+        .router
+        .shards()
+        .iter()
+        .map(|s| retry_after_for(state, s))
+        .max()
+        .unwrap_or(state.retry_after_secs.clamp(1, 60))
+}
+
 struct ServerState {
-    engine: Arc<RecoveryEngine>,
-    ctx: Arc<QueryContext>,
+    router: Arc<ShardRouter>,
     deadline: Duration,
     max_body_bytes: usize,
     retry_after_secs: u64,
@@ -243,7 +269,6 @@ struct ServerState {
     idle_timeout: Duration,
     counters: HttpCounters,
     shutdown: AtomicBool,
-    example: Option<String>,
     /// Server start, backing `rntrajrec_uptime_seconds`.
     started: Instant,
 }
@@ -268,8 +293,11 @@ pub struct HttpServer {
 }
 
 impl HttpServer {
-    /// Bind and start serving. The engine and query context must be built
-    /// over the same road network.
+    /// Bind and start serving a **single city**: the pre-shard
+    /// constructor, kept as a thin wrapper over
+    /// [`HttpServer::start_router`] with a one-shard router named
+    /// `"default"`. The engine and query context must be built over the
+    /// same road network.
     ///
     /// `example` is an optional pre-serialized valid `/v1/recover` body
     /// served at `GET /v1/example` (smoke tests post it back).
@@ -279,13 +307,22 @@ impl HttpServer {
         config: HttpConfig,
         example: Option<String>,
     ) -> std::io::Result<Self> {
+        let router = ShardRouter::single(CityShard::new("default", engine, ctx, example));
+        Self::start_router(Arc::new(router), config)
+    }
+
+    /// Bind and start serving a [`ShardRouter`]: every recover route
+    /// resolves its request to a city shard by bounding box (404 outside
+    /// every shard, 422 straddling two), `POST /admin/reload` hot-swaps
+    /// one shard's model from a versioned artifact, and `/metrics`
+    /// carries per-shard `{city="…"}` labels.
+    pub fn start_router(router: Arc<ShardRouter>, config: HttpConfig) -> std::io::Result<Self> {
         assert!(config.connection_workers >= 1, "need at least one worker");
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
-            engine,
-            ctx,
+            router,
             deadline: config.deadline,
             max_body_bytes: config.max_body_bytes,
             retry_after_secs: config.retry_after_secs,
@@ -293,7 +330,6 @@ impl HttpServer {
             idle_timeout: config.idle_timeout,
             counters: HttpCounters::new(config.latency_ring),
             shutdown: AtomicBool::new(false),
-            example,
             started: Instant::now(),
         });
 
@@ -690,10 +726,15 @@ fn route_of(path: &str) -> &str {
 
 /// `usize` query parameter lookup (`?last=16`) on a request target.
 fn query_usize(path: &str, key: &str) -> Option<usize> {
+    query_param(path, key).and_then(|v| v.parse::<usize>().ok())
+}
+
+/// Raw query parameter lookup (`?city=porto`) on a request target.
+fn query_param<'a>(path: &'a str, key: &str) -> Option<&'a str> {
     let (_, query) = path.split_once('?')?;
     query.split('&').find_map(|pair| {
         let (k, v) = pair.split_once('=')?;
-        (k == key).then(|| v.parse::<usize>().ok()).flatten()
+        (k == key).then_some(v)
     })
 }
 
@@ -728,13 +769,31 @@ fn dispatch(
         Vec<(&str, String)>,
     ) = match (req.method.as_str(), route_of(&req.path)) {
         ("GET", "/healthz") => {
-            let body = serde_json::to_string(&serde_json::json!({
-                "status": "ok",
-                "queue_depth": state.engine.queue_depth(),
-                "in_flight_batches": state.engine.in_flight_batches(),
-                "draining": state.shutdown.load(Ordering::SeqCst),
-            }))
-            .expect("healthz serializes");
+            // Top-level gauges aggregate across shards (a single-shard
+            // server reads exactly as before); the per-shard breakdown
+            // carries each city's queue and live model version.
+            let shards = state.router.shards();
+            let queue_depth: usize = shards.iter().map(|s| s.engine().queue_depth()).sum();
+            let in_flight: usize = shards.iter().map(|s| s.engine().in_flight_batches()).sum();
+            let per_shard = shards
+                .iter()
+                .map(|s| {
+                    let info = s.info();
+                    format!(
+                        "{{\"city\":\"{}\",\"queue_depth\":{},\"in_flight_batches\":{},\"model_version\":\"{}\",\"reloads\":{}}}",
+                        s.name(),
+                        s.engine().queue_depth(),
+                        s.engine().in_flight_batches(),
+                        info.model_version,
+                        info.reloads,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let body = format!(
+                "{{\"status\":\"ok\",\"queue_depth\":{queue_depth},\"in_flight_batches\":{in_flight},\"draining\":{},\"shards\":[{per_shard}]}}",
+                state.shutdown.load(Ordering::SeqCst),
+            );
             (200, "OK", "application/json", body, vec![])
         }
         ("GET", "/metrics") => (
@@ -744,16 +803,35 @@ fn dispatch(
             render_metrics(state),
             vec![],
         ),
-        ("GET", "/v1/example") => match &state.example {
-            Some(body) => (200, "OK", "application/json", body.clone(), vec![]),
-            None => (
-                404,
-                "Not Found",
-                "application/json",
-                ErrorBody::new(404, "no example configured").to_json(),
-                vec![],
-            ),
-        },
+        ("GET", "/v1/example") => {
+            // `?city=NAME` picks a shard; a single-shard server keeps the
+            // pre-shard behaviour of serving its one example unqualified.
+            let shard = match query_param(&req.path, "city") {
+                Some(name) => state.router.by_name(name),
+                None if state.router.is_single() => Some(&state.router.shards()[0]),
+                None => None,
+            };
+            match shard {
+                None if query_param(&req.path, "city").is_some() => (
+                    404,
+                    "Not Found",
+                    "application/json",
+                    ErrorBody::new(404, "unknown city").to_json(),
+                    vec![],
+                ),
+                None => bad_request("multi-city server: specify ?city=NAME"),
+                Some(shard) => match shard.example() {
+                    Some(body) => (200, "OK", "application/json", body.to_string(), vec![]),
+                    None => (
+                        404,
+                        "Not Found",
+                        "application/json",
+                        ErrorBody::new(404, "no example configured").to_json(),
+                        vec![],
+                    ),
+                },
+            }
+        }
         ("POST", "/v1/recover") => {
             let started = Instant::now();
             let answer = recover(state, &req.body, trace.as_ref());
@@ -770,6 +848,14 @@ fn dispatch(
                 .observe_duration(started.elapsed());
             answer
         }
+        ("POST", "/admin/reload") => admin_reload(state, &req.body),
+        (_, "/admin/reload") => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            ErrorBody::new(405, "use POST").to_json(),
+            vec![("Allow", "POST".to_string())],
+        ),
         ("GET", "/debug/trace") => {
             // Chrome trace-event JSON for the last N completed requests
             // (default 16) — load in chrome://tracing or Perfetto.
@@ -860,6 +946,89 @@ fn bad_request(msg: impl Into<String>) -> Answer {
     )
 }
 
+/// Map a shard-resolution failure to its typed answer: `404` for a
+/// trajectory outside every shard, `422` for one straddling two shards
+/// (well-formed, but no single road network can serve it).
+fn route_answer(e: RouteError) -> Answer {
+    let (status, reason) = match e {
+        RouteError::UnknownRegion { .. } => (404, "Not Found"),
+        RouteError::Straddles { .. } => (422, "Unprocessable Entity"),
+    };
+    (
+        status,
+        reason,
+        "application/json",
+        ErrorBody::new(status, e.to_string()).to_json(),
+        vec![],
+    )
+}
+
+/// `POST /admin/reload {"city": "...", "path": "..."}` — zero-downtime
+/// hot swap of one shard's model from a versioned artifact on disk.
+///
+/// Validation happens entirely before the swap (checksum, city,
+/// network identity), so any non-2xx answer means the old model is
+/// still serving untouched. In-flight batches finish on the weights
+/// they started with; requests admitted after the swap decode on the
+/// new ones. The reload is recorded as a `reload` span in the trace
+/// ring so it shows up in `/debug/trace` timelines next to the
+/// requests it interleaved with.
+fn admin_reload(state: &ServerState, body: &[u8]) -> Answer {
+    let start_ns = rntrajrec_obs::now_ns();
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad_request("body is not UTF-8"),
+    };
+    let value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return bad_request(format!("invalid JSON: {e}")),
+    };
+    let Some(city) = value.get("city").and_then(|v| v.as_str()) else {
+        return bad_request("missing field 'city'");
+    };
+    let Some(path) = value.get("path").and_then(|v| v.as_str()) else {
+        return bad_request("missing field 'path'");
+    };
+    let Some(shard) = state.router.by_name(city) else {
+        return (
+            404,
+            "Not Found",
+            "application/json",
+            ErrorBody::new(404, format!("unknown city '{city}'")).to_json(),
+            vec![],
+        );
+    };
+    let result = shard.reload_from_artifact(std::path::Path::new(path));
+    if rntrajrec_obs::enabled() {
+        let id = rntrajrec_obs::next_request_id();
+        let end_ns = rntrajrec_obs::now_ns();
+        rntrajrec_obs::record("reload", &[id], start_ns, end_ns);
+        rntrajrec_obs::record(rntrajrec_obs::ROOT_SPAN, &[id], start_ns, end_ns);
+    }
+    match result {
+        Ok(r) => (
+            200,
+            "OK",
+            "application/json",
+            format!(
+                "{{\"city\":\"{}\",\"model_version\":\"{}\",\"git_sha\":\"{}\",\"reloads\":{}}}",
+                r.city, r.model_version, r.git_sha, r.reloads,
+            ),
+            vec![],
+        ),
+        Err(e) => {
+            let (status, reason) = e.http_status();
+            (
+                status,
+                reason,
+                "application/json",
+                ErrorBody::new(status, format!("reload refused: {e}")).to_json(),
+                vec![],
+            )
+        }
+    }
+}
+
 /// Per-request decode budget for the v2 API: the client may *shorten*
 /// the server's configured deadline with `options.deadline_ms`, never
 /// extend it past the operator-set bound.
@@ -875,8 +1044,8 @@ fn effective_budget(state: &ServerState, deadline_ms: Option<u64>) -> Duration {
 /// field-precise 400s); the catch_unwind is a last-resort backstop so no
 /// future panic path can take the connection worker down with one
 /// request.
-fn extract_input(state: &ServerState, request: &RecoverRequest) -> Result<SampleInput, Answer> {
-    let ctx = Arc::clone(&state.ctx);
+fn extract_input(shard: &CityShard, request: &RecoverRequest) -> Result<SampleInput, Answer> {
+    let ctx = Arc::clone(shard.ctx());
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.sample_input(request))) {
         Ok(Ok(input)) => Ok(input),
         Ok(Err(e)) => Err(bad_request(format!("invalid field '{}': {e}", e.field()))),
@@ -892,11 +1061,12 @@ fn extract_input(state: &ServerState, request: &RecoverRequest) -> Result<Sample
 /// member mid-decode instead of finishing work nobody will read.
 fn submit_to_engine(
     state: &ServerState,
+    shard: &CityShard,
     input: SampleInput,
     opts: SubmitOptions,
 ) -> Result<RecoveryHandle, Answer> {
-    let retry = vec![("Retry-After", retry_after_value(state).to_string())];
-    match state.engine.submit(input, opts) {
+    let retry = vec![("Retry-After", retry_after_for(state, shard).to_string())];
+    match shard.engine().submit(input, opts) {
         Ok(h) => Ok(h),
         Err(EngineError::Overloaded {
             queue_depth,
@@ -936,6 +1106,7 @@ fn submit_to_engine(
 /// (parse + extraction time counts against it) and serialize the result.
 fn wait_and_answer(
     state: &ServerState,
+    shard: &CityShard,
     handle: RecoveryHandle,
     t0: Instant,
     budget: Duration,
@@ -943,7 +1114,7 @@ fn wait_and_answer(
     use std::sync::OnceLock;
     static SERIALIZE_SECONDS: OnceLock<Arc<rntrajrec_obs::metrics::Histogram>> = OnceLock::new();
 
-    let retry = vec![("Retry-After", retry_after_value(state).to_string())];
+    let retry = vec![("Retry-After", retry_after_for(state, shard).to_string())];
     let remaining = budget.saturating_sub(t0.elapsed());
     match handle.wait_timeout(remaining) {
         // Dropping the late handle here flags the member as abandoned, so
@@ -1035,7 +1206,11 @@ fn recover(state: &ServerState, body: &[u8], trace: Option<&TraceCtx>) -> Answer
         Ok(r) => r,
         Err(e) => return bad_request(e.to_string()),
     };
-    let input = match extract_input(state, &request) {
+    let shard = match state.router.resolve(&request.points) {
+        Ok(s) => s,
+        Err(e) => return route_answer(e),
+    };
+    let input = match extract_input(shard, &request) {
         Ok(input) => input,
         Err(answer) => return answer,
     };
@@ -1044,11 +1219,11 @@ fn recover(state: &ServerState, body: &[u8], trace: Option<&TraceCtx>) -> Answer
     let opts = SubmitOptions::new()
         .deadline(t0 + state.deadline)
         .trace(trace.map(|t| t.id));
-    let handle = match submit_to_engine(state, input, opts) {
+    let handle = match submit_to_engine(state, shard, input, opts) {
         Ok(h) => h,
         Err(answer) => return answer,
     };
-    wait_and_answer(state, handle, t0, state.deadline)
+    wait_and_answer(state, shard, handle, t0, state.deadline)
 }
 
 /// The `/v2/recover` flow: same as v1 plus an explicit `options` object
@@ -1074,7 +1249,11 @@ fn recover_v2(state: &ServerState, body: &[u8], trace: Option<&TraceCtx>) -> Ans
     if request.options.stream {
         return bad_request("options.stream is only valid on POST /v2/recover/stream");
     }
-    let input = match extract_input(state, &request.base()) {
+    let shard = match state.router.resolve(&request.points) {
+        Ok(s) => s,
+        Err(e) => return route_answer(e),
+    };
+    let input = match extract_input(shard, &request.base()) {
         Ok(input) => input,
         Err(answer) => return answer,
     };
@@ -1084,11 +1263,11 @@ fn recover_v2(state: &ServerState, body: &[u8], trace: Option<&TraceCtx>) -> Ans
     let opts = SubmitOptions::new()
         .deadline(t0 + budget)
         .trace(trace.map(|t| t.id));
-    let handle = match submit_to_engine(state, input, opts) {
+    let handle = match submit_to_engine(state, shard, input, opts) {
         Ok(h) => h,
         Err(answer) => return answer,
     };
-    wait_and_answer(state, handle, t0, budget)
+    wait_and_answer(state, shard, handle, t0, budget)
 }
 
 /// Write one chunk of an HTTP/1.1 chunked response: one JSON event line.
@@ -1133,14 +1312,18 @@ fn recover_stream(
         let text = std::str::from_utf8(&req.body).map_err(|_| bad_request("body is not UTF-8"))?;
         let request =
             v2::RecoverRequestV2::from_json(text).map_err(|e| bad_request(e.to_string()))?;
-        let input = extract_input(state, &request.base())?;
+        let shard = state
+            .router
+            .resolve(&request.points)
+            .map_err(route_answer)?;
+        let input = extract_input(shard, &request.base())?;
         drop(parse_span);
         let budget = effective_budget(state, request.options.deadline_ms);
         let opts = SubmitOptions::new()
             .deadline(t0 + budget)
             .trace(trace.as_ref().map(|t| t.id))
             .stream();
-        let handle = submit_to_engine(state, input, opts)?;
+        let handle = submit_to_engine(state, shard, input, opts)?;
         Ok((handle, budget))
     })();
 
@@ -1261,14 +1444,16 @@ fn recover_stream(
 
 /// Short git revision baked in by `build.rs`, or "unknown" outside a
 /// git checkout.
-const GIT_SHA: &str = env!("RNTRAJREC_GIT_SHA");
+pub(crate) const GIT_SHA: &str = env!("RNTRAJREC_GIT_SHA");
 
 fn render_metrics(state: &ServerState) -> String {
     let c = &state.counters;
-    let stats = state.engine.stats();
+    let shards = state.router.shards();
+    let shard_stats: Vec<(&CityShard, crate::EngineStats)> =
+        shards.iter().map(|s| (s, s.engine().stats())).collect();
     let pool = rntrajrec_nn::pool::stats();
     let (p50, p99) = c.latency_quantiles();
-    let mut out = String::with_capacity(4096);
+    let mut out = String::with_capacity(4096 + 2048 * shards.len());
     let line = |out: &mut String, name: &str, labels: &str, v: f64| {
         out.push_str(name);
         out.push_str(labels);
@@ -1311,18 +1496,36 @@ fn render_metrics(state: &ServerState) -> String {
     );
     out.push_str(&format!(
         "rntrajrec_kernel_backend{{backend=\"{}\"}} 1\n",
-        stats.kernel_backend,
+        shard_stats[0].1.kernel_backend,
     ));
     header(
         &mut out,
         "rntrajrec_segment_head",
-        "Decoder segment head the served model runs (sparse f32 or int8); the value is always 1.",
+        "Decoder segment head each city shard serves (sparse f32 or int8); the value is always 1.",
         "gauge",
     );
-    out.push_str(&format!(
-        "rntrajrec_segment_head{{head=\"{}\"}} 1\n",
-        stats.segment_head,
-    ));
+    for (s, st) in &shard_stats {
+        out.push_str(&format!(
+            "rntrajrec_segment_head{{city=\"{}\",head=\"{}\"}} 1\n",
+            s.name(),
+            st.segment_head,
+        ));
+    }
+    header(
+        &mut out,
+        "rntrajrec_artifact_info",
+        "Live model provenance per city shard (version + packing revision); the value is always 1.",
+        "gauge",
+    );
+    for (s, _) in &shard_stats {
+        let info = s.info();
+        out.push_str(&format!(
+            "rntrajrec_artifact_info{{city=\"{}\",model_version=\"{}\",git_sha=\"{}\"}} 1\n",
+            s.name(),
+            info.model_version,
+            info.git_sha,
+        ));
+    }
     header(
         &mut out,
         "rntrajrec_uptime_seconds",
@@ -1415,221 +1618,159 @@ fn render_metrics(state: &ServerState) -> String {
         p99,
     );
 
-    header(
+    // Engine families: one HELP/TYPE header per family, one labelled
+    // sample per city shard.
+    let city_label = |s: &CityShard| format!("{{city=\"{}\"}}", s.name());
+    let per_shard = |out: &mut String,
+                     name: &str,
+                     help: &str,
+                     kind: &str,
+                     value: &dyn Fn(&CityShard, &crate::EngineStats) -> f64| {
+        header(out, name, help, kind);
+        for (s, st) in &shard_stats {
+            line(out, name, &city_label(s), value(s, st));
+        }
+    };
+
+    per_shard(
         &mut out,
         "rntrajrec_engine_queue_depth",
         "Requests waiting in the micro-batching queue.",
         "gauge",
+        &|s, _| s.engine().queue_depth() as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_queue_depth",
-        "",
-        state.engine.queue_depth() as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_in_flight_batches",
         "Batches currently being recovered.",
         "gauge",
+        &|s, _| s.engine().in_flight_batches() as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_in_flight_batches",
-        "",
-        state.engine.in_flight_batches() as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_requests_total",
         "Requests accepted by the engine.",
         "counter",
+        &|_, st| st.requests as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_requests_total",
-        "",
-        stats.requests as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_completed_total",
         "Requests recovered successfully.",
         "counter",
+        &|_, st| st.completed as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_completed_total",
-        "",
-        stats.completed as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_failed_total",
         "Requests that failed during recovery.",
         "counter",
+        &|_, st| st.failed as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_failed_total",
-        "",
-        stats.failed as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_rejected_total",
         "Requests rejected at submit time (queue full or shutdown).",
         "counter",
+        &|_, st| st.rejected as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_rejected_total",
-        "",
-        stats.rejected as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_batches_total",
         "Batches flushed by the micro-batcher.",
         "counter",
+        &|_, st| st.batches as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_batches_total",
-        "",
-        stats.batches as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_mean_batch",
         "Mean batch size since start.",
         "gauge",
+        &|_, st| st.mean_batch,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_mean_batch",
-        "",
-        stats.mean_batch,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_mean_queue_wait_ms",
         "Mean time a completed request spent queued before its batch flushed.",
         "gauge",
+        &|_, st| st.mean_queue_wait_ms,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_mean_queue_wait_ms",
-        "",
-        stats.mean_queue_wait_ms,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_mean_compute_ms",
         "Mean batch compute time attributed to completed requests.",
         "gauge",
+        &|_, st| st.mean_compute_ms,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_mean_compute_ms",
-        "",
-        stats.mean_compute_ms,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_queue_wait_p99_ms",
         "p99 queue wait over a sliding window of completed requests.",
         "gauge",
+        &|_, st| st.queue_wait_p99_ms,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_queue_wait_p99_ms",
-        "",
-        stats.queue_wait_p99_ms,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_drain_rate_per_sec",
         "Observed request completion rate over the supervisor's sample window.",
         "gauge",
+        &|_, st| st.drain_rate_per_sec,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_drain_rate_per_sec",
-        "",
-        stats.drain_rate_per_sec,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_worker_restarts_total",
         "Crashed engine workers respawned by the supervisor.",
         "counter",
+        &|_, st| st.worker_restarts as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_worker_restarts_total",
-        "",
-        stats.worker_restarts as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_watchdog_timeouts_total",
         "Batches failed by the watchdog for exceeding the compute budget.",
         "counter",
+        &|_, st| st.watchdog_timeouts as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_watchdog_timeouts_total",
-        "",
-        stats.watchdog_timeouts as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_deadline_cancelled_total",
         "Batch members cancelled mid-decode for an expired deadline.",
         "counter",
+        &|_, st| st.deadline_cancelled as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_deadline_cancelled_total",
-        "",
-        stats.deadline_cancelled as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_admitted_total",
         "Members admitted into an already-running decode batch.",
         "counter",
+        &|_, st| st.admitted as f64,
     );
-    line(
-        &mut out,
-        "rntrajrec_engine_admitted_total",
-        "",
-        stats.admitted as f64,
-    );
-    header(
+    per_shard(
         &mut out,
         "rntrajrec_engine_abandoned_cancelled_total",
         "Batch members cancelled because their handle was dropped.",
         "counter",
+        &|_, st| st.abandoned_cancelled as f64,
     );
-    line(
+    per_shard(
         &mut out,
-        "rntrajrec_engine_abandoned_cancelled_total",
-        "",
-        stats.abandoned_cancelled as f64,
+        "rntrajrec_engine_stream_lagged_total",
+        "Streamed members degraded to summary-only for a full step queue.",
+        "counter",
+        &|_, st| st.stream_lagged as f64,
     );
-    header(
+    per_shard(
+        &mut out,
+        "rntrajrec_engine_model_swaps_total",
+        "Hot model swaps installed in the engine's model slot.",
+        "counter",
+        &|_, st| st.model_swaps as f64,
+    );
+    per_shard(
         &mut out,
         "rntrajrec_engine_brownout_level",
         "Active brownout ladder level (0 normal … 3 shed).",
         "gauge",
-    );
-    line(
-        &mut out,
-        "rntrajrec_engine_brownout_level",
-        "",
-        state.engine.brownout_level() as f64,
+        &|s, _| s.engine().brownout_level() as f64,
     );
     header(
         &mut out,
@@ -1637,21 +1778,19 @@ fn render_metrics(state: &ServerState) -> String {
         "Active brownout degradation mode; the value is always 1.",
         "gauge",
     );
-    out.push_str(&format!(
-        "rntrajrec_engine_brownout_mode{{mode=\"{}\"}} 1\n",
-        stats.brownout_mode,
-    ));
-    header(
+    for (s, st) in &shard_stats {
+        out.push_str(&format!(
+            "rntrajrec_engine_brownout_mode{{city=\"{}\",mode=\"{}\"}} 1\n",
+            s.name(),
+            st.brownout_mode,
+        ));
+    }
+    per_shard(
         &mut out,
         "rntrajrec_engine_brownout_shifts_total",
         "Brownout ladder transitions since start.",
         "counter",
-    );
-    line(
-        &mut out,
-        "rntrajrec_engine_brownout_shifts_total",
-        "",
-        stats.brownout_shifts as f64,
+        &|_, st| st.brownout_shifts as f64,
     );
 
     header(

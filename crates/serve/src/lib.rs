@@ -81,6 +81,7 @@ pub mod brownout;
 mod engine;
 pub mod http;
 mod service;
+pub mod shard;
 
 pub use brownout::{BrownoutConfig, BrownoutController};
 pub use engine::{
@@ -89,8 +90,10 @@ pub use engine::{
 };
 pub use http::{HttpConfig, HttpServer};
 pub use service::{
-    BatchOptions, MemberError, QueryContext, RoadEmbeddingCache, ServeError, ServingModel,
+    quant_head_env, BatchOptions, MemberError, QueryContext, RoadEmbeddingCache, ServeError,
+    ServingModel,
 };
+pub use shard::{CityShard, ReloadError, ReloadReceipt, RouteError, ShardInfo, ShardRouter};
 
 #[cfg(test)]
 mod tests {

@@ -159,6 +159,36 @@ impl ServingModel {
         })
     }
 
+    /// Wrap a model whose serving caches were **loaded** rather than
+    /// derived — the artifact hot-reload path. A packed `x_road` /
+    /// int8 head is used as-is (the artifact loader has already
+    /// shape-checked both against the model); a missing one falls back
+    /// to deriving from the weights, exactly as
+    /// [`ServingModel::with_quantized_head`] would.
+    pub fn from_parts(
+        model: EndToEnd,
+        x_road: Option<Tensor>,
+        quant: Option<QuantizedLinear>,
+        quantized: bool,
+    ) -> Result<Self, ServeError> {
+        if !model.supports_infer() {
+            return Err(ServeError::NoInferPath {
+                encoder: model.name.clone(),
+            });
+        }
+        let road = match x_road {
+            Some(x_road) => Some(RoadEmbeddingCache { x_road }),
+            None => RoadEmbeddingCache::build(&model),
+        };
+        let quant = quant.unwrap_or_else(|| model.decoder.quantized_segment_head(&model.store));
+        Ok(Self {
+            model,
+            road,
+            quant,
+            default_int8: quantized,
+        })
+    }
+
     /// The decoder segment head this model serves with by default.
     pub fn head(&self) -> SegmentHead<'_> {
         if self.default_int8 {
@@ -370,5 +400,11 @@ impl QueryContext {
 
     pub fn grid(&self) -> &GridSpec {
         &self.grid
+    }
+
+    /// The road network's bounding box (cached at construction). The
+    /// shard router uses it to resolve requests to city shards.
+    pub fn bbox(&self) -> rntrajrec_geo::BBox {
+        self.bbox
     }
 }

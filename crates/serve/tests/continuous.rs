@@ -291,11 +291,11 @@ fn dropped_handle_cancels_member_mid_decode() {
     assert_eq!(r.path, want);
 }
 
-/// The deprecated pre-`SubmitOptions` entry points still route through
-/// the canonical `submit` with identical semantics.
+/// The `SubmitOptions` combinations the removed pre-PR-9 shims covered
+/// (plain, traced, traced + deadline) all route through the one `submit`
+/// entry point with identical semantics.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_route_through_submit() {
+fn submit_options_cover_former_shim_combinations() {
     let _c = ChaosGuard::unarmed();
     let (city, inputs) = fixture(1);
     let model = serving(&city);
@@ -303,23 +303,24 @@ fn deprecated_shims_still_route_through_submit() {
     let engine = RecoveryEngine::start(model, engine_cfg());
 
     let r = engine
-        .try_submit(inputs[0].clone())
+        .submit(inputs[0].clone(), SubmitOptions::default())
         .expect("accepts")
         .wait();
     assert!(r.error.is_none());
     assert_eq!(r.path, want);
 
     let r = engine
-        .try_submit_traced(inputs[0].clone(), None)
+        .submit(inputs[0].clone(), SubmitOptions::new().trace(None))
         .expect("accepts")
         .wait();
     assert_eq!(r.path, want);
 
     let r = engine
-        .try_submit_with(
+        .submit(
             inputs[0].clone(),
-            None,
-            Some(Instant::now() + Duration::from_secs(60)),
+            SubmitOptions::new()
+                .trace(None)
+                .deadline(Instant::now() + Duration::from_secs(60)),
         )
         .expect("accepts")
         .wait();
@@ -346,4 +347,72 @@ fn poll_then_wait_delivers_once() {
     let r = handle.wait();
     assert!(r.error.is_none());
     assert_eq!(r.path, peeked, "wait must deliver the same cached result");
+}
+
+/// Hot-swapping the model over a live engine: requests submitted after
+/// the swap are served bit-identically to the new model's direct
+/// inference, with no restart, drain, or failed request.
+#[test]
+fn swap_model_serves_new_weights_for_new_batches() {
+    let _c = ChaosGuard::unarmed();
+    let (city, inputs) = fixture(1);
+    let model_a = serving(&city);
+    let model_b = {
+        let grid = city.net.grid(50.0);
+        let m = EndToEnd::build(&MethodSpec::RnTrajRec, &city.net, &grid, 16, 8);
+        Arc::new(ServingModel::new(m).expect("RNTrajRec serves"))
+    };
+    let want_a = model_a.recover(&inputs[0]);
+    let want_b = model_b.recover(&inputs[0]);
+
+    let engine = RecoveryEngine::start(model_a, engine_cfg());
+    let r = engine
+        .submit(inputs[0].clone(), SubmitOptions::default())
+        .expect("accepts")
+        .wait();
+    assert!(r.error.is_none());
+    assert_eq!(r.path, want_a, "pre-swap batches run the original model");
+
+    engine.swap_model(model_b);
+    let r = engine
+        .submit(inputs[0].clone(), SubmitOptions::default())
+        .expect("accepts")
+        .wait();
+    assert!(r.error.is_none());
+    assert_eq!(r.path, want_b, "post-swap batches run the new model");
+    assert_eq!(engine.stats().model_swaps, 1);
+}
+
+/// A streaming consumer that stops draining its step queue is degraded
+/// to summary-only: its step stream ends early, the terminal result
+/// still arrives intact, and the engine counts the lagged stream.
+#[test]
+fn slow_stream_consumer_degrades_to_summary_only() {
+    let _c = ChaosGuard::unarmed();
+    let (city, inputs) = fixture(1);
+    let engine = RecoveryEngine::start(
+        serving(&city),
+        EngineConfig {
+            // Two buffered steps, then the decode loop closes the sink:
+            // the fixture decodes 9 steps, so an undrained consumer is
+            // guaranteed to lag.
+            stream_queue: 2,
+            ..engine_cfg()
+        },
+    );
+
+    let handle = engine
+        .submit(inputs[0].clone(), SubmitOptions::new().stream())
+        .expect("accepts");
+    // Do not touch the step queue until the decode has fully finished.
+    let r = handle
+        .wait_timeout(Duration::from_secs(60))
+        .expect("completes");
+    assert!(
+        r.error.is_none(),
+        "lagging must not fail the request: {:?}",
+        r.error
+    );
+    assert_eq!(r.path.len(), 9, "terminal result is intact");
+    assert_eq!(engine.stats().stream_lagged, 1, "lagged stream counted");
 }

@@ -418,7 +418,8 @@ fn healthz_and_metrics_render() {
         "rntrajrec_engine_in_flight_batches",
         "rntrajrec_nn_matmul_invocations_total",
         "rntrajrec_kernel_backend{backend=\"",
-        "rntrajrec_segment_head{head=\"",
+        "rntrajrec_segment_head{city=\"default\",head=\"",
+        "rntrajrec_artifact_info{city=\"default\",model_version=\"in-process\"",
     ] {
         assert!(
             metrics.body.contains(key),

@@ -447,7 +447,7 @@ fn chaos_and_resilience_metrics_are_exported() {
         "rntrajrec_engine_worker_restarts_total",
         "rntrajrec_engine_watchdog_timeouts_total",
         "rntrajrec_engine_deadline_cancelled_total",
-        "rntrajrec_engine_brownout_mode{mode=\"normal\"} 1",
+        "rntrajrec_engine_brownout_mode{city=\"default\",mode=\"normal\"} 1",
         "rntrajrec_engine_brownout_level",
         "rntrajrec_engine_drain_rate_per_sec",
         "rntrajrec_chaos_enabled 1",
